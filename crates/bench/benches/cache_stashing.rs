@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 9/10 family: LLC stashing enabled vs disabled for
+//! Injected Function Indirect Put.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twochains::builtin::BuiltinJam;
+use twochains::InvocationMode;
+use twochains_bench::harness::{PingPong, TestbedOptions};
+
+fn bench_cache_stashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_10_cache_stashing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[8usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("stash", n), &n, |b, &n| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
+            b.iter(|| pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3).median_us());
+        });
+        group.bench_with_input(BenchmarkId::new("nonstash", n), &n, |b, &n| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.nonstash());
+            b.iter(|| pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3).median_us());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_stashing);
+criterion_main!(benches);

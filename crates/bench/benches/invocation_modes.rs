@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 7/8 family: Injected vs Local Function invocation of
+//! the Indirect Put jam.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twochains::builtin::BuiltinJam;
+use twochains::InvocationMode;
+use twochains_bench::harness::{PingPong, TestbedOptions};
+
+fn bench_invocation_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_8_invocation_modes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[1usize, 64, 1024] {
+        for mode in InvocationMode::ALL {
+            let label = match mode {
+                InvocationMode::Local => "local",
+                InvocationMode::Injected => "injected",
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
+                b.iter(|| pp.run(BuiltinJam::IndirectPut, mode, n, 3).median_us());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation_modes);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 5/6 family: AM put (without execution) vs the UCX
+//! data-put baseline, across message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twochains::builtin::BuiltinJam;
+use twochains::InvocationMode;
+use twochains_bench::figures::SSUM_SIZES;
+use twochains_bench::harness::{PingPong, TestbedOptions};
+use twochains_fabric::{LinkModel, UcxPutBaseline};
+
+fn bench_put_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_6_put_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let baseline = UcxPutBaseline::new(LinkModel::connectx6_back_to_back());
+    for &size in &SSUM_SIZES[..4] {
+        group.bench_with_input(BenchmarkId::new("ucx_data_put", size), &size, |b, &size| {
+            b.iter(|| baseline.put_latency(size));
+        });
+        group.bench_with_input(BenchmarkId::new("am_put_no_exec", size), &size, |b, &size| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.without_execution());
+            let n = (size - 60) / 4;
+            b.iter(|| pp.run(BuiltinJam::ServerSideSum, InvocationMode::Local, n, 3).median_us());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put_overhead);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 13/14 family: busy-polling vs WFE-assisted waiting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twochains::builtin::BuiltinJam;
+use twochains::InvocationMode;
+use twochains_bench::harness::{PingPong, TestbedOptions};
+
+fn bench_spin_polling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_14_spin_polling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[16usize, 512] {
+        group.bench_with_input(BenchmarkId::new("polling", n), &n, |b, &n| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
+            b.iter(|| {
+                let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 5);
+                r.receiver_cycles.total()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wfe", n), &n, |b, &n| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.wfe());
+            b.iter(|| {
+                let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 5);
+                r.receiver_cycles.total()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spin_polling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Fig. 11/12 family: tail latency on a fully loaded memory
+//! system, stash vs non-stash.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twochains::builtin::BuiltinJam;
+use twochains::InvocationMode;
+use twochains_bench::harness::{PingPong, TestbedOptions};
+use twochains_bench::percentile::summarize;
+
+fn bench_tail_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_12_tail_latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("stash_loaded", n), &n, |b, &n| {
+            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.stressed(7));
+            b.iter(|| {
+                let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 50);
+                summarize(&r.latencies).p999_us
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nonstash_loaded", n), &n, |b, &n| {
+            let mut pp =
+                PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.nonstash().stressed(8));
+            b.iter(|| {
+                let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 50);
+                summarize(&r.latencies).p999_us
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tail_latency);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p twochains-bench --bin figures -- all
+//! cargo run --release -p twochains-bench --bin figures -- fig7 fig9
+//! cargo run --release -p twochains-bench --bin figures -- --list
+//! ```
+
+use twochains_bench::figures::{all_figures, figure_by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [--list] [all | fig5 .. fig14]...");
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"] {
+            println!("{id}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "all") {
+        for f in all_figures() {
+            println!("{}", f().render());
+        }
+        return;
+    }
+    for name in &args {
+        match figure_by_name(name) {
+            Some(f) => println!("{}", f().render()),
+            None => eprintln!("unknown figure: {name}"),
+        }
+    }
+}

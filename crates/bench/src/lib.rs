@@ -1,0 +1,28 @@
+//! # twochains-bench
+//!
+//! The benchmark harness that regenerates every evaluation figure of the Two-Chains
+//! paper (CLUSTER 2021, §VI–§VII):
+//!
+//! * the two benchmark *shapes* — ping-pong (half-round-trip latency) and injection
+//!   rate (banked flow control) — in [`harness`];
+//! * percentile statistics, including the paper's *tail latency spread* (Eq. 1), in
+//!   [`percentile`];
+//! * one reproduction routine per figure (5–14) in [`figures`], printed by the
+//!   `figures` binary (`cargo run -p twochains-bench --bin figures -- all`);
+//! * Criterion benches (one family per figure group) under `benches/`.
+//!
+//! All results are virtual-time measurements over the simulated testbed, so they are
+//! deterministic and machine-independent; the *shape* of each figure (who wins, by
+//! roughly what factor, where the crossover happens) is the reproduction target, not
+//! the absolute microsecond values of the authors' hardware.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod harness;
+pub mod percentile;
+
+pub use figures::{all_figures, figure_by_name, FigureData};
+pub use harness::{InjectionRate, PingPong, RateResult, TestbedOptions};
+pub use percentile::{median, percentile, summarize, tail_spread, LatencyStats};

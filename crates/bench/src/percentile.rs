@@ -1,0 +1,100 @@
+//! Percentile statistics and the paper's tail-latency-spread metric.
+
+use twochains_memsim::SimTime;
+
+/// Latency distribution summary used by the tail-latency figures (11–12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median (50th percentile, the paper's "typical" latency).
+    pub median_us: f64,
+    /// 99.9th percentile (the paper's "tail" latency).
+    pub p999_us: f64,
+    /// Mean.
+    pub mean_us: f64,
+    /// Tail latency spread, Eq. 1: `(tail - typical) / typical`.
+    pub spread: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Compute the `q`-quantile (0.0–1.0) of a set of samples (nearest-rank).
+pub fn percentile(samples: &[SimTime], q: f64) -> SimTime {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    let mut sorted: Vec<SimTime> = samples.to_vec();
+    sorted.sort();
+    // Nearest-rank: the smallest value such that at least q of the samples are <= it.
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Median latency.
+pub fn median(samples: &[SimTime]) -> SimTime {
+    percentile(samples, 0.5)
+}
+
+/// Tail latency spread (Eq. 1 of the paper): how much larger the tail is than the
+/// median, as a fraction of the median.
+pub fn tail_spread(samples: &[SimTime]) -> f64 {
+    let med = median(samples).as_ns();
+    if med == 0.0 {
+        return 0.0;
+    }
+    (percentile(samples, 0.999).as_ns() - med) / med
+}
+
+/// Summarize a latency sample set.
+pub fn summarize(samples: &[SimTime]) -> LatencyStats {
+    let med = median(samples);
+    let tail = percentile(samples, 0.999);
+    let mean_ns = samples.iter().map(|t| t.as_ns()).sum::<f64>() / samples.len() as f64;
+    LatencyStats {
+        median_us: med.as_us(),
+        p999_us: tail.as_us(),
+        mean_us: mean_ns / 1000.0,
+        spread: tail_spread(samples),
+        samples: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_us(v)
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        let samples: Vec<SimTime> = (1..=100).map(us).collect();
+        assert_eq!(median(&samples), us(50));
+        assert_eq!(percentile(&samples, 0.0), us(1));
+        assert_eq!(percentile(&samples, 1.0), us(100));
+        assert_eq!(percentile(&samples, 0.999), us(100));
+    }
+
+    #[test]
+    fn spread_matches_equation_one() {
+        // 990 samples at 1us, ten at 5us: tail = 5us, median = 1us, spread = 4.0
+        let mut samples = vec![us(1); 990];
+        samples.extend(vec![us(5); 10]);
+        let s = tail_spread(&samples);
+        assert!((s - 4.0).abs() < 0.01, "got {s}");
+        let summary = summarize(&samples);
+        assert!((summary.median_us - 1.0).abs() < 1e-9);
+        assert!((summary.p999_us - 5.0).abs() < 1e-9);
+        assert_eq!(summary.samples, 1000);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_spread() {
+        let samples = vec![us(3); 50];
+        assert_eq!(tail_spread(&samples), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_samples_panic() {
+        median(&[]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Runtime configuration.
+
+use twochains_memsim::cycles::WaitModel;
+use twochains_memsim::WaitMode;
+
+use crate::security::SecurityPolicy;
+
+/// How an active message is invoked on the receiver (§IV-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvocationMode {
+    /// The function's binary code travels in the message and is executed on arrival
+    /// (GOT patched from the message or by the receiver, per the security policy).
+    Injected,
+    /// Only the element ID travels; the receiver calls the matching function from the
+    /// locally loaded Local Function library built from the same package source.
+    Local,
+}
+
+impl InvocationMode {
+    /// Both modes, in the order the paper's figures list them.
+    pub const ALL: [InvocationMode; 2] = [InvocationMode::Local, InvocationMode::Injected];
+
+    /// Label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvocationMode::Injected => "Injected Function",
+            InvocationMode::Local => "Local Function",
+        }
+    }
+}
+
+/// Configuration of a Two-Chains host runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Mailbox frame capacity in bytes (fixed-size frames; a frame larger than this
+    /// is rejected at pack time).
+    pub frame_capacity: usize,
+    /// Number of mailbox banks (M in §VI-A2).
+    pub banks: usize,
+    /// Mailboxes per bank (N in §VI-A2).
+    pub mailboxes_per_bank: usize,
+    /// Which core the receiver thread runs on.
+    pub receiver_core: usize,
+    /// How the receiver waits for the signal byte.
+    pub wait_mode: WaitMode,
+    /// Wait-model constants (poll interval, WFE wake latency, ...).
+    pub wait_model: WaitModel,
+    /// Security policy applied to inbound messages.
+    pub security: SecurityPolicy,
+    /// If true, messages are delivered and signalled but the function invocation is
+    /// skipped — the paper's "without-execution configuration" used for Figs. 5–6.
+    pub skip_execution: bool,
+    /// Fixed receiver-side dispatch overhead for an Injected Function (frame parse +
+    /// jump through the mailbox code pointer).
+    pub injected_dispatch_ns: f64,
+    /// Fixed receiver-side dispatch overhead for a Local Function (frame parse +
+    /// function-pointer table lookup by element ID).
+    pub local_dispatch_ns: f64,
+}
+
+impl RuntimeConfig {
+    /// The configuration used throughout the paper's evaluation: 32 KiB-capable
+    /// mailboxes, 4 banks × 16 mailboxes, polling wait on core 0.
+    pub fn paper_default() -> Self {
+        RuntimeConfig {
+            frame_capacity: 128 * 1024,
+            banks: 4,
+            mailboxes_per_bank: 16,
+            receiver_core: 0,
+            wait_mode: WaitMode::Polling,
+            wait_model: WaitModel::cluster2021(),
+            security: SecurityPolicy::permissive(),
+            skip_execution: false,
+            injected_dispatch_ns: 28.0,
+            local_dispatch_ns: 18.0,
+        }
+    }
+
+    /// Same configuration but with WFE-assisted waiting (Figs. 13–14).
+    pub fn with_wfe(mut self) -> Self {
+        self.wait_mode = WaitMode::Wfe;
+        self
+    }
+
+    /// Same configuration but skipping execution (Figs. 5–6).
+    pub fn without_execution(mut self) -> Self {
+        self.skip_execution = true;
+        self
+    }
+
+    /// Total number of mailboxes.
+    pub fn total_mailboxes(&self) -> usize {
+        self.banks * self.mailboxes_per_bank
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frame_capacity < crate::frame::FRAME_HEADER_SIZE + 1 {
+            return Err("frame capacity smaller than header".into());
+        }
+        if self.banks == 0 || self.mailboxes_per_bank == 0 {
+            return Err("need at least one bank and one mailbox".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let c = RuntimeConfig::paper_default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_mailboxes(), 64);
+        assert_eq!(c.frame_capacity, 128 * 1024);
+        assert_eq!(c.wait_mode, WaitMode::Polling);
+        assert!(!c.skip_execution);
+    }
+
+    #[test]
+    fn builders_flip_knobs() {
+        assert_eq!(RuntimeConfig::paper_default().with_wfe().wait_mode, WaitMode::Wfe);
+        assert!(RuntimeConfig::paper_default().without_execution().skip_execution);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = RuntimeConfig::paper_default();
+        c.banks = 0;
+        assert!(c.validate().is_err());
+        let mut c = RuntimeConfig::paper_default();
+        c.frame_capacity = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invocation_labels() {
+        assert_eq!(InvocationMode::Injected.label(), "Injected Function");
+        assert_eq!(InvocationMode::Local.label(), "Local Function");
+        assert_eq!(InvocationMode::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Runtime error types.
+
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type AmResult<T> = Result<T, AmError>;
+
+/// Errors surfaced by the Two-Chains runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmError {
+    /// A fabric operation failed.
+    Fabric(String),
+    /// Linking / package handling failed.
+    Link(String),
+    /// The frame does not fit in the configured mailbox size.
+    FrameTooLarge {
+        /// Bytes required.
+        needed: usize,
+        /// Mailbox capacity.
+        capacity: usize,
+    },
+    /// A received frame is malformed (bad magic, inconsistent lengths).
+    BadFrame(String),
+    /// Execution of the jam failed.
+    Exec(String),
+    /// No message is pending in the polled mailbox.
+    Empty,
+    /// The element is unknown at the receiver (Local Function id lookup failed).
+    UnknownElement(u32),
+    /// The security policy rejected the message.
+    PolicyViolation(String),
+    /// Flow control: the target bank has no free mailboxes.
+    BankFull {
+        /// Index of the full bank.
+        bank: usize,
+    },
+    /// The runtime was asked to do something it is not configured for.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmError::Fabric(m) => write!(f, "fabric error: {m}"),
+            AmError::Link(m) => write!(f, "link error: {m}"),
+            AmError::FrameTooLarge { needed, capacity } => {
+                write!(f, "frame of {needed} bytes exceeds mailbox capacity {capacity}")
+            }
+            AmError::BadFrame(m) => write!(f, "malformed frame: {m}"),
+            AmError::Exec(m) => write!(f, "execution failed: {m}"),
+            AmError::Empty => write!(f, "no message pending"),
+            AmError::UnknownElement(id) => write!(f, "unknown package element id {id}"),
+            AmError::PolicyViolation(m) => write!(f, "security policy violation: {m}"),
+            AmError::BankFull { bank } => write!(f, "flow control: bank {bank} is full"),
+            AmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AmError {}
+
+impl From<twochains_fabric::FabricError> for AmError {
+    fn from(e: twochains_fabric::FabricError) -> Self {
+        AmError::Fabric(e.to_string())
+    }
+}
+
+impl From<twochains_linker::LinkError> for AmError {
+    fn from(e: twochains_linker::LinkError) -> Self {
+        AmError::Link(e.to_string())
+    }
+}
+
+impl From<twochains_jamvm::ExecError> for AmError {
+    fn from(e: twochains_jamvm::ExecError) -> Self {
+        AmError::Exec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AmError = twochains_fabric::FabricError::NoSuchHost(3).into();
+        assert!(e.to_string().contains("no such host"));
+        let e: AmError = twochains_linker::LinkError::UnresolvedSymbol("s".into()).into();
+        assert!(e.to_string().contains("unresolved"));
+        let e: AmError = twochains_jamvm::ExecError::FuelExhausted.into();
+        assert!(e.to_string().contains("budget"));
+        assert!(AmError::FrameTooLarge { needed: 100, capacity: 64 }.to_string().contains("100"));
+        assert!(AmError::UnknownElement(7).to_string().contains('7'));
+        assert!(AmError::BankFull { bank: 2 }.to_string().contains("bank 2"));
+    }
+}

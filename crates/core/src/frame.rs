@@ -1,0 +1,329 @@
+//! Active-message frame layout.
+//!
+//! A frame is what one one-sided put deposits into a reactive mailbox (Figs. 1–3 of
+//! the paper):
+//!
+//! ```text
+//! | HDR (36 B) | GOTP | CODE | ARGS | USR | TRAILER (4 B, ends in SIG_MAG) |
+//! ```
+//!
+//! *Injected Function* frames carry the patched GOT image (`GOTP`) and the function
+//! bytecode (`CODE`); *Local Function* frames set both lengths to zero and carry only
+//! the element ID that indexes the receiver's Local Function library. The final byte
+//! of the frame is the signal magic the receiver spins on: because the fabric
+//! delivers the put in order (or the sender fences before a separate signal put), a
+//! receiver that observes `SIG_MAG` is guaranteed to observe the whole frame.
+//!
+//! With the paper's Indirect Put jam (1392 B of code + 16 B GOT image) and its 20-byte
+//! ARGS block, the one-integer frame is 64 bytes in Local mode and 1472 bytes in
+//! Injected mode — the exact sizes §VII-A quotes.
+
+use crate::error::{AmError, AmResult};
+
+/// Frame magic ("TCAM").
+pub const FRAME_MAGIC: u32 = 0x4D41_4354;
+/// Size of the fixed header.
+pub const FRAME_HEADER_SIZE: usize = 36;
+/// Size of the trailer (sequence echo + signal magic).
+pub const FRAME_TRAILER_SIZE: usize = 4;
+/// Magic byte marking the end of the header (the paper's `MAG`).
+pub const HDR_MAG: u8 = 0xC3;
+/// Signal magic byte at the end of the frame (the paper's `SIG MAG`).
+pub const SIG_MAG: u8 = 0xA5;
+
+/// Decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sequence number assigned by the sender.
+    pub sn: u32,
+    /// Total frame length in bytes including header and trailer.
+    pub frame_len: u32,
+    /// Package element ID of the active message.
+    pub elem_id: u32,
+    /// Whether the frame carries code (Injected Function).
+    pub injected: bool,
+    /// GOT image length in bytes.
+    pub got_len: u16,
+    /// Code length in bytes.
+    pub code_len: u32,
+    /// ARGS block length in bytes.
+    pub args_len: u16,
+    /// USR payload length in bytes.
+    pub usr_len: u32,
+}
+
+/// A complete frame, section by section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Header fields.
+    pub header: FrameHeader,
+    /// Patched GOT image bytes (empty for Local frames).
+    pub got: Vec<u8>,
+    /// Encoded function bytecode (empty for Local frames).
+    pub code: Vec<u8>,
+    /// Fixed argument block.
+    pub args: Vec<u8>,
+    /// User payload.
+    pub usr: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a Local Function frame.
+    pub fn local(sn: u32, elem_id: u32, args: Vec<u8>, usr: Vec<u8>) -> Frame {
+        Self::build(sn, elem_id, false, Vec::new(), Vec::new(), args, usr)
+    }
+
+    /// Build an Injected Function frame.
+    pub fn injected(
+        sn: u32,
+        elem_id: u32,
+        got: Vec<u8>,
+        code: Vec<u8>,
+        args: Vec<u8>,
+        usr: Vec<u8>,
+    ) -> Frame {
+        Self::build(sn, elem_id, true, got, code, args, usr)
+    }
+
+    fn build(
+        sn: u32,
+        elem_id: u32,
+        injected: bool,
+        got: Vec<u8>,
+        code: Vec<u8>,
+        args: Vec<u8>,
+        usr: Vec<u8>,
+    ) -> Frame {
+        let frame_len = (FRAME_HEADER_SIZE
+            + got.len()
+            + code.len()
+            + args.len()
+            + usr.len()
+            + FRAME_TRAILER_SIZE) as u32;
+        Frame {
+            header: FrameHeader {
+                sn,
+                frame_len,
+                elem_id,
+                injected,
+                got_len: got.len() as u16,
+                code_len: code.len() as u32,
+                args_len: args.len() as u16,
+                usr_len: usr.len() as u32,
+            },
+            got,
+            code,
+            args,
+            usr,
+        }
+    }
+
+    /// Total size of the frame on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.header.frame_len as usize
+    }
+
+    /// Byte offset of the GOT image within the frame.
+    pub fn got_offset(&self) -> usize {
+        FRAME_HEADER_SIZE
+    }
+
+    /// Byte offset of the code section within the frame.
+    pub fn code_offset(&self) -> usize {
+        self.got_offset() + self.got.len()
+    }
+
+    /// Byte offset of the ARGS block within the frame.
+    pub fn args_offset(&self) -> usize {
+        self.code_offset() + self.code.len()
+    }
+
+    /// Byte offset of the USR payload within the frame.
+    pub fn usr_offset(&self) -> usize {
+        self.args_offset() + self.args.len()
+    }
+
+    /// Byte offset of the signal byte (the last byte of the frame).
+    pub fn signal_offset(&self) -> usize {
+        self.wire_size() - 1
+    }
+
+    /// Encode the frame into wire bytes, ending with `SIG_MAG`.
+    pub fn encode(&self) -> Vec<u8> {
+        let h = &self.header;
+        let mut out = Vec::with_capacity(self.wire_size());
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&h.sn.to_le_bytes());
+        out.extend_from_slice(&h.frame_len.to_le_bytes());
+        out.extend_from_slice(&h.elem_id.to_le_bytes());
+        out.extend_from_slice(&(h.injected as u16).to_le_bytes());
+        out.extend_from_slice(&h.got_len.to_le_bytes());
+        out.extend_from_slice(&h.code_len.to_le_bytes());
+        out.extend_from_slice(&h.args_len.to_le_bytes());
+        out.extend_from_slice(&h.usr_len.to_le_bytes());
+        out.extend_from_slice(&[0u8; 5]);
+        out.push(HDR_MAG);
+        debug_assert_eq!(out.len(), FRAME_HEADER_SIZE);
+        out.extend_from_slice(&self.got);
+        out.extend_from_slice(&self.code);
+        out.extend_from_slice(&self.args);
+        out.extend_from_slice(&self.usr);
+        // Trailer: low 3 bytes of the sequence number, then the signal magic.
+        out.extend_from_slice(&h.sn.to_le_bytes()[..3]);
+        out.push(SIG_MAG);
+        debug_assert_eq!(out.len(), self.wire_size());
+        out
+    }
+
+    /// Decode wire bytes back into a frame, validating magics and lengths.
+    pub fn decode(bytes: &[u8]) -> AmResult<Frame> {
+        if bytes.len() < FRAME_HEADER_SIZE + FRAME_TRAILER_SIZE {
+            return Err(AmError::BadFrame(format!("frame too short: {} bytes", bytes.len())));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != FRAME_MAGIC {
+            return Err(AmError::BadFrame(format!("bad magic {magic:#010x}")));
+        }
+        if bytes[FRAME_HEADER_SIZE - 1] != HDR_MAG {
+            return Err(AmError::BadFrame("missing header magic byte".into()));
+        }
+        let sn = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let frame_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let elem_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let injected = u16::from_le_bytes(bytes[16..18].try_into().unwrap()) != 0;
+        let got_len = u16::from_le_bytes(bytes[18..20].try_into().unwrap()) as usize;
+        let code_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+        let args_len = u16::from_le_bytes(bytes[24..26].try_into().unwrap()) as usize;
+        let usr_len = u32::from_le_bytes(bytes[26..30].try_into().unwrap()) as usize;
+        let expected =
+            FRAME_HEADER_SIZE + got_len + code_len + args_len + usr_len + FRAME_TRAILER_SIZE;
+        if frame_len != expected || bytes.len() < frame_len {
+            return Err(AmError::BadFrame(format!(
+                "inconsistent lengths: header says {frame_len}, sections say {expected}, buffer {}",
+                bytes.len()
+            )));
+        }
+        if bytes[frame_len - 1] != SIG_MAG {
+            return Err(AmError::BadFrame("missing signal magic".into()));
+        }
+        if bytes[frame_len - 4..frame_len - 1] != sn.to_le_bytes()[..3] {
+            return Err(AmError::BadFrame("sequence echo mismatch".into()));
+        }
+        let mut pos = FRAME_HEADER_SIZE;
+        let mut take = |n: usize| {
+            let s = bytes[pos..pos + n].to_vec();
+            pos += n;
+            s
+        };
+        let got = take(got_len);
+        let code = take(code_len);
+        let args = take(args_len);
+        let usr = take(usr_len);
+        Ok(Frame {
+            header: FrameHeader {
+                sn,
+                frame_len: frame_len as u32,
+                elem_id,
+                injected,
+                got_len: got_len as u16,
+                code_len: code_len as u32,
+                args_len: args_len as u16,
+                usr_len: usr_len as u32,
+            },
+            got,
+            code,
+            args,
+            usr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_frame_size_matches_paper_one_integer_case() {
+        // 20-byte ARGS block + one 4-byte integer payload -> exactly 64 bytes.
+        let f = Frame::local(1, 2, vec![0; 20], vec![0; 4]);
+        assert_eq!(f.wire_size(), 64);
+        assert!(!f.header.injected);
+    }
+
+    #[test]
+    fn injected_frame_size_matches_paper_one_integer_case() {
+        // The Indirect Put jam ships 1392 B of code + 16 B of GOT image = 1408 B of
+        // "code" on top of the Local frame -> 1472 bytes.
+        let f = Frame::injected(1, 2, vec![0; 16], vec![0; 1392], vec![0; 20], vec![0; 4]);
+        assert_eq!(f.wire_size(), 1472);
+        assert!(f.header.injected);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame::injected(
+            7,
+            3,
+            vec![1; 24],
+            vec![2; 100],
+            vec![3; 20],
+            (0u32..50).flat_map(|v| v.to_le_bytes()).collect(),
+        );
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.wire_size());
+        assert_eq!(bytes[bytes.len() - 1], SIG_MAG);
+        assert_eq!(bytes[FRAME_HEADER_SIZE - 1], HDR_MAG);
+        let back = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn section_offsets_partition_the_frame() {
+        let f = Frame::injected(1, 1, vec![0; 16], vec![0; 64], vec![0; 20], vec![0; 8]);
+        assert_eq!(f.got_offset(), 36);
+        assert_eq!(f.code_offset(), 52);
+        assert_eq!(f.args_offset(), 116);
+        assert_eq!(f.usr_offset(), 136);
+        assert_eq!(f.signal_offset(), f.wire_size() - 1);
+        assert_eq!(f.usr_offset() + f.usr.len() + FRAME_TRAILER_SIZE, f.wire_size());
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let f = Frame::local(5, 1, vec![0; 20], vec![9; 16]);
+        let good = f.encode();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "magic");
+
+        let mut bad = good.clone();
+        bad[FRAME_HEADER_SIZE - 1] = 0;
+        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "hdr mag");
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] = 0;
+        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "sig mag");
+
+        let mut bad = good.clone();
+        bad[8] = 0xFF; // frame_len
+        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "length");
+
+        let mut bad = good.clone();
+        bad[4] ^= 0xFF; // sn no longer matches trailer echo
+        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "sn echo");
+
+        assert!(Frame::decode(&good[..10]).is_err(), "short buffer");
+    }
+
+    #[test]
+    fn local_and_injected_differ_only_by_code_sections() {
+        let args = vec![7u8; 20];
+        let usr = vec![9u8; 256];
+        let local = Frame::local(1, 4, args.clone(), usr.clone());
+        let injected = Frame::injected(1, 4, vec![0; 16], vec![0; 1392], args, usr);
+        assert_eq!(injected.wire_size() - local.wire_size(), 1408);
+        assert_eq!(local.header.elem_id, injected.header.elem_id);
+    }
+}

@@ -1,0 +1,784 @@
+//! The per-process Two-Chains runtime: host (receiver) side and sender side.
+//!
+//! A [`TwoChainsHost`] owns everything one process needs to participate: its fabric
+//! host handle and registered mailbox region, its linker namespace with loaded rieds,
+//! the persistent jam address space holding ried data objects, the Local Function
+//! library built from the installed package, and the reactive mailbox banks.
+//!
+//! A [`TwoChainsSender`] is the initiator-side object: it packs frames (patching in
+//! the GOT image the receiver exported during setup), pushes them with one one-sided
+//! put, and tracks flow-control credits.
+//!
+//! All methods take and return virtual [`SimTime`]s so a benchmark harness can drive
+//! both ends from a single thread deterministically; the same code paths can also be
+//! driven by real threads (the examples do), in which case the virtual times are
+//! simply accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use twochains_fabric::{AccessFlags, Endpoint, HostHandle, HostId, MemoryRegion, PutOutcome, SimFabric};
+use twochains_jamvm::{
+    decode_program, AddressSpace, ExecStats, GotImage, Instr, Segment, SegmentKind, Vm, VmConfig,
+};
+use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
+use twochains_memsim::cycles::WaitOutcome;
+use twochains_memsim::{AccessKind, MemoryBus, MemoryStressor, SimTime};
+
+use crate::bank::MailboxBank;
+use crate::builtin::BuiltinJam;
+use crate::config::{InvocationMode, RuntimeConfig};
+use crate::error::{AmError, AmResult};
+use crate::frame::{Frame, FRAME_HEADER_SIZE};
+use crate::mailbox::MailboxTarget;
+use crate::stats::RuntimeStats;
+
+/// One entry of the Local Function library: the program as loaded from the package,
+/// its GOT resolved against this process's namespace, and the address at which the
+/// resident code lives (kept warm in the receiver's caches).
+#[derive(Debug, Clone)]
+struct LocalEntry {
+    program: Vec<Instr>,
+    got: GotImage,
+    code_base: u64,
+    code_len: usize,
+}
+
+/// Outcome of processing one received active message.
+#[derive(Debug, Clone)]
+pub struct ReceiveOutcome {
+    /// When the receiver observed the signal byte (wait included).
+    pub detected_at: SimTime,
+    /// When the handler finished (dispatch + execution included).
+    pub handler_done: SimTime,
+    /// The wait accounting (elapsed time and cycles burned).
+    pub wait: WaitOutcome,
+    /// Execution statistics (absent in the without-execution configuration).
+    pub exec: Option<ExecStats>,
+    /// The value the jam returned (0 when execution was skipped).
+    pub result: u64,
+    /// Receiver-side time excluding the wait (header read, dispatch, execution).
+    pub handler_time: SimTime,
+}
+
+/// Outcome of sending one active message.
+#[derive(Debug, Clone, Copy)]
+pub struct AmSendOutcome {
+    /// Frame-packing cost on the sending CPU.
+    pub pack_cost: SimTime,
+    /// The underlying one-sided put timing.
+    pub put: PutOutcome,
+    /// Total bytes on the wire.
+    pub wire_bytes: usize,
+}
+
+impl AmSendOutcome {
+    /// When the message (including its signal byte) is visible at the receiver.
+    pub fn delivered(&self) -> SimTime {
+        self.put.delivered
+    }
+
+    /// When the sending CPU is free again.
+    pub fn sender_free(&self) -> SimTime {
+        self.pack_cost + self.put.sender_free
+    }
+}
+
+/// The receiver-side (and library-owner) runtime for one process.
+pub struct TwoChainsHost {
+    handle: HostHandle,
+    config: RuntimeConfig,
+    namespace: LinkerNamespace,
+    space: AddressSpace,
+    package: Option<Package>,
+    local_lib: HashMap<u32, LocalEntry>,
+    mailbox_region: Arc<MemoryRegion>,
+    banks: MailboxBank,
+    stats: RuntimeStats,
+    local_code_cursor: u64,
+}
+
+impl std::fmt::Debug for TwoChainsHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoChainsHost")
+            .field("host", &self.handle.id())
+            .field("mailboxes", &self.banks.total())
+            .field("local_lib", &self.local_lib.len())
+            .finish()
+    }
+}
+
+impl TwoChainsHost {
+    /// Base simulated address at which Local Function library code is laid out.
+    const LOCAL_CODE_BASE: u64 = 0x7000_0000;
+
+    /// Create a host runtime on fabric host `id`.
+    pub fn new(fabric: &SimFabric, id: HostId, config: RuntimeConfig) -> AmResult<Self> {
+        config.validate().map_err(AmError::InvalidConfig)?;
+        let handle = fabric.host(id)?;
+        let flags = AccessFlags::rwx();
+        let region_len = config.total_mailboxes() * config.frame_capacity;
+        let mailbox_region = handle.register(region_len, flags)?;
+        let banks = MailboxBank::new(
+            Arc::clone(&mailbox_region),
+            config.banks,
+            config.mailboxes_per_bank,
+            config.frame_capacity,
+        )?;
+        Ok(TwoChainsHost {
+            handle,
+            config,
+            namespace: LinkerNamespace::new(),
+            space: AddressSpace::new(),
+            package: None,
+            local_lib: HashMap::new(),
+            mailbox_region,
+            banks,
+            stats: RuntimeStats::new(),
+            local_code_cursor: Self::LOCAL_CODE_BASE,
+        })
+    }
+
+    /// This host's fabric id.
+    pub fn host_id(&self) -> HostId {
+        self.handle.id()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (wait mode, skip-execution, security) —
+    /// used by benchmarks to flip knobs between runs.
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The underlying fabric host handle (stashing/prefetcher/stressor toggles).
+    pub fn fabric_host(&self) -> &HostHandle {
+        &self.handle
+    }
+
+    /// Toggle LLC stashing for traffic arriving at this host.
+    pub fn set_stashing(&self, enabled: bool) {
+        self.handle.set_stashing(enabled);
+    }
+
+    /// Attach or remove a memory stressor (tail-latency experiments).
+    pub fn set_stressor(&self, stressor: Option<MemoryStressor>) {
+        self.handle.set_stressor(stressor);
+    }
+
+    /// Load a ried into this process's namespace and map its data objects.
+    pub fn load_ried(&mut self, ried: &Ried, replace: bool) -> AmResult<()> {
+        self.namespace.load_ried(ried, replace)?;
+        self.namespace.map_data_segments(&mut self.space)?;
+        Ok(())
+    }
+
+    /// Install a package: load its rieds, then build the Local Function library from
+    /// its jams (resolving each jam's GOT against this process's namespace and
+    /// keeping the resident code warm in the receiver's caches).
+    pub fn install_package(&mut self, package: Package) -> AmResult<()> {
+        for (_, ried) in package.rieds() {
+            self.namespace.load_ried(ried, true)?;
+        }
+        self.namespace.map_data_segments(&mut self.space)?;
+        for (id, jam) in package.jams() {
+            let program = jam.program()?;
+            let got = self.namespace.resolve_got(&jam.got)?;
+            let code_len = jam.code_size();
+            let code_base = self.local_code_cursor;
+            self.local_code_cursor += ((code_len + 4095) / 4096 * 4096) as u64 + 4096;
+            // The Local Function library is resident: it has been executed before (or
+            // at least loaded and touched), so keep it warm in the receiver's L2/LLC.
+            self.handle
+                .hierarchy()
+                .lock()
+                .warm_l2(self.config.receiver_core, code_base, code_len);
+            self.local_lib.insert(id.0, LocalEntry { program, got, code_base, code_len });
+        }
+        self.package = Some(package);
+        Ok(())
+    }
+
+    /// The installed package.
+    pub fn package(&self) -> Option<&Package> {
+        self.package.as_ref()
+    }
+
+    /// Element id of a builtin benchmark jam in the installed package.
+    pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        self.package
+            .as_ref()
+            .and_then(|p| p.id_of(jam.element_name()))
+            .ok_or(AmError::UnknownElement(u32::MAX))
+    }
+
+    /// The GOT image for `elem`, resolved against *this* process's namespace. A
+    /// receiver exports this to senders during connection setup; senders embed it in
+    /// Injected Function frames (the paper's "GOT redirect ... is set by the sender
+    /// after an exchange with the receiver").
+    pub fn export_got(&self, elem: ElementId) -> AmResult<GotImage> {
+        let pkg = self.package.as_ref().ok_or(AmError::UnknownElement(elem.0))?;
+        let jam = pkg.jam(elem)?;
+        Ok(self.namespace.resolve_got(&jam.got)?)
+    }
+
+    /// The mailbox target a sender should aim at for (`bank`, `slot`).
+    pub fn mailbox_target(&self, bank: usize, slot: usize) -> AmResult<MailboxTarget> {
+        Ok(self.banks.mailbox(bank, slot)?.target())
+    }
+
+    /// The receiver's mailbox banks.
+    pub fn banks(&self) -> &MailboxBank {
+        &self.banks
+    }
+
+    /// Read a ried-exported data object (for tests and examples that verify
+    /// server-side effects, e.g. the Server-Side Sum result array).
+    pub fn read_data(&self, symbol: &str, offset: usize, len: usize) -> AmResult<Vec<u8>> {
+        let addr = self
+            .namespace
+            .data_addr(symbol)
+            .ok_or_else(|| AmError::Link(format!("no data symbol {symbol}")))?;
+        Ok(self
+            .space
+            .read(addr + offset as u64, len)
+            .map_err(|e| AmError::Exec(e.to_string()))?
+            .to_vec())
+    }
+
+    /// Process the message sitting in mailbox (`bank`, `slot`).
+    ///
+    /// * `arrival` — when the frame's signal byte became visible (from the sender's
+    ///   [`AmSendOutcome::delivered`]).
+    /// * `ready_since` — when the receiver thread started waiting on this mailbox.
+    /// * `frame_len` — the fixed frame size, or `None` to use the variable-frame
+    ///   two-step protocol.
+    pub fn receive(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+    ) -> AmResult<ReceiveOutcome> {
+        let mailbox = self.banks.mailbox(bank, slot)?.clone();
+        let core = self.config.receiver_core;
+
+        // 1. Wait for the signal byte.
+        let wait_dur = arrival.saturating_sub(ready_since);
+        let wait = self.config.wait_model.wait(self.config.wait_mode, wait_dur);
+        let mut jitter = SimTime::ZERO;
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            if h.stressed() {
+                jitter = h.scheduler_jitter();
+            }
+        }
+        let detected_at = ready_since + wait.elapsed + jitter;
+
+        // Functional check + frame length discovery.
+        let frame_len = match frame_len {
+            Some(len) => {
+                if !mailbox.poll_fixed(len)? {
+                    return Err(AmError::Empty);
+                }
+                len
+            }
+            None => mailbox.poll_variable()?.ok_or(AmError::Empty)?,
+        };
+        let bytes = mailbox.read_frame(frame_len)?;
+        let frame = Frame::decode(&bytes)?;
+
+        // 2. Read the header (charged against wherever the frame landed).
+        let mut handler_time = SimTime::ZERO;
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            handler_time += h.access(core, mailbox.base_addr(), FRAME_HEADER_SIZE, AccessKind::Read);
+        }
+
+        let mode = if frame.header.injected { InvocationMode::Injected } else { InvocationMode::Local };
+        handler_time += SimTime::from_ns_f64(match mode {
+            InvocationMode::Injected => self.config.injected_dispatch_ns,
+            InvocationMode::Local => self.config.local_dispatch_ns,
+        });
+
+        let mut exec_stats = None;
+        let mut result = 0u64;
+
+        if !self.config.skip_execution {
+            // 3. Security policy.
+            if mode == InvocationMode::Injected
+                && self.config.security.require_execute_permission
+                && !self.mailbox_region.flags().remote_execute
+            {
+                return Err(AmError::PolicyViolation(
+                    "mailbox region lacks remote-execute permission".into(),
+                ));
+            }
+
+            // 4. Resolve the GOT and the program.
+            let (program, got, code_base) = match mode {
+                InvocationMode::Injected => {
+                    let program = decode_program(&frame.code)
+                        .map_err(|e| AmError::BadFrame(e.to_string()))?;
+                    let got = if self.config.security.accept_sender_got {
+                        GotImage::from_bytes(&frame.got)
+                            .ok_or_else(|| AmError::BadFrame("bad GOT image".into()))?
+                    } else {
+                        // Hardened mode: ignore the sender's GOT, re-resolve locally.
+                        let pkg =
+                            self.package.as_ref().ok_or(AmError::UnknownElement(frame.header.elem_id))?;
+                        let jam = pkg.jam(ElementId(frame.header.elem_id))?;
+                        handler_time +=
+                            self.config.security.per_message_overhead(jam.got.len());
+                        self.namespace.resolve_got(&jam.got)?
+                    };
+                    let code_base = mailbox.base_addr() + frame.code_offset() as u64;
+                    // The receiver walks the freshly arrived code and GOT image before
+                    // jumping into it (relocation check + landing-pad setup). These
+                    // reads hit the LLC when the frame was stashed and go to DRAM
+                    // otherwise — the dominant term of the stash benefit for
+                    // Injected Function messages (Figs. 9–10).
+                    {
+                        let hierarchy = self.handle.hierarchy();
+                        let mut h = hierarchy.lock();
+                        handler_time +=
+                            h.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
+                        handler_time += h.access(
+                            core,
+                            mailbox.base_addr() + frame.got_offset() as u64,
+                            frame.got.len().max(1),
+                            AccessKind::Read,
+                        );
+                    }
+                    handler_time += SimTime::from_ns_f64(frame.code.len() as f64 * 0.05);
+                    (program, got, code_base)
+                }
+                InvocationMode::Local => {
+                    let entry = self
+                        .local_lib
+                        .get(&frame.header.elem_id)
+                        .ok_or(AmError::UnknownElement(frame.header.elem_id))?;
+                    (entry.program.clone(), entry.got.clone(), entry.code_base)
+                }
+            };
+
+            // 5. Map the message's ARGS and USR sections at their mailbox addresses so
+            // every access is charged against the lines the NIC delivered.
+            let args_base = mailbox.base_addr() + frame.args_offset() as u64;
+            let usr_base = mailbox.base_addr() + frame.usr_offset() as u64;
+            let args_writable = !self.config.security.read_only_args;
+            let usr_writable = !self.config.security.read_only_payload;
+            self.space
+                .map(Segment::new("msg.args", args_base, frame.args.clone(), args_writable, SegmentKind::Args))
+                .map_err(|e| AmError::Exec(e.to_string()))?;
+            self.space
+                .map(Segment::new("msg.usr", usr_base, frame.usr.clone(), usr_writable, SegmentKind::Payload))
+                .map_err(|e| AmError::Exec(e.to_string()))?;
+
+            let entry_program = with_entry_prologue(&program, args_base, usr_base, frame.usr.len());
+            let vm_cfg = VmConfig {
+                core,
+                code_base,
+                fuel: 50_000_000,
+                freq_ghz: self.config.wait_model.core_freq_ghz,
+                ipc: 2.0,
+                extern_call_overhead: SimTime::from_ns(6),
+            };
+            let exec_result = {
+                let hierarchy = self.handle.hierarchy();
+                let mut guard = hierarchy.lock();
+                Vm::execute(
+                    &entry_program,
+                    &got,
+                    self.namespace.externs(),
+                    &mut self.space,
+                    &mut *guard,
+                    &vm_cfg,
+                )
+            };
+            self.space.unmap("msg.args");
+            self.space.unmap("msg.usr");
+            let stats = exec_result?;
+            handler_time += stats.total_time();
+            result = stats.result;
+            exec_stats = Some(stats);
+            self.stats.executions += 1;
+            match mode {
+                InvocationMode::Injected => self.stats.injected_executions += 1,
+                InvocationMode::Local => self.stats.local_executions += 1,
+            }
+        }
+
+        // 6. Reset the mailbox for reuse.
+        mailbox.clear(frame_len)?;
+
+        let handler_done = detected_at + handler_time;
+        self.stats.messages_received += 1;
+        self.stats.wait_time += wait.elapsed;
+        self.stats.exec_time += handler_time;
+        self.stats.cycles.add_wait(wait.cycles);
+        self.stats.cycles.add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
+
+        Ok(ReceiveOutcome { detected_at, handler_done, wait, exec: exec_stats, result, handler_time })
+    }
+}
+
+/// Prepend the entry-convention prologue (`r0` = ARGS, `r1` = USR, `r2` = USR length)
+/// to a jam program, shifting branch targets accordingly.
+fn with_entry_prologue(program: &[Instr], args_base: u64, usr_base: u64, usr_len: usize) -> Vec<Instr> {
+    use twochains_jamvm::Reg;
+    let mut out = Vec::with_capacity(program.len() + 3);
+    out.push(Instr::LoadImm { dst: Reg(0), imm: args_base });
+    out.push(Instr::LoadImm { dst: Reg(1), imm: usr_base });
+    out.push(Instr::LoadImm { dst: Reg(2), imm: usr_len as u64 });
+    for i in program {
+        out.push(match *i {
+            Instr::Jump { target } => Instr::Jump { target: target + 3 },
+            Instr::Branch { cond, a, b, target } => Instr::Branch { cond, a, b, target: target + 3 },
+            other => other,
+        });
+    }
+    out
+}
+
+/// The sender-side runtime object.
+pub struct TwoChainsSender {
+    endpoint: Endpoint,
+    package: Package,
+    /// GOT images exported by the receiver, keyed by element id.
+    remote_gots: HashMap<u32, Vec<u8>>,
+    sn: u32,
+    /// Per-byte frame packing cost (the message packing routines of §III-A).
+    pack_ns_per_byte: f64,
+    /// Fixed packing overhead.
+    pack_fixed: SimTime,
+    stats: RuntimeStats,
+}
+
+impl std::fmt::Debug for TwoChainsSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoChainsSender")
+            .field("package", &self.package.name())
+            .field("sn", &self.sn)
+            .finish()
+    }
+}
+
+impl TwoChainsSender {
+    /// Create a sender over an existing endpoint, with the package it will inject from.
+    pub fn new(endpoint: Endpoint, package: Package) -> Self {
+        TwoChainsSender {
+            endpoint,
+            package,
+            remote_gots: HashMap::new(),
+            sn: 0,
+            pack_ns_per_byte: 0.002,
+            pack_fixed: SimTime::from_ns(35),
+            stats: RuntimeStats::new(),
+        }
+    }
+
+    /// Record the GOT image the receiver exported for `elem` (out-of-band exchange
+    /// during setup).
+    pub fn set_remote_got(&mut self, elem: ElementId, got: &GotImage) {
+        self.remote_gots.insert(elem.0, got.to_bytes());
+    }
+
+    /// Sender statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The underlying endpoint (for flushes and resets between benchmark phases).
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.endpoint
+    }
+
+    /// Pack a frame for element `elem` with the given invocation mode, argument block
+    /// and payload. Injected frames require the receiver's GOT image to have been set
+    /// with [`TwoChainsSender::set_remote_got`].
+    pub fn pack(
+        &mut self,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: Vec<u8>,
+        usr: Vec<u8>,
+    ) -> AmResult<Frame> {
+        self.sn = self.sn.wrapping_add(1);
+        let frame = match mode {
+            InvocationMode::Local => Frame::local(self.sn, elem.0, args, usr),
+            InvocationMode::Injected => {
+                let jam = self.package.jam(elem)?;
+                let got = self
+                    .remote_gots
+                    .get(&elem.0)
+                    .cloned()
+                    .ok_or_else(|| AmError::Link(format!("no remote GOT for element {}", elem.0)))?;
+                Frame::injected(self.sn, elem.0, got, jam.text.clone(), args, usr)
+            }
+        };
+        Ok(frame)
+    }
+
+    /// Cost of packing `frame` on the sending CPU.
+    pub fn pack_cost(&self, frame: &Frame) -> SimTime {
+        self.pack_fixed + SimTime::from_ns_f64(frame.wire_size() as f64 * self.pack_ns_per_byte)
+    }
+
+    /// Pack-and-send convenience: returns both the frame and the send outcome.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        frame: &Frame,
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        let bytes = frame.encode();
+        if bytes.len() > target.capacity {
+            return Err(AmError::FrameTooLarge { needed: bytes.len(), capacity: target.capacity });
+        }
+        let pack_cost = self.pack_cost(frame);
+        let put = self.endpoint.put(now + pack_cost, &bytes, &target.region, target.offset)?;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        Ok(AmSendOutcome { pack_cost, put, wire_bytes: bytes.len() })
+    }
+
+    /// Element id helper for the builtin benchmark jams.
+    pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        self.package.id_of(jam.element_name()).ok_or(AmError::UnknownElement(u32::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{benchmark_package, indirect_put_args, ssum_args, BuiltinJam};
+    use twochains_memsim::TestbedConfig;
+
+    /// Build the standard two-host testbed with the benchmark package installed on
+    /// both sides and the receiver's GOT images exported to the sender.
+    fn testbed(cfg: RuntimeConfig) -> (TwoChainsHost, TwoChainsSender) {
+        let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+        let mut receiver = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+        receiver.install_package(benchmark_package().unwrap()).unwrap();
+        let ep = fabric.endpoint(a, b).unwrap();
+        let mut sender = TwoChainsSender::new(ep, benchmark_package().unwrap());
+        for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
+            let id = receiver.builtin_id(jam).unwrap();
+            let got = receiver.export_got(id).unwrap();
+            sender.set_remote_got(id, &got);
+        }
+        (receiver, sender)
+    }
+
+    fn payload(n_ints: usize) -> Vec<u8> {
+        (0..n_ints as u32).flat_map(|v| (v + 1).to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn injected_server_side_sum_end_to_end() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(8), payload(8))
+            .unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.result, (1..=8u64).sum::<u64>());
+        assert!(out.handler_done > send.delivered());
+        assert!(out.exec.is_some());
+        // Server-side array holds the sum.
+        let arr = rx.read_data("array.base", 8, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(arr.try_into().unwrap()), 36);
+        assert_eq!(rx.stats().injected_executions, 1);
+    }
+
+    #[test]
+    fn local_and_injected_produce_identical_results() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let mut results = Vec::new();
+        for mode in InvocationMode::ALL {
+            let frame = tx
+                .pack(id, mode, indirect_put_args(42, 16, 4), payload(16))
+                .unwrap();
+            let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+            let out = rx
+                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .unwrap();
+            results.push(out.result);
+        }
+        assert_eq!(results[0], results[1], "same key must land at the same offset");
+        assert_eq!(rx.stats().local_executions, 1);
+        assert_eq!(rx.stats().injected_executions, 1);
+    }
+
+    #[test]
+    fn injected_frames_are_larger_but_not_slower_for_big_payloads() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let local = tx.pack(id, InvocationMode::Local, indirect_put_args(1, 1, 4), payload(1)).unwrap();
+        let injected =
+            tx.pack(id, InvocationMode::Injected, indirect_put_args(1, 1, 4), payload(1)).unwrap();
+        assert_eq!(local.wire_size(), 64);
+        assert_eq!(injected.wire_size(), 1472);
+        let _ = (&rx, &target);
+    }
+
+    #[test]
+    fn without_execution_skips_the_handler() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().without_execution());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let frame = tx.pack(id, InvocationMode::Injected, ssum_args(4), payload(4)).unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .unwrap();
+        assert!(out.exec.is_none());
+        assert_eq!(out.result, 0);
+        assert_eq!(rx.stats().executions, 0);
+        assert_eq!(rx.stats().messages_received, 1);
+    }
+
+    #[test]
+    fn hardened_policy_reresolves_got_and_still_works() {
+        let mut cfg = RuntimeConfig::paper_default();
+        cfg.security = crate::security::SecurityPolicy::hardened();
+        let (mut rx, mut tx) = testbed(cfg);
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        // Corrupt the sender's notion of the GOT — the hardened receiver ignores it.
+        tx.set_remote_got(id, &GotImage::with_slots(1));
+        let frame = tx.pack(id, InvocationMode::Injected, ssum_args(4), payload(4)).unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.result, 10);
+    }
+
+    #[test]
+    fn unknown_local_element_is_rejected() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let frame = tx.pack(ElementId(999), InvocationMode::Local, ssum_args(1), payload(1));
+        // Packing a local frame for an unknown element succeeds (the id is opaque to
+        // the sender) but the receiver rejects it.
+        let frame = frame.unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let err = rx
+            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, AmError::UnknownElement(999)));
+    }
+
+    #[test]
+    fn empty_mailbox_reports_empty() {
+        let (mut rx, _tx) = testbed(RuntimeConfig::paper_default());
+        let err = rx.receive(0, 0, Some(64), SimTime::ZERO, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, AmError::Empty);
+        let err = rx.receive(0, 1, None, SimTime::ZERO, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, AmError::Empty);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_at_send_time() {
+        let mut cfg = RuntimeConfig::paper_default();
+        cfg.frame_capacity = 2048;
+        let (mut rx, mut tx) = testbed(cfg);
+        let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, indirect_put_args(1, 4096, 4), payload(4096))
+            .unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        assert!(matches!(
+            tx.send(SimTime::ZERO, &frame, &target),
+            Err(AmError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_without_remote_got_fails_to_pack() {
+        let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+        let mut rx = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
+        rx.install_package(benchmark_package().unwrap()).unwrap();
+        // This sender never received the receiver's exported GOT images.
+        let mut tx = TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let err = tx.pack(id, InvocationMode::Injected, ssum_args(1), payload(1)).unwrap_err();
+        assert!(matches!(err, AmError::Link(_)));
+        // Local frames need no GOT exchange.
+        assert!(tx.pack(id, InvocationMode::Local, ssum_args(1), payload(1)).is_ok());
+    }
+
+    #[test]
+    fn wfe_reduces_wait_cycles_but_not_results() {
+        let (mut rx_poll, mut tx1) = testbed(RuntimeConfig::paper_default());
+        let (mut rx_wfe, mut tx2) = testbed(RuntimeConfig::paper_default().with_wfe());
+        let id = rx_poll.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        for (rx, tx) in [(&mut rx_poll, &mut tx1), (&mut rx_wfe, &mut tx2)] {
+            let frame = tx.pack(id, InvocationMode::Injected, ssum_args(8), payload(8)).unwrap();
+            let target = rx.mailbox_target(0, 0).unwrap();
+            let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+            let out = rx
+                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .unwrap();
+            assert_eq!(out.result, 36);
+        }
+        assert!(
+            rx_wfe.stats().cycles.waiting() < rx_poll.stats().cycles.waiting() / 4,
+            "WFE should burn far fewer wait cycles ({} vs {})",
+            rx_wfe.stats().cycles.waiting(),
+            rx_poll.stats().cycles.waiting()
+        );
+    }
+
+    #[test]
+    fn stashing_speeds_up_the_injected_handler() {
+        let (mut rx_stash, mut tx1) = testbed(RuntimeConfig::paper_default());
+        let (mut rx_nostash, mut tx2) = testbed(RuntimeConfig::paper_default());
+        rx_nostash.set_stashing(false);
+        let id = rx_stash.builtin_id(BuiltinJam::IndirectPut).unwrap();
+        let mut handler_times = Vec::new();
+        for (rx, tx) in [(&mut rx_stash, &mut tx1), (&mut rx_nostash, &mut tx2)] {
+            let frame = tx
+                .pack(id, InvocationMode::Injected, indirect_put_args(7, 64, 4), payload(64))
+                .unwrap();
+            let target = rx.mailbox_target(0, 0).unwrap();
+            let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+            let out = rx
+                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .unwrap();
+            handler_times.push(out.handler_time);
+        }
+        assert!(
+            handler_times[0] < handler_times[1],
+            "stashed handler ({}) should be faster than non-stashed ({})",
+            handler_times[0],
+            handler_times[1]
+        );
+    }
+}

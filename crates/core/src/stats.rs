@@ -1,0 +1,66 @@
+//! Runtime counters.
+
+use twochains_memsim::{CycleCounter, SimTime};
+
+/// Counters accumulated by a Two-Chains host over its lifetime (or since the last
+/// [`RuntimeStats::reset`]).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Active messages sent.
+    pub messages_sent: u64,
+    /// Bytes of frame data sent.
+    pub bytes_sent: u64,
+    /// Active messages received and dispatched.
+    pub messages_received: u64,
+    /// Jams executed (injected or local).
+    pub executions: u64,
+    /// Executions that used the Injected Function path.
+    pub injected_executions: u64,
+    /// Executions that used the Local Function path.
+    pub local_executions: u64,
+    /// Total virtual time the receiver spent waiting for signals.
+    pub wait_time: SimTime,
+    /// Total virtual time spent in handler execution.
+    pub exec_time: SimTime,
+    /// CPU-cycle accounting for the receiver core (the counter Figs. 13–14 read).
+    pub cycles: CycleCounter,
+}
+
+impl RuntimeStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero everything.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Average bytes per sent message.
+    pub fn avg_message_size(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_and_reset() {
+        let mut s = RuntimeStats::new();
+        assert_eq!(s.avg_message_size(), 0.0);
+        s.messages_sent = 4;
+        s.bytes_sent = 400;
+        assert_eq!(s.avg_message_size(), 100.0);
+        s.cycles.add_wait(10);
+        s.reset();
+        assert_eq!(s.messages_sent, 0);
+        assert_eq!(s.cycles.total(), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Endpoints (queue pairs) and one-sided operations.
+//!
+//! An [`Endpoint`] connects a source host to a destination host and exposes the
+//! one-sided operations Two-Chains relies on: `put` (RDMA write), `get` (RDMA read),
+//! a fetch-and-add atomic, `fence` and `flush`. Data movement is real — the bytes are
+//! copied into the destination's registered region — and every operation returns the
+//! virtual-time accounting the benchmarks use.
+//!
+//! ## Write ordering and signals
+//!
+//! The paper's mailbox protocol relies on the receiver observing the *last* byte of
+//! the frame (the `SIG MAG` magic) only after all preceding bytes are visible. On
+//! fabrics that guarantee ordering (the paper's testbed does) the whole frame can go
+//! in one put; otherwise the signal must be a separate put preceded by a fence. Both
+//! modes are supported: [`Endpoint::put`] publishes the final byte of every write
+//! with `Release` ordering, and [`Endpoint::put_unordered`] + [`Endpoint::fence`] +
+//! separate signal puts model the conservative path.
+
+use std::sync::Arc;
+
+use twochains_memsim::SimTime;
+
+use crate::error::{FabricError, FabricResult};
+use crate::fabric::HostState;
+use crate::link::LinkModel;
+use crate::region::RegionDescriptor;
+use crate::rkey::check_permission;
+
+/// Timing outcome of a one-sided operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// When the initiating CPU is free again (posting overhead done).
+    pub sender_free: SimTime,
+    /// When the data (including the signal byte, if any) is visible to the
+    /// destination CPU.
+    pub delivered: SimTime,
+    /// DMA-engine time spent installing the data (stash or DRAM path); already
+    /// included in `delivered`, broken out for statistics.
+    pub dma_cost: SimTime,
+    /// Number of payload bytes moved.
+    pub bytes: usize,
+}
+
+/// A one-sided communication endpoint from a source host to a destination host.
+pub struct Endpoint {
+    link: LinkModel,
+    src: Arc<HostState>,
+    dst: Arc<HostState>,
+    /// Completion horizon: when every operation issued so far is delivered.
+    last_delivered: SimTime,
+    /// Statistics: operations and bytes issued.
+    ops: u64,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("src", &self.src.id)
+            .field("dst", &self.dst.id)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    pub(crate) fn new(link: LinkModel, src: Arc<HostState>, dst: Arc<HostState>) -> Self {
+        Endpoint { link, src, dst, last_delivered: SimTime::ZERO, ops: 0, bytes: 0 }
+    }
+
+    /// The link model this endpoint uses.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Source host id.
+    pub fn source(&self) -> usize {
+        self.src.id.index()
+    }
+
+    /// Destination host id.
+    pub fn destination(&self) -> usize {
+        self.dst.id.index()
+    }
+
+    /// Number of operations issued.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Number of payload bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn validate(
+        &self,
+        desc: &RegionDescriptor,
+        offset: usize,
+        len: usize,
+        op: &'static str,
+    ) -> FabricResult<Arc<crate::region::MemoryRegion>> {
+        if desc.host != self.dst.id.index() {
+            return Err(FabricError::NotConnected { from: self.src.id.index(), to: desc.host });
+        }
+        let region = self.dst.find_region(desc.base_addr, desc.len)?;
+        // The HCA validates the presented rkey against the memory region's key and
+        // checks the granted permissions before touching memory.
+        region.rkey().validate(desc.rkey)?;
+        check_permission(region.flags(), op)?;
+        if offset + len > region.len() {
+            return Err(FabricError::OutOfBounds { offset, len, region_len: region.len() });
+        }
+        Ok(region)
+    }
+
+    /// One-sided put of `data` into the remote region described by `desc`, at
+    /// `offset`, issued at virtual time `now`. The final byte is published with
+    /// `Release` ordering so a receiver polling it with `Acquire` observes the whole
+    /// frame — the ordered-delivery fast path (§III-A, "Modern servers ... enforce
+    /// ordering ... so we can send the entire message in one put operation").
+    pub fn put(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+        desc: &RegionDescriptor,
+        offset: usize,
+    ) -> FabricResult<PutOutcome> {
+        self.put_inner(now, data, desc, offset, true)
+    }
+
+    /// A put that does *not* publish its last byte with release ordering, modelling a
+    /// fabric without inter-put ordering guarantees. Use [`Endpoint::fence`] and a
+    /// separate signal put ([`Endpoint::put`] of the signal byte) to build the
+    /// conservative protocol.
+    pub fn put_unordered(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+        desc: &RegionDescriptor,
+        offset: usize,
+    ) -> FabricResult<PutOutcome> {
+        self.put_inner(now, data, desc, offset, false)
+    }
+
+    fn put_inner(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+        desc: &RegionDescriptor,
+        offset: usize,
+        publish: bool,
+    ) -> FabricResult<PutOutcome> {
+        if data.is_empty() {
+            return Err(FabricError::InvalidArgument("empty put"));
+        }
+        let region = self.validate(desc, offset, data.len(), "put")?;
+        let timing = self.link.put_timing(data.len());
+
+        // Sender CPU posts the work request, rings the doorbell.
+        let sender_free = now + timing.sender_cpu;
+        // The transmit pipeline serializes messages (streaming gap).
+        let (wire_start, _tx_free) = self.src.nic.acquire_tx(sender_free, &timing);
+        let arrival = wire_start + timing.network;
+        // Receiver-side DMA installs the data (stash or DRAM) and serializes with
+        // other inbound traffic.
+        let dst_addr = desc.base_addr + offset as u64;
+        let (delivered, dma_cost) = self.dst.nic.deliver(arrival, dst_addr, data.len());
+
+        // Move the actual bytes.
+        region.write(offset, data)?;
+        if publish {
+            let last = offset + data.len() - 1;
+            region.store_release_u8(last, data[data.len() - 1])?;
+        }
+
+        self.ops += 1;
+        self.bytes += data.len() as u64;
+        self.last_delivered = self.last_delivered.max(delivered);
+        Ok(PutOutcome { sender_free, delivered, dma_cost, bytes: data.len() })
+    }
+
+    /// One-sided get (RDMA read) of `len` bytes from the remote region.
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        desc: &RegionDescriptor,
+        offset: usize,
+        len: usize,
+    ) -> FabricResult<(Vec<u8>, PutOutcome)> {
+        if len == 0 {
+            return Err(FabricError::InvalidArgument("empty get"));
+        }
+        let region = self.validate(desc, offset, len, "get")?;
+        let timing = self.link.get_timing(len);
+        let sender_free = now + timing.sender_cpu;
+        let (wire_start, _tx_free) = self.src.nic.acquire_tx(sender_free, &timing);
+        let delivered = wire_start + timing.network;
+        let data = region.read(offset, len)?;
+        self.ops += 1;
+        self.bytes += len as u64;
+        self.last_delivered = self.last_delivered.max(delivered);
+        Ok((data, PutOutcome { sender_free, delivered, dma_cost: SimTime::ZERO, bytes: len }))
+    }
+
+    /// Remote fetch-and-add on an 8-byte-aligned offset. Returns the previous value.
+    pub fn atomic_add(
+        &mut self,
+        now: SimTime,
+        desc: &RegionDescriptor,
+        offset: usize,
+        operand: u64,
+    ) -> FabricResult<(u64, PutOutcome)> {
+        let region = self.validate(desc, offset, 8, "atomic")?;
+        let timing = self.link.get_timing(8); // atomics are round-trip operations
+        let sender_free = now + timing.sender_cpu;
+        let (wire_start, _tx_free) = self.src.nic.acquire_tx(sender_free, &timing);
+        let delivered = wire_start + timing.network;
+        let old = region.fetch_add_u64(offset, operand)?;
+        self.ops += 1;
+        self.bytes += 8;
+        self.last_delivered = self.last_delivered.max(delivered);
+        Ok((old, PutOutcome { sender_free, delivered, dma_cost: SimTime::ZERO, bytes: 8 }))
+    }
+
+    /// Issue a fence: subsequent operations are not delivered before all preceding
+    /// ones. On an ordered fabric this is free; on an unordered one it costs a small
+    /// fixed overhead and pushes the ordering horizon forward.
+    pub fn fence(&mut self, now: SimTime) -> SimTime {
+        if self.link.ordered_delivery {
+            now
+        } else {
+            // The fence forces the initiator to wait for prior deliveries before
+            // posting the next operation.
+            self.last_delivered.max(now) + SimTime::from_ns(40)
+        }
+    }
+
+    /// Wait (in virtual time) until every operation issued so far has been delivered.
+    pub fn flush(&self, now: SimTime) -> SimTime {
+        self.last_delivered.max(now)
+    }
+
+    /// Reset timing/ordering state between benchmark phases (the data already written
+    /// to remote regions is untouched).
+    pub fn reset(&mut self) {
+        self.last_delivered = SimTime::ZERO;
+        self.ops = 0;
+        self.bytes = 0;
+        self.src.nic.reset();
+        self.dst.nic.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{HostId, SimFabric};
+    use crate::rkey::{AccessFlags, RKey};
+    use twochains_memsim::TestbedConfig;
+
+    fn setup() -> (SimFabric, HostId, HostId) {
+        SimFabric::back_to_back(TestbedConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn put_moves_bytes_and_reports_timing() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rwx()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let out = ep.put(SimTime::ZERO, b"function injection", &desc, 100).unwrap();
+        assert_eq!(dst_region.read(100, 18).unwrap(), b"function injection");
+        assert!(out.delivered > out.sender_free);
+        assert!(out.delivered > SimTime::from_ns(900), "one-way should be ~1us, got {}", out.delivered);
+        assert_eq!(out.bytes, 18);
+        assert_eq!(ep.ops(), 1);
+        assert_eq!(ep.bytes(), 18);
+    }
+
+    #[test]
+    fn put_with_wrong_rkey_is_rejected() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rwx()).unwrap();
+        let mut desc = dst_region.descriptor();
+        desc.rkey = RKey(desc.rkey.raw() ^ 0xFFFF);
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let err = ep.put(SimTime::ZERO, b"x", &desc, 0).unwrap_err();
+        assert!(matches!(err, FabricError::InvalidRkey { .. }));
+    }
+
+    #[test]
+    fn put_to_readonly_region_is_rejected() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::ro()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        assert!(matches!(
+            ep.put(SimTime::ZERO, b"x", &desc, 0),
+            Err(FabricError::PermissionDenied { .. })
+        ));
+        // but gets are fine
+        assert!(ep.get(SimTime::ZERO, &desc, 0, 16).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_put_is_rejected() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(64, AccessFlags::rw()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        assert!(matches!(
+            ep.put(SimTime::ZERO, &[0u8; 65], &desc, 0),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+        assert!(ep.put(SimTime::ZERO, &[0u8; 64], &desc, 0).is_ok());
+    }
+
+    #[test]
+    fn get_reads_remote_memory() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(128, AccessFlags::rw()).unwrap();
+        dst_region.write(0, b"remote state").unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let (data, out) = ep.get(SimTime::ZERO, &desc, 0, 12).unwrap();
+        assert_eq!(data, b"remote state");
+        assert!(out.delivered > SimTime::from_ns(1000), "get is a round trip");
+    }
+
+    #[test]
+    fn atomic_add_round_trips() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(64, AccessFlags::rwx()).unwrap();
+        dst_region.store_u64(8, 100).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let (old, _) = ep.atomic_add(SimTime::ZERO, &desc, 8, 5).unwrap();
+        assert_eq!(old, 100);
+        assert_eq!(dst_region.load_u64(8).unwrap(), 105);
+        assert!(matches!(
+            ep.atomic_add(SimTime::ZERO, &desc, 3, 1),
+            Err(FabricError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_puts_take_longer() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(64 * 1024, AccessFlags::rw()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let small = ep.put(SimTime::ZERO, &[1u8; 64], &desc, 0).unwrap();
+        ep.reset();
+        let large = ep.put(SimTime::ZERO, &[1u8; 32 * 1024], &desc, 0).unwrap();
+        assert!(large.delivered > small.delivered);
+    }
+
+    #[test]
+    fn flush_reports_completion_horizon() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(8192, AccessFlags::rw()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        assert_eq!(ep.flush(SimTime::from_ns(5)), SimTime::from_ns(5));
+        let o1 = ep.put(SimTime::ZERO, &[0u8; 4096], &desc, 0).unwrap();
+        let o2 = ep.put(o1.sender_free, &[0u8; 4096], &desc, 4096).unwrap();
+        assert_eq!(ep.flush(SimTime::ZERO), o2.delivered.max(o1.delivered));
+    }
+
+    #[test]
+    fn fence_is_free_on_ordered_fabric() {
+        let (fabric, a, b) = setup();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        assert_eq!(ep.fence(SimTime::from_ns(10)), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn fence_waits_on_unordered_fabric() {
+        use crate::fabric::FabricConfig;
+        let mut cfg = FabricConfig::default();
+        cfg.link.ordered_delivery = false;
+        let fabric = SimFabric::new(cfg);
+        let a = fabric.add_host(TestbedConfig::tiny_for_tests());
+        let b = fabric.add_host(TestbedConfig::tiny_for_tests());
+        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rw()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let out = ep.put_unordered(SimTime::ZERO, &[7u8; 1024], &desc, 0).unwrap();
+        let after_fence = ep.fence(out.sender_free);
+        assert!(after_fence >= out.delivered, "fence must wait for outstanding puts");
+    }
+
+    #[test]
+    fn back_to_back_streaming_is_gap_limited() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric.host(b).unwrap().register(1 << 20, AccessFlags::rw()).unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        // Fire 16 x 32KiB puts back to back; delivery of the last should be roughly
+        // first-latency + 15 gaps, i.e. wire-limited rather than latency x 16.
+        let size = 32 * 1024;
+        let mut now = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for i in 0..16usize {
+            let out = ep.put(now, &vec![0u8; size], &desc, (i % 4) * size).unwrap();
+            now = out.sender_free;
+            last = out.delivered;
+        }
+        let one = ep.link().put_timing(size);
+        let serial_estimate = one.one_way() + one.gap * 15;
+        assert!(last.as_ns() < serial_estimate.as_ns() * 1.5);
+        assert!(last > one.gap * 15);
+    }
+}

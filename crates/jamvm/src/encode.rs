@@ -1,0 +1,429 @@
+//! Binary encoding of jam bytecode — the `.text` section that ships in messages.
+//!
+//! The encoding is compact but fixed-layout per opcode, so decoding is cheap and the
+//! byte size of a jam is a deterministic function of its instruction sequence. The
+//! injected-function experiments in the paper reason about code size in bytes (the
+//! Indirect Put jam is 1408 bytes on the wire); the toolchain uses this module to
+//! measure and pad `.text`.
+
+use crate::isa::{AluOp, Cond, Instr, Reg, Width};
+
+/// Errors produced while decoding a `.text` blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte at the given offset.
+    BadOpcode {
+        /// Byte offset of the offending opcode.
+        offset: usize,
+        /// The opcode value.
+        opcode: u8,
+    },
+    /// The blob ended in the middle of an instruction.
+    Truncated {
+        /// Byte offset where more bytes were expected.
+        offset: usize,
+    },
+    /// A field held an invalid value (e.g. an out-of-range width code).
+    BadField {
+        /// Byte offset of the instruction.
+        offset: usize,
+        /// Description of the field.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode { offset, opcode } => {
+                write!(f, "bad opcode {opcode:#04x} at offset {offset}")
+            }
+            DecodeError::Truncated { offset } => write!(f, "truncated instruction at offset {offset}"),
+            DecodeError::BadField { offset, field } => {
+                write!(f, "invalid {field} field at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const LOAD_IMM: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const ALU: u8 = 0x03;
+    pub const ALU_IMM: u8 = 0x04;
+    pub const LOAD: u8 = 0x05;
+    pub const STORE: u8 = 0x06;
+    pub const MEMCPY: u8 = 0x07;
+    pub const JUMP: u8 = 0x08;
+    pub const BRANCH: u8 = 0x09;
+    pub const CALL_EXTERN: u8 = 0x0A;
+    pub const HASH: u8 = 0x0B;
+    pub const NOP: u8 = 0x0C;
+    pub const RET: u8 = 0x0D;
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::And => 3,
+        AluOp::Or => 4,
+        AluOp::Xor => 5,
+        AluOp::Shl => 6,
+        AluOp::Shr => 7,
+        AluOp::Rem => 8,
+    }
+}
+
+fn alu_from(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::And,
+        4 => AluOp::Or,
+        5 => AluOp::Xor,
+        6 => AluOp::Shl,
+        7 => AluOp::Shr,
+        8 => AluOp::Rem,
+        _ => return None,
+    })
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B1 => 0,
+        Width::B4 => 1,
+        Width::B8 => 2,
+    }
+}
+
+fn width_from(code: u8) -> Option<Width> {
+    Some(match code {
+        0 => Width::B1,
+        1 => Width::B4,
+        2 => Width::B8,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Zero => 0,
+        Cond::NotZero => 1,
+        Cond::Less => 2,
+        Cond::GreaterEq => 3,
+    }
+}
+
+fn cond_from(code: u8) -> Option<Cond> {
+    Some(match code {
+        0 => Cond::Zero,
+        1 => Cond::NotZero,
+        2 => Cond::Less,
+        3 => Cond::GreaterEq,
+        _ => return None,
+    })
+}
+
+/// Encoded size in bytes of one instruction.
+pub fn encoded_size(i: &Instr) -> usize {
+    match i {
+        Instr::LoadImm { .. } => 10,
+        Instr::Mov { .. } => 3,
+        Instr::Alu { .. } => 5,
+        Instr::AluImm { .. } => 12,
+        Instr::Load { .. } => 8,
+        Instr::Store { .. } => 8,
+        Instr::Memcpy { .. } => 4,
+        Instr::Jump { .. } => 5,
+        Instr::Branch { .. } => 8,
+        Instr::CallExtern { .. } => 4,
+        Instr::Hash { .. } => 3,
+        Instr::Nop => 1,
+        Instr::Ret => 1,
+    }
+}
+
+/// Encode a program to its wire representation.
+pub fn encode_program(program: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(program.iter().map(encoded_size).sum());
+    for i in program {
+        encode_instr(i, &mut out);
+    }
+    out
+}
+
+fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
+    match *i {
+        Instr::LoadImm { dst, imm } => {
+            out.push(op::LOAD_IMM);
+            out.push(dst.0);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::Mov { dst, src } => {
+            out.push(op::MOV);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        Instr::Alu { op: o, dst, a, b } => {
+            out.push(op::ALU);
+            out.push(alu_code(o));
+            out.push(dst.0);
+            out.push(a.0);
+            out.push(b.0);
+        }
+        Instr::AluImm { op: o, dst, src, imm } => {
+            out.push(op::ALU_IMM);
+            out.push(alu_code(o));
+            out.push(dst.0);
+            out.push(src.0);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::Load { width, dst, addr, offset } => {
+            out.push(op::LOAD);
+            out.push(width_code(width));
+            out.push(dst.0);
+            out.push(addr.0);
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Instr::Store { width, src, addr, offset } => {
+            out.push(op::STORE);
+            out.push(width_code(width));
+            out.push(src.0);
+            out.push(addr.0);
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Instr::Memcpy { dst, src, len } => {
+            out.push(op::MEMCPY);
+            out.push(dst.0);
+            out.push(src.0);
+            out.push(len.0);
+        }
+        Instr::Jump { target } => {
+            out.push(op::JUMP);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Instr::Branch { cond, a, b, target } => {
+            out.push(op::BRANCH);
+            out.push(cond_code(cond));
+            out.push(a.0);
+            out.push(b.0);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Instr::CallExtern { slot, nargs } => {
+            out.push(op::CALL_EXTERN);
+            out.extend_from_slice(&slot.to_le_bytes());
+            out.push(nargs);
+        }
+        Instr::Hash { dst, src } => {
+            out.push(op::HASH);
+            out.push(dst.0);
+            out.push(src.0);
+        }
+        Instr::Nop => out.push(op::NOP),
+        Instr::Ret => out.push(op::RET),
+    }
+}
+
+/// Decode a `.text` blob back into instructions.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let opcode = bytes[pos];
+        pos += 1;
+        let need = |n: usize, pos: usize| -> Result<(), DecodeError> {
+            if pos + n <= bytes.len() {
+                Ok(())
+            } else {
+                Err(DecodeError::Truncated { offset: start })
+            }
+        };
+        let instr = match opcode {
+            op::LOAD_IMM => {
+                need(9, pos)?;
+                let dst = Reg(bytes[pos]);
+                let imm = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap());
+                pos += 9;
+                Instr::LoadImm { dst, imm }
+            }
+            op::MOV => {
+                need(2, pos)?;
+                let i = Instr::Mov { dst: Reg(bytes[pos]), src: Reg(bytes[pos + 1]) };
+                pos += 2;
+                i
+            }
+            op::ALU => {
+                need(4, pos)?;
+                let o = alu_from(bytes[pos])
+                    .ok_or(DecodeError::BadField { offset: start, field: "alu op" })?;
+                let i = Instr::Alu {
+                    op: o,
+                    dst: Reg(bytes[pos + 1]),
+                    a: Reg(bytes[pos + 2]),
+                    b: Reg(bytes[pos + 3]),
+                };
+                pos += 4;
+                i
+            }
+            op::ALU_IMM => {
+                need(11, pos)?;
+                let o = alu_from(bytes[pos])
+                    .ok_or(DecodeError::BadField { offset: start, field: "alu op" })?;
+                let dst = Reg(bytes[pos + 1]);
+                let src = Reg(bytes[pos + 2]);
+                let imm = u64::from_le_bytes(bytes[pos + 3..pos + 11].try_into().unwrap());
+                pos += 11;
+                Instr::AluImm { op: o, dst, src, imm }
+            }
+            op::LOAD => {
+                need(7, pos)?;
+                let width = width_from(bytes[pos])
+                    .ok_or(DecodeError::BadField { offset: start, field: "width" })?;
+                let dst = Reg(bytes[pos + 1]);
+                let addr = Reg(bytes[pos + 2]);
+                let offset = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
+                pos += 7;
+                Instr::Load { width, dst, addr, offset }
+            }
+            op::STORE => {
+                need(7, pos)?;
+                let width = width_from(bytes[pos])
+                    .ok_or(DecodeError::BadField { offset: start, field: "width" })?;
+                let src = Reg(bytes[pos + 1]);
+                let addr = Reg(bytes[pos + 2]);
+                let offset = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
+                pos += 7;
+                Instr::Store { width, src, addr, offset }
+            }
+            op::MEMCPY => {
+                need(3, pos)?;
+                let i = Instr::Memcpy {
+                    dst: Reg(bytes[pos]),
+                    src: Reg(bytes[pos + 1]),
+                    len: Reg(bytes[pos + 2]),
+                };
+                pos += 3;
+                i
+            }
+            op::JUMP => {
+                need(4, pos)?;
+                let target = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+                pos += 4;
+                Instr::Jump { target }
+            }
+            op::BRANCH => {
+                need(7, pos)?;
+                let cond = cond_from(bytes[pos])
+                    .ok_or(DecodeError::BadField { offset: start, field: "cond" })?;
+                let a = Reg(bytes[pos + 1]);
+                let b = Reg(bytes[pos + 2]);
+                let target = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
+                pos += 7;
+                Instr::Branch { cond, a, b, target }
+            }
+            op::CALL_EXTERN => {
+                need(3, pos)?;
+                let slot = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap());
+                let nargs = bytes[pos + 2];
+                pos += 3;
+                Instr::CallExtern { slot, nargs }
+            }
+            op::HASH => {
+                need(2, pos)?;
+                let i = Instr::Hash { dst: Reg(bytes[pos]), src: Reg(bytes[pos + 1]) };
+                pos += 2;
+                i
+            }
+            op::NOP => Instr::Nop,
+            op::RET => Instr::Ret,
+            other => return Err(DecodeError::BadOpcode { offset: start, opcode: other }),
+        };
+        out.push(instr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Cond, Reg, Width};
+
+    fn sample_program() -> Vec<Instr> {
+        vec![
+            Instr::LoadImm { dst: Reg(1), imm: 0xDEAD_BEEF_0000_1234 },
+            Instr::Mov { dst: Reg(2), src: Reg(1) },
+            Instr::Alu { op: AluOp::Add, dst: Reg(3), a: Reg(1), b: Reg(2) },
+            Instr::AluImm { op: AluOp::Shl, dst: Reg(3), src: Reg(3), imm: 3 },
+            Instr::Load { width: Width::B4, dst: Reg(4), addr: Reg(3), offset: 16 },
+            Instr::Store { width: Width::B8, src: Reg(4), addr: Reg(3), offset: 24 },
+            Instr::Memcpy { dst: Reg(5), src: Reg(6), len: Reg(7) },
+            Instr::Jump { target: 9 },
+            Instr::Branch { cond: Cond::Less, a: Reg(1), b: Reg(2), target: 2 },
+            Instr::CallExtern { slot: 3, nargs: 2 },
+            Instr::Hash { dst: Reg(8), src: Reg(1) },
+            Instr::Nop,
+            Instr::Ret,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_opcode() {
+        let prog = sample_program();
+        let bytes = encode_program(&prog);
+        let decoded = decode_program(&bytes).unwrap();
+        assert_eq!(decoded, prog);
+    }
+
+    #[test]
+    fn encoded_size_matches_actual_bytes() {
+        for i in sample_program() {
+            let bytes = encode_program(&[i]);
+            assert_eq!(bytes.len(), encoded_size(&i), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        // Cut a multi-byte instruction (LoadImm is 10 bytes) in half.
+        let mut bytes = encode_program(&[Instr::LoadImm { dst: Reg(1), imm: 42 }]);
+        bytes.truncate(5);
+        assert!(matches!(decode_program(&bytes), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        assert!(matches!(
+            decode_program(&[0xFF]),
+            Err(DecodeError::BadOpcode { opcode: 0xFF, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_field_is_rejected() {
+        // ALU with op code 42
+        let bytes = vec![0x03, 42, 0, 0, 0];
+        assert!(matches!(decode_program(&bytes), Err(DecodeError::BadField { field: "alu op", .. })));
+        // Load with width code 9
+        let bytes = vec![0x05, 9, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(decode_program(&bytes), Err(DecodeError::BadField { field: "width", .. })));
+    }
+
+    #[test]
+    fn empty_program_decodes_to_empty() {
+        assert_eq!(decode_program(&[]).unwrap(), vec![]);
+        assert!(encode_program(&[]).is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = DecodeError::BadOpcode { offset: 3, opcode: 0xAA };
+        assert!(e.to_string().contains("0xaa"));
+        assert!(DecodeError::Truncated { offset: 1 }.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The jam instruction set.
+//!
+//! A small register machine: 16 general-purpose 64-bit registers, relative branches,
+//! byte/word/doubleword loads and stores, a bulk copy, and an external call that goes
+//! through a GOT slot — the bytecode-level analogue of the paper's "all references to
+//! the global offset table redirect through a pointer stored at a fixed PC-relative
+//! location".
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// A register index (`r0`–`r15`).
+///
+/// By convention, `r0`–`r5` carry arguments into a jam and into extern calls, and
+/// `r0` carries return values out; `r15` is a scratch register the assembler may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// First argument / return value register.
+    pub const R0: Reg = Reg(0);
+    /// Second argument register.
+    pub const R1: Reg = Reg(1);
+    /// Third argument register.
+    pub const R2: Reg = Reg(2);
+    /// Fourth argument register.
+    pub const R3: Reg = Reg(3);
+    /// Fifth argument register.
+    pub const R4: Reg = Reg(4);
+    /// Sixth argument register.
+    pub const R5: Reg = Reg(5);
+
+    /// Whether the register index is valid.
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 4 bytes (little endian).
+    B4,
+    /// 8 bytes (little endian).
+    B8,
+}
+
+impl Width {
+    /// Size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::B1 => 1,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+}
+
+/// Condition for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if the register is zero.
+    Zero,
+    /// Branch if the register is non-zero.
+    NotZero,
+    /// Branch if `a < b` (unsigned).
+    Less,
+    /// Branch if `a >= b` (unsigned).
+    GreaterEq,
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by the low 6 bits of the rhs).
+    Shl,
+    /// Logical shift right (by the low 6 bits of the rhs).
+    Shr,
+    /// Unsigned remainder (rhs of zero yields zero, no trap).
+    Rem,
+}
+
+/// One jam instruction. Instruction indices (not byte offsets) are the unit of
+/// control flow: branch targets are absolute instruction indices produced by the
+/// assembler from labels, which keeps the bytecode position independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = imm`
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a <op> b`
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = src <op> imm`
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        src: Reg,
+        /// Immediate right operand.
+        imm: u64,
+    },
+    /// `dst = *(addr + offset)` with the given width (zero-extended).
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        addr: Reg,
+        /// Constant byte offset added to the base.
+        offset: u32,
+    },
+    /// `*(addr + offset) = src` with the given width (truncated).
+    Store {
+        /// Access width.
+        width: Width,
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        addr: Reg,
+        /// Constant byte offset added to the base.
+        offset: u32,
+    },
+    /// Copy `len` bytes from `src` to `dst` (registers hold addresses; `len` is a
+    /// register holding the byte count). The workhorse of Indirect Put.
+    Memcpy {
+        /// Destination address register.
+        dst: Reg,
+        /// Source address register.
+        src: Reg,
+        /// Length register.
+        len: Reg,
+    },
+    /// Unconditional branch to instruction index `target`.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition to evaluate.
+        cond: Cond,
+        /// First register operand.
+        a: Reg,
+        /// Second register operand (ignored for Zero/NotZero).
+        b: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Call the external function bound to GOT slot `slot`, passing `nargs` arguments
+    /// from `r0..` and leaving the result in `r0`. This is the *only* mechanism by
+    /// which injected code reaches receiver-resident code or data.
+    CallExtern {
+        /// GOT slot index.
+        slot: u16,
+        /// Number of argument registers to pass (0–6).
+        nargs: u8,
+    },
+    /// Mix the value of `src` with a 64-bit finalizer hash into `dst` (the hash-probe
+    /// primitive the Indirect Put jam uses to pick a bucket).
+    Hash {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// No operation (used by the toolchain to pad `.text` to a target size, the way
+    /// the paper's fixed frames round code up to 64-byte boundaries).
+    Nop,
+    /// Return from the jam; the value in `r0` is the jam's result.
+    Ret,
+}
+
+impl Instr {
+    /// Registers read by this instruction (for the verifier and for tests).
+    pub fn reads(&self) -> Vec<Reg> {
+        match *self {
+            Instr::LoadImm { .. } | Instr::Jump { .. } | Instr::Nop | Instr::Ret => vec![],
+            Instr::Mov { src, .. } => vec![src],
+            Instr::Alu { a, b, .. } => vec![a, b],
+            Instr::AluImm { src, .. } => vec![src],
+            Instr::Load { addr, .. } => vec![addr],
+            Instr::Store { src, addr, .. } => vec![src, addr],
+            Instr::Memcpy { dst, src, len } => vec![dst, src, len],
+            Instr::Branch { a, b, cond, .. } => match cond {
+                Cond::Zero | Cond::NotZero => vec![a],
+                _ => vec![a, b],
+            },
+            Instr::CallExtern { nargs, .. } => (0..nargs).map(Reg).collect(),
+            Instr::Hash { src, .. } => vec![src],
+        }
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        match *self {
+            Instr::LoadImm { dst, .. }
+            | Instr::Mov { dst, .. }
+            | Instr::Alu { dst, .. }
+            | Instr::AluImm { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::Hash { dst, .. } => Some(dst),
+            Instr::CallExtern { .. } => Some(Reg::R0),
+            _ => None,
+        }
+    }
+
+    /// Branch target, if this is a control-flow instruction.
+    pub fn target(&self) -> Option<u32> {
+        match *self {
+            Instr::Jump { target } | Instr::Branch { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// The well-known hash finalizer used by [`Instr::Hash`]; exposed so that receiver
+/// side code (rieds, tests, examples) can compute the same bucket a jam will compute.
+pub fn hash64(x: u64) -> u64 {
+    // splitmix64 finalizer
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_display_and_validity() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert!(Reg(15).is_valid());
+        assert!(!Reg(16).is_valid());
+    }
+
+    #[test]
+    fn width_sizes() {
+        assert_eq!(Width::B1.bytes(), 1);
+        assert_eq!(Width::B4.bytes(), 4);
+        assert_eq!(Width::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn reads_and_writes_are_reported() {
+        let i = Instr::Alu { op: AluOp::Add, dst: Reg(2), a: Reg(3), b: Reg(4) };
+        assert_eq!(i.reads(), vec![Reg(3), Reg(4)]);
+        assert_eq!(i.writes(), Some(Reg(2)));
+
+        let c = Instr::CallExtern { slot: 1, nargs: 3 };
+        assert_eq!(c.reads(), vec![Reg(0), Reg(1), Reg(2)]);
+        assert_eq!(c.writes(), Some(Reg::R0));
+
+        let b = Instr::Branch { cond: Cond::Zero, a: Reg(1), b: Reg(9), target: 4 };
+        assert_eq!(b.reads(), vec![Reg(1)], "Zero condition ignores b");
+        assert_eq!(b.target(), Some(4));
+        assert_eq!(Instr::Ret.target(), None);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_ne!(hash64(1), hash64(2));
+        // Low bits should differ for consecutive keys (bucket spreading).
+        let buckets: std::collections::HashSet<u64> = (0..64).map(|k| hash64(k) % 64).collect();
+        assert!(buckets.len() > 32, "expected decent spread, got {}", buckets.len());
+    }
+}

@@ -1,0 +1,304 @@
+//! The address space a jam executes against.
+//!
+//! A jam never sees host pointers. The runtime maps *segments* — the message's ARGS
+//! and USR sections, the receiver's heap objects exported by rieds, read-only data —
+//! into a simulated address space, and the VM resolves every load/store against those
+//! segments. This mirrors the paper's layout where the injected code addresses its
+//! arguments and payload PC-relative within the mailbox frame and reaches everything
+//! else through the GOT.
+
+use std::collections::HashMap;
+
+/// What a segment holds; used for permissions and for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// The injected code itself (`CODE` section of the frame).
+    Code,
+    /// The fixed-size argument block (`ARGS`).
+    Args,
+    /// The user payload (`USR`).
+    Payload,
+    /// Receiver-resident mutable state exported by a ried (heaps, tables, arrays).
+    Heap,
+    /// Read-only data (string constants and the like that the toolchain "implicitly
+    /// pulls in ... to support functions like printf").
+    Rodata,
+}
+
+/// One mapped segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Name used to address the segment from the host side.
+    pub name: String,
+    /// Simulated base virtual address.
+    pub base: u64,
+    /// Backing bytes.
+    pub data: Vec<u8>,
+    /// Whether jam stores to this segment are allowed.
+    pub writable: bool,
+    /// Classification.
+    pub kind: SegmentKind,
+}
+
+impl Segment {
+    /// Create a segment.
+    pub fn new(name: &str, base: u64, data: Vec<u8>, writable: bool, kind: SegmentKind) -> Self {
+        Segment { name: name.to_string(), base, data, writable, kind }
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely inside this segment.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr + len as u64 <= self.end()
+    }
+}
+
+/// A memory access fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// No segment maps the requested range.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+        /// Access length.
+        len: usize,
+    },
+    /// A store targeted a read-only segment.
+    ReadOnly {
+        /// Faulting address.
+        addr: u64,
+        /// Name of the segment.
+        segment: String,
+    },
+    /// Two segments would overlap.
+    Overlap {
+        /// Name of the segment being mapped.
+        name: String,
+    },
+    /// A segment with this name is already mapped.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::Unmapped { addr, len } => write!(f, "unmapped access at {addr:#x} len {len}"),
+            MemFault::ReadOnly { addr, segment } => {
+                write!(f, "write to read-only segment {segment} at {addr:#x}")
+            }
+            MemFault::Overlap { name } => write!(f, "segment {name} overlaps an existing mapping"),
+            MemFault::DuplicateName(n) => write!(f, "segment name {n} already mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The set of segments a jam can address.
+#[derive(Debug, Default, Clone)]
+pub struct AddressSpace {
+    segments: Vec<Segment>,
+    by_name: HashMap<String, usize>,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map a segment. Fails on name collision or address overlap.
+    pub fn map(&mut self, seg: Segment) -> Result<(), MemFault> {
+        if self.by_name.contains_key(&seg.name) {
+            return Err(MemFault::DuplicateName(seg.name));
+        }
+        for existing in &self.segments {
+            let disjoint = seg.end() <= existing.base || existing.end() <= seg.base;
+            if !disjoint {
+                return Err(MemFault::Overlap { name: seg.name });
+            }
+        }
+        self.by_name.insert(seg.name.clone(), self.segments.len());
+        self.segments.push(seg);
+        Ok(())
+    }
+
+    /// Unmap a segment by name, returning it (so the runtime can copy results out).
+    pub fn unmap(&mut self, name: &str) -> Option<Segment> {
+        let idx = self.by_name.remove(name)?;
+        let seg = self.segments.remove(idx);
+        // Reindex.
+        self.by_name.clear();
+        for (i, s) in self.segments.iter().enumerate() {
+            self.by_name.insert(s.name.clone(), i);
+        }
+        Some(seg)
+    }
+
+    /// Borrow a segment by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.by_name.get(name).map(|&i| &self.segments[i])
+    }
+
+    /// Mutably borrow a segment by name.
+    pub fn segment_mut(&mut self, name: &str) -> Option<&mut Segment> {
+        let idx = *self.by_name.get(name)?;
+        Some(&mut self.segments[idx])
+    }
+
+    /// Names of all mapped segments.
+    pub fn segment_names(&self) -> Vec<&str> {
+        self.segments.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of mapped segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    fn find(&self, addr: u64, len: usize) -> Result<usize, MemFault> {
+        self.segments
+            .iter()
+            .position(|s| s.contains(addr, len))
+            .ok_or(MemFault::Unmapped { addr, len })
+    }
+
+    /// Read `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> Result<&[u8], MemFault> {
+        let idx = self.find(addr, len)?;
+        let seg = &self.segments[idx];
+        let off = (addr - seg.base) as usize;
+        Ok(&seg.data[off..off + len])
+    }
+
+    /// Write `data` at `addr`, honouring the segment's write permission.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let idx = self.find(addr, data.len())?;
+        let seg = &mut self.segments[idx];
+        if !seg.writable {
+            return Err(MemFault::ReadOnly { addr, segment: seg.name.clone() });
+        }
+        let off = (addr - seg.base) as usize;
+        seg.data[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a little-endian scalar of `width` bytes, zero-extended to u64.
+    pub fn read_scalar(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let bytes = self.read(addr, width)?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write the low `width` bytes of `value` little-endian at `addr`.
+    pub fn write_scalar(&mut self, addr: u64, value: u64, width: usize) -> Result<(), MemFault> {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..width])
+    }
+
+    /// Copy `len` bytes from `src` to `dst` within the address space.
+    pub fn copy(&mut self, dst: u64, src: u64, len: usize) -> Result<(), MemFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let data = self.read(src, len)?.to_vec();
+        self.write(dst, &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let mut s = AddressSpace::new();
+        s.map(Segment::new("args", 0x1000, vec![0; 64], false, SegmentKind::Args)).unwrap();
+        s.map(Segment::new("payload", 0x2000, vec![7; 256], false, SegmentKind::Payload)).unwrap();
+        s.map(Segment::new("heap", 0x10000, vec![0; 4096], true, SegmentKind::Heap)).unwrap();
+        s
+    }
+
+    #[test]
+    fn map_rejects_overlap_and_duplicates() {
+        let mut s = space();
+        assert!(matches!(
+            s.map(Segment::new("x", 0x1010, vec![0; 16], true, SegmentKind::Heap)),
+            Err(MemFault::Overlap { .. })
+        ));
+        assert!(matches!(
+            s.map(Segment::new("heap", 0x90000, vec![0; 16], true, SegmentKind::Heap)),
+            Err(MemFault::DuplicateName(_))
+        ));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn read_write_respect_permissions() {
+        let mut s = space();
+        s.write(0x10000, b"hello").unwrap();
+        assert_eq!(s.read(0x10000, 5).unwrap(), b"hello");
+        assert!(matches!(s.write(0x1000, b"x"), Err(MemFault::ReadOnly { .. })));
+        assert!(matches!(s.read(0x5000, 4), Err(MemFault::Unmapped { .. })));
+        // Cross-segment access is unmapped even if both ends exist.
+        assert!(matches!(s.read(0x103F, 8), Err(MemFault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut s = space();
+        s.write_scalar(0x10008, 0xAABB_CCDD, 4).unwrap();
+        assert_eq!(s.read_scalar(0x10008, 4).unwrap(), 0xAABB_CCDD);
+        s.write_scalar(0x10010, u64::MAX, 8).unwrap();
+        assert_eq!(s.read_scalar(0x10010, 8).unwrap(), u64::MAX);
+        s.write_scalar(0x10020, 0x1234, 1).unwrap();
+        assert_eq!(s.read_scalar(0x10020, 1).unwrap(), 0x34, "truncated to one byte");
+    }
+
+    #[test]
+    fn copy_moves_payload_into_heap() {
+        let mut s = space();
+        s.copy(0x10000, 0x2000, 128).unwrap();
+        assert!(s.read(0x10000, 128).unwrap().iter().all(|&b| b == 7));
+        // copy into read-only fails
+        assert!(s.copy(0x1000, 0x2000, 8).is_err());
+        // zero-length copy is fine anywhere mapped or not
+        assert!(s.copy(0x1000, 0x2000, 0).is_ok());
+    }
+
+    #[test]
+    fn unmap_returns_segment_and_reindexes() {
+        let mut s = space();
+        let seg = s.unmap("payload").unwrap();
+        assert_eq!(seg.data.len(), 256);
+        assert!(s.segment("payload").is_none());
+        assert!(s.segment("heap").is_some(), "other segments still reachable after reindex");
+        assert!(s.unmap("payload").is_none());
+        assert_eq!(s.segment_names().len(), 2);
+    }
+
+    #[test]
+    fn segment_helpers() {
+        let s = space();
+        let heap = s.segment("heap").unwrap();
+        assert_eq!(heap.end(), 0x10000 + 4096);
+        assert!(heap.contains(0x10FFF, 1));
+        assert!(!heap.contains(0x10FFF, 2));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn faults_display() {
+        assert!(MemFault::Unmapped { addr: 0x10, len: 4 }.to_string().contains("unmapped"));
+        assert!(MemFault::ReadOnly { addr: 1, segment: "args".into() }.to_string().contains("read-only"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Static verification of jam bytecode.
+//!
+//! Code that arrived over the network is verified before execution: every register
+//! index must be in range, every branch target must land inside the program, every
+//! GOT slot referenced must exist in the declared GOT size, and the program must end
+//! with (or be guaranteed to reach) a `Ret`. This is the reproduction's analogue of
+//! the trust boundary the paper discusses in §V — while the paper executes raw
+//! machine code and leans on RKEY protection and deployment isolation, a memory-safe
+//! reproduction gets to check the code before running it.
+
+use crate::isa::{Instr, NUM_REGS};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program is empty.
+    Empty,
+    /// An instruction uses a register index outside `r0..r15`.
+    BadRegister {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A branch target points outside the program.
+    BadTarget {
+        /// Instruction index of the branch.
+        at: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A `CallExtern` references a GOT slot beyond the declared GOT size.
+    BadGotSlot {
+        /// Instruction index.
+        at: usize,
+        /// The referenced slot.
+        slot: u16,
+        /// Declared number of GOT slots.
+        got_slots: usize,
+    },
+    /// A `CallExtern` declares more than 6 argument registers.
+    TooManyArgs {
+        /// Instruction index.
+        at: usize,
+        /// Declared argument count.
+        nargs: u8,
+    },
+    /// Execution can fall off the end of the program (the last reachable
+    /// straight-line instruction is not a `Ret` or unconditional `Jump`).
+    MissingRet,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::BadRegister { at } => write!(f, "invalid register at instruction {at}"),
+            VerifyError::BadTarget { at, target } => {
+                write!(f, "branch target {target} out of range at instruction {at}")
+            }
+            VerifyError::BadGotSlot { at, slot, got_slots } => write!(
+                f,
+                "GOT slot {slot} referenced at instruction {at} but only {got_slots} slots declared"
+            ),
+            VerifyError::TooManyArgs { at, nargs } => {
+                write!(f, "extern call with {nargs} args at instruction {at} (max 6)")
+            }
+            VerifyError::MissingRet => write!(f, "control flow can fall off the end of the program"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify `program` against a GOT with `got_slots` slots.
+pub fn verify(program: &[Instr], got_slots: usize) -> Result<(), VerifyError> {
+    if program.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    for (at, instr) in program.iter().enumerate() {
+        // Registers.
+        for r in instr.reads() {
+            if r.0 as usize >= NUM_REGS {
+                return Err(VerifyError::BadRegister { at });
+            }
+        }
+        if let Some(w) = instr.writes() {
+            if w.0 as usize >= NUM_REGS {
+                return Err(VerifyError::BadRegister { at });
+            }
+        }
+        // Branch targets.
+        if let Some(t) = instr.target() {
+            if t as usize >= program.len() {
+                return Err(VerifyError::BadTarget { at, target: t });
+            }
+        }
+        // Extern calls.
+        if let Instr::CallExtern { slot, nargs } = *instr {
+            if slot as usize >= got_slots {
+                return Err(VerifyError::BadGotSlot { at, slot, got_slots });
+            }
+            if nargs > 6 {
+                return Err(VerifyError::TooManyArgs { at, nargs });
+            }
+        }
+    }
+    // Termination: the final instruction must not allow execution to fall through
+    // the end of the code.
+    match program.last().unwrap() {
+        Instr::Ret | Instr::Jump { .. } => Ok(()),
+        _ => Err(VerifyError::MissingRet),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Cond, Reg};
+
+    fn ok_prog() -> Vec<Instr> {
+        vec![
+            Instr::LoadImm { dst: Reg(0), imm: 1 },
+            Instr::CallExtern { slot: 0, nargs: 1 },
+            Instr::Ret,
+        ]
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(verify(&ok_prog(), 1).is_ok());
+    }
+
+    #[test]
+    fn empty_program_fails() {
+        assert_eq!(verify(&[], 0), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn bad_register_fails() {
+        let p = vec![Instr::Mov { dst: Reg(16), src: Reg(0) }, Instr::Ret];
+        assert_eq!(verify(&p, 0), Err(VerifyError::BadRegister { at: 0 }));
+        let p = vec![Instr::Alu { op: AluOp::Add, dst: Reg(0), a: Reg(0), b: Reg(200) }, Instr::Ret];
+        assert_eq!(verify(&p, 0), Err(VerifyError::BadRegister { at: 0 }));
+    }
+
+    #[test]
+    fn bad_branch_target_fails() {
+        let p = vec![Instr::Jump { target: 9 }, Instr::Ret];
+        assert_eq!(verify(&p, 0), Err(VerifyError::BadTarget { at: 0, target: 9 }));
+        let p = vec![
+            Instr::Branch { cond: Cond::Zero, a: Reg(0), b: Reg(0), target: 2 },
+            Instr::Ret,
+        ];
+        assert!(matches!(verify(&p, 0), Err(VerifyError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn got_slot_bounds_enforced() {
+        let p = ok_prog();
+        assert!(matches!(verify(&p, 0), Err(VerifyError::BadGotSlot { slot: 0, got_slots: 0, .. })));
+        assert!(verify(&p, 1).is_ok());
+    }
+
+    #[test]
+    fn arg_count_limit_enforced() {
+        let p = vec![Instr::CallExtern { slot: 0, nargs: 7 }, Instr::Ret];
+        assert!(matches!(verify(&p, 1), Err(VerifyError::TooManyArgs { nargs: 7, .. })));
+    }
+
+    #[test]
+    fn falling_off_the_end_fails() {
+        let p = vec![Instr::LoadImm { dst: Reg(0), imm: 1 }];
+        assert_eq!(verify(&p, 0), Err(VerifyError::MissingRet));
+        // Ending with an unconditional jump back into the program is allowed.
+        let p = vec![Instr::Nop, Instr::Jump { target: 0 }];
+        assert!(verify(&p, 0).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(VerifyError::MissingRet.to_string().contains("fall off"));
+        assert!(VerifyError::BadGotSlot { at: 1, slot: 2, got_slots: 1 }.to_string().contains("GOT"));
+    }
+}

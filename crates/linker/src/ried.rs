@@ -1,0 +1,208 @@
+//! Rieds — Relocatable Interface Distributions.
+//!
+//! "Rieds are shared libraries that one process drives over to some remote process to
+//! dynamically setup interfaces and data objects as needed" (§IV-A). In this
+//! reproduction a ried is a named bundle of:
+//!
+//! * **function exports** — receiver-side implementations (Rust closures over the jam
+//!   VM's [`ExternCtx`]) that injected code reaches through GOT-resolved
+//!   `CallExtern`; these stand in for the shared library's native code, and
+//! * **data exports** — named heap objects (tables, arrays, counters) that are mapped
+//!   into the jam address space as segments, with an initial size/contents, and
+//! * an optional **auto-init hook** run when the ried is loaded into a namespace
+//!   (the paper's rieds are "loaded and auto-initialized in Two-Chains packages").
+//!
+//! Rieds are constructed programmatically with [`RiedBuilder`]; the real system would
+//! `dlopen` an actual shared object, which is precisely the part a memory-safe
+//! reproduction replaces.
+
+use std::sync::Arc;
+
+use twochains_jamvm::externs::ExternFn;
+use twochains_jamvm::SegmentKind;
+
+/// A named data object exported by a ried.
+#[derive(Debug, Clone)]
+pub struct RiedDataExport {
+    /// Canonical symbol name (e.g. `"array.base"`).
+    pub name: String,
+    /// Initial contents; its length is the object's size.
+    pub init: Vec<u8>,
+    /// Whether jams may write to it.
+    pub writable: bool,
+    /// Segment classification when mapped.
+    pub kind: SegmentKind,
+}
+
+/// Init hook signature: receives the ried's name; used to prime data or log loading.
+pub type RiedInitHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// A loadable interface library.
+#[derive(Clone)]
+pub struct Ried {
+    name: String,
+    functions: Vec<(String, ExternFn)>,
+    data: Vec<RiedDataExport>,
+    init: Option<RiedInitHook>,
+    version: u32,
+}
+
+impl std::fmt::Debug for Ried {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ried")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("functions", &self.functions.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
+            .field("data", &self.data.iter().map(|d| d.name.clone()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Ried {
+    /// The ried's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ried's version (bumped by rebuilds; used by live-update examples).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Exported functions, in declaration order.
+    pub fn functions(&self) -> &[(String, ExternFn)] {
+        &self.functions
+    }
+
+    /// Exported data objects.
+    pub fn data(&self) -> &[RiedDataExport] {
+        &self.data
+    }
+
+    /// The auto-init hook, if any.
+    pub fn init_hook(&self) -> Option<&RiedInitHook> {
+        self.init.as_ref()
+    }
+
+    /// Names of every symbol (functions and data) this ried exports.
+    pub fn exported_symbols(&self) -> Vec<String> {
+        self.functions
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(self.data.iter().map(|d| d.name.clone()))
+            .collect()
+    }
+}
+
+/// Builder for [`Ried`]s.
+pub struct RiedBuilder {
+    ried: Ried,
+}
+
+impl RiedBuilder {
+    /// Start building a ried called `name`.
+    pub fn new(name: &str) -> Self {
+        RiedBuilder {
+            ried: Ried {
+                name: name.to_string(),
+                functions: Vec::new(),
+                data: Vec::new(),
+                init: None,
+                version: 1,
+            },
+        }
+    }
+
+    /// Set the version.
+    pub fn version(mut self, v: u32) -> Self {
+        self.ried.version = v;
+        self
+    }
+
+    /// Export a function under `name`.
+    pub fn export_fn(mut self, name: &str, f: ExternFn) -> Self {
+        self.ried.functions.push((name.to_string(), f));
+        self
+    }
+
+    /// Export a writable heap object of `size` zero bytes.
+    pub fn export_heap(mut self, name: &str, size: usize) -> Self {
+        self.ried.data.push(RiedDataExport {
+            name: name.to_string(),
+            init: vec![0u8; size],
+            writable: true,
+            kind: SegmentKind::Heap,
+        });
+        self
+    }
+
+    /// Export a data object with explicit initial contents.
+    pub fn export_data(mut self, name: &str, init: Vec<u8>, writable: bool) -> Self {
+        self.ried.data.push(RiedDataExport {
+            name: name.to_string(),
+            init,
+            writable,
+            kind: if writable { SegmentKind::Heap } else { SegmentKind::Rodata },
+        });
+        self
+    }
+
+    /// Attach an auto-init hook.
+    pub fn on_load(mut self, hook: RiedInitHook) -> Self {
+        self.ried.init = Some(hook);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Ried {
+        self.ried
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builder_collects_exports() {
+        let ried = RiedBuilder::new("ried_array")
+            .version(3)
+            .export_fn("array.append", Arc::new(|_ctx, _args| Ok(0)))
+            .export_heap("array.base", 4096)
+            .export_data("array.magic", vec![1, 2, 3], false)
+            .build();
+        assert_eq!(ried.name(), "ried_array");
+        assert_eq!(ried.version(), 3);
+        assert_eq!(ried.functions().len(), 1);
+        assert_eq!(ried.data().len(), 2);
+        assert_eq!(
+            ried.exported_symbols(),
+            vec!["array.append", "array.base", "array.magic"]
+        );
+        assert!(ried.data()[0].writable);
+        assert!(!ried.data()[1].writable);
+        assert_eq!(ried.data()[0].init.len(), 4096);
+    }
+
+    #[test]
+    fn init_hook_runs_when_invoked() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let ried = RiedBuilder::new("ried_counter")
+            .on_load(Arc::new(move |_name| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            }))
+            .build();
+        assert!(ried.init_hook().is_some());
+        (ried.init_hook().unwrap())(ried.name());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn debug_output_names_exports() {
+        let ried = RiedBuilder::new("r").export_heap("h", 8).build();
+        let dbg = format!("{ried:?}");
+        assert!(dbg.contains("\"h\""));
+    }
+}

@@ -1,0 +1,292 @@
+//! Machine / testbed description.
+//!
+//! [`TestbedConfig`] collects every tunable of the simulated platform in one place.
+//! The default configuration, [`TestbedConfig::cluster2021`], reproduces the paper's
+//! evaluation testbed (§VI-C): a 4-core Arm server with 1 MiB private L2 per core,
+//! 1 MiB L3 shared per 2-core cluster, an 8 MiB shared LLC, DDR4-2666 DRAM, a 2.6 GHz
+//! core clock and a 1.6 GHz interconnect clock, an LLC-stashing-capable PCIe root
+//! complex, and toggleable hardware prefetchers.
+
+use crate::clock::SimTime;
+
+/// Cache line size used throughout the simulator (bytes).
+pub const CACHE_LINE: usize = 64;
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (number of ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+}
+
+impl CacheLevelConfig {
+    /// Create a level description. Panics if the geometry is inconsistent
+    /// (capacity not divisible into whole sets of `ways` lines).
+    pub fn new(capacity: usize, ways: usize, line_size: usize) -> Self {
+        assert!(capacity > 0 && ways > 0 && line_size > 0, "cache geometry must be non-zero");
+        assert!(
+            capacity % (ways * line_size) == 0,
+            "capacity {} not divisible by ways*line {}",
+            capacity,
+            ways * line_size
+        );
+        CacheLevelConfig { capacity, ways, line_size }
+    }
+
+    /// Number of sets in this cache.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line_size)
+    }
+
+    /// Total number of lines this cache can hold.
+    pub fn lines(&self) -> usize {
+        self.capacity / self.line_size
+    }
+}
+
+/// Full cache hierarchy geometry: private L2 per core, L3 per cluster, shared LLC.
+///
+/// The paper's platform has no explicitly described L1 (the evaluation reasons about
+/// L2/L3/LLC/DRAM); we follow the same abstraction. An L1 would only shift constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Private second-level cache, one per core.
+    pub l2: CacheLevelConfig,
+    /// Cluster-shared third-level cache, one per `cores_per_cluster` cores.
+    pub l3: CacheLevelConfig,
+    /// Chip-wide shared last level cache (the stash target).
+    pub llc: CacheLevelConfig,
+    /// Number of cores sharing one L3 slice.
+    pub cores_per_cluster: usize,
+    /// Number of cores in the package.
+    pub num_cores: usize,
+}
+
+/// Latencies charged for hits at each level and for control overheads.
+///
+/// Values are typical for a modern Arm server part at the paper's clock rates; they
+/// are inputs to the model, not measurements, and can be overridden per experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyConfig {
+    /// L2 hit latency.
+    pub l2_hit: SimTime,
+    /// L3 (cluster cache) hit latency.
+    pub l3_hit: SimTime,
+    /// LLC hit latency (includes the interconnect hop).
+    pub llc_hit: SimTime,
+    /// DRAM access latency on an idle memory system (row-buffer mix averaged).
+    pub dram: SimTime,
+    /// Additional cost for a dirty-line write-back that must happen on eviction.
+    pub writeback: SimTime,
+    /// Cost of installing a stashed line into the LLC (paid by the DMA engine, not the core).
+    pub stash_install: SimTime,
+}
+
+/// DRAM device/channel parameters used by the contention model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Peak sustainable bandwidth of the memory system in GiB/s.
+    /// DDR4-2666 single channel peaks at ~21.3 GB/s; the paper's small servers are
+    /// modelled with one loaded channel's worth of realistic sustained bandwidth.
+    pub bandwidth_gib_s: f64,
+    /// Fraction of peak bandwidth consumed by background traffic when the
+    /// memory stressor is active (0.0 = idle machine).
+    pub background_utilization: f64,
+}
+
+/// Hardware prefetcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Master enable (the paper's firmware/kernel toggle).
+    pub enabled: bool,
+    /// Number of consecutive-line misses required before the stream is trained.
+    pub train_threshold: usize,
+    /// Number of lines fetched ahead once trained.
+    pub degree: usize,
+    /// Maximum number of concurrently tracked streams.
+    pub streams: usize,
+}
+
+/// Complete description of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedConfig {
+    /// Core clock frequency in GHz.
+    pub core_freq_ghz: f64,
+    /// On-chip interconnect (mesh/CMN) clock frequency in GHz.
+    pub interconnect_freq_ghz: f64,
+    /// Cache geometry.
+    pub caches: CacheGeometry,
+    /// Latency table.
+    pub latency: LatencyConfig,
+    /// DRAM / memory-system parameters.
+    pub dram: DramConfig,
+    /// Prefetcher parameters.
+    pub prefetch: PrefetchConfig,
+    /// Whether the PCIe root complex stashes inbound DMA traffic into the LLC.
+    pub llc_stashing: bool,
+    /// Main memory capacity in bytes (16 GiB on the paper's servers). Only used for
+    /// sanity checks on simulated address ranges.
+    pub dram_capacity: usize,
+}
+
+impl TestbedConfig {
+    /// The paper's evaluation platform (§VI-C), with stashing and prefetching enabled.
+    pub fn cluster2021() -> Self {
+        TestbedConfig {
+            core_freq_ghz: 2.6,
+            interconnect_freq_ghz: 1.6,
+            caches: CacheGeometry {
+                l2: CacheLevelConfig::new(1 << 20, 8, CACHE_LINE),
+                l3: CacheLevelConfig::new(1 << 20, 16, CACHE_LINE),
+                llc: CacheLevelConfig::new(8 << 20, 16, CACHE_LINE),
+                cores_per_cluster: 2,
+                num_cores: 4,
+            },
+            latency: LatencyConfig {
+                l2_hit: SimTime::from_ns(4),
+                l3_hit: SimTime::from_ns(12),
+                llc_hit: SimTime::from_ns(30),
+                dram: SimTime::from_ns(95),
+                writeback: SimTime::from_ns(8),
+                stash_install: SimTime::from_ns(6),
+            },
+            dram: DramConfig { bandwidth_gib_s: 19.0, background_utilization: 0.0 },
+            prefetch: PrefetchConfig { enabled: true, train_threshold: 3, degree: 8, streams: 16 },
+            llc_stashing: true,
+            dram_capacity: 16 << 30,
+        }
+    }
+
+    /// The same platform with LLC stashing disabled (the paper's "Nonstash" runs).
+    pub fn cluster2021_nonstash() -> Self {
+        let mut c = Self::cluster2021();
+        c.llc_stashing = false;
+        c
+    }
+
+    /// The same platform with the hardware prefetcher disabled.
+    pub fn cluster2021_no_prefetch() -> Self {
+        let mut c = Self::cluster2021();
+        c.prefetch.enabled = false;
+        c
+    }
+
+    /// A deliberately tiny machine used by unit and property tests: small caches make
+    /// evictions and write-backs easy to trigger without touching megabytes of state.
+    pub fn tiny_for_tests() -> Self {
+        TestbedConfig {
+            core_freq_ghz: 1.0,
+            interconnect_freq_ghz: 1.0,
+            caches: CacheGeometry {
+                l2: CacheLevelConfig::new(4 * 1024, 2, CACHE_LINE),
+                l3: CacheLevelConfig::new(8 * 1024, 2, CACHE_LINE),
+                llc: CacheLevelConfig::new(16 * 1024, 4, CACHE_LINE),
+                cores_per_cluster: 2,
+                num_cores: 4,
+            },
+            latency: LatencyConfig {
+                l2_hit: SimTime::from_ns(2),
+                l3_hit: SimTime::from_ns(6),
+                llc_hit: SimTime::from_ns(20),
+                dram: SimTime::from_ns(100),
+                writeback: SimTime::from_ns(5),
+                stash_install: SimTime::from_ns(3),
+            },
+            dram: DramConfig { bandwidth_gib_s: 10.0, background_utilization: 0.0 },
+            prefetch: PrefetchConfig { enabled: false, train_threshold: 2, degree: 4, streams: 4 },
+            llc_stashing: true,
+            dram_capacity: 1 << 30,
+        }
+    }
+
+    /// Duration of one core clock cycle.
+    pub fn core_cycle(&self) -> SimTime {
+        SimTime::from_cycles(1, self.core_freq_ghz)
+    }
+
+    /// Duration of one interconnect clock cycle.
+    pub fn interconnect_cycle(&self) -> SimTime {
+        SimTime::from_cycles(1, self.interconnect_freq_ghz)
+    }
+
+    /// Which cluster a core belongs to.
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core / self.caches.cores_per_cluster
+    }
+
+    /// Number of L3 cluster slices on the chip.
+    pub fn num_clusters(&self) -> usize {
+        (self.caches.num_cores + self.caches.cores_per_cluster - 1) / self.caches.cores_per_cluster
+    }
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self::cluster2021()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_geometry_matches_section_vi_c() {
+        let c = TestbedConfig::cluster2021();
+        assert_eq!(c.caches.l2.capacity, 1 << 20);
+        assert_eq!(c.caches.l3.capacity, 1 << 20);
+        assert_eq!(c.caches.llc.capacity, 8 << 20);
+        assert_eq!(c.caches.num_cores, 4);
+        assert_eq!(c.caches.cores_per_cluster, 2);
+        assert_eq!(c.core_freq_ghz, 2.6);
+        assert_eq!(c.interconnect_freq_ghz, 1.6);
+        assert!(c.llc_stashing);
+        assert!(c.prefetch.enabled);
+        assert_eq!(c.dram_capacity, 16 << 30);
+    }
+
+    #[test]
+    fn level_config_derives_sets_and_lines() {
+        let l = CacheLevelConfig::new(8 << 20, 16, 64);
+        assert_eq!(l.lines(), (8 << 20) / 64);
+        assert_eq!(l.sets(), (8 << 20) / (16 * 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_is_rejected() {
+        let _ = CacheLevelConfig::new(1000, 3, 64);
+    }
+
+    #[test]
+    fn variant_configs_flip_single_knobs() {
+        assert!(!TestbedConfig::cluster2021_nonstash().llc_stashing);
+        assert!(!TestbedConfig::cluster2021_no_prefetch().prefetch.enabled);
+        // and they leave everything else alone
+        assert_eq!(
+            TestbedConfig::cluster2021_nonstash().caches,
+            TestbedConfig::cluster2021().caches
+        );
+    }
+
+    #[test]
+    fn cluster_mapping() {
+        let c = TestbedConfig::cluster2021();
+        assert_eq!(c.cluster_of(0), 0);
+        assert_eq!(c.cluster_of(1), 0);
+        assert_eq!(c.cluster_of(2), 1);
+        assert_eq!(c.cluster_of(3), 1);
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn cycle_durations_follow_clock_domains() {
+        let c = TestbedConfig::cluster2021();
+        assert!(c.core_cycle() < c.interconnect_cycle());
+        assert!((c.core_cycle().as_ns() - 1.0 / 2.6).abs() < 1e-3);
+    }
+}

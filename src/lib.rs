@@ -1,0 +1,13 @@
+//! Workspace-level facade crate for the Two-Chains reproduction.
+//!
+//! This crate exists so that the repository root can host runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`) that exercise the
+//! public APIs of every member crate together. It re-exports the member crates
+//! under short names for convenience.
+
+pub use twochains;
+pub use twochains_bench as bench;
+pub use twochains_fabric as fabric;
+pub use twochains_jamvm as jamvm;
+pub use twochains_linker as linker;
+pub use twochains_memsim as memsim;

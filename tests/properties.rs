@@ -1,0 +1,172 @@
+//! Property-based tests over the core data structures and invariants, spanning the
+//! member crates.
+
+use proptest::prelude::*;
+
+use two_chains_suite::jamvm::{
+    decode_program, encode_program, verify, AddressSpace, Assembler, ExternTable, GotImage,
+    Instr, Reg, Segment, SegmentKind, Vm, VmConfig,
+};
+use two_chains_suite::linker::{JamObject, SymbolRef};
+use two_chains_suite::memsim::cycles::{WaitMode, WaitModel};
+use two_chains_suite::memsim::{AccessKind, CacheHierarchy, MemoryBus, SimTime, TestbedConfig};
+use twochains::frame::Frame;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..16, any::<u64>()).prop_map(|(r, imm)| Instr::LoadImm { dst: Reg(r), imm }),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Mov { dst: Reg(d), src: Reg(s) }),
+        (0u8..16, 0u8..16, 0u8..16).prop_map(|(d, a, b)| Instr::Alu {
+            op: two_chains_suite::jamvm::isa::AluOp::Add,
+            dst: Reg(d),
+            a: Reg(a),
+            b: Reg(b)
+        }),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Hash { dst: Reg(d), src: Reg(s) }),
+        (0u16..4, 0u8..4).prop_map(|(slot, nargs)| Instr::CallExtern { slot, nargs }),
+        Just(Instr::Nop),
+        Just(Instr::Ret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any instruction sequence survives encode -> decode unchanged.
+    #[test]
+    fn bytecode_roundtrips(program in prop::collection::vec(arb_instr(), 0..200)) {
+        let bytes = encode_program(&program);
+        let decoded = decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(decoded, program);
+    }
+
+    /// Frames survive encode -> decode for arbitrary section contents.
+    #[test]
+    fn frames_roundtrip(
+        sn in any::<u32>(),
+        elem in any::<u32>(),
+        got in prop::collection::vec(any::<u8>(), 0..64),
+        code in prop::collection::vec(any::<u8>(), 0..512),
+        args in prop::collection::vec(any::<u8>(), 0..64),
+        usr in prop::collection::vec(any::<u8>(), 0..1024),
+        injected in any::<bool>(),
+    ) {
+        let frame = if injected {
+            Frame::injected(sn, elem, got, code, args, usr)
+        } else {
+            Frame::local(sn, elem, args, usr)
+        };
+        let decoded = Frame::decode(&frame.encode()).expect("frame decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Verified straight-line programs always terminate and never fault the host.
+    #[test]
+    fn verified_programs_execute_safely(program in prop::collection::vec(arb_instr(), 1..100)) {
+        let mut program = program;
+        program.push(Instr::Ret);
+        // Give it a GOT large enough for any slot the generator can produce, with
+        // every slot bound to a trivial extern.
+        let mut externs = ExternTable::new();
+        let idx = externs.register("id", std::sync::Arc::new(|_ctx, args| Ok(args.first().copied().unwrap_or(0))));
+        let mut got = GotImage::with_slots(4);
+        for s in 0..4 {
+            got.set(s, two_chains_suite::jamvm::ExternRef::Resolved(idx));
+        }
+        prop_assert!(verify(&program, got.len()).is_ok());
+        let mut space = AddressSpace::new();
+        let mut bus = two_chains_suite::memsim::hierarchy::FlatMemory::free();
+        let cfg = VmConfig { fuel: 100_000, ..VmConfig::default() };
+        let result = Vm::execute(&program, &got, &externs, &mut space, &mut bus, &cfg);
+        prop_assert!(result.is_ok(), "execution failed: {:?}", result);
+    }
+
+    /// Jam objects survive serialization for arbitrary rodata / args sizes.
+    #[test]
+    fn jam_objects_roundtrip(
+        rodata in prop::collection::vec(any::<u8>(), 0..256),
+        args_size in 0usize..256,
+        pad in 0usize..64,
+    ) {
+        let mut a = Assembler::new();
+        a.load_imm(Reg(0), 7).call_extern(0, 1);
+        for _ in 0..pad {
+            a.nop();
+        }
+        a.ret();
+        let obj = JamObject::from_program(
+            "jam_prop",
+            &a.finish().unwrap(),
+            rodata,
+            vec![SymbolRef::func("f")],
+            args_size,
+        )
+        .unwrap();
+        let back = JamObject::from_bytes(&obj.to_bytes()).unwrap();
+        prop_assert_eq!(back, obj);
+    }
+
+    /// The Server-Side Sum jam computes the same sum the host computes, for any
+    /// payload, via the full runtime path.
+    #[test]
+    fn server_side_sum_matches_host_sum(values in prop::collection::vec(any::<u32>(), 1..64)) {
+        use two_chains_suite::fabric::SimFabric;
+        use twochains::builtin::{benchmark_package, ssum_args, BuiltinJam};
+        use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+
+        let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+        let mut rx = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
+        rx.install_package(benchmark_package().unwrap()).unwrap();
+        let mut tx = TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        tx.set_remote_got(id, &rx.export_got(id).unwrap());
+        let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(values.len() as u32), payload)
+            .unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let sent = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(0, 0, Some(frame.wire_size()), sent.delivered(), SimTime::ZERO)
+            .unwrap();
+        let expected: u64 = values.iter().map(|&v| v as u64).sum::<u64>() & u64::MAX;
+        // The jam accumulates in 64-bit registers from zero-extended 32-bit loads.
+        prop_assert_eq!(out.result, expected);
+    }
+
+    /// Cache hierarchy invariant: a second access to the same address is never more
+    /// expensive than the first, whatever the address pattern.
+    #[test]
+    fn caches_never_make_repeat_accesses_slower(addrs in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut h = CacheHierarchy::new(TestbedConfig::tiny_for_tests());
+        for &addr in &addrs {
+            let first = h.access(0, addr, 8, AccessKind::Read);
+            let second = h.access(0, addr, 8, AccessKind::Read);
+            prop_assert!(second <= first, "addr {addr}: {second} > {first}");
+        }
+    }
+
+    /// Wait-model invariant: WFE never burns more cycles than polling, and its
+    /// latency penalty is bounded by the wake-up cost.
+    #[test]
+    fn wfe_dominates_polling_in_cycles(wait_ns in 0u64..1_000_000) {
+        let m = WaitModel::cluster2021();
+        let wait = SimTime::from_ns(wait_ns);
+        let poll = m.wait(WaitMode::Polling, wait);
+        let wfe = m.wait(WaitMode::Wfe, wait);
+        prop_assert!(wfe.cycles <= poll.cycles + m.wfe_overhead_cycles + m.wfe_recheck_cycles);
+        prop_assert!(wfe.elapsed <= poll.elapsed + m.wfe_wake_latency + m.poll_interval);
+    }
+
+    /// Address-space isolation: writes through one segment never alter another.
+    #[test]
+    fn segments_are_isolated(data in prop::collection::vec(any::<u8>(), 1..128), offset in 0usize..64) {
+        let mut space = AddressSpace::new();
+        space.map(Segment::new("a", 0x1000, vec![0xAA; 256], true, SegmentKind::Heap)).unwrap();
+        space.map(Segment::new("b", 0x2000, vec![0xBB; 256], true, SegmentKind::Heap)).unwrap();
+        let len = data.len().min(256 - offset);
+        space.write(0x1000 + offset as u64, &data[..len]).unwrap();
+        let b = space.segment("b").unwrap();
+        prop_assert!(b.data.iter().all(|&x| x == 0xBB));
+    }
+}
