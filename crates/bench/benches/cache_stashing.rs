@@ -13,12 +13,27 @@ fn bench_cache_stashing(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     for &n in &[8usize, 256, 4096] {
         group.bench_with_input(BenchmarkId::new("stash", n), &n, |b, &n| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
-            b.iter(|| pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3).median_us());
+            let mut pp = PingPong::new(TestbedOptions {
+                warmup: 2,
+                ..Default::default()
+            });
+            b.iter(|| {
+                pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3)
+                    .median_us()
+            });
         });
         group.bench_with_input(BenchmarkId::new("nonstash", n), &n, |b, &n| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.nonstash());
-            b.iter(|| pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3).median_us());
+            let mut pp = PingPong::new(
+                TestbedOptions {
+                    warmup: 2,
+                    ..Default::default()
+                }
+                .nonstash(),
+            );
+            b.iter(|| {
+                pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 3)
+                    .median_us()
+            });
         });
     }
     group.finish();

@@ -6,6 +6,25 @@ use twochains::builtin::BuiltinJam;
 use twochains::InvocationMode;
 use twochains_bench::harness::{PingPong, TestbedOptions};
 
+/// Cold-vs-warm injected dispatch: the fast-path caches hit on every message in the
+/// warm regime and are invalidated before every message in the cold regime.
+fn bench_fastpath_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath_cold_vs_warm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    // One benchmark runs both regimes (compare() measures cold and warm over the
+    // same testbed); the per-regime modelled numbers live in BENCH_fastpath.json.
+    let n = 20usize;
+    group.bench_with_input(BenchmarkId::new("compare", n), &n, |b, &n| {
+        b.iter(|| {
+            let r = twochains_bench::fastpath::compare(n);
+            (r.cold.dispatch_ns, r.warm.dispatch_ns)
+        });
+    });
+    group.finish();
+}
+
 fn bench_invocation_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_8_invocation_modes");
     group.sample_size(10);
@@ -18,7 +37,10 @@ fn bench_invocation_modes(c: &mut Criterion) {
                 InvocationMode::Injected => "injected",
             };
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
+                let mut pp = PingPong::new(TestbedOptions {
+                    warmup: 2,
+                    ..Default::default()
+                });
                 b.iter(|| pp.run(BuiltinJam::IndirectPut, mode, n, 3).median_us());
             });
         }
@@ -26,5 +48,5 @@ fn bench_invocation_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_invocation_modes);
+criterion_group!(benches, bench_invocation_modes, bench_fastpath_cold_vs_warm);
 criterion_main!(benches);

@@ -18,11 +18,24 @@ fn bench_put_overhead(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ucx_data_put", size), &size, |b, &size| {
             b.iter(|| baseline.put_latency(size));
         });
-        group.bench_with_input(BenchmarkId::new("am_put_no_exec", size), &size, |b, &size| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.without_execution());
-            let n = (size - 60) / 4;
-            b.iter(|| pp.run(BuiltinJam::ServerSideSum, InvocationMode::Local, n, 3).median_us());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("am_put_no_exec", size),
+            &size,
+            |b, &size| {
+                let mut pp = PingPong::new(
+                    TestbedOptions {
+                        warmup: 2,
+                        ..Default::default()
+                    }
+                    .without_execution(),
+                );
+                let n = (size - 60) / 4;
+                b.iter(|| {
+                    pp.run(BuiltinJam::ServerSideSum, InvocationMode::Local, n, 3)
+                        .median_us()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -12,14 +12,23 @@ fn bench_spin_polling(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     for &n in &[16usize, 512] {
         group.bench_with_input(BenchmarkId::new("polling", n), &n, |b, &n| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() });
+            let mut pp = PingPong::new(TestbedOptions {
+                warmup: 2,
+                ..Default::default()
+            });
             b.iter(|| {
                 let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 5);
                 r.receiver_cycles.total()
             });
         });
         group.bench_with_input(BenchmarkId::new("wfe", n), &n, |b, &n| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.wfe());
+            let mut pp = PingPong::new(
+                TestbedOptions {
+                    warmup: 2,
+                    ..Default::default()
+                }
+                .wfe(),
+            );
             b.iter(|| {
                 let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 5);
                 r.receiver_cycles.total()

@@ -14,15 +14,27 @@ fn bench_tail_latency(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
     for &n in &[16usize, 256] {
         group.bench_with_input(BenchmarkId::new("stash_loaded", n), &n, |b, &n| {
-            let mut pp = PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.stressed(7));
+            let mut pp = PingPong::new(
+                TestbedOptions {
+                    warmup: 2,
+                    ..Default::default()
+                }
+                .stressed(7),
+            );
             b.iter(|| {
                 let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 50);
                 summarize(&r.latencies).p999_us
             });
         });
         group.bench_with_input(BenchmarkId::new("nonstash_loaded", n), &n, |b, &n| {
-            let mut pp =
-                PingPong::new(TestbedOptions { warmup: 2, ..Default::default() }.nonstash().stressed(8));
+            let mut pp = PingPong::new(
+                TestbedOptions {
+                    warmup: 2,
+                    ..Default::default()
+                }
+                .nonstash()
+                .stressed(8),
+            );
             b.iter(|| {
                 let r = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, n, 50);
                 summarize(&r.latencies).p999_us

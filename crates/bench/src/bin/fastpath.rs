@@ -1,0 +1,40 @@
+//! Emit the cold-vs-warm fast-path comparison as `BENCH_fastpath.json`.
+//!
+//! ```text
+//! cargo run --release -p twochains-bench --bin fastpath            # 1000 messages
+//! cargo run --release -p twochains-bench --bin fastpath -- 200     # custom count
+//! cargo run --release -p twochains-bench --bin fastpath -- 200 out.json
+//! ```
+
+use twochains_bench::fastpath::compare;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let messages: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fastpath.json".to_string());
+
+    let report = compare(messages);
+    let json = report.to_json();
+    print!("{json}");
+    eprintln!(
+        "fastpath: cold {:.0} ns vs warm {:.0} ns dispatch ({:.2}x model, {:.2}x wall) over {} messages",
+        report.cold.dispatch_ns,
+        report.warm.dispatch_ns,
+        report.dispatch_speedup(),
+        report.wall_speedup(),
+        report.messages,
+    );
+    if report.dispatch_speedup() < 2.0 {
+        eprintln!("WARNING: warm path is less than 2x faster than cold — fast-path regression?");
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

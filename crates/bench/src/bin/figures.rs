@@ -15,7 +15,9 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--list") {
-        for id in ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"] {
+        for id in [
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        ] {
             println!("{id}");
         }
         return;

@@ -61,8 +61,9 @@ impl FigureData {
 /// Message sizes (bytes) swept by the Server-Side Sum figures (5, 6, 12, 14).
 pub const SSUM_SIZES: [usize; 8] = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
 /// Put counts (integers) swept by the Indirect Put figures (7–11, 13).
-pub const IPUT_COUNTS: [usize; 15] =
-    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+pub const IPUT_COUNTS: [usize; 15] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+];
 
 fn iters_for(n_ints: usize, base: usize) -> usize {
     (base * 16 / (n_ints.max(1))).clamp(12, base)
@@ -238,11 +239,7 @@ pub fn fig10() -> FigureData {
     }
 }
 
-fn tail_rows(
-    jam: BuiltinJam,
-    points: &[(String, usize)],
-    samples: usize,
-) -> Vec<Vec<String>> {
+fn tail_rows(jam: BuiltinJam, points: &[(String, usize)], samples: usize) -> Vec<Vec<String>> {
     let mut stash = PingPong::new(TestbedOptions::default().stressed(101));
     let mut nonstash = PingPong::new(TestbedOptions::default().nonstash().stressed(202));
     points
@@ -268,8 +265,10 @@ fn tail_rows(
 /// Fig. 11: Indirect Put latency on a fully loaded system, Stash vs Nonstash
 /// (median, 99.9th percentile, tail-latency spread).
 pub fn fig11() -> FigureData {
-    let points: Vec<(String, usize)> =
-        [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024].iter().map(|&n| (n.to_string(), n)).collect();
+    let points: Vec<(String, usize)> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .iter()
+        .map(|&n| (n.to_string(), n))
+        .collect();
     FigureData {
         id: "fig11",
         title: "Indirect Put: latency on a fully loaded system (Stash vs Nonstash)",
@@ -331,12 +330,21 @@ fn wfe_rows(jam: BuiltinJam, points: &[(String, usize)], iters: usize) -> Vec<Ve
 
 /// Fig. 13: Indirect Put latency and receiver CPU cycles, Polling vs WFE.
 pub fn fig13() -> FigureData {
-    let points: Vec<(String, usize)> =
-        [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024].iter().map(|&n| (n.to_string(), n)).collect();
+    let points: Vec<(String, usize)> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .iter()
+        .map(|&n| (n.to_string(), n))
+        .collect();
     FigureData {
         id: "fig13",
         title: "Indirect Put: effect of WFE on latency and CPU cycle count",
-        headers: vec!["ints", "Polling (us)", "WFE (us)", "Polling cycles", "WFE cycles", "cycle reduction"],
+        headers: vec![
+            "ints",
+            "Polling (us)",
+            "WFE (us)",
+            "Polling cycles",
+            "WFE cycles",
+            "cycle reduction",
+        ],
         rows: wfe_rows(BuiltinJam::IndirectPut, &points, 400),
     }
 }
@@ -350,14 +358,23 @@ pub fn fig14() -> FigureData {
     FigureData {
         id: "fig14",
         title: "Server-Side Sum: effect of WFE on latency and CPU cycle count",
-        headers: vec!["size", "Polling (us)", "WFE (us)", "Polling cycles", "WFE cycles", "cycle reduction"],
+        headers: vec![
+            "size",
+            "Polling (us)",
+            "WFE (us)",
+            "Polling cycles",
+            "WFE cycles",
+            "cycle reduction",
+        ],
         rows: wfe_rows(BuiltinJam::ServerSideSum, &points, 300),
     }
 }
 
 /// Every figure in order.
 pub fn all_figures() -> Vec<fn() -> FigureData> {
-    vec![fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14]
+    vec![
+        fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+    ]
 }
 
 /// Look a figure generator up by id (`"fig5"` … `"fig14"`).

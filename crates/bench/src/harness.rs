@@ -71,7 +71,9 @@ impl TestbedOptions {
 }
 
 fn payload(n_ints: usize) -> Vec<u8> {
-    (0..n_ints as u32).flat_map(|v| v.wrapping_mul(2654435761).to_le_bytes()).collect()
+    (0..n_ints as u32)
+        .flat_map(|v| v.wrapping_mul(2654435761).to_le_bytes())
+        .collect()
 }
 
 fn args_for(jam: BuiltinJam, n_ints: usize, iteration: u64) -> Vec<u8> {
@@ -119,23 +121,39 @@ impl PingPong {
         let cfg = opts.runtime_config();
         let mut host_a = TwoChainsHost::new(&fabric, a, cfg.clone()).expect("host A");
         let mut host_b = TwoChainsHost::new(&fabric, b, cfg).expect("host B");
-        host_a.install_package(benchmark_package().expect("package")).expect("install A");
-        host_b.install_package(benchmark_package().expect("package")).expect("install B");
+        host_a
+            .install_package(benchmark_package().expect("package"))
+            .expect("install A");
+        host_b
+            .install_package(benchmark_package().expect("package"))
+            .expect("install B");
         host_a.set_stashing(opts.stashing);
         host_b.set_stashing(opts.stashing);
         if let Some(seed) = opts.stressor_seed {
             host_a.set_stressor(Some(MemoryStressor::fully_loaded(seed)));
             host_b.set_stressor(Some(MemoryStressor::fully_loaded(seed ^ 0x5a5a)));
         }
-        let mut sender_ab = TwoChainsSender::new(fabric.endpoint(a, b).expect("ep ab"), benchmark_package().unwrap());
-        let mut sender_ba = TwoChainsSender::new(fabric.endpoint(b, a).expect("ep ba"), benchmark_package().unwrap());
+        let mut sender_ab = TwoChainsSender::new(
+            fabric.endpoint(a, b).expect("ep ab"),
+            benchmark_package().unwrap(),
+        );
+        let mut sender_ba = TwoChainsSender::new(
+            fabric.endpoint(b, a).expect("ep ba"),
+            benchmark_package().unwrap(),
+        );
         for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
             let id_b = host_b.builtin_id(jam).unwrap();
             sender_ab.set_remote_got(id_b, &host_b.export_got(id_b).unwrap());
             let id_a = host_a.builtin_id(jam).unwrap();
             sender_ba.set_remote_got(id_a, &host_a.export_got(id_a).unwrap());
         }
-        PingPong { host_a, host_b, sender_ab, sender_ba, opts }
+        PingPong {
+            host_a,
+            host_b,
+            sender_ab,
+            sender_ba,
+            opts,
+        }
     }
 
     /// Run `iters` measured ping-pongs of `jam` in `mode` with an `n_ints`-integer
@@ -168,7 +186,10 @@ impl PingPong {
                 .pack(elem, mode, args_for(jam, n_ints, i as u64), usr.clone())
                 .expect("pack ping");
             frame_bytes = frame.wire_size();
-            let sent = self.sender_ab.send(start, &frame, &target_b).expect("send ping");
+            let sent = self
+                .sender_ab
+                .send(start, &frame, &target_b)
+                .expect("send ping");
             let out_b = self
                 .host_b
                 .receive(0, 0, Some(frame.wire_size()), sent.delivered(), b_ready)
@@ -180,11 +201,19 @@ impl PingPong {
                 .sender_ba
                 .pack(elem, mode, args_for(jam, n_ints, i as u64), usr.clone())
                 .expect("pack pong");
-            let sent_back =
-                self.sender_ba.send(out_b.handler_done, &pong, &target_a).expect("send pong");
+            let sent_back = self
+                .sender_ba
+                .send(out_b.handler_done, &pong, &target_a)
+                .expect("send pong");
             let out_a = self
                 .host_a
-                .receive(0, 0, Some(pong.wire_size()), sent_back.delivered(), a_ready.max(sent.sender_free()))
+                .receive(
+                    0,
+                    0,
+                    Some(pong.wire_size()),
+                    sent_back.delivered(),
+                    a_ready.max(sent.sender_free()),
+                )
                 .expect("receive pong");
             a_ready = out_a.handler_done;
             clock_a = out_a.handler_done;
@@ -229,18 +258,26 @@ impl InjectionRate {
         let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
         let cfg = opts.runtime_config();
         let mut host_b = TwoChainsHost::new(&fabric, b, cfg).expect("host B");
-        host_b.install_package(benchmark_package().expect("package")).expect("install B");
+        host_b
+            .install_package(benchmark_package().expect("package"))
+            .expect("install B");
         host_b.set_stashing(opts.stashing);
         if let Some(seed) = opts.stressor_seed {
             host_b.set_stressor(Some(MemoryStressor::fully_loaded(seed)));
         }
-        let mut sender_ab =
-            TwoChainsSender::new(fabric.endpoint(a, b).expect("ep"), benchmark_package().unwrap());
+        let mut sender_ab = TwoChainsSender::new(
+            fabric.endpoint(a, b).expect("ep"),
+            benchmark_package().unwrap(),
+        );
         for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
             let id = host_b.builtin_id(jam).unwrap();
             sender_ab.set_remote_got(id, &host_b.export_got(id).unwrap());
         }
-        InjectionRate { host_b, sender_ab, opts }
+        InjectionRate {
+            host_b,
+            sender_ab,
+            opts,
+        }
     }
 
     /// Stream `iters` messages and report the sustained rate.
@@ -273,13 +310,22 @@ impl InjectionRate {
                 .pack(elem, mode, args_for(jam, n_ints, i as u64), usr.clone())
                 .expect("pack");
             frame_bytes = frame.wire_size();
-            let sent = self.sender_ab.send(sender_clock, &frame, &target).expect("send");
+            let sent = self
+                .sender_ab
+                .send(sender_clock, &frame, &target)
+                .expect("send");
             sender_clock = sent.sender_free();
             // The single receiver progress thread drains messages in order; draining
             // a mailbox frees its bank slot, which is the flow-control credit.
             let out = self
                 .host_b
-                .receive(bank, slot, Some(frame.wire_size()), sent.delivered(), receiver_ready)
+                .receive(
+                    bank,
+                    slot,
+                    Some(frame.wire_size()),
+                    sent.delivered(),
+                    receiver_ready,
+                )
                 .expect("receive");
             receiver_ready = out.handler_done;
             if i == self.opts.warmup {
@@ -303,20 +349,32 @@ mod tests {
 
     #[test]
     fn ping_pong_latency_is_microsecond_scale_and_deterministic() {
-        let mut pp = PingPong::new(TestbedOptions { warmup: 5, ..Default::default() });
+        let mut pp = PingPong::new(TestbedOptions {
+            warmup: 5,
+            ..Default::default()
+        });
         let r1 = pp.run(BuiltinJam::ServerSideSum, InvocationMode::Injected, 8, 20);
         assert_eq!(r1.latencies.len(), 20);
         let med = r1.median_us();
-        assert!(med > 0.8 && med < 10.0, "median {med}us should be microsecond scale");
+        assert!(
+            med > 0.8 && med < 10.0,
+            "median {med}us should be microsecond scale"
+        );
         // Determinism: a fresh harness reproduces the same numbers.
-        let mut pp2 = PingPong::new(TestbedOptions { warmup: 5, ..Default::default() });
+        let mut pp2 = PingPong::new(TestbedOptions {
+            warmup: 5,
+            ..Default::default()
+        });
         let r2 = pp2.run(BuiltinJam::ServerSideSum, InvocationMode::Injected, 8, 20);
         assert_eq!(r1.latencies, r2.latencies);
     }
 
     #[test]
     fn injected_is_slower_than_local_for_small_payloads() {
-        let mut pp = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() });
+        let mut pp = PingPong::new(TestbedOptions {
+            warmup: 3,
+            ..Default::default()
+        });
         let local = pp.run(BuiltinJam::IndirectPut, InvocationMode::Local, 1, 10);
         let injected = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 1, 10);
         assert_eq!(local.frame_bytes, 64);
@@ -326,17 +384,33 @@ mod tests {
 
     #[test]
     fn injection_rate_exceeds_latency_bound() {
-        let mut ir = InjectionRate::new(TestbedOptions { warmup: 10, ..Default::default() });
+        let mut ir = InjectionRate::new(TestbedOptions {
+            warmup: 10,
+            ..Default::default()
+        });
         let r = ir.run(BuiltinJam::ServerSideSum, InvocationMode::Local, 16, 100);
         // Pipelined rate must beat 1/latency (which would be ~0.4-0.8 M msg/s).
-        assert!(r.messages_per_sec > 200_000.0, "rate {}", r.messages_per_sec);
+        assert!(
+            r.messages_per_sec > 200_000.0,
+            "rate {}",
+            r.messages_per_sec
+        );
         assert!(r.bandwidth_mib_s > 1.0);
     }
 
     #[test]
     fn stashing_improves_injected_latency() {
-        let mut stash = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() });
-        let mut nostash = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() }.nonstash());
+        let mut stash = PingPong::new(TestbedOptions {
+            warmup: 3,
+            ..Default::default()
+        });
+        let mut nostash = PingPong::new(
+            TestbedOptions {
+                warmup: 3,
+                ..Default::default()
+            }
+            .nonstash(),
+        );
         let s = stash.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8, 10);
         let n = nostash.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8, 10);
         assert!(
@@ -349,8 +423,17 @@ mod tests {
 
     #[test]
     fn wfe_saves_cycles_without_hurting_latency_much() {
-        let mut poll = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() });
-        let mut wfe = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() }.wfe());
+        let mut poll = PingPong::new(TestbedOptions {
+            warmup: 3,
+            ..Default::default()
+        });
+        let mut wfe = PingPong::new(
+            TestbedOptions {
+                warmup: 3,
+                ..Default::default()
+            }
+            .wfe(),
+        );
         let p = poll.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8, 15);
         let w = wfe.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8, 15);
         assert!(w.receiver_cycles.total() < p.receiver_cycles.total());

@@ -19,10 +19,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fastpath;
 pub mod figures;
 pub mod harness;
 pub mod percentile;
 
+pub use fastpath::{compare as fastpath_compare, FastpathReport};
 pub use figures::{all_figures, figure_by_name, FigureData};
 pub use harness::{InjectionRate, PingPong, RateResult, TestbedOptions};
 pub use percentile::{median, percentile, summarize, tail_spread, LatencyStats};

@@ -32,9 +32,19 @@ impl MailboxBank {
         capacity: usize,
     ) -> AmResult<Self> {
         if banks == 0 || per_bank == 0 {
-            return Err(AmError::InvalidConfig("need at least one bank and one mailbox".into()));
+            return Err(AmError::InvalidConfig(
+                "need at least one bank and one mailbox".into(),
+            ));
         }
-        let needed = banks * per_bank * capacity;
+        // checked_mul: adversarial geometry must error instead of wrapping in release.
+        let needed = banks
+            .checked_mul(per_bank)
+            .and_then(|n| n.checked_mul(capacity))
+            .ok_or_else(|| {
+                AmError::InvalidConfig(format!(
+                    "bank geometry overflows: {banks} banks x {per_bank} mailboxes x {capacity} B"
+                ))
+            })?;
         if needed > region.len() {
             return Err(AmError::InvalidConfig(format!(
                 "bank needs {needed} bytes but region has {}",
@@ -43,9 +53,17 @@ impl MailboxBank {
         }
         let mut mailboxes = Vec::with_capacity(banks * per_bank);
         for i in 0..banks * per_bank {
-            mailboxes.push(ReactiveMailbox::new(Arc::clone(&region), i * capacity, capacity)?);
+            mailboxes.push(ReactiveMailbox::new(
+                Arc::clone(&region),
+                i * capacity,
+                capacity,
+            )?);
         }
-        Ok(MailboxBank { mailboxes, banks, per_bank })
+        Ok(MailboxBank {
+            mailboxes,
+            banks,
+            per_bank,
+        })
     }
 
     /// Number of banks.
@@ -66,7 +84,9 @@ impl MailboxBank {
     /// The mailbox at (`bank`, `slot`).
     pub fn mailbox(&self, bank: usize, slot: usize) -> AmResult<&ReactiveMailbox> {
         if bank >= self.banks || slot >= self.per_bank {
-            return Err(AmError::InvalidConfig(format!("no mailbox ({bank}, {slot})")));
+            return Err(AmError::InvalidConfig(format!(
+                "no mailbox ({bank}, {slot})"
+            )));
         }
         Ok(&self.mailboxes[bank * self.per_bank + slot])
     }
@@ -96,12 +116,19 @@ impl BankFlags {
     /// available.
     pub fn new(region: Arc<MemoryRegion>, banks: usize, per_bank: usize) -> AmResult<Self> {
         if region.len() < banks {
-            return Err(AmError::InvalidConfig("flag region smaller than bank count".into()));
+            return Err(AmError::InvalidConfig(
+                "flag region smaller than bank count".into(),
+            ));
         }
         for b in 0..banks {
             region.store_release_u8(b, 1)?;
         }
-        Ok(BankFlags { region, banks, in_flight: vec![0; banks], per_bank })
+        Ok(BankFlags {
+            region,
+            banks,
+            in_flight: vec![0; banks],
+            per_bank,
+        })
     }
 
     /// Descriptor the receiver uses to set flags remotely.
@@ -192,7 +219,10 @@ mod tests {
         }
         // Window exhausted and the receiver has not credited the bank yet.
         assert!(!flags.can_send(0).unwrap());
-        assert!(matches!(flags.record_send(0), Err(AmError::BankFull { bank: 0 })));
+        assert!(matches!(
+            flags.record_send(0),
+            Err(AmError::BankFull { bank: 0 })
+        ));
         // Other banks unaffected.
         assert!(flags.can_send(1).unwrap());
         // Receiver credits the bank (simulated here by a direct flag write, in the
@@ -200,7 +230,10 @@ mod tests {
         r.store_release_u8(flags.flag_offset(0), 1).unwrap();
         assert!(flags.can_send(0).unwrap());
         flags.record_send(0).unwrap();
-        assert!(flags.can_send(0).unwrap(), "new window has credits remaining");
+        assert!(
+            flags.can_send(0).unwrap(),
+            "new window has credits remaining"
+        );
     }
 
     #[test]

@@ -148,7 +148,7 @@ pub fn ried_array() -> Ried {
                     .ok_or("array.base not mapped")?
                     .base;
                 let counter = ctx.read_u64(base)?;
-                let slot = (counter % ARRAY_SLOTS as u64) as u64;
+                let slot = counter % ARRAY_SLOTS as u64;
                 ctx.write_u64(base + 8 + slot * 8, sum)?;
                 ctx.write_u64(base, counter + 1)?;
                 Ok(slot)
@@ -172,9 +172,15 @@ pub fn ried_table() -> Ried {
                     return Err("table.probe needs (key, count, elem_size)".into());
                 }
                 let (key, count, elem_size) = (args[0], args[1], args[2]);
-                let buckets_base =
-                    ctx.space.segment("table.buckets").ok_or("table.buckets not mapped")?.base;
-                let data_seg = ctx.space.segment("table.data").ok_or("table.data not mapped")?;
+                let buckets_base = ctx
+                    .space
+                    .segment("table.buckets")
+                    .ok_or("table.buckets not mapped")?
+                    .base;
+                let data_seg = ctx
+                    .space
+                    .segment("table.data")
+                    .ok_or("table.data not mapped")?;
                 let data_base = data_seg.base;
                 let data_len = data_seg.data.len() as u64;
                 let bytes_needed = count.saturating_mul(elem_size).max(1);
@@ -221,14 +227,20 @@ pub fn benchmark_rieds() -> Vec<Ried> {
 /// Build the benchmark package (rieds + both jams, with the paper's shipped-code
 /// footprints).
 pub fn benchmark_package() -> AmResult<Package> {
-    let ssum = JamDefinition::new(BuiltinJam::ServerSideSum.element_name(), server_side_sum_program())
-        .with_got(vec![SymbolRef::func("array.append")])
-        .with_args_size(ARGS_SIZE)
-        .padded_to(SERVER_SIDE_SUM_SHIPPED_BYTES - 8);
-    let iput = JamDefinition::new(BuiltinJam::IndirectPut.element_name(), indirect_put_program())
-        .with_got(vec![SymbolRef::func("table.probe")])
-        .with_args_size(ARGS_SIZE)
-        .padded_to(INDIRECT_PUT_SHIPPED_BYTES - 8);
+    let ssum = JamDefinition::new(
+        BuiltinJam::ServerSideSum.element_name(),
+        server_side_sum_program(),
+    )
+    .with_got(vec![SymbolRef::func("array.append")])
+    .with_args_size(ARGS_SIZE)
+    .padded_to(SERVER_SIDE_SUM_SHIPPED_BYTES - 8);
+    let iput = JamDefinition::new(
+        BuiltinJam::IndirectPut.element_name(),
+        indirect_put_program(),
+    )
+    .with_got(vec![SymbolRef::func("table.probe")])
+    .with_args_size(ARGS_SIZE)
+    .padded_to(INDIRECT_PUT_SHIPPED_BYTES - 8);
     PackageBuilder::new("twochains_benchmarks")
         .ried(ried_array())
         .ried(ried_table())
@@ -260,10 +272,20 @@ mod tests {
     #[test]
     fn package_builds_with_paper_code_footprints() {
         let pkg = benchmark_package().unwrap();
-        let iput = pkg.jam(pkg.id_of(BuiltinJam::IndirectPut.element_name()).unwrap()).unwrap();
-        assert_eq!(iput.code_size() + iput.got_size(), INDIRECT_PUT_SHIPPED_BYTES);
-        let ssum = pkg.jam(pkg.id_of(BuiltinJam::ServerSideSum.element_name()).unwrap()).unwrap();
-        assert_eq!(ssum.code_size() + ssum.got_size(), SERVER_SIDE_SUM_SHIPPED_BYTES);
+        let iput = pkg
+            .jam(pkg.id_of(BuiltinJam::IndirectPut.element_name()).unwrap())
+            .unwrap();
+        assert_eq!(
+            iput.code_size() + iput.got_size(),
+            INDIRECT_PUT_SHIPPED_BYTES
+        );
+        let ssum = pkg
+            .jam(pkg.id_of(BuiltinJam::ServerSideSum.element_name()).unwrap())
+            .unwrap();
+        assert_eq!(
+            ssum.code_size() + ssum.got_size(),
+            SERVER_SIDE_SUM_SHIPPED_BYTES
+        );
         assert_eq!(pkg.rieds().count(), 2);
     }
 
@@ -281,30 +303,33 @@ mod tests {
         let args_base = 0x9000_0000u64;
         let usr_base = 0x9000_1000u64;
         let usr_len = usr.len();
-        space.map(Segment::new("msg.args", args_base, args, false, SegmentKind::Args)).unwrap();
-        space.map(Segment::new("msg.usr", usr_base, usr, false, SegmentKind::Payload)).unwrap();
+        space
+            .map(Segment::new(
+                "msg.args",
+                args_base,
+                args,
+                false,
+                SegmentKind::Args,
+            ))
+            .unwrap();
+        space
+            .map(Segment::new(
+                "msg.usr",
+                usr_base,
+                usr,
+                false,
+                SegmentKind::Payload,
+            ))
+            .unwrap();
         let program = obj.program().unwrap();
         let mut bus = FlatMemory::free();
-        // Entry convention: r0=args, r1=usr, r2=usr_len — established by a tiny prologue.
-        let mut full = vec![
-            twochains_jamvm::Instr::LoadImm { dst: Reg(0), imm: args_base },
-            twochains_jamvm::Instr::LoadImm { dst: Reg(1), imm: usr_base },
-            twochains_jamvm::Instr::LoadImm { dst: Reg(2), imm: usr_len as u64 },
-        ];
-        // Shift branch targets by the prologue length.
-        for i in &program {
-            full.push(match *i {
-                twochains_jamvm::Instr::Jump { target } => {
-                    twochains_jamvm::Instr::Jump { target: target + 3 }
-                }
-                twochains_jamvm::Instr::Branch { cond, a, b, target } => {
-                    twochains_jamvm::Instr::Branch { cond, a, b, target: target + 3 }
-                }
-                other => other,
-            });
-        }
-        let stats = Vm::execute(&full, &got, ns.externs(), space, &mut bus, &VmConfig::default())
-            .unwrap();
+        // Entry convention: r0=args, r1=usr, r2=usr_len — seeded through the config
+        // so the program runs as-is (no prologue, no branch-target rewrite).
+        let cfg = VmConfig {
+            entry_regs: [args_base, usr_base, usr_len as u64],
+            ..VmConfig::default()
+        };
+        let stats = Vm::execute(&program, &got, ns.externs(), space, &mut bus, &cfg).unwrap();
         space.unmap("msg.args");
         space.unmap("msg.usr");
         stats.result
@@ -314,7 +339,13 @@ mod tests {
     fn server_side_sum_accumulates_and_appends() {
         let (ns, mut space) = namespace_and_space();
         let payload: Vec<u8> = (1u32..=8).flat_map(|v| v.to_le_bytes()).collect();
-        let r = run_jam(BuiltinJam::ServerSideSum, ssum_args(8), payload, &ns, &mut space);
+        let r = run_jam(
+            BuiltinJam::ServerSideSum,
+            ssum_args(8),
+            payload,
+            &ns,
+            &mut space,
+        );
         assert_eq!(r, 36);
         // The result landed in the server-side array.
         let base = ns.data_addr("array.base").unwrap();
@@ -324,7 +355,13 @@ mod tests {
         assert_eq!(slot0, 36);
         // A second message appends at the next slot.
         let payload: Vec<u8> = (1u32..=4).flat_map(|v| v.to_le_bytes()).collect();
-        run_jam(BuiltinJam::ServerSideSum, ssum_args(4), payload, &ns, &mut space);
+        run_jam(
+            BuiltinJam::ServerSideSum,
+            ssum_args(4),
+            payload,
+            &ns,
+            &mut space,
+        );
         let slot1 = u64::from_le_bytes(space.read(base + 16, 8).unwrap().try_into().unwrap());
         assert_eq!(slot1, 10);
     }
@@ -375,8 +412,18 @@ mod tests {
         }
         let mut bus = FlatMemory::free();
         let table = ried_table();
-        let probe = &table.functions().iter().find(|(n, _)| n == "table.probe").unwrap().1;
-        let mut ctx = ExternCtx { space: &mut space, bus: &mut bus, core: 0, elapsed: SimTime::ZERO };
+        let probe = &table
+            .functions()
+            .iter()
+            .find(|(n, _)| n == "table.probe")
+            .unwrap()
+            .1;
+        let mut ctx = ExternCtx {
+            space: &mut space,
+            bus: &mut bus,
+            core: 0,
+            elapsed: SimTime::ZERO,
+        };
         let a = probe(&mut ctx, &[k1, 4, 4]).unwrap();
         let b = probe(&mut ctx, &[k2, 4, 4]).unwrap();
         assert_ne!(a, b, "colliding keys get distinct storage");
@@ -401,6 +448,8 @@ mod tests {
         assert_eq!(BuiltinJam::IndirectPut.shipped_code_bytes(), 1408);
         assert_eq!(BuiltinJam::ServerSideSum.shipped_code_bytes(), 256);
         assert_eq!(BuiltinJam::IndirectPut.label(), "Indirect Put");
-        assert!(BuiltinJam::ServerSideSum.element_name().contains("server_side_sum"));
+        assert!(BuiltinJam::ServerSideSum
+            .element_name()
+            .contains("server_side_sum"));
     }
 }

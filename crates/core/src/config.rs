@@ -127,8 +127,15 @@ mod tests {
 
     #[test]
     fn builders_flip_knobs() {
-        assert_eq!(RuntimeConfig::paper_default().with_wfe().wait_mode, WaitMode::Wfe);
-        assert!(RuntimeConfig::paper_default().without_execution().skip_execution);
+        assert_eq!(
+            RuntimeConfig::paper_default().with_wfe().wait_mode,
+            WaitMode::Wfe
+        );
+        assert!(
+            RuntimeConfig::paper_default()
+                .without_execution()
+                .skip_execution
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for AmError {
             AmError::Fabric(m) => write!(f, "fabric error: {m}"),
             AmError::Link(m) => write!(f, "link error: {m}"),
             AmError::FrameTooLarge { needed, capacity } => {
-                write!(f, "frame of {needed} bytes exceeds mailbox capacity {capacity}")
+                write!(
+                    f,
+                    "frame of {needed} bytes exceeds mailbox capacity {capacity}"
+                )
             }
             AmError::BadFrame(m) => write!(f, "malformed frame: {m}"),
             AmError::Exec(m) => write!(f, "execution failed: {m}"),
@@ -89,7 +92,12 @@ mod tests {
         assert!(e.to_string().contains("unresolved"));
         let e: AmError = twochains_jamvm::ExecError::FuelExhausted.into();
         assert!(e.to_string().contains("budget"));
-        assert!(AmError::FrameTooLarge { needed: 100, capacity: 64 }.to_string().contains("100"));
+        assert!(AmError::FrameTooLarge {
+            needed: 100,
+            capacity: 64
+        }
+        .to_string()
+        .contains("100"));
         assert!(AmError::UnknownElement(7).to_string().contains('7'));
         assert!(AmError::BankFull { bank: 2 }.to_string().contains("bank 2"));
     }

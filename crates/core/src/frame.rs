@@ -150,35 +150,142 @@ impl Frame {
 
     /// Encode the frame into wire bytes, ending with `SIG_MAG`.
     pub fn encode(&self) -> Vec<u8> {
-        let h = &self.header;
         let mut out = Vec::with_capacity(self.wire_size());
-        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-        out.extend_from_slice(&h.sn.to_le_bytes());
-        out.extend_from_slice(&h.frame_len.to_le_bytes());
-        out.extend_from_slice(&h.elem_id.to_le_bytes());
-        out.extend_from_slice(&(h.injected as u16).to_le_bytes());
-        out.extend_from_slice(&h.got_len.to_le_bytes());
-        out.extend_from_slice(&h.code_len.to_le_bytes());
-        out.extend_from_slice(&h.args_len.to_le_bytes());
-        out.extend_from_slice(&h.usr_len.to_le_bytes());
-        out.extend_from_slice(&[0u8; 5]);
-        out.push(HDR_MAG);
-        debug_assert_eq!(out.len(), FRAME_HEADER_SIZE);
-        out.extend_from_slice(&self.got);
-        out.extend_from_slice(&self.code);
-        out.extend_from_slice(&self.args);
-        out.extend_from_slice(&self.usr);
-        // Trailer: low 3 bytes of the sequence number, then the signal magic.
-        out.extend_from_slice(&h.sn.to_le_bytes()[..3]);
-        out.push(SIG_MAG);
-        debug_assert_eq!(out.len(), self.wire_size());
+        self.encode_into(&mut out);
         out
     }
 
-    /// Decode wire bytes back into a frame, validating magics and lengths.
+    /// Encode the frame into `out` (cleared first), reusing its capacity. This is the
+    /// steady-state path: a sender that keeps one scratch buffer alive performs zero
+    /// heap allocations per send once the buffer has grown to the frame size.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_wire_into(
+            self.header.sn,
+            self.header.elem_id,
+            self.header.injected,
+            &self.got,
+            &self.code,
+            &self.args,
+            &self.usr,
+            out,
+        );
+        debug_assert_eq!(out.len(), self.wire_size());
+    }
+
+    /// Decode wire bytes back into an owned frame, validating magics and lengths.
     pub fn decode(bytes: &[u8]) -> AmResult<Frame> {
+        Ok(FrameView::parse(bytes)?.to_frame())
+    }
+}
+
+/// Validate that section lengths fit the wire header's fixed-width fields (GOT and
+/// ARGS ride in `u16` fields, code and USR in `u32`). The sender calls this before
+/// encoding so an oversized section is a sender-side error instead of a silently
+/// truncated header the receiver would misattribute to a malformed wire frame.
+pub(crate) fn validate_section_lens(
+    got: &[u8],
+    code: &[u8],
+    args: &[u8],
+    usr: &[u8],
+) -> AmResult<()> {
+    if got.len() > u16::MAX as usize {
+        return Err(AmError::BadFrame(format!(
+            "GOT image of {} bytes exceeds the u16 wire field",
+            got.len()
+        )));
+    }
+    if args.len() > u16::MAX as usize {
+        return Err(AmError::BadFrame(format!(
+            "ARGS block of {} bytes exceeds the u16 wire field",
+            args.len()
+        )));
+    }
+    if code.len() > u32::MAX as usize {
+        return Err(AmError::BadFrame(format!(
+            "code section of {} bytes exceeds the u32 wire field",
+            code.len()
+        )));
+    }
+    if usr.len() > u32::MAX as usize {
+        return Err(AmError::BadFrame(format!(
+            "USR payload of {} bytes exceeds the u32 wire field",
+            usr.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Encode one frame directly from its constituent sections into `out` (cleared
+/// first). [`Frame::encode_into`] and the sender's template fast path both funnel
+/// through this, so the wire bytes are identical whether a frame was materialised as
+/// a [`Frame`] or streamed from cached GOT/code slices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_wire_into(
+    sn: u32,
+    elem_id: u32,
+    injected: bool,
+    got: &[u8],
+    code: &[u8],
+    args: &[u8],
+    usr: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let frame_len =
+        (FRAME_HEADER_SIZE + got.len() + code.len() + args.len() + usr.len() + FRAME_TRAILER_SIZE)
+            as u32;
+    out.clear();
+    out.reserve(frame_len as usize);
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&sn.to_le_bytes());
+    out.extend_from_slice(&frame_len.to_le_bytes());
+    out.extend_from_slice(&elem_id.to_le_bytes());
+    out.extend_from_slice(&(injected as u16).to_le_bytes());
+    out.extend_from_slice(&(got.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(code.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(args.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(usr.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 5]);
+    out.push(HDR_MAG);
+    debug_assert_eq!(out.len(), FRAME_HEADER_SIZE);
+    out.extend_from_slice(got);
+    out.extend_from_slice(code);
+    out.extend_from_slice(args);
+    out.extend_from_slice(usr);
+    // Trailer: low 3 bytes of the sequence number, then the signal magic.
+    out.extend_from_slice(&sn.to_le_bytes()[..3]);
+    out.push(SIG_MAG);
+    debug_assert_eq!(out.len(), frame_len as usize);
+}
+
+/// A validated frame whose sections borrow the receive buffer — the zero-copy
+/// counterpart of [`Frame::decode`].
+///
+/// The receiver's hot path parses arrived bytes into a `FrameView`, hashes the
+/// borrowed `code`/`got` slices to probe the injected-code cache, and copies only
+/// the `args`/`usr` sections (which the jam may mutate) into its address space. The
+/// GOT and code sections are never copied out of the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Decoded header fields.
+    pub header: FrameHeader,
+    /// Patched GOT image bytes (empty for Local frames).
+    pub got: &'a [u8],
+    /// Encoded function bytecode (empty for Local frames).
+    pub code: &'a [u8],
+    /// Fixed argument block.
+    pub args: &'a [u8],
+    /// User payload.
+    pub usr: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Parse and validate wire bytes without copying any section.
+    pub fn parse(bytes: &'a [u8]) -> AmResult<FrameView<'a>> {
         if bytes.len() < FRAME_HEADER_SIZE + FRAME_TRAILER_SIZE {
-            return Err(AmError::BadFrame(format!("frame too short: {} bytes", bytes.len())));
+            return Err(AmError::BadFrame(format!(
+                "frame too short: {} bytes",
+                bytes.len()
+            )));
         }
         let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
         if magic != FRAME_MAGIC {
@@ -195,8 +302,13 @@ impl Frame {
         let code_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
         let args_len = u16::from_le_bytes(bytes[24..26].try_into().unwrap()) as usize;
         let usr_len = u32::from_le_bytes(bytes[26..30].try_into().unwrap()) as usize;
-        let expected =
-            FRAME_HEADER_SIZE + got_len + code_len + args_len + usr_len + FRAME_TRAILER_SIZE;
+        let expected = FRAME_HEADER_SIZE
+            .checked_add(got_len)
+            .and_then(|n| n.checked_add(code_len))
+            .and_then(|n| n.checked_add(args_len))
+            .and_then(|n| n.checked_add(usr_len))
+            .and_then(|n| n.checked_add(FRAME_TRAILER_SIZE))
+            .ok_or_else(|| AmError::BadFrame("section lengths overflow".into()))?;
         if frame_len != expected || bytes.len() < frame_len {
             return Err(AmError::BadFrame(format!(
                 "inconsistent lengths: header says {frame_len}, sections say {expected}, buffer {}",
@@ -211,15 +323,11 @@ impl Frame {
         }
         let mut pos = FRAME_HEADER_SIZE;
         let mut take = |n: usize| {
-            let s = bytes[pos..pos + n].to_vec();
+            let s = &bytes[pos..pos + n];
             pos += n;
             s
         };
-        let got = take(got_len);
-        let code = take(code_len);
-        let args = take(args_len);
-        let usr = take(usr_len);
-        Ok(Frame {
+        Ok(FrameView {
             header: FrameHeader {
                 sn,
                 frame_len: frame_len as u32,
@@ -230,11 +338,42 @@ impl Frame {
                 args_len: args_len as u16,
                 usr_len: usr_len as u32,
             },
-            got,
-            code,
-            args,
-            usr,
+            got: take(got_len),
+            code: take(code_len),
+            args: take(args_len),
+            usr: take(usr_len),
         })
+    }
+
+    /// Materialise an owned [`Frame`] (copies every section).
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            header: self.header,
+            got: self.got.to_vec(),
+            code: self.code.to_vec(),
+            args: self.args.to_vec(),
+            usr: self.usr.to_vec(),
+        }
+    }
+
+    /// Byte offset of the GOT image within the frame.
+    pub fn got_offset(&self) -> usize {
+        FRAME_HEADER_SIZE
+    }
+
+    /// Byte offset of the code section within the frame.
+    pub fn code_offset(&self) -> usize {
+        self.got_offset() + self.got.len()
+    }
+
+    /// Byte offset of the ARGS block within the frame.
+    pub fn args_offset(&self) -> usize {
+        self.code_offset() + self.code.len()
+    }
+
+    /// Byte offset of the USR payload within the frame.
+    pub fn usr_offset(&self) -> usize {
+        self.args_offset() + self.args.len()
     }
 }
 
@@ -285,7 +424,10 @@ mod tests {
         assert_eq!(f.args_offset(), 116);
         assert_eq!(f.usr_offset(), 136);
         assert_eq!(f.signal_offset(), f.wire_size() - 1);
-        assert_eq!(f.usr_offset() + f.usr.len() + FRAME_TRAILER_SIZE, f.wire_size());
+        assert_eq!(
+            f.usr_offset() + f.usr.len() + FRAME_TRAILER_SIZE,
+            f.wire_size()
+        );
     }
 
     #[test]
@@ -295,26 +437,82 @@ mod tests {
 
         let mut bad = good.clone();
         bad[0] ^= 0xFF;
-        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "magic");
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "magic"
+        );
 
         let mut bad = good.clone();
         bad[FRAME_HEADER_SIZE - 1] = 0;
-        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "hdr mag");
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "hdr mag"
+        );
 
         let mut bad = good.clone();
         let last = bad.len() - 1;
         bad[last] = 0;
-        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "sig mag");
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "sig mag"
+        );
 
         let mut bad = good.clone();
         bad[8] = 0xFF; // frame_len
-        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "length");
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "length"
+        );
 
         let mut bad = good.clone();
         bad[4] ^= 0xFF; // sn no longer matches trailer echo
-        assert!(matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))), "sn echo");
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "sn echo"
+        );
 
         assert!(Frame::decode(&good[..10]).is_err(), "short buffer");
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let frames = [
+            Frame::local(3, 1, vec![1; 20], vec![2; 48]),
+            Frame::injected(4, 2, vec![5; 16], vec![6; 200], vec![7; 20], vec![8; 12]),
+        ];
+        let mut scratch = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut scratch);
+            assert_eq!(
+                scratch,
+                f.encode(),
+                "encode_into must be byte-identical to encode"
+            );
+        }
+        // The scratch buffer only ever grows; a second pass over the same frames
+        // performs no further allocation.
+        let cap = scratch.capacity();
+        for f in &frames {
+            f.encode_into(&mut scratch);
+        }
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn frame_view_borrows_sections_and_roundtrips() {
+        let f = Frame::injected(9, 5, vec![1; 16], vec![2; 64], vec![3; 20], vec![4; 32]);
+        let bytes = f.encode();
+        let view = FrameView::parse(&bytes).unwrap();
+        assert_eq!(view.header, f.header);
+        assert_eq!(view.got, &f.got[..]);
+        assert_eq!(view.code, &f.code[..]);
+        assert_eq!(view.args, &f.args[..]);
+        assert_eq!(view.usr, &f.usr[..]);
+        assert_eq!(view.got_offset(), f.got_offset());
+        assert_eq!(view.code_offset(), f.code_offset());
+        assert_eq!(view.args_offset(), f.args_offset());
+        assert_eq!(view.usr_offset(), f.usr_offset());
+        assert_eq!(view.to_frame(), f);
     }
 
     #[test]

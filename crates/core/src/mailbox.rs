@@ -38,22 +38,36 @@ pub struct ReactiveMailbox {
 impl ReactiveMailbox {
     /// Create a mailbox over `capacity` bytes of `region` starting at `offset`.
     pub fn new(region: Arc<MemoryRegion>, offset: usize, capacity: usize) -> AmResult<Self> {
-        if offset + capacity > region.len() {
+        // checked_add: an adversarial (offset, capacity) pair must error instead of
+        // wrapping past the region bound in release builds.
+        let end = offset.checked_add(capacity).ok_or_else(|| {
+            AmError::InvalidConfig(format!(
+                "mailbox bounds overflow: offset {offset} + capacity {capacity}"
+            ))
+        })?;
+        if end > region.len() {
             return Err(AmError::InvalidConfig(format!(
-                "mailbox [{offset}, {}) exceeds region of {} bytes",
-                offset + capacity,
+                "mailbox [{offset}, {end}) exceeds region of {} bytes",
                 region.len()
             )));
         }
         if capacity < FRAME_HEADER_SIZE + 8 {
             return Err(AmError::InvalidConfig("mailbox capacity too small".into()));
         }
-        Ok(ReactiveMailbox { region, offset, capacity })
+        Ok(ReactiveMailbox {
+            region,
+            offset,
+            capacity,
+        })
     }
 
     /// The sender-facing target description.
     pub fn target(&self) -> MailboxTarget {
-        MailboxTarget { region: self.region.descriptor(), offset: self.offset, capacity: self.capacity }
+        MailboxTarget {
+            region: self.region.descriptor(),
+            offset: self.offset,
+            capacity: self.capacity,
+        }
     }
 
     /// Simulated virtual address of the start of the mailbox (used to charge the
@@ -71,7 +85,10 @@ impl ReactiveMailbox {
     /// load of the signal byte.
     pub fn poll_fixed(&self, frame_len: usize) -> AmResult<bool> {
         if frame_len > self.capacity {
-            return Err(AmError::FrameTooLarge { needed: frame_len, capacity: self.capacity });
+            return Err(AmError::FrameTooLarge {
+                needed: frame_len,
+                capacity: self.capacity,
+            });
         }
         Ok(self.region.load_acquire_u8(self.offset + frame_len - 1)? == SIG_MAG)
     }
@@ -80,12 +97,18 @@ impl ReactiveMailbox {
     /// then check the final byte. Returns the frame length if a complete frame is
     /// present.
     pub fn poll_variable(&self) -> AmResult<Option<usize>> {
-        if self.region.load_acquire_u8(self.offset + FRAME_HEADER_SIZE - 1)? != HDR_MAG {
+        if self
+            .region
+            .load_acquire_u8(self.offset + FRAME_HEADER_SIZE - 1)?
+            != HDR_MAG
+        {
             return Ok(None);
         }
         let frame_len = self.region.load_u32(self.offset + 8)? as usize;
         if frame_len < FRAME_HEADER_SIZE || frame_len > self.capacity {
-            return Err(AmError::BadFrame(format!("frame length {frame_len} out of range")));
+            return Err(AmError::BadFrame(format!(
+                "frame length {frame_len} out of range"
+            )));
         }
         if self.region.load_acquire_u8(self.offset + frame_len - 1)? == SIG_MAG {
             Ok(Some(frame_len))
@@ -99,11 +122,23 @@ impl ReactiveMailbox {
         Ok(self.region.read(self.offset, frame_len)?)
     }
 
+    /// Read the first `frame_len` bytes of the mailbox into `out` (resized to
+    /// exactly `frame_len`), reusing its capacity. The receiver's hot path keeps one
+    /// scratch buffer alive across messages, so steady-state receives neither
+    /// allocate nor zero-fill: `read_into` overwrites the whole range.
+    pub fn read_frame_into(&self, frame_len: usize, out: &mut Vec<u8>) -> AmResult<()> {
+        out.resize(frame_len, 0);
+        self.region.read_into(self.offset, out)?;
+        Ok(())
+    }
+
     /// Reset the mailbox after processing a frame of `frame_len` bytes: clear the
     /// header magic and the signal byte so the slot can be reused.
     pub fn clear(&self, frame_len: usize) -> AmResult<()> {
-        self.region.store_release_u8(self.offset + FRAME_HEADER_SIZE - 1, 0)?;
-        self.region.store_release_u8(self.offset + frame_len - 1, 0)?;
+        self.region
+            .store_release_u8(self.offset + FRAME_HEADER_SIZE - 1, 0)?;
+        self.region
+            .store_release_u8(self.offset + frame_len - 1, 0)?;
         Ok(())
     }
 }
@@ -165,7 +200,8 @@ mod tests {
         let mut bytes = Frame::local(1, 0, vec![0; 20], vec![0; 4]).encode();
         bytes[8..12].copy_from_slice(&(1_000_000u32).to_le_bytes());
         r.write(0, &bytes).unwrap();
-        r.store_release_u8(crate::frame::FRAME_HEADER_SIZE - 1, HDR_MAG).unwrap();
+        r.store_release_u8(crate::frame::FRAME_HEADER_SIZE - 1, HDR_MAG)
+            .unwrap();
         assert!(matches!(mb.poll_variable(), Err(AmError::BadFrame(_))));
     }
 
@@ -173,7 +209,32 @@ mod tests {
     fn oversized_fixed_poll_is_rejected() {
         let r = region();
         let mb = ReactiveMailbox::new(r, 0, 4096).unwrap();
-        assert!(matches!(mb.poll_fixed(8192), Err(AmError::FrameTooLarge { .. })));
+        assert!(matches!(
+            mb.poll_fixed(8192),
+            Err(AmError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_bounds_are_rejected_not_wrapped() {
+        let r = region();
+        // usize::MAX + capacity would wrap to a small value without checked_add.
+        assert!(ReactiveMailbox::new(Arc::clone(&r), usize::MAX - 64, 4096).is_err());
+        assert!(ReactiveMailbox::new(r, usize::MAX, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn read_frame_into_reuses_buffer_and_matches_read_frame() {
+        let r = region();
+        let mb = ReactiveMailbox::new(Arc::clone(&r), 0, 8192).unwrap();
+        let bytes = Frame::local(3, 0, vec![1; 20], vec![9; 40]).encode();
+        r.write(0, &bytes).unwrap();
+        let mut scratch = Vec::new();
+        mb.read_frame_into(bytes.len(), &mut scratch).unwrap();
+        assert_eq!(scratch, mb.read_frame(bytes.len()).unwrap());
+        let cap = scratch.capacity();
+        mb.read_frame_into(bytes.len(), &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), cap, "second read must not reallocate");
     }
 
     #[test]

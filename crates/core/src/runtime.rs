@@ -13,13 +13,56 @@
 //! both ends from a single thread deterministically; the same code paths can also be
 //! driven by real threads (the examples do), in which case the virtual times are
 //! simply accounting.
+//!
+//! # Fast-path architecture (zero-copy steady state)
+//!
+//! The send→receive hot path is allocation-free in steady state. Both sides keep
+//! content-addressed caches so the per-message work degenerates to hashing, a lookup
+//! and one memcpy:
+//!
+//! **Receiver.**
+//! * *Injected-code cache* — keyed by `(elem_id, hash64_bytes(code))`. The first
+//!   message for a key pays `decode_program` + `verify` (and their modelled cost);
+//!   every later message hits a decoded `Arc<[Instr]>` and executes it directly.
+//!   [`RuntimeStats::injected_code_cache_hits`]/`_misses` count the split.
+//! * *GOT cache* — keyed by `(elem_id, hash64_bytes(got_bytes))` when the policy
+//!   accepts sender GOT images, or by `elem_id` alone when the hardened policy
+//!   re-resolves locally. Hits reuse an `Arc<GotImage>`; no per-message slot vector
+//!   is built. [`RuntimeStats::got_cache_hits`]/`_misses` count the split.
+//! * *Borrowed frame parsing* — arrived bytes land in a persistent scratch buffer
+//!   ([`ReactiveMailbox::read_frame_into`]) and are parsed as a
+//!   [`FrameView`](crate::frame::FrameView) whose sections borrow that buffer. Only
+//!   ARGS and USR are copied out (the jam may mutate them); GOT and code bytes are
+//!   hashed in place and never cloned.
+//! * *Register-seeded entry* — the jam entry convention (`r0`=ARGS, `r1`=USR,
+//!   `r2`=USR length) is passed through [`VmConfig::entry_regs`], so the cached
+//!   program runs as-is instead of being re-materialised with a prologue per message.
+//!
+//! **Sender.**
+//! * *Frame-template cache* — per element, the patched GOT image and encoded code
+//!   are captured once as `Arc<[u8]>`; later sends memcpy them straight into the
+//!   wire buffer. [`RuntimeStats::template_hits`]/`_misses` count the split.
+//! * *Scratch encode buffer* — [`TwoChainsSender::send`] and
+//!   [`TwoChainsSender::send_message`] encode into one reusable `Vec<u8>`
+//!   ([`Frame::encode_into`]), so a steady-state send performs a single memcpy into
+//!   the mailbox put and no heap allocation.
+//!
+//! **Invalidation.** All receiver caches are dropped on [`TwoChainsHost::install_package`]
+//! and [`TwoChainsHost::load_ried`] (package reinstall / live update may rebind
+//! symbols or change code), and can be dropped explicitly with
+//! [`TwoChainsHost::invalidate_injection_caches`] (cold-path benchmarking). The
+//! sender's template for an element is dropped when [`TwoChainsSender::set_remote_got`]
+//! replaces that element's GOT image.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use twochains_fabric::{AccessFlags, Endpoint, HostHandle, HostId, MemoryRegion, PutOutcome, SimFabric};
+use twochains_fabric::{
+    AccessFlags, Endpoint, HostHandle, HostId, MemoryRegion, PutOutcome, SimFabric,
+};
 use twochains_jamvm::{
-    decode_program, AddressSpace, ExecStats, GotImage, Instr, Segment, SegmentKind, Vm, VmConfig,
+    decode_program, hash64_bytes, verify, AddressSpace, ExecStats, GotImage, Instr, Segment,
+    SegmentKind, Vm, VmConfig,
 };
 use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
 use twochains_memsim::cycles::WaitOutcome;
@@ -29,19 +72,63 @@ use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
 use crate::config::{InvocationMode, RuntimeConfig};
 use crate::error::{AmError, AmResult};
-use crate::frame::{Frame, FRAME_HEADER_SIZE};
+use crate::frame::{encode_wire_into, Frame, FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
+/// Software cost models for the receiver's injected-dispatch path, in ns per byte.
+///
+/// The content hash is charged on every injected message — it is the cache-key
+/// computation, streaming the arrived bytes at near line rate. Decode, verify and
+/// GOT-image parsing are charged only on a cache miss; on a hit the receiver jumps
+/// straight to the cached decoded program, which is the point of the fast path.
+const HASH_NS_PER_BYTE: f64 = 0.01;
+/// Bytecode decode cost on a cache miss (~2 GB/s: byte-at-a-time opcode dispatch
+/// building the instruction vector).
+const DECODE_NS_PER_BYTE: f64 = 0.6;
+/// Verifier cost on a cache miss (~4 GB/s: register/branch/GOT-slot bound checks
+/// over the decoded program).
+const VERIFY_NS_PER_BYTE: f64 = 0.25;
+/// GOT image parse cost on a GOT-cache miss.
+const GOT_PARSE_NS_PER_BYTE: f64 = 0.05;
+
+/// Upper bound on entries per injection cache. The keys are derived from
+/// sender-controlled content, so an adversarial sender churning its code or GOT
+/// image per message must not be able to grow receiver memory without bound;
+/// reaching the cap clears the cache (amortised O(1), self-healing).
+const MAX_INJECTION_CACHE_ENTRIES: usize = 1024;
+
+/// A cached decoded injected program. The exact code bytes it was decoded from are
+/// kept and compared on every hit: the 64-bit content hash in the key is not
+/// collision-proof against an adversarial sender, so a hit is only a hit if the
+/// bytes match (a mismatch re-decodes and replaces the entry).
+#[derive(Debug, Clone)]
+struct CachedProgram {
+    code: Arc<[u8]>,
+    program: Arc<[Instr]>,
+    /// Smallest GOT slot count the program verifies against (highest `CallExtern`
+    /// slot + 1). Hits are re-checked against the message's GOT size so a warm hit
+    /// can never execute a program the cold verifier would reject.
+    min_got_slots: usize,
+}
+
+/// A cached parsed sender GOT image, with the exact bytes it was parsed from
+/// (compared on every hit, as for [`CachedProgram`]).
+#[derive(Debug, Clone)]
+struct CachedGot {
+    bytes: Arc<[u8]>,
+    image: Arc<GotImage>,
+}
+
 /// One entry of the Local Function library: the program as loaded from the package,
 /// its GOT resolved against this process's namespace, and the address at which the
-/// resident code lives (kept warm in the receiver's caches).
+/// resident code lives (kept warm in the receiver's caches). Program and GOT are
+/// reference-counted so dispatch shares them instead of deep-cloning per message.
 #[derive(Debug, Clone)]
 struct LocalEntry {
-    program: Vec<Instr>,
-    got: GotImage,
+    program: Arc<[Instr]>,
+    got: Arc<GotImage>,
     code_base: u64,
-    code_len: usize,
 }
 
 /// Outcome of processing one received active message.
@@ -59,6 +146,10 @@ pub struct ReceiveOutcome {
     pub result: u64,
     /// Receiver-side time excluding the wait (header read, dispatch, execution).
     pub handler_time: SimTime,
+    /// The dispatch-only portion of `handler_time`: header read, security checks,
+    /// cache probes and (on a miss) decode/verify — everything except the jam's own
+    /// execution. This is the quantity the fast path shrinks.
+    pub dispatch_time: SimTime,
 }
 
 /// Outcome of sending one active message.
@@ -92,6 +183,14 @@ pub struct TwoChainsHost {
     space: AddressSpace,
     package: Option<Package>,
     local_lib: HashMap<u32, LocalEntry>,
+    /// Decoded injected programs, keyed by `(elem_id, hash64_bytes(code))`.
+    injected_code_cache: HashMap<(u32, u64), CachedProgram>,
+    /// Parsed sender GOT images, keyed by `(elem_id, hash64_bytes(got_bytes))`.
+    sender_got_cache: HashMap<(u32, u64), CachedGot>,
+    /// Locally re-resolved GOT images (hardened policy), keyed by `elem_id`.
+    resolved_got_cache: HashMap<u32, Arc<GotImage>>,
+    /// Persistent receive buffer: frames are read into it and parsed by borrow.
+    recv_scratch: Vec<u8>,
     mailbox_region: Arc<MemoryRegion>,
     banks: MailboxBank,
     stats: RuntimeStats,
@@ -104,6 +203,7 @@ impl std::fmt::Debug for TwoChainsHost {
             .field("host", &self.handle.id())
             .field("mailboxes", &self.banks.total())
             .field("local_lib", &self.local_lib.len())
+            .field("injected_cache", &self.injected_code_cache.len())
             .finish()
     }
 }
@@ -117,7 +217,10 @@ impl TwoChainsHost {
         config.validate().map_err(AmError::InvalidConfig)?;
         let handle = fabric.host(id)?;
         let flags = AccessFlags::rwx();
-        let region_len = config.total_mailboxes() * config.frame_capacity;
+        let region_len = config
+            .total_mailboxes()
+            .checked_mul(config.frame_capacity)
+            .ok_or_else(|| AmError::InvalidConfig("mailbox region size overflows".into()))?;
         let mailbox_region = handle.register(region_len, flags)?;
         let banks = MailboxBank::new(
             Arc::clone(&mailbox_region),
@@ -132,6 +235,10 @@ impl TwoChainsHost {
             space: AddressSpace::new(),
             package: None,
             local_lib: HashMap::new(),
+            injected_code_cache: HashMap::new(),
+            sender_got_cache: HashMap::new(),
+            resolved_got_cache: HashMap::new(),
+            recv_scratch: Vec::new(),
             mailbox_region,
             banks,
             stats: RuntimeStats::new(),
@@ -180,36 +287,67 @@ impl TwoChainsHost {
         self.handle.set_stressor(stressor);
     }
 
+    /// Drop every cached decoded program and GOT image. Called automatically when a
+    /// package is (re)installed or a ried is loaded (live update may rebind symbols
+    /// or change code); exposed publicly so benchmarks can measure the cold path.
+    pub fn invalidate_injection_caches(&mut self) {
+        self.injected_code_cache.clear();
+        self.sender_got_cache.clear();
+        self.resolved_got_cache.clear();
+    }
+
+    /// Number of decoded programs currently cached (introspection for tests and
+    /// benchmarks).
+    pub fn injected_cache_len(&self) -> usize {
+        self.injected_code_cache.len()
+    }
+
     /// Load a ried into this process's namespace and map its data objects.
+    ///
+    /// Loading a ried is a live update: symbolic names may now resolve differently,
+    /// so every cached GOT resolution (and, conservatively, cached programs) is
+    /// invalidated. The next message per element repopulates the caches.
     pub fn load_ried(&mut self, ried: &Ried, replace: bool) -> AmResult<()> {
         self.namespace.load_ried(ried, replace)?;
         self.namespace.map_data_segments(&mut self.space)?;
+        self.invalidate_injection_caches();
         Ok(())
     }
 
     /// Install a package: load its rieds, then build the Local Function library from
     /// its jams (resolving each jam's GOT against this process's namespace and
     /// keeping the resident code warm in the receiver's caches).
+    ///
+    /// Reinstalling invalidates the injection caches: element ids may now name
+    /// different code, so cached decodes keyed by the old content must not survive.
     pub fn install_package(&mut self, package: Package) -> AmResult<()> {
         for (_, ried) in package.rieds() {
             self.namespace.load_ried(ried, true)?;
         }
         self.namespace.map_data_segments(&mut self.space)?;
         for (id, jam) in package.jams() {
-            let program = jam.program()?;
-            let got = self.namespace.resolve_got(&jam.got)?;
+            let program: Arc<[Instr]> = jam.program()?.into();
+            let got = Arc::new(self.namespace.resolve_got(&jam.got)?);
             let code_len = jam.code_size();
             let code_base = self.local_code_cursor;
-            self.local_code_cursor += ((code_len + 4095) / 4096 * 4096) as u64 + 4096;
+            self.local_code_cursor += (code_len.div_ceil(4096) * 4096) as u64 + 4096;
             // The Local Function library is resident: it has been executed before (or
             // at least loaded and touched), so keep it warm in the receiver's L2/LLC.
             self.handle
                 .hierarchy()
                 .lock()
                 .warm_l2(self.config.receiver_core, code_base, code_len);
-            self.local_lib.insert(id.0, LocalEntry { program, got, code_base, code_len });
+            self.local_lib.insert(
+                id.0,
+                LocalEntry {
+                    program,
+                    got,
+                    code_base,
+                },
+            );
         }
         self.package = Some(package);
+        self.invalidate_injection_caches();
         Ok(())
     }
 
@@ -231,7 +369,10 @@ impl TwoChainsHost {
     /// Injected Function frames (the paper's "GOT redirect ... is set by the sender
     /// after an exchange with the receiver").
     pub fn export_got(&self, elem: ElementId) -> AmResult<GotImage> {
-        let pkg = self.package.as_ref().ok_or(AmError::UnknownElement(elem.0))?;
+        let pkg = self
+            .package
+            .as_ref()
+            .ok_or(AmError::UnknownElement(elem.0))?;
         let jam = pkg.jam(elem)?;
         Ok(self.namespace.resolve_got(&jam.got)?)
     }
@@ -275,6 +416,24 @@ impl TwoChainsHost {
         arrival: SimTime,
         ready_since: SimTime,
     ) -> AmResult<ReceiveOutcome> {
+        // Take the scratch buffer out of `self` so the borrowed FrameView can coexist
+        // with `&mut self` calls; it is restored (with its grown capacity) afterwards.
+        let mut scratch = std::mem::take(&mut self.recv_scratch);
+        let result =
+            self.receive_with_scratch(bank, slot, frame_len, arrival, ready_since, &mut scratch);
+        self.recv_scratch = scratch;
+        result
+    }
+
+    fn receive_with_scratch(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+        scratch: &mut Vec<u8>,
+    ) -> AmResult<ReceiveOutcome> {
         let mailbox = self.banks.mailbox(bank, slot)?.clone();
         let core = self.config.receiver_core;
 
@@ -301,18 +460,27 @@ impl TwoChainsHost {
             }
             None => mailbox.poll_variable()?.ok_or(AmError::Empty)?,
         };
-        let bytes = mailbox.read_frame(frame_len)?;
-        let frame = Frame::decode(&bytes)?;
+        mailbox.read_frame_into(frame_len, scratch)?;
+        let frame = FrameView::parse(scratch)?;
 
         // 2. Read the header (charged against wherever the frame landed).
         let mut handler_time = SimTime::ZERO;
         {
             let hierarchy = self.handle.hierarchy();
             let mut h = hierarchy.lock();
-            handler_time += h.access(core, mailbox.base_addr(), FRAME_HEADER_SIZE, AccessKind::Read);
+            handler_time += h.access(
+                core,
+                mailbox.base_addr(),
+                FRAME_HEADER_SIZE,
+                AccessKind::Read,
+            );
         }
 
-        let mode = if frame.header.injected { InvocationMode::Injected } else { InvocationMode::Local };
+        let mode = if frame.header.injected {
+            InvocationMode::Injected
+        } else {
+            InvocationMode::Local
+        };
         handler_time += SimTime::from_ns_f64(match mode {
             InvocationMode::Injected => self.config.injected_dispatch_ns,
             InvocationMode::Local => self.config.local_dispatch_ns,
@@ -320,6 +488,7 @@ impl TwoChainsHost {
 
         let mut exec_stats = None;
         let mut result = 0u64;
+        let mut exec_time = SimTime::ZERO;
 
         if !self.config.skip_execution {
             // 3. Security policy.
@@ -332,42 +501,18 @@ impl TwoChainsHost {
                 ));
             }
 
-            // 4. Resolve the GOT and the program.
+            // 4. Resolve the GOT and the program, through the injection caches for
+            // Injected mode and by Arc-shared Local Function entries otherwise.
             let (program, got, code_base) = match mode {
                 InvocationMode::Injected => {
-                    let program = decode_program(&frame.code)
-                        .map_err(|e| AmError::BadFrame(e.to_string()))?;
-                    let got = if self.config.security.accept_sender_got {
-                        GotImage::from_bytes(&frame.got)
-                            .ok_or_else(|| AmError::BadFrame("bad GOT image".into()))?
-                    } else {
-                        // Hardened mode: ignore the sender's GOT, re-resolve locally.
-                        let pkg =
-                            self.package.as_ref().ok_or(AmError::UnknownElement(frame.header.elem_id))?;
-                        let jam = pkg.jam(ElementId(frame.header.elem_id))?;
-                        handler_time +=
-                            self.config.security.per_message_overhead(jam.got.len());
-                        self.namespace.resolve_got(&jam.got)?
-                    };
+                    let got = self.injected_got(&frame, mailbox.base_addr(), &mut handler_time)?;
+                    let program = self.injected_program(
+                        &frame,
+                        got.len(),
+                        mailbox.base_addr(),
+                        &mut handler_time,
+                    )?;
                     let code_base = mailbox.base_addr() + frame.code_offset() as u64;
-                    // The receiver walks the freshly arrived code and GOT image before
-                    // jumping into it (relocation check + landing-pad setup). These
-                    // reads hit the LLC when the frame was stashed and go to DRAM
-                    // otherwise — the dominant term of the stash benefit for
-                    // Injected Function messages (Figs. 9–10).
-                    {
-                        let hierarchy = self.handle.hierarchy();
-                        let mut h = hierarchy.lock();
-                        handler_time +=
-                            h.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
-                        handler_time += h.access(
-                            core,
-                            mailbox.base_addr() + frame.got_offset() as u64,
-                            frame.got.len().max(1),
-                            AccessKind::Read,
-                        );
-                    }
-                    handler_time += SimTime::from_ns_f64(frame.code.len() as f64 * 0.05);
                     (program, got, code_base)
                 }
                 InvocationMode::Local => {
@@ -375,24 +520,41 @@ impl TwoChainsHost {
                         .local_lib
                         .get(&frame.header.elem_id)
                         .ok_or(AmError::UnknownElement(frame.header.elem_id))?;
-                    (entry.program.clone(), entry.got.clone(), entry.code_base)
+                    (
+                        Arc::clone(&entry.program),
+                        Arc::clone(&entry.got),
+                        entry.code_base,
+                    )
                 }
             };
 
             // 5. Map the message's ARGS and USR sections at their mailbox addresses so
-            // every access is charged against the lines the NIC delivered.
+            // every access is charged against the lines the NIC delivered. These are
+            // the only sections copied out of the receive buffer — the jam may write
+            // to them (subject to policy), so they need their own backing store.
             let args_base = mailbox.base_addr() + frame.args_offset() as u64;
             let usr_base = mailbox.base_addr() + frame.usr_offset() as u64;
             let args_writable = !self.config.security.read_only_args;
             let usr_writable = !self.config.security.read_only_payload;
             self.space
-                .map(Segment::new("msg.args", args_base, frame.args.clone(), args_writable, SegmentKind::Args))
+                .map(Segment::new(
+                    "msg.args",
+                    args_base,
+                    frame.args.to_vec(),
+                    args_writable,
+                    SegmentKind::Args,
+                ))
                 .map_err(|e| AmError::Exec(e.to_string()))?;
             self.space
-                .map(Segment::new("msg.usr", usr_base, frame.usr.clone(), usr_writable, SegmentKind::Payload))
+                .map(Segment::new(
+                    "msg.usr",
+                    usr_base,
+                    frame.usr.to_vec(),
+                    usr_writable,
+                    SegmentKind::Payload,
+                ))
                 .map_err(|e| AmError::Exec(e.to_string()))?;
 
-            let entry_program = with_entry_prologue(&program, args_base, usr_base, frame.usr.len());
             let vm_cfg = VmConfig {
                 core,
                 code_base,
@@ -400,12 +562,13 @@ impl TwoChainsHost {
                 freq_ghz: self.config.wait_model.core_freq_ghz,
                 ipc: 2.0,
                 extern_call_overhead: SimTime::from_ns(6),
+                entry_regs: [args_base, usr_base, frame.usr.len() as u64],
             };
             let exec_result = {
                 let hierarchy = self.handle.hierarchy();
                 let mut guard = hierarchy.lock();
                 Vm::execute(
-                    &entry_program,
+                    &program,
                     &got,
                     self.namespace.externs(),
                     &mut self.space,
@@ -416,7 +579,8 @@ impl TwoChainsHost {
             self.space.unmap("msg.args");
             self.space.unmap("msg.usr");
             let stats = exec_result?;
-            handler_time += stats.total_time();
+            exec_time = stats.total_time();
+            handler_time += exec_time;
             result = stats.result;
             exec_stats = Some(stats);
             self.stats.executions += 1;
@@ -434,28 +598,186 @@ impl TwoChainsHost {
         self.stats.wait_time += wait.elapsed;
         self.stats.exec_time += handler_time;
         self.stats.cycles.add_wait(wait.cycles);
-        self.stats.cycles.add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
+        self.stats
+            .cycles
+            .add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
 
-        Ok(ReceiveOutcome { detected_at, handler_done, wait, exec: exec_stats, result, handler_time })
+        Ok(ReceiveOutcome {
+            detected_at,
+            handler_done,
+            wait,
+            exec: exec_stats,
+            result,
+            handler_time,
+            dispatch_time: handler_time - exec_time,
+        })
+    }
+
+    /// Resolve the GOT image of an injected frame, through the GOT caches.
+    fn injected_got(
+        &mut self,
+        frame: &FrameView<'_>,
+        mailbox_base: u64,
+        handler_time: &mut SimTime,
+    ) -> AmResult<Arc<GotImage>> {
+        let elem_id = frame.header.elem_id;
+        if self.config.security.accept_sender_got {
+            // Hash (and, on a candidate hit, compare) the sender-provided image in
+            // place; like the code hash this streams the arrived bytes, so it is
+            // charged as a read of the section wherever the frame landed.
+            *handler_time += SimTime::from_ns_f64(frame.got.len() as f64 * HASH_NS_PER_BYTE);
+            {
+                let core = self.config.receiver_core;
+                let hierarchy = self.handle.hierarchy();
+                let mut h = hierarchy.lock();
+                *handler_time += h.access(
+                    core,
+                    mailbox_base + frame.got_offset() as u64,
+                    frame.got.len().max(1),
+                    AccessKind::Read,
+                );
+            }
+            let key = (elem_id, hash64_bytes(frame.got));
+            if let Some(cached) = self.sender_got_cache.get(&key) {
+                if &*cached.bytes == frame.got {
+                    self.stats.got_cache_hits += 1;
+                    return Ok(Arc::clone(&cached.image));
+                }
+                // 64-bit hash collision with different bytes: re-parse and replace.
+            }
+            self.stats.got_cache_misses += 1;
+            let image = Arc::new(
+                GotImage::from_bytes(frame.got)
+                    .ok_or_else(|| AmError::BadFrame("bad GOT image".into()))?,
+            );
+            *handler_time += SimTime::from_ns_f64(frame.got.len() as f64 * GOT_PARSE_NS_PER_BYTE);
+            if self.sender_got_cache.len() >= MAX_INJECTION_CACHE_ENTRIES
+                && !self.sender_got_cache.contains_key(&key)
+            {
+                self.sender_got_cache.clear();
+            }
+            self.sender_got_cache.insert(
+                key,
+                CachedGot {
+                    bytes: frame.got.into(),
+                    image: Arc::clone(&image),
+                },
+            );
+            Ok(image)
+        } else {
+            // Hardened mode: ignore the sender's GOT, re-resolve locally. The cache
+            // amortises the resolution *work* (building the slot vector), but the
+            // policy's modelled per-message cost is charged on every message — the
+            // hardening of §V is a per-message check, and the cost model must keep
+            // saying so whether or not the host reuses the resolved image.
+            if let Some(got) = self.resolved_got_cache.get(&elem_id) {
+                self.stats.got_cache_hits += 1;
+                *handler_time += self.config.security.per_message_overhead(got.len());
+                return Ok(Arc::clone(got));
+            }
+            self.stats.got_cache_misses += 1;
+            let pkg = self
+                .package
+                .as_ref()
+                .ok_or(AmError::UnknownElement(elem_id))?;
+            let jam = pkg.jam(ElementId(elem_id))?;
+            *handler_time += self.config.security.per_message_overhead(jam.got.len());
+            let got = Arc::new(self.namespace.resolve_got(&jam.got)?);
+            self.resolved_got_cache.insert(elem_id, Arc::clone(&got));
+            Ok(got)
+        }
+    }
+
+    /// Resolve the decoded program of an injected frame, through the code cache.
+    fn injected_program(
+        &mut self,
+        frame: &FrameView<'_>,
+        got_slots: usize,
+        mailbox_base: u64,
+        handler_time: &mut SimTime,
+    ) -> AmResult<Arc<[Instr]>> {
+        let core = self.config.receiver_core;
+        let code_base = mailbox_base + frame.code_offset() as u64;
+        // Content hash over the arrived code: the cache-key computation. The hash
+        // streams every code byte through the receiver core, so it is charged as a
+        // full read of the section — these reads hit the LLC when the frame was
+        // stashed and go to DRAM otherwise, which keeps the stash benefit visible on
+        // the warm path too (and leaves the lines hot for the VM's fetches).
+        *handler_time += SimTime::from_ns_f64(frame.code.len() as f64 * HASH_NS_PER_BYTE);
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Read);
+        }
+        let key = (frame.header.elem_id, hash64_bytes(frame.code));
+        if let Some(cached) = self.injected_code_cache.get(&key) {
+            if &*cached.code == frame.code {
+                // Verification depends on the GOT size, which varies per message:
+                // the cached program must still fit inside *this* message's GOT, or
+                // a warm hit would execute a program the cold path rejects.
+                if got_slots < cached.min_got_slots {
+                    return Err(AmError::BadFrame(format!(
+                        "cached program references GOT slot {} but the message GOT has only {} slots",
+                        cached.min_got_slots - 1,
+                        got_slots
+                    )));
+                }
+                self.stats.injected_code_cache_hits += 1;
+                return Ok(Arc::clone(&cached.program));
+            }
+            // 64-bit hash collision with different bytes: re-decode and replace.
+        }
+        self.stats.injected_code_cache_misses += 1;
+
+        // Cold miss: the receiver walks the freshly arrived code (relocation check +
+        // landing-pad setup), then decodes and verifies the bytecode before caching
+        // the result. Together with the hash stream above, these reads are the
+        // dominant term of the stash benefit for Injected Function messages
+        // (Figs. 9–10).
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
+        }
+        let program = decode_program(frame.code).map_err(|e| AmError::BadFrame(e.to_string()))?;
+        verify(&program, got_slots).map_err(|e| AmError::BadFrame(e.to_string()))?;
+        *handler_time += SimTime::from_ns_f64(
+            frame.code.len() as f64 * (DECODE_NS_PER_BYTE + VERIFY_NS_PER_BYTE),
+        );
+        // The smallest GOT this program verifies against: later hits re-check it
+        // against their own message's GOT size in O(1).
+        let min_got_slots = program
+            .iter()
+            .filter_map(|i| match *i {
+                Instr::CallExtern { slot, .. } => Some(slot as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let program: Arc<[Instr]> = program.into();
+        if self.injected_code_cache.len() >= MAX_INJECTION_CACHE_ENTRIES
+            && !self.injected_code_cache.contains_key(&key)
+        {
+            self.injected_code_cache.clear();
+        }
+        self.injected_code_cache.insert(
+            key,
+            CachedProgram {
+                code: frame.code.into(),
+                program: Arc::clone(&program),
+                min_got_slots,
+            },
+        );
+        Ok(program)
     }
 }
 
-/// Prepend the entry-convention prologue (`r0` = ARGS, `r1` = USR, `r2` = USR length)
-/// to a jam program, shifting branch targets accordingly.
-fn with_entry_prologue(program: &[Instr], args_base: u64, usr_base: u64, usr_len: usize) -> Vec<Instr> {
-    use twochains_jamvm::Reg;
-    let mut out = Vec::with_capacity(program.len() + 3);
-    out.push(Instr::LoadImm { dst: Reg(0), imm: args_base });
-    out.push(Instr::LoadImm { dst: Reg(1), imm: usr_base });
-    out.push(Instr::LoadImm { dst: Reg(2), imm: usr_len as u64 });
-    for i in program {
-        out.push(match *i {
-            Instr::Jump { target } => Instr::Jump { target: target + 3 },
-            Instr::Branch { cond, a, b, target } => Instr::Branch { cond, a, b, target: target + 3 },
-            other => other,
-        });
-    }
-    out
+/// A sender-side cached frame template for one element: the receiver-patched GOT
+/// image and the encoded code, captured once and memcpy'd into every later frame.
+#[derive(Debug, Clone)]
+struct FrameTemplate {
+    got: Arc<[u8]>,
+    code: Arc<[u8]>,
 }
 
 /// The sender-side runtime object.
@@ -463,7 +785,11 @@ pub struct TwoChainsSender {
     endpoint: Endpoint,
     package: Package,
     /// GOT images exported by the receiver, keyed by element id.
-    remote_gots: HashMap<u32, Vec<u8>>,
+    remote_gots: HashMap<u32, Arc<[u8]>>,
+    /// Per-element frame templates (pre-patched GOT + encoded code).
+    templates: HashMap<u32, FrameTemplate>,
+    /// Reusable wire-encode buffer; steady-state sends do not allocate.
+    encode_buf: Vec<u8>,
     sn: u32,
     /// Per-byte frame packing cost (the message packing routines of §III-A).
     pack_ns_per_byte: f64,
@@ -477,6 +803,7 @@ impl std::fmt::Debug for TwoChainsSender {
         f.debug_struct("TwoChainsSender")
             .field("package", &self.package.name())
             .field("sn", &self.sn)
+            .field("templates", &self.templates.len())
             .finish()
     }
 }
@@ -488,6 +815,8 @@ impl TwoChainsSender {
             endpoint,
             package,
             remote_gots: HashMap::new(),
+            templates: HashMap::new(),
+            encode_buf: Vec::new(),
             sn: 0,
             pack_ns_per_byte: 0.002,
             pack_fixed: SimTime::from_ns(35),
@@ -496,9 +825,11 @@ impl TwoChainsSender {
     }
 
     /// Record the GOT image the receiver exported for `elem` (out-of-band exchange
-    /// during setup).
+    /// during setup). Replacing an element's GOT drops its frame template; the next
+    /// send re-patches once and re-caches.
     pub fn set_remote_got(&mut self, elem: ElementId, got: &GotImage) {
-        self.remote_gots.insert(elem.0, got.to_bytes());
+        self.remote_gots.insert(elem.0, got.to_bytes().into());
+        self.templates.remove(&elem.0);
     }
 
     /// Sender statistics.
@@ -511,9 +842,29 @@ impl TwoChainsSender {
         &mut self.endpoint
     }
 
+    /// The frame template for `elem`, building (and counting) it on first use.
+    fn template(&mut self, elem: ElementId) -> AmResult<&FrameTemplate> {
+        if self.templates.contains_key(&elem.0) {
+            self.stats.template_hits += 1;
+        } else {
+            self.stats.template_misses += 1;
+            let jam = self.package.jam(elem)?;
+            let got =
+                self.remote_gots.get(&elem.0).cloned().ok_or_else(|| {
+                    AmError::Link(format!("no remote GOT for element {}", elem.0))
+                })?;
+            let code: Arc<[u8]> = jam.text.clone().into();
+            self.templates.insert(elem.0, FrameTemplate { got, code });
+        }
+        Ok(&self.templates[&elem.0])
+    }
+
     /// Pack a frame for element `elem` with the given invocation mode, argument block
     /// and payload. Injected frames require the receiver's GOT image to have been set
     /// with [`TwoChainsSender::set_remote_got`].
+    ///
+    /// This materialises an owned [`Frame`] (useful for inspection and tests); the
+    /// allocation-free path is [`TwoChainsSender::send_message`].
     pub fn pack(
         &mut self,
         elem: ElementId,
@@ -521,17 +872,15 @@ impl TwoChainsSender {
         args: Vec<u8>,
         usr: Vec<u8>,
     ) -> AmResult<Frame> {
+        crate::frame::validate_section_lens(&[], &[], &args, &usr)?;
         self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
         let frame = match mode {
-            InvocationMode::Local => Frame::local(self.sn, elem.0, args, usr),
+            InvocationMode::Local => Frame::local(sn, elem.0, args, usr),
             InvocationMode::Injected => {
-                let jam = self.package.jam(elem)?;
-                let got = self
-                    .remote_gots
-                    .get(&elem.0)
-                    .cloned()
-                    .ok_or_else(|| AmError::Link(format!("no remote GOT for element {}", elem.0)))?;
-                Frame::injected(self.sn, elem.0, got, jam.text.clone(), args, usr)
+                let tpl = self.template(elem)?;
+                crate::frame::validate_section_lens(&tpl.got, &tpl.code, &args, &usr)?;
+                Frame::injected(sn, elem.0, tpl.got.to_vec(), tpl.code.to_vec(), args, usr)
             }
         };
         Ok(frame)
@@ -539,30 +888,105 @@ impl TwoChainsSender {
 
     /// Cost of packing `frame` on the sending CPU.
     pub fn pack_cost(&self, frame: &Frame) -> SimTime {
-        self.pack_fixed + SimTime::from_ns_f64(frame.wire_size() as f64 * self.pack_ns_per_byte)
+        self.pack_cost_for_len(frame.wire_size())
     }
 
-    /// Pack-and-send convenience: returns both the frame and the send outcome.
+    /// The §III-A packing cost model for a frame of `len` wire bytes — the single
+    /// definition both [`TwoChainsSender::pack_cost`] and the send paths charge.
+    fn pack_cost_for_len(&self, len: usize) -> SimTime {
+        self.pack_fixed + SimTime::from_ns_f64(len as f64 * self.pack_ns_per_byte)
+    }
+
+    /// Send an already-packed frame: encode into the reusable scratch buffer and put.
     pub fn send(
         &mut self,
         now: SimTime,
         frame: &Frame,
         target: &MailboxTarget,
     ) -> AmResult<AmSendOutcome> {
-        let bytes = frame.encode();
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        frame.encode_into(&mut buf);
+        let result = self.put_frame(now, &buf, target);
+        self.encode_buf = buf;
+        result
+    }
+
+    /// The allocation-free send path: encode the frame for `elem` directly from the
+    /// template cache (GOT + code memcpy'd from their `Arc`s) and the borrowed
+    /// `args`/`usr` slices into the reusable scratch buffer, then put. Produces wire
+    /// bytes identical to [`TwoChainsSender::pack`] + [`TwoChainsSender::send`].
+    pub fn send_message(
+        &mut self,
+        now: SimTime,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        crate::frame::validate_section_lens(&[], &[], args, usr)?;
+        self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        let encoded = match mode {
+            InvocationMode::Local => {
+                encode_wire_into(sn, elem.0, false, &[], &[], args, usr, &mut buf);
+                Ok(())
+            }
+            InvocationMode::Injected => match self.template(elem) {
+                Ok(tpl) => {
+                    match crate::frame::validate_section_lens(&tpl.got, &tpl.code, args, usr) {
+                        Ok(()) => {
+                            encode_wire_into(
+                                sn, elem.0, true, &tpl.got, &tpl.code, args, usr, &mut buf,
+                            );
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Err(e) => Err(e),
+            },
+        };
+        let result = match encoded {
+            Ok(()) => self.put_frame(now, &buf, target),
+            Err(e) => Err(e),
+        };
+        self.encode_buf = buf;
+        result
+    }
+
+    /// Common tail of both send paths: capacity check, pack-cost model, one put.
+    fn put_frame(
+        &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
         if bytes.len() > target.capacity {
-            return Err(AmError::FrameTooLarge { needed: bytes.len(), capacity: target.capacity });
+            return Err(AmError::FrameTooLarge {
+                needed: bytes.len(),
+                capacity: target.capacity,
+            });
         }
-        let pack_cost = self.pack_cost(frame);
-        let put = self.endpoint.put(now + pack_cost, &bytes, &target.region, target.offset)?;
+        let pack_cost = self.pack_cost_for_len(bytes.len());
+        let put = self
+            .endpoint
+            .put(now + pack_cost, bytes, &target.region, target.offset)?;
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
-        Ok(AmSendOutcome { pack_cost, put, wire_bytes: bytes.len() })
+        Ok(AmSendOutcome {
+            pack_cost,
+            put,
+            wire_bytes: bytes.len(),
+        })
     }
 
     /// Element id helper for the builtin benchmark jams.
     pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
-        self.package.id_of(jam.element_name()).ok_or(AmError::UnknownElement(u32::MAX))
+        self.package
+            .id_of(jam.element_name())
+            .ok_or(AmError::UnknownElement(u32::MAX))
     }
 }
 
@@ -577,7 +1001,9 @@ mod tests {
     fn testbed(cfg: RuntimeConfig) -> (TwoChainsHost, TwoChainsSender) {
         let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
         let mut receiver = TwoChainsHost::new(&fabric, b, cfg).unwrap();
-        receiver.install_package(benchmark_package().unwrap()).unwrap();
+        receiver
+            .install_package(benchmark_package().unwrap())
+            .unwrap();
         let ep = fabric.endpoint(a, b).unwrap();
         let mut sender = TwoChainsSender::new(ep, benchmark_package().unwrap());
         for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
@@ -589,7 +1015,9 @@ mod tests {
     }
 
     fn payload(n_ints: usize) -> Vec<u8> {
-        (0..n_ints as u32).flat_map(|v| (v + 1).to_le_bytes()).collect()
+        (0..n_ints as u32)
+            .flat_map(|v| (v + 1).to_le_bytes())
+            .collect()
     }
 
     #[test]
@@ -602,7 +1030,13 @@ mod tests {
         let target = rx.mailbox_target(0, 0).unwrap();
         let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
         let out = rx
-            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(out.result, (1..=8u64).sum::<u64>());
         assert!(out.handler_done > send.delivered());
@@ -625,23 +1059,45 @@ mod tests {
                 .unwrap();
             let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
             let out = rx
-                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .receive(
+                    0,
+                    0,
+                    Some(frame.wire_size()),
+                    send.delivered(),
+                    SimTime::ZERO,
+                )
                 .unwrap();
             results.push(out.result);
         }
-        assert_eq!(results[0], results[1], "same key must land at the same offset");
+        assert_eq!(
+            results[0], results[1],
+            "same key must land at the same offset"
+        );
         assert_eq!(rx.stats().local_executions, 1);
         assert_eq!(rx.stats().injected_executions, 1);
     }
 
     #[test]
     fn injected_frames_are_larger_but_not_slower_for_big_payloads() {
-        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
         let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
         let target = rx.mailbox_target(0, 0).unwrap();
-        let local = tx.pack(id, InvocationMode::Local, indirect_put_args(1, 1, 4), payload(1)).unwrap();
-        let injected =
-            tx.pack(id, InvocationMode::Injected, indirect_put_args(1, 1, 4), payload(1)).unwrap();
+        let local = tx
+            .pack(
+                id,
+                InvocationMode::Local,
+                indirect_put_args(1, 1, 4),
+                payload(1),
+            )
+            .unwrap();
+        let injected = tx
+            .pack(
+                id,
+                InvocationMode::Injected,
+                indirect_put_args(1, 1, 4),
+                payload(1),
+            )
+            .unwrap();
         assert_eq!(local.wire_size(), 64);
         assert_eq!(injected.wire_size(), 1472);
         let _ = (&rx, &target);
@@ -651,11 +1107,19 @@ mod tests {
     fn without_execution_skips_the_handler() {
         let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().without_execution());
         let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
-        let frame = tx.pack(id, InvocationMode::Injected, ssum_args(4), payload(4)).unwrap();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+            .unwrap();
         let target = rx.mailbox_target(0, 0).unwrap();
         let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
         let out = rx
-            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(out.exec.is_none());
         assert_eq!(out.result, 0);
@@ -671,11 +1135,19 @@ mod tests {
         let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
         // Corrupt the sender's notion of the GOT — the hardened receiver ignores it.
         tx.set_remote_got(id, &GotImage::with_slots(1));
-        let frame = tx.pack(id, InvocationMode::Injected, ssum_args(4), payload(4)).unwrap();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+            .unwrap();
         let target = rx.mailbox_target(0, 0).unwrap();
         let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
         let out = rx
-            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(out.result, 10);
     }
@@ -683,14 +1155,25 @@ mod tests {
     #[test]
     fn unknown_local_element_is_rejected() {
         let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
-        let frame = tx.pack(ElementId(999), InvocationMode::Local, ssum_args(1), payload(1));
+        let frame = tx.pack(
+            ElementId(999),
+            InvocationMode::Local,
+            ssum_args(1),
+            payload(1),
+        );
         // Packing a local frame for an unknown element succeeds (the id is opaque to
         // the sender) but the receiver rejects it.
         let frame = frame.unwrap();
         let target = rx.mailbox_target(0, 0).unwrap();
         let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
         let err = rx
-            .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, AmError::UnknownElement(999)));
     }
@@ -698,9 +1181,13 @@ mod tests {
     #[test]
     fn empty_mailbox_reports_empty() {
         let (mut rx, _tx) = testbed(RuntimeConfig::paper_default());
-        let err = rx.receive(0, 0, Some(64), SimTime::ZERO, SimTime::ZERO).unwrap_err();
+        let err = rx
+            .receive(0, 0, Some(64), SimTime::ZERO, SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err, AmError::Empty);
-        let err = rx.receive(0, 1, None, SimTime::ZERO, SimTime::ZERO).unwrap_err();
+        let err = rx
+            .receive(0, 1, None, SimTime::ZERO, SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err, AmError::Empty);
     }
 
@@ -708,10 +1195,15 @@ mod tests {
     fn oversized_frame_rejected_at_send_time() {
         let mut cfg = RuntimeConfig::paper_default();
         cfg.frame_capacity = 2048;
-        let (mut rx, mut tx) = testbed(cfg);
+        let (rx, mut tx) = testbed(cfg);
         let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
         let frame = tx
-            .pack(id, InvocationMode::Injected, indirect_put_args(1, 4096, 4), payload(4096))
+            .pack(
+                id,
+                InvocationMode::Injected,
+                indirect_put_args(1, 4096, 4),
+                payload(4096),
+            )
             .unwrap();
         let target = rx.mailbox_target(0, 0).unwrap();
         assert!(matches!(
@@ -726,12 +1218,17 @@ mod tests {
         let mut rx = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
         rx.install_package(benchmark_package().unwrap()).unwrap();
         // This sender never received the receiver's exported GOT images.
-        let mut tx = TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
+        let mut tx =
+            TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
         let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
-        let err = tx.pack(id, InvocationMode::Injected, ssum_args(1), payload(1)).unwrap_err();
+        let err = tx
+            .pack(id, InvocationMode::Injected, ssum_args(1), payload(1))
+            .unwrap_err();
         assert!(matches!(err, AmError::Link(_)));
         // Local frames need no GOT exchange.
-        assert!(tx.pack(id, InvocationMode::Local, ssum_args(1), payload(1)).is_ok());
+        assert!(tx
+            .pack(id, InvocationMode::Local, ssum_args(1), payload(1))
+            .is_ok());
     }
 
     #[test]
@@ -740,11 +1237,19 @@ mod tests {
         let (mut rx_wfe, mut tx2) = testbed(RuntimeConfig::paper_default().with_wfe());
         let id = rx_poll.builtin_id(BuiltinJam::ServerSideSum).unwrap();
         for (rx, tx) in [(&mut rx_poll, &mut tx1), (&mut rx_wfe, &mut tx2)] {
-            let frame = tx.pack(id, InvocationMode::Injected, ssum_args(8), payload(8)).unwrap();
+            let frame = tx
+                .pack(id, InvocationMode::Injected, ssum_args(8), payload(8))
+                .unwrap();
             let target = rx.mailbox_target(0, 0).unwrap();
             let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
             let out = rx
-                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .receive(
+                    0,
+                    0,
+                    Some(frame.wire_size()),
+                    send.delivered(),
+                    SimTime::ZERO,
+                )
                 .unwrap();
             assert_eq!(out.result, 36);
         }
@@ -765,12 +1270,23 @@ mod tests {
         let mut handler_times = Vec::new();
         for (rx, tx) in [(&mut rx_stash, &mut tx1), (&mut rx_nostash, &mut tx2)] {
             let frame = tx
-                .pack(id, InvocationMode::Injected, indirect_put_args(7, 64, 4), payload(64))
+                .pack(
+                    id,
+                    InvocationMode::Injected,
+                    indirect_put_args(7, 64, 4),
+                    payload(64),
+                )
                 .unwrap();
             let target = rx.mailbox_target(0, 0).unwrap();
             let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
             let out = rx
-                .receive(0, 0, Some(frame.wire_size()), send.delivered(), SimTime::ZERO)
+                .receive(
+                    0,
+                    0,
+                    Some(frame.wire_size()),
+                    send.delivered(),
+                    SimTime::ZERO,
+                )
                 .unwrap();
             handler_times.push(out.handler_time);
         }
@@ -779,6 +1295,300 @@ mod tests {
             "stashed handler ({}) should be faster than non-stashed ({})",
             handler_times[0],
             handler_times[1]
+        );
+    }
+
+    // ---- fast-path cache behaviour -------------------------------------------------
+
+    /// Drive `n` injected sends+receives of `elem` through the fast path.
+    fn pump_injected(
+        rx: &mut TwoChainsHost,
+        tx: &mut TwoChainsSender,
+        elem: ElementId,
+        n: usize,
+    ) -> Vec<ReceiveOutcome> {
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let mut outs = Vec::with_capacity(n);
+        for i in 0..n {
+            let args = ssum_args(4);
+            let usr = payload(4);
+            let send = tx
+                .send_message(
+                    SimTime::ZERO,
+                    elem,
+                    InvocationMode::Injected,
+                    &args,
+                    &usr,
+                    &target,
+                )
+                .unwrap();
+            let out = rx
+                .receive(0, 0, Some(send.wire_bytes), send.delivered(), SimTime::ZERO)
+                .unwrap();
+            assert_eq!(out.result, 10, "message {i} result");
+            outs.push(out);
+        }
+        outs
+    }
+
+    #[test]
+    fn steady_state_injected_dispatch_hits_all_caches() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let outs = pump_injected(&mut rx, &mut tx, id, 5);
+        // Exactly one decode+verify and one GOT parse, ever: the acceptance criterion
+        // "zero decode_program calls and zero program/GOT clones after the first
+        // message for a given element".
+        assert_eq!(rx.stats().injected_code_cache_misses, 1);
+        assert_eq!(rx.stats().injected_code_cache_hits, 4);
+        assert_eq!(rx.stats().got_cache_misses, 1);
+        assert_eq!(rx.stats().got_cache_hits, 4);
+        assert_eq!(rx.injected_cache_len(), 1);
+        // Sender side: one template build, then pure memcpy sends.
+        assert_eq!(tx.stats().template_misses, 1);
+        assert_eq!(tx.stats().template_hits, 4);
+        // The modelled dispatch cost drops once the caches are warm.
+        assert!(
+            outs[4].dispatch_time < outs[0].dispatch_time,
+            "warm dispatch ({}) should be cheaper than cold ({})",
+            outs[4].dispatch_time,
+            outs[0].dispatch_time
+        );
+    }
+
+    #[test]
+    fn cache_invalidation_restores_the_cold_path() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        pump_injected(&mut rx, &mut tx, id, 2);
+        assert_eq!(rx.stats().injected_code_cache_misses, 1);
+        rx.invalidate_injection_caches();
+        assert_eq!(rx.injected_cache_len(), 0);
+        pump_injected(&mut rx, &mut tx, id, 1);
+        assert_eq!(
+            rx.stats().injected_code_cache_misses,
+            2,
+            "post-invalidation miss"
+        );
+        // Package reinstall also invalidates (element ids may rebind).
+        rx.install_package(benchmark_package().unwrap()).unwrap();
+        assert_eq!(rx.injected_cache_len(), 0);
+    }
+
+    #[test]
+    fn live_update_invalidates_caches() {
+        use twochains_linker::RiedBuilder;
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        pump_injected(&mut rx, &mut tx, id, 2);
+        assert_eq!(rx.injected_cache_len(), 1);
+        // Loading any ried is a live update: cached resolutions must not survive.
+        rx.load_ried(&RiedBuilder::new("ried_noop").build(), true)
+            .unwrap();
+        assert_eq!(rx.injected_cache_len(), 0);
+        pump_injected(&mut rx, &mut tx, id, 1);
+        assert_eq!(rx.stats().injected_code_cache_misses, 2);
+    }
+
+    #[test]
+    fn hardened_mode_caches_local_resolution() {
+        let mut cfg = RuntimeConfig::paper_default();
+        cfg.security = crate::security::SecurityPolicy::hardened();
+        let (mut rx, mut tx) = testbed(cfg);
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        pump_injected(&mut rx, &mut tx, id, 3);
+        assert_eq!(rx.stats().got_cache_misses, 1, "one local re-resolution");
+        assert_eq!(rx.stats().got_cache_hits, 2);
+    }
+
+    #[test]
+    fn repeat_sends_are_byte_identical_without_repatching() {
+        let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let args = ssum_args(4);
+        let usr = payload(4);
+        // Two sends of the same element land in different mailboxes; capture both
+        // wire images before receiving.
+        let mut wires = Vec::new();
+        for slot in 0..2 {
+            let target = rx.mailbox_target(0, slot).unwrap();
+            let send = tx
+                .send_message(
+                    SimTime::ZERO,
+                    id,
+                    InvocationMode::Injected,
+                    &args,
+                    &usr,
+                    &target,
+                )
+                .unwrap();
+            wires.push(
+                rx.banks()
+                    .mailbox(0, slot)
+                    .unwrap()
+                    .read_frame(send.wire_bytes)
+                    .unwrap(),
+            );
+        }
+        // Only one GOT patch / code capture happened for both sends.
+        assert_eq!(tx.stats().template_misses, 1);
+        assert_eq!(tx.stats().template_hits, 1);
+        // The frames are byte-identical except the sequence number (header bytes 4..8
+        // and its 3-byte trailer echo).
+        let (a, b) = (&wires[0], &wires[1]);
+        assert_eq!(a.len(), b.len());
+        let len = a.len();
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            let sn_bytes = (4..8).contains(&i) || (len - 4..len - 1).contains(&i);
+            if sn_bytes {
+                continue;
+            }
+            assert_eq!(
+                x, y,
+                "wire byte {i} differs between two sends of the same element"
+            );
+        }
+    }
+
+    #[test]
+    fn send_message_matches_pack_plus_send() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let args = ssum_args(8);
+        let usr = payload(8);
+        // Fast path into slot 0.
+        let t0 = rx.mailbox_target(0, 0).unwrap();
+        let fast = tx
+            .send_message(
+                SimTime::ZERO,
+                id,
+                InvocationMode::Injected,
+                &args,
+                &usr,
+                &t0,
+            )
+            .unwrap();
+        // pack+send into slot 1.
+        let t1 = rx.mailbox_target(0, 1).unwrap();
+        let frame = tx
+            .pack(id, InvocationMode::Injected, args.clone(), usr.clone())
+            .unwrap();
+        let slow = tx.send(SimTime::ZERO, &frame, &t1).unwrap();
+        assert_eq!(fast.wire_bytes, slow.wire_bytes);
+        assert_eq!(fast.pack_cost, slow.pack_cost, "identical pack-cost model");
+        let out_fast = rx
+            .receive(0, 0, Some(fast.wire_bytes), fast.delivered(), SimTime::ZERO)
+            .unwrap();
+        let out_slow = rx
+            .receive(0, 1, Some(slow.wire_bytes), slow.delivered(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out_fast.result, out_slow.result);
+    }
+
+    #[test]
+    fn warm_hit_with_too_small_got_is_rejected_before_execution() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        // Message 1: well-formed injected frame, populates the code cache.
+        pump_injected(&mut rx, &mut tx, id, 1);
+        // Message 2: same code, but an empty GOT image. The cold path would reject
+        // this at verify time; a warm hit must reject it too, before executing.
+        let good = tx
+            .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+            .unwrap();
+        let bad = Frame::injected(
+            good.header.sn + 1,
+            id.0,
+            Vec::new(),
+            good.code.clone(),
+            ssum_args(4),
+            payload(4),
+        );
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &bad, &target).unwrap();
+        let executions_before = rx.stats().executions;
+        let err = rx
+            .receive(0, 0, Some(bad.wire_size()), send.delivered(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(&err, AmError::BadFrame(m) if m.contains("GOT")),
+            "expected a pre-execution GOT-size rejection, got {err:?}"
+        );
+        assert_eq!(
+            rx.stats().executions,
+            executions_before,
+            "nothing must have executed"
+        );
+    }
+
+    #[test]
+    fn hardened_overhead_is_charged_on_every_message() {
+        let mut cfg = RuntimeConfig::paper_default();
+        cfg.security = crate::security::SecurityPolicy::hardened();
+        let (mut rx, mut tx) = testbed(cfg);
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let outs = pump_injected(&mut rx, &mut tx, id, 3);
+        // The resolution work is cached, but the policy's modelled per-message cost
+        // must not be: warm hardened dispatch stays flat, and stays above what the
+        // overhead-free model would charge.
+        assert_eq!(
+            outs[1].dispatch_time, outs[2].dispatch_time,
+            "warm dispatch is steady"
+        );
+        let overhead = crate::security::SecurityPolicy::hardened().per_message_overhead(1);
+        assert!(overhead > SimTime::ZERO);
+        assert!(
+            outs[2].dispatch_time > overhead,
+            "warm hardened dispatch ({}) must include the per-message overhead ({overhead})",
+            outs[2].dispatch_time
+        );
+    }
+
+    #[test]
+    fn oversized_args_rejected_at_the_sender() {
+        let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        // 70000 > u16::MAX: the args length does not fit its wire field. Both send
+        // paths must error instead of emitting a self-inconsistent header.
+        let big = vec![0u8; 70_000];
+        let err = tx
+            .pack(id, InvocationMode::Local, big.clone(), Vec::new())
+            .unwrap_err();
+        assert!(matches!(&err, AmError::BadFrame(m) if m.contains("ARGS")));
+        let err = tx
+            .send_message(SimTime::ZERO, id, InvocationMode::Local, &big, &[], &target)
+            .unwrap_err();
+        assert!(matches!(&err, AmError::BadFrame(m) if m.contains("ARGS")));
+    }
+
+    #[test]
+    fn malformed_injected_code_is_rejected_not_cached() {
+        let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let mut frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(1), payload(1))
+            .unwrap();
+        // Truncate the code section to garbage of the declared length.
+        for b in frame.code.iter_mut() {
+            *b = 0xFF;
+        }
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let err = rx
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AmError::BadFrame(_)));
+        assert_eq!(
+            rx.injected_cache_len(),
+            0,
+            "garbage must not populate the cache"
         );
     }
 }

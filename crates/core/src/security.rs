@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn hardened_pays_resolution_cost() {
-        assert_eq!(SecurityPolicy::permissive().per_message_overhead(4), SimTime::ZERO);
+        assert_eq!(
+            SecurityPolicy::permissive().per_message_overhead(4),
+            SimTime::ZERO
+        );
         let cost = SecurityPolicy::hardened().per_message_overhead(4);
         assert!(cost > SimTime::ZERO && cost < SimTime::from_ns(500));
         // Cost grows with GOT size but is capped.

@@ -18,6 +18,22 @@ pub struct RuntimeStats {
     pub injected_executions: u64,
     /// Executions that used the Local Function path.
     pub local_executions: u64,
+    /// Injected dispatches that found the frame's code in the decoded-program cache
+    /// (no `decode_program`, no verify, no program clone).
+    pub injected_code_cache_hits: u64,
+    /// Injected dispatches that had to decode + verify the frame's code (first
+    /// message for a given `(element, code-hash)` or after cache invalidation).
+    pub injected_code_cache_misses: u64,
+    /// Injected dispatches that found the message's GOT image already parsed (or,
+    /// under the hardened policy, already re-resolved) in the GOT cache.
+    pub got_cache_hits: u64,
+    /// Injected dispatches that had to parse (or re-resolve) the GOT image.
+    pub got_cache_misses: u64,
+    /// Sends that hit the sender's frame-template cache (pre-patched GOT + encoded
+    /// code reused; no per-send GOT patch or code clone).
+    pub template_hits: u64,
+    /// Sends that built a frame template (first injected send of an element).
+    pub template_misses: u64,
     /// Total virtual time the receiver spent waiting for signals.
     pub wait_time: SimTime,
     /// Total virtual time spent in handler execution.

@@ -114,7 +114,10 @@ mod tests {
             let raw = b.link().put_timing(size).one_way();
             let ucx = b.put_latency(size);
             let overhead = (ucx.as_ns() - raw.as_ns()) / raw.as_ns();
-            assert!(overhead > 0.0 && overhead < 0.15, "size {size}: overhead {overhead}");
+            assert!(
+                overhead > 0.0 && overhead < 0.15,
+                "size {size}: overhead {overhead}"
+            );
         }
     }
 
@@ -122,7 +125,10 @@ mod tests {
     fn small_message_rate_is_software_bound() {
         let b = baseline();
         let gap = b.stream_gap(256);
-        assert!(gap >= SimTime::from_ns(500), "small messages pay the library overhead: {gap}");
+        assert!(
+            gap >= SimTime::from_ns(500),
+            "small messages pay the library overhead: {gap}"
+        );
     }
 
     #[test]

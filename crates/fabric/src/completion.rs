@@ -85,7 +85,10 @@ impl CompletionQueue {
     /// Block (in virtual time) until the oldest outstanding completion is ready.
     /// Returns the time at which it becomes ready, or `now` if nothing is outstanding.
     pub fn earliest_ready(&self, now: SimTime) -> SimTime {
-        self.entries.front().map(|c| c.ready_at.max(now)).unwrap_or(now)
+        self.entries
+            .front()
+            .map(|c| c.ready_at.max(now))
+            .unwrap_or(now)
     }
 
     /// Number of outstanding (unharvested) operations.
@@ -134,7 +137,10 @@ mod tests {
         let mut cq = CompletionQueue::new(2, SimTime::ZERO);
         assert!(cq.post(SimTime::from_ns(1)).is_some());
         assert!(cq.post(SimTime::from_ns(2)).is_some());
-        assert!(cq.post(SimTime::from_ns(3)).is_none(), "third post must be refused");
+        assert!(
+            cq.post(SimTime::from_ns(3)).is_none(),
+            "third post must be refused"
+        );
         cq.poll(SimTime::from_ns(10));
         assert!(cq.post(SimTime::from_ns(4)).is_some());
     }
@@ -144,14 +150,22 @@ mod tests {
         let mut cq = CompletionQueue::new(4, SimTime::ZERO);
         assert_eq!(cq.earliest_ready(SimTime::from_ns(5)), SimTime::from_ns(5));
         cq.post(SimTime::from_ns(100)).unwrap();
-        assert_eq!(cq.earliest_ready(SimTime::from_ns(5)), SimTime::from_ns(100));
-        assert_eq!(cq.earliest_ready(SimTime::from_ns(150)), SimTime::from_ns(150));
+        assert_eq!(
+            cq.earliest_ready(SimTime::from_ns(5)),
+            SimTime::from_ns(100)
+        );
+        assert_eq!(
+            cq.earliest_ready(SimTime::from_ns(150)),
+            SimTime::from_ns(150)
+        );
     }
 
     #[test]
     fn ids_are_unique_and_monotonic() {
         let mut cq = CompletionQueue::new(8, SimTime::ZERO);
-        let ids: Vec<_> = (0..5).map(|i| cq.post(SimTime::from_ns(i)).unwrap()).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| cq.post(SimTime::from_ns(i)).unwrap())
+            .collect();
         for w in ids.windows(2) {
             assert!(w[1] > w[0]);
         }

@@ -65,7 +65,14 @@ impl std::fmt::Debug for Endpoint {
 
 impl Endpoint {
     pub(crate) fn new(link: LinkModel, src: Arc<HostState>, dst: Arc<HostState>) -> Self {
-        Endpoint { link, src, dst, last_delivered: SimTime::ZERO, ops: 0, bytes: 0 }
+        Endpoint {
+            link,
+            src,
+            dst,
+            last_delivered: SimTime::ZERO,
+            ops: 0,
+            bytes: 0,
+        }
     }
 
     /// The link model this endpoint uses.
@@ -101,7 +108,10 @@ impl Endpoint {
         op: &'static str,
     ) -> FabricResult<Arc<crate::region::MemoryRegion>> {
         if desc.host != self.dst.id.index() {
-            return Err(FabricError::NotConnected { from: self.src.id.index(), to: desc.host });
+            return Err(FabricError::NotConnected {
+                from: self.src.id.index(),
+                to: desc.host,
+            });
         }
         let region = self.dst.find_region(desc.base_addr, desc.len)?;
         // The HCA validates the presented rkey against the memory region's key and
@@ -109,7 +119,11 @@ impl Endpoint {
         region.rkey().validate(desc.rkey)?;
         check_permission(region.flags(), op)?;
         if offset + len > region.len() {
-            return Err(FabricError::OutOfBounds { offset, len, region_len: region.len() });
+            return Err(FabricError::OutOfBounds {
+                offset,
+                len,
+                region_len: region.len(),
+            });
         }
         Ok(region)
     }
@@ -177,7 +191,12 @@ impl Endpoint {
         self.ops += 1;
         self.bytes += data.len() as u64;
         self.last_delivered = self.last_delivered.max(delivered);
-        Ok(PutOutcome { sender_free, delivered, dma_cost, bytes: data.len() })
+        Ok(PutOutcome {
+            sender_free,
+            delivered,
+            dma_cost,
+            bytes: data.len(),
+        })
     }
 
     /// One-sided get (RDMA read) of `len` bytes from the remote region.
@@ -200,7 +219,15 @@ impl Endpoint {
         self.ops += 1;
         self.bytes += len as u64;
         self.last_delivered = self.last_delivered.max(delivered);
-        Ok((data, PutOutcome { sender_free, delivered, dma_cost: SimTime::ZERO, bytes: len }))
+        Ok((
+            data,
+            PutOutcome {
+                sender_free,
+                delivered,
+                dma_cost: SimTime::ZERO,
+                bytes: len,
+            },
+        ))
     }
 
     /// Remote fetch-and-add on an 8-byte-aligned offset. Returns the previous value.
@@ -220,7 +247,15 @@ impl Endpoint {
         self.ops += 1;
         self.bytes += 8;
         self.last_delivered = self.last_delivered.max(delivered);
-        Ok((old, PutOutcome { sender_free, delivered, dma_cost: SimTime::ZERO, bytes: 8 }))
+        Ok((
+            old,
+            PutOutcome {
+                sender_free,
+                delivered,
+                dma_cost: SimTime::ZERO,
+                bytes: 8,
+            },
+        ))
     }
 
     /// Issue a fence: subsequent operations are not delivered before all preceding
@@ -266,13 +301,23 @@ mod tests {
     #[test]
     fn put_moves_bytes_and_reports_timing() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rwx()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rwx())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
-        let out = ep.put(SimTime::ZERO, b"function injection", &desc, 100).unwrap();
+        let out = ep
+            .put(SimTime::ZERO, b"function injection", &desc, 100)
+            .unwrap();
         assert_eq!(dst_region.read(100, 18).unwrap(), b"function injection");
         assert!(out.delivered > out.sender_free);
-        assert!(out.delivered > SimTime::from_ns(900), "one-way should be ~1us, got {}", out.delivered);
+        assert!(
+            out.delivered > SimTime::from_ns(900),
+            "one-way should be ~1us, got {}",
+            out.delivered
+        );
         assert_eq!(out.bytes, 18);
         assert_eq!(ep.ops(), 1);
         assert_eq!(ep.bytes(), 18);
@@ -281,7 +326,11 @@ mod tests {
     #[test]
     fn put_with_wrong_rkey_is_rejected() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rwx()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rwx())
+            .unwrap();
         let mut desc = dst_region.descriptor();
         desc.rkey = RKey(desc.rkey.raw() ^ 0xFFFF);
         let mut ep = fabric.endpoint(a, b).unwrap();
@@ -292,7 +341,11 @@ mod tests {
     #[test]
     fn put_to_readonly_region_is_rejected() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::ro()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::ro())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         assert!(matches!(
@@ -306,7 +359,11 @@ mod tests {
     #[test]
     fn out_of_bounds_put_is_rejected() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(64, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(64, AccessFlags::rw())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         assert!(matches!(
@@ -319,19 +376,30 @@ mod tests {
     #[test]
     fn get_reads_remote_memory() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(128, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(128, AccessFlags::rw())
+            .unwrap();
         dst_region.write(0, b"remote state").unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         let (data, out) = ep.get(SimTime::ZERO, &desc, 0, 12).unwrap();
         assert_eq!(data, b"remote state");
-        assert!(out.delivered > SimTime::from_ns(1000), "get is a round trip");
+        assert!(
+            out.delivered > SimTime::from_ns(1000),
+            "get is a round trip"
+        );
     }
 
     #[test]
     fn atomic_add_round_trips() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(64, AccessFlags::rwx()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(64, AccessFlags::rwx())
+            .unwrap();
         dst_region.store_u64(8, 100).unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
@@ -347,7 +415,11 @@ mod tests {
     #[test]
     fn larger_puts_take_longer() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(64 * 1024, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(64 * 1024, AccessFlags::rw())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         let small = ep.put(SimTime::ZERO, &[1u8; 64], &desc, 0).unwrap();
@@ -359,7 +431,11 @@ mod tests {
     #[test]
     fn flush_reports_completion_horizon() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(8192, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(8192, AccessFlags::rw())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         assert_eq!(ep.flush(SimTime::from_ns(5)), SimTime::from_ns(5));
@@ -383,18 +459,31 @@ mod tests {
         let fabric = SimFabric::new(cfg);
         let a = fabric.add_host(TestbedConfig::tiny_for_tests());
         let b = fabric.add_host(TestbedConfig::tiny_for_tests());
-        let dst_region = fabric.host(b).unwrap().register(4096, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
-        let out = ep.put_unordered(SimTime::ZERO, &[7u8; 1024], &desc, 0).unwrap();
+        let out = ep
+            .put_unordered(SimTime::ZERO, &[7u8; 1024], &desc, 0)
+            .unwrap();
         let after_fence = ep.fence(out.sender_free);
-        assert!(after_fence >= out.delivered, "fence must wait for outstanding puts");
+        assert!(
+            after_fence >= out.delivered,
+            "fence must wait for outstanding puts"
+        );
     }
 
     #[test]
     fn back_to_back_streaming_is_gap_limited() {
         let (fabric, a, b) = setup();
-        let dst_region = fabric.host(b).unwrap().register(1 << 20, AccessFlags::rw()).unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(1 << 20, AccessFlags::rw())
+            .unwrap();
         let desc = dst_region.descriptor();
         let mut ep = fabric.endpoint(a, b).unwrap();
         // Fire 16 x 32KiB puts back to back; delivery of the last should be roughly
@@ -403,7 +492,9 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut last = SimTime::ZERO;
         for i in 0..16usize {
-            let out = ep.put(now, &vec![0u8; size], &desc, (i % 4) * size).unwrap();
+            let out = ep
+                .put(now, &vec![0u8; size], &desc, (i % 4) * size)
+                .unwrap();
             now = out.sender_free;
             last = out.delivered;
         }

@@ -85,10 +85,20 @@ mod tests {
     #[test]
     fn errors_render_useful_messages() {
         let cases: Vec<(FabricError, &str)> = vec![
-            (FabricError::InvalidRkey { presented: 0xdead }, "invalid rkey"),
-            (FabricError::PermissionDenied { op: "put" }, "permission denied for put"),
             (
-                FabricError::OutOfBounds { offset: 10, len: 20, region_len: 16 },
+                FabricError::InvalidRkey { presented: 0xdead },
+                "invalid rkey",
+            ),
+            (
+                FabricError::PermissionDenied { op: "put" },
+                "permission denied for put",
+            ),
+            (
+                FabricError::OutOfBounds {
+                    offset: 10,
+                    len: 20,
+                    region_len: 16,
+                },
                 "out of bounds",
             ),
             (FabricError::NoSuchHost(3), "no such host"),

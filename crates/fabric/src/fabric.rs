@@ -40,7 +40,10 @@ pub struct FabricConfig {
 
 impl Default for FabricConfig {
     fn default() -> Self {
-        FabricConfig { link: LinkModel::connectx6_back_to_back(), va_base: 0x0001_0000_0000 }
+        FabricConfig {
+            link: LinkModel::connectx6_back_to_back(),
+            va_base: 0x0001_0000_0000,
+        }
     }
 }
 
@@ -79,12 +82,16 @@ impl HostState {
 
     /// Register `len` bytes with the given permissions; allocates a fresh simulated
     /// virtual address range and generates the RKEY.
-    pub(crate) fn register(&self, len: usize, flags: AccessFlags) -> FabricResult<Arc<MemoryRegion>> {
+    pub(crate) fn register(
+        &self,
+        len: usize,
+        flags: AccessFlags,
+    ) -> FabricResult<Arc<MemoryRegion>> {
         let base = {
             let mut cursor = self.va_cursor.lock();
             let base = *cursor;
             // Keep registrations page-aligned and spaced, like mmap'd pinned buffers.
-            let advance = ((len + 4095) / 4096 * 4096) as u64 + 4096;
+            let advance = (len.div_ceil(4096) * 4096) as u64 + 4096;
             *cursor += advance;
             base
         };
@@ -126,14 +133,21 @@ pub struct SimFabric {
 
 impl std::fmt::Debug for SimFabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimFabric").field("hosts", &self.inner.hosts.read().len()).finish()
+        f.debug_struct("SimFabric")
+            .field("hosts", &self.inner.hosts.read().len())
+            .finish()
     }
 }
 
 impl SimFabric {
     /// Create an empty fabric.
     pub fn new(config: FabricConfig) -> Self {
-        SimFabric { inner: Arc::new(FabricInner { hosts: RwLock::new(Vec::new()), config }) }
+        SimFabric {
+            inner: Arc::new(FabricInner {
+                hosts: RwLock::new(Vec::new()),
+                config,
+            }),
+        }
     }
 
     /// Create a fabric with the default (paper-testbed) configuration.
@@ -159,7 +173,12 @@ impl SimFabric {
     pub fn add_host(&self, cfg: TestbedConfig) -> HostId {
         let mut hosts = self.inner.hosts.write();
         let id = HostId(hosts.len());
-        let host = HostState::new(id, cfg, self.inner.config.link.clone(), self.inner.config.va_base);
+        let host = HostState::new(
+            id,
+            cfg,
+            self.inner.config.link.clone(),
+            self.inner.config.va_base,
+        );
         hosts.push(Arc::new(host));
         id
     }
@@ -181,13 +200,17 @@ impl SimFabric {
     /// A handle for performing host-local operations (registration, hierarchy access,
     /// NIC toggles).
     pub fn host(&self, id: HostId) -> FabricResult<HostHandle> {
-        Ok(HostHandle { state: self.host_state(id)? })
+        Ok(HostHandle {
+            state: self.host_state(id)?,
+        })
     }
 
     /// Create an endpoint (queue pair) from `from` to `to`.
     pub fn endpoint(&self, from: HostId, to: HostId) -> FabricResult<Endpoint> {
         if from == to {
-            return Err(FabricError::InvalidArgument("loopback endpoints are not modelled"));
+            return Err(FabricError::InvalidArgument(
+                "loopback endpoints are not modelled",
+            ));
         }
         let src = self.host_state(from)?;
         let dst = self.host_state(to)?;
@@ -203,7 +226,9 @@ pub struct HostHandle {
 
 impl std::fmt::Debug for HostHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HostHandle").field("id", &self.state.id).finish()
+        f.debug_struct("HostHandle")
+            .field("id", &self.state.id)
+            .finish()
     }
 }
 
@@ -331,7 +356,9 @@ mod tests {
     #[test]
     fn multi_host_fabric() {
         let fabric = SimFabric::with_defaults();
-        let ids: Vec<_> = (0..4).map(|_| fabric.add_host(TestbedConfig::tiny_for_tests())).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|_| fabric.add_host(TestbedConfig::tiny_for_tests()))
+            .collect();
         assert_eq!(fabric.num_hosts(), 4);
         // all-to-all endpoints work
         for &x in &ids {

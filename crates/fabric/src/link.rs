@@ -107,10 +107,18 @@ impl LinkModel {
             thresholds: vec![
                 // UCX-like eager-short -> bcopy switch; the Injected Function frame
                 // for a handful of integers (≈1.5 KiB) lands just above it.
-                ProtocolThreshold { size: 1498, window: 32, penalty: SimTime::from_ns(90) },
+                ProtocolThreshold {
+                    size: 1498,
+                    window: 32,
+                    penalty: SimTime::from_ns(90),
+                },
                 // bcopy fragmentation boundary; the ≈2.5 KiB Injected frame for 256
                 // integers lands just above it.
-                ProtocolThreshold { size: 2490, window: 32, penalty: SimTime::from_ns(110) },
+                ProtocolThreshold {
+                    size: 2490,
+                    window: 32,
+                    penalty: SimTime::from_ns(110),
+                },
             ],
             rendezvous_threshold: 64 * 1024,
             ordered_delivery: true,
@@ -175,7 +183,11 @@ impl LinkModel {
         // The wire gap bounds streaming rate; per-message posting + doorbell cost
         // bounds it when messages are tiny.
         let gap = serialization.max(self.post_overhead + self.doorbell);
-        LinkTiming { sender_cpu, network, gap }
+        LinkTiming {
+            sender_cpu,
+            network,
+            gap,
+        }
     }
 
     /// Timing of a one-sided get (read) of `size` bytes: a request flies to the
@@ -204,7 +216,10 @@ mod tests {
     fn small_message_latency_is_about_a_microsecond() {
         let m = LinkModel::connectx6_back_to_back();
         let t = m.put_timing(64).one_way();
-        assert!(t >= SimTime::from_ns(800) && t <= SimTime::from_ns(1300), "got {t}");
+        assert!(
+            t >= SimTime::from_ns(800) && t <= SimTime::from_ns(1300),
+            "got {t}"
+        );
     }
 
     #[test]
@@ -212,8 +227,14 @@ mod tests {
         let m = LinkModel::connectx6_back_to_back();
         let small = m.put_timing(256).one_way();
         let large = m.put_timing(32 * 1024).one_way();
-        assert!(large > small * 2, "32KiB ({large}) should be much slower than 256B ({small})");
-        assert!(large < SimTime::from_us(6), "but still in the microsecond regime: {large}");
+        assert!(
+            large > small * 2,
+            "32KiB ({large}) should be much slower than 256B ({small})"
+        );
+        assert!(
+            large < SimTime::from_us(6),
+            "but still in the microsecond regime: {large}"
+        );
     }
 
     #[test]
@@ -238,9 +259,19 @@ mod tests {
     fn threshold_penalty_applies_just_past_the_boundary() {
         let m = LinkModel::connectx6_back_to_back();
         assert_eq!(m.threshold_penalty(1400), SimTime::ZERO);
-        assert!(m.threshold_penalty(1500) > SimTime::ZERO, "1500B just crossed 1498");
-        assert_eq!(m.threshold_penalty(1600), SimTime::ZERO, "well past the window");
-        assert!(m.threshold_penalty(2492) > SimTime::ZERO, "2492B just crossed 2490");
+        assert!(
+            m.threshold_penalty(1500) > SimTime::ZERO,
+            "1500B just crossed 1498"
+        );
+        assert_eq!(
+            m.threshold_penalty(1600),
+            SimTime::ZERO,
+            "well past the window"
+        );
+        assert!(
+            m.threshold_penalty(2492) > SimTime::ZERO,
+            "2492B just crossed 2490"
+        );
         assert_eq!(m.threshold_penalty(3000), SimTime::ZERO);
     }
 
@@ -262,7 +293,9 @@ mod tests {
         // Local Function frames are 60 + 4*n bytes (64 B for one integer); none of the
         // swept payload sizes should land in a penalty window.
         let m = LinkModel::connectx6_back_to_back();
-        for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+        for n in [
+            1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+        ] {
             assert_eq!(m.threshold_penalty(60 + 4 * n), SimTime::ZERO, "n={n}");
         }
     }

@@ -55,13 +55,27 @@ impl MemoryRegion {
     /// Create a region of `len` bytes at `base_addr` in `host`'s address space.
     /// Normally called through `SimFabric::register`, which allocates the address and
     /// the rkey nonce.
-    pub fn new(host: usize, base_addr: u64, len: usize, flags: AccessFlags, nonce: u32) -> FabricResult<Arc<Self>> {
+    pub fn new(
+        host: usize,
+        base_addr: u64,
+        len: usize,
+        flags: AccessFlags,
+        nonce: u32,
+    ) -> FabricResult<Arc<Self>> {
         if len == 0 {
-            return Err(FabricError::InvalidArgument("cannot register a zero-length region"));
+            return Err(FabricError::InvalidArgument(
+                "cannot register a zero-length region",
+            ));
         }
         let bytes: Box<[AtomicU8]> = (0..len).map(|_| AtomicU8::new(0)).collect();
         let rkey = RKey::generate(base_addr, len, flags, nonce);
-        Ok(Arc::new(MemoryRegion { bytes, base_addr, host, rkey, flags }))
+        Ok(Arc::new(MemoryRegion {
+            bytes,
+            base_addr,
+            host,
+            rkey,
+            flags,
+        }))
     }
 
     /// The region's descriptor for out-of-band exchange.
@@ -111,10 +125,18 @@ impl MemoryRegion {
     }
 
     fn check_bounds(&self, offset: usize, len: usize) -> FabricResult<()> {
-        if offset.checked_add(len).map(|end| end <= self.bytes.len()).unwrap_or(false) {
+        if offset
+            .checked_add(len)
+            .map(|end| end <= self.bytes.len())
+            .unwrap_or(false)
+        {
             Ok(())
         } else {
-            Err(FabricError::OutOfBounds { offset, len, region_len: self.bytes.len() })
+            Err(FabricError::OutOfBounds {
+                offset,
+                len,
+                region_len: self.bytes.len(),
+            })
         }
     }
 
@@ -130,7 +152,9 @@ impl MemoryRegion {
     /// Read `len` bytes at `offset` with relaxed ordering.
     pub fn read(&self, offset: usize, len: usize) -> FabricResult<Vec<u8>> {
         self.check_bounds(offset, len)?;
-        Ok((0..len).map(|i| self.bytes[offset + i].load(Ordering::Relaxed)).collect())
+        Ok((0..len)
+            .map(|i| self.bytes[offset + i].load(Ordering::Relaxed))
+            .collect())
     }
 
     /// Read into a caller-provided buffer (avoids the allocation of [`MemoryRegion::read`]).
@@ -192,7 +216,7 @@ impl MemoryRegion {
     /// Fetch-and-add on an 8-byte-aligned u64, as an RDMA atomic would perform it.
     /// Returns the previous value.
     pub fn fetch_add_u64(&self, offset: usize, operand: u64) -> FabricResult<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(FabricError::Misaligned { offset });
         }
         self.check_bounds(offset, 8)?;
@@ -269,7 +293,10 @@ mod tests {
         r.store_u64(0, 40).unwrap();
         assert_eq!(r.fetch_add_u64(0, 2).unwrap(), 40);
         assert_eq!(r.load_u64(0).unwrap(), 42);
-        assert!(matches!(r.fetch_add_u64(3, 1), Err(FabricError::Misaligned { .. })));
+        assert!(matches!(
+            r.fetch_add_u64(3, 1),
+            Err(FabricError::Misaligned { .. })
+        ));
     }
 
     #[test]

@@ -32,8 +32,15 @@ impl std::error::Error for AsmError {}
 enum Slot {
     Ready(Instr),
     /// A jump/branch whose target label is not yet resolved.
-    PendingJump { label: String },
-    PendingBranch { cond: Cond, a: Reg, b: Reg, label: String },
+    PendingJump {
+        label: String,
+    },
+    PendingBranch {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        label: String,
+    },
 }
 
 /// The assembler.
@@ -52,7 +59,11 @@ impl Assembler {
 
     /// Define a label at the current position.
     pub fn label(&mut self, name: &str) -> &mut Self {
-        if self.labels.insert(name.to_string(), self.slots.len() as u32).is_some() {
+        if self
+            .labels
+            .insert(name.to_string(), self.slots.len() as u32)
+            .is_some()
+        {
             self.dup = Some(name.to_string());
         }
         self
@@ -76,17 +87,32 @@ impl Assembler {
 
     /// `dst = a + b`
     pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Add, dst, a, b })
+        self.push(Instr::Alu {
+            op: AluOp::Add,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a - b`
     pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Sub, dst, a, b })
+        self.push(Instr::Alu {
+            op: AluOp::Sub,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = a * b`
     pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Mul, dst, a, b })
+        self.push(Instr::Alu {
+            op: AluOp::Mul,
+            dst,
+            a,
+            b,
+        })
     }
 
     /// `dst = src <op> imm`
@@ -101,12 +127,22 @@ impl Assembler {
 
     /// Load with the given width.
     pub fn load(&mut self, width: Width, dst: Reg, addr: Reg, offset: u32) -> &mut Self {
-        self.push(Instr::Load { width, dst, addr, offset })
+        self.push(Instr::Load {
+            width,
+            dst,
+            addr,
+            offset,
+        })
     }
 
     /// Store with the given width.
     pub fn store(&mut self, width: Width, src: Reg, addr: Reg, offset: u32) -> &mut Self {
-        self.push(Instr::Store { width, src, addr, offset })
+        self.push(Instr::Store {
+            width,
+            src,
+            addr,
+            offset,
+        })
     }
 
     /// Bulk copy.
@@ -116,13 +152,20 @@ impl Assembler {
 
     /// Unconditional jump to a label.
     pub fn jump(&mut self, label: &str) -> &mut Self {
-        self.slots.push(Slot::PendingJump { label: label.to_string() });
+        self.slots.push(Slot::PendingJump {
+            label: label.to_string(),
+        });
         self
     }
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::PendingBranch { cond, a, b, label: label.to_string() });
+        self.slots.push(Slot::PendingBranch {
+            cond,
+            a,
+            b,
+            label: label.to_string(),
+        });
         self
     }
 
@@ -262,7 +305,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(AsmError::UndefinedLabel("a".into()).to_string().contains("undefined"));
-        assert!(AsmError::DuplicateLabel("b".into()).to_string().contains("duplicate"));
+        assert!(AsmError::UndefinedLabel("a".into())
+            .to_string()
+            .contains("undefined"));
+        assert!(AsmError::DuplicateLabel("b".into())
+            .to_string()
+            .contains("duplicate"));
     }
 }

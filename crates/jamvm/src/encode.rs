@@ -38,7 +38,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadOpcode { offset, opcode } => {
                 write!(f, "bad opcode {opcode:#04x} at offset {offset}")
             }
-            DecodeError::Truncated { offset } => write!(f, "truncated instruction at offset {offset}"),
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated instruction at offset {offset}")
+            }
             DecodeError::BadField { offset, field } => {
                 write!(f, "invalid {field} field at offset {offset}")
             }
@@ -176,21 +178,36 @@ fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
             out.push(a.0);
             out.push(b.0);
         }
-        Instr::AluImm { op: o, dst, src, imm } => {
+        Instr::AluImm {
+            op: o,
+            dst,
+            src,
+            imm,
+        } => {
             out.push(op::ALU_IMM);
             out.push(alu_code(o));
             out.push(dst.0);
             out.push(src.0);
             out.extend_from_slice(&imm.to_le_bytes());
         }
-        Instr::Load { width, dst, addr, offset } => {
+        Instr::Load {
+            width,
+            dst,
+            addr,
+            offset,
+        } => {
             out.push(op::LOAD);
             out.push(width_code(width));
             out.push(dst.0);
             out.push(addr.0);
             out.extend_from_slice(&offset.to_le_bytes());
         }
-        Instr::Store { width, src, addr, offset } => {
+        Instr::Store {
+            width,
+            src,
+            addr,
+            offset,
+        } => {
             out.push(op::STORE);
             out.push(width_code(width));
             out.push(src.0);
@@ -254,14 +271,19 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
             }
             op::MOV => {
                 need(2, pos)?;
-                let i = Instr::Mov { dst: Reg(bytes[pos]), src: Reg(bytes[pos + 1]) };
+                let i = Instr::Mov {
+                    dst: Reg(bytes[pos]),
+                    src: Reg(bytes[pos + 1]),
+                };
                 pos += 2;
                 i
             }
             op::ALU => {
                 need(4, pos)?;
-                let o = alu_from(bytes[pos])
-                    .ok_or(DecodeError::BadField { offset: start, field: "alu op" })?;
+                let o = alu_from(bytes[pos]).ok_or(DecodeError::BadField {
+                    offset: start,
+                    field: "alu op",
+                })?;
                 let i = Instr::Alu {
                     op: o,
                     dst: Reg(bytes[pos + 1]),
@@ -273,33 +295,54 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
             }
             op::ALU_IMM => {
                 need(11, pos)?;
-                let o = alu_from(bytes[pos])
-                    .ok_or(DecodeError::BadField { offset: start, field: "alu op" })?;
+                let o = alu_from(bytes[pos]).ok_or(DecodeError::BadField {
+                    offset: start,
+                    field: "alu op",
+                })?;
                 let dst = Reg(bytes[pos + 1]);
                 let src = Reg(bytes[pos + 2]);
                 let imm = u64::from_le_bytes(bytes[pos + 3..pos + 11].try_into().unwrap());
                 pos += 11;
-                Instr::AluImm { op: o, dst, src, imm }
+                Instr::AluImm {
+                    op: o,
+                    dst,
+                    src,
+                    imm,
+                }
             }
             op::LOAD => {
                 need(7, pos)?;
-                let width = width_from(bytes[pos])
-                    .ok_or(DecodeError::BadField { offset: start, field: "width" })?;
+                let width = width_from(bytes[pos]).ok_or(DecodeError::BadField {
+                    offset: start,
+                    field: "width",
+                })?;
                 let dst = Reg(bytes[pos + 1]);
                 let addr = Reg(bytes[pos + 2]);
                 let offset = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
                 pos += 7;
-                Instr::Load { width, dst, addr, offset }
+                Instr::Load {
+                    width,
+                    dst,
+                    addr,
+                    offset,
+                }
             }
             op::STORE => {
                 need(7, pos)?;
-                let width = width_from(bytes[pos])
-                    .ok_or(DecodeError::BadField { offset: start, field: "width" })?;
+                let width = width_from(bytes[pos]).ok_or(DecodeError::BadField {
+                    offset: start,
+                    field: "width",
+                })?;
                 let src = Reg(bytes[pos + 1]);
                 let addr = Reg(bytes[pos + 2]);
                 let offset = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
                 pos += 7;
-                Instr::Store { width, src, addr, offset }
+                Instr::Store {
+                    width,
+                    src,
+                    addr,
+                    offset,
+                }
             }
             op::MEMCPY => {
                 need(3, pos)?;
@@ -319,8 +362,10 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
             }
             op::BRANCH => {
                 need(7, pos)?;
-                let cond = cond_from(bytes[pos])
-                    .ok_or(DecodeError::BadField { offset: start, field: "cond" })?;
+                let cond = cond_from(bytes[pos]).ok_or(DecodeError::BadField {
+                    offset: start,
+                    field: "cond",
+                })?;
                 let a = Reg(bytes[pos + 1]);
                 let b = Reg(bytes[pos + 2]);
                 let target = u32::from_le_bytes(bytes[pos + 3..pos + 7].try_into().unwrap());
@@ -336,13 +381,21 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
             }
             op::HASH => {
                 need(2, pos)?;
-                let i = Instr::Hash { dst: Reg(bytes[pos]), src: Reg(bytes[pos + 1]) };
+                let i = Instr::Hash {
+                    dst: Reg(bytes[pos]),
+                    src: Reg(bytes[pos + 1]),
+                };
                 pos += 2;
                 i
             }
             op::NOP => Instr::Nop,
             op::RET => Instr::Ret,
-            other => return Err(DecodeError::BadOpcode { offset: start, opcode: other }),
+            other => {
+                return Err(DecodeError::BadOpcode {
+                    offset: start,
+                    opcode: other,
+                })
+            }
         };
         out.push(instr);
     }
@@ -356,17 +409,55 @@ mod tests {
 
     fn sample_program() -> Vec<Instr> {
         vec![
-            Instr::LoadImm { dst: Reg(1), imm: 0xDEAD_BEEF_0000_1234 },
-            Instr::Mov { dst: Reg(2), src: Reg(1) },
-            Instr::Alu { op: AluOp::Add, dst: Reg(3), a: Reg(1), b: Reg(2) },
-            Instr::AluImm { op: AluOp::Shl, dst: Reg(3), src: Reg(3), imm: 3 },
-            Instr::Load { width: Width::B4, dst: Reg(4), addr: Reg(3), offset: 16 },
-            Instr::Store { width: Width::B8, src: Reg(4), addr: Reg(3), offset: 24 },
-            Instr::Memcpy { dst: Reg(5), src: Reg(6), len: Reg(7) },
+            Instr::LoadImm {
+                dst: Reg(1),
+                imm: 0xDEAD_BEEF_0000_1234,
+            },
+            Instr::Mov {
+                dst: Reg(2),
+                src: Reg(1),
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(3),
+                a: Reg(1),
+                b: Reg(2),
+            },
+            Instr::AluImm {
+                op: AluOp::Shl,
+                dst: Reg(3),
+                src: Reg(3),
+                imm: 3,
+            },
+            Instr::Load {
+                width: Width::B4,
+                dst: Reg(4),
+                addr: Reg(3),
+                offset: 16,
+            },
+            Instr::Store {
+                width: Width::B8,
+                src: Reg(4),
+                addr: Reg(3),
+                offset: 24,
+            },
+            Instr::Memcpy {
+                dst: Reg(5),
+                src: Reg(6),
+                len: Reg(7),
+            },
             Instr::Jump { target: 9 },
-            Instr::Branch { cond: Cond::Less, a: Reg(1), b: Reg(2), target: 2 },
+            Instr::Branch {
+                cond: Cond::Less,
+                a: Reg(1),
+                b: Reg(2),
+                target: 2,
+            },
             Instr::CallExtern { slot: 3, nargs: 2 },
-            Instr::Hash { dst: Reg(8), src: Reg(1) },
+            Instr::Hash {
+                dst: Reg(8),
+                src: Reg(1),
+            },
             Instr::Nop,
             Instr::Ret,
         ]
@@ -391,9 +482,15 @@ mod tests {
     #[test]
     fn truncated_blob_is_rejected() {
         // Cut a multi-byte instruction (LoadImm is 10 bytes) in half.
-        let mut bytes = encode_program(&[Instr::LoadImm { dst: Reg(1), imm: 42 }]);
+        let mut bytes = encode_program(&[Instr::LoadImm {
+            dst: Reg(1),
+            imm: 42,
+        }]);
         bytes.truncate(5);
-        assert!(matches!(decode_program(&bytes), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -408,10 +505,19 @@ mod tests {
     fn bad_field_is_rejected() {
         // ALU with op code 42
         let bytes = vec![0x03, 42, 0, 0, 0];
-        assert!(matches!(decode_program(&bytes), Err(DecodeError::BadField { field: "alu op", .. })));
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(DecodeError::BadField {
+                field: "alu op",
+                ..
+            })
+        ));
         // Load with width code 9
         let bytes = vec![0x05, 9, 0, 0, 0, 0, 0, 0];
-        assert!(matches!(decode_program(&bytes), Err(DecodeError::BadField { field: "width", .. })));
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(DecodeError::BadField { field: "width", .. })
+        ));
     }
 
     #[test]
@@ -422,8 +528,13 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = DecodeError::BadOpcode { offset: 3, opcode: 0xAA };
+        let e = DecodeError::BadOpcode {
+            offset: 3,
+            opcode: 0xAA,
+        };
         assert!(e.to_string().contains("0xaa"));
-        assert!(DecodeError::Truncated { offset: 1 }.to_string().contains("truncated"));
+        assert!(DecodeError::Truncated { offset: 1 }
+            .to_string()
+            .contains("truncated"));
     }
 }

@@ -37,7 +37,9 @@ impl<'a> ExternCtx<'a> {
     /// Write a u64 at `addr`, charging the bus.
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), String> {
         self.elapsed += self.bus.access(self.core, addr, 8, AccessKind::Write);
-        self.space.write_scalar(addr, value, 8).map_err(|e| e.to_string())
+        self.space
+            .write_scalar(addr, value, 8)
+            .map_err(|e| e.to_string())
     }
 
     /// Copy `len` bytes from `src` to `dst`, charging the bus for both sides.
@@ -80,7 +82,9 @@ pub struct GotImage {
 impl GotImage {
     /// An image with `n` unresolved slots.
     pub fn with_slots(n: usize) -> Self {
-        GotImage { slots: vec![ExternRef::Unresolved; n] }
+        GotImage {
+            slots: vec![ExternRef::Unresolved; n],
+        }
     }
 
     /// Build directly from resolved references.
@@ -108,12 +112,17 @@ impl GotImage {
 
     /// Get a slot.
     pub fn get(&self, slot: usize) -> ExternRef {
-        self.slots.get(slot).copied().unwrap_or(ExternRef::Unresolved)
+        self.slots
+            .get(slot)
+            .copied()
+            .unwrap_or(ExternRef::Unresolved)
     }
 
     /// Whether every slot is resolved.
     pub fn fully_resolved(&self) -> bool {
-        self.slots.iter().all(|s| !matches!(s, ExternRef::Unresolved))
+        self.slots
+            .iter()
+            .all(|s| !matches!(s, ExternRef::Unresolved))
     }
 
     /// Serialize to the wire format carried in the message frame (8 bytes per slot:
@@ -142,7 +151,7 @@ impl GotImage {
     /// Deserialize from the wire format. Returns `None` if the length is not a
     /// multiple of 8 or a tag is unknown.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return None;
         }
         let mut slots = Vec::with_capacity(bytes.len() / 8);
@@ -170,7 +179,14 @@ pub struct ExternTable {
 impl std::fmt::Debug for ExternTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExternTable")
-            .field("functions", &self.funcs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
+            .field(
+                "functions",
+                &self
+                    .funcs
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -195,7 +211,10 @@ impl ExternTable {
 
     /// Find a function's index by name.
     pub fn index_of(&self, name: &str) -> Option<u32> {
-        self.funcs.iter().position(|(n, _)| n == name).map(|i| i as u32)
+        self.funcs
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| i as u32)
     }
 
     /// Number of registered functions.
@@ -214,12 +233,7 @@ impl ExternTable {
     }
 
     /// Call function `index` with `args`.
-    pub fn call(
-        &self,
-        index: u32,
-        ctx: &mut ExternCtx<'_>,
-        args: &[u64],
-    ) -> Result<u64, String> {
+    pub fn call(&self, index: u32, ctx: &mut ExternCtx<'_>, args: &[u64]) -> Result<u64, String> {
         let (_, f) = self
             .funcs
             .get(index as usize)
@@ -236,7 +250,15 @@ mod tests {
 
     fn ctx_parts() -> (AddressSpace, FlatMemory) {
         let mut space = AddressSpace::new();
-        space.map(Segment::new("heap", 0x1000, vec![0; 256], true, SegmentKind::Heap)).unwrap();
+        space
+            .map(Segment::new(
+                "heap",
+                0x1000,
+                vec![0; 256],
+                true,
+                SegmentKind::Heap,
+            ))
+            .unwrap();
         (space, FlatMemory::free())
     }
 
@@ -246,7 +268,12 @@ mod tests {
         let idx = table.register("add_one", Arc::new(|_ctx, args| Ok(args[0] + 1)));
         assert_eq!(table.index_of("add_one"), Some(idx));
         let (mut space, mut bus) = ctx_parts();
-        let mut ctx = ExternCtx { space: &mut space, bus: &mut bus, core: 0, elapsed: SimTime::ZERO };
+        let mut ctx = ExternCtx {
+            space: &mut space,
+            bus: &mut bus,
+            core: 0,
+            elapsed: SimTime::ZERO,
+        };
         assert_eq!(table.call(idx, &mut ctx, &[41]).unwrap(), 42);
         assert!(table.call(99, &mut ctx, &[]).is_err());
     }
@@ -257,23 +284,43 @@ mod tests {
         let a = table.register("f", Arc::new(|_, _| Ok(1)));
         let _b = table.register("g", Arc::new(|_, _| Ok(2)));
         let a2 = table.register("f", Arc::new(|_, _| Ok(10)));
-        assert_eq!(a, a2, "reload keeps the index so existing GOT images stay valid");
+        assert_eq!(
+            a, a2,
+            "reload keeps the index so existing GOT images stay valid"
+        );
         assert_eq!(table.len(), 2);
         let (mut space, mut bus) = ctx_parts();
-        let mut ctx = ExternCtx { space: &mut space, bus: &mut bus, core: 0, elapsed: SimTime::ZERO };
-        assert_eq!(table.call(a, &mut ctx, &[]).unwrap(), 10, "new binding is used");
+        let mut ctx = ExternCtx {
+            space: &mut space,
+            bus: &mut bus,
+            core: 0,
+            elapsed: SimTime::ZERO,
+        };
+        assert_eq!(
+            table.call(a, &mut ctx, &[]).unwrap(),
+            10,
+            "new binding is used"
+        );
     }
 
     #[test]
     fn extern_ctx_helpers_touch_memory_and_charge_bus() {
         let (mut space, mut bus) = ctx_parts();
         bus.per_access = SimTime::from_ns(5);
-        let mut ctx = ExternCtx { space: &mut space, bus: &mut bus, core: 0, elapsed: SimTime::ZERO };
+        let mut ctx = ExternCtx {
+            space: &mut space,
+            bus: &mut bus,
+            core: 0,
+            elapsed: SimTime::ZERO,
+        };
         ctx.write_u64(0x1000, 777).unwrap();
         assert_eq!(ctx.read_u64(0x1000).unwrap(), 777);
         ctx.memcpy(0x1040, 0x1000, 8).unwrap();
         assert_eq!(ctx.read_u64(0x1040).unwrap(), 777);
-        assert!(ctx.elapsed >= SimTime::from_ns(5 * 5), "bus charges accumulate");
+        assert!(
+            ctx.elapsed >= SimTime::from_ns(5 * 5),
+            "bus charges accumulate"
+        );
         ctx.charge(SimTime::from_ns(100));
         assert!(ctx.elapsed >= SimTime::from_ns(125));
         assert!(ctx.read_u64(0xdead_0000).is_err());
@@ -287,7 +334,11 @@ mod tests {
         got.set(1, ExternRef::Data(0xBEEF));
         assert!(got.fully_resolved());
         assert_eq!(got.get(0), ExternRef::Resolved(3));
-        assert_eq!(got.get(7), ExternRef::Unresolved, "out of range reads as unresolved");
+        assert_eq!(
+            got.get(7),
+            ExternRef::Unresolved,
+            "out of range reads as unresolved"
+        );
         got.set(4, ExternRef::Resolved(1));
         assert_eq!(got.len(), 5, "setting past the end grows the image");
     }
@@ -303,7 +354,10 @@ mod tests {
         assert_eq!(bytes.len(), 24);
         let back = GotImage::from_bytes(&bytes).unwrap();
         assert_eq!(back, got);
-        assert!(GotImage::from_bytes(&bytes[..23]).is_none(), "length must be multiple of 8");
+        assert!(
+            GotImage::from_bytes(&bytes[..23]).is_none(),
+            "length must be multiple of 8"
+        );
         let mut bad = bytes.clone();
         bad[0] = 9;
         assert!(GotImage::from_bytes(&bad).is_none(), "unknown tag rejected");

@@ -268,9 +268,33 @@ pub fn hash64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Hash a byte slice to 64 bits (FNV-1a over 8-byte lanes, finalized with
+/// [`hash64`]). This is the content key the runtime's injected-code cache uses to
+/// recognise a previously decoded `.text`/GOT blob without re-decoding it.
+pub fn hash64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in bytes.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        h = (h ^ u64::from_le_bytes(lane)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash64(h ^ bytes.len() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hash64_bytes_is_deterministic_and_length_sensitive() {
+        let a = hash64_bytes(b"two-chains");
+        assert_eq!(a, hash64_bytes(b"two-chains"));
+        assert_ne!(a, hash64_bytes(b"two-chainz"));
+        // Trailing zero bytes must not collide with a shorter slice (the zero-padded
+        // final lane is disambiguated by folding in the length).
+        assert_ne!(hash64_bytes(&[1, 2, 3]), hash64_bytes(&[1, 2, 3, 0]));
+        assert_ne!(hash64_bytes(&[]), hash64_bytes(&[0]));
+    }
 
     #[test]
     fn register_display_and_validity() {
@@ -288,7 +312,12 @@ mod tests {
 
     #[test]
     fn reads_and_writes_are_reported() {
-        let i = Instr::Alu { op: AluOp::Add, dst: Reg(2), a: Reg(3), b: Reg(4) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            dst: Reg(2),
+            a: Reg(3),
+            b: Reg(4),
+        };
         assert_eq!(i.reads(), vec![Reg(3), Reg(4)]);
         assert_eq!(i.writes(), Some(Reg(2)));
 
@@ -296,7 +325,12 @@ mod tests {
         assert_eq!(c.reads(), vec![Reg(0), Reg(1), Reg(2)]);
         assert_eq!(c.writes(), Some(Reg::R0));
 
-        let b = Instr::Branch { cond: Cond::Zero, a: Reg(1), b: Reg(9), target: 4 };
+        let b = Instr::Branch {
+            cond: Cond::Zero,
+            a: Reg(1),
+            b: Reg(9),
+            target: 4,
+        };
         assert_eq!(b.reads(), vec![Reg(1)], "Zero condition ignores b");
         assert_eq!(b.target(), Some(4));
         assert_eq!(Instr::Ret.target(), None);
@@ -308,6 +342,10 @@ mod tests {
         assert_ne!(hash64(1), hash64(2));
         // Low bits should differ for consecutive keys (bucket spreading).
         let buckets: std::collections::HashSet<u64> = (0..64).map(|k| hash64(k) % 64).collect();
-        assert!(buckets.len() > 32, "expected decent spread, got {}", buckets.len());
+        assert!(
+            buckets.len() > 32,
+            "expected decent spread, got {}",
+            buckets.len()
+        );
     }
 }

@@ -43,7 +43,13 @@ pub struct Segment {
 impl Segment {
     /// Create a segment.
     pub fn new(name: &str, base: u64, data: Vec<u8>, writable: bool, kind: SegmentKind) -> Self {
-        Segment { name: name.to_string(), base, data, writable, kind }
+        Segment {
+            name: name.to_string(),
+            base,
+            data,
+            writable,
+            kind,
+        }
     }
 
     /// End address (exclusive).
@@ -185,7 +191,10 @@ impl AddressSpace {
         let idx = self.find(addr, data.len())?;
         let seg = &mut self.segments[idx];
         if !seg.writable {
-            return Err(MemFault::ReadOnly { addr, segment: seg.name.clone() });
+            return Err(MemFault::ReadOnly {
+                addr,
+                segment: seg.name.clone(),
+            });
         }
         let off = (addr - seg.base) as usize;
         seg.data[off..off + data.len()].copy_from_slice(data);
@@ -222,9 +231,30 @@ mod tests {
 
     fn space() -> AddressSpace {
         let mut s = AddressSpace::new();
-        s.map(Segment::new("args", 0x1000, vec![0; 64], false, SegmentKind::Args)).unwrap();
-        s.map(Segment::new("payload", 0x2000, vec![7; 256], false, SegmentKind::Payload)).unwrap();
-        s.map(Segment::new("heap", 0x10000, vec![0; 4096], true, SegmentKind::Heap)).unwrap();
+        s.map(Segment::new(
+            "args",
+            0x1000,
+            vec![0; 64],
+            false,
+            SegmentKind::Args,
+        ))
+        .unwrap();
+        s.map(Segment::new(
+            "payload",
+            0x2000,
+            vec![7; 256],
+            false,
+            SegmentKind::Payload,
+        ))
+        .unwrap();
+        s.map(Segment::new(
+            "heap",
+            0x10000,
+            vec![0; 4096],
+            true,
+            SegmentKind::Heap,
+        ))
+        .unwrap();
         s
     }
 
@@ -232,11 +262,23 @@ mod tests {
     fn map_rejects_overlap_and_duplicates() {
         let mut s = space();
         assert!(matches!(
-            s.map(Segment::new("x", 0x1010, vec![0; 16], true, SegmentKind::Heap)),
+            s.map(Segment::new(
+                "x",
+                0x1010,
+                vec![0; 16],
+                true,
+                SegmentKind::Heap
+            )),
             Err(MemFault::Overlap { .. })
         ));
         assert!(matches!(
-            s.map(Segment::new("heap", 0x90000, vec![0; 16], true, SegmentKind::Heap)),
+            s.map(Segment::new(
+                "heap",
+                0x90000,
+                vec![0; 16],
+                true,
+                SegmentKind::Heap
+            )),
             Err(MemFault::DuplicateName(_))
         ));
         assert_eq!(s.len(), 3);
@@ -247,7 +289,10 @@ mod tests {
         let mut s = space();
         s.write(0x10000, b"hello").unwrap();
         assert_eq!(s.read(0x10000, 5).unwrap(), b"hello");
-        assert!(matches!(s.write(0x1000, b"x"), Err(MemFault::ReadOnly { .. })));
+        assert!(matches!(
+            s.write(0x1000, b"x"),
+            Err(MemFault::ReadOnly { .. })
+        ));
         assert!(matches!(s.read(0x5000, 4), Err(MemFault::Unmapped { .. })));
         // Cross-segment access is unmapped even if both ends exist.
         assert!(matches!(s.read(0x103F, 8), Err(MemFault::Unmapped { .. })));
@@ -261,7 +306,11 @@ mod tests {
         s.write_scalar(0x10010, u64::MAX, 8).unwrap();
         assert_eq!(s.read_scalar(0x10010, 8).unwrap(), u64::MAX);
         s.write_scalar(0x10020, 0x1234, 1).unwrap();
-        assert_eq!(s.read_scalar(0x10020, 1).unwrap(), 0x34, "truncated to one byte");
+        assert_eq!(
+            s.read_scalar(0x10020, 1).unwrap(),
+            0x34,
+            "truncated to one byte"
+        );
     }
 
     #[test]
@@ -281,7 +330,10 @@ mod tests {
         let seg = s.unmap("payload").unwrap();
         assert_eq!(seg.data.len(), 256);
         assert!(s.segment("payload").is_none());
-        assert!(s.segment("heap").is_some(), "other segments still reachable after reindex");
+        assert!(
+            s.segment("heap").is_some(),
+            "other segments still reachable after reindex"
+        );
         assert!(s.unmap("payload").is_none());
         assert_eq!(s.segment_names().len(), 2);
     }
@@ -298,7 +350,14 @@ mod tests {
 
     #[test]
     fn faults_display() {
-        assert!(MemFault::Unmapped { addr: 0x10, len: 4 }.to_string().contains("unmapped"));
-        assert!(MemFault::ReadOnly { addr: 1, segment: "args".into() }.to_string().contains("read-only"));
+        assert!(MemFault::Unmapped { addr: 0x10, len: 4 }
+            .to_string()
+            .contains("unmapped"));
+        assert!(MemFault::ReadOnly {
+            addr: 1,
+            segment: "args".into()
+        }
+        .to_string()
+        .contains("read-only"));
     }
 }

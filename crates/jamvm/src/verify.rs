@@ -56,14 +56,23 @@ impl std::fmt::Display for VerifyError {
             VerifyError::BadTarget { at, target } => {
                 write!(f, "branch target {target} out of range at instruction {at}")
             }
-            VerifyError::BadGotSlot { at, slot, got_slots } => write!(
+            VerifyError::BadGotSlot {
+                at,
+                slot,
+                got_slots,
+            } => write!(
                 f,
                 "GOT slot {slot} referenced at instruction {at} but only {got_slots} slots declared"
             ),
             VerifyError::TooManyArgs { at, nargs } => {
-                write!(f, "extern call with {nargs} args at instruction {at} (max 6)")
+                write!(
+                    f,
+                    "extern call with {nargs} args at instruction {at} (max 6)"
+                )
             }
-            VerifyError::MissingRet => write!(f, "control flow can fall off the end of the program"),
+            VerifyError::MissingRet => {
+                write!(f, "control flow can fall off the end of the program")
+            }
         }
     }
 }
@@ -96,7 +105,11 @@ pub fn verify(program: &[Instr], got_slots: usize) -> Result<(), VerifyError> {
         // Extern calls.
         if let Instr::CallExtern { slot, nargs } = *instr {
             if slot as usize >= got_slots {
-                return Err(VerifyError::BadGotSlot { at, slot, got_slots });
+                return Err(VerifyError::BadGotSlot {
+                    at,
+                    slot,
+                    got_slots,
+                });
             }
             if nargs > 6 {
                 return Err(VerifyError::TooManyArgs { at, nargs });
@@ -118,7 +131,10 @@ mod tests {
 
     fn ok_prog() -> Vec<Instr> {
         vec![
-            Instr::LoadImm { dst: Reg(0), imm: 1 },
+            Instr::LoadImm {
+                dst: Reg(0),
+                imm: 1,
+            },
             Instr::CallExtern { slot: 0, nargs: 1 },
             Instr::Ret,
         ]
@@ -136,18 +152,40 @@ mod tests {
 
     #[test]
     fn bad_register_fails() {
-        let p = vec![Instr::Mov { dst: Reg(16), src: Reg(0) }, Instr::Ret];
+        let p = vec![
+            Instr::Mov {
+                dst: Reg(16),
+                src: Reg(0),
+            },
+            Instr::Ret,
+        ];
         assert_eq!(verify(&p, 0), Err(VerifyError::BadRegister { at: 0 }));
-        let p = vec![Instr::Alu { op: AluOp::Add, dst: Reg(0), a: Reg(0), b: Reg(200) }, Instr::Ret];
+        let p = vec![
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Reg(0),
+                b: Reg(200),
+            },
+            Instr::Ret,
+        ];
         assert_eq!(verify(&p, 0), Err(VerifyError::BadRegister { at: 0 }));
     }
 
     #[test]
     fn bad_branch_target_fails() {
         let p = vec![Instr::Jump { target: 9 }, Instr::Ret];
-        assert_eq!(verify(&p, 0), Err(VerifyError::BadTarget { at: 0, target: 9 }));
+        assert_eq!(
+            verify(&p, 0),
+            Err(VerifyError::BadTarget { at: 0, target: 9 })
+        );
         let p = vec![
-            Instr::Branch { cond: Cond::Zero, a: Reg(0), b: Reg(0), target: 2 },
+            Instr::Branch {
+                cond: Cond::Zero,
+                a: Reg(0),
+                b: Reg(0),
+                target: 2,
+            },
             Instr::Ret,
         ];
         assert!(matches!(verify(&p, 0), Err(VerifyError::BadTarget { .. })));
@@ -156,19 +194,32 @@ mod tests {
     #[test]
     fn got_slot_bounds_enforced() {
         let p = ok_prog();
-        assert!(matches!(verify(&p, 0), Err(VerifyError::BadGotSlot { slot: 0, got_slots: 0, .. })));
+        assert!(matches!(
+            verify(&p, 0),
+            Err(VerifyError::BadGotSlot {
+                slot: 0,
+                got_slots: 0,
+                ..
+            })
+        ));
         assert!(verify(&p, 1).is_ok());
     }
 
     #[test]
     fn arg_count_limit_enforced() {
         let p = vec![Instr::CallExtern { slot: 0, nargs: 7 }, Instr::Ret];
-        assert!(matches!(verify(&p, 1), Err(VerifyError::TooManyArgs { nargs: 7, .. })));
+        assert!(matches!(
+            verify(&p, 1),
+            Err(VerifyError::TooManyArgs { nargs: 7, .. })
+        ));
     }
 
     #[test]
     fn falling_off_the_end_fails() {
-        let p = vec![Instr::LoadImm { dst: Reg(0), imm: 1 }];
+        let p = vec![Instr::LoadImm {
+            dst: Reg(0),
+            imm: 1,
+        }];
         assert_eq!(verify(&p, 0), Err(VerifyError::MissingRet));
         // Ending with an unconditional jump back into the program is allowed.
         let p = vec![Instr::Nop, Instr::Jump { target: 0 }];
@@ -178,6 +229,12 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(VerifyError::MissingRet.to_string().contains("fall off"));
-        assert!(VerifyError::BadGotSlot { at: 1, slot: 2, got_slots: 1 }.to_string().contains("GOT"));
+        assert!(VerifyError::BadGotSlot {
+            at: 1,
+            slot: 2,
+            got_slots: 1
+        }
+        .to_string()
+        .contains("GOT"));
     }
 }

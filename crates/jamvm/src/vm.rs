@@ -45,7 +45,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::PcOutOfBounds { pc } => write!(f, "pc {pc} out of bounds"),
             ExecError::Fault(m) => write!(f, "memory fault: {m}"),
-            ExecError::UnresolvedGot { slot } => write!(f, "call through unresolved GOT slot {slot}"),
+            ExecError::UnresolvedGot { slot } => {
+                write!(f, "call through unresolved GOT slot {slot}")
+            }
             ExecError::NotCallable { slot } => write!(f, "GOT slot {slot} is data, not callable"),
             ExecError::ExternFailed(m) => write!(f, "extern function failed: {m}"),
             ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
@@ -73,6 +75,13 @@ pub struct VmConfig {
     pub ipc: f64,
     /// Fixed overhead per extern call (call/return through the indirection).
     pub extern_call_overhead: SimTime,
+    /// Initial values for registers `r0..r2` — the jam entry convention (ARGS base,
+    /// USR base, USR length). Seeding registers here replaces the old per-message
+    /// prologue the runtime used to prepend (three `LoadImm`s plus a branch-target
+    /// rewrite of the whole program), which forced a fresh `Vec<Instr>` allocation on
+    /// every dispatch; with `entry_regs` the cached `Arc<[Instr]>` program is executed
+    /// as-is.
+    pub entry_regs: [u64; 3],
 }
 
 impl Default for VmConfig {
@@ -84,6 +93,7 @@ impl Default for VmConfig {
             freq_ghz: 2.6,
             ipc: 2.0,
             extern_call_overhead: SimTime::from_ns(6),
+            entry_regs: [0; 3],
         }
     }
 }
@@ -131,6 +141,7 @@ impl Vm {
         cfg: &VmConfig,
     ) -> Result<ExecStats, ExecError> {
         let mut regs = [0u64; NUM_REGS];
+        regs[..cfg.entry_regs.len()].copy_from_slice(&cfg.entry_regs);
         let mut pc = 0usize;
         let mut stats = ExecStats {
             result: 0,
@@ -179,13 +190,24 @@ impl Vm {
                 Instr::AluImm { op, dst, src, imm } => {
                     regs[dst.0 as usize] = alu(op, regs[src.0 as usize], imm);
                 }
-                Instr::Load { width, dst, addr, offset } => {
+                Instr::Load {
+                    width,
+                    dst,
+                    addr,
+                    offset,
+                } => {
                     let a = regs[addr.0 as usize].wrapping_add(offset as u64);
                     stats.memory_time += bus.access(cfg.core, a, width.bytes(), AccessKind::Read);
-                    regs[dst.0 as usize] =
-                        space.read_scalar(a, width.bytes()).map_err(|e| ExecError::Fault(e.to_string()))?;
+                    regs[dst.0 as usize] = space
+                        .read_scalar(a, width.bytes())
+                        .map_err(|e| ExecError::Fault(e.to_string()))?;
                 }
-                Instr::Store { width, src, addr, offset } => {
+                Instr::Store {
+                    width,
+                    src,
+                    addr,
+                    offset,
+                } => {
                     let a = regs[addr.0 as usize].wrapping_add(offset as u64);
                     stats.memory_time += bus.access(cfg.core, a, width.bytes(), AccessKind::Write);
                     space
@@ -193,12 +215,17 @@ impl Vm {
                         .map_err(|e| ExecError::Fault(e.to_string()))?;
                 }
                 Instr::Memcpy { dst, src, len } => {
-                    let (d, s, n) =
-                        (regs[dst.0 as usize], regs[src.0 as usize], regs[len.0 as usize] as usize);
+                    let (d, s, n) = (
+                        regs[dst.0 as usize],
+                        regs[src.0 as usize],
+                        regs[len.0 as usize] as usize,
+                    );
                     if n > 0 {
                         stats.memory_time += bus.access(cfg.core, s, n, AccessKind::Read);
                         stats.memory_time += bus.access(cfg.core, d, n, AccessKind::Write);
-                        space.copy(d, s, n).map_err(|e| ExecError::Fault(e.to_string()))?;
+                        space
+                            .copy(d, s, n)
+                            .map_err(|e| ExecError::Fault(e.to_string()))?;
                     }
                 }
                 Instr::Jump { target } => next_pc = target as usize,
@@ -223,8 +250,15 @@ impl Vm {
                         ExternRef::Data(_) => return Err(ExecError::NotCallable { slot }),
                     };
                     let args: Vec<u64> = regs[..nargs as usize].to_vec();
-                    let mut ctx = ExternCtx { space, bus, core: cfg.core, elapsed: SimTime::ZERO };
-                    let r = externs.call(idx, &mut ctx, &args).map_err(ExecError::ExternFailed)?;
+                    let mut ctx = ExternCtx {
+                        space,
+                        bus,
+                        core: cfg.core,
+                        elapsed: SimTime::ZERO,
+                    };
+                    let r = externs
+                        .call(idx, &mut ctx, &args)
+                        .map_err(ExecError::ExternFailed)?;
                     stats.memory_time += ctx.elapsed;
                     regs[0] = r;
                 }
@@ -269,7 +303,12 @@ mod tests {
     use std::sync::Arc;
     use twochains_memsim::hierarchy::FlatMemory;
 
-    fn run(program: &[Instr], got: &GotImage, externs: &ExternTable, space: &mut AddressSpace) -> Result<ExecStats, ExecError> {
+    fn run(
+        program: &[Instr],
+        got: &GotImage,
+        externs: &ExternTable,
+        space: &mut AddressSpace,
+    ) -> Result<ExecStats, ExecError> {
         let mut bus = FlatMemory::free();
         Vm::execute(program, got, externs, space, &mut bus, &VmConfig::default())
     }
@@ -277,9 +316,18 @@ mod tests {
     #[test]
     fn arithmetic_and_return() {
         let mut a = Assembler::new();
-        a.load_imm(Reg(0), 6).load_imm(Reg(1), 7).mul(Reg(0), Reg(0), Reg(1)).ret();
+        a.load_imm(Reg(0), 6)
+            .load_imm(Reg(1), 7)
+            .mul(Reg(0), Reg(0), Reg(1))
+            .ret();
         let prog = a.finish().unwrap();
-        let stats = run(&prog, &GotImage::default(), &ExternTable::new(), &mut AddressSpace::new()).unwrap();
+        let stats = run(
+            &prog,
+            &GotImage::default(),
+            &ExternTable::new(),
+            &mut AddressSpace::new(),
+        )
+        .unwrap();
         assert_eq!(stats.result, 42);
         assert_eq!(stats.instructions, 4);
         assert!(stats.total_time() > SimTime::ZERO);
@@ -295,7 +343,11 @@ mod tests {
         assert_eq!(alu(AluOp::Shl, 1, 65), 2, "shift amount masked to 6 bits");
         assert_eq!(alu(AluOp::Shr, 8, 2), 2);
         assert_eq!(alu(AluOp::Rem, 17, 5), 2);
-        assert_eq!(alu(AluOp::Rem, 17, 0), 0, "divide by zero yields zero, no trap");
+        assert_eq!(
+            alu(AluOp::Rem, 17, 0),
+            0,
+            "divide by zero yields zero, no trap"
+        );
     }
 
     #[test]
@@ -303,7 +355,15 @@ mod tests {
         // Sum 16 u32s stored in a payload segment — the core of Server-Side Sum.
         let mut space = AddressSpace::new();
         let values: Vec<u8> = (1u32..=16).flat_map(|v| v.to_le_bytes()).collect();
-        space.map(Segment::new("usr", 0x2000, values, false, SegmentKind::Payload)).unwrap();
+        space
+            .map(Segment::new(
+                "usr",
+                0x2000,
+                values,
+                false,
+                SegmentKind::Payload,
+            ))
+            .unwrap();
 
         let mut a = Assembler::new();
         // r1 = ptr, r2 = count, r0 = acc
@@ -326,8 +386,24 @@ mod tests {
     #[test]
     fn memcpy_and_store_write_into_heap() {
         let mut space = AddressSpace::new();
-        space.map(Segment::new("usr", 0x2000, vec![9u8; 64], false, SegmentKind::Payload)).unwrap();
-        space.map(Segment::new("heap", 0x8000, vec![0u8; 128], true, SegmentKind::Heap)).unwrap();
+        space
+            .map(Segment::new(
+                "usr",
+                0x2000,
+                vec![9u8; 64],
+                false,
+                SegmentKind::Payload,
+            ))
+            .unwrap();
+        space
+            .map(Segment::new(
+                "heap",
+                0x8000,
+                vec![0u8; 128],
+                true,
+                SegmentKind::Heap,
+            ))
+            .unwrap();
         let mut a = Assembler::new();
         a.load_imm(Reg(1), 0x8000)
             .load_imm(Reg(2), 0x2000)
@@ -351,7 +427,10 @@ mod tests {
         let mut got = GotImage::with_slots(1);
         got.set(0, ExternRef::Resolved(idx));
         let mut a = Assembler::new();
-        a.load_imm(Reg(0), 21).load_imm(Reg(1), 2).call_extern(0, 2).ret();
+        a.load_imm(Reg(0), 21)
+            .load_imm(Reg(1), 2)
+            .call_extern(0, 2)
+            .ret();
         let prog = a.finish().unwrap();
         let stats = run(&prog, &got, &externs, &mut AddressSpace::new()).unwrap();
         assert_eq!(stats.result, 42);
@@ -363,8 +442,13 @@ mod tests {
         let mut a = Assembler::new();
         a.call_extern(0, 0).ret();
         let prog = a.finish().unwrap();
-        let err = run(&prog, &GotImage::with_slots(1), &ExternTable::new(), &mut AddressSpace::new())
-            .unwrap_err();
+        let err = run(
+            &prog,
+            &GotImage::with_slots(1),
+            &ExternTable::new(),
+            &mut AddressSpace::new(),
+        )
+        .unwrap_err();
         assert_eq!(err, ExecError::UnresolvedGot { slot: 0 });
     }
 
@@ -395,10 +479,17 @@ mod tests {
     #[test]
     fn fault_on_unmapped_memory() {
         let mut a = Assembler::new();
-        a.load_imm(Reg(1), 0xdead_0000).load(Width::B8, Reg(0), Reg(1), 0).ret();
+        a.load_imm(Reg(1), 0xdead_0000)
+            .load(Width::B8, Reg(0), Reg(1), 0)
+            .ret();
         let prog = a.finish().unwrap();
-        let err = run(&prog, &GotImage::default(), &ExternTable::new(), &mut AddressSpace::new())
-            .unwrap_err();
+        let err = run(
+            &prog,
+            &GotImage::default(),
+            &ExternTable::new(),
+            &mut AddressSpace::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, ExecError::Fault(_)));
     }
 
@@ -408,9 +499,19 @@ mod tests {
         a.label("spin").jump("spin");
         let prog = a.finish().unwrap();
         let mut bus = FlatMemory::free();
-        let cfg = VmConfig { fuel: 1000, ..VmConfig::default() };
-        let err = Vm::execute(&prog, &GotImage::default(), &ExternTable::new(), &mut AddressSpace::new(), &mut bus, &cfg)
-            .unwrap_err();
+        let cfg = VmConfig {
+            fuel: 1000,
+            ..VmConfig::default()
+        };
+        let err = Vm::execute(
+            &prog,
+            &GotImage::default(),
+            &ExternTable::new(),
+            &mut AddressSpace::new(),
+            &mut bus,
+            &cfg,
+        )
+        .unwrap_err();
         assert_eq!(err, ExecError::FuelExhausted);
     }
 
@@ -421,7 +522,10 @@ mod tests {
         let prog = a.finish().unwrap();
         let mut bus = FlatMemory::free();
         bus.per_access = SimTime::from_ns(3);
-        let cfg = VmConfig { code_base: 0x7000, ..VmConfig::default() };
+        let cfg = VmConfig {
+            code_base: 0x7000,
+            ..VmConfig::default()
+        };
         let stats = Vm::execute(
             &prog,
             &GotImage::default(),
@@ -431,13 +535,42 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert!(stats.fetch_time >= SimTime::from_ns(6), "two instruction fetches charged");
+        assert!(
+            stats.fetch_time >= SimTime::from_ns(6),
+            "two instruction fetches charged"
+        );
         assert_eq!(stats.result, 1);
+    }
+
+    #[test]
+    fn entry_regs_seed_initial_register_state() {
+        // r0 + r1, where both registers arrive via the entry convention instead of a
+        // prepended LoadImm prologue.
+        let mut a = Assembler::new();
+        a.add(Reg(0), Reg(0), Reg(1)).ret();
+        let prog = a.finish().unwrap();
+        let mut bus = FlatMemory::free();
+        let cfg = VmConfig {
+            entry_regs: [40, 2, 0],
+            ..VmConfig::default()
+        };
+        let stats = Vm::execute(
+            &prog,
+            &GotImage::default(),
+            &ExternTable::new(),
+            &mut AddressSpace::new(),
+            &mut bus,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(stats.result, 42);
     }
 
     #[test]
     fn exec_error_display() {
         assert!(ExecError::FuelExhausted.to_string().contains("budget"));
-        assert!(ExecError::UnresolvedGot { slot: 2 }.to_string().contains("GOT slot 2"));
+        assert!(ExecError::UnresolvedGot { slot: 2 }
+            .to_string()
+            .contains("GOT slot 2"));
     }
 }

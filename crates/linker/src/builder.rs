@@ -82,7 +82,7 @@ impl JamDefinition {
 /// original terminator) and branch targets are untouched; a final `Ret` keeps the
 /// verifier's fall-through check satisfied.
 fn pad_program(mut program: Vec<Instr>, target: usize) -> Result<Vec<Instr>, LinkError> {
-    let current: usize = program.iter().map(|i| encoded_size(i)).sum();
+    let current: usize = program.iter().map(encoded_size).sum();
     if current > target {
         return Err(LinkError::InvalidDefinition(format!(
             "program is {current} bytes, larger than pad target {target}"
@@ -93,7 +93,7 @@ fn pad_program(mut program: Vec<Instr>, target: usize) -> Result<Vec<Instr>, Lin
         return Ok(program);
     }
     // needed-1 Nops plus one trailing Ret (both 1 byte) hit the target exactly.
-    program.extend(std::iter::repeat(Instr::Nop).take(needed - 1));
+    program.extend(std::iter::repeat_n(Instr::Nop, needed - 1));
     program.push(Instr::Ret);
     Ok(program)
 }
@@ -109,7 +109,11 @@ pub struct PackageBuilder {
 impl PackageBuilder {
     /// Start building a package called `name`.
     pub fn new(name: &str) -> Self {
-        PackageBuilder { name: name.to_string(), jams: Vec::new(), rieds: Vec::new() }
+        PackageBuilder {
+            name: name.to_string(),
+            jams: Vec::new(),
+            rieds: Vec::new(),
+        }
     }
 
     /// Add a jam definition.
@@ -185,7 +189,11 @@ mod tests {
         let def = JamDefinition::new("jam_sum", sum_program()).padded_to(1408);
         let pkg = PackageBuilder::new("pkg").jam(def).build().unwrap();
         let jam = pkg.jam(pkg.id_of("jam_sum").unwrap()).unwrap();
-        assert_eq!(jam.code_size(), 1408, "the paper's Indirect Put code footprint");
+        assert_eq!(
+            jam.code_size(),
+            1408,
+            "the paper's Indirect Put code footprint"
+        );
         // The padded program still runs and produces the same result.
         use twochains_jamvm::{AddressSpace, ExternTable, GotImage, Vm, VmConfig};
         use twochains_memsim::hierarchy::FlatMemory;

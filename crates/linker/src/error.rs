@@ -46,8 +46,12 @@ mod tests {
 
     #[test]
     fn display_contains_details() {
-        assert!(LinkError::UnresolvedSymbol("tbl_put".into()).to_string().contains("tbl_put"));
-        assert!(LinkError::BadObjectFormat("magic".into()).to_string().contains("magic"));
+        assert!(LinkError::UnresolvedSymbol("tbl_put".into())
+            .to_string()
+            .contains("tbl_put"));
+        assert!(LinkError::BadObjectFormat("magic".into())
+            .to_string()
+            .contains("magic"));
         let e: Box<dyn std::error::Error> = Box::new(LinkError::NoSuchElement("x".into()));
         assert!(e.to_string().contains("x"));
     }

@@ -98,7 +98,7 @@ impl LinkerNamespace {
                 }
                 continue;
             }
-            let aligned = ((d.init.len() + 4095) / 4096 * 4096) as u64 + 4096;
+            let aligned = (d.init.len().div_ceil(4096) * 4096) as u64 + 4096;
             let addr = self.data_cursor;
             self.data_cursor += aligned;
             self.data.insert(
@@ -122,7 +122,11 @@ impl LinkerNamespace {
 
     /// Names and versions of loaded rieds.
     pub fn loaded_rieds(&self) -> Vec<(String, u32)> {
-        let mut v: Vec<_> = self.loaded.iter().map(|(k, &ver)| (k.clone(), ver)).collect();
+        let mut v: Vec<_> = self
+            .loaded
+            .iter()
+            .map(|(k, &ver)| (k.clone(), ver))
+            .collect();
         v.sort();
         v
     }
@@ -165,12 +169,23 @@ impl LinkerNamespace {
     /// Map every not-yet-mapped ried data object into `space` (the receiver's
     /// persistent jam address space). Idempotent.
     pub fn map_data_segments(&mut self, space: &mut AddressSpace) -> Result<(), LinkError> {
-        let mut names: Vec<_> = self.data.iter().filter(|(_, d)| !d.mapped).map(|(n, _)| n.clone()).collect();
+        let mut names: Vec<_> = self
+            .data
+            .iter()
+            .filter(|(_, d)| !d.mapped)
+            .map(|(n, _)| n.clone())
+            .collect();
         names.sort();
         for name in names {
             let d = self.data.get(&name).unwrap().clone();
             space
-                .map(Segment::new(&name, d.addr, d.init.clone(), d.writable, d.kind))
+                .map(Segment::new(
+                    &name,
+                    d.addr,
+                    d.init.clone(),
+                    d.writable,
+                    d.kind,
+                ))
                 .map_err(|e| LinkError::InvalidDefinition(e.to_string()))?;
             self.data.get_mut(&name).unwrap().mapped = true;
         }
@@ -192,7 +207,10 @@ mod tests {
 
     fn table_ried() -> Ried {
         RiedBuilder::new("ried_table")
-            .export_fn("table.put", Arc::new(|_ctx, args| Ok(args.first().copied().unwrap_or(0))))
+            .export_fn(
+                "table.put",
+                Arc::new(|_ctx, args| Ok(args.first().copied().unwrap_or(0))),
+            )
             .export_fn("table.get", Arc::new(|_ctx, _| Ok(7)))
             .export_heap("table.base", 8192)
             .build()
@@ -202,8 +220,13 @@ mod tests {
     fn load_and_dlsym() {
         let mut ns = LinkerNamespace::new();
         ns.load_ried(&table_ried(), false).unwrap();
-        assert!(matches!(ns.dlsym("table.put"), Some(Resolution::Function(_))));
-        assert!(matches!(ns.dlsym("table.base"), Some(Resolution::Data(a)) if a >= LinkerNamespace::DATA_BASE));
+        assert!(matches!(
+            ns.dlsym("table.put"),
+            Some(Resolution::Function(_))
+        ));
+        assert!(
+            matches!(ns.dlsym("table.base"), Some(Resolution::Data(a)) if a >= LinkerNamespace::DATA_BASE)
+        );
         assert!(ns.dlsym("missing").is_none());
         assert_eq!(ns.loaded_rieds(), vec![("ried_table".to_string(), 1)]);
     }
@@ -212,7 +235,10 @@ mod tests {
     fn double_load_requires_replace() {
         let mut ns = LinkerNamespace::new();
         ns.load_ried(&table_ried(), false).unwrap();
-        assert!(matches!(ns.load_ried(&table_ried(), false), Err(LinkError::AlreadyLoaded(_))));
+        assert!(matches!(
+            ns.load_ried(&table_ried(), false),
+            Err(LinkError::AlreadyLoaded(_))
+        ));
         assert!(ns.load_ried(&table_ried(), true).is_ok());
     }
 
@@ -246,7 +272,9 @@ mod tests {
     fn resized_data_object_is_rejected_on_reload() {
         let mut ns = LinkerNamespace::new();
         ns.load_ried(&table_ried(), false).unwrap();
-        let resized = RiedBuilder::new("ried_table").export_heap("table.base", 16).build();
+        let resized = RiedBuilder::new("ried_table")
+            .export_heap("table.base", 16)
+            .build();
         assert!(matches!(
             ns.load_ried(&resized, true),
             Err(LinkError::SymbolKindMismatch(_))
@@ -303,14 +331,25 @@ mod tests {
         let got_a = ns_a.resolve_got(&[SymbolRef::func("handler")]).unwrap();
         let got_b = ns_b.resolve_got(&[SymbolRef::func("handler")]).unwrap();
         assert!(got_a.fully_resolved() && got_b.fully_resolved());
+        use twochains_jamvm::externs::ExternCtx;
         use twochains_jamvm::memory::AddressSpace;
         use twochains_memsim::hierarchy::FlatMemory;
-        use twochains_jamvm::externs::ExternCtx;
         let mut space = AddressSpace::new();
         let mut bus = FlatMemory::free();
-        let mut ctx = ExternCtx { space: &mut space, bus: &mut bus, core: 0, elapsed: Default::default() };
-        let idx_a = match got_a.get(0) { ExternRef::Resolved(i) => i, _ => unreachable!() };
-        let idx_b = match got_b.get(0) { ExternRef::Resolved(i) => i, _ => unreachable!() };
+        let mut ctx = ExternCtx {
+            space: &mut space,
+            bus: &mut bus,
+            core: 0,
+            elapsed: Default::default(),
+        };
+        let idx_a = match got_a.get(0) {
+            ExternRef::Resolved(i) => i,
+            _ => unreachable!(),
+        };
+        let idx_b = match got_b.get(0) {
+            ExternRef::Resolved(i) => i,
+            _ => unreachable!(),
+        };
         assert_eq!(ns_a.externs().call(idx_a, &mut ctx, &[]).unwrap(), 1);
         assert_eq!(ns_b.externs().call(idx_b, &mut ctx, &[]).unwrap(), 2);
     }

@@ -45,7 +45,14 @@ impl JamObject {
     ) -> Result<Self, LinkError> {
         let program = decode_program(&text).map_err(|e| LinkError::DecodeFailed(e.to_string()))?;
         verify(&program, got.len()).map_err(|e| LinkError::VerifyFailed(e.to_string()))?;
-        Ok(JamObject { name: name.to_string(), text, rodata, got, args_size, version: 1 })
+        Ok(JamObject {
+            name: name.to_string(),
+            text,
+            rodata,
+            got,
+            args_size,
+            version: 1,
+        })
     }
 
     /// Construct from decoded instructions (encodes them for you).
@@ -112,7 +119,9 @@ impl JamObject {
         }
         let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         if version != 1 {
-            return Err(LinkError::BadObjectFormat(format!("unsupported version {version}")));
+            return Err(LinkError::BadObjectFormat(format!(
+                "unsupported version {version}"
+            )));
         }
         let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
@@ -181,7 +190,10 @@ mod tests {
         let obj = object();
         let mut bytes = obj.to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(JamObject::from_bytes(&bytes), Err(LinkError::BadObjectFormat(_))));
+        assert!(matches!(
+            JamObject::from_bytes(&bytes),
+            Err(LinkError::BadObjectFormat(_))
+        ));
         let bytes = obj.to_bytes();
         assert!(matches!(
             JamObject::from_bytes(&bytes[..bytes.len() - 3]),
@@ -189,7 +201,10 @@ mod tests {
         ));
         let mut bytes = obj.to_bytes();
         bytes[4] = 9; // version
-        assert!(matches!(JamObject::from_bytes(&bytes), Err(LinkError::BadObjectFormat(_))));
+        assert!(matches!(
+            JamObject::from_bytes(&bytes),
+            Err(LinkError::BadObjectFormat(_))
+        ));
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub struct Package {
 impl Package {
     /// Create an empty package.
     pub fn new(name: &str) -> Self {
-        Package { name: name.to_string(), elements: Vec::new(), by_name: HashMap::new() }
+        Package {
+            name: name.to_string(),
+            elements: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The package name.
@@ -65,7 +69,9 @@ impl Package {
     pub fn add(&mut self, element: PackageElement) -> Result<ElementId, LinkError> {
         let name = element.name().to_string();
         if self.by_name.contains_key(&name) {
-            return Err(LinkError::InvalidDefinition(format!("duplicate element name {name}")));
+            return Err(LinkError::InvalidDefinition(format!(
+                "duplicate element name {name}"
+            )));
         }
         let id = ElementId(self.elements.len() as u32);
         self.by_name.insert(name, id);
@@ -108,26 +114,34 @@ impl Package {
     pub fn jam(&self, id: ElementId) -> Result<&JamObject, LinkError> {
         match self.element(id)? {
             PackageElement::Jam(j) => Ok(j),
-            PackageElement::Ried(r) => {
-                Err(LinkError::NoSuchElement(format!("element {} is a ried ({})", id.0, r.name())))
-            }
+            PackageElement::Ried(r) => Err(LinkError::NoSuchElement(format!(
+                "element {} is a ried ({})",
+                id.0,
+                r.name()
+            ))),
         }
     }
 
     /// Iterate over all jams with their IDs.
     pub fn jams(&self) -> impl Iterator<Item = (ElementId, &JamObject)> {
-        self.elements.iter().enumerate().filter_map(|(i, e)| match e {
-            PackageElement::Jam(j) => Some((ElementId(i as u32), j)),
-            _ => None,
-        })
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                PackageElement::Jam(j) => Some((ElementId(i as u32), j)),
+                _ => None,
+            })
     }
 
     /// Iterate over all rieds with their IDs.
     pub fn rieds(&self) -> impl Iterator<Item = (ElementId, &Ried)> {
-        self.elements.iter().enumerate().filter_map(|(i, e)| match e {
-            PackageElement::Ried(r) => Some((ElementId(i as u32), r)),
-            _ => None,
-        })
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                PackageElement::Ried(r) => Some((ElementId(i as u32), r)),
+                _ => None,
+            })
     }
 
     /// Generate the package "header": a constant listing of element IDs by name, the
@@ -135,8 +149,14 @@ impl Package {
     /// package.
     pub fn generate_header(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("// Generated package header for `{}`\n", self.name));
-        out.push_str(&format!("pub const PACKAGE_NAME: &str = \"{}\";\n", self.name));
+        out.push_str(&format!(
+            "// Generated package header for `{}`\n",
+            self.name
+        ));
+        out.push_str(&format!(
+            "pub const PACKAGE_NAME: &str = \"{}\";\n",
+            self.name
+        ));
         for (i, e) in self.elements.iter().enumerate() {
             let const_name = e
                 .name()
@@ -160,13 +180,20 @@ mod tests {
     fn jam(name: &str) -> JamObject {
         let mut a = Assembler::new();
         a.load_imm(Reg(0), 1).call_extern(0, 0).ret();
-        JamObject::from_program(name, &a.finish().unwrap(), vec![], vec![SymbolRef::func("f")], 8)
-            .unwrap()
+        JamObject::from_program(
+            name,
+            &a.finish().unwrap(),
+            vec![],
+            vec![SymbolRef::func("f")],
+            8,
+        )
+        .unwrap()
     }
 
     fn package() -> Package {
         let mut p = Package::new("twochains_test_pkg");
-        p.add(PackageElement::Ried(RiedBuilder::new("ried_array").build())).unwrap();
+        p.add(PackageElement::Ried(RiedBuilder::new("ried_array").build()))
+            .unwrap();
         p.add(PackageElement::Jam(jam("jam_ssum"))).unwrap();
         p.add(PackageElement::Jam(jam("jam_indirect_put"))).unwrap();
         p
@@ -206,7 +233,10 @@ mod tests {
     fn jam_accessor_rejects_rieds() {
         let p = package();
         assert!(p.jam(ElementId(1)).is_ok());
-        assert!(matches!(p.jam(ElementId(0)), Err(LinkError::NoSuchElement(_))));
+        assert!(matches!(
+            p.jam(ElementId(0)),
+            Err(LinkError::NoSuchElement(_))
+        ));
         assert_eq!(p.jams().count(), 2);
         assert_eq!(p.rieds().count(), 1);
     }

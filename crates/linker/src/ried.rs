@@ -52,8 +52,18 @@ impl std::fmt::Debug for Ried {
         f.debug_struct("Ried")
             .field("name", &self.name)
             .field("version", &self.version)
-            .field("functions", &self.functions.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>())
-            .field("data", &self.data.iter().map(|d| d.name.clone()).collect::<Vec<_>>())
+            .field(
+                "functions",
+                &self
+                    .functions
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "data",
+                &self.data.iter().map(|d| d.name.clone()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -142,7 +152,11 @@ impl RiedBuilder {
             name: name.to_string(),
             init,
             writable,
-            kind: if writable { SegmentKind::Heap } else { SegmentKind::Rodata },
+            kind: if writable {
+                SegmentKind::Heap
+            } else {
+                SegmentKind::Rodata
+            },
         });
         self
     }

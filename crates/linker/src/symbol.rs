@@ -29,12 +29,18 @@ pub struct SymbolRef {
 impl SymbolRef {
     /// A function symbol.
     pub fn func(name: &str) -> Self {
-        SymbolRef { name: name.to_string(), kind: SymbolKind::Function }
+        SymbolRef {
+            name: name.to_string(),
+            kind: SymbolKind::Function,
+        }
     }
 
     /// A data symbol.
     pub fn data(name: &str) -> Self {
-        SymbolRef { name: name.to_string(), kind: SymbolKind::Data }
+        SymbolRef {
+            name: name.to_string(),
+            kind: SymbolKind::Data,
+        }
     }
 
     /// Whether the name is a valid canonical symbol: non-empty, ASCII, no whitespace.
@@ -110,7 +116,10 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        for sym in [SymbolRef::func("memcpy_to_heap"), SymbolRef::data("array.base")] {
+        for sym in [
+            SymbolRef::func("memcpy_to_heap"),
+            SymbolRef::data("array.base"),
+        ] {
             let bytes = sym.to_bytes();
             let (back, used) = SymbolRef::from_bytes(&bytes).unwrap();
             assert_eq!(back, sym);
@@ -126,8 +135,17 @@ mod tests {
     #[test]
     fn malformed_bytes_rejected() {
         assert!(SymbolRef::from_bytes(&[]).is_none());
-        assert!(SymbolRef::from_bytes(&[9, 1, 0, b'x']).is_none(), "bad kind");
-        assert!(SymbolRef::from_bytes(&[0, 10, 0, b'x']).is_none(), "length exceeds buffer");
-        assert!(SymbolRef::from_bytes(&[0, 2, 0, 0xFF, 0xFE]).is_none(), "invalid utf8");
+        assert!(
+            SymbolRef::from_bytes(&[9, 1, 0, b'x']).is_none(),
+            "bad kind"
+        );
+        assert!(
+            SymbolRef::from_bytes(&[0, 10, 0, b'x']).is_none(),
+            "length exceeds buffer"
+        );
+        assert!(
+            SymbolRef::from_bytes(&[0, 2, 0, 0xFF, 0xFE]).is_none(),
+            "invalid utf8"
+        );
     }
 }

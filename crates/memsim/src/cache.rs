@@ -47,7 +47,12 @@ struct Way {
 
 impl Way {
     const fn empty() -> Self {
-        Way { tag: 0, valid: false, dirty: false, stamp: 0 }
+        Way {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            stamp: 0,
+        }
     }
 }
 
@@ -98,7 +103,10 @@ impl SetAssocCache {
     pub fn new(cfg: CacheLevelConfig) -> Self {
         let sets = cfg.sets();
         let ways_per_set = cfg.ways;
-        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         SetAssocCache {
             cfg,
             sets,
@@ -183,7 +191,10 @@ impl SetAssocCache {
                 w.dirty = true;
             }
             self.stats.hits += 1;
-            return FillOutcome { hit: true, dirty_victim: None };
+            return FillOutcome {
+                hit: true,
+                dirty_victim: None,
+            };
         }
 
         // Miss: fill, choosing an invalid way first, otherwise the LRU victim.
@@ -199,13 +210,25 @@ impl SetAssocCache {
             }
         };
         let victim = ways[victim_idx];
-        let dirty_victim = if victim.valid && victim.dirty { Some(victim.tag) } else { None };
-        ways[victim_idx] = Way { tag: line, valid: true, dirty: kind.is_write(), stamp: tick };
+        let dirty_victim = if victim.valid && victim.dirty {
+            Some(victim.tag)
+        } else {
+            None
+        };
+        ways[victim_idx] = Way {
+            tag: line,
+            valid: true,
+            dirty: kind.is_write(),
+            stamp: tick,
+        };
         self.stats.misses += 1;
         if dirty_victim.is_some() {
             self.stats.writebacks += 1;
         }
-        FillOutcome { hit: false, dirty_victim }
+        FillOutcome {
+            hit: false,
+            dirty_victim,
+        }
     }
 
     /// Install a line without it being a demand access — the *stash port*. The line is
@@ -229,11 +252,24 @@ impl SetAssocCache {
         let victim_idx = if let Some((i, _)) = ways.iter().enumerate().find(|(_, w)| !w.valid) {
             i
         } else {
-            ways.iter().enumerate().min_by_key(|(_, w)| w.stamp).map(|(i, _)| i).unwrap()
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .unwrap()
         };
         let victim = ways[victim_idx];
-        let dirty_victim = if victim.valid && victim.dirty { Some(victim.tag) } else { None };
-        ways[victim_idx] = Way { tag: line, valid: true, dirty: true, stamp: tick };
+        let dirty_victim = if victim.valid && victim.dirty {
+            Some(victim.tag)
+        } else {
+            None
+        };
+        ways[victim_idx] = Way {
+            tag: line,
+            valid: true,
+            dirty: true,
+            stamp: tick,
+        };
         self.stats.stashed_lines += 1;
         if dirty_victim.is_some() {
             self.stats.writebacks += 1;
@@ -281,7 +317,10 @@ mod tests {
         let mut c = small_cache();
         assert!(!c.access(0x1000, AccessKind::Read).hit);
         assert!(c.access(0x1000, AccessKind::Read).hit);
-        assert!(c.access(0x103F, AccessKind::Read).hit, "same line, different byte");
+        assert!(
+            c.access(0x103F, AccessKind::Read).hit,
+            "same line, different byte"
+        );
         assert!(!c.access(0x1040, AccessKind::Read).hit, "next line");
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().misses, 2);

@@ -27,14 +27,21 @@ impl CacheLevelConfig {
     /// Create a level description. Panics if the geometry is inconsistent
     /// (capacity not divisible into whole sets of `ways` lines).
     pub fn new(capacity: usize, ways: usize, line_size: usize) -> Self {
-        assert!(capacity > 0 && ways > 0 && line_size > 0, "cache geometry must be non-zero");
         assert!(
-            capacity % (ways * line_size) == 0,
+            capacity > 0 && ways > 0 && line_size > 0,
+            "cache geometry must be non-zero"
+        );
+        assert!(
+            capacity.is_multiple_of(ways * line_size),
             "capacity {} not divisible by ways*line {}",
             capacity,
             ways * line_size
         );
-        CacheLevelConfig { capacity, ways, line_size }
+        CacheLevelConfig {
+            capacity,
+            ways,
+            line_size,
+        }
     }
 
     /// Number of sets in this cache.
@@ -154,8 +161,16 @@ impl TestbedConfig {
                 writeback: SimTime::from_ns(8),
                 stash_install: SimTime::from_ns(6),
             },
-            dram: DramConfig { bandwidth_gib_s: 19.0, background_utilization: 0.0 },
-            prefetch: PrefetchConfig { enabled: true, train_threshold: 3, degree: 8, streams: 16 },
+            dram: DramConfig {
+                bandwidth_gib_s: 19.0,
+                background_utilization: 0.0,
+            },
+            prefetch: PrefetchConfig {
+                enabled: true,
+                train_threshold: 3,
+                degree: 8,
+                streams: 16,
+            },
             llc_stashing: true,
             dram_capacity: 16 << 30,
         }
@@ -196,8 +211,16 @@ impl TestbedConfig {
                 writeback: SimTime::from_ns(5),
                 stash_install: SimTime::from_ns(3),
             },
-            dram: DramConfig { bandwidth_gib_s: 10.0, background_utilization: 0.0 },
-            prefetch: PrefetchConfig { enabled: false, train_threshold: 2, degree: 4, streams: 4 },
+            dram: DramConfig {
+                bandwidth_gib_s: 10.0,
+                background_utilization: 0.0,
+            },
+            prefetch: PrefetchConfig {
+                enabled: false,
+                train_threshold: 2,
+                degree: 4,
+                streams: 4,
+            },
             llc_stashing: true,
             dram_capacity: 1 << 30,
         }
@@ -220,7 +243,9 @@ impl TestbedConfig {
 
     /// Number of L3 cluster slices on the chip.
     pub fn num_clusters(&self) -> usize {
-        (self.caches.num_cores + self.caches.cores_per_cluster - 1) / self.caches.cores_per_cluster
+        self.caches
+            .num_cores
+            .div_ceil(self.caches.cores_per_cluster)
     }
 }
 

@@ -85,7 +85,7 @@ impl WaitModel {
             WaitMode::Polling => {
                 // Round the observation up to the next poll boundary.
                 let interval = self.poll_interval.as_ps().max(1);
-                let polls = (wait.as_ps() + interval - 1) / interval;
+                let polls = wait.as_ps().div_ceil(interval);
                 let elapsed = SimTime::from_ps(polls.max(1) * interval);
                 let cycles = elapsed.to_cycles(self.core_freq_ghz);
                 WaitOutcome { elapsed, cycles }
@@ -191,7 +191,10 @@ mod tests {
         let m = WaitModel::cluster2021();
         let short = m.wait(WaitMode::Wfe, SimTime::from_ns(500));
         let long = m.wait(WaitMode::Wfe, SimTime::from_us(100));
-        assert_eq!(short.cycles, long.cycles, "WFE cycle cost should not grow with wait time");
+        assert_eq!(
+            short.cycles, long.cycles,
+            "WFE cycle cost should not grow with wait time"
+        );
         assert!(long.cycles < 200);
     }
 
@@ -216,7 +219,10 @@ mod tests {
         let poll = m.wait(WaitMode::Polling, wait);
         let wfe = m.wait(WaitMode::Wfe, wait);
         let factor = poll.cycles as f64 / wfe.cycles as f64;
-        assert!(factor > 10.0, "wait-cycle reduction should be large, got {factor}");
+        assert!(
+            factor > 10.0,
+            "wait-cycle reduction should be large, got {factor}"
+        );
     }
 
     #[test]

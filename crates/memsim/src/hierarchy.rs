@@ -38,7 +38,10 @@ pub struct FlatMemory {
 impl FlatMemory {
     /// A flat memory with zero cost per access.
     pub fn free() -> Self {
-        FlatMemory { per_access: SimTime::ZERO, accesses: 0 }
+        FlatMemory {
+            per_access: SimTime::ZERO,
+            accesses: 0,
+        }
     }
 }
 
@@ -92,11 +95,16 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Build an empty (cold) hierarchy for the given machine description.
     pub fn new(cfg: TestbedConfig) -> Self {
-        let l2 = (0..cfg.caches.num_cores).map(|_| SetAssocCache::new(cfg.caches.l2)).collect();
-        let l3 = (0..cfg.num_clusters()).map(|_| SetAssocCache::new(cfg.caches.l3)).collect();
+        let l2 = (0..cfg.caches.num_cores)
+            .map(|_| SetAssocCache::new(cfg.caches.l2))
+            .collect();
+        let l3 = (0..cfg.num_clusters())
+            .map(|_| SetAssocCache::new(cfg.caches.l3))
+            .collect();
         let llc = SetAssocCache::new(cfg.caches.llc);
-        let prefetchers =
-            (0..cfg.caches.num_cores).map(|_| StridePrefetcher::new(cfg.prefetch)).collect();
+        let prefetchers = (0..cfg.caches.num_cores)
+            .map(|_| StridePrefetcher::new(cfg.prefetch))
+            .collect();
         let dram = DramModel::new(cfg.latency.dram, cfg.dram);
         let line_size = cfg.caches.llc.line_size;
         CacheHierarchy {
@@ -139,7 +147,10 @@ impl CacheHierarchy {
     /// Attach (or detach, with `None`) a memory stressor. The stressor both consumes
     /// DRAM bandwidth and injects heavy-tailed queueing delays.
     pub fn set_stressor(&mut self, stressor: Option<MemoryStressor>) {
-        let util = stressor.as_ref().map(|s| s.bandwidth_share()).unwrap_or(0.0);
+        let util = stressor
+            .as_ref()
+            .map(|s| s.bandwidth_share())
+            .unwrap_or(0.0);
         self.dram.set_background_utilization(util);
         self.stressor = stressor;
     }
@@ -455,7 +466,10 @@ mod tests {
         }
         let with_pf = h.stats().dram_accesses;
         assert!(h.stats().prefetches_issued > 0);
-        assert!(h.stats().prefetch_hits > 0, "some demand accesses should hit prefetched lines");
+        assert!(
+            h.stats().prefetch_hits > 0,
+            "some demand accesses should hit prefetched lines"
+        );
 
         let mut cfg2 = TestbedConfig::tiny_for_tests();
         cfg2.prefetch.enabled = false;

@@ -29,13 +29,19 @@ pub struct DramModel {
 impl DramModel {
     /// Build the model from a base (idle) latency and channel configuration.
     pub fn new(base_latency: SimTime, cfg: DramConfig) -> Self {
-        let mut m = DramModel { base_latency, cfg, line_transfer: SimTime::ZERO, accesses: 0 };
+        let mut m = DramModel {
+            base_latency,
+            cfg,
+            line_transfer: SimTime::ZERO,
+            accesses: 0,
+        };
         m.recompute();
         m
     }
 
     fn recompute(&mut self) {
-        let effective = (self.cfg.bandwidth_gib_s * (1.0 - self.cfg.background_utilization)).max(0.5);
+        let effective =
+            (self.cfg.bandwidth_gib_s * (1.0 - self.cfg.background_utilization)).max(0.5);
         // bytes per nanosecond at `effective` GiB/s
         let bytes_per_ns = effective * 1.073_741_824; // GiB/s -> bytes/ns
         let ns = CACHE_LINE as f64 / bytes_per_ns;
@@ -94,7 +100,10 @@ mod tests {
     fn model() -> DramModel {
         DramModel::new(
             SimTime::from_ns(95),
-            DramConfig { bandwidth_gib_s: 19.0, background_utilization: 0.0 },
+            DramConfig {
+                bandwidth_gib_s: 19.0,
+                background_utilization: 0.0,
+            },
         )
     }
 
@@ -138,7 +147,10 @@ mod tests {
                 saw_extra = true;
             }
         }
-        assert!(saw_extra, "stressor should add queueing delay at least sometimes");
+        assert!(
+            saw_extra,
+            "stressor should add queueing delay at least sometimes"
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod stress;
 
 pub use cache::{AccessKind, SetAssocCache};
 pub use clock::{SimClock, SimTime};
-pub use config::{CacheGeometry, CacheLevelConfig, DramConfig, LatencyConfig, PrefetchConfig, TestbedConfig};
+pub use config::{
+    CacheGeometry, CacheLevelConfig, DramConfig, LatencyConfig, PrefetchConfig, TestbedConfig,
+};
 pub use cycles::{CycleCounter, WaitMode, WaitOutcome};
 pub use hierarchy::{CacheHierarchy, HierarchyStats, MemoryBus};
 pub use latency::DramModel;

@@ -44,7 +44,12 @@ impl StridePrefetcher {
     /// Build a prefetcher from configuration; if `cfg.enabled` is false the
     /// prefetcher never issues anything.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        StridePrefetcher { cfg, streams: VecDeque::new(), issued: 0, useful: 0 }
+        StridePrefetcher {
+            cfg,
+            streams: VecDeque::new(),
+            issued: 0,
+            useful: 0,
+        }
     }
 
     /// Whether the prefetcher is enabled at all.
@@ -102,11 +107,12 @@ impl StridePrefetcher {
                 if s.confidence >= self.cfg.train_threshold && s.stride.abs() == 1 {
                     // Trained: keep `degree` lines of lookahead issued.
                     let dir = s.stride.signum();
-                    let mut next = if s.issued_until == 0 || s.confidence == self.cfg.train_threshold {
-                        line
-                    } else {
-                        s.issued_until
-                    };
+                    let mut next =
+                        if s.issued_until == 0 || s.confidence == self.cfg.train_threshold {
+                            line
+                        } else {
+                            s.issued_until
+                        };
                     for _ in 0..self.cfg.degree {
                         let candidate = (next as i64 + dir) as u64;
                         out.push(candidate);
@@ -146,7 +152,12 @@ mod tests {
     use super::*;
 
     fn cfg(enabled: bool) -> PrefetchConfig {
-        PrefetchConfig { enabled, train_threshold: 2, degree: 4, streams: 4 }
+        PrefetchConfig {
+            enabled,
+            train_threshold: 2,
+            degree: 4,
+            streams: 4,
+        }
     }
 
     #[test]
@@ -165,10 +176,16 @@ mod tests {
         for i in 100..120u64 {
             issued.extend(p.observe_miss(i));
         }
-        assert!(p.issued() > 0, "sequential misses must train the prefetcher");
+        assert!(
+            p.issued() > 0,
+            "sequential misses must train the prefetcher"
+        );
         // Issued lines should be ahead of the access stream.
         assert!(issued.iter().all(|&l| l > 100));
-        assert!(issued.iter().any(|&l| l >= 110), "lookahead should run ahead of demand");
+        assert!(
+            issued.iter().any(|&l| l >= 110),
+            "lookahead should run ahead of demand"
+        );
     }
 
     #[test]
@@ -193,7 +210,10 @@ mod tests {
         for i in 0..4u64 {
             total += p.observe_miss(i).len();
         }
-        assert_eq!(total, 0, "threshold 4 needs more confirmations than 4 misses provide");
+        assert_eq!(
+            total, 0,
+            "threshold 4 needs more confirmations than 4 misses provide"
+        );
     }
 
     #[test]

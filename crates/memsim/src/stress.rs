@@ -148,7 +148,10 @@ mod tests {
             max = max.max(s.queueing_delay());
         }
         assert!(s.bursts() > 0, "expected at least one burst in 20k samples");
-        assert!(max >= SimTime::from_us(1), "heavy tail should reach microseconds, got {max}");
+        assert!(
+            max >= SimTime::from_us(1),
+            "heavy tail should reach microseconds, got {max}"
+        );
     }
 
     #[test]
@@ -161,7 +164,10 @@ mod tests {
                 small += 1;
             }
         }
-        assert!(small as f64 / n as f64 > 0.95, "common case should stay under 100ns");
+        assert!(
+            small as f64 / n as f64 > 0.95,
+            "common case should stay under 100ns"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn main() {
     let (fabric, client_id, server_id) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut server =
         TwoChainsHost::new(&fabric, server_id, RuntimeConfig::paper_default()).expect("server");
-    server.install_package(benchmark_package().unwrap()).unwrap();
+    server
+        .install_package(benchmark_package().unwrap())
+        .unwrap();
     let mut client = TwoChainsSender::new(
         fabric.endpoint(client_id, server_id).unwrap(),
         benchmark_package().unwrap(),
@@ -34,13 +36,24 @@ fn main() {
     for key in 0u64..32 {
         let value: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(key as u8 + 1)).collect();
         let frame = client
-            .pack(jam, InvocationMode::Injected, indirect_put_args(key, 16, 4), value)
+            .pack(
+                jam,
+                InvocationMode::Injected,
+                indirect_put_args(key, 16, 4),
+                value,
+            )
             .unwrap();
         let target = server.mailbox_target(0, (key % 16) as usize).unwrap();
         let sent = client.send(clock, &frame, &target).unwrap();
         clock = sent.sender_free();
         let out = server
-            .receive(0, (key % 16) as usize, Some(frame.wire_size()), sent.delivered(), ready)
+            .receive(
+                0,
+                (key % 16) as usize,
+                Some(frame.wire_size()),
+                sent.delivered(),
+                ready,
+            )
             .unwrap();
         ready = out.handler_done;
         offsets.push(out.result);
@@ -48,21 +61,35 @@ fn main() {
 
     // Every key got its own slot in the server's table, and rewriting a key reuses it.
     let distinct: std::collections::HashSet<u64> = offsets.iter().copied().collect();
-    println!("wrote 32 keys into {} distinct server-side slots", distinct.len());
+    println!(
+        "wrote 32 keys into {} distinct server-side slots",
+        distinct.len()
+    );
     assert_eq!(distinct.len(), 32);
 
     let rewrite: Vec<u8> = vec![0xEE; 64];
     let frame = client
-        .pack(jam, InvocationMode::Injected, indirect_put_args(7, 16, 4), rewrite)
+        .pack(
+            jam,
+            InvocationMode::Injected,
+            indirect_put_args(7, 16, 4),
+            rewrite,
+        )
         .unwrap();
     let target = server.mailbox_target(0, 0).unwrap();
     let sent = client.send(clock, &frame, &target).unwrap();
     let out = server
         .receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready)
         .unwrap();
-    println!("rewrite of key 7 landed at the same offset: {}", out.result == offsets[7]);
+    println!(
+        "rewrite of key 7 landed at the same offset: {}",
+        out.result == offsets[7]
+    );
     assert_eq!(out.result, offsets[7]);
 
-    println!("total virtual time for 33 injected writes: {}", out.handler_done);
+    println!(
+        "total virtual time for 33 injected writes: {}",
+        out.handler_done
+    );
     println!("server executed {} jams", server.stats().executions);
 }

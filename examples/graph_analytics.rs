@@ -24,24 +24,52 @@ fn main() {
     println!("{:<34} {:>14} {:>12}", "configuration", "msg/s", "MiB/s");
 
     let configs: [(&str, TestbedOptions, InvocationMode); 4] = [
-        ("Injected + LLC stashing", TestbedOptions::default(), InvocationMode::Injected),
-        ("Injected, stashing disabled", TestbedOptions::default().nonstash(), InvocationMode::Injected),
-        ("Local + LLC stashing", TestbedOptions::default(), InvocationMode::Local),
-        ("Local, stashing disabled", TestbedOptions::default().nonstash(), InvocationMode::Local),
+        (
+            "Injected + LLC stashing",
+            TestbedOptions::default(),
+            InvocationMode::Injected,
+        ),
+        (
+            "Injected, stashing disabled",
+            TestbedOptions::default().nonstash(),
+            InvocationMode::Injected,
+        ),
+        (
+            "Local + LLC stashing",
+            TestbedOptions::default(),
+            InvocationMode::Local,
+        ),
+        (
+            "Local, stashing disabled",
+            TestbedOptions::default().nonstash(),
+            InvocationMode::Local,
+        ),
     ];
 
     let mut rates = Vec::new();
     for (label, opts, mode) in configs {
         let mut harness = InjectionRate::new(opts);
         let r = harness.run(BuiltinJam::IndirectPut, mode, weights_per_edge, updates);
-        println!("{label:<34} {:>14.0} {:>12.1}", r.messages_per_sec, r.bandwidth_mib_s);
+        println!(
+            "{label:<34} {:>14.0} {:>12.1}",
+            r.messages_per_sec, r.bandwidth_mib_s
+        );
         rates.push(r.messages_per_sec);
     }
 
     // The paper's qualitative findings hold: stashing helps the injected path most,
     // and small-payload injected messages trade some rate for the flexibility of
     // carrying their own code.
-    assert!(rates[0] > rates[1], "stashing should raise the injected message rate");
-    assert!(rates[2] > rates[0], "local invocation avoids shipping code for tiny payloads");
-    println!("\nstashing speedup for injected updates: {:.2}x", rates[0] / rates[1]);
+    assert!(
+        rates[0] > rates[1],
+        "stashing should raise the injected message rate"
+    );
+    assert!(
+        rates[2] > rates[0],
+        "local invocation avoids shipping code for tiny payloads"
+    );
+    println!(
+        "\nstashing speedup for injected updates: {:.2}x",
+        rates[0] / rates[1]
+    );
 }

@@ -25,7 +25,9 @@ fn main() {
     let (fabric, client_id, server_id) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut server =
         TwoChainsHost::new(&fabric, server_id, RuntimeConfig::paper_default()).expect("server");
-    server.install_package(benchmark_package().unwrap()).unwrap();
+    server
+        .install_package(benchmark_package().unwrap())
+        .unwrap();
     let mut client = TwoChainsSender::new(
         fabric.endpoint(client_id, server_id).unwrap(),
         benchmark_package().unwrap(),
@@ -37,11 +39,22 @@ fn main() {
     let send = |client: &mut TwoChainsSender, server: &mut TwoChainsHost, values: &[u32]| {
         let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         let frame = client
-            .pack(jam, InvocationMode::Injected, ssum_args(values.len() as u32), payload)
+            .pack(
+                jam,
+                InvocationMode::Injected,
+                ssum_args(values.len() as u32),
+                payload,
+            )
             .unwrap();
         let sent = client.send(SimTime::ZERO, &frame, &target).unwrap();
         server
-            .receive(0, 0, Some(frame.wire_size()), sent.delivered(), SimTime::ZERO)
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                sent.delivered(),
+                SimTime::ZERO,
+            )
             .unwrap()
             .result
     };
@@ -58,7 +71,11 @@ fn main() {
             "array.append",
             Arc::new(|ctx, args| {
                 let sum = args.first().copied().unwrap_or(0).min(1000);
-                let base = ctx.space.segment("array.base").ok_or("array.base not mapped")?.base;
+                let base = ctx
+                    .space
+                    .segment("array.base")
+                    .ok_or("array.base not mapped")?
+                    .base;
                 let counter = ctx.read_u64(base)?;
                 let slot = counter % ARRAY_SLOTS as u64;
                 ctx.write_u64(base + 8 + slot * 8, sum)?;
@@ -81,5 +98,8 @@ fn main() {
     println!("value stored by updated append: {stored}");
     assert_eq!(before, 1200);
     assert_eq!(after, 1200);
-    assert_eq!(stored, 1000, "the reloaded implementation saturates at 1000");
+    assert_eq!(
+        stored, 1000,
+        "the reloaded implementation saturates at 1000"
+    );
 }

@@ -25,7 +25,9 @@ fn main() {
     //    built from the same jam definitions.
     let mut server = TwoChainsHost::new(&fabric, server_id, RuntimeConfig::paper_default())
         .expect("server runtime");
-    server.install_package(benchmark_package().expect("package")).expect("install package");
+    server
+        .install_package(benchmark_package().expect("package"))
+        .expect("install package");
 
     // 3. The client connects and learns, out of band, where the server's mailbox is
     //    and what the resolved GOT image for the jam looks like on the server.
@@ -33,7 +35,9 @@ fn main() {
         fabric.endpoint(client_id, server_id).expect("endpoint"),
         benchmark_package().expect("package"),
     );
-    let jam = server.builtin_id(BuiltinJam::ServerSideSum).expect("jam id");
+    let jam = server
+        .builtin_id(BuiltinJam::ServerSideSum)
+        .expect("jam id");
     client.set_remote_got(jam, &server.export_got(jam).expect("exported GOT"));
     let mailbox = server.mailbox_target(0, 0).expect("mailbox");
 
@@ -42,22 +46,38 @@ fn main() {
     let frame = client
         .pack(jam, InvocationMode::Injected, ssum_args(16), payload)
         .expect("pack frame");
-    println!("frame on the wire : {} bytes (code+GOT = {} bytes)", frame.wire_size(),
-        BuiltinJam::ServerSideSum.shipped_code_bytes());
+    println!(
+        "frame on the wire : {} bytes (code+GOT = {} bytes)",
+        frame.wire_size(),
+        BuiltinJam::ServerSideSum.shipped_code_bytes()
+    );
 
     let sent = client.send(SimTime::ZERO, &frame, &mailbox).expect("send");
     println!("delivered at      : {}", sent.delivered());
 
     // 5. The server's receiver thread wakes on the signal byte and runs the function.
     let out = server
-        .receive(0, 0, Some(frame.wire_size()), sent.delivered(), SimTime::ZERO)
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            sent.delivered(),
+            SimTime::ZERO,
+        )
         .expect("receive");
-    println!("sum computed      : {} (expected {})", out.result, (1..=16u64).sum::<u64>());
+    println!(
+        "sum computed      : {} (expected {})",
+        out.result,
+        (1..=16u64).sum::<u64>()
+    );
     println!("one-way latency   : {}", out.handler_done);
     println!("handler time      : {}", out.handler_time);
 
     // 6. The result was appended to the server-side array exported by `ried_array`.
     let slot0 = server.read_data("array.base", 8, 8).expect("server array");
-    println!("server array[0]   : {}", u64::from_le_bytes(slot0.try_into().unwrap()));
+    println!(
+        "server array[0]   : {}",
+        u64::from_le_bytes(slot0.try_into().unwrap())
+    );
     assert_eq!(out.result, 136);
 }

@@ -8,7 +8,9 @@ use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
 fn testbed(cfg: RuntimeConfig) -> (TwoChainsHost, TwoChainsSender) {
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut receiver = TwoChainsHost::new(&fabric, b, cfg).unwrap();
-    receiver.install_package(benchmark_package().unwrap()).unwrap();
+    receiver
+        .install_package(benchmark_package().unwrap())
+        .unwrap();
     let mut sender =
         TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
     for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
@@ -30,11 +32,17 @@ fn injected_and_local_agree_across_many_messages() {
     let mut ready = SimTime::ZERO;
     let mut clock = SimTime::ZERO;
     for i in 1..=20u32 {
-        let mode = if i % 2 == 0 { InvocationMode::Injected } else { InvocationMode::Local };
+        let mode = if i % 2 == 0 {
+            InvocationMode::Injected
+        } else {
+            InvocationMode::Local
+        };
         let frame = tx.pack(id, mode, ssum_args(i), ints(i)).unwrap();
         let sent = tx.send(clock, &frame, &target).unwrap();
         clock = sent.sender_free();
-        let out = rx.receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready).unwrap();
+        let out = rx
+            .receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready)
+            .unwrap();
         ready = out.handler_done;
         let expected: u64 = (1..=i as u64).sum();
         assert_eq!(out.result, expected, "message {i} ({mode:?})");
@@ -61,11 +69,19 @@ fn indirect_put_state_survives_mode_switches_and_banks() {
         let bank = (i as usize) % banks;
         let slot = (i as usize / banks) % per_bank;
         let target = rx.mailbox_target(bank, slot).unwrap();
-        let mode = if i % 3 == 0 { InvocationMode::Local } else { InvocationMode::Injected };
-        let frame = tx.pack(id, mode, indirect_put_args(key, 8, 4), ints(8)).unwrap();
+        let mode = if i % 3 == 0 {
+            InvocationMode::Local
+        } else {
+            InvocationMode::Injected
+        };
+        let frame = tx
+            .pack(id, mode, indirect_put_args(key, 8, 4), ints(8))
+            .unwrap();
         let sent = tx.send(clock, &frame, &target).unwrap();
         clock = sent.sender_free();
-        let out = rx.receive(bank, slot, Some(frame.wire_size()), sent.delivered(), ready).unwrap();
+        let out = rx
+            .receive(bank, slot, Some(frame.wire_size()), sent.delivered(), ready)
+            .unwrap();
         ready = out.handler_done;
         // The same key always resolves to the same server-side location, regardless
         // of invocation mode or which mailbox the message used.
@@ -81,21 +97,47 @@ fn latency_ordering_matches_the_papers_qualitative_claims() {
 
     // Injected messages are slower than Local for tiny payloads but converge for
     // large payloads (Fig. 7).
-    let mut pp = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() });
-    let small_local = pp.run(BuiltinJam::IndirectPut, InvocationMode::Local, 1, 12).median_us();
-    let small_inj = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 1, 12).median_us();
-    let big_local = pp.run(BuiltinJam::IndirectPut, InvocationMode::Local, 8192, 8).median_us();
-    let big_inj = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8192, 8).median_us();
+    let mut pp = PingPong::new(TestbedOptions {
+        warmup: 3,
+        ..Default::default()
+    });
+    let small_local = pp
+        .run(BuiltinJam::IndirectPut, InvocationMode::Local, 1, 12)
+        .median_us();
+    let small_inj = pp
+        .run(BuiltinJam::IndirectPut, InvocationMode::Injected, 1, 12)
+        .median_us();
+    let big_local = pp
+        .run(BuiltinJam::IndirectPut, InvocationMode::Local, 8192, 8)
+        .median_us();
+    let big_inj = pp
+        .run(BuiltinJam::IndirectPut, InvocationMode::Injected, 8192, 8)
+        .median_us();
     let small_gap = (small_inj - small_local) / small_local;
     let big_gap = (big_inj - big_local) / big_local;
-    assert!(small_gap > 0.10, "small payloads pay for shipping code: {small_gap}");
-    assert!(big_gap < small_gap / 2.0, "the overhead must fade for large payloads: {big_gap}");
+    assert!(
+        small_gap > 0.10,
+        "small payloads pay for shipping code: {small_gap}"
+    );
+    assert!(
+        big_gap < small_gap / 2.0,
+        "the overhead must fade for large payloads: {big_gap}"
+    );
 
     // Stashing reduces injected-message latency (Fig. 9).
-    let mut nostash = PingPong::new(TestbedOptions { warmup: 3, ..Default::default() }.nonstash());
-    let stash_lat = pp.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 16, 12).median_us();
-    let nostash_lat =
-        nostash.run(BuiltinJam::IndirectPut, InvocationMode::Injected, 16, 12).median_us();
+    let mut nostash = PingPong::new(
+        TestbedOptions {
+            warmup: 3,
+            ..Default::default()
+        }
+        .nonstash(),
+    );
+    let stash_lat = pp
+        .run(BuiltinJam::IndirectPut, InvocationMode::Injected, 16, 12)
+        .median_us();
+    let nostash_lat = nostash
+        .run(BuiltinJam::IndirectPut, InvocationMode::Injected, 16, 12)
+        .median_us();
     assert!(nostash_lat > stash_lat, "stashing must reduce latency");
 }
 
@@ -110,11 +152,15 @@ fn wfe_configuration_is_cycle_efficient_end_to_end() {
         let target = rx.mailbox_target(0, 0).unwrap();
         let mut ready = SimTime::ZERO;
         for i in 0..10u32 {
-            let frame = tx.pack(id, InvocationMode::Injected, ssum_args(16), ints(16)).unwrap();
+            let frame = tx
+                .pack(id, InvocationMode::Injected, ssum_args(16), ints(16))
+                .unwrap();
             // Space sends out so the receiver actually waits between messages.
             let start = SimTime::from_us(5 * (i as u64 + 1));
             let sent = tx.send(start, &frame, &target).unwrap();
-            let out = rx.receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready).unwrap();
+            let out = rx
+                .receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready)
+                .unwrap();
             ready = out.handler_done;
         }
     }
@@ -131,10 +177,24 @@ fn without_execution_configuration_is_put_like() {
     let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().without_execution());
     let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
     let target = rx.mailbox_target(0, 0).unwrap();
-    let frame = tx.pack(id, InvocationMode::Local, ssum_args(64), ints(64)).unwrap();
+    let frame = tx
+        .pack(id, InvocationMode::Local, ssum_args(64), ints(64))
+        .unwrap();
     let sent = tx.send(SimTime::ZERO, &frame, &target).unwrap();
-    let out = rx.receive(0, 0, Some(frame.wire_size()), sent.delivered(), SimTime::ZERO).unwrap();
+    let out = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            sent.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
     // No execution happened, and the receiver-side cost is well under a microsecond.
     assert!(out.exec.is_none());
-    assert!(out.handler_time < SimTime::from_ns(300), "got {}", out.handler_time);
+    assert!(
+        out.handler_time < SimTime::from_ns(300),
+        "got {}",
+        out.handler_time
+    );
 }

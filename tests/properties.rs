@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use two_chains_suite::jamvm::{
-    decode_program, encode_program, verify, AddressSpace, Assembler, ExternTable, GotImage,
-    Instr, Reg, Segment, SegmentKind, Vm, VmConfig,
+    decode_program, encode_program, verify, AddressSpace, Assembler, ExternTable, GotImage, Instr,
+    Reg, Segment, SegmentKind, Vm, VmConfig,
 };
 use two_chains_suite::linker::{JamObject, SymbolRef};
 use two_chains_suite::memsim::cycles::{WaitMode, WaitModel};
@@ -15,14 +15,20 @@ use twochains::frame::Frame;
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (0u8..16, any::<u64>()).prop_map(|(r, imm)| Instr::LoadImm { dst: Reg(r), imm }),
-        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Mov { dst: Reg(d), src: Reg(s) }),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Mov {
+            dst: Reg(d),
+            src: Reg(s)
+        }),
         (0u8..16, 0u8..16, 0u8..16).prop_map(|(d, a, b)| Instr::Alu {
             op: two_chains_suite::jamvm::isa::AluOp::Add,
             dst: Reg(d),
             a: Reg(a),
             b: Reg(b)
         }),
-        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Hash { dst: Reg(d), src: Reg(s) }),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::Hash {
+            dst: Reg(d),
+            src: Reg(s)
+        }),
         (0u16..4, 0u8..4).prop_map(|(slot, nargs)| Instr::CallExtern { slot, nargs }),
         Just(Instr::Nop),
         Just(Instr::Ret),
@@ -129,7 +135,7 @@ proptest! {
         let out = rx
             .receive(0, 0, Some(frame.wire_size()), sent.delivered(), SimTime::ZERO)
             .unwrap();
-        let expected: u64 = values.iter().map(|&v| v as u64).sum::<u64>() & u64::MAX;
+        let expected: u64 = values.iter().map(|&v| v as u64).sum::<u64>();
         // The jam accumulates in 64-bit registers from zero-extended 32-bit loads.
         prop_assert_eq!(out.result, expected);
     }
