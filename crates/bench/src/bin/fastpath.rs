@@ -1,22 +1,54 @@
-//! Emit the cold-vs-warm fast-path comparison as `BENCH_fastpath.json`.
+//! Emit the cold-vs-warm fast-path comparison (plus the shard-scaling burst
+//! sweep) as `BENCH_fastpath.json`.
 //!
 //! ```text
-//! cargo run --release -p twochains-bench --bin fastpath            # 1000 messages
-//! cargo run --release -p twochains-bench --bin fastpath -- 200     # custom count
+//! cargo run --release -p twochains-bench --bin fastpath                 # 1000 messages, shards 1,2,4
+//! cargo run --release -p twochains-bench --bin fastpath -- 200          # custom count
 //! cargo run --release -p twochains-bench --bin fastpath -- 200 out.json
+//! cargo run --release -p twochains-bench --bin fastpath -- 200 out.json --shards 1,4
 //! ```
 
-use twochains_bench::fastpath::compare;
+use twochains_bench::fastpath::compare_with_burst;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let messages: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(1000);
-    let out_path = args
-        .get(1)
-        .cloned()
-        .unwrap_or_else(|| "BENCH_fastpath.json".to_string());
+    let mut messages: usize = 1000;
+    let mut out_path = "BENCH_fastpath.json".to_string();
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4];
 
-    let report = compare(messages);
+    let mut args = std::env::args().skip(1);
+    let mut positional = 0usize;
+    while let Some(arg) = args.next() {
+        let shard_list = if arg == "--shards" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            arg.strip_prefix("--shards=").map(str::to_string)
+        };
+        if let Some(list) = shard_list {
+            shard_counts = list
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect();
+            if shard_counts.is_empty() {
+                eprintln!("--shards needs a comma-separated list like 1,4");
+                std::process::exit(2);
+            }
+        } else if arg.starts_with("--") {
+            // A typo'd flag must not be silently swallowed as an output path.
+            eprintln!("unknown option {arg}; usage: fastpath [messages] [out.json] [--shards 1,4]");
+            std::process::exit(2);
+        } else if positional == 0 {
+            if let Ok(n) = arg.parse() {
+                messages = n;
+            }
+            positional += 1;
+        } else {
+            out_path = arg;
+            positional += 1;
+        }
+    }
+
+    let report = compare_with_burst(messages, &shard_counts);
     let json = report.to_json();
     print!("{json}");
     eprintln!(
@@ -27,8 +59,30 @@ fn main() {
         report.wall_speedup(),
         report.messages,
     );
+    for row in &report.burst {
+        eprintln!(
+            "burst: {} shard(s) drain {} msgs at {:.2} M msg/s modelled ({:.2}x), {:.2} M msg/s wall",
+            row.shards,
+            row.messages,
+            row.model_msgs_per_sec / 1e6,
+            row.model_speedup,
+            row.wall_msgs_per_sec / 1e6,
+        );
+    }
     if report.dispatch_speedup() < 2.0 {
         eprintln!("WARNING: warm path is less than 2x faster than cold — fast-path regression?");
+    }
+    // The 2x bar only means something against a 1-shard baseline (the sweep's
+    // first row defines model_speedup's denominator).
+    if report.burst.first().map(|r| r.shards) == Some(1) {
+        if let Some(four) = report.burst.iter().find(|r| r.shards == 4) {
+            if four.model_speedup < 2.0 {
+                eprintln!(
+                    "WARNING: 4-shard modelled speedup {:.2} below the 2x bar — sharding regression?",
+                    four.model_speedup
+                );
+            }
+        }
     }
     match std::fs::write(&out_path, &json) {
         Ok(()) => eprintln!("wrote {out_path}"),

@@ -56,6 +56,9 @@ pub struct FastpathReport {
     pub warm_got_cache_hits: u64,
     /// Sender template hits during the warm run.
     pub warm_template_hits: u64,
+    /// Shard-scaling rows from the burst-drain sweep ([`crate::burst::sweep`]);
+    /// empty when the sweep was not run.
+    pub burst: Vec<crate::burst::BurstRow>,
 }
 
 impl FastpathReport {
@@ -71,6 +74,30 @@ impl FastpathReport {
 
     /// Serialize as a stable, hand-rolled JSON object (no serde in this workspace).
     pub fn to_json(&self) -> String {
+        let burst_rows = self
+            .burst
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"shards\": {}, \"messages\": {}, ",
+                        "\"model_msgs_per_sec\": {:.0}, \"model_speedup\": {:.2}, ",
+                        "\"wall_msgs_per_sec\": {:.0}}}"
+                    ),
+                    r.shards,
+                    r.messages,
+                    r.model_msgs_per_sec,
+                    r.model_speedup,
+                    r.wall_msgs_per_sec,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let burst_json = if burst_rows.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{burst_rows}\n  ]")
+        };
         format!(
             concat!(
                 "{{\n",
@@ -89,7 +116,8 @@ impl FastpathReport {
                 "  \"warm_code_cache_hits\": {},\n",
                 "  \"warm_code_cache_misses\": {},\n",
                 "  \"warm_got_cache_hits\": {},\n",
-                "  \"warm_template_hits\": {}\n",
+                "  \"warm_template_hits\": {},\n",
+                "  \"burst_shard_rows\": {}\n",
                 "}}\n",
             ),
             self.messages,
@@ -106,6 +134,7 @@ impl FastpathReport {
             self.warm_code_cache_misses,
             self.warm_got_cache_hits,
             self.warm_template_hits,
+            burst_json,
         )
     }
 }
@@ -213,7 +242,16 @@ pub fn compare(messages: usize) -> FastpathReport {
         warm_code_cache_misses: host.stats().injected_code_cache_misses,
         warm_got_cache_hits: host.stats().got_cache_hits,
         warm_template_hits: sender.stats().template_hits,
+        burst: Vec::new(),
     }
+}
+
+/// [`compare`] plus the shard-scaling burst-drain sweep over `shard_counts`
+/// (at least `messages` drained per count).
+pub fn compare_with_burst(messages: usize, shard_counts: &[usize]) -> FastpathReport {
+    let mut report = compare(messages);
+    report.burst = crate::burst::sweep(shard_counts, messages);
+    report
 }
 
 #[cfg(test)]
@@ -247,6 +285,33 @@ mod tests {
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"dispatch_speedup\""));
         assert!(json.contains("\"warm_code_cache_misses\": 0"));
-        assert_eq!(json.matches(':').count(), 16);
+        assert!(json.contains("\"burst_shard_rows\": []"));
+        assert_eq!(json.matches(':').count(), 17);
+    }
+
+    #[test]
+    fn json_includes_burst_rows_when_swept() {
+        let mut report = compare(2);
+        report.burst = vec![
+            crate::burst::BurstRow {
+                shards: 1,
+                messages: 64,
+                model_msgs_per_sec: 1_000_000.0,
+                model_speedup: 1.0,
+                wall_msgs_per_sec: 50_000.0,
+            },
+            crate::burst::BurstRow {
+                shards: 4,
+                messages: 64,
+                model_msgs_per_sec: 4_000_000.0,
+                model_speedup: 4.0,
+                wall_msgs_per_sec: 120_000.0,
+            },
+        ];
+        let json = report.to_json();
+        assert!(json.contains("\"burst_shard_rows\": [\n"));
+        assert!(json.contains("{\"shards\": 1, \"messages\": 64,"));
+        assert!(json.contains("\"model_speedup\": 4.00"));
+        assert!(json.ends_with("}\n"));
     }
 }

@@ -5,6 +5,8 @@
 //!
 //! * the two benchmark *shapes* — ping-pong (half-round-trip latency) and injection
 //!   rate (banked flow control) — in [`harness`];
+//! * the shard-scaling burst-drain driver (modelled + multi-threaded) in
+//!   [`burst`], whose rows extend `BENCH_fastpath.json`;
 //! * percentile statistics, including the paper's *tail latency spread* (Eq. 1), in
 //!   [`percentile`];
 //! * one reproduction routine per figure (5–14) in [`figures`], printed by the
@@ -19,11 +21,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod burst;
 pub mod fastpath;
 pub mod figures;
 pub mod harness;
 pub mod percentile;
 
+pub use burst::{sweep as burst_sweep, BurstRow};
 pub use fastpath::{compare as fastpath_compare, FastpathReport};
 pub use figures::{all_figures, figure_by_name, FigureData};
 pub use harness::{InjectionRate, PingPong, RateResult, TestbedOptions};

@@ -14,6 +14,48 @@ use twochains_fabric::{MemoryRegion, RegionDescriptor};
 use crate::error::{AmError, AmResult};
 use crate::mailbox::ReactiveMailbox;
 
+/// Which banks a receiver shard owns: bank `b` belongs to shard `shard` iff
+/// `b % num_shards == shard`. This is the single definition of the deterministic
+/// ownership map — the runtime's `receive`/`receive_burst`, the bank iteration
+/// helper and the bench drain driver all route through it, so no two shards ever
+/// poll (let alone drain) the same mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMask {
+    /// The shard index (`< num_shards`).
+    pub shard: usize,
+    /// Total number of shards.
+    pub num_shards: usize,
+}
+
+impl ShardMask {
+    /// The mask selecting the banks shard `shard` of `num_shards` owns.
+    pub fn new(shard: usize, num_shards: usize) -> Self {
+        ShardMask {
+            shard,
+            num_shards: num_shards.max(1),
+        }
+    }
+
+    /// The mask selecting every bank (the single-shard view).
+    pub fn all() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// The shard that owns `bank` under a `num_shards`-way split — the one
+    /// formula every core-side ownership check delegates to. (The fabric crate's
+    /// `ShardedCompletions::route` mirrors it independently, since fabric sits
+    /// below this crate; change both together or sender completion routing
+    /// diverges from receiver ownership.)
+    pub fn owner_of(bank: usize, num_shards: usize) -> usize {
+        bank % num_shards.max(1)
+    }
+
+    /// Whether this mask owns `bank`.
+    pub fn owns(&self, bank: usize) -> bool {
+        Self::owner_of(bank, self.num_shards) == self.shard % self.num_shards
+    }
+}
+
 /// The receiver-side bank structure: `banks × per_bank` mailboxes carved out of one
 /// registered region.
 #[derive(Debug, Clone)]
@@ -97,6 +139,75 @@ impl MailboxBank {
             .iter()
             .enumerate()
             .map(move |(i, m)| (i / self.per_bank, i % self.per_bank, m))
+    }
+
+    /// One *non-mutating* scan over the banks `mask` owns, yielding every slot
+    /// holding a complete frame as `(bank, slot, frame_len)` — the read-only
+    /// readiness view used by monitoring and the bench driver's sanity checks.
+    ///
+    /// Readiness (and the frame length) comes from the variable-frame two-step
+    /// protocol ([`ReactiveMailbox::poll_variable`]): the header magic is checked,
+    /// the length read, and the signal byte confirmed. Slots that are empty, still
+    /// being written, or whose header declares an out-of-range length are skipped
+    /// and left untouched. The drain path itself uses
+    /// [`MailboxBank::scan_burst`], which applies the same readiness test but
+    /// additionally quarantines the malformed slots it walks past; keep the two
+    /// in lockstep if the readiness protocol ever changes.
+    pub fn iter_ready(&self, mask: ShardMask) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.iter().filter_map(move |(bank, slot, mailbox)| {
+            if !mask.owns(bank) {
+                return None;
+            }
+            match mailbox.poll_variable() {
+                Ok(Some(frame_len)) => Some((bank, slot, frame_len)),
+                Ok(None) | Err(_) => None,
+            }
+        })
+    }
+
+    /// The burst scan: one poll pass over the banks `mask` owns, partitioning the
+    /// slots into up to `max_frames` *ready* frames (`(bank, slot, frame_len)`)
+    /// and quarantined *poisoned* slots — slots whose header magic is set but
+    /// whose declared length is out of range ([`ReactiveMailbox::poll_variable`]
+    /// errors). A poisoned slot is invisible to [`MailboxBank::iter_ready`], so
+    /// without quarantining it here a burst-only receiver would never reclaim it —
+    /// a one-put denial of service per slot; its header magic is cleared (making
+    /// the slot reusable) and it is reported as `(bank, slot, error)`. Each owned
+    /// slot is polled exactly once per scan.
+    #[allow(clippy::type_complexity)]
+    pub fn scan_burst(
+        &self,
+        mask: ShardMask,
+        max_frames: usize,
+    ) -> (Vec<(usize, usize, usize)>, Vec<(usize, usize, AmError)>) {
+        let mut ready = Vec::new();
+        let mut poisoned = Vec::new();
+        for (bank, slot, mailbox) in self.iter() {
+            if !mask.owns(bank) {
+                continue;
+            }
+            match mailbox.poll_variable() {
+                Ok(Some(frame_len)) => {
+                    if ready.len() < max_frames {
+                        ready.push((bank, slot, frame_len));
+                    }
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    // Clearing a header-sized frame zeroes exactly the header
+                    // magic byte, the gate every readiness poll checks first.
+                    let _ = mailbox.clear(crate::frame::FRAME_HEADER_SIZE);
+                    poisoned.push((bank, slot, err));
+                }
+            }
+        }
+        (ready, poisoned)
+    }
+
+    /// Quarantine every poisoned slot in the banks `mask` owns (the poisoned half
+    /// of [`MailboxBank::scan_burst`]).
+    pub fn drain_poisoned(&self, mask: ShardMask) -> Vec<(usize, usize, AmError)> {
+        self.scan_burst(mask, 0).1
     }
 }
 
@@ -239,5 +350,80 @@ mod tests {
     #[test]
     fn flag_region_must_cover_banks() {
         assert!(BankFlags::new(region(1), 4, 2).is_err());
+    }
+
+    #[test]
+    fn shard_mask_partitions_banks() {
+        let masks: Vec<ShardMask> = (0..3).map(|s| ShardMask::new(s, 3)).collect();
+        for bank in 0..12 {
+            let owners = masks.iter().filter(|m| m.owns(bank)).count();
+            assert_eq!(owners, 1, "bank {bank} must have exactly one owner");
+            assert!(masks[bank % 3].owns(bank));
+        }
+        assert!(ShardMask::all().owns(7));
+        // A zero shard count degrades to the all-banks view instead of dividing by
+        // zero.
+        assert!(ShardMask::new(0, 0).owns(5));
+    }
+
+    #[test]
+    fn iter_ready_reports_only_complete_frames_in_owned_banks() {
+        use crate::frame::{Frame, SIG_MAG};
+        let r = MemoryRegion::new(0, 0x3000_0000, 4 * 2 * 2048, AccessFlags::rwx(), 4).unwrap();
+        let b = MailboxBank::new(Arc::clone(&r), 4, 2, 2048).unwrap();
+        assert_eq!(b.iter_ready(ShardMask::all()).count(), 0, "all empty");
+
+        // Land complete frames in (0,0), (1,1) and (2,0) by writing the encoded
+        // bytes and releasing the signal byte, as the simulated NIC does.
+        let bytes = Frame::local(1, 0, vec![0; 20], vec![5; 32]).encode();
+        for (bank, slot) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            let offset = (bank * 2 + slot) * 2048;
+            r.write(offset, &bytes).unwrap();
+            r.store_release_u8(offset + bytes.len() - 1, SIG_MAG)
+                .unwrap();
+        }
+        let all: Vec<_> = b.iter_ready(ShardMask::all()).collect();
+        assert_eq!(
+            all,
+            vec![
+                (0, 0, bytes.len()),
+                (1, 1, bytes.len()),
+                (2, 0, bytes.len())
+            ]
+        );
+        // A two-shard split partitions the ready set by bank parity.
+        let shard0: Vec<_> = b.iter_ready(ShardMask::new(0, 2)).collect();
+        let shard1: Vec<_> = b.iter_ready(ShardMask::new(1, 2)).collect();
+        assert_eq!(shard0, vec![(0, 0, bytes.len()), (2, 0, bytes.len())]);
+        assert_eq!(shard1, vec![(1, 1, bytes.len())]);
+        // Draining a slot removes it from the next scan.
+        b.mailbox(0, 0).unwrap().clear(bytes.len()).unwrap();
+        assert_eq!(b.iter_ready(ShardMask::new(0, 2)).count(), 1);
+    }
+
+    #[test]
+    fn iter_ready_skips_malformed_lengths() {
+        use crate::frame::{Frame, HDR_MAG};
+        let r = MemoryRegion::new(0, 0x3000_0000, 2 * 2048, AccessFlags::rwx(), 4).unwrap();
+        let b = MailboxBank::new(Arc::clone(&r), 1, 2, 2048).unwrap();
+        // Slot 0: header claims a frame far larger than the mailbox.
+        let mut bytes = Frame::local(1, 0, vec![0; 20], vec![0; 4]).encode();
+        bytes[8..12].copy_from_slice(&1_000_000u32.to_le_bytes());
+        r.write(0, &bytes).unwrap();
+        r.store_release_u8(crate::frame::FRAME_HEADER_SIZE - 1, HDR_MAG)
+            .unwrap();
+        assert_eq!(
+            b.iter_ready(ShardMask::all()).count(),
+            0,
+            "a malformed slot must not stall or appear in the scan"
+        );
+        // The quarantine sweep reclaims it (and reports the reason); afterwards
+        // the slot polls as empty instead of erroring forever.
+        let poisoned = b.drain_poisoned(ShardMask::all());
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!((poisoned[0].0, poisoned[0].1), (0, 0));
+        assert!(matches!(poisoned[0].2, AmError::BadFrame(_)));
+        assert!(b.mailbox(0, 0).unwrap().poll_variable().unwrap().is_none());
+        assert!(b.drain_poisoned(ShardMask::all()).is_empty());
     }
 }

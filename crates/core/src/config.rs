@@ -39,6 +39,10 @@ pub struct RuntimeConfig {
     pub banks: usize,
     /// Mailboxes per bank (N in §VI-A2).
     pub mailboxes_per_bank: usize,
+    /// Number of receiver shards draining the banks. Bank `b` is owned by shard
+    /// `b % num_shards`, so shards never contend on a mailbox; each shard keeps its
+    /// own scratch buffer and statistics over the shared injection caches.
+    pub num_shards: usize,
     /// Which core the receiver thread runs on.
     pub receiver_core: usize,
     /// How the receiver waits for the signal byte.
@@ -47,6 +51,11 @@ pub struct RuntimeConfig {
     pub wait_model: WaitModel,
     /// Security policy applied to inbound messages.
     pub security: SecurityPolicy,
+    /// Upper bound on entries per injection cache (decoded programs, sender GOT
+    /// images, re-resolved GOTs). Keys derive from sender-controlled content, so
+    /// the bound caps what a churning sender can pin in receiver memory; past it
+    /// the segmented-LRU policy evicts the coldest probationary entry.
+    pub injection_cache_entries: usize,
     /// If true, messages are delivered and signalled but the function invocation is
     /// skipped — the paper's "without-execution configuration" used for Figs. 5–6.
     pub skip_execution: bool,
@@ -66,10 +75,12 @@ impl RuntimeConfig {
             frame_capacity: 128 * 1024,
             banks: 4,
             mailboxes_per_bank: 16,
+            num_shards: 1,
             receiver_core: 0,
             wait_mode: WaitMode::Polling,
             wait_model: WaitModel::cluster2021(),
             security: SecurityPolicy::permissive(),
+            injection_cache_entries: crate::runtime::MAX_INJECTION_CACHE_ENTRIES,
             skip_execution: false,
             injected_dispatch_ns: 28.0,
             local_dispatch_ns: 18.0,
@@ -88,6 +99,22 @@ impl RuntimeConfig {
         self
     }
 
+    /// Same configuration but with `n` receiver shards draining the banks in
+    /// parallel (bank `b` owned by shard `b % n`).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.num_shards = n;
+        self
+    }
+
+    /// The shard that owns mailbox bank `bank` under this configuration's
+    /// `bank % num_shards` map — a convenience for callers aiming traffic at a
+    /// particular shard. The runtime itself routes through the shard count fixed
+    /// at host construction (`ShardMask`), so mutating `num_shards` after the
+    /// host exists changes this helper's answer but not the host's routing.
+    pub fn owning_shard(&self, bank: usize) -> usize {
+        crate::bank::ShardMask::owner_of(bank, self.num_shards)
+    }
+
     /// Total number of mailboxes.
     pub fn total_mailboxes(&self) -> usize {
         self.banks * self.mailboxes_per_bank
@@ -100,6 +127,18 @@ impl RuntimeConfig {
         }
         if self.banks == 0 || self.mailboxes_per_bank == 0 {
             return Err("need at least one bank and one mailbox".into());
+        }
+        if self.num_shards == 0 {
+            return Err("need at least one receiver shard".into());
+        }
+        if self.injection_cache_entries == 0 {
+            return Err("injection caches need at least one entry".into());
+        }
+        if self.num_shards > self.banks {
+            return Err(format!(
+                "{} shards but only {} banks: a shard would own no bank",
+                self.num_shards, self.banks
+            ));
         }
         Ok(())
     }
@@ -146,6 +185,23 @@ mod tests {
         let mut c = RuntimeConfig::paper_default();
         c.frame_capacity = 4;
         assert!(c.validate().is_err());
+        let mut c = RuntimeConfig::paper_default();
+        c.num_shards = 0;
+        assert!(c.validate().is_err());
+        let c = RuntimeConfig::paper_default().with_shards(5);
+        assert!(c.validate().is_err(), "more shards than banks");
+    }
+
+    #[test]
+    fn shard_ownership_is_bank_modulo() {
+        let c = RuntimeConfig::paper_default().with_shards(4);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.owning_shard(0), 0);
+        assert_eq!(c.owning_shard(3), 3);
+        let c2 = RuntimeConfig::paper_default().with_shards(2);
+        assert_eq!(c2.owning_shard(3), 1);
+        // Default is the single-shard (PR-1 compatible) configuration.
+        assert_eq!(RuntimeConfig::paper_default().num_shards, 1);
     }
 
     #[test]

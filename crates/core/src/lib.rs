@@ -19,6 +19,11 @@
 //! * **Mailbox banks and flow control** ([`bank`]) — M banks of N mailboxes with
 //!   per-bank flags on the sender, exactly the scheme §VI-A2 describes for the
 //!   injection-rate benchmark.
+//! * **Sharded receive path** ([`runtime`]) — banks are partitioned over receiver
+//!   shards (`bank % num_shards`); each shard drains its banks with a one-scan
+//!   [`TwoChainsHost::receive_burst`] over per-shard scratch/stats and shared,
+//!   segmented-LRU injection caches, so receiver threads scale without contending
+//!   on a mailbox.
 //! * **Remote linking** — jams reference receiver-side functionality only through
 //!   symbolic GOT slots; the receiver resolves them against its own loaded rieds
 //!   (per-process namespaces from `twochains-linker`) and shares the resolved GOT
@@ -46,13 +51,16 @@ pub mod runtime;
 pub mod security;
 pub mod stats;
 
-pub use bank::{BankFlags, MailboxBank};
+pub use bank::{BankFlags, MailboxBank, ShardMask};
 pub use builtin::{benchmark_package, benchmark_rieds, BuiltinJam};
 pub use config::{InvocationMode, RuntimeConfig};
 pub use error::{AmError, AmResult};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
 pub use mailbox::ReactiveMailbox;
-pub use runtime::{AmSendOutcome, ReceiveOutcome, TwoChainsHost, TwoChainsSender};
+pub use runtime::{
+    AmSendOutcome, BurstFrame, BurstOutcome, ReceiveOutcome, ReceiverShard, ShardDrain,
+    TwoChainsHost, TwoChainsSender,
+};
 pub use security::SecurityPolicy;
 pub use stats::RuntimeStats;
 

@@ -1,0 +1,882 @@
+//! The receiver-side host: shared state, the dispatch engine, and the public
+//! [`TwoChainsHost`] facade over the sharded receive path.
+//!
+//! The dispatch engine lives on [`HostCore`] and takes `&self` plus one
+//! `&mut ReceiverShard`: everything shared is either read-mostly (namespace,
+//! Local Function library, banks, config) or behind a lock (the jam address
+//! space, the injection caches), so any number of shards can run the engine
+//! concurrently. Execution itself serialises on the address-space lock — the jams
+//! mutate receiver-resident state, so that is a correctness requirement, not an
+//! implementation accident — while the dispatch work around it (poll, hash, cache
+//! probes, decode/verify on a miss) runs shard-parallel.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use twochains_fabric::{AccessFlags, HostHandle, HostId, MemoryRegion, SimFabric};
+use twochains_jamvm::{
+    decode_program, hash64_bytes, verify, AddressSpace, GotImage, Instr, Segment, SegmentKind, Vm,
+    VmConfig,
+};
+use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
+use twochains_memsim::cycles::WaitOutcome;
+use twochains_memsim::{AccessKind, MemoryBus, MemoryStressor, SimTime};
+
+use super::injection_cache::{CachedGot, CachedProgram, InjectionCache};
+use super::shard::{ReceiverShard, ShardDrain};
+use super::{BurstFrame, BurstOutcome, ReceiveOutcome};
+use crate::bank::MailboxBank;
+use crate::builtin::BuiltinJam;
+use crate::config::{InvocationMode, RuntimeConfig};
+use crate::error::{AmError, AmResult};
+use crate::frame::{FrameView, FRAME_HEADER_SIZE};
+use crate::mailbox::MailboxTarget;
+use crate::stats::RuntimeStats;
+
+/// Software cost models for the receiver's injected-dispatch path, in ns per byte.
+///
+/// The content hash is charged on every injected message — it is the cache-key
+/// computation, streaming the arrived bytes at near line rate. Decode, verify and
+/// GOT-image parsing are charged only on a cache miss; on a hit the receiver jumps
+/// straight to the cached decoded program, which is the point of the fast path.
+const HASH_NS_PER_BYTE: f64 = 0.01;
+/// Bytecode decode cost on a cache miss (~2 GB/s: byte-at-a-time opcode dispatch
+/// building the instruction vector).
+const DECODE_NS_PER_BYTE: f64 = 0.6;
+/// Verifier cost on a cache miss (~4 GB/s: register/branch/GOT-slot bound checks
+/// over the decoded program).
+const VERIFY_NS_PER_BYTE: f64 = 0.25;
+/// GOT image parse cost on a GOT-cache miss.
+const GOT_PARSE_NS_PER_BYTE: f64 = 0.05;
+
+/// How the wait preceding a frame's processing is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitCharge {
+    /// The receiver waited on this mailbox's signal byte (the single-slot
+    /// `receive` path): charge the full wait model for `arrival - ready_since`.
+    Signal,
+    /// Readiness was observed by a burst scan that already charged its (single)
+    /// poll: charge no per-frame wait.
+    Scanned,
+}
+
+/// One entry of the Local Function library: the program as loaded from the package,
+/// its GOT resolved against this process's namespace, and the address at which the
+/// resident code lives (kept warm in the receiver's caches). Program and GOT are
+/// reference-counted so dispatch shares them instead of deep-cloning per message.
+#[derive(Debug, Clone)]
+struct LocalEntry {
+    program: Arc<[Instr]>,
+    got: Arc<GotImage>,
+    code_base: u64,
+}
+
+/// Everything the receive path shares between shards. Split out of
+/// [`TwoChainsHost`] so a `&HostCore` can coexist with disjoint
+/// `&mut ReceiverShard` borrows (that split is what [`ShardDrain`] packages).
+#[derive(Debug)]
+pub(crate) struct HostCore {
+    handle: HostHandle,
+    config: RuntimeConfig,
+    namespace: LinkerNamespace,
+    /// The jam address space. Mutated per message (ARGS/USR segments come and go)
+    /// and by the jams themselves, so shards serialise on it for the duration of
+    /// map → execute → unmap. Lock order: `space` before the cache hierarchy.
+    space: Mutex<AddressSpace>,
+    package: Option<Package>,
+    local_lib: HashMap<u32, LocalEntry>,
+    mailbox_region: Arc<MemoryRegion>,
+    banks: MailboxBank,
+    local_code_cursor: u64,
+}
+
+/// The receiver-side (and library-owner) runtime for one process.
+pub struct TwoChainsHost {
+    core: HostCore,
+    cache: Arc<InjectionCache>,
+    shards: Vec<ReceiverShard>,
+}
+
+impl std::fmt::Debug for TwoChainsHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoChainsHost")
+            .field("host", &self.core.handle.id())
+            .field("mailboxes", &self.core.banks.total())
+            .field("local_lib", &self.core.local_lib.len())
+            .field("shards", &self.shards.len())
+            .field("injected_cache", &self.cache.programs_len())
+            .finish()
+    }
+}
+
+impl TwoChainsHost {
+    /// Base simulated address at which Local Function library code is laid out.
+    const LOCAL_CODE_BASE: u64 = 0x7000_0000;
+
+    /// Create a host runtime on fabric host `id`.
+    pub fn new(fabric: &SimFabric, id: HostId, config: RuntimeConfig) -> AmResult<Self> {
+        config.validate().map_err(AmError::InvalidConfig)?;
+        let handle = fabric.host(id)?;
+        let flags = AccessFlags::rwx();
+        let region_len = config
+            .total_mailboxes()
+            .checked_mul(config.frame_capacity)
+            .ok_or_else(|| AmError::InvalidConfig("mailbox region size overflows".into()))?;
+        let mailbox_region = handle.register(region_len, flags)?;
+        let banks = MailboxBank::new(
+            Arc::clone(&mailbox_region),
+            config.banks,
+            config.mailboxes_per_bank,
+            config.frame_capacity,
+        )?;
+        let cache = Arc::new(InjectionCache::with_capacity(
+            config.injection_cache_entries,
+        ));
+        let shards = (0..config.num_shards)
+            .map(|i| ReceiverShard::new(i, config.num_shards, Arc::clone(&cache)))
+            .collect();
+        Ok(TwoChainsHost {
+            core: HostCore {
+                handle,
+                config,
+                namespace: LinkerNamespace::new(),
+                space: Mutex::new(AddressSpace::new()),
+                package: None,
+                local_lib: HashMap::new(),
+                mailbox_region,
+                banks,
+                local_code_cursor: Self::LOCAL_CODE_BASE,
+            },
+            cache,
+            shards,
+        })
+    }
+
+    /// This host's fabric id.
+    pub fn host_id(&self) -> HostId {
+        self.core.handle.id()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.core.config
+    }
+
+    /// Mutable access to the configuration (wait mode, skip-execution, security) —
+    /// used by benchmarks to flip knobs between runs. The shard count is fixed at
+    /// construction: changing `num_shards` here does not re-shard the receiver.
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.core.config
+    }
+
+    /// Number of receiver shards (fixed at construction from
+    /// [`RuntimeConfig::num_shards`]).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Accumulated statistics, aggregated over every shard. Each call merges the
+    /// per-shard counters (O(num_shards)); bind the result once when reading
+    /// several fields.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut total = RuntimeStats::new();
+        for shard in &self.shards {
+            total.merge(&shard.stats);
+        }
+        total
+    }
+
+    /// Per-shard statistics (introspection for the scaling benchmarks).
+    pub fn shard_stats(&self, shard: usize) -> Option<&RuntimeStats> {
+        self.shards.get(shard).map(|s| &s.stats)
+    }
+
+    /// Reset statistics on every shard.
+    pub fn reset_stats(&mut self) {
+        for shard in &mut self.shards {
+            shard.stats.reset();
+        }
+    }
+
+    /// The underlying fabric host handle (stashing/prefetcher/stressor toggles).
+    pub fn fabric_host(&self) -> &HostHandle {
+        &self.core.handle
+    }
+
+    /// Toggle LLC stashing for traffic arriving at this host.
+    pub fn set_stashing(&self, enabled: bool) {
+        self.core.handle.set_stashing(enabled);
+    }
+
+    /// Attach or remove a memory stressor (tail-latency experiments).
+    pub fn set_stressor(&self, stressor: Option<MemoryStressor>) {
+        self.core.handle.set_stressor(stressor);
+    }
+
+    /// Drop every cached decoded program and GOT image. Called automatically when a
+    /// package is (re)installed or a ried is loaded (live update may rebind symbols
+    /// or change code); exposed publicly so benchmarks can measure the cold path.
+    /// The caches are shared, so the invalidation is visible to every shard at its
+    /// very next probe.
+    pub fn invalidate_injection_caches(&mut self) {
+        self.cache.invalidate_all();
+    }
+
+    /// Number of decoded programs currently cached (introspection for tests and
+    /// benchmarks).
+    pub fn injected_cache_len(&self) -> usize {
+        self.cache.programs_len()
+    }
+
+    /// Load a ried into this process's namespace and map its data objects.
+    ///
+    /// Loading a ried is a live update: symbolic names may now resolve differently,
+    /// so every cached GOT resolution (and, conservatively, cached programs) is
+    /// invalidated. The next message per element repopulates the caches.
+    pub fn load_ried(&mut self, ried: &Ried, replace: bool) -> AmResult<()> {
+        self.core.namespace.load_ried(ried, replace)?;
+        self.core
+            .namespace
+            .map_data_segments(self.core.space.get_mut())?;
+        self.invalidate_injection_caches();
+        Ok(())
+    }
+
+    /// Install a package: load its rieds, then build the Local Function library from
+    /// its jams (resolving each jam's GOT against this process's namespace and
+    /// keeping the resident code warm in the receiver's caches).
+    ///
+    /// Reinstalling invalidates the injection caches: element ids may now name
+    /// different code, so cached decodes keyed by the old content must not survive —
+    /// on any shard; the shared-cache invalidation covers all of them atomically.
+    pub fn install_package(&mut self, package: Package) -> AmResult<()> {
+        for (_, ried) in package.rieds() {
+            self.core.namespace.load_ried(ried, true)?;
+        }
+        self.core
+            .namespace
+            .map_data_segments(self.core.space.get_mut())?;
+        for (id, jam) in package.jams() {
+            let program: Arc<[Instr]> = jam.program()?.into();
+            let got = Arc::new(self.core.namespace.resolve_got(&jam.got)?);
+            let code_len = jam.code_size();
+            let code_base = self.core.local_code_cursor;
+            self.core.local_code_cursor += (code_len.div_ceil(4096) * 4096) as u64 + 4096;
+            // The Local Function library is resident: it has been executed before (or
+            // at least loaded and touched), so keep it warm in the receiver's L2/LLC.
+            self.core.handle.hierarchy().lock().warm_l2(
+                self.core.config.receiver_core,
+                code_base,
+                code_len,
+            );
+            self.core.local_lib.insert(
+                id.0,
+                LocalEntry {
+                    program,
+                    got,
+                    code_base,
+                },
+            );
+        }
+        self.core.package = Some(package);
+        self.invalidate_injection_caches();
+        Ok(())
+    }
+
+    /// The installed package.
+    pub fn package(&self) -> Option<&Package> {
+        self.core.package.as_ref()
+    }
+
+    /// Element id of a builtin benchmark jam in the installed package.
+    pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        self.core
+            .package
+            .as_ref()
+            .and_then(|p| p.id_of(jam.element_name()))
+            .ok_or(AmError::UnknownElement(u32::MAX))
+    }
+
+    /// The GOT image for `elem`, resolved against *this* process's namespace. A
+    /// receiver exports this to senders during connection setup; senders embed it in
+    /// Injected Function frames (the paper's "GOT redirect ... is set by the sender
+    /// after an exchange with the receiver").
+    pub fn export_got(&self, elem: ElementId) -> AmResult<GotImage> {
+        let pkg = self
+            .core
+            .package
+            .as_ref()
+            .ok_or(AmError::UnknownElement(elem.0))?;
+        let jam = pkg.jam(elem)?;
+        Ok(self.core.namespace.resolve_got(&jam.got)?)
+    }
+
+    /// The mailbox target a sender should aim at for (`bank`, `slot`).
+    pub fn mailbox_target(&self, bank: usize, slot: usize) -> AmResult<MailboxTarget> {
+        Ok(self.core.banks.mailbox(bank, slot)?.target())
+    }
+
+    /// The receiver's mailbox banks.
+    pub fn banks(&self) -> &MailboxBank {
+        &self.core.banks
+    }
+
+    /// Read a ried-exported data object (for tests and examples that verify
+    /// server-side effects, e.g. the Server-Side Sum result array).
+    pub fn read_data(&self, symbol: &str, offset: usize, len: usize) -> AmResult<Vec<u8>> {
+        let addr = self
+            .core
+            .namespace
+            .data_addr(symbol)
+            .ok_or_else(|| AmError::Link(format!("no data symbol {symbol}")))?;
+        Ok(self
+            .core
+            .space
+            .lock()
+            .read(addr + offset as u64, len)
+            .map_err(|e| AmError::Exec(e.to_string()))?
+            .to_vec())
+    }
+
+    /// Process the message sitting in mailbox (`bank`, `slot`).
+    ///
+    /// This is the single-frame case of the burst engine: the frame is waited for
+    /// under the configured wait model, then dispatched through exactly the same
+    /// per-shard path [`TwoChainsHost::receive_burst`] uses (the request is routed
+    /// to the shard owning `bank`, so its counters land in that shard's stats).
+    ///
+    /// * `arrival` — when the frame's signal byte became visible (from the sender's
+    ///   [`AmSendOutcome::delivered`](super::AmSendOutcome::delivered)).
+    /// * `ready_since` — when the receiver thread started waiting on this mailbox.
+    /// * `frame_len` — the fixed frame size, or `None` to use the variable-frame
+    ///   two-step protocol.
+    pub fn receive(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+    ) -> AmResult<ReceiveOutcome> {
+        let shard_idx = crate::bank::ShardMask::owner_of(bank, self.shards.len());
+        self.core.receive_owned(
+            &mut self.shards[shard_idx],
+            bank,
+            slot,
+            frame_len,
+            arrival,
+            ready_since,
+        )
+    }
+
+    /// Drain up to `max_frames` frames that are ready in the banks owned by shard
+    /// `shard`, in one scan ([`MailboxBank::scan_burst`]). The scan's poll is
+    /// charged once for the whole burst; the drained frames are then processed
+    /// back-to-back in shard-virtual time starting at `now`. Frames that fail
+    /// dispatch (malformed code, policy rejection, ...) are dropped — their slot is
+    /// cleared so the bank cannot wedge — and reported in
+    /// [`BurstOutcome::rejected`].
+    pub fn receive_burst(
+        &mut self,
+        shard: usize,
+        max_frames: usize,
+        now: SimTime,
+    ) -> AmResult<BurstOutcome> {
+        if shard >= self.shards.len() {
+            return Err(AmError::InvalidConfig(format!(
+                "no shard {shard} (host has {})",
+                self.shards.len()
+            )));
+        }
+        self.core
+            .receive_burst(&mut self.shards[shard], max_frames, now)
+    }
+
+    /// Split the host into one [`ShardDrain`] per shard. Each handle owns its
+    /// shard's mutable context and shares the host internals, so the returned
+    /// handles can be moved to OS threads (e.g. with `std::thread::scope`) and
+    /// drained in parallel.
+    pub fn shard_drains(&mut self) -> Vec<ShardDrain<'_>> {
+        let core = &self.core;
+        self.shards
+            .iter_mut()
+            .map(|shard| ShardDrain { core, shard })
+            .collect()
+    }
+}
+
+impl HostCore {
+    /// Single-slot receive through `shard`, charging the wait model.
+    pub(crate) fn receive_owned(
+        &self,
+        shard: &mut ReceiverShard,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+    ) -> AmResult<ReceiveOutcome> {
+        self.receive_slot(
+            shard,
+            bank,
+            slot,
+            frame_len,
+            arrival,
+            ready_since,
+            WaitCharge::Signal,
+        )
+    }
+
+    /// One-scan burst drain of the banks `shard` owns (see
+    /// [`TwoChainsHost::receive_burst`]).
+    pub(crate) fn receive_burst(
+        &self,
+        shard: &mut ReceiverShard,
+        max_frames: usize,
+        now: SimTime,
+    ) -> AmResult<BurstOutcome> {
+        // A single poll pass over the shard's banks: ready frames to drain, plus
+        // poisoned slots (header magic set but an out-of-range declared length)
+        // quarantined on the spot — a burst-only receiver would otherwise never
+        // reclaim them.
+        let (ready, mut rejected) = self.banks.scan_burst(shard.mask(), max_frames);
+        // That one scan observes readiness for every frame at once: charge a
+        // single zero-length wait (one poll boundary) instead of the per-message
+        // wait the single-slot path pays.
+        let scan = self
+            .config
+            .wait_model
+            .wait(self.config.wait_mode, SimTime::ZERO);
+        shard.stats.wait_time += scan.elapsed;
+        shard.stats.cycles.add_wait(scan.cycles);
+        let mut clock = now + scan.elapsed;
+        let mut frames = Vec::with_capacity(ready.len());
+        for (bank, slot, frame_len) in ready {
+            match self.receive_slot(
+                shard,
+                bank,
+                slot,
+                Some(frame_len),
+                clock,
+                clock,
+                WaitCharge::Scanned,
+            ) {
+                Ok(outcome) => {
+                    clock = outcome.handler_done;
+                    frames.push(BurstFrame {
+                        bank,
+                        slot,
+                        outcome,
+                    });
+                }
+                Err(err) => {
+                    // A frame the dispatch rejects must still free its slot, or the
+                    // bank would never earn its flow-control credit back.
+                    if let Ok(mailbox) = self.banks.mailbox(bank, slot) {
+                        let _ = mailbox.clear(frame_len);
+                    }
+                    rejected.push((bank, slot, err));
+                }
+            }
+        }
+        Ok(BurstOutcome {
+            frames,
+            rejected,
+            drained_at: clock,
+        })
+    }
+
+    /// The dispatch engine: wait (per `charge`), poll, parse, resolve through the
+    /// shared caches, execute, clear the slot, account.
+    #[allow(clippy::too_many_arguments)]
+    fn receive_slot(
+        &self,
+        shard: &mut ReceiverShard,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+        charge: WaitCharge,
+    ) -> AmResult<ReceiveOutcome> {
+        // Disjoint field borrows: the shared cache, the stats and the scratch
+        // buffer (which the FrameView borrows) are separate fields of the shard.
+        self.receive_frame(
+            &shard.cache,
+            &mut shard.stats,
+            &mut shard.scratch,
+            bank,
+            slot,
+            frame_len,
+            arrival,
+            ready_since,
+            charge,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn receive_frame(
+        &self,
+        cache: &InjectionCache,
+        stats: &mut RuntimeStats,
+        scratch: &mut Vec<u8>,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+        charge: WaitCharge,
+    ) -> AmResult<ReceiveOutcome> {
+        let mailbox = self.banks.mailbox(bank, slot)?.clone();
+        let core = self.config.receiver_core;
+
+        // 1. Wait for the signal byte (or inherit the burst scan's observation).
+        let wait = match charge {
+            WaitCharge::Signal => {
+                let wait_dur = arrival.saturating_sub(ready_since);
+                self.config.wait_model.wait(self.config.wait_mode, wait_dur)
+            }
+            WaitCharge::Scanned => WaitOutcome {
+                elapsed: SimTime::ZERO,
+                cycles: 0,
+            },
+        };
+        let mut jitter = SimTime::ZERO;
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            if h.stressed() {
+                jitter = h.scheduler_jitter();
+            }
+        }
+        let detected_at = ready_since + wait.elapsed + jitter;
+
+        // Functional check + frame length discovery.
+        let frame_len = match frame_len {
+            Some(len) => {
+                if !mailbox.poll_fixed(len)? {
+                    return Err(AmError::Empty);
+                }
+                len
+            }
+            None => mailbox.poll_variable()?.ok_or(AmError::Empty)?,
+        };
+        mailbox.read_frame_into(frame_len, scratch)?;
+        let frame = FrameView::parse(scratch)?;
+
+        // 2. Read the header (charged against wherever the frame landed).
+        let mut handler_time = SimTime::ZERO;
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            handler_time += h.access(
+                core,
+                mailbox.base_addr(),
+                FRAME_HEADER_SIZE,
+                AccessKind::Read,
+            );
+        }
+
+        let mode = if frame.header.injected {
+            InvocationMode::Injected
+        } else {
+            InvocationMode::Local
+        };
+        handler_time += SimTime::from_ns_f64(match mode {
+            InvocationMode::Injected => self.config.injected_dispatch_ns,
+            InvocationMode::Local => self.config.local_dispatch_ns,
+        });
+
+        let mut exec_stats = None;
+        let mut result = 0u64;
+        let mut exec_time = SimTime::ZERO;
+
+        if !self.config.skip_execution {
+            // 3. Security policy.
+            if mode == InvocationMode::Injected
+                && self.config.security.require_execute_permission
+                && !self.mailbox_region.flags().remote_execute
+            {
+                return Err(AmError::PolicyViolation(
+                    "mailbox region lacks remote-execute permission".into(),
+                ));
+            }
+
+            // 4. Resolve the GOT and the program, through the shared injection
+            // caches for Injected mode and by Arc-shared Local Function entries
+            // otherwise.
+            let (program, got, code_base) = match mode {
+                InvocationMode::Injected => {
+                    let got = self.injected_got(
+                        cache,
+                        stats,
+                        &frame,
+                        mailbox.base_addr(),
+                        &mut handler_time,
+                    )?;
+                    let program = self.injected_program(
+                        cache,
+                        stats,
+                        &frame,
+                        got.len(),
+                        mailbox.base_addr(),
+                        &mut handler_time,
+                    )?;
+                    let code_base = mailbox.base_addr() + frame.code_offset() as u64;
+                    (program, got, code_base)
+                }
+                InvocationMode::Local => {
+                    let entry = self
+                        .local_lib
+                        .get(&frame.header.elem_id)
+                        .ok_or(AmError::UnknownElement(frame.header.elem_id))?;
+                    (
+                        Arc::clone(&entry.program),
+                        Arc::clone(&entry.got),
+                        entry.code_base,
+                    )
+                }
+            };
+
+            // 5. Map the message's ARGS and USR sections at their mailbox addresses
+            // so every access is charged against the lines the NIC delivered. These
+            // are the only sections copied out of the receive buffer — the jam may
+            // write to them (subject to policy), so they need their own backing
+            // store. The address space is shared between shards, so the whole
+            // map → execute → unmap sequence holds its lock.
+            let args_base = mailbox.base_addr() + frame.args_offset() as u64;
+            let usr_base = mailbox.base_addr() + frame.usr_offset() as u64;
+            let args_writable = !self.config.security.read_only_args;
+            let usr_writable = !self.config.security.read_only_payload;
+            let mut space = self.space.lock();
+            space
+                .map(Segment::new(
+                    "msg.args",
+                    args_base,
+                    frame.args.to_vec(),
+                    args_writable,
+                    SegmentKind::Args,
+                ))
+                .map_err(|e| AmError::Exec(e.to_string()))?;
+            if let Err(e) = space.map(Segment::new(
+                "msg.usr",
+                usr_base,
+                frame.usr.to_vec(),
+                usr_writable,
+                SegmentKind::Payload,
+            )) {
+                space.unmap("msg.args");
+                return Err(AmError::Exec(e.to_string()));
+            }
+
+            let vm_cfg = VmConfig {
+                core,
+                code_base,
+                fuel: 50_000_000,
+                freq_ghz: self.config.wait_model.core_freq_ghz,
+                ipc: 2.0,
+                extern_call_overhead: SimTime::from_ns(6),
+                entry_regs: [args_base, usr_base, frame.usr.len() as u64],
+            };
+            let exec_result = {
+                let hierarchy = self.handle.hierarchy();
+                let mut guard = hierarchy.lock();
+                Vm::execute(
+                    &program,
+                    &got,
+                    self.namespace.externs(),
+                    &mut space,
+                    &mut *guard,
+                    &vm_cfg,
+                )
+            };
+            space.unmap("msg.args");
+            space.unmap("msg.usr");
+            drop(space);
+            let exec = exec_result?;
+            exec_time = exec.total_time();
+            handler_time += exec_time;
+            result = exec.result;
+            exec_stats = Some(exec);
+            stats.executions += 1;
+            match mode {
+                InvocationMode::Injected => stats.injected_executions += 1,
+                InvocationMode::Local => stats.local_executions += 1,
+            }
+        }
+
+        // 6. Reset the mailbox for reuse.
+        mailbox.clear(frame_len)?;
+
+        let handler_done = detected_at + handler_time;
+        stats.messages_received += 1;
+        stats.wait_time += wait.elapsed;
+        stats.exec_time += handler_time;
+        stats.cycles.add_wait(wait.cycles);
+        stats
+            .cycles
+            .add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
+
+        Ok(ReceiveOutcome {
+            detected_at,
+            handler_done,
+            wait,
+            exec: exec_stats,
+            result,
+            handler_time,
+            dispatch_time: handler_time - exec_time,
+        })
+    }
+
+    /// Resolve the GOT image of an injected frame, through the shared GOT caches.
+    fn injected_got(
+        &self,
+        cache: &InjectionCache,
+        stats: &mut RuntimeStats,
+        frame: &FrameView<'_>,
+        mailbox_base: u64,
+        handler_time: &mut SimTime,
+    ) -> AmResult<Arc<GotImage>> {
+        let elem_id = frame.header.elem_id;
+        if self.config.security.accept_sender_got {
+            // Hash (and, on a candidate hit, compare) the sender-provided image in
+            // place; like the code hash this streams the arrived bytes, so it is
+            // charged as a read of the section wherever the frame landed.
+            *handler_time += SimTime::from_ns_f64(frame.got.len() as f64 * HASH_NS_PER_BYTE);
+            {
+                let core = self.config.receiver_core;
+                let hierarchy = self.handle.hierarchy();
+                let mut h = hierarchy.lock();
+                *handler_time += h.access(
+                    core,
+                    mailbox_base + frame.got_offset() as u64,
+                    frame.got.len().max(1),
+                    AccessKind::Read,
+                );
+            }
+            let key = (elem_id, hash64_bytes(frame.got));
+            if let Some(image) = cache.lookup_sender_got(key, frame.got) {
+                stats.got_cache_hits += 1;
+                return Ok(image);
+            }
+            // Miss, or a 64-bit hash collision with different bytes: re-parse and
+            // (re)place the entry.
+            stats.got_cache_misses += 1;
+            let image = Arc::new(
+                GotImage::from_bytes(frame.got)
+                    .ok_or_else(|| AmError::BadFrame("bad GOT image".into()))?,
+            );
+            *handler_time += SimTime::from_ns_f64(frame.got.len() as f64 * GOT_PARSE_NS_PER_BYTE);
+            stats.got_cache_evictions += cache.store_sender_got(
+                key,
+                CachedGot {
+                    bytes: frame.got.into(),
+                    image: Arc::clone(&image),
+                },
+            );
+            Ok(image)
+        } else {
+            // Hardened mode: ignore the sender's GOT, re-resolve locally. The cache
+            // amortises the resolution *work* (building the slot vector), but the
+            // policy's modelled per-message cost is charged on every message — the
+            // hardening of §V is a per-message check, and the cost model must keep
+            // saying so whether or not the host reuses the resolved image.
+            if let Some(got) = cache.lookup_resolved_got(elem_id) {
+                stats.got_cache_hits += 1;
+                *handler_time += self.config.security.per_message_overhead(got.len());
+                return Ok(got);
+            }
+            stats.got_cache_misses += 1;
+            let pkg = self
+                .package
+                .as_ref()
+                .ok_or(AmError::UnknownElement(elem_id))?;
+            let jam = pkg.jam(ElementId(elem_id))?;
+            *handler_time += self.config.security.per_message_overhead(jam.got.len());
+            let got = Arc::new(self.namespace.resolve_got(&jam.got)?);
+            stats.got_cache_evictions += cache.store_resolved_got(elem_id, Arc::clone(&got));
+            Ok(got)
+        }
+    }
+
+    /// Resolve the decoded program of an injected frame, through the shared code
+    /// cache.
+    fn injected_program(
+        &self,
+        cache: &InjectionCache,
+        stats: &mut RuntimeStats,
+        frame: &FrameView<'_>,
+        got_slots: usize,
+        mailbox_base: u64,
+        handler_time: &mut SimTime,
+    ) -> AmResult<Arc<[Instr]>> {
+        let core = self.config.receiver_core;
+        let code_base = mailbox_base + frame.code_offset() as u64;
+        // Content hash over the arrived code: the cache-key computation. The hash
+        // streams every code byte through the receiver core, so it is charged as a
+        // full read of the section — these reads hit the LLC when the frame was
+        // stashed and go to DRAM otherwise, which keeps the stash benefit visible on
+        // the warm path too (and leaves the lines hot for the VM's fetches).
+        *handler_time += SimTime::from_ns_f64(frame.code.len() as f64 * HASH_NS_PER_BYTE);
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Read);
+        }
+        let key = (frame.header.elem_id, hash64_bytes(frame.code));
+        if let Some((program, min_got_slots)) = cache.lookup_program(key, frame.code) {
+            // Verification depends on the GOT size, which varies per message: the
+            // cached program must still fit inside *this* message's GOT, or a warm
+            // hit would execute a program the cold path rejects.
+            if got_slots < min_got_slots {
+                return Err(AmError::BadFrame(format!(
+                    "cached program references GOT slot {} but the message GOT has only {} slots",
+                    min_got_slots - 1,
+                    got_slots
+                )));
+            }
+            stats.injected_code_cache_hits += 1;
+            return Ok(program);
+        }
+        // Miss, or a 64-bit hash collision with different bytes: re-decode and
+        // (re)place the entry.
+        stats.injected_code_cache_misses += 1;
+
+        // Cold miss: the receiver walks the freshly arrived code (relocation check +
+        // landing-pad setup), then decodes and verifies the bytecode before caching
+        // the result. Together with the hash stream above, these reads are the
+        // dominant term of the stash benefit for Injected Function messages
+        // (Figs. 9–10).
+        {
+            let hierarchy = self.handle.hierarchy();
+            let mut h = hierarchy.lock();
+            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
+        }
+        let program = decode_program(frame.code).map_err(|e| AmError::BadFrame(e.to_string()))?;
+        verify(&program, got_slots).map_err(|e| AmError::BadFrame(e.to_string()))?;
+        *handler_time += SimTime::from_ns_f64(
+            frame.code.len() as f64 * (DECODE_NS_PER_BYTE + VERIFY_NS_PER_BYTE),
+        );
+        // The smallest GOT this program verifies against: later hits re-check it
+        // against their own message's GOT size in O(1).
+        let min_got_slots = program
+            .iter()
+            .filter_map(|i| match *i {
+                Instr::CallExtern { slot, .. } => Some(slot as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let program: Arc<[Instr]> = program.into();
+        stats.injected_code_cache_evictions += cache.store_program(
+            key,
+            CachedProgram {
+                code: frame.code.into(),
+                program: Arc::clone(&program),
+                min_got_slots,
+            },
+        );
+        Ok(program)
+    }
+}

@@ -1,0 +1,207 @@
+//! The per-process Two-Chains runtime: host (receiver) side and sender side.
+//!
+//! A [`TwoChainsHost`] owns everything one process needs to participate: its fabric
+//! host handle and registered mailbox region, its linker namespace with loaded rieds,
+//! the persistent jam address space holding ried data objects, the Local Function
+//! library built from the installed package, and the reactive mailbox banks.
+//!
+//! A [`TwoChainsSender`] is the initiator-side object: it packs frames (patching in
+//! the GOT image the receiver exported during setup), pushes them with one one-sided
+//! put, and tracks flow-control credits.
+//!
+//! All methods take and return virtual [`SimTime`]s so a benchmark harness can drive
+//! both ends from a single thread deterministically; the same code paths can also be
+//! driven by real threads (the examples and the bench drain driver do), in which
+//! case the virtual times are simply accounting.
+//!
+//! # Layered architecture
+//!
+//! The receive path is layered so per-message state is small and per-shard while
+//! everything heavy is shared read-mostly:
+//!
+//! ```text
+//!   senders ──one-sided puts──▶  MailboxBank: M banks × N reactive mailboxes
+//!                                      │
+//!                    bank b is owned by shard b % S   (ShardMask)
+//!            ┌─────────────────┬───────┴─────────┬─────────────────┐
+//!            ▼                 ▼                 ▼                 ▼
+//!      ReceiverShard 0   ReceiverShard 1       ...          ReceiverShard S-1
+//!      scratch buffer    scratch buffer                     scratch buffer
+//!      RuntimeStats      RuntimeStats                       RuntimeStats
+//!            │   probe / insert (one short lock per operation)    │
+//!            └───────────────▶ Arc<InjectionCache> ◀──────────────┘
+//!                  decoded programs · sender GOTs · resolved GOTs
+//!                  (segmented-LRU eviction, hit/miss/evict counters)
+//!            ──────────────────────────────────────────────────────
+//!            shared read-mostly: linker namespace, Local Function
+//!            library, installed package, runtime config
+//!            shared mutable (Mutex): jam AddressSpace — execution
+//!            serialises here; dispatch around it runs shard-parallel
+//! ```
+//!
+//! * `injection_cache` (crate-internal module) — owns the three content-addressed
+//!   caches behind one lock, with the segmented-LRU eviction policy documented in
+//!   its header. Invalidation (package reinstall, live update) is a single shared
+//!   operation, immediately visible to every shard.
+//! * [`ReceiverShard`] — the per-shard context: scratch buffer, statistics, `Arc`
+//!   handle to the cache, and its slice of the deterministic `bank % num_shards`
+//!   ownership map, so shards never contend on a mailbox.
+//! * [`TwoChainsHost::receive_burst`] — drains every ready slot in a shard's banks
+//!   in one scan ([`MailboxBank::scan_burst`](crate::bank::MailboxBank::scan_burst)),
+//!   amortising the poll: the scan's wait is charged once per burst instead of per
+//!   message, and poisoned slots are quarantined in the same pass.
+//!   [`TwoChainsHost::receive`] is the single-frame case of the same engine, with
+//!   the per-message wait model applied.
+//! * [`TwoChainsHost::shard_drains`] — splits the host into independently movable
+//!   per-shard drain handles for genuinely parallel (multi-threaded) draining.
+//!
+//! # Fast-path architecture (zero-copy steady state)
+//!
+//! The send→receive hot path is allocation-free in steady state. Both sides keep
+//! content-addressed caches so the per-message work degenerates to hashing, a lookup
+//! and one memcpy:
+//!
+//! **Receiver.**
+//! * *Injected-code cache* — keyed by `(elem_id, hash64_bytes(code))`. The first
+//!   message for a key pays `decode_program` + `verify` (and their modelled cost);
+//!   every later message hits a decoded `Arc<[Instr]>` and executes it directly.
+//!   [`RuntimeStats::injected_code_cache_hits`]/`_misses` count the split.
+//! * *GOT cache* — keyed by `(elem_id, hash64_bytes(got_bytes))` when the policy
+//!   accepts sender GOT images, or by `elem_id` alone when the hardened policy
+//!   re-resolves locally. Hits reuse an `Arc<GotImage>`; no per-message slot vector
+//!   is built. [`RuntimeStats::got_cache_hits`]/`_misses` count the split.
+//! * *Borrowed frame parsing* — arrived bytes land in the shard's persistent scratch
+//!   buffer ([`ReactiveMailbox::read_frame_into`](crate::mailbox::ReactiveMailbox::read_frame_into))
+//!   and are parsed as a [`FrameView`](crate::frame::FrameView) whose sections
+//!   borrow that buffer. Only ARGS and USR are copied out (the jam may mutate
+//!   them); GOT and code bytes are hashed in place and never cloned.
+//! * *Register-seeded entry* — the jam entry convention (`r0`=ARGS, `r1`=USR,
+//!   `r2`=USR length) is passed through `VmConfig::entry_regs`, so the cached
+//!   program runs as-is instead of being re-materialised with a prologue per message.
+//!
+//! **Sender.**
+//! * *Frame-template cache* — per element, the patched GOT image and encoded code
+//!   are captured once as `Arc<[u8]>`; later sends memcpy them straight into the
+//!   wire buffer. [`RuntimeStats::template_hits`]/`_misses` count the split.
+//! * *Scratch encode buffer* — [`TwoChainsSender::send`] and
+//!   [`TwoChainsSender::send_message`] encode into one reusable `Vec<u8>`
+//!   ([`Frame::encode_into`](crate::frame::Frame::encode_into)), so a steady-state
+//!   send performs a single memcpy into the mailbox put and no heap allocation.
+//!
+//! **Invalidation.** All receiver caches are dropped on [`TwoChainsHost::install_package`]
+//! and [`TwoChainsHost::load_ried`] (package reinstall / live update may rebind
+//! symbols or change code), and can be dropped explicitly with
+//! [`TwoChainsHost::invalidate_injection_caches`] (cold-path benchmarking). The
+//! caches are shared by every shard, so one invalidation covers them all. The
+//! sender's template for an element is dropped when [`TwoChainsSender::set_remote_got`]
+//! replaces that element's GOT image.
+//!
+//! [`RuntimeStats::injected_code_cache_hits`]: crate::stats::RuntimeStats::injected_code_cache_hits
+//! [`RuntimeStats::got_cache_hits`]: crate::stats::RuntimeStats::got_cache_hits
+//! [`RuntimeStats::template_hits`]: crate::stats::RuntimeStats::template_hits
+
+mod host;
+mod injection_cache;
+mod sender;
+mod shard;
+#[cfg(test)]
+mod tests;
+
+pub(crate) use injection_cache::MAX_INJECTION_CACHE_ENTRIES;
+
+pub use host::TwoChainsHost;
+pub use sender::TwoChainsSender;
+pub use shard::{ReceiverShard, ShardDrain};
+
+use twochains_fabric::PutOutcome;
+use twochains_jamvm::ExecStats;
+use twochains_memsim::cycles::WaitOutcome;
+use twochains_memsim::SimTime;
+
+use crate::error::AmError;
+
+/// Outcome of processing one received active message.
+#[derive(Debug, Clone)]
+pub struct ReceiveOutcome {
+    /// When the receiver observed the signal byte (wait included).
+    pub detected_at: SimTime,
+    /// When the handler finished (dispatch + execution included).
+    pub handler_done: SimTime,
+    /// The wait accounting (elapsed time and cycles burned). Zero for frames
+    /// drained by a burst, whose single scan observed their readiness.
+    pub wait: WaitOutcome,
+    /// Execution statistics (absent in the without-execution configuration).
+    pub exec: Option<ExecStats>,
+    /// The value the jam returned (0 when execution was skipped).
+    pub result: u64,
+    /// Receiver-side time excluding the wait (header read, dispatch, execution).
+    pub handler_time: SimTime,
+    /// The dispatch-only portion of `handler_time`: header read, security checks,
+    /// cache probes and (on a miss) decode/verify — everything except the jam's own
+    /// execution. This is the quantity the fast path shrinks.
+    pub dispatch_time: SimTime,
+}
+
+/// One frame drained by [`TwoChainsHost::receive_burst`], with the mailbox it came
+/// from.
+#[derive(Debug, Clone)]
+pub struct BurstFrame {
+    /// Bank the frame was drained from.
+    pub bank: usize,
+    /// Slot within the bank.
+    pub slot: usize,
+    /// The per-message outcome (same shape as the single-slot `receive`).
+    pub outcome: ReceiveOutcome,
+}
+
+/// Outcome of one [`TwoChainsHost::receive_burst`] call: every frame drained from
+/// the shard's banks in one scan, processed back-to-back in shard-virtual time.
+#[derive(Debug, Clone)]
+pub struct BurstOutcome {
+    /// Successfully dispatched frames, in scan order (bank-major).
+    pub frames: Vec<BurstFrame>,
+    /// Frames the dispatch rejected (malformed code, policy violation, ...) and
+    /// poisoned slots quarantined by the scan (header magic present but an
+    /// out-of-range declared length). Their slots were cleared — a bad frame must
+    /// not wedge its bank — and the error is reported here instead of aborting
+    /// the rest of the burst.
+    pub rejected: Vec<(usize, usize, AmError)>,
+    /// Shard-virtual time when the last frame's handler finished (equals the burst
+    /// start plus one poll when nothing was ready).
+    pub drained_at: SimTime,
+}
+
+impl BurstOutcome {
+    /// Number of successfully drained frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the burst drained nothing (and rejected nothing).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty() && self.rejected.is_empty()
+    }
+}
+
+/// Outcome of sending one active message.
+#[derive(Debug, Clone, Copy)]
+pub struct AmSendOutcome {
+    /// Frame-packing cost on the sending CPU.
+    pub pack_cost: SimTime,
+    /// The underlying one-sided put timing.
+    pub put: PutOutcome,
+    /// Total bytes on the wire.
+    pub wire_bytes: usize,
+}
+
+impl AmSendOutcome {
+    /// When the message (including its signal byte) is visible at the receiver.
+    pub fn delivered(&self) -> SimTime {
+        self.put.delivered
+    }
+
+    /// When the sending CPU is free again.
+    pub fn sender_free(&self) -> SimTime {
+        self.pack_cost + self.put.sender_free
+    }
+}

@@ -1,0 +1,241 @@
+//! The initiator-side runtime: frame packing, template caching and one-sided puts.
+//!
+//! A [`TwoChainsSender`] packs frames (patching in the GOT image the receiver
+//! exported during setup), pushes them with one one-sided put, and tracks
+//! statistics. Its steady-state fast path mirrors the receiver's caches: a
+//! per-element frame template (pre-patched GOT + encoded code as `Arc<[u8]>`) and
+//! one reusable wire-encode buffer make a warm send a pure memcpy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use twochains_fabric::Endpoint;
+use twochains_jamvm::GotImage;
+use twochains_linker::{ElementId, Package};
+use twochains_memsim::SimTime;
+
+use super::AmSendOutcome;
+use crate::builtin::BuiltinJam;
+use crate::config::InvocationMode;
+use crate::error::{AmError, AmResult};
+use crate::frame::{encode_wire_into, Frame};
+use crate::mailbox::MailboxTarget;
+use crate::stats::RuntimeStats;
+
+/// A sender-side cached frame template for one element: the receiver-patched GOT
+/// image and the encoded code, captured once and memcpy'd into every later frame.
+#[derive(Debug, Clone)]
+struct FrameTemplate {
+    got: Arc<[u8]>,
+    code: Arc<[u8]>,
+}
+
+/// The sender-side runtime object.
+pub struct TwoChainsSender {
+    endpoint: Endpoint,
+    package: Package,
+    /// GOT images exported by the receiver, keyed by element id.
+    remote_gots: HashMap<u32, Arc<[u8]>>,
+    /// Per-element frame templates (pre-patched GOT + encoded code).
+    templates: HashMap<u32, FrameTemplate>,
+    /// Reusable wire-encode buffer; steady-state sends do not allocate.
+    encode_buf: Vec<u8>,
+    sn: u32,
+    /// Per-byte frame packing cost (the message packing routines of §III-A).
+    pack_ns_per_byte: f64,
+    /// Fixed packing overhead.
+    pack_fixed: SimTime,
+    stats: RuntimeStats,
+}
+
+impl std::fmt::Debug for TwoChainsSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoChainsSender")
+            .field("package", &self.package.name())
+            .field("sn", &self.sn)
+            .field("templates", &self.templates.len())
+            .finish()
+    }
+}
+
+impl TwoChainsSender {
+    /// Create a sender over an existing endpoint, with the package it will inject from.
+    pub fn new(endpoint: Endpoint, package: Package) -> Self {
+        TwoChainsSender {
+            endpoint,
+            package,
+            remote_gots: HashMap::new(),
+            templates: HashMap::new(),
+            encode_buf: Vec::new(),
+            sn: 0,
+            pack_ns_per_byte: 0.002,
+            pack_fixed: SimTime::from_ns(35),
+            stats: RuntimeStats::new(),
+        }
+    }
+
+    /// Record the GOT image the receiver exported for `elem` (out-of-band exchange
+    /// during setup). Replacing an element's GOT drops its frame template; the next
+    /// send re-patches once and re-caches.
+    pub fn set_remote_got(&mut self, elem: ElementId, got: &GotImage) {
+        self.remote_gots.insert(elem.0, got.to_bytes().into());
+        self.templates.remove(&elem.0);
+    }
+
+    /// Sender statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The underlying endpoint (for flushes and resets between benchmark phases).
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.endpoint
+    }
+
+    /// The frame template for `elem`, building (and counting) it on first use.
+    fn template(&mut self, elem: ElementId) -> AmResult<&FrameTemplate> {
+        if self.templates.contains_key(&elem.0) {
+            self.stats.template_hits += 1;
+        } else {
+            self.stats.template_misses += 1;
+            let jam = self.package.jam(elem)?;
+            let got =
+                self.remote_gots.get(&elem.0).cloned().ok_or_else(|| {
+                    AmError::Link(format!("no remote GOT for element {}", elem.0))
+                })?;
+            let code: Arc<[u8]> = jam.text.clone().into();
+            self.templates.insert(elem.0, FrameTemplate { got, code });
+        }
+        Ok(&self.templates[&elem.0])
+    }
+
+    /// Pack a frame for element `elem` with the given invocation mode, argument block
+    /// and payload. Injected frames require the receiver's GOT image to have been set
+    /// with [`TwoChainsSender::set_remote_got`].
+    ///
+    /// This materialises an owned [`Frame`] (useful for inspection and tests); the
+    /// allocation-free path is [`TwoChainsSender::send_message`].
+    pub fn pack(
+        &mut self,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: Vec<u8>,
+        usr: Vec<u8>,
+    ) -> AmResult<Frame> {
+        crate::frame::validate_section_lens(&[], &[], &args, &usr)?;
+        self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
+        let frame = match mode {
+            InvocationMode::Local => Frame::local(sn, elem.0, args, usr),
+            InvocationMode::Injected => {
+                let tpl = self.template(elem)?;
+                crate::frame::validate_section_lens(&tpl.got, &tpl.code, &args, &usr)?;
+                Frame::injected(sn, elem.0, tpl.got.to_vec(), tpl.code.to_vec(), args, usr)
+            }
+        };
+        Ok(frame)
+    }
+
+    /// Cost of packing `frame` on the sending CPU.
+    pub fn pack_cost(&self, frame: &Frame) -> SimTime {
+        self.pack_cost_for_len(frame.wire_size())
+    }
+
+    /// The §III-A packing cost model for a frame of `len` wire bytes — the single
+    /// definition both [`TwoChainsSender::pack_cost`] and the send paths charge.
+    fn pack_cost_for_len(&self, len: usize) -> SimTime {
+        self.pack_fixed + SimTime::from_ns_f64(len as f64 * self.pack_ns_per_byte)
+    }
+
+    /// Send an already-packed frame: encode into the reusable scratch buffer and put.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        frame: &Frame,
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        frame.encode_into(&mut buf);
+        let result = self.put_frame(now, &buf, target);
+        self.encode_buf = buf;
+        result
+    }
+
+    /// The allocation-free send path: encode the frame for `elem` directly from the
+    /// template cache (GOT + code memcpy'd from their `Arc`s) and the borrowed
+    /// `args`/`usr` slices into the reusable scratch buffer, then put. Produces wire
+    /// bytes identical to [`TwoChainsSender::pack`] + [`TwoChainsSender::send`].
+    pub fn send_message(
+        &mut self,
+        now: SimTime,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        crate::frame::validate_section_lens(&[], &[], args, usr)?;
+        self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        let encoded = match mode {
+            InvocationMode::Local => {
+                encode_wire_into(sn, elem.0, false, &[], &[], args, usr, &mut buf);
+                Ok(())
+            }
+            InvocationMode::Injected => match self.template(elem) {
+                Ok(tpl) => {
+                    match crate::frame::validate_section_lens(&tpl.got, &tpl.code, args, usr) {
+                        Ok(()) => {
+                            encode_wire_into(
+                                sn, elem.0, true, &tpl.got, &tpl.code, args, usr, &mut buf,
+                            );
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Err(e) => Err(e),
+            },
+        };
+        let result = match encoded {
+            Ok(()) => self.put_frame(now, &buf, target),
+            Err(e) => Err(e),
+        };
+        self.encode_buf = buf;
+        result
+    }
+
+    /// Common tail of both send paths: capacity check, pack-cost model, one put.
+    fn put_frame(
+        &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        if bytes.len() > target.capacity {
+            return Err(AmError::FrameTooLarge {
+                needed: bytes.len(),
+                capacity: target.capacity,
+            });
+        }
+        let pack_cost = self.pack_cost_for_len(bytes.len());
+        let put = self
+            .endpoint
+            .put(now + pack_cost, bytes, &target.region, target.offset)?;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        Ok(AmSendOutcome {
+            pack_cost,
+            put,
+            wire_bytes: bytes.len(),
+        })
+    }
+
+    /// Element id helper for the builtin benchmark jams.
+    pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        self.package
+            .id_of(jam.element_name())
+            .ok_or(AmError::UnknownElement(u32::MAX))
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-shard receive contexts.
+//!
+//! A [`ReceiverShard`] is the per-invocation-stream state of the sharded receive
+//! path: its own scratch buffer (frames are parsed by borrow, never copied), its
+//! own [`RuntimeStats`], and an `Arc` handle to the shared
+//! [`InjectionCache`](super::injection_cache::InjectionCache). Everything heavy —
+//! the linker namespace, the Local Function library, the mailbox banks, the jam
+//! address space — stays in the host and is reached read-mostly (or through a
+//! lock, for the address space), so shards never contend on per-message state.
+//!
+//! Bank ownership is deterministic: shard `s` of `S` owns exactly the banks with
+//! `bank % S == s` ([`ShardMask`]), so two shards never poll the same mailbox.
+//!
+//! [`ShardDrain`] is the borrowed form handed out by
+//! [`TwoChainsHost::shard_drains`](super::TwoChainsHost::shard_drains): one
+//! `&mut ReceiverShard` plus a shared `&` to the host internals. The borrows are
+//! disjoint per shard and every shared structure is sync (atomics-backed mailbox
+//! region, `Mutex`ed address space and caches), so the drains can be moved to OS
+//! threads and drained in parallel — the bench crate's multi-threaded drain
+//! driver does exactly that with `std::thread::scope`.
+
+use std::sync::Arc;
+
+use twochains_memsim::SimTime;
+
+use super::host::HostCore;
+use super::injection_cache::InjectionCache;
+use super::{BurstOutcome, ReceiveOutcome};
+use crate::bank::ShardMask;
+use crate::error::AmResult;
+use crate::stats::RuntimeStats;
+
+/// The per-shard receive context: scratch buffer, statistics, shared-cache handle
+/// and the shard's slice of the bank ownership map.
+#[derive(Debug)]
+pub struct ReceiverShard {
+    pub(crate) shard_id: usize,
+    pub(crate) num_shards: usize,
+    pub(crate) cache: Arc<InjectionCache>,
+    /// Persistent receive buffer: frames are read into it and parsed by borrow.
+    pub(crate) scratch: Vec<u8>,
+    pub(crate) stats: RuntimeStats,
+}
+
+impl ReceiverShard {
+    pub(crate) fn new(shard_id: usize, num_shards: usize, cache: Arc<InjectionCache>) -> Self {
+        ReceiverShard {
+            shard_id,
+            num_shards,
+            cache,
+            scratch: Vec::new(),
+            stats: RuntimeStats::new(),
+        }
+    }
+
+    /// This shard's index.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// The bank-ownership mask of this shard (`bank % num_shards == shard_id`).
+    pub fn mask(&self) -> ShardMask {
+        ShardMask::new(self.shard_id, self.num_shards)
+    }
+
+    /// Statistics accumulated by receives routed through this shard.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+}
+
+/// A borrowed per-shard drain handle: the shard's mutable context plus a shared
+/// reference to the host internals. Obtained from
+/// [`TwoChainsHost::shard_drains`](super::TwoChainsHost::shard_drains); one handle
+/// per shard, each independently movable to its own thread.
+#[derive(Debug)]
+pub struct ShardDrain<'h> {
+    pub(crate) core: &'h HostCore,
+    pub(crate) shard: &'h mut ReceiverShard,
+}
+
+impl ShardDrain<'_> {
+    /// The shard this handle drains.
+    pub fn shard_id(&self) -> usize {
+        self.shard.shard_id
+    }
+
+    /// Drain up to `max_frames` ready frames from this shard's banks in one scan.
+    /// Identical semantics to
+    /// [`TwoChainsHost::receive_burst`](super::TwoChainsHost::receive_burst) for
+    /// this shard.
+    pub fn receive_burst(&mut self, max_frames: usize, now: SimTime) -> AmResult<BurstOutcome> {
+        self.core.receive_burst(self.shard, max_frames, now)
+    }
+
+    /// Process one specific mailbox through this shard (the single-frame case of
+    /// the burst engine, with the wait model applied). The mailbox's bank must be
+    /// owned by this shard: draining another shard's bank from here could race
+    /// that shard on the same slot, so it is rejected.
+    pub fn receive(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        frame_len: Option<usize>,
+        arrival: SimTime,
+        ready_since: SimTime,
+    ) -> AmResult<ReceiveOutcome> {
+        if !self.shard.mask().owns(bank) {
+            return Err(crate::error::AmError::InvalidConfig(format!(
+                "bank {bank} is not owned by shard {} of {}",
+                self.shard.shard_id, self.shard.num_shards
+            )));
+        }
+        self.core
+            .receive_owned(self.shard, bank, slot, frame_len, arrival, ready_since)
+    }
+
+    /// Statistics accumulated by this shard so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.shard.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole point of `ShardDrain` is that it can cross a thread boundary:
+    /// this does not compile unless every shared host structure is `Sync`.
+    #[test]
+    fn shard_drain_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardDrain<'static>>();
+        assert_send::<ReceiverShard>();
+    }
+
+    #[test]
+    fn shard_mask_matches_ownership_map() {
+        let cache = Arc::new(InjectionCache::new());
+        let shard = ReceiverShard::new(1, 4, cache);
+        assert_eq!(shard.shard_id(), 1);
+        assert!(shard.mask().owns(5));
+        assert!(!shard.mask().owns(4));
+    }
+}

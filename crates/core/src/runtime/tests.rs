@@ -1,0 +1,1003 @@
+//! Runtime tests: the end-to-end receive/send paths, the fast-path cache
+//! behaviour, and the sharded burst-draining layer.
+
+use twochains_fabric::SimFabric;
+use twochains_jamvm::{encode_program, GotImage, Instr};
+use twochains_linker::ElementId;
+use twochains_memsim::{SimTime, TestbedConfig};
+
+use super::{ReceiveOutcome, TwoChainsHost, TwoChainsSender};
+use crate::builtin::{benchmark_package, indirect_put_args, ssum_args, BuiltinJam};
+use crate::config::{InvocationMode, RuntimeConfig};
+use crate::error::AmError;
+use crate::frame::Frame;
+
+/// Build the standard two-host testbed with the benchmark package installed on
+/// both sides and the receiver's GOT images exported to the sender.
+fn testbed(cfg: RuntimeConfig) -> (TwoChainsHost, TwoChainsSender) {
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut receiver = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    receiver
+        .install_package(benchmark_package().unwrap())
+        .unwrap();
+    let ep = fabric.endpoint(a, b).unwrap();
+    let mut sender = TwoChainsSender::new(ep, benchmark_package().unwrap());
+    for jam in [BuiltinJam::ServerSideSum, BuiltinJam::IndirectPut] {
+        let id = receiver.builtin_id(jam).unwrap();
+        let got = receiver.export_got(id).unwrap();
+        sender.set_remote_got(id, &got);
+    }
+    (receiver, sender)
+}
+
+fn payload(n_ints: usize) -> Vec<u8> {
+    (0..n_ints as u32)
+        .flat_map(|v| (v + 1).to_le_bytes())
+        .collect()
+}
+
+#[test]
+fn injected_server_side_sum_end_to_end() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let frame = tx
+        .pack(id, InvocationMode::Injected, ssum_args(8), payload(8))
+        .unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+    let out = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_eq!(out.result, (1..=8u64).sum::<u64>());
+    assert!(out.handler_done > send.delivered());
+    assert!(out.exec.is_some());
+    // Server-side array holds the sum.
+    let arr = rx.read_data("array.base", 8, 8).unwrap();
+    assert_eq!(u64::from_le_bytes(arr.try_into().unwrap()), 36);
+    assert_eq!(rx.stats().injected_executions, 1);
+}
+
+#[test]
+fn local_and_injected_produce_identical_results() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let mut results = Vec::new();
+    for mode in InvocationMode::ALL {
+        let frame = tx
+            .pack(id, mode, indirect_put_args(42, 16, 4), payload(16))
+            .unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        results.push(out.result);
+    }
+    assert_eq!(
+        results[0], results[1],
+        "same key must land at the same offset"
+    );
+    assert_eq!(rx.stats().local_executions, 1);
+    assert_eq!(rx.stats().injected_executions, 1);
+}
+
+#[test]
+fn injected_frames_are_larger_but_not_slower_for_big_payloads() {
+    let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let local = tx
+        .pack(
+            id,
+            InvocationMode::Local,
+            indirect_put_args(1, 1, 4),
+            payload(1),
+        )
+        .unwrap();
+    let injected = tx
+        .pack(
+            id,
+            InvocationMode::Injected,
+            indirect_put_args(1, 1, 4),
+            payload(1),
+        )
+        .unwrap();
+    assert_eq!(local.wire_size(), 64);
+    assert_eq!(injected.wire_size(), 1472);
+    let _ = (&rx, &target);
+}
+
+#[test]
+fn without_execution_skips_the_handler() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().without_execution());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let frame = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+    let out = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert!(out.exec.is_none());
+    assert_eq!(out.result, 0);
+    assert_eq!(rx.stats().executions, 0);
+    assert_eq!(rx.stats().messages_received, 1);
+}
+
+#[test]
+fn hardened_policy_reresolves_got_and_still_works() {
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.security = crate::security::SecurityPolicy::hardened();
+    let (mut rx, mut tx) = testbed(cfg);
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Corrupt the sender's notion of the GOT — the hardened receiver ignores it.
+    tx.set_remote_got(id, &GotImage::with_slots(1));
+    let frame = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+    let out = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_eq!(out.result, 10);
+}
+
+#[test]
+fn unknown_local_element_is_rejected() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let frame = tx.pack(
+        ElementId(999),
+        InvocationMode::Local,
+        ssum_args(1),
+        payload(1),
+    );
+    // Packing a local frame for an unknown element succeeds (the id is opaque to
+    // the sender) but the receiver rejects it.
+    let frame = frame.unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+    let err = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap_err();
+    assert!(matches!(err, AmError::UnknownElement(999)));
+}
+
+#[test]
+fn empty_mailbox_reports_empty() {
+    let (mut rx, _tx) = testbed(RuntimeConfig::paper_default());
+    let err = rx
+        .receive(0, 0, Some(64), SimTime::ZERO, SimTime::ZERO)
+        .unwrap_err();
+    assert_eq!(err, AmError::Empty);
+    let err = rx
+        .receive(0, 1, None, SimTime::ZERO, SimTime::ZERO)
+        .unwrap_err();
+    assert_eq!(err, AmError::Empty);
+}
+
+#[test]
+fn oversized_frame_rejected_at_send_time() {
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.frame_capacity = 2048;
+    let (rx, mut tx) = testbed(cfg);
+    let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let frame = tx
+        .pack(
+            id,
+            InvocationMode::Injected,
+            indirect_put_args(1, 4096, 4),
+            payload(4096),
+        )
+        .unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    assert!(matches!(
+        tx.send(SimTime::ZERO, &frame, &target),
+        Err(AmError::FrameTooLarge { .. })
+    ));
+}
+
+#[test]
+fn injected_without_remote_got_fails_to_pack() {
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut rx = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
+    rx.install_package(benchmark_package().unwrap()).unwrap();
+    // This sender never received the receiver's exported GOT images.
+    let mut tx = TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), benchmark_package().unwrap());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let err = tx
+        .pack(id, InvocationMode::Injected, ssum_args(1), payload(1))
+        .unwrap_err();
+    assert!(matches!(err, AmError::Link(_)));
+    // Local frames need no GOT exchange.
+    assert!(tx
+        .pack(id, InvocationMode::Local, ssum_args(1), payload(1))
+        .is_ok());
+}
+
+#[test]
+fn wfe_reduces_wait_cycles_but_not_results() {
+    let (mut rx_poll, mut tx1) = testbed(RuntimeConfig::paper_default());
+    let (mut rx_wfe, mut tx2) = testbed(RuntimeConfig::paper_default().with_wfe());
+    let id = rx_poll.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    for (rx, tx) in [(&mut rx_poll, &mut tx1), (&mut rx_wfe, &mut tx2)] {
+        let frame = tx
+            .pack(id, InvocationMode::Injected, ssum_args(8), payload(8))
+            .unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(out.result, 36);
+    }
+    assert!(
+        rx_wfe.stats().cycles.waiting() < rx_poll.stats().cycles.waiting() / 4,
+        "WFE should burn far fewer wait cycles ({} vs {})",
+        rx_wfe.stats().cycles.waiting(),
+        rx_poll.stats().cycles.waiting()
+    );
+}
+
+#[test]
+fn stashing_speeds_up_the_injected_handler() {
+    let (mut rx_stash, mut tx1) = testbed(RuntimeConfig::paper_default());
+    let (mut rx_nostash, mut tx2) = testbed(RuntimeConfig::paper_default());
+    rx_nostash.set_stashing(false);
+    let id = rx_stash.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let mut handler_times = Vec::new();
+    for (rx, tx) in [(&mut rx_stash, &mut tx1), (&mut rx_nostash, &mut tx2)] {
+        let frame = tx
+            .pack(
+                id,
+                InvocationMode::Injected,
+                indirect_put_args(7, 64, 4),
+                payload(64),
+            )
+            .unwrap();
+        let target = rx.mailbox_target(0, 0).unwrap();
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        handler_times.push(out.handler_time);
+    }
+    assert!(
+        handler_times[0] < handler_times[1],
+        "stashed handler ({}) should be faster than non-stashed ({})",
+        handler_times[0],
+        handler_times[1]
+    );
+}
+
+// ---- fast-path cache behaviour -------------------------------------------------
+
+/// Drive `n` injected sends+receives of `elem` through the fast path, into
+/// mailbox (`bank`, 0).
+fn pump_injected_into(
+    rx: &mut TwoChainsHost,
+    tx: &mut TwoChainsSender,
+    elem: ElementId,
+    bank: usize,
+    n: usize,
+) -> Vec<ReceiveOutcome> {
+    let target = rx.mailbox_target(bank, 0).unwrap();
+    let mut outs = Vec::with_capacity(n);
+    for i in 0..n {
+        let args = ssum_args(4);
+        let usr = payload(4);
+        let send = tx
+            .send_message(
+                SimTime::ZERO,
+                elem,
+                InvocationMode::Injected,
+                &args,
+                &usr,
+                &target,
+            )
+            .unwrap();
+        let out = rx
+            .receive(
+                bank,
+                0,
+                Some(send.wire_bytes),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(out.result, 10, "message {i} result");
+        outs.push(out);
+    }
+    outs
+}
+
+/// Drive `n` injected sends+receives of `elem` through the fast path.
+fn pump_injected(
+    rx: &mut TwoChainsHost,
+    tx: &mut TwoChainsSender,
+    elem: ElementId,
+    n: usize,
+) -> Vec<ReceiveOutcome> {
+    pump_injected_into(rx, tx, elem, 0, n)
+}
+
+#[test]
+fn steady_state_injected_dispatch_hits_all_caches() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let outs = pump_injected(&mut rx, &mut tx, id, 5);
+    // Exactly one decode+verify and one GOT parse, ever: the acceptance criterion
+    // "zero decode_program calls and zero program/GOT clones after the first
+    // message for a given element".
+    assert_eq!(rx.stats().injected_code_cache_misses, 1);
+    assert_eq!(rx.stats().injected_code_cache_hits, 4);
+    assert_eq!(rx.stats().got_cache_misses, 1);
+    assert_eq!(rx.stats().got_cache_hits, 4);
+    assert_eq!(rx.injected_cache_len(), 1);
+    // Sender side: one template build, then pure memcpy sends.
+    assert_eq!(tx.stats().template_misses, 1);
+    assert_eq!(tx.stats().template_hits, 4);
+    // The modelled dispatch cost drops once the caches are warm.
+    assert!(
+        outs[4].dispatch_time < outs[0].dispatch_time,
+        "warm dispatch ({}) should be cheaper than cold ({})",
+        outs[4].dispatch_time,
+        outs[0].dispatch_time
+    );
+}
+
+#[test]
+fn cache_invalidation_restores_the_cold_path() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    pump_injected(&mut rx, &mut tx, id, 2);
+    assert_eq!(rx.stats().injected_code_cache_misses, 1);
+    rx.invalidate_injection_caches();
+    assert_eq!(rx.injected_cache_len(), 0);
+    pump_injected(&mut rx, &mut tx, id, 1);
+    assert_eq!(
+        rx.stats().injected_code_cache_misses,
+        2,
+        "post-invalidation miss"
+    );
+    // Package reinstall also invalidates (element ids may rebind).
+    rx.install_package(benchmark_package().unwrap()).unwrap();
+    assert_eq!(rx.injected_cache_len(), 0);
+}
+
+#[test]
+fn live_update_invalidates_caches() {
+    use twochains_linker::RiedBuilder;
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    pump_injected(&mut rx, &mut tx, id, 2);
+    assert_eq!(rx.injected_cache_len(), 1);
+    // Loading any ried is a live update: cached resolutions must not survive.
+    rx.load_ried(&RiedBuilder::new("ried_noop").build(), true)
+        .unwrap();
+    assert_eq!(rx.injected_cache_len(), 0);
+    pump_injected(&mut rx, &mut tx, id, 1);
+    assert_eq!(rx.stats().injected_code_cache_misses, 2);
+}
+
+#[test]
+fn hardened_mode_caches_local_resolution() {
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.security = crate::security::SecurityPolicy::hardened();
+    let (mut rx, mut tx) = testbed(cfg);
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    pump_injected(&mut rx, &mut tx, id, 3);
+    assert_eq!(rx.stats().got_cache_misses, 1, "one local re-resolution");
+    assert_eq!(rx.stats().got_cache_hits, 2);
+}
+
+#[test]
+fn repeat_sends_are_byte_identical_without_repatching() {
+    let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let args = ssum_args(4);
+    let usr = payload(4);
+    // Two sends of the same element land in different mailboxes; capture both
+    // wire images before receiving.
+    let mut wires = Vec::new();
+    for slot in 0..2 {
+        let target = rx.mailbox_target(0, slot).unwrap();
+        let send = tx
+            .send_message(
+                SimTime::ZERO,
+                id,
+                InvocationMode::Injected,
+                &args,
+                &usr,
+                &target,
+            )
+            .unwrap();
+        wires.push(
+            rx.banks()
+                .mailbox(0, slot)
+                .unwrap()
+                .read_frame(send.wire_bytes)
+                .unwrap(),
+        );
+    }
+    // Only one GOT patch / code capture happened for both sends.
+    assert_eq!(tx.stats().template_misses, 1);
+    assert_eq!(tx.stats().template_hits, 1);
+    // The frames are byte-identical except the sequence number (header bytes 4..8
+    // and its 3-byte trailer echo).
+    let (a, b) = (&wires[0], &wires[1]);
+    assert_eq!(a.len(), b.len());
+    let len = a.len();
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        let sn_bytes = (4..8).contains(&i) || (len - 4..len - 1).contains(&i);
+        if sn_bytes {
+            continue;
+        }
+        assert_eq!(
+            x, y,
+            "wire byte {i} differs between two sends of the same element"
+        );
+    }
+}
+
+#[test]
+fn send_message_matches_pack_plus_send() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let args = ssum_args(8);
+    let usr = payload(8);
+    // Fast path into slot 0.
+    let t0 = rx.mailbox_target(0, 0).unwrap();
+    let fast = tx
+        .send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &args,
+            &usr,
+            &t0,
+        )
+        .unwrap();
+    // pack+send into slot 1.
+    let t1 = rx.mailbox_target(0, 1).unwrap();
+    let frame = tx
+        .pack(id, InvocationMode::Injected, args.clone(), usr.clone())
+        .unwrap();
+    let slow = tx.send(SimTime::ZERO, &frame, &t1).unwrap();
+    assert_eq!(fast.wire_bytes, slow.wire_bytes);
+    assert_eq!(fast.pack_cost, slow.pack_cost, "identical pack-cost model");
+    let out_fast = rx
+        .receive(0, 0, Some(fast.wire_bytes), fast.delivered(), SimTime::ZERO)
+        .unwrap();
+    let out_slow = rx
+        .receive(0, 1, Some(slow.wire_bytes), slow.delivered(), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(out_fast.result, out_slow.result);
+}
+
+#[test]
+fn warm_hit_with_too_small_got_is_rejected_before_execution() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Message 1: well-formed injected frame, populates the code cache.
+    pump_injected(&mut rx, &mut tx, id, 1);
+    // Message 2: same code, but an empty GOT image. The cold path would reject
+    // this at verify time; a warm hit must reject it too, before executing.
+    let good = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    let bad = Frame::injected(
+        good.header.sn + 1,
+        id.0,
+        Vec::new(),
+        good.code.clone(),
+        ssum_args(4),
+        payload(4),
+    );
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &bad, &target).unwrap();
+    let executions_before = rx.stats().executions;
+    let err = rx
+        .receive(0, 0, Some(bad.wire_size()), send.delivered(), SimTime::ZERO)
+        .unwrap_err();
+    assert!(
+        matches!(&err, AmError::BadFrame(m) if m.contains("GOT")),
+        "expected a pre-execution GOT-size rejection, got {err:?}"
+    );
+    assert_eq!(
+        rx.stats().executions,
+        executions_before,
+        "nothing must have executed"
+    );
+}
+
+#[test]
+fn hardened_overhead_is_charged_on_every_message() {
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.security = crate::security::SecurityPolicy::hardened();
+    let (mut rx, mut tx) = testbed(cfg);
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let outs = pump_injected(&mut rx, &mut tx, id, 3);
+    // The resolution work is cached, but the policy's modelled per-message cost
+    // must not be: warm hardened dispatch stays flat, and stays above what the
+    // overhead-free model would charge.
+    assert_eq!(
+        outs[1].dispatch_time, outs[2].dispatch_time,
+        "warm dispatch is steady"
+    );
+    let overhead = crate::security::SecurityPolicy::hardened().per_message_overhead(1);
+    assert!(overhead > SimTime::ZERO);
+    assert!(
+        outs[2].dispatch_time > overhead,
+        "warm hardened dispatch ({}) must include the per-message overhead ({overhead})",
+        outs[2].dispatch_time
+    );
+}
+
+#[test]
+fn oversized_args_rejected_at_the_sender() {
+    let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    // 70000 > u16::MAX: the args length does not fit its wire field. Both send
+    // paths must error instead of emitting a self-inconsistent header.
+    let big = vec![0u8; 70_000];
+    let err = tx
+        .pack(id, InvocationMode::Local, big.clone(), Vec::new())
+        .unwrap_err();
+    assert!(matches!(&err, AmError::BadFrame(m) if m.contains("ARGS")));
+    let err = tx
+        .send_message(SimTime::ZERO, id, InvocationMode::Local, &big, &[], &target)
+        .unwrap_err();
+    assert!(matches!(&err, AmError::BadFrame(m) if m.contains("ARGS")));
+}
+
+#[test]
+fn malformed_injected_code_is_rejected_not_cached() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let mut frame = tx
+        .pack(id, InvocationMode::Injected, ssum_args(1), payload(1))
+        .unwrap();
+    // Truncate the code section to garbage of the declared length.
+    for b in frame.code.iter_mut() {
+        *b = 0xFF;
+    }
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+    let err = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap_err();
+    assert!(matches!(err, AmError::BadFrame(_)));
+    assert_eq!(
+        rx.injected_cache_len(),
+        0,
+        "garbage must not populate the cache"
+    );
+}
+
+// ---- sharded receive and burst draining ----------------------------------------
+
+#[test]
+fn receive_routes_counters_to_the_owning_shard() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(2));
+    assert_eq!(rx.num_shards(), 2);
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Bank 0 -> shard 0, bank 1 -> shard 1.
+    pump_injected_into(&mut rx, &mut tx, id, 0, 2);
+    pump_injected_into(&mut rx, &mut tx, id, 1, 3);
+    assert_eq!(rx.shard_stats(0).unwrap().messages_received, 2);
+    assert_eq!(rx.shard_stats(1).unwrap().messages_received, 3);
+    assert!(rx.shard_stats(2).is_none());
+    // The aggregate view sums the shards; the shared code cache decoded once.
+    assert_eq!(rx.stats().messages_received, 5);
+    assert_eq!(rx.stats().injected_code_cache_misses, 1);
+    assert_eq!(rx.stats().injected_code_cache_hits, 4);
+}
+
+#[test]
+fn install_package_invalidation_is_visible_to_all_shards() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(2));
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Warm both shards through their own banks (shared cache: one miss total).
+    pump_injected_into(&mut rx, &mut tx, id, 0, 1);
+    pump_injected_into(&mut rx, &mut tx, id, 1, 1);
+    assert_eq!(rx.stats().injected_code_cache_misses, 1);
+    assert_eq!(rx.stats().injected_code_cache_hits, 1);
+    // Reinstall: element ids may rebind. The shared-cache invalidation must be
+    // visible to *both* shards — each pays a fresh miss on its next message.
+    rx.install_package(benchmark_package().unwrap()).unwrap();
+    assert_eq!(rx.injected_cache_len(), 0);
+    pump_injected_into(&mut rx, &mut tx, id, 0, 1);
+    pump_injected_into(&mut rx, &mut tx, id, 1, 1);
+    assert_eq!(
+        rx.stats().injected_code_cache_misses,
+        2,
+        "exactly one shard re-decodes after the reinstall; the other hits its entry"
+    );
+    assert_eq!(rx.shard_stats(0).unwrap().injected_code_cache_misses, 2);
+    assert_eq!(rx.shard_stats(1).unwrap().injected_code_cache_hits, 2);
+}
+
+#[test]
+fn receive_burst_drains_a_shards_banks_in_one_call() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(2));
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Land frames in banks 0..4 (slot 0 and 1 of each), 8 frames total.
+    let mut delivered = SimTime::ZERO;
+    for bank in 0..4 {
+        for slot in 0..2 {
+            let target = rx.mailbox_target(bank, slot).unwrap();
+            let send = tx
+                .send_message(
+                    SimTime::ZERO,
+                    id,
+                    InvocationMode::Injected,
+                    &ssum_args(4),
+                    &payload(4),
+                    &target,
+                )
+                .unwrap();
+            delivered = delivered.max(send.delivered());
+        }
+    }
+    // Shard 0 owns banks 0 and 2; shard 1 owns banks 1 and 3.
+    let out0 = rx.receive_burst(0, usize::MAX, delivered).unwrap();
+    assert_eq!(out0.len(), 4);
+    assert!(out0.rejected.is_empty());
+    assert_eq!(
+        out0.frames
+            .iter()
+            .map(|f| (f.bank, f.slot))
+            .collect::<Vec<_>>(),
+        vec![(0, 0), (0, 1), (2, 0), (2, 1)],
+        "scan order is bank-major over owned banks"
+    );
+    for f in &out0.frames {
+        assert_eq!(f.outcome.result, 10);
+    }
+    assert!(out0.drained_at > delivered);
+    let out1 = rx.receive_burst(1, usize::MAX, delivered).unwrap();
+    assert_eq!(out1.len(), 4);
+    // Everything drained: a second burst finds nothing.
+    assert!(rx
+        .receive_burst(0, usize::MAX, delivered)
+        .unwrap()
+        .is_empty());
+    assert_eq!(rx.stats().messages_received, 8);
+    assert_eq!(rx.stats().executions, 8);
+    // max_frames is respected.
+    assert!(rx.receive_burst(5, 1, delivered).is_err(), "no such shard");
+}
+
+#[test]
+fn receive_burst_respects_max_frames() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    for slot in 0..3 {
+        let target = rx.mailbox_target(0, slot).unwrap();
+        tx.send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &ssum_args(4),
+            &payload(4),
+            &target,
+        )
+        .unwrap();
+    }
+    let first = rx.receive_burst(0, 2, SimTime::from_us(100)).unwrap();
+    assert_eq!(first.len(), 2);
+    let rest = rx.receive_burst(0, 2, first.drained_at).unwrap();
+    assert_eq!(rest.len(), 1);
+    assert!(rx.receive_burst(0, 2, rest.drained_at).unwrap().is_empty());
+}
+
+#[test]
+fn receive_burst_amortises_the_per_message_wait() {
+    // Same five frames, drained one-by-one vs in one burst: the burst pays the
+    // scan once instead of one wait per message, so its per-message overhead is
+    // strictly smaller while results and executions match.
+    let (mut rx_seq, mut tx_seq) = testbed(RuntimeConfig::paper_default());
+    let (mut rx_burst, mut tx_burst) = testbed(RuntimeConfig::paper_default());
+    let id = rx_seq.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let mut sends = Vec::new();
+    for (rx, tx) in [(&rx_seq, &mut tx_seq), (&rx_burst, &mut tx_burst)] {
+        for slot in 0..5 {
+            let target = rx.mailbox_target(0, slot).unwrap();
+            let send = tx
+                .send_message(
+                    SimTime::ZERO,
+                    id,
+                    InvocationMode::Injected,
+                    &ssum_args(4),
+                    &payload(4),
+                    &target,
+                )
+                .unwrap();
+            sends.push(send);
+        }
+    }
+    let start = sends
+        .iter()
+        .map(|s| s.delivered())
+        .fold(SimTime::ZERO, SimTime::max);
+    let mut ready = start;
+    for slot in 0..5 {
+        let out = rx_seq.receive(0, slot, None, ready, ready).unwrap();
+        ready = out.handler_done;
+    }
+    let burst = rx_burst.receive_burst(0, usize::MAX, start).unwrap();
+    assert_eq!(burst.len(), 5);
+    assert_eq!(rx_burst.stats().executions, rx_seq.stats().executions);
+    assert!(
+        rx_burst.stats().wait_time < rx_seq.stats().wait_time,
+        "burst wait ({}) must undercut per-message polling ({})",
+        rx_burst.stats().wait_time,
+        rx_seq.stats().wait_time
+    );
+    assert!(
+        burst.drained_at < ready,
+        "burst completion ({}) should beat sequential draining ({})",
+        burst.drained_at,
+        ready
+    );
+}
+
+#[test]
+fn receive_burst_drops_malformed_frames_and_frees_their_slots() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Slot 0: good frame. Slot 1: garbage code of the declared length.
+    let t0 = rx.mailbox_target(0, 0).unwrap();
+    tx.send_message(
+        SimTime::ZERO,
+        id,
+        InvocationMode::Injected,
+        &ssum_args(4),
+        &payload(4),
+        &t0,
+    )
+    .unwrap();
+    let mut bad = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    for b in bad.code.iter_mut() {
+        *b = 0xFF;
+    }
+    let t1 = rx.mailbox_target(0, 1).unwrap();
+    tx.send(SimTime::ZERO, &bad, &t1).unwrap();
+
+    let out = rx
+        .receive_burst(0, usize::MAX, SimTime::from_us(100))
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.frames[0].outcome.result, 10);
+    assert_eq!(out.rejected.len(), 1);
+    assert_eq!((out.rejected[0].0, out.rejected[0].1), (0, 1));
+    assert!(matches!(out.rejected[0].2, AmError::BadFrame(_)));
+    // The bad slot was cleared: the bank cannot wedge, and a rescan is clean.
+    assert!(rx
+        .receive_burst(0, usize::MAX, out.drained_at)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn shard_drains_split_the_host_for_parallel_draining() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(4));
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Warm the shared caches first so the parallel phase is deterministic (with a
+    // cold cache, racing shards could each decode the first message for the key).
+    pump_injected_into(&mut rx, &mut tx, id, 0, 1);
+    for bank in 0..4 {
+        let target = rx.mailbox_target(bank, 0).unwrap();
+        tx.send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &ssum_args(4),
+            &payload(4),
+            &target,
+        )
+        .unwrap();
+    }
+    let now = SimTime::from_us(100);
+    let drains = rx.shard_drains();
+    assert_eq!(drains.len(), 4);
+    // Genuinely parallel: each drain handle moves to its own OS thread.
+    let counts: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = drains
+            .into_iter()
+            .map(|mut d| s.spawn(move || d.receive_burst(usize::MAX, now).unwrap().len()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(counts, vec![1, 1, 1, 1]);
+    assert_eq!(rx.stats().messages_received, 5);
+    assert_eq!(rx.stats().injected_code_cache_misses, 1, "shared cache");
+    assert_eq!(rx.stats().injected_code_cache_hits, 4);
+    // The server-side effect happened for every message (shared address space).
+    assert_eq!(rx.stats().executions, 5);
+}
+
+#[test]
+fn receive_burst_quarantines_poisoned_slots() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Slot 0: a good frame. Slot 1: a raw put whose header declares a frame far
+    // larger than the mailbox — invisible to the readiness scan, and without the
+    // quarantine sweep it would occupy the slot forever.
+    let t0 = rx.mailbox_target(0, 0).unwrap();
+    tx.send_message(
+        SimTime::ZERO,
+        id,
+        InvocationMode::Injected,
+        &ssum_args(4),
+        &payload(4),
+        &t0,
+    )
+    .unwrap();
+    let mut poison = Frame::local(1, 0, vec![0; 20], vec![0; 4]).encode();
+    poison[8..12].copy_from_slice(&1_000_000u32.to_le_bytes());
+    let t1 = rx.mailbox_target(0, 1).unwrap();
+    tx.endpoint_mut()
+        .put(SimTime::ZERO, &poison, &t1.region, t1.offset)
+        .unwrap();
+
+    let out = rx
+        .receive_burst(0, usize::MAX, SimTime::from_us(100))
+        .unwrap();
+    assert_eq!(out.len(), 1, "the good frame is drained");
+    assert_eq!(out.rejected.len(), 1, "the poisoned slot is quarantined");
+    assert_eq!((out.rejected[0].0, out.rejected[0].1), (0, 1));
+    assert!(matches!(out.rejected[0].2, AmError::BadFrame(_)));
+    // The slot is reclaimed: nothing left to drain or quarantine, and a fresh
+    // send into it works.
+    assert!(rx
+        .receive_burst(0, usize::MAX, out.drained_at)
+        .unwrap()
+        .is_empty());
+    let send = tx
+        .send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &ssum_args(4),
+            &payload(4),
+            &t1,
+        )
+        .unwrap();
+    let out = rx.receive_burst(0, usize::MAX, send.delivered()).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.frames[0].outcome.result, 10);
+}
+
+#[test]
+fn shard_drain_rejects_foreign_banks() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(2));
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // A frame sits in bank 1 (owned by shard 1).
+    let target = rx.mailbox_target(1, 0).unwrap();
+    let send = tx
+        .send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &ssum_args(4),
+            &payload(4),
+            &target,
+        )
+        .unwrap();
+    let mut drains = rx.shard_drains();
+    // Shard 0 must not be able to drain shard 1's bank (two threads could race
+    // on the slot); shard 1 drains it fine.
+    let err = drains[0]
+        .receive(1, 0, Some(send.wire_bytes), send.delivered(), SimTime::ZERO)
+        .unwrap_err();
+    assert!(matches!(err, AmError::InvalidConfig(_)));
+    let out = drains[1]
+        .receive(1, 0, Some(send.wire_bytes), send.delivered(), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(out.result, 10);
+}
+
+#[test]
+fn segmented_eviction_keeps_the_cache_bounded_and_counts_evictions() {
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.injection_cache_entries = 8;
+    let (mut rx, mut tx) = testbed(cfg);
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let base = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    // 12 distinct code bodies (trailing Nop padding changes the content hash but
+    // not the behaviour) against a cache of 8: the old clear-on-full policy would
+    // collapse the cache to ~1 entry at the cap; segmented LRU stays full and
+    // evicts exactly the overflow.
+    for i in 0..12u32 {
+        let mut code = base.code.clone();
+        let mut pad = vec![Instr::Nop; i as usize + 1];
+        pad.push(Instr::Ret); // the verifier requires control flow to end at a Ret
+        code.extend_from_slice(&encode_program(&pad));
+        let frame = Frame::injected(
+            1000 + i,
+            id.0,
+            base.got.clone(),
+            code,
+            ssum_args(4),
+            payload(4),
+        );
+        let send = tx.send(SimTime::ZERO, &frame, &target).unwrap();
+        let out = rx
+            .receive(
+                0,
+                0,
+                Some(frame.wire_size()),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(out.result, 10);
+    }
+    assert_eq!(rx.stats().injected_code_cache_misses, 12);
+    assert_eq!(
+        rx.injected_cache_len(),
+        8,
+        "cache holds capacity instead of clearing on full"
+    );
+    assert_eq!(rx.stats().injected_code_cache_evictions, 4);
+    // The GOT image was identical throughout: one parse, no GOT evictions.
+    assert_eq!(rx.stats().got_cache_misses, 1);
+    assert_eq!(rx.stats().got_cache_evictions, 0);
+}

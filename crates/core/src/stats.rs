@@ -29,6 +29,12 @@ pub struct RuntimeStats {
     pub got_cache_hits: u64,
     /// Injected dispatches that had to parse (or re-resolve) the GOT image.
     pub got_cache_misses: u64,
+    /// Decoded-program cache entries evicted by the segmented-LRU policy (capacity
+    /// pressure from an adversarial sender churning code content per message).
+    pub injected_code_cache_evictions: u64,
+    /// GOT cache entries (sender-image or locally re-resolved) evicted by the
+    /// segmented-LRU policy.
+    pub got_cache_evictions: u64,
     /// Sends that hit the sender's frame-template cache (pre-patched GOT + encoded
     /// code reused; no per-send GOT patch or code clone).
     pub template_hits: u64,
@@ -61,6 +67,50 @@ impl RuntimeStats {
             self.bytes_sent as f64 / self.messages_sent as f64
         }
     }
+
+    /// Accumulate another counter set into this one. Used to aggregate per-shard
+    /// receiver statistics into the host-wide view.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        // Exhaustive destructuring (no `..`): adding a field to RuntimeStats
+        // without deciding how it aggregates must fail to compile, not silently
+        // vanish from the host-wide view.
+        let RuntimeStats {
+            messages_sent,
+            bytes_sent,
+            messages_received,
+            executions,
+            injected_executions,
+            local_executions,
+            injected_code_cache_hits,
+            injected_code_cache_misses,
+            got_cache_hits,
+            got_cache_misses,
+            injected_code_cache_evictions,
+            got_cache_evictions,
+            template_hits,
+            template_misses,
+            wait_time,
+            exec_time,
+            cycles,
+        } = other;
+        self.messages_sent += messages_sent;
+        self.bytes_sent += bytes_sent;
+        self.messages_received += messages_received;
+        self.executions += executions;
+        self.injected_executions += injected_executions;
+        self.local_executions += local_executions;
+        self.injected_code_cache_hits += injected_code_cache_hits;
+        self.injected_code_cache_misses += injected_code_cache_misses;
+        self.got_cache_hits += got_cache_hits;
+        self.got_cache_misses += got_cache_misses;
+        self.injected_code_cache_evictions += injected_code_cache_evictions;
+        self.got_cache_evictions += got_cache_evictions;
+        self.template_hits += template_hits;
+        self.template_misses += template_misses;
+        self.wait_time += *wait_time;
+        self.exec_time += *exec_time;
+        self.cycles.merge(cycles);
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +128,24 @@ mod tests {
         s.reset();
         assert_eq!(s.messages_sent, 0);
         assert_eq!(s.cycles.total(), 0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = RuntimeStats::new();
+        a.messages_received = 3;
+        a.injected_code_cache_hits = 2;
+        a.injected_code_cache_evictions = 1;
+        a.cycles.add_wait(5);
+        let mut b = RuntimeStats::new();
+        b.messages_received = 4;
+        b.got_cache_evictions = 7;
+        b.cycles.add_work(9);
+        a.merge(&b);
+        assert_eq!(a.messages_received, 7);
+        assert_eq!(a.injected_code_cache_hits, 2);
+        assert_eq!(a.injected_code_cache_evictions, 1);
+        assert_eq!(a.got_cache_evictions, 7);
+        assert_eq!(a.cycles.total(), 14);
     }
 }

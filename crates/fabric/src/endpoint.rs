@@ -199,6 +199,33 @@ impl Endpoint {
         })
     }
 
+    /// A put whose completion is tracked in `cq`: the entry becomes harvestable at
+    /// the put's `delivered` time. Refused with
+    /// [`FabricError::CompletionBackpressure`] when the queue is full — the
+    /// initiator must poll completions before posting more, which is exactly the
+    /// transmit-queue back-pressure a streaming sender runs against. With a
+    /// [`ShardedCompletions`](crate::completion::ShardedCompletions) queue per
+    /// receiver shard, this gives a sharded sender per-shard flow control.
+    pub fn put_tracked(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+        desc: &RegionDescriptor,
+        offset: usize,
+        cq: &mut crate::completion::CompletionQueue,
+    ) -> FabricResult<(u64, PutOutcome)> {
+        if cq.outstanding() >= cq.capacity() {
+            return Err(FabricError::CompletionBackpressure {
+                capacity: cq.capacity(),
+            });
+        }
+        let outcome = self.put(now, data, desc, offset)?;
+        let id = cq
+            .post(outcome.delivered)
+            .expect("queue had room: checked above");
+        Ok((id, outcome))
+    }
+
     /// One-sided get (RDMA read) of `len` bytes from the remote region.
     pub fn get(
         &mut self,
@@ -442,6 +469,44 @@ mod tests {
         let o1 = ep.put(SimTime::ZERO, &[0u8; 4096], &desc, 0).unwrap();
         let o2 = ep.put(o1.sender_free, &[0u8; 4096], &desc, 4096).unwrap();
         assert_eq!(ep.flush(SimTime::ZERO), o2.delivered.max(o1.delivered));
+    }
+
+    #[test]
+    fn put_tracked_posts_completion_and_applies_backpressure() {
+        use crate::completion::CompletionQueue;
+        let (fabric, a, b) = setup();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let mut cq = CompletionQueue::new(2, SimTime::from_ns(5));
+        let (id0, out0) = ep
+            .put_tracked(SimTime::ZERO, &[1u8; 64], &desc, 0, &mut cq)
+            .unwrap();
+        let (id1, out1) = ep
+            .put_tracked(out0.sender_free, &[2u8; 64], &desc, 64, &mut cq)
+            .unwrap();
+        assert!(id1 > id0);
+        assert_eq!(cq.outstanding(), 2);
+        // Queue full: the third tracked put is refused, and nothing was written.
+        let err = ep
+            .put_tracked(out1.sender_free, &[3u8; 64], &desc, 128, &mut cq)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FabricError::CompletionBackpressure { capacity: 2 }
+        ));
+        assert_eq!(dst_region.read(128, 1).unwrap(), vec![0]);
+        // Harvesting at the delivery horizon frees the queue.
+        let (done, _) = cq.poll(out1.delivered);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].ready_at, out0.delivered);
+        assert!(ep
+            .put_tracked(out1.sender_free, &[3u8; 64], &desc, 128, &mut cq)
+            .is_ok());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod region;
 pub mod rkey;
 
 pub use baseline::UcxPutBaseline;
-pub use completion::{Completion, CompletionQueue};
+pub use completion::{Completion, CompletionQueue, ShardedCompletions};
 pub use endpoint::{Endpoint, PutOutcome};
 pub use error::{FabricError, FabricResult};
 pub use fabric::{FabricConfig, HostHandle, HostId, SimFabric};

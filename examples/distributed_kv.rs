@@ -1,4 +1,5 @@
-//! A miniature distributed key-value store built on the Indirect Put jam.
+//! A miniature distributed key-value store built on the Indirect Put jam, drained
+//! with the multi-shard burst API.
 //!
 //! ```text
 //! cargo run --example distributed_kv
@@ -9,6 +10,11 @@
 //! to happen *next to the data*. The client injects the Indirect Put function, which
 //! probes the server's hash-table ried, claims a slot for the key, and copies the
 //! value there — one network operation per write, no round trip for the index lookup.
+//!
+//! The server here runs the sharded receiver: 4 shards own one mailbox bank each
+//! (`bank % 4`), the client scatters a batch of writes across the banks, and each
+//! shard drains its banks with one `receive_burst` scan — end-to-end multi-shard
+//! draining over the shared injection caches.
 
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
 use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
@@ -17,8 +23,13 @@ use twochains_memsim::{SimTime, TestbedConfig};
 
 fn main() {
     let (fabric, client_id, server_id) = SimFabric::back_to_back(TestbedConfig::cluster2021());
-    let mut server =
-        TwoChainsHost::new(&fabric, server_id, RuntimeConfig::paper_default()).expect("server");
+    let num_shards = 4;
+    let mut server = TwoChainsHost::new(
+        &fabric,
+        server_id,
+        RuntimeConfig::paper_default().with_shards(num_shards),
+    )
+    .expect("server");
     server
         .install_package(benchmark_package().unwrap())
         .unwrap();
@@ -29,34 +40,45 @@ fn main() {
     let jam = server.builtin_id(BuiltinJam::IndirectPut).unwrap();
     client.set_remote_got(jam, &server.export_got(jam).unwrap());
 
-    // Write 32 key/value pairs; values are 64-byte records.
+    // Scatter 32 key/value writes across the banks: key k lands in bank k % 4
+    // (owned by shard k % 4), slot k / 4. Values are 64-byte records.
+    let banks = server.config().banks;
     let mut clock = SimTime::ZERO;
-    let mut ready = SimTime::ZERO;
-    let mut offsets = Vec::new();
+    let mut delivered = SimTime::ZERO;
     for key in 0u64..32 {
         let value: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(key as u8 + 1)).collect();
-        let frame = client
-            .pack(
+        let (bank, slot) = ((key as usize) % banks, (key as usize) / banks);
+        let target = server.mailbox_target(bank, slot).unwrap();
+        let sent = client
+            .send_message(
+                clock,
                 jam,
                 InvocationMode::Injected,
-                indirect_put_args(key, 16, 4),
-                value,
+                &indirect_put_args(key, 16, 4),
+                &value,
+                &target,
             )
             .unwrap();
-        let target = server.mailbox_target(0, (key % 16) as usize).unwrap();
-        let sent = client.send(clock, &frame, &target).unwrap();
         clock = sent.sender_free();
-        let out = server
-            .receive(
-                0,
-                (key % 16) as usize,
-                Some(frame.wire_size()),
-                sent.delivered(),
-                ready,
-            )
-            .unwrap();
-        ready = out.handler_done;
-        offsets.push(out.result);
+        delivered = delivered.max(sent.delivered());
+    }
+
+    // Each shard drains its bank in one burst scan; (bank, slot) on the drained
+    // frame recovers which key the write was for.
+    let mut offsets = vec![0u64; 32];
+    let mut drained_at = delivered;
+    for shard in 0..num_shards {
+        let burst = server.receive_burst(shard, usize::MAX, delivered).unwrap();
+        assert!(burst.rejected.is_empty());
+        println!(
+            "shard {shard} drained {} writes from its banks in one scan",
+            burst.len()
+        );
+        for frame in &burst.frames {
+            let key = frame.bank + banks * frame.slot;
+            offsets[key] = frame.outcome.result;
+        }
+        drained_at = drained_at.max(burst.drained_at);
     }
 
     // Every key got its own slot in the server's table, and rewriting a key reuses it.
@@ -68,19 +90,23 @@ fn main() {
     assert_eq!(distinct.len(), 32);
 
     let rewrite: Vec<u8> = vec![0xEE; 64];
-    let frame = client
-        .pack(
+    let target = server.mailbox_target(7 % banks, 7 / banks).unwrap();
+    let sent = client
+        .send_message(
+            clock,
             jam,
             InvocationMode::Injected,
-            indirect_put_args(7, 16, 4),
-            rewrite,
+            &indirect_put_args(7, 16, 4),
+            &rewrite,
+            &target,
         )
         .unwrap();
-    let target = server.mailbox_target(0, 0).unwrap();
-    let sent = client.send(clock, &frame, &target).unwrap();
-    let out = server
-        .receive(0, 0, Some(frame.wire_size()), sent.delivered(), ready)
+    // Key 7 lives in bank 3, owned by shard 3: its burst picks the rewrite up.
+    let burst = server
+        .receive_burst(7 % num_shards, usize::MAX, drained_at.max(sent.delivered()))
         .unwrap();
+    assert_eq!(burst.len(), 1);
+    let out = &burst.frames[0].outcome;
     println!(
         "rewrite of key 7 landed at the same offset: {}",
         out.result == offsets[7]
@@ -89,7 +115,12 @@ fn main() {
 
     println!(
         "total virtual time for 33 injected writes: {}",
-        out.handler_done
+        burst.drained_at
     );
     println!("server executed {} jams", server.stats().executions);
+    println!(
+        "shared caches: {} decode miss, {} hits across all shards",
+        server.stats().injected_code_cache_misses,
+        server.stats().injected_code_cache_hits
+    );
 }

@@ -164,6 +164,140 @@ proptest! {
         prop_assert!(wfe.elapsed <= poll.elapsed + m.wfe_wake_latency + m.poll_interval);
     }
 
+    /// Sharded burst draining is observationally equivalent to sequential
+    /// single-slot receives: over a shuffled interleave of K senders, the burst
+    /// host delivers the same multiset of results and the same receiver counters
+    /// as a host draining the identical send stream one `receive` at a time.
+    #[test]
+    fn sharded_burst_drain_matches_sequential_receive(
+        num_shards in 1usize..5,
+        k in 1usize..5,
+        per_sender in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use two_chains_suite::fabric::SimFabric;
+        use twochains::builtin::{benchmark_package, ssum_args, BuiltinJam};
+        use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+
+        let banks = 4usize;
+        let build = |shards: usize| -> (TwoChainsHost, Vec<TwoChainsSender>) {
+            let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+            let mut rx = TwoChainsHost::new(
+                &fabric,
+                b,
+                RuntimeConfig::paper_default().with_shards(shards),
+            )
+            .unwrap();
+            rx.install_package(benchmark_package().unwrap()).unwrap();
+            let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+            let got = rx.export_got(id).unwrap();
+            let senders = (0..k)
+                .map(|_| {
+                    let mut tx = TwoChainsSender::new(
+                        fabric.endpoint(a, b).unwrap(),
+                        benchmark_package().unwrap(),
+                    );
+                    tx.set_remote_got(id, &got);
+                    tx
+                })
+                .collect();
+            (rx, senders)
+        };
+
+        // A shuffled interleave of the K senders' messages (Fisher–Yates over a
+        // SplitMix stream seeded by the generated seed).
+        let mut order: Vec<(usize, usize)> = (0..k)
+            .flat_map(|s| (0..per_sender).map(move |m| (s, m)))
+            .collect();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+
+        // Drive the identical send stream into both hosts: message (s, m) uses a
+        // payload derived from its identity, so its result identifies it.
+        let send_all = |rx: &TwoChainsHost, txs: &mut Vec<TwoChainsSender>| {
+            let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+            let mut sends = Vec::new();
+            for (i, &(s, m)) in order.iter().enumerate() {
+                let n_ints = 1 + (s + m) % 4;
+                let val = (s * 8 + m + 1) as u32;
+                let usr: Vec<u8> = (0..n_ints as u32).flat_map(|_| val.to_le_bytes()).collect();
+                let (bank, slot) = (i % banks, i / banks);
+                let target = rx.mailbox_target(bank, slot).unwrap();
+                let sent = txs[s]
+                    .send_message(
+                        SimTime::ZERO,
+                        id,
+                        InvocationMode::Injected,
+                        &ssum_args(n_ints as u32),
+                        &usr,
+                        &target,
+                    )
+                    .unwrap();
+                sends.push((bank, slot, sent.wire_bytes, sent.delivered()));
+            }
+            sends
+        };
+
+        // Host A: sequential single-slot receives in send order.
+        let (mut rx_seq, mut txs_seq) = build(1);
+        let sends = send_all(&rx_seq, &mut txs_seq);
+        let mut seq_results = Vec::new();
+        let mut ready = SimTime::ZERO;
+        for &(bank, slot, len, delivered) in &sends {
+            let out = rx_seq.receive(bank, slot, Some(len), delivered, ready).unwrap();
+            ready = out.handler_done;
+            seq_results.push(out.result);
+        }
+
+        // Host B: sharded burst draining, one burst per shard until dry.
+        let (mut rx_burst, mut txs_burst) = build(num_shards);
+        let sends_b = send_all(&rx_burst, &mut txs_burst);
+        let horizon = sends_b
+            .iter()
+            .map(|&(_, _, _, d)| d)
+            .fold(SimTime::ZERO, SimTime::max);
+        let mut burst_results = Vec::new();
+        for shard in 0..num_shards {
+            let mut now = horizon;
+            loop {
+                let out = rx_burst.receive_burst(shard, usize::MAX, now).unwrap();
+                prop_assert!(out.rejected.is_empty(), "no frame may be rejected: {:?}", out.rejected);
+                if out.frames.is_empty() {
+                    break;
+                }
+                now = out.drained_at;
+                burst_results.extend(out.frames.iter().map(|f| f.outcome.result));
+            }
+        }
+
+        // Same frames delivered (multiset of results)...
+        let mut a = seq_results.clone();
+        let mut b = burst_results.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "result multisets diverge");
+        // ...and the same receiver counters.
+        let (ss, bs) = (rx_seq.stats(), rx_burst.stats());
+        prop_assert_eq!(ss.messages_received, bs.messages_received);
+        prop_assert_eq!(ss.executions, bs.executions);
+        prop_assert_eq!(ss.injected_executions, bs.injected_executions);
+        prop_assert_eq!(ss.injected_code_cache_misses, bs.injected_code_cache_misses);
+        prop_assert_eq!(ss.injected_code_cache_hits, bs.injected_code_cache_hits);
+        prop_assert_eq!(ss.got_cache_misses, bs.got_cache_misses);
+        prop_assert_eq!(ss.got_cache_hits, bs.got_cache_hits);
+        prop_assert_eq!(rx_seq.injected_cache_len(), rx_burst.injected_cache_len());
+    }
+
     /// Address-space isolation: writes through one segment never alter another.
     #[test]
     fn segments_are_isolated(data in prop::collection::vec(any::<u8>(), 1..128), offset in 0usize..64) {
