@@ -1,0 +1,57 @@
+//! CI perf-regression gate: diff a freshly generated `BENCH_fastpath.json`
+//! against the committed baseline thresholds and fail the build with a
+//! readable table when a metric regresses.
+//!
+//! ```text
+//! cargo run --release -p twochains-bench --bin perf_gate -- BENCH_fastpath.json perf_baseline.json
+//! ```
+//!
+//! Exit status 0 when every enforced check passes, 1 on a regression, 2 on
+//! usage / parse errors. The wall-rate scaling check is enforced only when the
+//! report was produced on a runner with at least `wall_gate_min_parallelism`
+//! hardware threads (recorded in the report as `host_parallelism`); on smaller
+//! machines it is printed as informational, because N drain threads
+//! time-slicing one core cannot scale in wall clock no matter how good the
+//! code is.
+
+use twochains_bench::gate::{evaluate, GateThresholds};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next().unwrap_or_else(|| "BENCH_fastpath.json".into());
+    let baseline_path = args.next().unwrap_or_else(|| "perf_baseline.json".into());
+
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read report {report_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let thresholds = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => GateThresholds::from_json(&s),
+        Err(e) => {
+            eprintln!(
+                "perf_gate: cannot read baseline {baseline_path} ({e}); using built-in defaults"
+            );
+            GateThresholds::default()
+        }
+    };
+
+    match evaluate(&report, &thresholds) {
+        Ok(outcome) => {
+            println!("perf gate: {report_path} vs {baseline_path}");
+            print!("{}", outcome.table());
+            if outcome.passed() {
+                println!("perf gate: OK");
+            } else {
+                println!("perf gate: REGRESSION — an enforced metric fell below its threshold");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_gate: malformed report: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //!   re-verifies and re-parses the GOT.
 //! * **Warm** — the caches are primed once; each dispatch is a hash + lookup.
 //!
-//! "Dispatch" is [`ReceiveOutcome::dispatch_time`]: everything the receiver does
+//! "Dispatch" is [`twochains::ReceiveOutcome::dispatch_time`]: everything the receiver does
 //! before the jam's own execution (header read, cache probes, decode/verify on a
 //! miss). Both virtual (modelled) and wall-clock (host CPU) times are reported.
 
@@ -59,6 +59,11 @@ pub struct FastpathReport {
     /// Shard-scaling rows from the burst-drain sweep ([`crate::burst::sweep`]);
     /// empty when the sweep was not run.
     pub burst: Vec<crate::burst::BurstRow>,
+    /// Hardware threads available to the wall-clock measurements. The perf
+    /// gate only enforces the wall-rate scaling bar when this is at least the
+    /// largest swept shard count (on a 1-core runner, N drain threads
+    /// time-slice and the wall column cannot scale).
+    pub host_parallelism: usize,
 }
 
 impl FastpathReport {
@@ -117,6 +122,7 @@ impl FastpathReport {
                 "  \"warm_code_cache_misses\": {},\n",
                 "  \"warm_got_cache_hits\": {},\n",
                 "  \"warm_template_hits\": {},\n",
+                "  \"host_parallelism\": {},\n",
                 "  \"burst_shard_rows\": {}\n",
                 "}}\n",
             ),
@@ -134,6 +140,7 @@ impl FastpathReport {
             self.warm_code_cache_misses,
             self.warm_got_cache_hits,
             self.warm_template_hits,
+            self.host_parallelism,
             burst_json,
         )
     }
@@ -243,6 +250,7 @@ pub fn compare(messages: usize) -> FastpathReport {
         warm_got_cache_hits: host.stats().got_cache_hits,
         warm_template_hits: sender.stats().template_hits,
         burst: Vec::new(),
+        host_parallelism: crate::burst::host_parallelism(),
     }
 }
 
@@ -286,7 +294,8 @@ mod tests {
         assert!(json.contains("\"dispatch_speedup\""));
         assert!(json.contains("\"warm_code_cache_misses\": 0"));
         assert!(json.contains("\"burst_shard_rows\": []"));
-        assert_eq!(json.matches(':').count(), 17);
+        assert!(json.contains("\"host_parallelism\": "));
+        assert_eq!(json.matches(':').count(), 18);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * the shard-scaling burst-drain driver (modelled + multi-threaded) in
 //!   [`burst`], whose rows extend `BENCH_fastpath.json`;
 //! * percentile statistics, including the paper's *tail latency spread* (Eq. 1), in
-//!   [`percentile`];
+//!   [`mod@percentile`];
 //! * one reproduction routine per figure (5–14) in [`figures`], printed by the
 //!   `figures` binary (`cargo run -p twochains-bench --bin figures -- all`);
 //! * Criterion benches (one family per figure group) under `benches/`.
@@ -24,6 +24,7 @@
 pub mod burst;
 pub mod fastpath;
 pub mod figures;
+pub mod gate;
 pub mod harness;
 pub mod percentile;
 

@@ -144,7 +144,7 @@ pub fn ried_array() -> Ried {
                 let sum = *args.first().ok_or("array.append needs one argument")?;
                 let base = ctx
                     .space
-                    .segment("array.base")
+                    .segment_meta("array.base")
                     .ok_or("array.base not mapped")?
                     .base;
                 let counter = ctx.read_u64(base)?;
@@ -174,15 +174,15 @@ pub fn ried_table() -> Ried {
                 let (key, count, elem_size) = (args[0], args[1], args[2]);
                 let buckets_base = ctx
                     .space
-                    .segment("table.buckets")
+                    .segment_meta("table.buckets")
                     .ok_or("table.buckets not mapped")?
                     .base;
                 let data_seg = ctx
                     .space
-                    .segment("table.data")
+                    .segment_meta("table.data")
                     .ok_or("table.data not mapped")?;
                 let data_base = data_seg.base;
-                let data_len = data_seg.data.len() as u64;
+                let data_len = data_seg.len as u64;
                 let bytes_needed = count.saturating_mul(elem_size).max(1);
 
                 let mut idx = hash64(key) % TABLE_BUCKETS as u64;

@@ -29,6 +29,28 @@ impl InvocationMode {
     }
 }
 
+/// How jam executions share (or don't share) the receiver's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpaceMode {
+    /// One process-wide address space behind a mutex; every execution holds the
+    /// lock for its whole map → execute → unmap window. Semantically the
+    /// simplest mode (all messages observe one copy of every ried object) and
+    /// the default.
+    #[default]
+    Exclusive,
+    /// Read-mostly split: read-only ried objects live in an `Arc`-shared base
+    /// every shard reads without locks, writable ried objects get one private
+    /// instance per shard, and per-message ARGS/USR map into the owning
+    /// shard's local space — so read-only and shard-local handlers execute
+    /// with **no** address-space lock. Jams that declare cross-shard writes
+    /// ([`twochains_linker::JamObject::cross_shard_writes`]) still fall back
+    /// to the exclusive lock and the canonical instances. A GOT *data*
+    /// reference to a writable object bakes in the canonical address, which
+    /// only the exclusive path maps — so installing such a jam without the
+    /// declaration is rejected at install time.
+    ShardLocal,
+}
+
 /// Configuration of a Two-Chains host runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -43,7 +65,11 @@ pub struct RuntimeConfig {
     /// `b % num_shards`, so shards never contend on a mailbox; each shard keeps its
     /// own scratch buffer and statistics over the shared injection caches.
     pub num_shards: usize,
-    /// Which core the receiver thread runs on.
+    /// How executions share the jam address space (see [`SpaceMode`]).
+    pub space_mode: SpaceMode,
+    /// Which core the receiver thread runs on. With `n` shards, shard `s`
+    /// drains on core `(receiver_core + s) % num_cores`, each with its own
+    /// private L1/L2 over the host's shared cache levels.
     pub receiver_core: usize,
     /// How the receiver waits for the signal byte.
     pub wait_mode: WaitMode,
@@ -76,6 +102,7 @@ impl RuntimeConfig {
             banks: 4,
             mailboxes_per_bank: 16,
             num_shards: 1,
+            space_mode: SpaceMode::Exclusive,
             receiver_core: 0,
             wait_mode: WaitMode::Polling,
             wait_model: WaitModel::cluster2021(),
@@ -103,6 +130,14 @@ impl RuntimeConfig {
     /// parallel (bank `b` owned by shard `b % n`).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.num_shards = n;
+        self
+    }
+
+    /// Same configuration but with the read-mostly per-shard address-space
+    /// split ([`SpaceMode::ShardLocal`]): executions of jams that do not
+    /// declare cross-shard writes take no address-space lock.
+    pub fn with_shard_local_space(mut self) -> Self {
+        self.space_mode = SpaceMode::ShardLocal;
         self
     }
 

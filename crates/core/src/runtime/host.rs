@@ -3,12 +3,15 @@
 //!
 //! The dispatch engine lives on [`HostCore`] and takes `&self` plus one
 //! `&mut ReceiverShard`: everything shared is either read-mostly (namespace,
-//! Local Function library, banks, config) or behind a lock (the jam address
-//! space, the injection caches), so any number of shards can run the engine
-//! concurrently. Execution itself serialises on the address-space lock — the jams
-//! mutate receiver-resident state, so that is a correctness requirement, not an
-//! implementation accident — while the dispatch work around it (poll, hash, cache
-//! probes, decode/verify on a miss) runs shard-parallel.
+//! Local Function library, banks, config, the `Arc`-shared read-only segment
+//! base) or behind its own fine-grained synchronisation (striped cache levels,
+//! the injection caches, the exclusive jam space), so any number of shards can
+//! run the engine concurrently. Simulated memory is charged through the shard's
+//! own per-core bus (private L1/L2, no lock on a private hit), and execution
+//! takes the exclusive address-space lock only in
+//! [`SpaceMode::Exclusive`] or for jams that declare cross-shard writes — in
+//! [`SpaceMode::ShardLocal`] everything else runs against the shard's private
+//! segments and the lock-free read-only base.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,19 +19,22 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use twochains_fabric::{AccessFlags, HostHandle, HostId, MemoryRegion, SimFabric};
 use twochains_jamvm::{
-    decode_program, hash64_bytes, verify, AddressSpace, GotImage, Instr, Segment, SegmentKind, Vm,
-    VmConfig,
+    decode_program, hash64_bytes, verify, AddressSpace, GotImage, Instr, Segment, SegmentKind,
+    ShardSpace, Vm, VmConfig,
 };
 use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
 use twochains_memsim::cycles::WaitOutcome;
-use twochains_memsim::{AccessKind, MemoryBus, MemoryStressor, SimTime};
+use twochains_memsim::{
+    AccessKind, CoreBus, CoreCacheStats, HierarchyStats, MemoryBus, MemoryStressor,
+    SharedHierarchy, SimTime,
+};
 
 use super::injection_cache::{CachedGot, CachedProgram, InjectionCache};
 use super::shard::{ReceiverShard, ShardDrain};
 use super::{BurstFrame, BurstOutcome, ReceiveOutcome};
 use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
-use crate::config::{InvocationMode, RuntimeConfig};
+use crate::config::{InvocationMode, RuntimeConfig, SpaceMode};
 use crate::error::{AmError, AmResult};
 use crate::frame::{FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
@@ -78,12 +84,26 @@ struct LocalEntry {
 #[derive(Debug)]
 pub(crate) struct HostCore {
     handle: HostHandle,
+    /// The host's shared cache levels (striped L3/LLC/DRAM); per-core private
+    /// L1/L2 live on each shard's [`CoreBus`].
+    hierarchy: Arc<SharedHierarchy>,
     config: RuntimeConfig,
     namespace: LinkerNamespace,
-    /// The jam address space. Mutated per message (ARGS/USR segments come and go)
-    /// and by the jams themselves, so shards serialise on it for the duration of
-    /// map → execute → unmap. Lock order: `space` before the cache hierarchy.
+    /// The *exclusive* jam address space: the canonical instance of every ried
+    /// object. In [`SpaceMode::Exclusive`] every execution maps and runs here
+    /// under the mutex; in [`SpaceMode::ShardLocal`] only jams declaring
+    /// cross-shard writes do.
     space: Mutex<AddressSpace>,
+    /// `Arc`-shared read-only segments (rodata, read-only data exports), read
+    /// by every shard without any lock. Rebuilt on package install/live update.
+    shared_ro: Arc<AddressSpace>,
+    /// Canonical `[start, end)` address ranges of *writable* ried objects.
+    /// A resolved GOT that points into one of these ranges addresses
+    /// process-global mutable state by canonical address, which only the
+    /// exclusive space maps — the dispatch engine routes such messages to the
+    /// exclusive path even in shard-local mode (the runtime backstop behind
+    /// the install-time `cross_shard_writes` contract check).
+    writable_ranges: Vec<(u64, u64)>,
     package: Option<Package>,
     local_lib: HashMap<u32, LocalEntry>,
     mailbox_region: Arc<MemoryRegion>,
@@ -113,11 +133,29 @@ impl std::fmt::Debug for TwoChainsHost {
 impl TwoChainsHost {
     /// Base simulated address at which Local Function library code is laid out.
     const LOCAL_CODE_BASE: u64 = 0x7000_0000;
+    /// Base simulated address of shard 0's private writable ried instances
+    /// (shard-local space mode); shard `s` starts at
+    /// `SHARD_DATA_BASE + s * SHARD_DATA_STRIDE`.
+    const SHARD_DATA_BASE: u64 = 0xA000_0000;
+    /// Address stride between consecutive shards' private data ranges.
+    const SHARD_DATA_STRIDE: u64 = 0x0400_0000;
 
     /// Create a host runtime on fabric host `id`.
     pub fn new(fabric: &SimFabric, id: HostId, config: RuntimeConfig) -> AmResult<Self> {
         config.validate().map_err(AmError::InvalidConfig)?;
         let handle = fabric.host(id)?;
+        let hierarchy = handle.hierarchy();
+        let num_cores = hierarchy.num_cores();
+        // One live CoreBus per core is a SharedHierarchy invariant (two buses
+        // would drain the same invalidation inbox and one could serve stale
+        // private lines), so a shard count beyond the core count is rejected
+        // rather than silently aliasing cores.
+        if config.num_shards > num_cores {
+            return Err(AmError::InvalidConfig(format!(
+                "{} shards but the testbed has {num_cores} cores: each shard needs its own core",
+                config.num_shards
+            )));
+        }
         let flags = AccessFlags::rwx();
         let region_len = config
             .total_mailboxes()
@@ -133,20 +171,39 @@ impl TwoChainsHost {
         let cache = Arc::new(InjectionCache::with_capacity(
             config.injection_cache_entries,
         ));
+        let shared_ro = Arc::new(AddressSpace::new());
         let shards = (0..config.num_shards)
-            .map(|i| ReceiverShard::new(i, config.num_shards, Arc::clone(&cache)))
-            .collect();
+            .map(|i| {
+                // Shard i drains on its own core, with that core's private
+                // L1/L2 bus (shard count <= core count was checked above, so
+                // no two shards alias a core's bus or invalidation inbox).
+                let core = (config.receiver_core + i) % num_cores;
+                let space = ShardSpace::new(Arc::clone(&shared_ro))
+                    .map_err(|e| AmError::InvalidConfig(e.to_string()))?;
+                Ok(ReceiverShard::new(
+                    i,
+                    config.num_shards,
+                    core,
+                    hierarchy.core_bus(core),
+                    space,
+                    Arc::clone(&cache),
+                ))
+            })
+            .collect::<AmResult<Vec<_>>>()?;
         Ok(TwoChainsHost {
             core: HostCore {
                 handle,
+                hierarchy,
                 config,
                 namespace: LinkerNamespace::new(),
                 space: Mutex::new(AddressSpace::new()),
+                shared_ro,
                 package: None,
                 local_lib: HashMap::new(),
                 mailbox_region,
                 banks,
                 local_code_cursor: Self::LOCAL_CODE_BASE,
+                writable_ranges: Vec::new(),
             },
             cache,
             shards,
@@ -192,11 +249,31 @@ impl TwoChainsHost {
         self.shards.get(shard).map(|s| &s.stats)
     }
 
-    /// Reset statistics on every shard.
+    /// One shard's private-cache (L1/L2) counters.
+    pub fn shard_cache_stats(&self, shard: usize) -> Option<CoreCacheStats> {
+        self.shards.get(shard).map(|s| s.bus.stats())
+    }
+
+    /// The global simulated-cache view: shared-level counters (L3/LLC/DRAM/DMA)
+    /// merged with every shard's private L1/L2 counters.
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        let mut stats = self.core.hierarchy.stats();
+        for shard in &self.shards {
+            stats.absorb_core(&shard.bus.stats());
+        }
+        stats
+    }
+
+    /// Reset statistics on every shard (runtime counters and the private-cache
+    /// counters) and the shared hierarchy levels, so
+    /// [`TwoChainsHost::hierarchy_stats`] never mixes pre- and post-reset
+    /// epochs. Cache *contents* are preserved everywhere.
     pub fn reset_stats(&mut self) {
         for shard in &mut self.shards {
             shard.stats.reset();
+            shard.bus.reset_stats();
         }
+        self.core.hierarchy.reset_stats();
     }
 
     /// The underlying fabric host handle (stashing/prefetcher/stressor toggles).
@@ -236,10 +313,60 @@ impl TwoChainsHost {
     /// invalidated. The next message per element repopulates the caches.
     pub fn load_ried(&mut self, ried: &Ried, replace: bool) -> AmResult<()> {
         self.core.namespace.load_ried(ried, replace)?;
+        self.sync_spaces()?;
+        self.invalidate_injection_caches();
+        Ok(())
+    }
+
+    /// Propagate the namespace's data objects into every execution view: the
+    /// exclusive space (canonical instances, live contents preserved), the
+    /// `Arc`-shared read-only base (rebuilt from scratch — its contents never
+    /// change after publication), and each shard's private instances of the
+    /// writable objects (created on first sight, existing shard state kept
+    /// across live updates, mirroring the exclusive space's reload semantics).
+    fn sync_spaces(&mut self) -> AmResult<()> {
         self.core
             .namespace
             .map_data_segments(self.core.space.get_mut())?;
-        self.invalidate_injection_caches();
+        let objects = self.core.namespace.data_objects();
+        self.core.writable_ranges = objects
+            .iter()
+            .filter(|o| o.writable)
+            .map(|o| (o.addr, o.addr + o.init.len() as u64))
+            .collect();
+        let mut ro = AddressSpace::new();
+        for o in objects.iter().filter(|o| !o.writable) {
+            ro.map(Segment::new(&o.name, o.addr, o.init.clone(), false, o.kind))
+                .map_err(|e| AmError::Exec(e.to_string()))?;
+        }
+        let ro = Arc::new(ro);
+        self.core.shared_ro = Arc::clone(&ro);
+        for shard in &mut self.shards {
+            shard
+                .space
+                .set_shared_ro(Arc::clone(&ro))
+                .map_err(|e| AmError::Exec(e.to_string()))?;
+            for o in objects.iter().filter(|o| o.writable) {
+                if shard.space.local.segment(&o.name).is_some() {
+                    continue;
+                }
+                let offset = o.addr - LinkerNamespace::DATA_BASE;
+                if offset + o.init.len() as u64 > Self::SHARD_DATA_STRIDE {
+                    return Err(AmError::InvalidConfig(format!(
+                        "data object {} does not fit a shard's private data range",
+                        o.name
+                    )));
+                }
+                let base = Self::SHARD_DATA_BASE
+                    + shard.shard_id as u64 * Self::SHARD_DATA_STRIDE
+                    + offset;
+                shard
+                    .space
+                    .local
+                    .map(Segment::new(&o.name, base, o.init.clone(), true, o.kind))
+                    .map_err(|e| AmError::Exec(e.to_string()))?;
+            }
+        }
         Ok(())
     }
 
@@ -254,9 +381,39 @@ impl TwoChainsHost {
         for (_, ried) in package.rieds() {
             self.core.namespace.load_ried(ried, true)?;
         }
-        self.core
-            .namespace
-            .map_data_segments(self.core.space.get_mut())?;
+        self.sync_spaces()?;
+        // In shard-local mode a GOT *data* reference resolves to the canonical
+        // address of the object — which, for a writable object, is mapped only
+        // in the exclusive space. A jam that takes such a reference without
+        // declaring cross-shard writes would fault Unmapped at its first
+        // dereference on the lock-free path, so the contradiction is rejected
+        // here, at install time, with an actionable message.
+        if self.core.config.space_mode == SpaceMode::ShardLocal {
+            let writable: std::collections::HashSet<String> = self
+                .core
+                .namespace
+                .data_objects()
+                .into_iter()
+                .filter(|o| o.writable)
+                .map(|o| o.name)
+                .collect();
+            for (_, jam) in package.jams() {
+                if jam.cross_shard_writes {
+                    continue;
+                }
+                if let Some(sym) = jam.got.iter().find(|s| {
+                    s.kind == twochains_linker::SymbolKind::Data && writable.contains(&s.name)
+                }) {
+                    return Err(AmError::InvalidConfig(format!(
+                        "jam {} holds a GOT data reference to writable object {} \
+                         without declaring cross-shard writes; shard-local mode \
+                         requires with_cross_shard_writes() for canonical-address \
+                         access to writable state",
+                        jam.name, sym.name
+                    )));
+                }
+            }
+        }
         for (id, jam) in package.jams() {
             let program: Arc<[Instr]> = jam.program()?.into();
             let got = Arc::new(self.core.namespace.resolve_got(&jam.got)?);
@@ -264,12 +421,12 @@ impl TwoChainsHost {
             let code_base = self.core.local_code_cursor;
             self.core.local_code_cursor += (code_len.div_ceil(4096) * 4096) as u64 + 4096;
             // The Local Function library is resident: it has been executed before (or
-            // at least loaded and touched), so keep it warm in the receiver's L2/LLC.
-            self.core.handle.hierarchy().lock().warm_l2(
-                self.core.config.receiver_core,
-                code_base,
-                code_len,
-            );
+            // at least loaded and touched), so keep it warm in every drain core's
+            // private L1/L2 (any shard may run the local jam); `CoreBus::warm`
+            // stashes the range into the shared LLC as well.
+            for shard in &mut self.shards {
+                shard.bus.warm(code_base, code_len);
+            }
             self.core.local_lib.insert(
                 id.0,
                 LocalEntry {
@@ -323,7 +480,11 @@ impl TwoChainsHost {
     }
 
     /// Read a ried-exported data object (for tests and examples that verify
-    /// server-side effects, e.g. the Server-Side Sum result array).
+    /// server-side effects, e.g. the Server-Side Sum result array). This reads
+    /// the *canonical* instance — the exclusive space — which is the one every
+    /// execution mutates in [`SpaceMode::Exclusive`] but only cross-shard jams
+    /// mutate in [`SpaceMode::ShardLocal`]; use
+    /// [`TwoChainsHost::read_shard_data`] for a shard's private instance.
     pub fn read_data(&self, symbol: &str, offset: usize, len: usize) -> AmResult<Vec<u8>> {
         let addr = self
             .core
@@ -337,6 +498,32 @@ impl TwoChainsHost {
             .read(addr + offset as u64, len)
             .map_err(|e| AmError::Exec(e.to_string()))?
             .to_vec())
+    }
+
+    /// Read `shard`'s private instance of a writable ried object (shard-local
+    /// space mode), falling back to the shared read-only base for non-writable
+    /// symbols.
+    pub fn read_shard_data(
+        &self,
+        shard: usize,
+        symbol: &str,
+        offset: usize,
+        len: usize,
+    ) -> AmResult<Vec<u8>> {
+        let s = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| AmError::InvalidConfig(format!("no shard {shard}")))?;
+        let seg = s
+            .space
+            .local
+            .segment(symbol)
+            .or_else(|| s.space.shared_ro().segment(symbol))
+            .ok_or_else(|| AmError::Link(format!("no data symbol {symbol} in shard {shard}")))?;
+        seg.data
+            .get(offset..offset + len)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| AmError::Exec(format!("read past the end of {symbol}")))
     }
 
     /// Process the message sitting in mailbox (`bank`, `slot`).
@@ -441,6 +628,9 @@ impl HostCore {
         // quarantined on the spot — a burst-only receiver would otherwise never
         // reclaim them.
         let (ready, mut rejected) = self.banks.scan_burst(shard.mask(), max_frames);
+        // Quarantined poisoned slots are counted in the shard's stats (and so
+        // survive the host-wide merge) as well as reported per burst.
+        shard.stats.poisoned_quarantined += rejected.len() as u64;
         // That one scan observes readiness for every frame at once: charge a
         // single zero-length wait (one poll boundary) instead of the per-message
         // wait the single-slot path pays.
@@ -476,6 +666,7 @@ impl HostCore {
                     if let Ok(mailbox) = self.banks.mailbox(bank, slot) {
                         let _ = mailbox.clear(frame_len);
                     }
+                    shard.stats.frames_rejected += 1;
                     rejected.push((bank, slot, err));
                 }
             }
@@ -500,12 +691,25 @@ impl HostCore {
         ready_since: SimTime,
         charge: WaitCharge,
     ) -> AmResult<ReceiveOutcome> {
-        // Disjoint field borrows: the shared cache, the stats and the scratch
-        // buffer (which the FrameView borrows) are separate fields of the shard.
+        // Disjoint field borrows: the shared cache, the stats, the scratch
+        // buffer (which the FrameView borrows), the per-core bus and the
+        // shard-local space are separate fields of the shard.
+        let ReceiverShard {
+            core,
+            bus,
+            space: shard_space,
+            cache,
+            scratch,
+            stats,
+            ..
+        } = shard;
         self.receive_frame(
-            &shard.cache,
-            &mut shard.stats,
-            &mut shard.scratch,
+            cache,
+            stats,
+            scratch,
+            *core,
+            bus,
+            shard_space,
             bank,
             slot,
             frame_len,
@@ -521,6 +725,9 @@ impl HostCore {
         cache: &InjectionCache,
         stats: &mut RuntimeStats,
         scratch: &mut Vec<u8>,
+        core: usize,
+        bus: &mut CoreBus,
+        shard_space: &mut ShardSpace,
         bank: usize,
         slot: usize,
         frame_len: Option<usize>,
@@ -529,7 +736,6 @@ impl HostCore {
         charge: WaitCharge,
     ) -> AmResult<ReceiveOutcome> {
         let mailbox = self.banks.mailbox(bank, slot)?.clone();
-        let core = self.config.receiver_core;
 
         // 1. Wait for the signal byte (or inherit the burst scan's observation).
         let wait = match charge {
@@ -542,14 +748,9 @@ impl HostCore {
                 cycles: 0,
             },
         };
-        let mut jitter = SimTime::ZERO;
-        {
-            let hierarchy = self.handle.hierarchy();
-            let mut h = hierarchy.lock();
-            if h.stressed() {
-                jitter = h.scheduler_jitter();
-            }
-        }
+        // `stressed()` is one atomic load; the stressor lock is only taken when
+        // a stressor is actually attached.
+        let jitter = self.hierarchy.scheduler_jitter();
         let detected_at = ready_since + wait.elapsed + jitter;
 
         // Functional check + frame length discovery.
@@ -565,18 +766,16 @@ impl HostCore {
         mailbox.read_frame_into(frame_len, scratch)?;
         let frame = FrameView::parse(scratch)?;
 
-        // 2. Read the header (charged against wherever the frame landed).
+        // 2. Read the header, charged through this shard's own core bus —
+        // private L1/L2 lookups take no lock; only misses touch the striped
+        // shared levels.
         let mut handler_time = SimTime::ZERO;
-        {
-            let hierarchy = self.handle.hierarchy();
-            let mut h = hierarchy.lock();
-            handler_time += h.access(
-                core,
-                mailbox.base_addr(),
-                FRAME_HEADER_SIZE,
-                AccessKind::Read,
-            );
-        }
+        handler_time += bus.access(
+            core,
+            mailbox.base_addr(),
+            FRAME_HEADER_SIZE,
+            AccessKind::Read,
+        );
 
         let mode = if frame.header.injected {
             InvocationMode::Injected
@@ -611,6 +810,8 @@ impl HostCore {
                     let got = self.injected_got(
                         cache,
                         stats,
+                        bus,
+                        core,
                         &frame,
                         mailbox.base_addr(),
                         &mut handler_time,
@@ -618,6 +819,8 @@ impl HostCore {
                     let program = self.injected_program(
                         cache,
                         stats,
+                        bus,
+                        core,
                         &frame,
                         got.len(),
                         mailbox.base_addr(),
@@ -643,32 +846,27 @@ impl HostCore {
             // so every access is charged against the lines the NIC delivered. These
             // are the only sections copied out of the receive buffer — the jam may
             // write to them (subject to policy), so they need their own backing
-            // store. The address space is shared between shards, so the whole
-            // map → execute → unmap sequence holds its lock.
+            // store. Which space they map into is the mode split: the exclusive
+            // space under its mutex, or the shard's own local space with no lock
+            // at all.
             let args_base = mailbox.base_addr() + frame.args_offset() as u64;
             let usr_base = mailbox.base_addr() + frame.usr_offset() as u64;
             let args_writable = !self.config.security.read_only_args;
             let usr_writable = !self.config.security.read_only_payload;
-            let mut space = self.space.lock();
-            space
-                .map(Segment::new(
-                    "msg.args",
-                    args_base,
-                    frame.args.to_vec(),
-                    args_writable,
-                    SegmentKind::Args,
-                ))
-                .map_err(|e| AmError::Exec(e.to_string()))?;
-            if let Err(e) = space.map(Segment::new(
+            let args_seg = Segment::new(
+                "msg.args",
+                args_base,
+                frame.args.to_vec(),
+                args_writable,
+                SegmentKind::Args,
+            );
+            let usr_seg = Segment::new(
                 "msg.usr",
                 usr_base,
                 frame.usr.to_vec(),
                 usr_writable,
                 SegmentKind::Payload,
-            )) {
-                space.unmap("msg.args");
-                return Err(AmError::Exec(e.to_string()));
-            }
+            );
 
             let vm_cfg = VmConfig {
                 core,
@@ -679,22 +877,74 @@ impl HostCore {
                 extern_call_overhead: SimTime::from_ns(6),
                 entry_regs: [args_base, usr_base, frame.usr.len() as u64],
             };
-            let exec_result = {
-                let hierarchy = self.handle.hierarchy();
-                let mut guard = hierarchy.lock();
-                Vm::execute(
+
+            // A jam that declares cross-shard writes must see the canonical
+            // (exclusive) instances even in shard-local mode. The GOT scan is
+            // the runtime backstop for messages the install-time contract
+            // check cannot see (injected frames for elements outside the
+            // installed package, rieds loaded without a package): a resolved
+            // Data reference into a writable object's canonical range only
+            // works on the exclusive path, so such messages are routed there
+            // instead of faulting Unmapped on the lock-free one.
+            let use_exclusive = match self.config.space_mode {
+                SpaceMode::Exclusive => true,
+                SpaceMode::ShardLocal => {
+                    self.package
+                        .as_ref()
+                        .and_then(|p| p.jam(ElementId(frame.header.elem_id)).ok())
+                        .is_some_and(|j| j.cross_shard_writes)
+                        || self.got_addresses_writable_data(&got)
+                }
+            };
+
+            let exec = if use_exclusive {
+                // Exclusive path: the whole map → execute → unmap window holds
+                // the process-wide space lock (the PR-2 behaviour).
+                let mut space = self.space.lock();
+                space
+                    .map(args_seg)
+                    .map_err(|e| AmError::Exec(e.to_string()))?;
+                if let Err(e) = space.map(usr_seg) {
+                    space.unmap("msg.args");
+                    return Err(AmError::Exec(e.to_string()));
+                }
+                let exec_result = Vm::execute(
                     &program,
                     &got,
                     self.namespace.externs(),
-                    &mut space,
-                    &mut *guard,
+                    &mut *space,
+                    bus,
                     &vm_cfg,
-                )
+                );
+                space.unmap("msg.args");
+                space.unmap("msg.usr");
+                drop(space);
+                exec_result?
+            } else {
+                // Shard-local path: per-message sections map into the shard's
+                // own space; reads of ried rodata go through the Arc-shared
+                // read-only base; writes land in the shard's private heap
+                // instances. No lock anywhere on this path.
+                shard_space
+                    .local
+                    .map(args_seg)
+                    .map_err(|e| AmError::Exec(e.to_string()))?;
+                if let Err(e) = shard_space.local.map(usr_seg) {
+                    shard_space.local.unmap("msg.args");
+                    return Err(AmError::Exec(e.to_string()));
+                }
+                let exec_result = Vm::execute(
+                    &program,
+                    &got,
+                    self.namespace.externs(),
+                    shard_space,
+                    bus,
+                    &vm_cfg,
+                );
+                shard_space.local.unmap("msg.args");
+                shard_space.local.unmap("msg.usr");
+                exec_result?
             };
-            space.unmap("msg.args");
-            space.unmap("msg.usr");
-            drop(space);
-            let exec = exec_result?;
             exec_time = exec.total_time();
             handler_time += exec_time;
             result = exec.result;
@@ -729,11 +979,30 @@ impl HostCore {
         })
     }
 
+    /// Whether a resolved GOT image holds a `Data` reference into the
+    /// canonical address range of a writable ried object (only the exclusive
+    /// space maps those addresses; see `writable_ranges`).
+    fn got_addresses_writable_data(&self, got: &GotImage) -> bool {
+        if self.writable_ranges.is_empty() {
+            return false;
+        }
+        (0..got.len()).any(|slot| match got.get(slot) {
+            twochains_jamvm::ExternRef::Data(addr) => self
+                .writable_ranges
+                .iter()
+                .any(|&(start, end)| addr >= start && addr < end),
+            _ => false,
+        })
+    }
+
     /// Resolve the GOT image of an injected frame, through the shared GOT caches.
+    #[allow(clippy::too_many_arguments)]
     fn injected_got(
         &self,
         cache: &InjectionCache,
         stats: &mut RuntimeStats,
+        bus: &mut CoreBus,
+        core: usize,
         frame: &FrameView<'_>,
         mailbox_base: u64,
         handler_time: &mut SimTime,
@@ -744,17 +1013,12 @@ impl HostCore {
             // place; like the code hash this streams the arrived bytes, so it is
             // charged as a read of the section wherever the frame landed.
             *handler_time += SimTime::from_ns_f64(frame.got.len() as f64 * HASH_NS_PER_BYTE);
-            {
-                let core = self.config.receiver_core;
-                let hierarchy = self.handle.hierarchy();
-                let mut h = hierarchy.lock();
-                *handler_time += h.access(
-                    core,
-                    mailbox_base + frame.got_offset() as u64,
-                    frame.got.len().max(1),
-                    AccessKind::Read,
-                );
-            }
+            *handler_time += bus.access(
+                core,
+                mailbox_base + frame.got_offset() as u64,
+                frame.got.len().max(1),
+                AccessKind::Read,
+            );
             let key = (elem_id, hash64_bytes(frame.got));
             if let Some(image) = cache.lookup_sender_got(key, frame.got) {
                 stats.got_cache_hits += 1;
@@ -802,16 +1066,18 @@ impl HostCore {
 
     /// Resolve the decoded program of an injected frame, through the shared code
     /// cache.
+    #[allow(clippy::too_many_arguments)]
     fn injected_program(
         &self,
         cache: &InjectionCache,
         stats: &mut RuntimeStats,
+        bus: &mut CoreBus,
+        core: usize,
         frame: &FrameView<'_>,
         got_slots: usize,
         mailbox_base: u64,
         handler_time: &mut SimTime,
     ) -> AmResult<Arc<[Instr]>> {
-        let core = self.config.receiver_core;
         let code_base = mailbox_base + frame.code_offset() as u64;
         // Content hash over the arrived code: the cache-key computation. The hash
         // streams every code byte through the receiver core, so it is charged as a
@@ -819,11 +1085,7 @@ impl HostCore {
         // stashed and go to DRAM otherwise, which keeps the stash benefit visible on
         // the warm path too (and leaves the lines hot for the VM's fetches).
         *handler_time += SimTime::from_ns_f64(frame.code.len() as f64 * HASH_NS_PER_BYTE);
-        {
-            let hierarchy = self.handle.hierarchy();
-            let mut h = hierarchy.lock();
-            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Read);
-        }
+        *handler_time += bus.access(core, code_base, frame.code.len().max(1), AccessKind::Read);
         let key = (frame.header.elem_id, hash64_bytes(frame.code));
         if let Some((program, min_got_slots)) = cache.lookup_program(key, frame.code) {
             // Verification depends on the GOT size, which varies per message: the
@@ -848,11 +1110,7 @@ impl HostCore {
         // the result. Together with the hash stream above, these reads are the
         // dominant term of the stash benefit for Injected Function messages
         // (Figs. 9–10).
-        {
-            let hierarchy = self.handle.hierarchy();
-            let mut h = hierarchy.lock();
-            *handler_time += h.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
-        }
+        *handler_time += bus.access(core, code_base, frame.code.len().max(1), AccessKind::Fetch);
         let program = decode_program(frame.code).map_err(|e| AmError::BadFrame(e.to_string()))?;
         verify(&program, got_slots).map_err(|e| AmError::BadFrame(e.to_string()))?;
         *handler_time += SimTime::from_ns_f64(

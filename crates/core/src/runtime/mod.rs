@@ -28,15 +28,23 @@
 //!      ReceiverShard 0   ReceiverShard 1       ...          ReceiverShard S-1
 //!      scratch buffer    scratch buffer                     scratch buffer
 //!      RuntimeStats      RuntimeStats                       RuntimeStats
+//!      CoreBus (L1/L2)   CoreBus (L1/L2)                    CoreBus (L1/L2)
+//!      ShardSpace        ShardSpace                         ShardSpace
 //!            │   probe / insert (one short lock per operation)    │
 //!            └───────────────▶ Arc<InjectionCache> ◀──────────────┘
 //!                  decoded programs · sender GOTs · resolved GOTs
 //!                  (segmented-LRU eviction, hit/miss/evict counters)
 //!            ──────────────────────────────────────────────────────
 //!            shared read-mostly: linker namespace, Local Function
-//!            library, installed package, runtime config
-//!            shared mutable (Mutex): jam AddressSpace — execution
-//!            serialises here; dispatch around it runs shard-parallel
+//!            library, installed package, runtime config, and the
+//!            Arc-shared read-only segment base (lock-free reads)
+//!            shared striped: L3/LLC/DRAM simulation (per-stripe locks,
+//!            reached only on private L1/L2 misses)
+//!            shared mutable (Mutex): the *exclusive* jam AddressSpace —
+//!            every execution serialises here in SpaceMode::Exclusive;
+//!            in SpaceMode::ShardLocal only jams that declare cross-shard
+//!            writes do, and everything else executes lock-free against
+//!            the shard's own segments
 //! ```
 //!
 //! * `injection_cache` (crate-internal module) — owns the three content-addressed

@@ -2,11 +2,16 @@
 //!
 //! A [`ReceiverShard`] is the per-invocation-stream state of the sharded receive
 //! path: its own scratch buffer (frames are parsed by borrow, never copied), its
-//! own [`RuntimeStats`], and an `Arc` handle to the shared
+//! own [`RuntimeStats`], its own **per-core cache bus** (the private L1/L2 the
+//! shard's drain thread charges through, lock-free), its own **shard-local
+//! address space** (per-message ARGS/USR plus private instances of writable
+//! ried objects, used in [`SpaceMode::ShardLocal`](crate::config::SpaceMode)),
+//! and an `Arc` handle to the shared
 //! [`InjectionCache`](super::injection_cache::InjectionCache). Everything heavy —
-//! the linker namespace, the Local Function library, the mailbox banks, the jam
-//! address space — stays in the host and is reached read-mostly (or through a
-//! lock, for the address space), so shards never contend on per-message state.
+//! the linker namespace, the Local Function library, the mailbox banks, the
+//! exclusive jam address space — stays in the host and is reached read-mostly
+//! (or through a lock, for the exclusive space), so shards never contend on
+//! per-message state.
 //!
 //! Bank ownership is deterministic: shard `s` of `S` owns exactly the banks with
 //! `bank % S == s` ([`ShardMask`]), so two shards never poll the same mailbox.
@@ -15,13 +20,15 @@
 //! [`TwoChainsHost::shard_drains`](super::TwoChainsHost::shard_drains): one
 //! `&mut ReceiverShard` plus a shared `&` to the host internals. The borrows are
 //! disjoint per shard and every shared structure is sync (atomics-backed mailbox
-//! region, `Mutex`ed address space and caches), so the drains can be moved to OS
-//! threads and drained in parallel — the bench crate's multi-threaded drain
-//! driver does exactly that with `std::thread::scope`.
+//! region, striped cache levels, `Mutex`ed exclusive space and caches), so the
+//! drains can be moved to OS threads and drained in parallel — the bench
+//! crate's multi-threaded drain driver does exactly that with
+//! `std::thread::scope`.
 
 use std::sync::Arc;
 
-use twochains_memsim::SimTime;
+use twochains_jamvm::ShardSpace;
+use twochains_memsim::{CoreBus, CoreCacheStats, SimTime};
 
 use super::host::HostCore;
 use super::injection_cache::InjectionCache;
@@ -30,12 +37,21 @@ use crate::bank::ShardMask;
 use crate::error::AmResult;
 use crate::stats::RuntimeStats;
 
-/// The per-shard receive context: scratch buffer, statistics, shared-cache handle
-/// and the shard's slice of the bank ownership map.
+/// The per-shard receive context: scratch buffer, statistics, per-core cache
+/// bus, shard-local address space, shared-cache handle and the shard's slice of
+/// the bank ownership map.
 #[derive(Debug)]
 pub struct ReceiverShard {
     pub(crate) shard_id: usize,
     pub(crate) num_shards: usize,
+    /// The core this shard drains on (`(receiver_core + shard_id) % num_cores`).
+    pub(crate) core: usize,
+    /// This core's private L1/L2 over the host's shared cache levels. Owned
+    /// outright: a private-cache hit charges zero locks.
+    pub(crate) bus: CoreBus,
+    /// Shard-local execution view: per-message ARGS/USR and per-shard writable
+    /// ried instances over the `Arc`-shared read-only base.
+    pub(crate) space: ShardSpace,
     pub(crate) cache: Arc<InjectionCache>,
     /// Persistent receive buffer: frames are read into it and parsed by borrow.
     pub(crate) scratch: Vec<u8>,
@@ -43,10 +59,20 @@ pub struct ReceiverShard {
 }
 
 impl ReceiverShard {
-    pub(crate) fn new(shard_id: usize, num_shards: usize, cache: Arc<InjectionCache>) -> Self {
+    pub(crate) fn new(
+        shard_id: usize,
+        num_shards: usize,
+        core: usize,
+        bus: CoreBus,
+        space: ShardSpace,
+        cache: Arc<InjectionCache>,
+    ) -> Self {
         ReceiverShard {
             shard_id,
             num_shards,
+            core,
+            bus,
+            space,
             cache,
             scratch: Vec::new(),
             stats: RuntimeStats::new(),
@@ -56,6 +82,16 @@ impl ReceiverShard {
     /// This shard's index.
     pub fn shard_id(&self) -> usize {
         self.shard_id
+    }
+
+    /// The core this shard drains on.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// This shard's private-cache (L1/L2) counters.
+    pub fn cache_stats(&self) -> CoreCacheStats {
+        self.bus.stats()
     }
 
     /// The bank-ownership mask of this shard (`bank % num_shards == shard_id`).
@@ -124,6 +160,8 @@ impl ShardDrain<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twochains_jamvm::AddressSpace;
+    use twochains_memsim::{SharedHierarchy, TestbedConfig};
 
     /// The whole point of `ShardDrain` is that it can cross a thread boundary:
     /// this does not compile unless every shared host structure is `Sync`.
@@ -137,8 +175,11 @@ mod tests {
     #[test]
     fn shard_mask_matches_ownership_map() {
         let cache = Arc::new(InjectionCache::new());
-        let shard = ReceiverShard::new(1, 4, cache);
+        let hierarchy = Arc::new(SharedHierarchy::new(TestbedConfig::tiny_for_tests()));
+        let space = ShardSpace::new(Arc::new(AddressSpace::new())).unwrap();
+        let shard = ReceiverShard::new(1, 4, 1, hierarchy.core_bus(1), space, cache);
         assert_eq!(shard.shard_id(), 1);
+        assert_eq!(shard.core(), 1);
         assert!(shard.mask().owns(5));
         assert!(!shard.mask().owns(4));
     }

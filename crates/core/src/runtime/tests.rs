@@ -952,6 +952,318 @@ fn shard_drain_rejects_foreign_banks() {
 }
 
 #[test]
+fn shard_local_space_partitions_writable_state_per_shard() {
+    let (mut rx, mut tx) = testbed(
+        RuntimeConfig::paper_default()
+            .with_shards(2)
+            .with_shard_local_space(),
+    );
+    let id = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    // The same key through two different banks (= two different shards): each
+    // shard probes its own private table instance, so the returned addresses
+    // live in disjoint per-shard ranges.
+    let mut results = Vec::new();
+    for bank in [0usize, 1] {
+        let target = rx.mailbox_target(bank, 0).unwrap();
+        let send = tx
+            .send_message(
+                SimTime::ZERO,
+                id,
+                InvocationMode::Injected,
+                &indirect_put_args(42, 4, 4),
+                &payload(4),
+                &target,
+            )
+            .unwrap();
+        let out = rx
+            .receive(
+                bank,
+                0,
+                Some(send.wire_bytes),
+                send.delivered(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        results.push(out.result);
+    }
+    assert_ne!(
+        results[0], results[1],
+        "each shard claims a slot in its own table instance"
+    );
+    // Each shard's bump cursor moved; the canonical (exclusive) instance did not.
+    for shard in 0..2 {
+        let cursor = rx.read_shard_data(shard, "table.data", 0, 8).unwrap();
+        assert_ne!(u64::from_le_bytes(cursor.try_into().unwrap()), 0);
+    }
+    let exclusive_cursor = rx.read_data("table.data", 0, 8).unwrap();
+    assert_eq!(u64::from_le_bytes(exclusive_cursor.try_into().unwrap()), 0);
+    // Re-putting the key through the same shard reuses that shard's slot.
+    let target = rx.mailbox_target(0, 1).unwrap();
+    let send = tx
+        .send_message(
+            SimTime::ZERO,
+            id,
+            InvocationMode::Injected,
+            &indirect_put_args(42, 4, 4),
+            &payload(4),
+            &target,
+        )
+        .unwrap();
+    let again = rx
+        .receive(0, 1, Some(send.wire_bytes), send.delivered(), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(again.result, results[0]);
+}
+
+#[test]
+fn cross_shard_jam_falls_back_to_the_exclusive_space() {
+    use twochains_linker::{JamDefinition, PackageBuilder, SymbolRef};
+    // A jam that *declares* cross-shard writes: it appends to the process-wide
+    // result array, so in shard-local mode it must run against the canonical
+    // instance under the exclusive lock — from every shard.
+    let mut asm = twochains_jamvm::Assembler::new();
+    asm.load_imm(twochains_jamvm::Reg(0), 5)
+        .call_extern(0, 1)
+        .ret();
+    let program = asm.finish().unwrap();
+    let pkg = || {
+        PackageBuilder::new("cross_pkg")
+            .ried(crate::builtin::ried_array())
+            .jam(
+                JamDefinition::new("jam_cross_append", program.clone())
+                    .with_got(vec![SymbolRef::func("array.append")])
+                    .with_args_size(20)
+                    .with_cross_shard_writes(),
+            )
+            .build()
+            .unwrap()
+    };
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut rx = TwoChainsHost::new(
+        &fabric,
+        b,
+        RuntimeConfig::paper_default()
+            .with_shards(2)
+            .with_shard_local_space(),
+    )
+    .unwrap();
+    rx.install_package(pkg()).unwrap();
+    let mut tx = TwoChainsSender::new(fabric.endpoint(a, b).unwrap(), pkg());
+    let id = rx.package().unwrap().id_of("jam_cross_append").unwrap();
+    tx.set_remote_got(id, &rx.export_got(id).unwrap());
+    for bank in [0usize, 1] {
+        let target = rx.mailbox_target(bank, 0).unwrap();
+        let send = tx
+            .send_message(
+                SimTime::ZERO,
+                id,
+                InvocationMode::Injected,
+                &[0u8; 20],
+                &[],
+                &target,
+            )
+            .unwrap();
+        rx.receive(
+            bank,
+            0,
+            Some(send.wire_bytes),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    }
+    // Both appends landed in the one canonical array, in order.
+    let count = rx.read_data("array.base", 0, 8).unwrap();
+    assert_eq!(u64::from_le_bytes(count.try_into().unwrap()), 2);
+    // The per-shard instances stayed untouched.
+    for shard in 0..2 {
+        let local = rx.read_shard_data(shard, "array.base", 0, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(local.try_into().unwrap()), 0);
+    }
+}
+
+#[test]
+fn shard_local_rejects_writable_data_got_refs_without_declaration() {
+    use twochains_linker::{JamDefinition, PackageBuilder, SymbolRef};
+    // A GOT data slot on a writable export bakes in the canonical address,
+    // which the lock-free shard-local path does not map: installing such a jam
+    // without the cross-shard declaration must fail loudly at install time,
+    // and succeed once declared (it then runs on the exclusive path).
+    let mut asm = twochains_jamvm::Assembler::new();
+    asm.ret();
+    let program = asm.finish().unwrap();
+    let pkg = |declared: bool| {
+        let mut def = JamDefinition::new("jam_data_ref", program.clone())
+            .with_got(vec![SymbolRef::data("table.data")]);
+        if declared {
+            def = def.with_cross_shard_writes();
+        }
+        PackageBuilder::new("data_ref_pkg")
+            .ried(crate::builtin::ried_table())
+            .jam(def)
+            .build()
+            .unwrap()
+    };
+    let (fabric, _, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut rx = TwoChainsHost::new(
+        &fabric,
+        b,
+        RuntimeConfig::paper_default()
+            .with_shards(2)
+            .with_shard_local_space(),
+    )
+    .unwrap();
+    let err = rx.install_package(pkg(false)).unwrap_err();
+    assert!(
+        matches!(&err, AmError::InvalidConfig(m) if m.contains("cross-shard")),
+        "expected the install-time contract error, got {err:?}"
+    );
+    rx.install_package(pkg(true))
+        .expect("declared cross-shard jam installs fine");
+    // Exclusive mode never needed the declaration.
+    let (fabric2, _, b2) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut rx2 = TwoChainsHost::new(&fabric2, b2, RuntimeConfig::paper_default()).unwrap();
+    rx2.install_package(pkg(false)).unwrap();
+}
+
+#[test]
+fn injected_writable_data_got_routes_to_the_exclusive_path() {
+    // The runtime backstop behind the install-time contract check: an injected
+    // frame for an element *outside* the installed package, carrying a GOT
+    // data reference into a writable object's canonical range, must still
+    // dispatch (on the exclusive path, where that address is mapped) instead
+    // of faulting on the lock-free shard-local path.
+    use twochains_jamvm::{encode_program, ExternRef};
+    let (mut rx, mut tx) = testbed(
+        RuntimeConfig::paper_default()
+            .with_shards(2)
+            .with_shard_local_space(),
+    );
+    // Recover the canonical address of the writable table heap by replaying
+    // the deterministic namespace layout (same rieds, same load order, same
+    // address cursor as the host's install).
+    let mut ns = twochains_linker::LinkerNamespace::new();
+    for ried in crate::builtin::benchmark_rieds() {
+        ns.load_ried(&ried, true).unwrap();
+    }
+    let canonical = ns.data_addr("table.data").unwrap();
+
+    let mut asm = twochains_jamvm::Assembler::new();
+    asm.load_imm(twochains_jamvm::Reg(0), 0).ret();
+    let code = encode_program(&asm.finish().unwrap());
+    let got = GotImage::from_refs(vec![ExternRef::Data(canonical)]);
+    let frame = Frame::injected(7, 999, got.to_bytes(), code, vec![0u8; 20], vec![]);
+    let t = rx.mailbox_target(0, 0).unwrap();
+    let send = tx.send(SimTime::ZERO, &frame, &t).unwrap();
+    let out = rx
+        .receive(
+            0,
+            0,
+            Some(frame.wire_size()),
+            send.delivered(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_eq!(out.result, 0, "the frame dispatched and executed");
+    assert!(out.exec.is_some());
+}
+
+#[test]
+fn more_shards_than_cores_is_rejected() {
+    let (fabric, _, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    // cluster2021 has 4 cores; 5 shards would alias two shards onto one
+    // core's bus and invalidation inbox.
+    let mut cfg = RuntimeConfig::paper_default().with_shards(5);
+    cfg.banks = 5;
+    let err = TwoChainsHost::new(&fabric, b, cfg).unwrap_err();
+    assert!(matches!(&err, AmError::InvalidConfig(m) if m.contains("cores")));
+}
+
+#[test]
+fn shard_local_and_exclusive_modes_agree_on_results() {
+    // The space mode is a concurrency strategy, not a semantics change for a
+    // single shard: the same send stream produces the same results and the
+    // same modelled times in both modes.
+    let run = |cfg: RuntimeConfig| {
+        let (mut rx, mut tx) = testbed(cfg);
+        let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let outs = pump_injected(&mut rx, &mut tx, id, 4);
+        outs.iter()
+            .map(|o| (o.result, o.handler_time))
+            .collect::<Vec<_>>()
+    };
+    let exclusive = run(RuntimeConfig::paper_default());
+    let shard_local = run(RuntimeConfig::paper_default().with_shard_local_space());
+    assert_eq!(exclusive, shard_local);
+}
+
+#[test]
+fn per_core_cache_stats_merge_into_the_global_view() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default().with_shards(2));
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    pump_injected_into(&mut rx, &mut tx, id, 0, 3);
+    pump_injected_into(&mut rx, &mut tx, id, 1, 3);
+    let s0 = rx.shard_cache_stats(0).unwrap();
+    let s1 = rx.shard_cache_stats(1).unwrap();
+    assert!(rx.shard_cache_stats(2).is_none());
+    // Both shards executed warm messages on their own cores: each charged
+    // private-cache traffic of its own.
+    assert!(s0.l1_hits + s0.l2_hits > 0);
+    assert!(s1.l1_hits + s1.l2_hits > 0);
+    let global = rx.hierarchy_stats();
+    assert_eq!(global.l1_hits, s0.l1_hits + s1.l1_hits);
+    assert_eq!(global.l2_hits, s0.l2_hits + s1.l2_hits);
+    // DMA delivered every frame: the invalidation contract reached both cores.
+    assert!(s0.invalidations_applied > 0);
+    assert!(s1.invalidations_applied > 0);
+    rx.reset_stats();
+    assert_eq!(rx.shard_cache_stats(0).unwrap(), Default::default());
+}
+
+#[test]
+fn quarantine_and_rejection_counters_reach_the_merged_stats() {
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let id = rx.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    // Slot 0: good. Slot 1: rejected at dispatch (garbage code). Slot 2: a
+    // poisoned header quarantined by the scan.
+    let t0 = rx.mailbox_target(0, 0).unwrap();
+    tx.send_message(
+        SimTime::ZERO,
+        id,
+        InvocationMode::Injected,
+        &ssum_args(4),
+        &payload(4),
+        &t0,
+    )
+    .unwrap();
+    let mut bad = tx
+        .pack(id, InvocationMode::Injected, ssum_args(4), payload(4))
+        .unwrap();
+    for b in bad.code.iter_mut() {
+        *b = 0xFF;
+    }
+    let t1 = rx.mailbox_target(0, 1).unwrap();
+    tx.send(SimTime::ZERO, &bad, &t1).unwrap();
+    let mut poison = Frame::local(1, 0, vec![0; 20], vec![0; 4]).encode();
+    poison[8..12].copy_from_slice(&1_000_000u32.to_le_bytes());
+    let t2 = rx.mailbox_target(0, 2).unwrap();
+    tx.endpoint_mut()
+        .put(SimTime::ZERO, &poison, &t2.region, t2.offset)
+        .unwrap();
+
+    let out = rx
+        .receive_burst(0, usize::MAX, SimTime::from_us(100))
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rejected.len(), 2);
+    // The per-shard counters made it into the merged host view (they used to
+    // be visible only in the per-burst outcome).
+    assert_eq!(rx.stats().frames_rejected, 1);
+    assert_eq!(rx.stats().poisoned_quarantined, 1);
+    assert_eq!(rx.shard_stats(0).unwrap().poisoned_quarantined, 1);
+}
+
+#[test]
 fn segmented_eviction_keeps_the_cache_bounded_and_counts_evictions() {
     let mut cfg = RuntimeConfig::paper_default();
     cfg.injection_cache_entries = 8;

@@ -40,6 +40,15 @@ pub struct RuntimeStats {
     pub template_hits: u64,
     /// Sends that built a frame template (first injected send of an element).
     pub template_misses: u64,
+    /// Frames the dispatch engine rejected during a burst (malformed code,
+    /// policy violation, ...); their slots were cleared so the bank cannot
+    /// wedge.
+    pub frames_rejected: u64,
+    /// Poisoned slots quarantined by the burst scan (header magic present but
+    /// an out-of-range declared length). Counted per shard and preserved by
+    /// [`RuntimeStats::merge`], so the host-wide view shows how many one-put
+    /// denial-of-service attempts the receiver absorbed.
+    pub poisoned_quarantined: u64,
     /// Total virtual time the receiver spent waiting for signals.
     pub wait_time: SimTime,
     /// Total virtual time spent in handler execution.
@@ -89,6 +98,8 @@ impl RuntimeStats {
             got_cache_evictions,
             template_hits,
             template_misses,
+            frames_rejected,
+            poisoned_quarantined,
             wait_time,
             exec_time,
             cycles,
@@ -107,6 +118,8 @@ impl RuntimeStats {
         self.got_cache_evictions += got_cache_evictions;
         self.template_hits += template_hits;
         self.template_misses += template_misses;
+        self.frames_rejected += frames_rejected;
+        self.poisoned_quarantined += poisoned_quarantined;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
         self.cycles.merge(cycles);
@@ -137,15 +150,22 @@ mod tests {
         a.injected_code_cache_hits = 2;
         a.injected_code_cache_evictions = 1;
         a.cycles.add_wait(5);
+        a.poisoned_quarantined = 2;
         let mut b = RuntimeStats::new();
         b.messages_received = 4;
         b.got_cache_evictions = 7;
+        b.frames_rejected = 3;
+        b.poisoned_quarantined = 5;
         b.cycles.add_work(9);
         a.merge(&b);
         assert_eq!(a.messages_received, 7);
         assert_eq!(a.injected_code_cache_hits, 2);
         assert_eq!(a.injected_code_cache_evictions, 1);
         assert_eq!(a.got_cache_evictions, 7);
+        // The quarantine and rejection counters survive the host-wide merge:
+        // a per-shard count that merge() drops is invisible to operators.
+        assert_eq!(a.frames_rejected, 3);
+        assert_eq!(a.poisoned_quarantined, 7);
         assert_eq!(a.cycles.total(), 14);
     }
 }

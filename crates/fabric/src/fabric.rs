@@ -9,7 +9,7 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use twochains_memsim::{CacheHierarchy, SimTime, TestbedConfig};
+use twochains_memsim::{CoreBus, SharedHierarchy, TestbedConfig};
 
 use crate::endpoint::Endpoint;
 use crate::error::{FabricError, FabricResult};
@@ -50,7 +50,7 @@ impl Default for FabricConfig {
 /// Per-host state.
 pub(crate) struct HostState {
     pub(crate) id: HostId,
-    pub(crate) hierarchy: Arc<Mutex<CacheHierarchy>>,
+    pub(crate) hierarchy: Arc<SharedHierarchy>,
     pub(crate) nic: NicModel,
     regions: Mutex<Vec<Arc<MemoryRegion>>>,
     va_cursor: Mutex<u64>,
@@ -68,7 +68,7 @@ impl std::fmt::Debug for HostState {
 
 impl HostState {
     fn new(id: HostId, cfg: TestbedConfig, link: LinkModel, va_base: u64) -> Self {
-        let hierarchy = Arc::new(Mutex::new(CacheHierarchy::new(cfg)));
+        let hierarchy = Arc::new(SharedHierarchy::new(cfg));
         let nic = NicModel::new(link, Arc::clone(&hierarchy));
         HostState {
             id,
@@ -254,9 +254,17 @@ impl HostHandle {
         self.state.find_region(desc.base_addr, desc.len)
     }
 
-    /// The host's cache hierarchy (shared with the NIC DMA engine).
-    pub fn hierarchy(&self) -> Arc<Mutex<CacheHierarchy>> {
+    /// The host's shared cache-hierarchy levels (shared with the NIC DMA
+    /// engine). Internally synchronized — no hierarchy-wide lock exists.
+    pub fn hierarchy(&self) -> Arc<SharedHierarchy> {
         Arc::clone(&self.state.hierarchy)
+    }
+
+    /// Build the private-level memory bus for `core`: that core's own L1/L2
+    /// and prefetcher (lock-free) over this host's shared striped levels. One
+    /// live bus per core — see [`SharedHierarchy::core_bus`].
+    pub fn core_bus(&self, core: usize) -> CoreBus {
+        self.state.hierarchy.core_bus(core)
     }
 
     /// Toggle LLC stashing for traffic arriving at this host.
@@ -271,32 +279,19 @@ impl HostHandle {
 
     /// Toggle the hardware prefetcher on this host.
     pub fn set_prefetching(&self, enabled: bool) {
-        self.state.hierarchy.lock().set_prefetching(enabled);
+        self.state.hierarchy.set_prefetching(enabled);
     }
 
     /// Attach or remove a memory stressor on this host (tail-latency experiments).
     pub fn set_stressor(&self, stressor: Option<twochains_memsim::MemoryStressor>) {
-        self.state.hierarchy.lock().set_stressor(stressor);
+        self.state.hierarchy.set_stressor(stressor);
     }
 
     /// Reset NIC serialization points and clear hierarchy statistics (between
     /// benchmark phases).
     pub fn reset_for_benchmark(&self) {
         self.state.nic.reset();
-        self.state.hierarchy.lock().reset_stats();
-    }
-
-    /// Charge a CPU-side memory access on this host (helper used by runtimes that do
-    /// not hold the hierarchy lock themselves).
-    pub fn charge_access(
-        &self,
-        core: usize,
-        addr: u64,
-        len: usize,
-        kind: twochains_memsim::AccessKind,
-    ) -> SimTime {
-        use twochains_memsim::MemoryBus;
-        self.state.hierarchy.lock().access(core, addr, len, kind)
+        self.state.hierarchy.reset_stats();
     }
 }
 

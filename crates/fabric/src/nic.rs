@@ -14,7 +14,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use twochains_memsim::{CacheHierarchy, SimTime};
+use twochains_memsim::{SharedHierarchy, SimTime};
 
 use crate::link::{LinkModel, LinkTiming};
 
@@ -30,8 +30,10 @@ pub struct NicModel {
     /// Whether inbound DMA is stashed into the LLC (the firmware toggle for the
     /// ConnectX-6 device in the paper's experiments).
     stash_inbound: Mutex<bool>,
-    /// The destination memory hierarchy this NIC delivers into.
-    hierarchy: Arc<Mutex<CacheHierarchy>>,
+    /// The destination memory hierarchy this NIC delivers into (internally
+    /// synchronized: the DMA engine stripes into the shared LLC without a
+    /// hierarchy-wide lock).
+    hierarchy: Arc<SharedHierarchy>,
 }
 
 /// Timing of a delivery performed by [`NicModel::deliver`].
@@ -48,8 +50,8 @@ pub struct DeliveryTiming {
 impl NicModel {
     /// Create a NIC attached to `hierarchy`, honouring the hierarchy's configured
     /// stashing capability as the initial inbound-stash setting.
-    pub fn new(link: LinkModel, hierarchy: Arc<Mutex<CacheHierarchy>>) -> Self {
-        let stash = hierarchy.lock().stashing_enabled();
+    pub fn new(link: LinkModel, hierarchy: Arc<SharedHierarchy>) -> Self {
+        let stash = hierarchy.stashing_enabled();
         NicModel {
             link,
             tx_busy_until: Mutex::new(SimTime::ZERO),
@@ -68,7 +70,7 @@ impl NicModel {
     /// control the paper uses to toggle the feature for the ConnectX-6).
     pub fn set_stashing(&self, enabled: bool) {
         *self.stash_inbound.lock() = enabled;
-        self.hierarchy.lock().set_stashing(enabled);
+        self.hierarchy.set_stashing(enabled);
     }
 
     /// Whether inbound stashing is currently enabled.
@@ -77,7 +79,7 @@ impl NicModel {
     }
 
     /// The destination memory hierarchy (shared with the host's compute side).
-    pub fn hierarchy(&self) -> &Arc<Mutex<CacheHierarchy>> {
+    pub fn hierarchy(&self) -> &Arc<SharedHierarchy> {
         &self.hierarchy
     }
 
@@ -108,7 +110,7 @@ impl NicModel {
     pub fn deliver(&self, arrival: SimTime, dst_addr: u64, len: usize) -> (SimTime, SimTime) {
         let mut busy = self.rx_busy_until.lock();
         let start = arrival.max(*busy);
-        let dma_cost = self.hierarchy.lock().dma_write(dst_addr, len);
+        let dma_cost = self.hierarchy.dma_write(dst_addr, len);
         // Exposed tail: the last line's installation.
         let tail = dma_cost.min(SimTime::from_ns(12));
         let done = start + tail;
@@ -127,7 +129,7 @@ mod tests {
     fn nic(stash: bool) -> NicModel {
         let mut cfg = TestbedConfig::tiny_for_tests();
         cfg.llc_stashing = stash;
-        let h = Arc::new(Mutex::new(CacheHierarchy::new(cfg)));
+        let h = Arc::new(SharedHierarchy::new(cfg));
         NicModel::new(LinkModel::connectx6_back_to_back(), h)
     }
 
@@ -142,9 +144,9 @@ mod tests {
         let n = nic(true);
         n.set_stashing(false);
         assert!(!n.stashing());
-        assert!(!n.hierarchy().lock().stashing_enabled());
+        assert!(!n.hierarchy().stashing_enabled());
         n.set_stashing(true);
-        assert!(n.hierarchy().lock().stashing_enabled());
+        assert!(n.hierarchy().stashing_enabled());
     }
 
     #[test]
@@ -165,16 +167,16 @@ mod tests {
         let (done, cost) = n.deliver(SimTime::from_ns(500), 0x8000, 256);
         assert!(done >= SimTime::from_ns(500));
         assert!(cost > SimTime::ZERO);
-        assert!(n.hierarchy().lock().llc_contains(0x8000));
-        assert_eq!(n.hierarchy().lock().stats().stashed_lines, 4);
+        assert!(n.hierarchy().llc_contains(0x8000));
+        assert_eq!(n.hierarchy().stats().stashed_lines, 4);
     }
 
     #[test]
     fn delivery_without_stash_goes_to_dram() {
         let n = nic(false);
         n.deliver(SimTime::ZERO, 0x8000, 256);
-        assert!(!n.hierarchy().lock().llc_contains(0x8000));
-        assert_eq!(n.hierarchy().lock().stats().dma_dram_lines, 4);
+        assert!(!n.hierarchy().llc_contains(0x8000));
+        assert_eq!(n.hierarchy().stats().dma_dram_lines, 4);
     }
 
     #[test]

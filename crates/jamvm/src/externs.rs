@@ -11,14 +11,14 @@ use std::sync::Arc;
 
 use twochains_memsim::{AccessKind, MemoryBus, SimTime};
 
-use crate::memory::AddressSpace;
+use crate::memory::JamSpace;
 
 /// Context handed to extern functions: the jam's address space plus the memory bus so
 /// receiver-side work (hash-table probes, copies into the heap) is charged like any
 /// other memory traffic.
 pub struct ExternCtx<'a> {
-    /// The address space of the executing jam.
-    pub space: &'a mut AddressSpace,
+    /// The address space of the executing jam (exclusive or per-shard view).
+    pub space: &'a mut dyn JamSpace,
     /// The memory hierarchy to charge accesses against.
     pub bus: &'a mut dyn MemoryBus,
     /// Core the receiver thread runs on.
@@ -245,7 +245,7 @@ impl ExternTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::memory::{Segment, SegmentKind};
+    use crate::memory::{AddressSpace, Segment, SegmentKind};
     use twochains_memsim::hierarchy::FlatMemory;
 
     fn ctx_parts() -> (AddressSpace, FlatMemory) {

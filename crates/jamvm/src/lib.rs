@@ -45,6 +45,6 @@ pub use asm::Assembler;
 pub use encode::{decode_program, encode_program, encoded_size};
 pub use externs::{ExternRef, ExternTable, GotImage};
 pub use isa::{hash64, hash64_bytes, Instr, Reg};
-pub use memory::{AddressSpace, Segment, SegmentKind};
+pub use memory::{AddressSpace, JamSpace, Segment, SegmentKind, SegmentMeta, ShardSpace};
 pub use verify::{verify, VerifyError};
 pub use vm::{ExecError, ExecStats, Vm, VmConfig};

@@ -6,8 +6,37 @@
 //! segments. This mirrors the paper's layout where the injected code addresses its
 //! arguments and payload PC-relative within the mailbox frame and reaches everything
 //! else through the GOT.
+//!
+//! # The read-mostly / per-shard split
+//!
+//! [`AddressSpace`] is the plain, exclusively-owned form: one process, one set of
+//! segments, `&mut` everywhere. Putting a host's single `AddressSpace` behind one
+//! mutex for the whole map → execute → unmap window serialises every receiver shard
+//! on every message, which is the second wall-clock ceiling of the multi-shard
+//! drain (next to the cache-hierarchy lock).
+//!
+//! [`ShardSpace`] is the read-mostly execution view that removes that lock for
+//! read-only and shard-local handlers. It layers two spaces:
+//!
+//! * **`local`** — segments this shard owns exclusively: the per-message ARGS/USR
+//!   sections and the shard's private scratch/heap instances. Mapped, written and
+//!   unmapped with zero synchronisation.
+//! * **`shared_ro`** — an [`Arc`]-shared [`AddressSpace`] holding the process-wide
+//!   *read-only* segments (rodata, read-only data exports). Because nothing writes
+//!   it after publication, any number of shards read it concurrently without locks;
+//!   a write to a `shared_ro` address faults with [`MemFault::ReadOnly`].
+//!
+//! Lookup order is local first, then shared — a shard-local mapping shadows a
+//! shared name, which is exactly how per-shard heap instances get resolved by the
+//! same symbolic names the exclusive path uses. Handlers that *declare* cross-shard
+//! writes do not use a `ShardSpace` at all: the runtime routes them to the single
+//! exclusive `AddressSpace` under its mutex, the correctness fallback.
+//!
+//! The [`JamSpace`] trait is the VM- and extern-facing abstraction both forms
+//! implement, so the interpreter is agnostic about which mode a message runs in.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What a segment holds; used for permissions and for statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +254,191 @@ impl AddressSpace {
     }
 }
 
+/// Metadata of a mapped segment, as surfaced to extern functions through
+/// [`JamSpace::segment_meta`] (externs address exported objects by symbolic name,
+/// never by host pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Simulated base virtual address.
+    pub base: u64,
+    /// Segment length in bytes.
+    pub len: usize,
+    /// Whether jam stores to this segment are allowed.
+    pub writable: bool,
+    /// Classification.
+    pub kind: SegmentKind,
+}
+
+impl SegmentMeta {
+    fn of(seg: &Segment) -> Self {
+        SegmentMeta {
+            base: seg.base,
+            len: seg.data.len(),
+            writable: seg.writable,
+            kind: seg.kind,
+        }
+    }
+}
+
+/// What the VM and extern functions need from an address space. Implemented by
+/// the exclusively-owned [`AddressSpace`] and by the read-mostly per-shard
+/// [`ShardSpace`], so the same interpreter serves both execution modes.
+pub trait JamSpace {
+    /// Read a little-endian scalar of `width` bytes, zero-extended to u64.
+    fn read_scalar(&self, addr: u64, width: usize) -> Result<u64, MemFault>;
+    /// Write the low `width` bytes of `value` little-endian at `addr`.
+    fn write_scalar(&mut self, addr: u64, value: u64, width: usize) -> Result<(), MemFault>;
+    /// Read `len` bytes at `addr` into a fresh buffer.
+    fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault>;
+    /// Write `data` at `addr`, honouring the owning segment's write permission.
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault>;
+    /// Copy `len` bytes from `src` to `dst` within the space.
+    fn copy(&mut self, dst: u64, src: u64, len: usize) -> Result<(), MemFault>;
+    /// Metadata of the segment mapped under `name`, if any.
+    fn segment_meta(&self, name: &str) -> Option<SegmentMeta>;
+}
+
+impl JamSpace for AddressSpace {
+    fn read_scalar(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        AddressSpace::read_scalar(self, addr, width)
+    }
+
+    fn write_scalar(&mut self, addr: u64, value: u64, width: usize) -> Result<(), MemFault> {
+        AddressSpace::write_scalar(self, addr, value, width)
+    }
+
+    fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        self.read(addr, len).map(<[u8]>::to_vec)
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.write(addr, data)
+    }
+
+    fn copy(&mut self, dst: u64, src: u64, len: usize) -> Result<(), MemFault> {
+        AddressSpace::copy(self, dst, src, len)
+    }
+
+    fn segment_meta(&self, name: &str) -> Option<SegmentMeta> {
+        self.segment(name).map(SegmentMeta::of)
+    }
+}
+
+/// The read-mostly per-shard execution view: an exclusively-owned local
+/// [`AddressSpace`] (per-message ARGS/USR, per-shard scratch/heap instances)
+/// over an `Arc`-shared read-only base. See the module docs for the locking
+/// story; in short, nothing here takes any lock, ever.
+#[derive(Debug, Clone)]
+pub struct ShardSpace {
+    /// Shard-owned segments; lookups hit these first (shadowing the base).
+    pub local: AddressSpace,
+    /// Process-wide read-only segments, shared by every shard without locks.
+    shared_ro: Arc<AddressSpace>,
+}
+
+impl ShardSpace {
+    /// Build a shard view over the given read-only base. The base must contain
+    /// only non-writable segments — a writable segment here would let two
+    /// shards race through the supposedly lock-free path, so it is rejected.
+    pub fn new(shared_ro: Arc<AddressSpace>) -> Result<Self, MemFault> {
+        if let Some(seg) = shared_ro.segments.iter().find(|s| s.writable) {
+            return Err(MemFault::ReadOnly {
+                addr: seg.base,
+                segment: seg.name.clone(),
+            });
+        }
+        Ok(ShardSpace {
+            local: AddressSpace::new(),
+            shared_ro,
+        })
+    }
+
+    /// Replace the shared read-only base (live update / package reinstall).
+    pub fn set_shared_ro(&mut self, shared_ro: Arc<AddressSpace>) -> Result<(), MemFault> {
+        if let Some(seg) = shared_ro.segments.iter().find(|s| s.writable) {
+            return Err(MemFault::ReadOnly {
+                addr: seg.base,
+                segment: seg.name.clone(),
+            });
+        }
+        self.shared_ro = shared_ro;
+        Ok(())
+    }
+
+    /// The shared read-only base.
+    pub fn shared_ro(&self) -> &Arc<AddressSpace> {
+        &self.shared_ro
+    }
+
+    fn find_shared(&self, addr: u64, len: usize) -> Option<&Segment> {
+        self.shared_ro
+            .segments
+            .iter()
+            .find(|s| s.contains(addr, len))
+    }
+}
+
+impl JamSpace for ShardSpace {
+    fn read_scalar(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        match self.local.read_scalar(addr, width) {
+            Err(MemFault::Unmapped { .. }) => self.shared_ro.read_scalar(addr, width),
+            other => other,
+        }
+    }
+
+    fn write_scalar(&mut self, addr: u64, value: u64, width: usize) -> Result<(), MemFault> {
+        match self.local.write_scalar(addr, value, width) {
+            Err(MemFault::Unmapped { .. }) => match self.find_shared(addr, width) {
+                Some(seg) => Err(MemFault::ReadOnly {
+                    addr,
+                    segment: seg.name.clone(),
+                }),
+                None => Err(MemFault::Unmapped { addr, len: width }),
+            },
+            other => other,
+        }
+    }
+
+    fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        match self.local.read(addr, len) {
+            Ok(bytes) => Ok(bytes.to_vec()),
+            Err(MemFault::Unmapped { .. }) => self.shared_ro.read(addr, len).map(<[u8]>::to_vec),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        match self.local.write(addr, data) {
+            Err(MemFault::Unmapped { .. }) => match self.find_shared(addr, data.len()) {
+                Some(seg) => Err(MemFault::ReadOnly {
+                    addr,
+                    segment: seg.name.clone(),
+                }),
+                None => Err(MemFault::Unmapped {
+                    addr,
+                    len: data.len(),
+                }),
+            },
+            other => other,
+        }
+    }
+
+    fn copy(&mut self, dst: u64, src: u64, len: usize) -> Result<(), MemFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let data = self.read_bytes(src, len)?;
+        self.write_bytes(dst, &data)
+    }
+
+    fn segment_meta(&self, name: &str) -> Option<SegmentMeta> {
+        self.local
+            .segment(name)
+            .or_else(|| self.shared_ro.segment(name))
+            .map(SegmentMeta::of)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +560,90 @@ mod tests {
         assert!(heap.contains(0x10FFF, 1));
         assert!(!heap.contains(0x10FFF, 2));
         assert!(!s.is_empty());
+    }
+
+    fn shard_space() -> ShardSpace {
+        let mut ro = AddressSpace::new();
+        ro.map(Segment::new(
+            "lib.rodata",
+            0x4000,
+            (0..64u8).collect(),
+            false,
+            SegmentKind::Rodata,
+        ))
+        .unwrap();
+        let mut s = ShardSpace::new(Arc::new(ro)).unwrap();
+        s.local
+            .map(Segment::new(
+                "heap",
+                0x10000,
+                vec![0; 256],
+                true,
+                SegmentKind::Heap,
+            ))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn shard_space_layers_local_over_shared_ro() {
+        let mut s = shard_space();
+        // Reads reach both layers; writes only the local one.
+        assert_eq!(s.read_bytes(0x4000, 4).unwrap(), vec![0, 1, 2, 3]);
+        s.write_scalar(0x10000, 0xAB, 1).unwrap();
+        assert_eq!(s.read_scalar(0x10000, 1).unwrap(), 0xAB);
+        // Copy from the shared base into the local heap works lock-free.
+        JamSpace::copy(&mut s, 0x10010, 0x4000, 8).unwrap();
+        assert_eq!(
+            s.read_bytes(0x10010, 8).unwrap(),
+            (0..8u8).collect::<Vec<_>>()
+        );
+        // Writing the shared base faults as read-only, not unmapped.
+        assert!(matches!(
+            s.write_scalar(0x4000, 1, 8),
+            Err(MemFault::ReadOnly { .. })
+        ));
+        // Untouched addresses are unmapped.
+        assert!(matches!(
+            s.read_bytes(0x9999_0000, 1),
+            Err(MemFault::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_space_local_shadows_shared_names() {
+        let mut s = shard_space();
+        s.local
+            .map(Segment::new(
+                "lib.rodata",
+                0x8000,
+                vec![9; 16],
+                true,
+                SegmentKind::Heap,
+            ))
+            .unwrap();
+        let meta = s.segment_meta("lib.rodata").unwrap();
+        assert_eq!(meta.base, 0x8000, "local instance wins the name lookup");
+        assert!(meta.writable);
+        assert_eq!(s.segment_meta("heap").unwrap().len, 256);
+        assert!(s.segment_meta("missing").is_none());
+    }
+
+    #[test]
+    fn shard_space_rejects_writable_shared_base() {
+        let mut ro = AddressSpace::new();
+        ro.map(Segment::new(
+            "heap",
+            0x1000,
+            vec![0; 8],
+            true,
+            SegmentKind::Heap,
+        ))
+        .unwrap();
+        assert!(matches!(
+            ShardSpace::new(Arc::new(ro)),
+            Err(MemFault::ReadOnly { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The interpreter.
 //!
-//! [`Vm::execute`] runs verified bytecode against an [`AddressSpace`], an
+//! [`Vm::execute`] runs verified bytecode against a [`JamSpace`] (the exclusive
+//! [`crate::memory::AddressSpace`] or a per-shard
+//! [`crate::memory::ShardSpace`] view), an
 //! [`ExternTable`] and a [`GotImage`], charging every instruction fetch and every
 //! data access to the supplied [`MemoryBus`]. The returned [`ExecStats`] carry both
 //! the functional result (the value left in `r0`) and the virtual time the execution
@@ -12,7 +14,7 @@ use twochains_memsim::{AccessKind, MemoryBus, SimTime};
 use crate::encode::encoded_size;
 use crate::externs::{ExternCtx, ExternRef, ExternTable, GotImage};
 use crate::isa::{hash64, AluOp, Cond, Instr, NUM_REGS};
-use crate::memory::AddressSpace;
+use crate::memory::JamSpace;
 
 /// Execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,7 +138,7 @@ impl Vm {
         program: &[Instr],
         got: &GotImage,
         externs: &ExternTable,
-        space: &mut AddressSpace,
+        space: &mut dyn JamSpace,
         bus: &mut dyn MemoryBus,
         cfg: &VmConfig,
     ) -> Result<ExecStats, ExecError> {
@@ -299,7 +301,7 @@ mod tests {
     use super::*;
     use crate::asm::Assembler;
     use crate::isa::{Reg, Width};
-    use crate::memory::{Segment, SegmentKind};
+    use crate::memory::{AddressSpace, Segment, SegmentKind};
     use std::sync::Arc;
     use twochains_memsim::hierarchy::FlatMemory;
 

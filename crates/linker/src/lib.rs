@@ -40,7 +40,7 @@ pub mod symbol;
 
 pub use builder::{JamDefinition, PackageBuilder};
 pub use error::LinkError;
-pub use namespace::LinkerNamespace;
+pub use namespace::{DataObject, LinkerNamespace};
 pub use object::JamObject;
 pub use package::{ElementId, Package, PackageElement};
 pub use ried::{Ried, RiedBuilder, RiedDataExport};

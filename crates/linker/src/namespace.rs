@@ -197,6 +197,44 @@ impl LinkerNamespace {
     pub fn data_addr(&self, name: &str) -> Option<u64> {
         self.data.get(name).map(|d| d.addr)
     }
+
+    /// Every data object bound in this namespace, in address order, with its
+    /// *initial* contents. The sharded receive path uses this to build the
+    /// `Arc`-shared read-only base (non-writable objects) and the per-shard
+    /// heap instances (writable objects) without going through the exclusive
+    /// address space; `mapped` state is not consulted, so this is safe to call
+    /// after [`LinkerNamespace::map_data_segments`].
+    pub fn data_objects(&self) -> Vec<DataObject> {
+        let mut out: Vec<DataObject> = self
+            .data
+            .iter()
+            .map(|(name, d)| DataObject {
+                name: name.clone(),
+                addr: d.addr,
+                init: d.init.clone(),
+                writable: d.writable,
+                kind: d.kind,
+            })
+            .collect();
+        out.sort_by_key(|d| d.addr);
+        out
+    }
+}
+
+/// One data object bound in a namespace, as reported by
+/// [`LinkerNamespace::data_objects`].
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    /// Exported symbol name.
+    pub name: String,
+    /// Simulated base address the namespace assigned.
+    pub addr: u64,
+    /// Initial contents (a fresh copy, not the live mapped state).
+    pub init: Vec<u8>,
+    /// Whether jams may store to the object.
+    pub writable: bool,
+    /// Segment classification.
+    pub kind: twochains_jamvm::SegmentKind,
 }
 
 #[cfg(test)]

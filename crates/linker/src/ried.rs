@@ -5,7 +5,7 @@
 //! reproduction a ried is a named bundle of:
 //!
 //! * **function exports** — receiver-side implementations (Rust closures over the jam
-//!   VM's [`ExternCtx`]) that injected code reaches through GOT-resolved
+//!   VM's [`twochains_jamvm::externs::ExternCtx`]) that injected code reaches through GOT-resolved
 //!   `CallExtern`; these stand in for the shared library's native code, and
 //! * **data exports** — named heap objects (tables, arrays, counters) that are mapped
 //!   into the jam address space as segments, with an initial size/contents, and

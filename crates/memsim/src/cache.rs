@@ -75,7 +75,7 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Hit rate in [0,1]; 0 if no accesses.
+    /// Hit rate in \[0,1\]; 0 if no accesses.
     pub fn hit_rate(&self) -> f64 {
         let total = self.accesses();
         if total == 0 {

@@ -55,12 +55,17 @@ impl CacheLevelConfig {
     }
 }
 
-/// Full cache hierarchy geometry: private L2 per core, L3 per cluster, shared LLC.
+/// Full cache hierarchy geometry: private L1/L2 per core, L3 per cluster, shared LLC.
 ///
-/// The paper's platform has no explicitly described L1 (the evaluation reasons about
-/// L2/L3/LLC/DRAM); we follow the same abstraction. An L1 would only shift constants.
+/// The paper's evaluation reasons mostly about L2/L3/LLC/DRAM; the small private L1
+/// mainly shifts constants for re-touched lines, but it matters for the sharded
+/// hierarchy: L1 and L2 are the *per-core private* levels that the per-shard
+/// [`crate::sharded::CoreBus`] owns without a lock, while L3/LLC/DRAM are the
+/// *shared* levels reached through lock striping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
+    /// Private first-level cache, one per core (the innermost private level).
+    pub l1: CacheLevelConfig,
     /// Private second-level cache, one per core.
     pub l2: CacheLevelConfig,
     /// Cluster-shared third-level cache, one per `cores_per_cluster` cores.
@@ -79,6 +84,8 @@ pub struct CacheGeometry {
 /// are inputs to the model, not measurements, and can be overridden per experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyConfig {
+    /// L1 hit latency (also the lookup charge paid on an L1 miss).
+    pub l1_hit: SimTime,
     /// L2 hit latency.
     pub l2_hit: SimTime,
     /// L3 (cluster cache) hit latency.
@@ -147,6 +154,7 @@ impl TestbedConfig {
             core_freq_ghz: 2.6,
             interconnect_freq_ghz: 1.6,
             caches: CacheGeometry {
+                l1: CacheLevelConfig::new(64 << 10, 4, CACHE_LINE),
                 l2: CacheLevelConfig::new(1 << 20, 8, CACHE_LINE),
                 l3: CacheLevelConfig::new(1 << 20, 16, CACHE_LINE),
                 llc: CacheLevelConfig::new(8 << 20, 16, CACHE_LINE),
@@ -154,6 +162,7 @@ impl TestbedConfig {
                 num_cores: 4,
             },
             latency: LatencyConfig {
+                l1_hit: SimTime::from_ns(1),
                 l2_hit: SimTime::from_ns(4),
                 l3_hit: SimTime::from_ns(12),
                 llc_hit: SimTime::from_ns(30),
@@ -197,6 +206,7 @@ impl TestbedConfig {
             core_freq_ghz: 1.0,
             interconnect_freq_ghz: 1.0,
             caches: CacheGeometry {
+                l1: CacheLevelConfig::new(1024, 2, CACHE_LINE),
                 l2: CacheLevelConfig::new(4 * 1024, 2, CACHE_LINE),
                 l3: CacheLevelConfig::new(8 * 1024, 2, CACHE_LINE),
                 llc: CacheLevelConfig::new(16 * 1024, 4, CACHE_LINE),
@@ -204,6 +214,7 @@ impl TestbedConfig {
                 num_cores: 4,
             },
             latency: LatencyConfig {
+                l1_hit: SimTime::from_ns(1),
                 l2_hit: SimTime::from_ns(2),
                 l3_hit: SimTime::from_ns(6),
                 llc_hit: SimTime::from_ns(20),
@@ -262,6 +273,7 @@ mod tests {
     #[test]
     fn paper_testbed_geometry_matches_section_vi_c() {
         let c = TestbedConfig::cluster2021();
+        assert_eq!(c.caches.l1.capacity, 64 << 10);
         assert_eq!(c.caches.l2.capacity, 1 << 20);
         assert_eq!(c.caches.l3.capacity, 1 << 20);
         assert_eq!(c.caches.llc.capacity, 8 << 20);

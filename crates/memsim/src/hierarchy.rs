@@ -1,12 +1,31 @@
-//! The full cache hierarchy: per-core L2, per-cluster L3, shared LLC, DRAM.
+//! The full cache hierarchy: per-core L1/L2, per-cluster L3, shared LLC, DRAM.
 //!
-//! This is the component the rest of the workspace talks to. The simulated NIC's DMA
+//! [`CacheHierarchy`] here is the *monolithic, single-threaded* reference model: one
+//! object, `&mut self` everywhere, no interior locking. The simulated NIC's DMA
 //! engine calls [`CacheHierarchy::dma_write`] when a message lands (stashing into the
 //! LLC or pushing to DRAM depending on configuration), and the receiving core's
 //! message handler and the jam VM charge every byte they touch through
 //! [`CacheHierarchy::access`]. The hierarchy consults the per-core stride prefetcher
 //! on demand misses so that long sequential footprints (large payloads) progressively
 //! hide DRAM latency, which is what narrows the stash/non-stash gap in Figs. 9–10.
+//!
+//! # The per-core / shared split (multi-shard draining)
+//!
+//! The runtime's hot path no longer funnels through this type behind one global
+//! lock: the fabric hands each receiver shard a [`crate::sharded::CoreBus`], which
+//! owns that core's **private L1/L2 and prefetcher outright** (zero locks on a
+//! private hit) and escalates misses to the [`crate::sharded::SharedHierarchy`]'s
+//! lock-striped L3/LLC/DRAM levels. The two models charge identical costs for
+//! identical access streams — `sharded::tests` pins that equivalence — so the
+//! monolithic form stays as the easy-to-reason-about reference and as the
+//! convenient `&mut`-style bus for unit tests.
+//!
+//! **Invalidation contract:** inbound DMA makes the LLC (stash path) or DRAM
+//! (non-stash path) copy authoritative, so any private L1/L2 copy of a delivered
+//! line is stale. The monolithic model invalidates private levels inline in
+//! [`CacheHierarchy::dma_write`]; the sharded model posts the same line set to each
+//! core's invalidation inbox, drained at the start of that core's next access —
+//! before the core can observe a stale line.
 
 use std::collections::HashSet;
 
@@ -55,6 +74,8 @@ impl MemoryBus for FlatMemory {
 /// Aggregated statistics across the hierarchy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
+    /// Demand accesses that hit in a private L1.
+    pub l1_hits: u64,
     /// Demand accesses that hit in a private L2.
     pub l2_hits: u64,
     /// Demand accesses that hit in a cluster L3.
@@ -75,10 +96,24 @@ pub struct HierarchyStats {
     pub writebacks: u64,
 }
 
+impl HierarchyStats {
+    /// Fold one core's private-cache counters into this (shared-level) view —
+    /// how the sharded hierarchy's per-core [`crate::sharded::CoreCacheStats`]
+    /// merge into the same global picture the monolithic model reports.
+    pub fn absorb_core(&mut self, core: &crate::sharded::CoreCacheStats) {
+        self.l1_hits += core.l1_hits;
+        self.l2_hits += core.l2_hits;
+        self.writebacks += core.writebacks;
+        self.prefetches_issued += core.prefetches_issued;
+        self.prefetch_hits += core.prefetch_hits;
+    }
+}
+
 /// The simulated cache hierarchy for one host.
 #[derive(Debug)]
 pub struct CacheHierarchy {
     cfg: TestbedConfig,
+    l1: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
     l3: Vec<SetAssocCache>,
     llc: SetAssocCache,
@@ -95,6 +130,9 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Build an empty (cold) hierarchy for the given machine description.
     pub fn new(cfg: TestbedConfig) -> Self {
+        let l1 = (0..cfg.caches.num_cores)
+            .map(|_| SetAssocCache::new(cfg.caches.l1))
+            .collect();
         let l2 = (0..cfg.caches.num_cores)
             .map(|_| SetAssocCache::new(cfg.caches.l2))
             .collect();
@@ -109,6 +147,7 @@ impl CacheHierarchy {
         let line_size = cfg.caches.llc.line_size;
         CacheHierarchy {
             cfg,
+            l1,
             l2,
             l3,
             llc,
@@ -177,6 +216,9 @@ impl CacheHierarchy {
     /// Reset statistics (cache contents are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = HierarchyStats::default();
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
         for c in &mut self.l2 {
             c.reset_stats();
         }
@@ -188,6 +230,9 @@ impl CacheHierarchy {
 
     /// Drop all cached lines (cold caches) as well as statistics.
     pub fn clear(&mut self) {
+        for c in &mut self.l1 {
+            c.clear();
+        }
         for c in &mut self.l2 {
             c.clear();
         }
@@ -225,14 +270,27 @@ impl CacheHierarchy {
         let byte_addr = line * self.line_size as u64;
         let lat = self.cfg.latency;
 
+        // L1
+        let l1 = &mut self.l1[core];
+        let out1 = l1.access_line(line, kind);
+        if out1.hit {
+            self.stats.l1_hits += 1;
+            return lat.l1_hit;
+        }
+        let mut cost = lat.l1_hit; // the L1 lookup that missed still costs its access time
+        if out1.dirty_victim.is_some() {
+            cost += lat.writeback;
+            self.stats.writebacks += 1;
+        }
+
         // L2
         let l2 = &mut self.l2[core];
         let out = l2.access_line(line, kind);
         if out.hit {
             self.stats.l2_hits += 1;
-            return lat.l2_hit;
+            return cost + lat.l2_hit;
         }
-        let mut cost = lat.l2_hit; // the L2 lookup that missed still costs its access time
+        cost += lat.l2_hit;
         if out.dirty_victim.is_some() {
             cost += lat.writeback;
             self.stats.writebacks += 1;
@@ -321,6 +379,9 @@ impl CacheHierarchy {
                 cost += self.cfg.latency.stash_install;
                 // The copy in LLC is now the authoritative one; private caches on the
                 // receiving side may hold stale data for reused mailbox buffers.
+                for l1 in &mut self.l1 {
+                    l1.invalidate(line * self.line_size as u64);
+                }
                 for l2 in &mut self.l2 {
                     l2.invalidate(line * self.line_size as u64);
                 }
@@ -330,6 +391,9 @@ impl CacheHierarchy {
             } else {
                 // DMA to DRAM: invalidate everywhere so demand accesses miss to DRAM.
                 let byte = line * self.line_size as u64;
+                for l1 in &mut self.l1 {
+                    l1.invalidate(byte);
+                }
                 for l2 in &mut self.l2 {
                     l2.invalidate(byte);
                 }
@@ -354,13 +418,14 @@ impl CacheHierarchy {
         }
     }
 
-    /// Warm the given range into a specific core's private L2 (and the LLC beneath
-    /// it), modelling code/data that the receiver thread keeps hot.
+    /// Warm the given range into a specific core's private L1/L2 (and the LLC
+    /// beneath them), modelling code/data that the receiver thread keeps hot.
     pub fn warm_l2(&mut self, core: usize, addr: u64, len: usize) {
         let (first, last) = self.lines_covering(addr, len);
         for line in first..=last {
             self.llc.stash_line(line);
             self.l2[core].access_line(line, AccessKind::Read);
+            self.l1[core].access_line(line, AccessKind::Read);
         }
     }
 
@@ -397,7 +462,7 @@ mod tests {
         let cold = h.access(0, 0x1000, 64, AccessKind::Read);
         let warm = h.access(0, 0x1000, 64, AccessKind::Read);
         assert!(cold > warm, "cold {cold} should exceed warm {warm}");
-        assert_eq!(h.stats().l2_hits, 1);
+        assert_eq!(h.stats().l1_hits, 1, "re-touch hits the private L1");
         assert_eq!(h.stats().dram_accesses, 1);
     }
 

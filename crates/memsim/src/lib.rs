@@ -41,6 +41,7 @@ pub mod cycles;
 pub mod hierarchy;
 pub mod latency;
 pub mod prefetch;
+pub mod sharded;
 pub mod stress;
 
 pub use cache::{AccessKind, SetAssocCache};
@@ -52,4 +53,5 @@ pub use cycles::{CycleCounter, WaitMode, WaitOutcome};
 pub use hierarchy::{CacheHierarchy, HierarchyStats, MemoryBus};
 pub use latency::DramModel;
 pub use prefetch::StridePrefetcher;
+pub use sharded::{CoreBus, CoreCacheStats, SharedHierarchy};
 pub use stress::MemoryStressor;

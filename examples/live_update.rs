@@ -73,7 +73,7 @@ fn main() {
                 let sum = args.first().copied().unwrap_or(0).min(1000);
                 let base = ctx
                     .space
-                    .segment("array.base")
+                    .segment_meta("array.base")
                     .ok_or("array.base not mapped")?
                     .base;
                 let counter = ctx.read_u64(base)?;
