@@ -61,12 +61,19 @@ fn main() {
     );
     for row in &report.burst {
         eprintln!(
-            "burst: {} shard(s) drain {} msgs at {:.2} M msg/s modelled ({:.2}x), {:.2} M msg/s wall",
+            concat!(
+                "burst: {} shard(s) drain {} msgs at {:.2} M msg/s modelled ({:.2}x), ",
+                "{:.2} M msg/s wall drain-only; fill+drain {:.2} M msg/s phased vs ",
+                "{:.2} M msg/s pipelined ({:.2}x overlap)"
+            ),
             row.shards,
             row.messages,
             row.model_msgs_per_sec / 1e6,
             row.model_speedup,
             row.wall_msgs_per_sec / 1e6,
+            row.fill_drain_wall_msgs_per_sec / 1e6,
+            row.pipelined_wall_msgs_per_sec / 1e6,
+            row.pipeline_ratio(),
         );
     }
     if report.dispatch_speedup() < 2.0 {

@@ -56,8 +56,10 @@ pub struct FastpathReport {
     pub warm_got_cache_hits: u64,
     /// Sender template hits during the warm run.
     pub warm_template_hits: u64,
-    /// Shard-scaling rows from the burst-drain sweep ([`crate::burst::sweep`]);
-    /// empty when the sweep was not run.
+    /// Shard-scaling rows from the burst-drain sweep ([`crate::burst::sweep`]):
+    /// modelled rate plus three wall views per shard count (drain-only,
+    /// phased fill-then-drain, and the overlapped sender-fleet pipeline).
+    /// Empty when the sweep was not run.
     pub burst: Vec<crate::burst::BurstRow>,
     /// Hardware threads available to the wall-clock measurements. The perf
     /// gate only enforces the wall-rate scaling bar when this is at least the
@@ -87,13 +89,17 @@ impl FastpathReport {
                     concat!(
                         "    {{\"shards\": {}, \"messages\": {}, ",
                         "\"model_msgs_per_sec\": {:.0}, \"model_speedup\": {:.2}, ",
-                        "\"wall_msgs_per_sec\": {:.0}}}"
+                        "\"wall_msgs_per_sec\": {:.0}, ",
+                        "\"fill_drain_wall_msgs_per_sec\": {:.0}, ",
+                        "\"pipelined_wall_msgs_per_sec\": {:.0}}}"
                     ),
                     r.shards,
                     r.messages,
                     r.model_msgs_per_sec,
                     r.model_speedup,
                     r.wall_msgs_per_sec,
+                    r.fill_drain_wall_msgs_per_sec,
+                    r.pipelined_wall_msgs_per_sec,
                 )
             })
             .collect::<Vec<_>>()
@@ -308,6 +314,8 @@ mod tests {
                 model_msgs_per_sec: 1_000_000.0,
                 model_speedup: 1.0,
                 wall_msgs_per_sec: 50_000.0,
+                fill_drain_wall_msgs_per_sec: 40_000.0,
+                pipelined_wall_msgs_per_sec: 44_000.0,
             },
             crate::burst::BurstRow {
                 shards: 4,
@@ -315,12 +323,16 @@ mod tests {
                 model_msgs_per_sec: 4_000_000.0,
                 model_speedup: 4.0,
                 wall_msgs_per_sec: 120_000.0,
+                fill_drain_wall_msgs_per_sec: 90_000.0,
+                pipelined_wall_msgs_per_sec: 150_000.0,
             },
         ];
         let json = report.to_json();
         assert!(json.contains("\"burst_shard_rows\": [\n"));
         assert!(json.contains("{\"shards\": 1, \"messages\": 64,"));
         assert!(json.contains("\"model_speedup\": 4.00"));
+        assert!(json.contains("\"fill_drain_wall_msgs_per_sec\": 90000"));
+        assert!(json.contains("\"pipelined_wall_msgs_per_sec\": 150000"));
         assert!(json.ends_with("}\n"));
     }
 }

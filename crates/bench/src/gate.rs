@@ -22,9 +22,15 @@ pub struct GateThresholds {
     /// Wall-clock 4-shard rate must be at least this multiple of the 1-shard
     /// wall rate — enforced only on a sufficiently parallel runner.
     pub min_wall_ratio_4shard: f64,
-    /// Minimum `host_parallelism` for the wall-ratio check to be enforced
-    /// (below it the drain threads time-slice one core and the ratio is
-    /// physically capped at ~1x, so the check is reported but not enforced).
+    /// The 4-shard *pipelined* wall rate (sender fleet filling concurrently
+    /// with the shard drain) must be at least this multiple of the 4-shard
+    /// fill-then-drain wall rate — enforced under the same parallelism guard
+    /// (overlap cannot manifest when 8 threads time-slice one core).
+    pub min_pipeline_ratio_4shard: f64,
+    /// Minimum `host_parallelism` for the wall-ratio and pipeline-ratio
+    /// checks to be enforced (below it the threads time-slice one core and
+    /// the ratios are physically capped at ~1x, so the checks are reported
+    /// but not enforced).
     pub wall_gate_min_parallelism: usize,
 }
 
@@ -35,6 +41,7 @@ impl Default for GateThresholds {
             max_warm_dispatch_ns: 1218.9, // 1108 ns + 10%
             min_model_speedup_4shard: 3.5,
             min_wall_ratio_4shard: 2.0,
+            min_pipeline_ratio_4shard: 1.3,
             wall_gate_min_parallelism: 4,
         }
     }
@@ -56,6 +63,9 @@ impl GateThresholds {
         }
         if let Some(v) = json_f64(json, "min_wall_ratio_4shard") {
             t.min_wall_ratio_4shard = v;
+        }
+        if let Some(v) = json_f64(json, "min_pipeline_ratio_4shard") {
+            t.min_pipeline_ratio_4shard = v;
         }
         if let Some(v) = json_f64(json, "wall_gate_min_parallelism") {
             t.wall_gate_min_parallelism = v as usize;
@@ -128,6 +138,12 @@ pub struct GateBurstRow {
     pub model_speedup: f64,
     /// Wall-clock drain rate of the threaded measurement.
     pub wall_msgs_per_sec: f64,
+    /// Wall rate of the phased fill-then-drain schedule (absent in reports
+    /// generated before the sender fleet existed).
+    pub fill_drain_wall_msgs_per_sec: Option<f64>,
+    /// Wall rate of the overlapped fill/drain pipeline (absent in pre-fleet
+    /// reports).
+    pub pipelined_wall_msgs_per_sec: Option<f64>,
 }
 
 /// Extract a numeric field `"key": <number>` from a flat JSON object.
@@ -154,6 +170,8 @@ pub fn parse_burst_rows(json: &str) -> Vec<GateBurstRow> {
                 shards: json_f64(row, "shards")? as usize,
                 model_speedup: json_f64(row, "model_speedup")?,
                 wall_msgs_per_sec: json_f64(row, "wall_msgs_per_sec")?,
+                fill_drain_wall_msgs_per_sec: json_f64(row, "fill_drain_wall_msgs_per_sec"),
+                pipelined_wall_msgs_per_sec: json_f64(row, "pipelined_wall_msgs_per_sec"),
             })
         })
         .collect()
@@ -221,6 +239,32 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
                     )
                 },
             });
+            // The sender-fleet bar: overlapped fill/drain must beat the phased
+            // schedule. Same parallelism guard as the wall-ratio check (8
+            // threads on one core cannot overlap in wall clock).
+            let (phased, pipelined) = (
+                four.fill_drain_wall_msgs_per_sec
+                    .ok_or("4-shard burst row is missing fill_drain_wall_msgs_per_sec (regenerate the report with the current fastpath)")?,
+                four.pipelined_wall_msgs_per_sec
+                    .ok_or("4-shard burst row is missing pipelined_wall_msgs_per_sec (regenerate the report with the current fastpath)")?,
+            );
+            let pipeline_ratio = pipelined / phased.max(f64::EPSILON);
+            checks.push(GateCheck {
+                name: "4-shard pipelined / fill-then-drain",
+                value: pipeline_ratio,
+                threshold: t.min_pipeline_ratio_4shard,
+                op: ">=",
+                pass: pipeline_ratio >= t.min_pipeline_ratio_4shard,
+                enforced,
+                note: if enforced {
+                    format!("host_parallelism={parallelism}")
+                } else {
+                    format!(
+                        "informational: host_parallelism={parallelism} < {}",
+                        t.wall_gate_min_parallelism
+                    )
+                },
+            });
         }
         None => {
             return Err("report has no 4-shard burst row (run fastpath with --shards 1,4)".into())
@@ -234,6 +278,40 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)]
+    fn report_full(
+        dispatch_speedup: f64,
+        warm_ns: f64,
+        model4: f64,
+        wall1: f64,
+        wall4: f64,
+        phased4: f64,
+        pipe4: f64,
+        par: usize,
+    ) -> String {
+        format!(
+            concat!(
+                "{{\n  \"warm_dispatch_ns\": {},\n  \"dispatch_speedup\": {},\n",
+                "  \"host_parallelism\": {},\n",
+                "  \"burst_shard_rows\": [\n",
+                "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
+                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}}},\n",
+                "    {{\"shards\": 4, \"model_speedup\": {}, \"wall_msgs_per_sec\": {}, ",
+                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}}}\n  ]\n}}\n"
+            ),
+            warm_ns,
+            dispatch_speedup,
+            par,
+            wall1,
+            wall1 * 0.8,
+            wall1 * 0.9,
+            model4,
+            wall4,
+            phased4,
+            pipe4
+        )
+    }
+
     fn report(
         dispatch_speedup: f64,
         warm_ns: f64,
@@ -242,15 +320,17 @@ mod tests {
         wall4: f64,
         par: usize,
     ) -> String {
-        format!(
-            concat!(
-                "{{\n  \"warm_dispatch_ns\": {},\n  \"dispatch_speedup\": {},\n",
-                "  \"host_parallelism\": {},\n",
-                "  \"burst_shard_rows\": [\n",
-                "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}}},\n",
-                "    {{\"shards\": 4, \"model_speedup\": {}, \"wall_msgs_per_sec\": {}}}\n  ]\n}}\n"
-            ),
-            warm_ns, dispatch_speedup, par, wall1, model4, wall4
+        // Healthy pipeline columns by default: phased a bit under the
+        // drain-only rate, pipelined 1.5x the phased rate.
+        report_full(
+            dispatch_speedup,
+            warm_ns,
+            model4,
+            wall1,
+            wall4,
+            wall4 * 0.8,
+            wall4 * 0.8 * 1.5,
+            par,
         )
     }
 
@@ -262,7 +342,7 @@ mod tests {
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 4);
+        assert_eq!(out.checks.len(), 5);
         assert!(out.checks.iter().all(|c| c.enforced));
     }
 
@@ -285,6 +365,46 @@ mod tests {
         assert!(!evaluate(&report(2.2, 1108.0, 4.0, 1e5, 1.2e5, 4), &t)
             .unwrap()
             .passed());
+        // Pipeline regression: overlapped fill/drain slower than 1.3x phased.
+        assert!(!evaluate(
+            &report_full(2.2, 1108.0, 4.0, 1e5, 3e5, 2.5e5, 2.6e5, 4),
+            &t
+        )
+        .unwrap()
+        .passed());
+    }
+
+    #[test]
+    fn pipeline_ratio_is_informational_on_a_small_runner() {
+        let out = evaluate(
+            &report_full(2.2, 1108.0, 4.0, 1e5, 9e4, 8e4, 8.1e4, 1),
+            &GateThresholds::default(),
+        )
+        .unwrap();
+        let pipe = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("pipelined"))
+            .unwrap();
+        assert!(!pipe.pass && !pipe.enforced);
+        assert!(
+            out.passed(),
+            "unenforced pipeline check must not fail the gate"
+        );
+    }
+
+    #[test]
+    fn pre_fleet_reports_are_an_error_not_a_pass() {
+        // A report whose 4-shard row lacks the pipeline columns must fail
+        // loudly (regenerate it), not silently skip the new bar.
+        let json = concat!(
+            "{\"warm_dispatch_ns\": 1100.0, \"dispatch_speedup\": 2.2, ",
+            "\"host_parallelism\": 4, \"burst_shard_rows\": [",
+            "{\"shards\": 1, \"model_speedup\": 1.0, \"wall_msgs_per_sec\": 100000}, ",
+            "{\"shards\": 4, \"model_speedup\": 4.0, \"wall_msgs_per_sec\": 300000}]}"
+        );
+        let err = evaluate(json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("fill_drain_wall_msgs_per_sec"), "{err}");
     }
 
     #[test]
@@ -310,10 +430,11 @@ mod tests {
     #[test]
     fn thresholds_parse_from_baseline_json() {
         let t = GateThresholds::from_json(
-            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"wall_gate_min_parallelism\": 8}",
+            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8}",
         );
         assert_eq!(t.min_dispatch_speedup, 2.5);
         assert_eq!(t.max_warm_dispatch_ns, 900.0);
+        assert_eq!(t.min_pipeline_ratio_4shard, 1.5);
         assert_eq!(t.wall_gate_min_parallelism, 8);
         assert_eq!(
             t.min_model_speedup_4shard,
@@ -349,6 +470,8 @@ mod tests {
                     model_msgs_per_sec: 8e5,
                     model_speedup: 1.0,
                     wall_msgs_per_sec: 1.5e5,
+                    fill_drain_wall_msgs_per_sec: 1.1e5,
+                    pipelined_wall_msgs_per_sec: 1.2e5,
                 },
                 crate::burst::BurstRow {
                     shards: 4,
@@ -356,6 +479,8 @@ mod tests {
                     model_msgs_per_sec: 3.2e6,
                     model_speedup: 4.0,
                     wall_msgs_per_sec: 3.2e5,
+                    fill_drain_wall_msgs_per_sec: 2.4e5,
+                    pipelined_wall_msgs_per_sec: 3.6e5,
                 },
             ],
             host_parallelism: 4,

@@ -67,6 +67,18 @@ pub struct RuntimeConfig {
     pub num_shards: usize,
     /// How executions share the jam address space (see [`SpaceMode`]).
     pub space_mode: SpaceMode,
+    /// Number of initiator-side sender streams a
+    /// [`SenderFleet`](crate::runtime::SenderFleet) driving this host should
+    /// run. Stream `s` of `S` fills exactly the banks with `bank % S == s` —
+    /// the same deterministic map the receiver shards drain by — so pairing
+    /// `sender_streams == num_shards` gives each drain shard a dedicated
+    /// initiator and the fill/drain pipeline never crosses streams.
+    pub sender_streams: usize,
+    /// Per-stream completion-queue depth (the transmit window): a sender lane
+    /// with this many puts outstanding must harvest completions before posting
+    /// more. Back-pressure is per stream — one saturated stream never stalls
+    /// its siblings.
+    pub completion_window: usize,
     /// Which core the receiver thread runs on. With `n` shards, shard `s`
     /// drains on core `(receiver_core + s) % num_cores`, each with its own
     /// private L1/L2 over the host's shared cache levels.
@@ -103,6 +115,8 @@ impl RuntimeConfig {
             mailboxes_per_bank: 16,
             num_shards: 1,
             space_mode: SpaceMode::Exclusive,
+            sender_streams: 1,
+            completion_window: 256,
             receiver_core: 0,
             wait_mode: WaitMode::Polling,
             wait_model: WaitModel::cluster2021(),
@@ -130,6 +144,15 @@ impl RuntimeConfig {
     /// parallel (bank `b` owned by shard `b % n`).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.num_shards = n;
+        self
+    }
+
+    /// Same configuration but with `n` sender streams (one
+    /// [`TwoChainsSender`](crate::runtime::TwoChainsSender) per stream in a
+    /// [`SenderFleet`](crate::runtime::SenderFleet); stream `s` fills the banks
+    /// with `bank % n == s`).
+    pub fn with_sender_streams(mut self, n: usize) -> Self {
+        self.sender_streams = n;
         self
     }
 
@@ -174,6 +197,18 @@ impl RuntimeConfig {
                 "{} shards but only {} banks: a shard would own no bank",
                 self.num_shards, self.banks
             ));
+        }
+        if self.sender_streams == 0 {
+            return Err("need at least one sender stream".into());
+        }
+        if self.sender_streams > self.banks {
+            return Err(format!(
+                "{} sender streams but only {} banks: a stream would own no bank",
+                self.sender_streams, self.banks
+            ));
+        }
+        if self.completion_window == 0 {
+            return Err("completion window needs at least one entry".into());
         }
         Ok(())
     }
@@ -225,6 +260,26 @@ mod tests {
         assert!(c.validate().is_err());
         let c = RuntimeConfig::paper_default().with_shards(5);
         assert!(c.validate().is_err(), "more shards than banks");
+        let c = RuntimeConfig::paper_default().with_sender_streams(0);
+        assert!(c.validate().is_err(), "zero sender streams");
+        let c = RuntimeConfig::paper_default().with_sender_streams(5);
+        assert!(c.validate().is_err(), "more streams than banks");
+        let mut c = RuntimeConfig::paper_default();
+        c.completion_window = 0;
+        assert!(c.validate().is_err(), "zero completion window");
+    }
+
+    #[test]
+    fn sender_stream_defaults_are_single_stream() {
+        let c = RuntimeConfig::paper_default();
+        assert_eq!(c.sender_streams, 1);
+        assert_eq!(c.completion_window, 256);
+        assert_eq!(
+            RuntimeConfig::paper_default()
+                .with_sender_streams(4)
+                .sender_streams,
+            4
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum AmError {
     Empty,
     /// The element is unknown at the receiver (Local Function id lookup failed).
     UnknownElement(u32),
+    /// A symbolic element name resolved to no element in the installed package
+    /// (the name-keyed counterpart of [`AmError::UnknownElement`], carrying the
+    /// name that failed so the caller can see *what* was missing).
+    UnknownElementName(String),
     /// The security policy rejected the message.
     PolicyViolation(String),
     /// Flow control: the target bank has no free mailboxes.
@@ -53,6 +57,9 @@ impl fmt::Display for AmError {
             AmError::Exec(m) => write!(f, "execution failed: {m}"),
             AmError::Empty => write!(f, "no message pending"),
             AmError::UnknownElement(id) => write!(f, "unknown package element id {id}"),
+            AmError::UnknownElementName(name) => {
+                write!(f, "no element named {name:?} in the installed package")
+            }
             AmError::PolicyViolation(m) => write!(f, "security policy violation: {m}"),
             AmError::BankFull { bank } => write!(f, "flow control: bank {bank} is full"),
             AmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
@@ -99,6 +106,10 @@ mod tests {
         .to_string()
         .contains("100"));
         assert!(AmError::UnknownElement(7).to_string().contains('7'));
+        // The name-keyed variant must surface the missing name, not a sentinel id.
+        assert!(AmError::UnknownElementName("indirect_put".into())
+            .to_string()
+            .contains("indirect_put"));
         assert!(AmError::BankFull { bank: 2 }.to_string().contains("bank 2"));
     }
 }

@@ -24,6 +24,12 @@
 //!   [`TwoChainsHost::receive_burst`] over per-shard scratch/stats and shared,
 //!   segmented-LRU injection caches, so receiver threads scale without contending
 //!   on a mailbox.
+//! * **Sender fleet** ([`runtime`]) — the initiator side mirrors the split: a
+//!   [`SenderFleet`] runs one [`TwoChainsSender`] per stream (stream `s` fills
+//!   the banks shard `s` drains), each on its own endpoint with its own
+//!   template cache and per-stream completion-window flow control, and can fill
+//!   from one OS thread per lane concurrently with shard draining
+//!   ([`drive_pipeline`]).
 //! * **Remote linking** — jams reference receiver-side functionality only through
 //!   symbolic GOT slots; the receiver resolves them against its own loaded rieds
 //!   (per-process namespaces from `twochains-linker`) and shares the resolved GOT
@@ -58,8 +64,9 @@ pub use error::{AmError, AmResult};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
 pub use mailbox::ReactiveMailbox;
 pub use runtime::{
-    AmSendOutcome, BurstFrame, BurstOutcome, ReceiveOutcome, ReceiverShard, ShardDrain,
-    TwoChainsHost, TwoChainsSender,
+    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, FleetLane, PipelineFrame,
+    PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet, SenderLane, ShardDrain, SlotCtx,
+    StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
 };
 pub use security::SecurityPolicy;
 pub use stats::RuntimeStats;

@@ -1,0 +1,723 @@
+//! The initiator-side multi-sender runtime: a [`SenderFleet`] of per-stream
+//! [`TwoChainsSender`]s that fills mailbox banks concurrently with shard
+//! draining.
+//!
+//! # Why a fleet
+//!
+//! The receiver has been sharded since PR 2 (`bank % num_shards` ownership,
+//! per-shard scratch/stats, parallel [`ShardDrain`](super::ShardDrain)s), but
+//! the initiator stayed a single [`TwoChainsSender`] filling every bank from
+//! one thread — so end-to-end wall measurements serialized the whole send phase
+//! in front of the parallel drain. The fleet gives the sender the same
+//! per-shard treatment: **stream `s` of `S` owns exactly the banks with
+//! `bank % S == s`**, the same deterministic map the receiver shards drain by,
+//! so pairing `sender_streams == num_shards` gives every drain shard one
+//! dedicated initiator and no stream ever crosses another.
+//!
+//! Each [`SenderLane`] is a complete, independently movable sender context:
+//!
+//! * its **own [`Endpoint`](twochains_fabric::Endpoint)** over the shared
+//!   fabric (endpoints are `Send`; puts issued concurrently from different
+//!   lanes still serialize honestly on the source host's NIC transmit pipeline
+//!   in virtual time),
+//! * its **own sequence space** and reusable encode buffer,
+//! * its **own frame-template cache** (per-lane warm fast path),
+//! * its **own [`RuntimeStats`]**, folded into a fleet-wide view by
+//!   [`SenderFleet::stats`] via [`RuntimeStats::merge`].
+//!
+//! # The handshake
+//!
+//! Connection setup is explicit and by-value, so it could cross a real
+//! out-of-band bootstrap channel unchanged:
+//! [`TwoChainsHost::sender_handshake`](super::TwoChainsHost::sender_handshake)
+//! exports one [`StreamHandshake`] per stream, carrying
+//!
+//! 1. the [`StreamTarget`]s (bank, slot, [`MailboxTarget`]) of every mailbox
+//!    the stream owns, and
+//! 2. the receiver-resolved GOT image of every element in the installed
+//!    package (the paper's "GOT redirect ... set by the sender after an
+//!    exchange with the receiver").
+//!
+//! [`SenderFleet::connect`] consumes the handshakes: one endpoint + sender per
+//! stream, GOT images registered, template caches cold until first use.
+//!
+//! # The flow-control contract
+//!
+//! Every lane sends through [`TwoChainsSender::send_message_tracked`], which
+//! posts the put's delivery into that stream's
+//! [`CompletionQueue`] — one queue per stream, bundled as a
+//! [`ShardedCompletions`] whose `bank % streams` routing mirrors the bank
+//! ownership map. The queue depth ([`RuntimeConfig::completion_window`]) is
+//! the transmit window: a lane that fills it harvests **its own** completions
+//! (charged the per-entry software cost, counted in
+//! [`RuntimeStats::sends_backpressured`] /
+//! [`RuntimeStats::completions_harvested`]) before posting more. Back-pressure
+//! therefore pauses only the affected stream; sibling lanes never observe it.
+//!
+//! # Pipelined fill + drain
+//!
+//! [`SenderFleet::fill_parallel`] runs one OS thread per lane (a barrier-style
+//! parallel fill), and [`drive_pipeline`] goes further: sender threads and
+//! shard-drain threads run *concurrently*, with each drain thread returning
+//! per-slot credits (`(bank, slot)` of every drained frame) to its paired lane
+//! over a channel, so a lane refills a slot the moment the receiver has
+//! executed it — fill and drain genuinely overlap in wall clock, bounded by
+//! the per-slot credit loop instead of a phase barrier. Results and
+//! order-independent runtime counters are observationally equal to the
+//! sequential fill-then-drain schedule (pinned by `tests/fleet_pipeline.rs`);
+//! *time* counters are not comparable, because the pipelined drain polls its
+//! banks repeatedly (each scan charges one poll) where the phased schedule
+//! scans once per round.
+//!
+//! [`RuntimeConfig::completion_window`]: crate::config::RuntimeConfig::completion_window
+//! [`RuntimeStats::sends_backpressured`]: crate::stats::RuntimeStats::sends_backpressured
+//! [`RuntimeStats::completions_harvested`]: crate::stats::RuntimeStats::completions_harvested
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+
+use twochains_fabric::{CompletionQueue, HostId, ShardedCompletions, SimFabric};
+use twochains_jamvm::GotImage;
+use twochains_linker::{ElementId, Package};
+use twochains_memsim::SimTime;
+
+use super::{AmSendOutcome, TwoChainsHost, TwoChainsSender};
+use crate::config::InvocationMode;
+use crate::error::{AmError, AmResult};
+use crate::mailbox::MailboxTarget;
+use crate::stats::RuntimeStats;
+
+/// One mailbox a sender stream owns: its coordinates on the receiver and the
+/// target descriptor to aim the one-sided put at.
+#[derive(Debug, Clone)]
+pub struct StreamTarget {
+    /// Bank index on the receiver.
+    pub bank: usize,
+    /// Slot within the bank.
+    pub slot: usize,
+    /// The put target (region descriptor + offset + capacity).
+    pub target: MailboxTarget,
+}
+
+/// The receiver's half of the multi-sender connection setup for one stream:
+/// everything an initiator needs to start injecting, by value.
+#[derive(Debug, Clone)]
+pub struct StreamHandshake {
+    /// The stream this handshake is for (`0..streams`).
+    pub stream: usize,
+    /// Total number of streams the receiver partitioned its banks over.
+    pub streams: usize,
+    /// The mailboxes this stream owns (`bank % streams == stream`).
+    pub targets: Vec<StreamTarget>,
+    /// Receiver-resolved GOT image per installed package element.
+    pub gots: Vec<(ElementId, GotImage)>,
+}
+
+/// Coordinates of one fill: which stream is packing, which mailbox it aims at,
+/// and the per-slot round number — everything a payload generator needs to
+/// produce a deterministic message for that slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotCtx {
+    /// The sending stream.
+    pub stream: usize,
+    /// Destination bank.
+    pub bank: usize,
+    /// Destination slot within the bank.
+    pub slot: usize,
+    /// How many times this slot has been filled before (0 for the first fill).
+    pub round: u64,
+}
+
+/// One stream's complete sender context: its own [`TwoChainsSender`] (endpoint,
+/// sequence space, template cache, statistics), the mailbox targets it owns,
+/// and its private virtual clock. `Send`, so a fleet can park one lane per OS
+/// thread.
+#[derive(Debug)]
+pub struct SenderLane {
+    stream: usize,
+    streams: usize,
+    sender: TwoChainsSender,
+    targets: Vec<StreamTarget>,
+    /// `(bank, slot)` → index into `targets` (credit returns arrive as
+    /// coordinates).
+    index: HashMap<(usize, usize), usize>,
+    clock: SimTime,
+}
+
+impl SenderLane {
+    fn new(handshake: StreamHandshake, mut sender: TwoChainsSender) -> Self {
+        for (id, got) in &handshake.gots {
+            sender.set_remote_got(*id, got);
+        }
+        let index = handshake
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ((t.bank, t.slot), i))
+            .collect();
+        SenderLane {
+            stream: handshake.stream,
+            streams: handshake.streams,
+            sender,
+            targets: handshake.targets,
+            index,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The stream this lane fills (`bank % streams == stream`).
+    pub fn stream_id(&self) -> usize {
+        self.stream
+    }
+
+    /// Number of mailboxes this lane owns.
+    pub fn slots(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// This lane's virtual clock (advanced by every send's `sender_free`).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// This lane's sender-side counters (template hits, back-pressure stalls,
+    /// bytes sent, ...).
+    pub fn stats(&self) -> &RuntimeStats {
+        self.sender.stats()
+    }
+
+    /// Send one message to the `idx`-th owned slot, with per-stream
+    /// flow-control: a full completion window first harvests this lane's own
+    /// queue (never a sibling's) at the earliest completion horizon, charging
+    /// the harvest cost to this lane's clock and counting the stall.
+    fn send_slot<F>(
+        &mut self,
+        cq: &mut CompletionQueue,
+        elem: ElementId,
+        mode: InvocationMode,
+        idx: usize,
+        round: u64,
+        make: &F,
+    ) -> AmResult<AmSendOutcome>
+    where
+        F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
+    {
+        if cq.outstanding() >= cq.capacity() {
+            let ready_at = cq.earliest_ready(self.clock);
+            let (done, cost) = cq.poll(ready_at);
+            let stats = self.sender.stats_mut();
+            stats.sends_backpressured += 1;
+            stats.completions_harvested += done.len() as u64;
+            self.clock = ready_at + cost;
+        }
+        let t = &self.targets[idx];
+        debug_assert_eq!(
+            t.bank % self.streams,
+            self.stream,
+            "lane {} holds a target in bank {} it does not own",
+            self.stream,
+            t.bank
+        );
+        let ctx = SlotCtx {
+            stream: self.stream,
+            bank: t.bank,
+            slot: t.slot,
+            round,
+        };
+        let (args, usr) = make(ctx);
+        let sent = self
+            .sender
+            .send_message_tracked(self.clock, elem, mode, &args, &usr, &t.target, cq)?;
+        self.clock = sent.sender_free();
+        Ok(sent)
+    }
+
+    /// Send one message to a specific owned mailbox with an explicit payload,
+    /// under the same per-stream flow control as a fill. Rejected when
+    /// (`bank`, `slot`) is not one of this stream's targets.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_to(
+        &mut self,
+        cq: &mut CompletionQueue,
+        bank: usize,
+        slot: usize,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+    ) -> AmResult<AmSendOutcome> {
+        let idx = *self.index.get(&(bank, slot)).ok_or_else(|| {
+            AmError::InvalidConfig(format!(
+                "mailbox ({bank}, {slot}) is not owned by stream {}",
+                self.stream
+            ))
+        })?;
+        self.send_slot(cq, elem, mode, idx, 0, &|_| (args.to_vec(), usr.to_vec()))
+    }
+
+    /// Fill every owned slot once (round `round`), returning this stream's
+    /// delivery horizon — when its last frame became visible at the receiver.
+    pub fn fill<F>(
+        &mut self,
+        cq: &mut CompletionQueue,
+        elem: ElementId,
+        mode: InvocationMode,
+        round: u64,
+        make: &F,
+    ) -> AmResult<SimTime>
+    where
+        F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
+    {
+        let mut horizon = SimTime::ZERO;
+        for idx in 0..self.targets.len() {
+            let sent = self.send_slot(cq, elem, mode, idx, round, make)?;
+            horizon = horizon.max(sent.delivered());
+        }
+        Ok(horizon)
+    }
+}
+
+/// A borrowed per-stream handle pairing one lane with the `&mut` of its own
+/// completion queue — the unit a sender thread owns. Handed out by
+/// [`SenderFleet::handles`]; the borrows are disjoint per stream, so the
+/// handles can be moved to OS threads.
+#[derive(Debug)]
+pub struct FleetLane<'a> {
+    lane: &'a mut SenderLane,
+    completions: &'a mut CompletionQueue,
+}
+
+impl FleetLane<'_> {
+    /// The stream this handle fills.
+    pub fn stream_id(&self) -> usize {
+        self.lane.stream
+    }
+
+    /// Send one message to a specific owned mailbox; see
+    /// [`SenderLane::send_to`].
+    pub fn send_to(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+    ) -> AmResult<AmSendOutcome> {
+        self.lane
+            .send_to(self.completions, bank, slot, elem, mode, args, usr)
+    }
+
+    /// Fill every owned slot once; see [`SenderLane::fill`].
+    pub fn fill<F>(
+        &mut self,
+        elem: ElementId,
+        mode: InvocationMode,
+        round: u64,
+        make: &F,
+    ) -> AmResult<SimTime>
+    where
+        F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
+    {
+        self.lane.fill(self.completions, elem, mode, round, make)
+    }
+
+    /// This stream's sender-side counters.
+    pub fn stats(&self) -> &RuntimeStats {
+        self.lane.sender.stats()
+    }
+}
+
+/// The first-class multi-sender runtime object: one [`SenderLane`] per stream
+/// plus the [`ShardedCompletions`] bundle providing per-stream transmit
+/// windows. See the module docs for the handshake and flow-control contract.
+#[derive(Debug)]
+pub struct SenderFleet {
+    lanes: Vec<SenderLane>,
+    completions: ShardedCompletions,
+}
+
+impl SenderFleet {
+    /// Connect a fleet to `host` from fabric host `src`, using the host
+    /// configuration's [`sender_streams`](crate::config::RuntimeConfig::sender_streams)
+    /// and [`completion_window`](crate::config::RuntimeConfig::completion_window)
+    /// knobs. `package` is the sender-side copy of the package the fleet
+    /// injects from (same source the receiver installed).
+    pub fn connect(
+        fabric: &SimFabric,
+        src: HostId,
+        host: &TwoChainsHost,
+        package: Package,
+    ) -> AmResult<Self> {
+        let cfg = host.config();
+        Self::connect_streams(
+            fabric,
+            src,
+            host,
+            package,
+            cfg.sender_streams,
+            cfg.completion_window,
+        )
+    }
+
+    /// [`SenderFleet::connect`] with an explicit stream count and per-stream
+    /// completion-window depth.
+    pub fn connect_streams(
+        fabric: &SimFabric,
+        src: HostId,
+        host: &TwoChainsHost,
+        package: Package,
+        streams: usize,
+        window: usize,
+    ) -> AmResult<Self> {
+        if window == 0 {
+            return Err(AmError::InvalidConfig(
+                "completion window needs at least one entry".into(),
+            ));
+        }
+        let lanes = host
+            .sender_handshake(streams)?
+            .into_iter()
+            .map(|handshake| {
+                let endpoint = fabric.endpoint(src, host.host_id())?;
+                Ok(SenderLane::new(
+                    handshake,
+                    TwoChainsSender::new(endpoint, package.clone()),
+                ))
+            })
+            .collect::<AmResult<Vec<_>>>()?;
+        // Per-entry harvest cost: the same software bookkeeping constant the
+        // UCX-like baseline pays, taken from its single definition so a
+        // retuned baseline can never silently diverge from the fleet.
+        let harvest_cost = CompletionQueue::ucx_default().harvest_cost();
+        Ok(SenderFleet {
+            lanes,
+            completions: ShardedCompletions::new(streams, window, harvest_cost),
+        })
+    }
+
+    /// Number of sender lanes (streams).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// One lane, by stream index.
+    pub fn lane(&self, stream: usize) -> Option<&SenderLane> {
+        self.lanes.get(stream)
+    }
+
+    /// Element id of a builtin benchmark jam (delegates to lane 0's package
+    /// copy — every lane injects from the same package source).
+    pub fn builtin_id(&self, jam: crate::builtin::BuiltinJam) -> AmResult<ElementId> {
+        self.lanes
+            .first()
+            .ok_or_else(|| AmError::InvalidConfig("fleet has no lanes".into()))?
+            .sender
+            .builtin_id(jam)
+    }
+
+    /// Fleet-wide sender statistics: every lane's counters folded through
+    /// [`RuntimeStats::merge`] (per-lane views stay available via
+    /// [`SenderFleet::lane`]).
+    pub fn stats(&self) -> RuntimeStats {
+        let mut total = RuntimeStats::new();
+        for lane in &self.lanes {
+            total.merge(lane.sender.stats());
+        }
+        total
+    }
+
+    /// Zero every lane's counters (template caches and clocks are preserved).
+    pub fn reset_stats(&mut self) {
+        for lane in &mut self.lanes {
+            lane.sender.stats_mut().reset();
+        }
+    }
+
+    /// Puts posted but not yet harvested, across all streams.
+    pub fn outstanding_completions(&self) -> usize {
+        self.completions.outstanding_total()
+    }
+
+    /// Harvest every completion on every stream's queue (bench housekeeping
+    /// between phases). Each lane's clock waits to each entry's own readiness
+    /// horizon and pays the per-entry harvest cost, same as a back-pressure
+    /// harvest; the counts land in
+    /// [`RuntimeStats::completions_harvested`](crate::stats::RuntimeStats::completions_harvested).
+    /// Returns the number harvested across the fleet.
+    pub fn harvest_completions(&mut self) -> usize {
+        let mut harvested = 0usize;
+        for (lane, cq) in self.lanes.iter_mut().zip(self.completions.queues_mut()) {
+            while cq.outstanding() > 0 {
+                let horizon = cq.earliest_ready(lane.clock);
+                let (done, cost) = cq.poll(horizon);
+                lane.sender.stats_mut().completions_harvested += done.len() as u64;
+                lane.clock = lane.clock.max(horizon) + cost;
+                harvested += done.len();
+            }
+        }
+        harvested
+    }
+
+    /// Split the fleet into one independently movable [`FleetLane`] per stream
+    /// (lane + its own completion queue), for caller-managed threading.
+    pub fn handles(&mut self) -> Vec<FleetLane<'_>> {
+        self.lanes
+            .iter_mut()
+            .zip(self.completions.queues_mut())
+            .map(|(lane, completions)| FleetLane { lane, completions })
+            .collect()
+    }
+
+    /// Fill every stream's slots once, lane after lane on the calling thread
+    /// (the deterministic schedule the modelled benchmarks use). Returns each
+    /// stream's delivery horizon.
+    pub fn fill_all<F>(
+        &mut self,
+        elem: ElementId,
+        mode: InvocationMode,
+        round: u64,
+        make: &F,
+    ) -> AmResult<Vec<SimTime>>
+    where
+        F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
+    {
+        self.lanes
+            .iter_mut()
+            .zip(self.completions.queues_mut())
+            .map(|(lane, cq)| lane.fill(cq, elem, mode, round, make))
+            .collect()
+    }
+
+    /// Fill every stream's slots once, one OS thread per lane. Same wire
+    /// content and results as [`SenderFleet::fill_all`]; the virtual delivery
+    /// horizons may differ (the shared NIC serializes whichever lane reaches
+    /// it first), which is why the deterministic benchmarks use the sequential
+    /// schedule and the wall-clock ones use this.
+    pub fn fill_parallel<F>(
+        &mut self,
+        elem: ElementId,
+        mode: InvocationMode,
+        round: u64,
+        make: &F,
+    ) -> AmResult<Vec<SimTime>>
+    where
+        F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>) + Sync,
+    {
+        let results: Vec<AmResult<SimTime>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .lanes
+                .iter_mut()
+                .zip(self.completions.queues_mut())
+                .map(|(lane, cq)| s.spawn(move || lane.fill(cq, elem, mode, round, make)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sender lane thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// One frame drained by [`drive_pipeline`], with the mailbox it came from so
+/// callers can attribute results (e.g. map a slot back to the key that was
+/// written there).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineFrame {
+    /// Bank the frame was drained from.
+    pub bank: usize,
+    /// Slot within the bank.
+    pub slot: usize,
+    /// The value the jam returned.
+    pub result: u64,
+}
+
+/// Outcome of one [`drive_pipeline`] run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Per-message outcomes, in per-shard drain order (shard-major). Order
+    /// within a shard depends on the fill/drain interleave; compare results as
+    /// a multiset against a sequential schedule.
+    pub results: Vec<PipelineFrame>,
+    /// Frames successfully drained (equals `results.len()`).
+    pub drained: usize,
+    /// Frames the dispatch rejected (their slots were credited back, so the
+    /// pipeline completes regardless).
+    pub rejected: usize,
+}
+
+/// Run `rounds` full fill+drain cycles with fill and drain overlapping in wall
+/// clock: one sender thread per lane, one drain thread per receiver shard, and
+/// a per-stream credit channel from drain to lane carrying the `(bank, slot)`
+/// of every drained frame — a lane refills a slot the moment the receiver has
+/// executed it, while the receiver keeps draining whatever else is ready.
+///
+/// Requires `fleet.lane_count() == host.num_shards()` so stream `s` and shard
+/// `s` form a closed pipeline over the same banks. `make` generates each
+/// message's (ARGS, USR) from its [`SlotCtx`]; each slot is filled exactly
+/// `rounds` times with rounds `0..rounds`, so a sequential schedule filling
+/// with the same generator produces the identical message multiset.
+pub fn drive_pipeline<F>(
+    host: &mut TwoChainsHost,
+    fleet: &mut SenderFleet,
+    elem: ElementId,
+    mode: InvocationMode,
+    rounds: usize,
+    make: &F,
+) -> AmResult<PipelineOutcome>
+where
+    F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>) + Sync,
+{
+    let shards = host.num_shards();
+    if fleet.lane_count() != shards {
+        return Err(AmError::InvalidConfig(format!(
+            "pipeline needs one sender lane per shard ({} lanes, {shards} shards)",
+            fleet.lane_count()
+        )));
+    }
+    if rounds == 0 {
+        return Ok(PipelineOutcome {
+            results: Vec::new(),
+            drained: 0,
+            rejected: 0,
+        });
+    }
+    let lane_slots: Vec<usize> = fleet.lanes.iter().map(|l| l.targets.len()).collect();
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
+        .map(|_| mpsc::channel::<(usize, usize)>())
+        .unzip();
+    // Raised when a sender lane fails: drain threads, whose exit condition is
+    // a drained-frame count that will now never be reached, bail out instead
+    // of spinning forever.
+    let abort = AtomicBool::new(false);
+    let abort = &abort;
+    // Arms the abort flag against *unwinding* too: a panic in the payload
+    // generator (or anywhere in the send path) must release the drain
+    // threads, or `thread::scope` would block on them forever instead of
+    // propagating the panic. Defused with `mem::forget` on clean completion.
+    struct AbortOnDrop<'a>(&'a AtomicBool);
+    impl Drop for AbortOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    std::thread::scope(|scope| -> AmResult<PipelineOutcome> {
+        let drain_handles: Vec<_> = host
+            .shard_drains()
+            .into_iter()
+            .zip(txs)
+            .map(|(mut drain, tx)| {
+                let want = rounds * lane_slots[drain.shard_id()];
+                scope.spawn(move || -> AmResult<(Vec<PipelineFrame>, usize)> {
+                    let mut results = Vec::with_capacity(want);
+                    let mut rejected = 0usize;
+                    let mut clock = SimTime::ZERO;
+                    while results.len() + rejected < want {
+                        let out = drain.receive_burst(usize::MAX, clock)?;
+                        if out.is_empty() {
+                            if abort.load(Ordering::Relaxed) {
+                                return Err(AmError::Exec(
+                                    "pipeline aborted: a sender lane failed".into(),
+                                ));
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        clock = out.drained_at;
+                        for f in &out.frames {
+                            results.push(PipelineFrame {
+                                bank: f.bank,
+                                slot: f.slot,
+                                result: f.outcome.result,
+                            });
+                            // Credit: the slot is free again. The lane may
+                            // already have sent its full quota and hung up;
+                            // a closed channel is not an error here.
+                            let _ = tx.send((f.bank, f.slot));
+                        }
+                        for (bank, slot, _) in &out.rejected {
+                            rejected += 1;
+                            let _ = tx.send((*bank, *slot));
+                        }
+                    }
+                    Ok((results, rejected))
+                })
+            })
+            .collect();
+
+        let sender_handles: Vec<_> = fleet
+            .lanes
+            .iter_mut()
+            .zip(fleet.completions.queues_mut())
+            .zip(rxs)
+            .map(|((lane, cq), rx)| {
+                scope.spawn(move || -> AmResult<()> {
+                    let guard = AbortOnDrop(abort);
+                    let result = (|| -> AmResult<()> {
+                        let slots = lane.targets.len();
+                        let total = rounds * slots;
+                        let mut rounds_sent = vec![0u64; slots];
+                        // Every slot starts empty: round 0 needs no credit.
+                        let mut free: VecDeque<usize> = (0..slots).collect();
+                        let mut sent = 0usize;
+                        while sent < total {
+                            let idx = match free.pop_front() {
+                                Some(idx) => idx,
+                                None => {
+                                    let (bank, slot) = rx.recv().map_err(|_| {
+                                        AmError::Exec(
+                                            "pipeline drain ended before returning all credits"
+                                                .into(),
+                                        )
+                                    })?;
+                                    *lane.index.get(&(bank, slot)).ok_or_else(|| {
+                                        AmError::InvalidConfig(format!(
+                                            "credited slot ({bank}, {slot}) is not owned by \
+                                             stream {}",
+                                            lane.stream
+                                        ))
+                                    })?
+                                }
+                            };
+                            if rounds_sent[idx] as usize == rounds {
+                                // The slot's last round came back after the
+                                // quota was met; nothing left to send there.
+                                continue;
+                            }
+                            lane.send_slot(cq, elem, mode, idx, rounds_sent[idx], make)?;
+                            rounds_sent[idx] += 1;
+                            sent += 1;
+                        }
+                        Ok(())
+                    })();
+                    if result.is_ok() {
+                        // Clean completion: every frame this lane owed is in
+                        // its mailbox, so the paired drain can finish on its
+                        // own — don't trip the abort.
+                        std::mem::forget(guard);
+                    }
+                    result
+                })
+            })
+            .collect();
+
+        for h in sender_handles {
+            h.join().expect("sender lane thread panicked")?;
+        }
+        let mut results = Vec::new();
+        let mut rejected = 0usize;
+        for h in drain_handles {
+            let (r, rej) = h.join().expect("drain thread panicked")?;
+            results.extend(r);
+            rejected += rej;
+        }
+        Ok(PipelineOutcome {
+            drained: results.len(),
+            results,
+            rejected,
+        })
+    })
+}

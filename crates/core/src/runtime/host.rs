@@ -446,13 +446,16 @@ impl TwoChainsHost {
         self.core.package.as_ref()
     }
 
-    /// Element id of a builtin benchmark jam in the installed package.
+    /// Element id of a builtin benchmark jam in the installed package. Fails
+    /// with [`AmError::UnknownElementName`] carrying the missing name when no
+    /// package is installed or the package lacks the jam.
     pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        let name = jam.element_name();
         self.core
             .package
             .as_ref()
-            .and_then(|p| p.id_of(jam.element_name()))
-            .ok_or(AmError::UnknownElement(u32::MAX))
+            .and_then(|p| p.id_of(name))
+            .ok_or_else(|| AmError::UnknownElementName(name.to_string()))
     }
 
     /// The GOT image for `elem`, resolved against *this* process's namespace. A
@@ -472,6 +475,61 @@ impl TwoChainsHost {
     /// The mailbox target a sender should aim at for (`bank`, `slot`).
     pub fn mailbox_target(&self, bank: usize, slot: usize) -> AmResult<MailboxTarget> {
         Ok(self.core.banks.mailbox(bank, slot)?.target())
+    }
+
+    /// The receiver's half of the multi-sender connection setup: one
+    /// [`StreamHandshake`](super::StreamHandshake) per sender stream, each
+    /// carrying the mailbox targets of the banks that stream owns
+    /// (`bank % streams == stream`, the same deterministic map the receiver
+    /// shards drain by) plus the GOT image of every element in the installed
+    /// package, resolved against *this* process's namespace. This is the
+    /// out-of-band exchange a [`SenderFleet`](super::SenderFleet) consumes;
+    /// everything in it travels by value, so it can cross a real bootstrap
+    /// channel unchanged.
+    pub fn sender_handshake(&self, streams: usize) -> AmResult<Vec<super::StreamHandshake>> {
+        if streams == 0 {
+            return Err(AmError::InvalidConfig(
+                "need at least one sender stream".into(),
+            ));
+        }
+        if streams > self.core.config.banks {
+            return Err(AmError::InvalidConfig(format!(
+                "{streams} sender streams but only {} banks: a stream would own no bank",
+                self.core.config.banks
+            )));
+        }
+        let pkg = self
+            .core
+            .package
+            .as_ref()
+            .ok_or_else(|| AmError::InvalidConfig("no package installed to hand out".into()))?;
+        let gots = pkg
+            .jams()
+            .map(|(id, jam)| Ok((id, self.core.namespace.resolve_got(&jam.got)?)))
+            .collect::<AmResult<Vec<_>>>()?;
+        (0..streams)
+            .map(|stream| {
+                let targets = self
+                    .core
+                    .banks
+                    .iter()
+                    .filter(|(bank, _, _)| {
+                        crate::bank::ShardMask::owner_of(*bank, streams) == stream
+                    })
+                    .map(|(bank, slot, mailbox)| super::StreamTarget {
+                        bank,
+                        slot,
+                        target: mailbox.target(),
+                    })
+                    .collect();
+                Ok(super::StreamHandshake {
+                    stream,
+                    streams,
+                    targets,
+                    gots: gots.clone(),
+                })
+            })
+            .collect()
     }
 
     /// The receiver's mailbox banks.

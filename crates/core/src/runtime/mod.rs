@@ -7,7 +7,14 @@
 //!
 //! A [`TwoChainsSender`] is the initiator-side object: it packs frames (patching in
 //! the GOT image the receiver exported during setup), pushes them with one one-sided
-//! put, and tracks flow-control credits.
+//! put, and tracks flow-control credits. A [`SenderFleet`] promotes it to a
+//! first-class multi-sender runtime: one sender per *stream* (stream `s` of `S`
+//! owns the banks with `bank % S == s`, mirroring the receiver's shard map),
+//! each with its own endpoint, sequence space, template cache and statistics,
+//! flow-controlled by a per-stream completion window and thread-capable — the
+//! fleet can fill banks from one OS thread per lane while the receiver shards
+//! drain, up to the fully overlapped fill/drain pipeline of [`drive_pipeline`]
+//! (the handshake and flow-control contract are documented on [`SenderFleet`]).
 //!
 //! All methods take and return virtual [`SimTime`]s so a benchmark harness can drive
 //! both ends from a single thread deterministically; the same code paths can also be
@@ -108,6 +115,7 @@
 //! [`RuntimeStats::got_cache_hits`]: crate::stats::RuntimeStats::got_cache_hits
 //! [`RuntimeStats::template_hits`]: crate::stats::RuntimeStats::template_hits
 
+mod fleet;
 mod host;
 mod injection_cache;
 mod sender;
@@ -117,6 +125,10 @@ mod tests;
 
 pub(crate) use injection_cache::MAX_INJECTION_CACHE_ENTRIES;
 
+pub use fleet::{
+    drive_pipeline, FleetLane, PipelineFrame, PipelineOutcome, SenderFleet, SenderLane, SlotCtx,
+    StreamHandshake, StreamTarget,
+};
 pub use host::TwoChainsHost;
 pub use sender::TwoChainsSender;
 pub use shard::{ReceiverShard, ShardDrain};

@@ -6,10 +6,11 @@
 //! per-element frame template (pre-patched GOT + encoded code as `Arc<[u8]>`) and
 //! one reusable wire-encode buffer make a warm send a pure memcpy.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use twochains_fabric::Endpoint;
+use twochains_fabric::{CompletionQueue, Endpoint};
 use twochains_jamvm::GotImage;
 use twochains_linker::{ElementId, Package};
 use twochains_memsim::SimTime;
@@ -93,20 +94,24 @@ impl TwoChainsSender {
     }
 
     /// The frame template for `elem`, building (and counting) it on first use.
+    /// One hash lookup either way: a hit returns the occupied entry directly, a
+    /// miss fills the vacant slot it already holds.
     fn template(&mut self, elem: ElementId) -> AmResult<&FrameTemplate> {
-        if self.templates.contains_key(&elem.0) {
-            self.stats.template_hits += 1;
-        } else {
-            self.stats.template_misses += 1;
-            let jam = self.package.jam(elem)?;
-            let got =
-                self.remote_gots.get(&elem.0).cloned().ok_or_else(|| {
+        match self.templates.entry(elem.0) {
+            Entry::Occupied(entry) => {
+                self.stats.template_hits += 1;
+                Ok(entry.into_mut())
+            }
+            Entry::Vacant(slot) => {
+                self.stats.template_misses += 1;
+                let jam = self.package.jam(elem)?;
+                let got = self.remote_gots.get(&elem.0).cloned().ok_or_else(|| {
                     AmError::Link(format!("no remote GOT for element {}", elem.0))
                 })?;
-            let code: Arc<[u8]> = jam.text.clone().into();
-            self.templates.insert(elem.0, FrameTemplate { got, code });
+                let code: Arc<[u8]> = jam.text.clone().into();
+                Ok(slot.insert(FrameTemplate { got, code }))
+            }
         }
-        Ok(&self.templates[&elem.0])
     }
 
     /// Pack a frame for element `elem` with the given invocation mode, argument block
@@ -156,7 +161,7 @@ impl TwoChainsSender {
     ) -> AmResult<AmSendOutcome> {
         let mut buf = std::mem::take(&mut self.encode_buf);
         frame.encode_into(&mut buf);
-        let result = self.put_frame(now, &buf, target);
+        let result = self.put_frame(now, &buf, target, None);
         self.encode_buf = buf;
         result
     }
@@ -178,40 +183,75 @@ impl TwoChainsSender {
         self.sn = self.sn.wrapping_add(1);
         let sn = self.sn;
         let mut buf = std::mem::take(&mut self.encode_buf);
-        let encoded = match mode {
-            InvocationMode::Local => {
-                encode_wire_into(sn, elem.0, false, &[], &[], args, usr, &mut buf);
-                Ok(())
-            }
-            InvocationMode::Injected => match self.template(elem) {
-                Ok(tpl) => {
-                    match crate::frame::validate_section_lens(&tpl.got, &tpl.code, args, usr) {
-                        Ok(()) => {
-                            encode_wire_into(
-                                sn, elem.0, true, &tpl.got, &tpl.code, args, usr, &mut buf,
-                            );
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
-                    }
-                }
-                Err(e) => Err(e),
-            },
-        };
-        let result = match encoded {
-            Ok(()) => self.put_frame(now, &buf, target),
-            Err(e) => Err(e),
-        };
+        let result = self
+            .encode_message(sn, elem, mode, args, usr, &mut buf)
+            .and_then(|()| self.put_frame(now, &buf, target, None));
         self.encode_buf = buf;
         result
     }
 
-    /// Common tail of both send paths: capacity check, pack-cost model, one put.
+    /// [`TwoChainsSender::send_message`] with software completion tracking: the
+    /// put's delivery is posted into `cq` ([`Endpoint::put_tracked`]), so the
+    /// caller gets transmit-window flow control — a full queue refuses the send
+    /// with `CompletionBackpressure` *before* any bytes move, and the caller
+    /// must harvest completions (its own queue only) to free the window. This
+    /// is the per-stream back-pressure the [`SenderFleet`](super::SenderFleet)
+    /// lanes run on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_message_tracked(
+        &mut self,
+        now: SimTime,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+        target: &MailboxTarget,
+        cq: &mut CompletionQueue,
+    ) -> AmResult<AmSendOutcome> {
+        crate::frame::validate_section_lens(&[], &[], args, usr)?;
+        self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        let result = self
+            .encode_message(sn, elem, mode, args, usr, &mut buf)
+            .and_then(|()| self.put_frame(now, &buf, target, Some(cq)));
+        self.encode_buf = buf;
+        result
+    }
+
+    /// Encode one message into `buf` (the fallible half of
+    /// [`TwoChainsSender::send_message`], factored out so `?` can unwind it
+    /// while the scratch buffer is parked outside `self`).
+    fn encode_message(
+        &mut self,
+        sn: u32,
+        elem: ElementId,
+        mode: InvocationMode,
+        args: &[u8],
+        usr: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> AmResult<()> {
+        match mode {
+            InvocationMode::Local => {
+                encode_wire_into(sn, elem.0, false, &[], &[], args, usr, buf);
+            }
+            InvocationMode::Injected => {
+                let tpl = self.template(elem)?;
+                crate::frame::validate_section_lens(&tpl.got, &tpl.code, args, usr)?;
+                encode_wire_into(sn, elem.0, true, &tpl.got, &tpl.code, args, usr, buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Common tail of every send path: capacity check, pack-cost model, one put
+    /// (completion-tracked through `cq` when given).
     fn put_frame(
         &mut self,
         now: SimTime,
         bytes: &[u8],
         target: &MailboxTarget,
+        cq: Option<&mut CompletionQueue>,
     ) -> AmResult<AmSendOutcome> {
         if bytes.len() > target.capacity {
             return Err(AmError::FrameTooLarge {
@@ -220,9 +260,17 @@ impl TwoChainsSender {
             });
         }
         let pack_cost = self.pack_cost_for_len(bytes.len());
-        let put = self
-            .endpoint
-            .put(now + pack_cost, bytes, &target.region, target.offset)?;
+        let issue_at = now + pack_cost;
+        let put = match cq {
+            Some(cq) => {
+                self.endpoint
+                    .put_tracked(issue_at, bytes, &target.region, target.offset, cq)?
+                    .1
+            }
+            None => self
+                .endpoint
+                .put(issue_at, bytes, &target.region, target.offset)?,
+        };
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
         Ok(AmSendOutcome {
@@ -232,10 +280,19 @@ impl TwoChainsSender {
         })
     }
 
-    /// Element id helper for the builtin benchmark jams.
+    /// Element id helper for the builtin benchmark jams. A package without the
+    /// jam yields [`AmError::UnknownElementName`] carrying the missing name —
+    /// not a sentinel id the caller cannot act on.
     pub fn builtin_id(&self, jam: BuiltinJam) -> AmResult<ElementId> {
+        let name = jam.element_name();
         self.package
-            .id_of(jam.element_name())
-            .ok_or(AmError::UnknownElement(u32::MAX))
+            .id_of(name)
+            .ok_or_else(|| AmError::UnknownElementName(name.to_string()))
+    }
+
+    /// Sender-side counters, mutably (the fleet's lanes account their
+    /// flow-control events here so a host-wide `merge()` sees them).
+    pub(crate) fn stats_mut(&mut self) -> &mut RuntimeStats {
+        &mut self.stats
     }
 }

@@ -1313,3 +1313,363 @@ fn segmented_eviction_keeps_the_cache_bounded_and_counts_evictions() {
     assert_eq!(rx.stats().got_cache_misses, 1);
     assert_eq!(rx.stats().got_cache_evictions, 0);
 }
+
+// --- Sender fleet -----------------------------------------------------------
+
+/// Build a host plus a connected [`SenderFleet`](super::SenderFleet) with the
+/// given shard/stream count over the standard two-host testbed.
+fn fleet_testbed(shards: usize, window: usize) -> (TwoChainsHost, super::SenderFleet) {
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(shards)
+        .with_sender_streams(shards);
+    cfg.frame_capacity = 4096;
+    cfg.completion_window = window;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let fleet =
+        super::SenderFleet::connect(&fabric, a, &host, benchmark_package().unwrap()).unwrap();
+    (host, fleet)
+}
+
+/// The deterministic Indirect Put payload the fleet tests fill with.
+fn fleet_payload(ctx: super::SlotCtx) -> (Vec<u8>, Vec<u8>) {
+    let key = ctx
+        .round
+        .wrapping_mul(13)
+        .wrapping_add((ctx.bank * 16 + ctx.slot) as u64)
+        % 48;
+    (indirect_put_args(key, 4, 4), payload(4))
+}
+
+#[test]
+fn sender_handshake_partitions_banks_and_exports_gots() {
+    let (host, _) = fleet_testbed(2, 64);
+    let handshakes = host.sender_handshake(2).unwrap();
+    assert_eq!(handshakes.len(), 2);
+    let total: usize = handshakes.iter().map(|h| h.targets.len()).sum();
+    assert_eq!(total, host.config().total_mailboxes());
+    for hs in &handshakes {
+        assert_eq!(hs.streams, 2);
+        assert!(!hs.targets.is_empty());
+        // Every target sits in a bank the stream owns, and the targets match
+        // what mailbox_target() hands out slot for slot.
+        for t in &hs.targets {
+            assert_eq!(t.bank % 2, hs.stream);
+            assert_eq!(host.mailbox_target(t.bank, t.slot).unwrap(), t.target);
+        }
+        // The handshake ships the receiver-resolved GOT image of every
+        // installed element — identical to the one-at-a-time export_got path.
+        assert_eq!(hs.gots.len(), 2, "both builtin jams exported");
+        for (id, got) in &hs.gots {
+            assert_eq!(host.export_got(*id).unwrap(), *got);
+        }
+    }
+    // Degenerate stream counts are rejected with actionable errors.
+    assert!(host.sender_handshake(0).is_err());
+    assert!(host.sender_handshake(host.config().banks + 1).is_err());
+}
+
+#[test]
+fn handshake_without_package_is_rejected() {
+    let (fabric, _, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let host = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
+    assert!(matches!(
+        host.sender_handshake(1),
+        Err(AmError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn fleet_fill_drains_to_the_same_results_as_a_single_sender() {
+    // The fleet's sequential fill over 2 streams must be observationally
+    // identical to one sender filling every slot with the same generator.
+    let (mut fleet_host, mut fleet) = fleet_testbed(2, 64);
+    let horizons = fleet
+        .fill_all(
+            fleet_host.builtin_id(BuiltinJam::IndirectPut).unwrap(),
+            InvocationMode::Injected,
+            0,
+            &fleet_payload,
+        )
+        .unwrap();
+    assert_eq!(horizons.len(), 2);
+    let mut fleet_results = Vec::new();
+    for (shard, &start) in horizons.iter().enumerate() {
+        let out = fleet_host.receive_burst(shard, usize::MAX, start).unwrap();
+        assert!(out.rejected.is_empty());
+        fleet_results.extend(out.frames.iter().map(|f| f.outcome.result));
+    }
+
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.frame_capacity = 4096;
+    let (mut rx, mut tx) = testbed(cfg);
+    let elem = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let mut single_results = Vec::new();
+    for bank in 0..rx.config().banks {
+        for slot in 0..rx.config().mailboxes_per_bank {
+            let (args, usr) = fleet_payload(super::SlotCtx {
+                stream: bank % 2,
+                bank,
+                slot,
+                round: 0,
+            });
+            let target = rx.mailbox_target(bank, slot).unwrap();
+            let sent = tx
+                .send_message(
+                    SimTime::ZERO,
+                    elem,
+                    InvocationMode::Injected,
+                    &args,
+                    &usr,
+                    &target,
+                )
+                .unwrap();
+            let out = rx
+                .receive(
+                    bank,
+                    slot,
+                    Some(sent.wire_bytes),
+                    sent.delivered(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            single_results.push(out.result);
+        }
+    }
+    fleet_results.sort_unstable();
+    single_results.sort_unstable();
+    assert_eq!(fleet_results, single_results);
+
+    // Per-lane counters and the merged fleet view line up: every lane sent its
+    // own slots with its own template cache (one miss each).
+    let merged = fleet.stats();
+    assert_eq!(merged.messages_sent as usize, fleet_results.len());
+    for stream in 0..2 {
+        let lane = fleet.lane(stream).unwrap();
+        assert_eq!(lane.stream_id(), stream);
+        assert_eq!(lane.stats().messages_sent as usize, lane.slots());
+        assert_eq!(lane.stats().template_misses, 1, "per-lane template cache");
+    }
+    assert_eq!(merged.template_misses, 2);
+}
+
+#[test]
+fn fill_parallel_matches_sequential_fill_observationally() {
+    let elem_of = |host: &TwoChainsHost| host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let (mut seq_host, mut seq_fleet) = fleet_testbed(2, 64);
+    let (mut par_host, mut par_fleet) = fleet_testbed(2, 64);
+    let seq_h = seq_fleet
+        .fill_all(
+            elem_of(&seq_host),
+            InvocationMode::Injected,
+            3,
+            &fleet_payload,
+        )
+        .unwrap();
+    let par_h = par_fleet
+        .fill_parallel(
+            elem_of(&par_host),
+            InvocationMode::Injected,
+            3,
+            &fleet_payload,
+        )
+        .unwrap();
+    assert_eq!(seq_h.len(), par_h.len());
+    let drain = |host: &mut TwoChainsHost| {
+        let mut results = Vec::new();
+        for shard in 0..2 {
+            let out = host
+                .receive_burst(shard, usize::MAX, SimTime::ZERO)
+                .unwrap();
+            assert!(out.rejected.is_empty());
+            results.extend(out.frames.iter().map(|f| f.outcome.result));
+        }
+        results.sort_unstable();
+        results
+    };
+    assert_eq!(drain(&mut seq_host), drain(&mut par_host));
+    // Sender counters agree too (the parallel schedule changes virtual
+    // timing, never what was sent).
+    let (a, b) = (seq_fleet.stats(), par_fleet.stats());
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+    assert_eq!(a.template_misses, b.template_misses);
+}
+
+#[test]
+fn backpressure_pauses_only_the_saturated_stream() {
+    // Window of 1: every send after a stream's first must harvest its own
+    // completion queue. Drive lane 0 through three rounds while lane 1 sends
+    // one round — lane 0 stalls repeatedly, lane 1 must never observe it.
+    let (host, mut fleet) = fleet_testbed(2, 1);
+    let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let mut handles = fleet.handles();
+    let (head, tail) = handles.split_at_mut(1);
+    let lane0 = &mut head[0];
+    let lane1 = &mut tail[0];
+    for round in 0..3u64 {
+        lane0
+            .fill(elem, InvocationMode::Injected, round, &fleet_payload)
+            .unwrap();
+    }
+    lane1
+        .fill(elem, InvocationMode::Injected, 0, &fleet_payload)
+        .unwrap();
+    let slots0 = lane0.stats().messages_sent;
+    assert_eq!(slots0 as usize, 3 * host.config().total_mailboxes() / 2);
+    assert!(
+        lane0.stats().sends_backpressured >= slots0 - 1,
+        "window 1 stalls every follow-up send"
+    );
+    assert_eq!(
+        lane1.stats().sends_backpressured,
+        lane1.stats().messages_sent - 1,
+        "lane 1 pays only for its own window, never lane 0's saturation"
+    );
+    assert!(lane0.stats().completions_harvested >= lane0.stats().sends_backpressured);
+    drop(handles);
+    assert_eq!(
+        fleet.stats().sends_backpressured,
+        slots0 - 1 + fleet.lane(1).unwrap().stats().messages_sent - 1
+    );
+}
+
+#[test]
+fn fleet_lanes_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<super::SenderLane>();
+    assert_send::<super::FleetLane<'static>>();
+    assert_send::<super::SenderFleet>();
+    assert_send::<TwoChainsSender>();
+}
+
+#[test]
+fn drive_pipeline_requires_one_lane_per_shard() {
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(1);
+    cfg.frame_capacity = 4096;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let mut fleet =
+        super::SenderFleet::connect(&fabric, a, &host, benchmark_package().unwrap()).unwrap();
+    let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let err = super::drive_pipeline(
+        &mut host,
+        &mut fleet,
+        elem,
+        InvocationMode::Injected,
+        1,
+        &fleet_payload,
+    )
+    .unwrap_err();
+    assert!(matches!(err, AmError::InvalidConfig(_)));
+}
+
+#[test]
+fn builtin_id_reports_the_missing_name() {
+    let (fabric, _, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let host = TwoChainsHost::new(&fabric, b, RuntimeConfig::paper_default()).unwrap();
+    let err = host.builtin_id(BuiltinJam::IndirectPut).unwrap_err();
+    match err {
+        AmError::UnknownElementName(name) => {
+            assert_eq!(name, BuiltinJam::IndirectPut.element_name())
+        }
+        other => panic!("expected UnknownElementName, got {other:?}"),
+    }
+    // Same contract on the sender side, through a package lacking the element.
+    let (fabric2, a2, b2) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let tx = TwoChainsSender::new(
+        fabric2.endpoint(a2, b2).unwrap(),
+        twochains_linker::Package::default(),
+    );
+    assert!(matches!(
+        tx.builtin_id(BuiltinJam::ServerSideSum),
+        Err(AmError::UnknownElementName(_))
+    ));
+}
+
+#[test]
+fn send_message_tracked_applies_window_backpressure() {
+    let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let elem = rx.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let mut cq = twochains_fabric::CompletionQueue::new(2, SimTime::from_ns(5));
+    let args = indirect_put_args(1, 4, 4);
+    let first = tx
+        .send_message_tracked(
+            SimTime::ZERO,
+            elem,
+            InvocationMode::Injected,
+            &args,
+            &payload(4),
+            &target,
+            &mut cq,
+        )
+        .unwrap();
+    tx.send_message_tracked(
+        first.sender_free(),
+        elem,
+        InvocationMode::Injected,
+        &args,
+        &payload(4),
+        &target,
+        &mut cq,
+    )
+    .unwrap();
+    assert_eq!(cq.outstanding(), 2);
+    // Window full: the third tracked send is refused before any bytes move.
+    let sent_before = tx.stats().messages_sent;
+    let err = tx
+        .send_message_tracked(
+            SimTime::ZERO,
+            elem,
+            InvocationMode::Injected,
+            &args,
+            &payload(4),
+            &target,
+            &mut cq,
+        )
+        .unwrap_err();
+    assert!(matches!(err, AmError::Fabric(_)), "{err}");
+    assert_eq!(tx.stats().messages_sent, sent_before);
+    // Harvesting reopens the window.
+    cq.poll(SimTime::from_us(1_000));
+    assert!(tx
+        .send_message_tracked(
+            SimTime::ZERO,
+            elem,
+            InvocationMode::Injected,
+            &args,
+            &payload(4),
+            &target,
+            &mut cq,
+        )
+        .is_ok());
+}
+
+#[test]
+#[should_panic(expected = "sender lane thread panicked")]
+fn drive_pipeline_propagates_a_payload_panic_instead_of_hanging() {
+    // A panic in the payload generator unwinds a sender thread without ever
+    // returning Err; the abort guard must still release the drain threads
+    // (whose frame quota is now unreachable) so the panic propagates instead
+    // of the scope blocking forever.
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let _ = super::drive_pipeline(
+        &mut host,
+        &mut fleet,
+        elem,
+        InvocationMode::Injected,
+        2,
+        &|ctx| {
+            if ctx.stream == 1 && ctx.round == 1 {
+                panic!("payload generator failure injection");
+            }
+            fleet_payload(ctx)
+        },
+    );
+}

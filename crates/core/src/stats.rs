@@ -40,6 +40,14 @@ pub struct RuntimeStats {
     pub template_hits: u64,
     /// Sends that built a frame template (first injected send of an element).
     pub template_misses: u64,
+    /// Sends that found their stream's completion queue full and had to harvest
+    /// completions before the put could be posted (per-stream back-pressure —
+    /// counted by the sender lane that stalled, so a fleet-wide merge shows
+    /// which fraction of the fleet's sends ran against the transmit window).
+    pub sends_backpressured: u64,
+    /// Completion-queue entries harvested by the sender side (each costs the
+    /// per-entry software bookkeeping the completion model charges).
+    pub completions_harvested: u64,
     /// Frames the dispatch engine rejected during a burst (malformed code,
     /// policy violation, ...); their slots were cleared so the bank cannot
     /// wedge.
@@ -98,6 +106,8 @@ impl RuntimeStats {
             got_cache_evictions,
             template_hits,
             template_misses,
+            sends_backpressured,
+            completions_harvested,
             frames_rejected,
             poisoned_quarantined,
             wait_time,
@@ -118,6 +128,8 @@ impl RuntimeStats {
         self.got_cache_evictions += got_cache_evictions;
         self.template_hits += template_hits;
         self.template_misses += template_misses;
+        self.sends_backpressured += sends_backpressured;
+        self.completions_harvested += completions_harvested;
         self.frames_rejected += frames_rejected;
         self.poisoned_quarantined += poisoned_quarantined;
         self.wait_time += *wait_time;
@@ -154,6 +166,8 @@ mod tests {
         let mut b = RuntimeStats::new();
         b.messages_received = 4;
         b.got_cache_evictions = 7;
+        b.sends_backpressured = 4;
+        b.completions_harvested = 11;
         b.frames_rejected = 3;
         b.poisoned_quarantined = 5;
         b.cycles.add_work(9);
@@ -162,6 +176,8 @@ mod tests {
         assert_eq!(a.injected_code_cache_hits, 2);
         assert_eq!(a.injected_code_cache_evictions, 1);
         assert_eq!(a.got_cache_evictions, 7);
+        assert_eq!(a.sends_backpressured, 4);
+        assert_eq!(a.completions_harvested, 11);
         // The quarantine and rejection counters survive the host-wide merge:
         // a per-shard count that merge() drops is invisible to operators.
         assert_eq!(a.frames_rejected, 3);

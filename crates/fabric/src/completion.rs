@@ -179,6 +179,20 @@ impl ShardedCompletions {
     pub fn outstanding_total(&self) -> usize {
         self.queues.iter().map(|q| q.outstanding()).sum()
     }
+
+    /// Mutable access to one shard's queue (e.g. to pass to
+    /// [`Endpoint::put_tracked`](crate::endpoint::Endpoint::put_tracked)).
+    pub fn queue_mut(&mut self, shard: usize) -> &mut CompletionQueue {
+        &mut self.queues[shard]
+    }
+
+    /// The per-shard queues as one mutable slice. A multi-threaded sender fleet
+    /// splits this (`iter_mut`/`split_at_mut`) so each sender thread owns the
+    /// disjoint `&mut CompletionQueue` of its own stream — per-stream flow
+    /// control with no lock between streams.
+    pub fn queues_mut(&mut self) -> &mut [CompletionQueue] {
+        &mut self.queues
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +305,27 @@ mod tests {
     #[should_panic(expected = "shard")]
     fn zero_shards_rejected() {
         ShardedCompletions::new(0, 4, SimTime::ZERO);
+    }
+
+    #[test]
+    fn queues_split_into_disjoint_per_thread_handles() {
+        // The multi-threaded sender fleet hands each sender thread the &mut
+        // CompletionQueue of its own stream; posts through the split handles
+        // must land exactly where post_to_bank would have routed them.
+        let mut sc = ShardedCompletions::new(4, 8, SimTime::from_ns(5));
+        std::thread::scope(|s| {
+            for (shard, q) in sc.queues_mut().iter_mut().enumerate() {
+                s.spawn(move || {
+                    for i in 0..3u64 {
+                        q.post(SimTime::from_ns(shard as u64 * 100 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        for shard in 0..4 {
+            assert_eq!(sc.outstanding(shard), 3, "shard {shard}");
+        }
+        assert_eq!(sc.queue_mut(1).poll(SimTime::from_us_f64(1.0)).0.len(), 3);
+        assert_eq!(sc.outstanding_total(), 9);
     }
 }

@@ -6,6 +6,18 @@
 //! copied into the destination's registered region — and every operation returns the
 //! virtual-time accounting the benchmarks use.
 //!
+//! ## Thread placement
+//!
+//! An `Endpoint` is `Send`: every shared structure it references (host region
+//! table, NIC serialization points, the cache hierarchy the DMA engine installs
+//! into) is internally synchronized, so a multi-sender runtime can park one
+//! endpoint per sender thread over the same [`SimFabric`](crate::fabric::SimFabric).
+//! Puts issued concurrently from different endpoints of the same source host
+//! still serialize on that host's transmit pipeline
+//! ([`NicModel::acquire_tx`](crate::nic::NicModel::acquire_tx)) in virtual
+//! time — overlapped puts are charged the wire contention they would really
+//! cost, never a free ride.
+//!
 //! ## Write ordering and signals
 //!
 //! The paper's mailbox protocol relies on the receiver observing the *last* byte of
@@ -507,6 +519,60 @@ mod tests {
         assert!(ep
             .put_tracked(out1.sender_free, &[3u8; 64], &desc, 128, &mut cq)
             .is_ok());
+    }
+
+    /// The sender fleet moves one endpoint per sender thread; this does not
+    /// compile unless every host structure an endpoint references is `Sync`.
+    #[test]
+    fn endpoint_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Endpoint>();
+        assert_send::<crate::completion::CompletionQueue>();
+        assert_send::<crate::completion::ShardedCompletions>();
+    }
+
+    #[test]
+    fn concurrent_puts_share_the_tx_pipeline_honestly() {
+        // Two sender threads, each with its own endpoint from the same source
+        // host, blast puts "simultaneously" (all posted at virtual time zero).
+        // The shared NIC must serialize them in virtual time: a put issued
+        // after both threads join cannot start before ~2N transmit gaps have
+        // been consumed, i.e. overlapped puts are charged wire contention
+        // instead of each stream pretending it owns the NIC.
+        let (fabric, a, b) = setup();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(64 * 1024, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let n = 25usize;
+        let size = 1024usize;
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let mut ep = fabric.endpoint(a, b).unwrap();
+                s.spawn(move || {
+                    for i in 0..n {
+                        ep.put(
+                            SimTime::ZERO,
+                            &vec![t as u8; size],
+                            &desc,
+                            (t * n + i) * size,
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let out = ep.put(SimTime::ZERO, &[9u8; 1024], &desc, 0).unwrap();
+        let gap = ep.link().put_timing(size).gap;
+        assert!(
+            out.delivered >= gap * (2 * n) as u64,
+            "the 51st put must queue behind 50 transmit gaps ({} < {})",
+            out.delivered,
+            gap * (2 * n) as u64
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! A miniature distributed key-value store built on the Indirect Put jam, drained
-//! with the multi-shard burst API.
+//! A miniature distributed key-value store built on the Indirect Put jam,
+//! written by a multi-stream sender fleet and drained with the multi-shard
+//! burst API — fill and drain overlapping as a real pipeline.
 //!
 //! ```text
 //! cargo run --example distributed_kv
@@ -11,20 +12,22 @@
 //! probes the server's hash-table ried, claims a slot for the key, and copies the
 //! value there — one network operation per write, no round trip for the index lookup.
 //!
-//! The server here runs the sharded receiver in **shard-local space mode**: 4
-//! shards own one mailbox bank each (`bank % 4`), and each shard owns a private
+//! The server runs the sharded receiver in **shard-local space mode**: 4 shards
+//! own one mailbox bank each (`bank % 4`), and each shard owns a private
 //! instance of the KV table ried, so draining takes no address-space lock and no
-//! cache-hierarchy lock — each drain core charges its own private L1/L2 and only
-//! escalates misses to the striped shared levels. The client scatters a batch of
-//! writes across the banks; because the key→bank route is deterministic
-//! (`key % 4`), every key consistently lands in the same shard's table — a
-//! shard-partitioned KV store, which is exactly the layout that lets the
-//! multi-threaded drain scale in wall clock.
+//! cache-hierarchy lock. The client side is a [`SenderFleet`]: one sender lane
+//! per shard stream (its own endpoint, template cache and completion window),
+//! connected through the host's `sender_handshake`. Because the key→bank route
+//! (`key % 4`) is the same map both sides partition by, every key consistently
+//! lands in the same lane's stream *and* the same shard's table — a
+//! shard-partitioned KV store whose write batches run through
+//! [`drive_pipeline`]: lane threads keep filling while drain threads execute,
+//! with per-slot credits flowing back the moment a slot is free.
 
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
-use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+use twochains::{drive_pipeline, InvocationMode, RuntimeConfig, SenderFleet, TwoChainsHost};
 use twochains_fabric::SimFabric;
-use twochains_memsim::{SimTime, TestbedConfig};
+use twochains_memsim::TestbedConfig;
 
 fn main() {
     let (fabric, client_id, server_id) = SimFabric::back_to_back(TestbedConfig::cluster2021());
@@ -34,106 +37,107 @@ fn main() {
         server_id,
         RuntimeConfig::paper_default()
             .with_shards(num_shards)
-            .with_shard_local_space(),
+            .with_shard_local_space()
+            .with_sender_streams(num_shards),
     )
     .expect("server");
     server
         .install_package(benchmark_package().unwrap())
         .unwrap();
-    let mut client = TwoChainsSender::new(
-        fabric.endpoint(client_id, server_id).unwrap(),
-        benchmark_package().unwrap(),
-    );
+    // The fleet handshake wires everything at once: per-stream mailbox targets
+    // plus the receiver-resolved GOT image of every package element.
+    let mut client =
+        SenderFleet::connect(&fabric, client_id, &server, benchmark_package().unwrap())
+            .expect("fleet");
     let jam = server.builtin_id(BuiltinJam::IndirectPut).unwrap();
-    client.set_remote_got(jam, &server.export_got(jam).unwrap());
+    println!(
+        "client fleet: {} lanes, one per server shard",
+        client.lane_count()
+    );
 
-    // Scatter 32 key/value writes across the banks: key k lands in bank k % 4
-    // (owned by shard k % 4), slot k / 4. Values are 64-byte records.
+    // One pipelined batch: every mailbox carries one write. Key k lives at
+    // bank k % 4 (stream and shard k % 4), slot k / 4; values are 64-byte
+    // records derived from the key. Lane threads fill while drain threads
+    // execute — the per-slot credits mean a second batch could start flowing
+    // into a slot the moment its first write is done.
     let banks = server.config().banks;
-    let mut clock = SimTime::ZERO;
-    let mut delivered = SimTime::ZERO;
-    for key in 0u64..32 {
-        let value: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(key as u8 + 1)).collect();
-        let (bank, slot) = ((key as usize) % banks, (key as usize) / banks);
-        let target = server.mailbox_target(bank, slot).unwrap();
-        let sent = client
-            .send_message(
-                clock,
-                jam,
-                InvocationMode::Injected,
-                &indirect_put_args(key, 16, 4),
-                &value,
-                &target,
-            )
-            .unwrap();
-        clock = sent.sender_free();
-        delivered = delivered.max(sent.delivered());
-    }
+    let keys = banks * server.config().mailboxes_per_bank;
+    let out = drive_pipeline(
+        &mut server,
+        &mut client,
+        jam,
+        InvocationMode::Injected,
+        1,
+        &|ctx| {
+            let key = (ctx.bank + banks * ctx.slot) as u64;
+            let value: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(key as u8 + 1)).collect();
+            (indirect_put_args(key, 16, 4), value)
+        },
+    )
+    .expect("pipelined batch");
+    assert_eq!(out.drained, keys);
+    assert_eq!(out.rejected, 0);
 
-    // Each shard drains its bank in one burst scan; (bank, slot) on the drained
-    // frame recovers which key the write was for.
-    let mut offsets = vec![0u64; 32];
-    let mut drained_at = delivered;
-    for shard in 0..num_shards {
-        let burst = server.receive_burst(shard, usize::MAX, delivered).unwrap();
-        assert!(burst.rejected.is_empty());
-        println!(
-            "shard {shard} drained {} writes from its banks in one scan",
-            burst.len()
-        );
-        for frame in &burst.frames {
-            let key = frame.bank + banks * frame.slot;
-            offsets[key] = frame.outcome.result;
-        }
-        drained_at = drained_at.max(burst.drained_at);
+    // (bank, slot) on each drained frame recovers which key the write was for.
+    let mut offsets = vec![0u64; keys];
+    for frame in &out.results {
+        offsets[frame.bank + banks * frame.slot] = frame.result;
     }
-
-    // Every key got its own slot in the server's table, and rewriting a key reuses it.
     let distinct: std::collections::HashSet<u64> = offsets.iter().copied().collect();
     println!(
-        "wrote 32 keys into {} distinct server-side slots",
+        "pipelined batch wrote {keys} keys into {} distinct server-side slots",
         distinct.len()
     );
-    assert_eq!(distinct.len(), 32);
+    assert_eq!(distinct.len(), keys);
 
-    let rewrite: Vec<u8> = vec![0xEE; 64];
-    let target = server.mailbox_target(7 % banks, 7 / banks).unwrap();
-    let sent = client
-        .send_message(
-            clock,
+    // A targeted rewrite goes through the owning lane's single-slot path: key 7
+    // lives in bank 3 (stream and shard 3), and the per-stream completion
+    // window flow-controls just that lane.
+    let key = 7usize;
+    let (bank, slot) = (key % banks, key / banks);
+    let rewrite = vec![0xEEu8; 64];
+    let mut handles = client.handles();
+    let sent = handles[bank % num_shards]
+        .send_to(
+            bank,
+            slot,
             jam,
             InvocationMode::Injected,
-            &indirect_put_args(7, 16, 4),
+            &indirect_put_args(key as u64, 16, 4),
             &rewrite,
-            &target,
         )
-        .unwrap();
-    // Key 7 lives in bank 3, owned by shard 3: its burst picks the rewrite up.
+        .expect("rewrite");
+    drop(handles);
     let burst = server
-        .receive_burst(7 % num_shards, usize::MAX, drained_at.max(sent.delivered()))
+        .receive_burst(bank % num_shards, usize::MAX, sent.delivered())
         .unwrap();
     assert_eq!(burst.len(), 1);
-    let out = &burst.frames[0].outcome;
+    let rewrite_out = &burst.frames[0].outcome;
     println!(
-        "rewrite of key 7 landed at the same offset: {}",
-        out.result == offsets[7]
+        "rewrite of key {key} landed at the same offset: {}",
+        rewrite_out.result == offsets[key]
     );
-    assert_eq!(out.result, offsets[7]);
+    assert_eq!(rewrite_out.result, offsets[key]);
 
-    println!(
-        "total virtual time for 33 injected writes: {}",
-        burst.drained_at
-    );
     println!("server executed {} jams", server.stats().executions);
     for shard in 0..num_shards {
         let cursor = server
             .read_shard_data(shard, "table.data", 0, 8)
             .expect("shard table cursor");
+        let lane = client.lane(shard).unwrap();
         println!(
-            "shard {shard} table bump cursor: {} bytes (its own private instance)",
-            u64::from_le_bytes(cursor.try_into().unwrap())
+            "shard {shard}: table bump cursor {} bytes (private instance); \
+             lane {shard} sent {} writes ({} template miss)",
+            u64::from_le_bytes(cursor.try_into().unwrap()),
+            lane.stats().messages_sent,
+            lane.stats().template_misses,
         );
     }
+    let fleet_stats = client.stats();
+    println!(
+        "fleet totals: {} writes, {} bytes, {} back-pressure stalls",
+        fleet_stats.messages_sent, fleet_stats.bytes_sent, fleet_stats.sends_backpressured
+    );
     println!(
         "shared caches: {} decode miss, {} hits across all shards",
         server.stats().injected_code_cache_misses,
