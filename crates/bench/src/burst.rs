@@ -12,7 +12,10 @@
 //!   thread, then shards drain concurrently in virtual time — a round costs the
 //!   *maximum* per-shard drain time, not the sum. This is the simulated-testbed
 //!   number the acceptance bar (4-shard ≥ 2× 1-shard) holds against, and it is
-//!   reproducible run to run.
+//!   reproducible run to run. Since the one-sided credit path (§VI-A2), the
+//!   drain windows include the per-frame credit-return puts, and each row
+//!   reports that flow-control traffic (`model_credit_ops`/`_bytes` and the
+//!   virtual-time share the drain cores spent posting credits).
 //! * **Wall (drain-only)**: the drain executed with one OS thread per shard via
 //!   [`TwoChainsHost::shard_drains`] + `std::thread::scope`, timing only the
 //!   drain phase on the host CPU (the PR-3 lock-split metric; the CI perf gate
@@ -22,7 +25,10 @@
 //!   the schedule every wall measurement used before the fleet existed.
 //! * **Wall (pipelined)**: [`drive_pipeline`] — one sender thread per lane and
 //!   one drain thread per shard running concurrently, with per-slot credits
-//!   flowing from drain to lane, so fill and drain overlap in wall clock. The
+//!   returned as one-sided puts into each lane's sender-side flag region, so
+//!   fill and drain overlap in wall clock with no host-side channel anywhere.
+//!   The row reports the pipelined run's credit traffic too
+//!   (`pipe_credit_ops`/`_bytes` — the perf gate requires it nonzero). The
 //!   perf gate holds 4-shard pipelined ≥ 1.3× fill-then-drain on a ≥ 4-core
 //!   runner; on fewer cores all the wall columns are informational, which is
 //!   why the report records `host_parallelism` next to them.
@@ -64,6 +70,43 @@ pub struct BurstRow {
     /// ([`drive_pipeline`]): sender and drain threads running concurrently
     /// with per-slot credit flow control.
     pub pipelined_wall_msgs_per_sec: f64,
+    /// One-sided credit-return puts issued during the modelled run (§VI-A2:
+    /// one per retired frame once the credit path is installed).
+    pub model_credit_ops: u64,
+    /// Payload bytes those modelled credit puts moved.
+    pub model_credit_bytes: u64,
+    /// Fraction of the drain cores' modelled busy time (wait + handler +
+    /// credit posting) spent posting credit-return puts — the virtual-time
+    /// share flow control costs now that it rides the fabric.
+    pub model_credit_time_share: f64,
+    /// Credit-return puts issued during one pipelined wall rep.
+    pub pipe_credit_ops: u64,
+    /// Payload bytes those pipelined credit puts moved.
+    pub pipe_credit_bytes: u64,
+}
+
+/// Credit-return traffic observed by one measurement
+/// (ops / bytes / virtual-time share).
+#[derive(Debug, Clone, Copy, Default)]
+struct CreditTraffic {
+    ops: u64,
+    bytes: u64,
+    time_share: f64,
+}
+
+/// Read the credit counters out of a host's merged stats.
+fn credit_traffic(host: &TwoChainsHost) -> CreditTraffic {
+    let stats = host.stats();
+    let busy = stats.wait_time + stats.exec_time + stats.credit_put_time;
+    CreditTraffic {
+        ops: stats.credits_returned,
+        bytes: stats.credit_put_bytes,
+        time_share: if busy.as_ns() > 0.0 {
+            stats.credit_put_time.as_ns() / busy.as_ns()
+        } else {
+            0.0
+        },
+    }
 }
 
 impl BurstRow {
@@ -124,7 +167,7 @@ fn build_testbed(shards: usize) -> (TwoChainsHost, SenderFleet, ElementId) {
         .expect("install");
     // The fleet handshake replaces the hand-rolled endpoint + set_remote_got
     // wiring: per-stream mailbox targets and GOT images come from the host.
-    let fleet = SenderFleet::connect(&fabric, a, &host, benchmark_package().expect("package"))
+    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().expect("package"))
         .expect("fleet");
     let elem = host.builtin_id(BuiltinJam::IndirectPut).expect("builtin");
     (host, fleet, elem)
@@ -173,8 +216,11 @@ fn fill_round(
 }
 
 /// Run `rounds` fill+drain cycles over `shards` shards, modelled (sequential,
-/// deterministic). Returns (messages, total modelled drain time).
-fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime) {
+/// deterministic). Returns (messages, total modelled drain time, credit
+/// traffic) — the drain windows now include the one-sided credit puts the
+/// burst engine issues per retired frame, so flow control is charged in the
+/// modelled view too.
+fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime, CreditTraffic) {
     let (mut host, mut fleet, elem) = build_testbed(shards);
     let total_slots = host.config().total_mailboxes();
     prime(&mut host, &mut fleet, elem);
@@ -195,7 +241,13 @@ fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime) {
         fleet.harvest_completions();
         total += round_cost;
     }
-    (rounds * total_slots, total)
+    let credit = credit_traffic(&host);
+    assert_eq!(
+        credit.ops as usize,
+        rounds * total_slots,
+        "one credit put per drained frame"
+    );
+    (rounds * total_slots, total, credit)
 }
 
 /// The drain-only wall measurement: fill on the driver thread (untimed), then
@@ -268,7 +320,7 @@ fn drain_threaded(host: &mut TwoChainsHost, horizons: &[SimTime], total_slots: u
 /// from drain to fill. The whole run is timed as one unit (rounds lose their
 /// phase boundaries under overlap) and repeated `reps` times; the best rep is
 /// reported, mirroring the best-round policy of the phased measurements.
-fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64) {
+fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, CreditTraffic) {
     let (mut host, mut fleet, elem) = build_testbed(shards);
     let total_slots = host.config().total_mailboxes();
     prime(&mut host, &mut fleet, elem);
@@ -276,6 +328,9 @@ fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64) {
 
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
+        // Per-rep counters, so the reported credit traffic matches one run's
+        // message count instead of accumulating across reps.
+        host.reset_stats();
         let start = Instant::now();
         let out = drive_pipeline(
             &mut host,
@@ -291,7 +346,13 @@ fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64) {
         assert_eq!(out.rejected, 0);
         fleet.harvest_completions();
     }
-    (rounds * total_slots, best)
+    let credit = credit_traffic(&host);
+    assert_eq!(
+        credit.ops as usize,
+        rounds * total_slots,
+        "pipelined flow control returns one credit per frame over the fabric"
+    );
+    (rounds * total_slots, best, credit)
 }
 
 /// Sweep the shard counts, draining at least `messages` frames per count (rounded
@@ -301,10 +362,10 @@ pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
     for &shards in shard_counts {
         let slots = sweep_config(shards).total_mailboxes();
         let rounds = messages.div_ceil(slots).max(1);
-        let (n_model, model_time) = run_modelled(shards, rounds);
+        let (n_model, model_time, model_credit) = run_modelled(shards, rounds);
         let (n_wall, wall_secs) = run_threaded(shards, rounds);
         let (n_phased, phased_secs) = run_fill_then_drain(shards, rounds);
-        let (n_pipe, pipe_secs) = run_pipelined(shards, rounds, 2);
+        let (n_pipe, pipe_secs, pipe_credit) = run_pipelined(shards, rounds, 2);
         let model_rate = n_model as f64 / model_time.as_secs().max(1e-12);
         let wall_rate = n_wall as f64 / wall_secs.max(1e-12);
         let phased_rate = n_phased as f64 / phased_secs.max(1e-12);
@@ -318,6 +379,11 @@ pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
             wall_msgs_per_sec: wall_rate,
             fill_drain_wall_msgs_per_sec: phased_rate,
             pipelined_wall_msgs_per_sec: pipe_rate,
+            model_credit_ops: model_credit.ops,
+            model_credit_bytes: model_credit.bytes,
+            model_credit_time_share: model_credit.time_share,
+            pipe_credit_ops: pipe_credit.ops,
+            pipe_credit_bytes: pipe_credit.bytes,
         });
     }
     rows
@@ -357,9 +423,25 @@ mod tests {
         // The wall rates themselves are machine-dependent, but the pipelined
         // engine must always deliver the full message count with nothing
         // rejected, on any host.
-        let (n, secs) = run_pipelined(2, 3, 1);
+        let (n, secs, credit) = run_pipelined(2, 3, 1);
         assert_eq!(n, 3 * sweep_config(2).total_mailboxes());
         assert!(secs > 0.0);
+        // Flow control rode the fabric: one credit put per drained frame,
+        // one byte each, with a nonzero virtual-time share on the drain cores.
+        assert_eq!(credit.ops as usize, n);
+        assert_eq!(credit.bytes, credit.ops);
+        assert!(credit.time_share > 0.0 && credit.time_share < 1.0);
+    }
+
+    #[test]
+    fn sweep_reports_credit_traffic_in_modelled_and_pipelined_rows() {
+        let rows = sweep(&[2], 64);
+        let row = rows[0];
+        assert_eq!(row.model_credit_ops as usize, row.messages);
+        assert_eq!(row.model_credit_bytes, row.model_credit_ops);
+        assert!(row.model_credit_time_share > 0.0 && row.model_credit_time_share < 1.0);
+        assert_eq!(row.pipe_credit_ops as usize, row.messages);
+        assert_eq!(row.pipe_credit_bytes, row.pipe_credit_ops);
     }
 
     #[test]

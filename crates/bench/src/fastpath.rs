@@ -91,7 +91,10 @@ impl FastpathReport {
                         "\"model_msgs_per_sec\": {:.0}, \"model_speedup\": {:.2}, ",
                         "\"wall_msgs_per_sec\": {:.0}, ",
                         "\"fill_drain_wall_msgs_per_sec\": {:.0}, ",
-                        "\"pipelined_wall_msgs_per_sec\": {:.0}}}"
+                        "\"pipelined_wall_msgs_per_sec\": {:.0}, ",
+                        "\"model_credit_ops\": {}, \"model_credit_bytes\": {}, ",
+                        "\"model_credit_time_share\": {:.4}, ",
+                        "\"pipe_credit_ops\": {}, \"pipe_credit_bytes\": {}}}"
                     ),
                     r.shards,
                     r.messages,
@@ -100,6 +103,11 @@ impl FastpathReport {
                     r.wall_msgs_per_sec,
                     r.fill_drain_wall_msgs_per_sec,
                     r.pipelined_wall_msgs_per_sec,
+                    r.model_credit_ops,
+                    r.model_credit_bytes,
+                    r.model_credit_time_share,
+                    r.pipe_credit_ops,
+                    r.pipe_credit_bytes,
                 )
             })
             .collect::<Vec<_>>()
@@ -316,6 +324,11 @@ mod tests {
                 wall_msgs_per_sec: 50_000.0,
                 fill_drain_wall_msgs_per_sec: 40_000.0,
                 pipelined_wall_msgs_per_sec: 44_000.0,
+                model_credit_ops: 64,
+                model_credit_bytes: 64,
+                model_credit_time_share: 0.05,
+                pipe_credit_ops: 64,
+                pipe_credit_bytes: 64,
             },
             crate::burst::BurstRow {
                 shards: 4,
@@ -325,6 +338,11 @@ mod tests {
                 wall_msgs_per_sec: 120_000.0,
                 fill_drain_wall_msgs_per_sec: 90_000.0,
                 pipelined_wall_msgs_per_sec: 150_000.0,
+                model_credit_ops: 64,
+                model_credit_bytes: 64,
+                model_credit_time_share: 0.05,
+                pipe_credit_ops: 64,
+                pipe_credit_bytes: 64,
             },
         ];
         let json = report.to_json();
@@ -333,6 +351,8 @@ mod tests {
         assert!(json.contains("\"model_speedup\": 4.00"));
         assert!(json.contains("\"fill_drain_wall_msgs_per_sec\": 90000"));
         assert!(json.contains("\"pipelined_wall_msgs_per_sec\": 150000"));
+        assert!(json.contains("\"model_credit_time_share\": 0.0500"));
+        assert!(json.contains("\"pipe_credit_ops\": 64"));
         assert!(json.ends_with("}\n"));
     }
 }

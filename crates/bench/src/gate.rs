@@ -144,6 +144,9 @@ pub struct GateBurstRow {
     /// Wall rate of the overlapped fill/drain pipeline (absent in pre-fleet
     /// reports).
     pub pipelined_wall_msgs_per_sec: Option<f64>,
+    /// One-sided credit-return puts issued during the pipelined run (absent
+    /// in reports generated before flow control rode the fabric).
+    pub pipe_credit_ops: Option<f64>,
 }
 
 /// Extract a numeric field `"key": <number>` from a flat JSON object.
@@ -172,6 +175,7 @@ pub fn parse_burst_rows(json: &str) -> Vec<GateBurstRow> {
                 wall_msgs_per_sec: json_f64(row, "wall_msgs_per_sec")?,
                 fill_drain_wall_msgs_per_sec: json_f64(row, "fill_drain_wall_msgs_per_sec"),
                 pipelined_wall_msgs_per_sec: json_f64(row, "pipelined_wall_msgs_per_sec"),
+                pipe_credit_ops: json_f64(row, "pipe_credit_ops"),
             })
         })
         .collect()
@@ -265,6 +269,24 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
                     )
                 },
             });
+            // The §VI-A2 flow-control bar: the pipelined run must have
+            // returned its mailbox credits as one-sided fabric puts. Zero ops
+            // means flow control regressed to a host-side side channel that
+            // charges nothing in virtual time — enforced regardless of
+            // runner parallelism, because credits flow however the threads
+            // are scheduled.
+            let credit_ops = four.pipe_credit_ops.ok_or(
+                "4-shard burst row is missing pipe_credit_ops (regenerate the report with the current fastpath)",
+            )?;
+            checks.push(GateCheck {
+                name: "4-shard pipelined credit ops",
+                value: credit_ops,
+                threshold: 1.0,
+                op: ">=",
+                pass: credit_ops >= 1.0,
+                enforced: true,
+                note: "credit returns must ride the fabric".into(),
+            });
         }
         None => {
             return Err("report has no 4-shard burst row (run fastpath with --shards 1,4)".into())
@@ -295,9 +317,11 @@ mod tests {
                 "  \"host_parallelism\": {},\n",
                 "  \"burst_shard_rows\": [\n",
                 "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
-                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}}},\n",
+                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
+                "\"pipe_credit_ops\": 256}},\n",
                 "    {{\"shards\": 4, \"model_speedup\": {}, \"wall_msgs_per_sec\": {}, ",
-                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}}}\n  ]\n}}\n"
+                "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
+                "\"pipe_credit_ops\": 256}}\n  ]\n}}\n"
             ),
             warm_ns,
             dispatch_speedup,
@@ -342,8 +366,25 @@ mod tests {
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 5);
+        assert_eq!(out.checks.len(), 6);
         assert!(out.checks.iter().all(|c| c.enforced));
+    }
+
+    #[test]
+    fn zero_credit_ops_fail_the_gate_on_any_runner() {
+        // Flow control regressing to a host-side channel shows up as zero
+        // credit puts; that must fail even where the wall checks are
+        // informational (parallelism 1).
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1)
+            .replace("\"pipe_credit_ops\": 256", "\"pipe_credit_ops\": 0");
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let credit = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("credit"))
+            .unwrap();
+        assert!(!credit.pass && credit.enforced);
+        assert!(!out.passed());
     }
 
     #[test]
@@ -472,6 +513,11 @@ mod tests {
                     wall_msgs_per_sec: 1.5e5,
                     fill_drain_wall_msgs_per_sec: 1.1e5,
                     pipelined_wall_msgs_per_sec: 1.2e5,
+                    model_credit_ops: 64,
+                    model_credit_bytes: 64,
+                    model_credit_time_share: 0.04,
+                    pipe_credit_ops: 64,
+                    pipe_credit_bytes: 64,
                 },
                 crate::burst::BurstRow {
                     shards: 4,
@@ -481,6 +527,11 @@ mod tests {
                     wall_msgs_per_sec: 3.2e5,
                     fill_drain_wall_msgs_per_sec: 2.4e5,
                     pipelined_wall_msgs_per_sec: 3.6e5,
+                    model_credit_ops: 64,
+                    model_credit_bytes: 64,
+                    model_credit_time_share: 0.04,
+                    pipe_credit_ops: 64,
+                    pipe_credit_bytes: 64,
                 },
             ],
             host_parallelism: 4,

@@ -211,81 +211,171 @@ impl MailboxBank {
     }
 }
 
-/// Sender-side per-bank credit flags, kept in the sender's own registered memory so
-/// the receiver can set them with a one-sided put.
+/// Sender-side credit table (§VI-A2): flow control carried as real fabric
+/// traffic into the sender's own registered memory.
+///
+/// The table holds one *row per owned bank*, each row a word-aligned run of
+/// `per_bank` one-byte credit **tokens** — one per slot. The receiver returns a
+/// slot's credit by writing the slot's next token with a one-sided put aimed at
+/// this region (it contends for the NIC and is charged in virtual time like any
+/// other put); the sending lane observes it with an acquire load of the same
+/// byte and never blocks on a host-side channel.
+///
+/// # Word layout
+///
+/// Rows are padded to 8-byte words so every bank's tokens occupy whole words
+/// ([`BankFlags::row_stride`]); the token of (`row`, `slot`) lives at byte
+/// `row * row_stride(per_bank) + slot`. A fleet lane owning banks
+/// `{s, s+S, s+2S, ...}` maps bank `b` to row `b / S`.
+///
+/// # Token protocol
+///
+/// The k-th drain of a slot (k counted from 0 on the receiver) writes token
+/// `(k % 255) + 1`. Adjacent tokens always differ and `0` is never written, so
+/// *"token differs from the last one I consumed"* means exactly *"a credit
+/// arrived since I last consumed one"*. The sender never writes the region —
+/// the protocol is single-writer per byte, so a one-byte put can neither tear
+/// nor race. The put's release publication pairs with the sender's acquire
+/// load: a sender that observes the token also observes everything the
+/// receiver did before issuing the credit (in particular the slot's mailbox
+/// clear), which is the ordering the refill relies on.
 #[derive(Debug, Clone)]
 pub struct BankFlags {
     region: Arc<MemoryRegion>,
     banks: usize,
-    /// Messages sent into the current window of each bank.
-    in_flight: Vec<usize>,
     per_bank: usize,
+    /// Token last consumed per (row, slot); a credit is pending iff the
+    /// region's current token differs.
+    last_seen: Vec<u8>,
 }
 
 impl BankFlags {
-    /// Create flags for `banks` banks of `per_bank` mailboxes, initially all credits
-    /// available.
-    pub fn new(region: Arc<MemoryRegion>, banks: usize, per_bank: usize) -> AmResult<Self> {
-        if region.len() < banks {
-            return Err(AmError::InvalidConfig(
-                "flag region smaller than bank count".into(),
-            ));
-        }
-        for b in 0..banks {
-            region.store_release_u8(b, 1)?;
-        }
-        Ok(BankFlags {
-            region,
-            banks,
-            in_flight: vec![0; banks],
-            per_bank,
-        })
+    /// Bytes one bank's token row occupies (slot tokens padded up to whole
+    /// 8-byte words).
+    pub fn row_stride(per_bank: usize) -> usize {
+        per_bank.div_ceil(8) * 8
     }
 
-    /// Descriptor the receiver uses to set flags remotely.
+    /// Bytes a whole table of `banks` rows occupies.
+    pub fn table_len(banks: usize, per_bank: usize) -> usize {
+        banks * Self::row_stride(per_bank)
+    }
+
+    /// The token the k-th drain of a slot writes (`drains` counted from 0).
+    /// Never 0 (the fresh-region value), and adjacent drains always differ.
+    pub fn token_for(drains: u64) -> u8 {
+        (drains % 255) as u8 + 1
+    }
+
+    /// Byte offset of (`row`, `slot`) in a table of `per_bank`-slot rows — the
+    /// single layout definition shared by the sender-side reader
+    /// ([`BankFlags::slot_offset`]) and the receiver-side credit put, so the
+    /// two ends of the wire can never disagree about where a token lives.
+    pub fn offset_of(row: usize, slot: usize, per_bank: usize) -> usize {
+        row * Self::row_stride(per_bank) + slot
+    }
+
+    /// Create a credit table of `banks` rows × `per_bank` slot tokens over
+    /// `region` (registered in the *sender's* address space). A zero-credit
+    /// window cannot flow-control anything — it silently deadlocks a lane — so
+    /// degenerate geometry is rejected at construction.
+    pub fn new(region: Arc<MemoryRegion>, banks: usize, per_bank: usize) -> AmResult<Self> {
+        if banks == 0 || per_bank == 0 {
+            return Err(AmError::InvalidConfig(format!(
+                "credit table needs at least one bank and one slot per bank \
+                 ({banks} banks x {per_bank} slots is a zero-credit window)"
+            )));
+        }
+        let needed = banks
+            .checked_mul(Self::row_stride(per_bank))
+            .ok_or_else(|| {
+                AmError::InvalidConfig(format!(
+                    "credit table geometry overflows: {banks} banks x {per_bank} slots"
+                ))
+            })?;
+        if region.len() < needed {
+            return Err(AmError::InvalidConfig(format!(
+                "credit table needs {needed} bytes but region has {}",
+                region.len()
+            )));
+        }
+        let mut flags = BankFlags {
+            region,
+            banks,
+            per_bank,
+            last_seen: vec![0; banks * per_bank],
+        };
+        // Adopt whatever tokens are already present (all zero for a fresh
+        // region) so construction never reports phantom credits.
+        flags.sync()?;
+        Ok(flags)
+    }
+
+    /// Descriptor the receiver aims its credit puts at.
     pub fn descriptor(&self) -> RegionDescriptor {
         self.region.descriptor()
     }
 
-    /// Number of banks.
+    /// Number of bank rows.
     pub fn banks(&self) -> usize {
         self.banks
     }
 
-    /// Whether the sender may send another message to `bank` right now.
-    pub fn can_send(&self, bank: usize) -> AmResult<bool> {
-        if bank >= self.banks {
-            return Err(AmError::InvalidConfig(format!("no bank {bank}")));
-        }
-        if self.in_flight[bank] < self.per_bank {
-            return Ok(true);
-        }
-        // Window exhausted: the credit flag must have been re-set by the receiver.
-        Ok(self.region.load_acquire_u8(bank)? == 1)
+    /// Slot tokens per bank row.
+    pub fn per_bank(&self) -> usize {
+        self.per_bank
     }
 
-    /// Record a send into `bank`. When the window fills, the local credit flag is
-    /// cleared; the receiver will set it again once it has drained the bank.
-    pub fn record_send(&mut self, bank: usize) -> AmResult<()> {
-        if !self.can_send(bank)? {
-            return Err(AmError::BankFull { bank });
+    /// Byte offset of (`row`, `slot`)'s token within the region — the target
+    /// of the receiver's credit put.
+    pub fn slot_offset(&self, row: usize, slot: usize) -> AmResult<usize> {
+        if row >= self.banks || slot >= self.per_bank {
+            return Err(AmError::InvalidConfig(format!(
+                "no credit slot ({row}, {slot}) in a {}x{} table",
+                self.banks, self.per_bank
+            )));
         }
-        if self.in_flight[bank] == self.per_bank {
-            // A fresh credit from the receiver opens a new window.
-            self.in_flight[bank] = 0;
-            self.region.store_release_u8(bank, 0)?;
+        Ok(Self::offset_of(row, slot, self.per_bank))
+    }
+
+    /// Simulated virtual address of (`row`, `slot`)'s token byte (what a
+    /// sender core's poll of the table reads, for cache-cost charging).
+    pub fn slot_addr(&self, row: usize, slot: usize) -> AmResult<u64> {
+        Ok(self.region.addr_of(self.slot_offset(row, slot)?))
+    }
+
+    /// Whether a credit is pending for (`row`, `slot`) without consuming it.
+    pub fn credit_pending(&self, row: usize, slot: usize) -> AmResult<bool> {
+        let offset = self.slot_offset(row, slot)?;
+        Ok(self.region.load_acquire_u8(offset)? != self.last_seen[row * self.per_bank + slot])
+    }
+
+    /// Consume one pending credit for (`row`, `slot`): an acquire load of the
+    /// token byte, compared against the last token consumed. Returns whether a
+    /// credit was there (and is now spent).
+    pub fn try_acquire(&mut self, row: usize, slot: usize) -> AmResult<bool> {
+        let offset = self.slot_offset(row, slot)?;
+        let token = self.region.load_acquire_u8(offset)?;
+        let seen = &mut self.last_seen[row * self.per_bank + slot];
+        if token == *seen {
+            return Ok(false);
         }
-        self.in_flight[bank] += 1;
-        if self.in_flight[bank] == self.per_bank {
-            self.region.store_release_u8(bank, 0)?;
+        *seen = token;
+        Ok(true)
+    }
+
+    /// Snapshot every slot's current token as "already consumed", discarding
+    /// stale credits. A pipeline run starts with this so credits earned by an
+    /// earlier phased schedule (which never consumes any) cannot leak in as
+    /// phantom refill permissions.
+    pub fn sync(&mut self) -> AmResult<()> {
+        for row in 0..self.banks {
+            for slot in 0..self.per_bank {
+                let offset = self.slot_offset(row, slot)?;
+                self.last_seen[row * self.per_bank + slot] = self.region.load_acquire_u8(offset)?;
+            }
         }
         Ok(())
-    }
-
-    /// Byte offset of `bank`'s flag within the flag region (what the receiver targets
-    /// with its credit put).
-    pub fn flag_offset(&self, bank: usize) -> usize {
-        bank
     }
 }
 
@@ -321,35 +411,98 @@ mod tests {
     }
 
     #[test]
-    fn flow_control_window() {
-        let r = region(16);
+    fn credit_tokens_roundtrip_through_the_table() {
+        let r = region(64);
         let mut flags = BankFlags::new(Arc::clone(&r), 2, 3).unwrap();
-        assert!(flags.can_send(0).unwrap());
-        for _ in 0..3 {
-            flags.record_send(0).unwrap();
+        assert_eq!(flags.banks(), 2);
+        assert_eq!(flags.per_bank(), 3);
+        // Fresh table: nothing pending anywhere.
+        for row in 0..2 {
+            for slot in 0..3 {
+                assert!(!flags.credit_pending(row, slot).unwrap());
+                assert!(!flags.try_acquire(row, slot).unwrap());
+            }
         }
-        // Window exhausted and the receiver has not credited the bank yet.
-        assert!(!flags.can_send(0).unwrap());
-        assert!(matches!(
-            flags.record_send(0),
-            Err(AmError::BankFull { bank: 0 })
-        ));
-        // Other banks unaffected.
-        assert!(flags.can_send(1).unwrap());
-        // Receiver credits the bank (simulated here by a direct flag write, in the
-        // runtime it is a one-sided put into this region).
-        r.store_release_u8(flags.flag_offset(0), 1).unwrap();
-        assert!(flags.can_send(0).unwrap());
-        flags.record_send(0).unwrap();
+        // Receiver credits (1, 2) — in the runtime this write is a one-sided
+        // put into this region; here it is simulated directly.
+        let offset = flags.slot_offset(1, 2).unwrap();
+        r.store_release_u8(offset, BankFlags::token_for(0)).unwrap();
+        assert!(flags.credit_pending(1, 2).unwrap());
+        assert!(!flags.credit_pending(1, 1).unwrap(), "siblings unaffected");
+        // Consuming spends it exactly once.
+        assert!(flags.try_acquire(1, 2).unwrap());
+        assert!(!flags.try_acquire(1, 2).unwrap());
+        // The next drain's token differs from the last, so the next credit is
+        // visible again.
+        r.store_release_u8(offset, BankFlags::token_for(1)).unwrap();
+        assert!(flags.try_acquire(1, 2).unwrap());
+        // Out-of-range coordinates are rejected, not wrapped.
+        assert!(flags.slot_offset(2, 0).is_err());
+        assert!(flags.slot_offset(0, 3).is_err());
+    }
+
+    #[test]
+    fn token_sequence_never_hits_zero_and_adjacent_tokens_differ() {
+        let mut prev = 0u8;
+        for k in 0..600u64 {
+            let t = BankFlags::token_for(k);
+            assert_ne!(t, 0, "0 is the fresh-region value, never a token");
+            assert_ne!(t, prev, "adjacent drains must write distinct tokens");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn sync_discards_stale_credits() {
+        let r = region(64);
+        let mut flags = BankFlags::new(Arc::clone(&r), 1, 4).unwrap();
+        let offset = flags.slot_offset(0, 1).unwrap();
+        r.store_release_u8(offset, BankFlags::token_for(0)).unwrap();
+        assert!(flags.credit_pending(0, 1).unwrap());
+        flags.sync().unwrap();
         assert!(
-            flags.can_send(0).unwrap(),
-            "new window has credits remaining"
+            !flags.try_acquire(0, 1).unwrap(),
+            "sync adopts the current token as already consumed"
         );
     }
 
     #[test]
-    fn flag_region_must_cover_banks() {
-        assert!(BankFlags::new(region(1), 4, 2).is_err());
+    fn rows_are_word_aligned() {
+        assert_eq!(BankFlags::row_stride(1), 8);
+        assert_eq!(BankFlags::row_stride(8), 8);
+        assert_eq!(BankFlags::row_stride(9), 16);
+        assert_eq!(BankFlags::table_len(3, 16), 48);
+        // 4 rows of 9 slots pad to 16-byte rows: 64 bytes fit, 32 do not.
+        assert!(BankFlags::new(region(64), 4, 9).is_ok());
+        assert!(matches!(
+            BankFlags::new(region(32), 4, 9),
+            Err(AmError::InvalidConfig(_))
+        ));
+        let flags = BankFlags::new(region(64), 4, 8).unwrap();
+        assert_eq!(flags.slot_offset(3, 7).unwrap(), 31);
+        assert_eq!(
+            flags.slot_addr(1, 0).unwrap(),
+            flags.descriptor().base_addr + 8
+        );
+    }
+
+    #[test]
+    fn zero_credit_windows_are_rejected_at_construction() {
+        // A lane flow-controlled by an empty table would deadlock on its first
+        // refill; both degenerate axes must fail loudly instead.
+        assert!(matches!(
+            BankFlags::new(region(64), 0, 4),
+            Err(AmError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            BankFlags::new(region(64), 4, 0),
+            Err(AmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn flag_region_must_cover_the_table() {
+        assert!(BankFlags::new(region(8), 4, 2).is_err());
     }
 
     #[test]

@@ -64,9 +64,9 @@ pub use error::{AmError, AmResult};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
 pub use mailbox::ReactiveMailbox;
 pub use runtime::{
-    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, FleetLane, PipelineFrame,
-    PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet, SenderLane, ShardDrain, SlotCtx,
-    StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
+    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, CreditHandshake, FleetLane,
+    PipelineFrame, PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet, SenderLane,
+    ShardDrain, SlotCtx, StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
 };
 pub use security::SecurityPolicy;
 pub use stats::RuntimeStats;

@@ -1,0 +1,195 @@
+//! The receiver's half of the one-sided flow-control path (§VI-A2): credit
+//! returns as real fabric traffic.
+//!
+//! The sender fleet registers one [`BankFlags`] credit table per stream in the
+//! *sender's* address space and ships its descriptor back to the receiver as a
+//! [`CreditHandshake`] — the reverse half of the connection setup that
+//! [`TwoChainsHost::sender_handshake`](super::TwoChainsHost::sender_handshake)
+//! started. The receiver installs one [`CreditReturn`] per shard: a
+//! reverse-direction endpoint (receiver → sender) plus the cumulative per-slot
+//! drain counts that generate the token sequence.
+//!
+//! Every retired frame (drained, dispatch-rejected or quarantined) produces
+//! exactly one credit put: a one-byte [`Endpoint::put`] into the slot's token
+//! byte. That put is charged like any other fabric traffic — the drain core
+//! pays the posting cost in virtual time, the put contends for the receiver's
+//! transmit NIC, and its DMA delivery installs the byte on the sender host,
+//! posting invalidations to the sender cores' inboxes exactly like inbound
+//! frames do on the receiver. A one-byte put is its own signal: `put`
+//! publishes its final (only) byte with release ordering, which is the
+//! conservative unordered-fabric protocol (`put_unordered` + fence + signal
+//! put) collapsed into a single byte, so the scheme is correct on ordered and
+//! unordered links alike.
+
+use twochains_fabric::{Endpoint, RegionDescriptor};
+use twochains_memsim::SimTime;
+
+use crate::bank::BankFlags;
+use crate::error::{AmError, AmResult};
+
+/// The sender's half of the credit-path setup for one stream, by value — the
+/// mirror image of [`StreamHandshake`](super::StreamHandshake), travelling in
+/// the opposite direction over the same out-of-band bootstrap channel.
+#[derive(Debug, Clone)]
+pub struct CreditHandshake {
+    /// The stream this table flow-controls (`0..streams`).
+    pub stream: usize,
+    /// Total number of sender streams (`bank % streams == stream` ownership —
+    /// the same deterministic map the receiver shards drain by).
+    pub streams: usize,
+    /// Slot tokens per bank row (must match the receiver's mailboxes per
+    /// bank).
+    pub per_bank: usize,
+    /// Descriptor of the stream's [`BankFlags`] region in the *sender's*
+    /// address space; the receiver aims its credit puts here.
+    pub descriptor: RegionDescriptor,
+}
+
+/// One shard's credit-return context: the reverse endpoint, the target table,
+/// and the per-slot drain counters that generate the token sequence.
+///
+/// Owned by the shard (`ReceiverShard`), so drain threads return credits with
+/// no shared state: the endpoint serializes on the NIC models exactly like the
+/// forward path does. The drain counters deliberately live *outside*
+/// [`RuntimeStats`]: a stats reset between benchmark phases must not restart
+/// the token sequence, or a token could repeat its predecessor and the sender
+/// would never observe the credit.
+#[derive(Debug)]
+pub(crate) struct CreditReturn {
+    endpoint: Endpoint,
+    descriptor: RegionDescriptor,
+    /// The stream this table belongs to — kept so a misrouted bank is a loud
+    /// error instead of a silent credit into the wrong row (which would both
+    /// grant a phantom credit and permanently withhold a real one).
+    stream: usize,
+    streams: usize,
+    per_bank: usize,
+    /// Cumulative drains per owned slot, indexed `(bank / streams) * per_bank
+    /// + slot`.
+    drains: Vec<u64>,
+}
+
+/// Timing/traffic outcome of one credit put, for the caller's stats.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditPutOutcome {
+    /// When the drain core is free again (posting overhead paid).
+    pub sender_free: SimTime,
+    /// Payload bytes moved (always 1 today; kept explicit so coalesced credit
+    /// words could widen it without touching the accounting).
+    pub bytes: usize,
+}
+
+impl CreditReturn {
+    /// Build the return path for the shard owning `handshake.stream`'s banks.
+    /// `banks_total` is the receiver's total bank count (rows are allocated
+    /// for every bank the stream owns under `bank % streams`).
+    pub(crate) fn new(
+        endpoint: Endpoint,
+        handshake: &CreditHandshake,
+        banks_total: usize,
+        per_bank: usize,
+    ) -> AmResult<Self> {
+        if handshake.per_bank != per_bank {
+            return Err(AmError::InvalidConfig(format!(
+                "credit table has {} slots per bank but the receiver has {per_bank}",
+                handshake.per_bank
+            )));
+        }
+        let rows = banks_owned(handshake.stream, handshake.streams, banks_total);
+        if rows == 0 {
+            return Err(AmError::InvalidConfig(format!(
+                "stream {} of {} owns no bank: nothing to flow-control",
+                handshake.stream, handshake.streams
+            )));
+        }
+        let needed = BankFlags::table_len(rows, per_bank);
+        if handshake.descriptor.len < needed {
+            return Err(AmError::InvalidConfig(format!(
+                "credit table region holds {} bytes but {rows} bank rows need {needed}",
+                handshake.descriptor.len
+            )));
+        }
+        Ok(CreditReturn {
+            endpoint,
+            descriptor: handshake.descriptor,
+            stream: handshake.stream,
+            streams: handshake.streams,
+            per_bank,
+            drains: vec![0; rows * per_bank],
+        })
+    }
+
+    /// The descriptor of the sender-side table this return path targets —
+    /// the identity `drive_pipeline` checks to make sure the host's installed
+    /// credit path actually points at the fleet being driven.
+    pub(crate) fn descriptor(&self) -> RegionDescriptor {
+        self.descriptor
+    }
+
+    /// Return one credit for (`bank`, `slot`) at drain-virtual time `now`:
+    /// bump the slot's drain count and put the next token into the sender's
+    /// table. The caller must only invoke this *after* the slot's mailbox has
+    /// been cleared — the put's release publication is what lets the sender's
+    /// acquire load order its refill behind the clear.
+    pub(crate) fn put_credit(
+        &mut self,
+        now: SimTime,
+        bank: usize,
+        slot: usize,
+    ) -> AmResult<CreditPutOutcome> {
+        if crate::bank::ShardMask::owner_of(bank, self.streams) != self.stream {
+            return Err(AmError::InvalidConfig(format!(
+                "bank {bank} is not owned by stream {} of {}: crediting it here \
+                 would write another slot's token",
+                self.stream, self.streams
+            )));
+        }
+        if slot >= self.per_bank {
+            return Err(AmError::InvalidConfig(format!(
+                "no credit slot {slot} in a {}-slot bank row",
+                self.per_bank
+            )));
+        }
+        let row = bank / self.streams;
+        let idx = row * self.per_bank + slot;
+        if idx >= self.drains.len() {
+            return Err(AmError::InvalidConfig(format!(
+                "no credit row for mailbox ({bank}, {slot})"
+            )));
+        }
+        let token = BankFlags::token_for(self.drains[idx]);
+        self.drains[idx] += 1;
+        let offset = BankFlags::offset_of(row, slot, self.per_bank);
+        let out = self
+            .endpoint
+            .put(now, &[token], &self.descriptor, offset)
+            .map_err(|e| AmError::Fabric(e.to_string()))?;
+        Ok(CreditPutOutcome {
+            sender_free: out.sender_free,
+            bytes: out.bytes,
+        })
+    }
+}
+
+/// Number of banks stream `stream` of `streams` owns out of `banks_total`
+/// (`bank % streams == stream`).
+pub(crate) fn banks_owned(stream: usize, streams: usize, banks_total: usize) -> usize {
+    (0..banks_total)
+        .filter(|b| crate::bank::ShardMask::owner_of(*b, streams) == stream)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_owned_partitions_every_bank_exactly_once() {
+        for streams in 1..5 {
+            let total: usize = (0..streams).map(|s| banks_owned(s, streams, 7)).sum();
+            assert_eq!(total, 7, "{streams} streams must cover all 7 banks");
+        }
+        assert_eq!(banks_owned(0, 4, 4), 1);
+        assert_eq!(banks_owned(3, 4, 3), 0, "stream past the banks owns none");
+    }
+}

@@ -33,13 +33,59 @@
 //! exports one [`StreamHandshake`] per stream, carrying
 //!
 //! 1. the [`StreamTarget`]s (bank, slot, [`MailboxTarget`]) of every mailbox
-//!    the stream owns, and
+//!    the stream owns (plus the bank geometry the credit table mirrors), and
 //! 2. the receiver-resolved GOT image of every element in the installed
 //!    package (the paper's "GOT redirect ... set by the sender after an
 //!    exchange with the receiver").
 //!
 //! [`SenderFleet::connect`] consumes the handshakes: one endpoint + sender per
-//! stream, GOT images registered, template caches cold until first use.
+//! stream, GOT images registered, template caches cold until first use — and
+//! answers with the *reverse* half: each lane registers a
+//! [`BankFlags`](crate::bank::BankFlags) credit table in its own (sender-side)
+//! address space and ships the descriptor back as a
+//! [`CreditHandshake`](super::CreditHandshake), which
+//! [`TwoChainsHost::install_credit_returns`](super::TwoChainsHost::install_credit_returns)
+//! turns into one reverse-direction endpoint per receiver shard.
+//!
+//! # The credit wire format (§VI-A2: flow control as fabric traffic)
+//!
+//! Mailbox credits do not travel over a host-side side channel; the receiver
+//! *puts* them back into the sender's registered memory, so flow control
+//! contends for the NIC and is charged in virtual time like every other byte
+//! on the wire.
+//!
+//! * **Word layout.** Each lane's flag region holds one row per owned bank
+//!   (bank `b` of stream `s` of `S` is row `b / S`), each row a word-aligned
+//!   run of `per_bank` one-byte slot *tokens*
+//!   ([`BankFlags::row_stride`](crate::bank::BankFlags::row_stride) pads rows
+//!   to 8-byte words). The token of (`row`, `slot`) lives at byte
+//!   `row * row_stride(per_bank) + slot`.
+//! * **Token sequence.** The k-th retire of a slot (drained,
+//!   dispatch-rejected or quarantined — k counted from 0 on the receiver)
+//!   writes token `(k % 255) + 1`: never the fresh-region 0, and adjacent
+//!   tokens always differ, so *token ≠ last-consumed* means exactly one new
+//!   credit. The sender never writes the region — single-writer bytes cannot
+//!   tear or race.
+//! * **Release/acquire pairing.** The credit is a one-byte
+//!   [`Endpoint::put`](twochains_fabric::Endpoint::put), issued strictly
+//!   *after* the receiver cleared the slot's mailbox; `put` publishes its
+//!   final (only) byte with release ordering and the lane observes it with an
+//!   acquire load ([`BankFlags::try_acquire`](crate::bank::BankFlags::try_acquire)),
+//!   so a lane that sees the token also sees the cleared slot before its
+//!   refill put. A one-byte put is its own signal: on an unordered fabric it
+//!   *is* the conservative `put_unordered` + fence + signal-put protocol
+//!   collapsed to a single byte, so ordered and unordered links behave
+//!   identically here.
+//! * **Ordering vs frame puts.** Credit puts ride the receiver→sender
+//!   direction while frame puts ride sender→receiver; the two directions
+//!   share no ordering and need none — the only edge that matters is
+//!   clear → credit-put (drain thread program order + release) →
+//!   credit-acquire → refill-put (lane program order), which the pairing
+//!   above provides. On the simulated testbed the credit put's DMA delivery
+//!   installs the token on the sender host and posts invalidations to the
+//!   sender cores' inboxes (`memsim::sharded`) exactly like inbound frames do
+//!   on the receiver, so the lane's next poll of its flag word re-fetches the
+//!   freshly stashed line and is charged accordingly.
 //!
 //! # The flow-control contract
 //!
@@ -58,16 +104,17 @@
 //!
 //! [`SenderFleet::fill_parallel`] runs one OS thread per lane (a barrier-style
 //! parallel fill), and [`drive_pipeline`] goes further: sender threads and
-//! shard-drain threads run *concurrently*, with each drain thread returning
-//! per-slot credits (`(bank, slot)` of every drained frame) to its paired lane
-//! over a channel, so a lane refills a slot the moment the receiver has
-//! executed it — fill and drain genuinely overlap in wall clock, bounded by
-//! the per-slot credit loop instead of a phase barrier. Results and
-//! order-independent runtime counters are observationally equal to the
-//! sequential fill-then-drain schedule (pinned by `tests/fleet_pipeline.rs`);
-//! *time* counters are not comparable, because the pipelined drain polls its
-//! banks repeatedly (each scan charges one poll) where the phased schedule
-//! scans once per round.
+//! shard-drain threads run *concurrently*, coupled only by the one-sided
+//! credit path — no channels, no shared queues. As each frame retires, the
+//! drain thread puts the slot's next credit token into the paired lane's flag
+//! region; the lane spins/parks on acquire loads of its own region and
+//! refills a slot the moment its token changes — fill and drain genuinely
+//! overlap in wall clock, bounded by the per-slot credit loop instead of a
+//! phase barrier. Results and order-independent runtime counters are
+//! observationally equal to the sequential fill-then-drain schedule (pinned
+//! by `tests/fleet_pipeline.rs`); *time* counters are not comparable, because
+//! the pipelined drain polls its banks repeatedly (each scan charges one
+//! poll) where the phased schedule scans once per round.
 //!
 //! [`RuntimeConfig::completion_window`]: crate::config::RuntimeConfig::completion_window
 //! [`RuntimeStats::sends_backpressured`]: crate::stats::RuntimeStats::sends_backpressured
@@ -75,14 +122,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 
-use twochains_fabric::{CompletionQueue, HostId, ShardedCompletions, SimFabric};
+use twochains_fabric::{AccessFlags, CompletionQueue, HostId, ShardedCompletions, SimFabric};
 use twochains_jamvm::GotImage;
 use twochains_linker::{ElementId, Package};
-use twochains_memsim::SimTime;
+use twochains_memsim::{AccessKind, CoreBus, MemoryBus, SimTime};
 
+use super::credit::CreditHandshake;
 use super::{AmSendOutcome, TwoChainsHost, TwoChainsSender};
+use crate::bank::BankFlags;
 use crate::config::InvocationMode;
 use crate::error::{AmError, AmResult};
 use crate::mailbox::MailboxTarget;
@@ -108,6 +156,9 @@ pub struct StreamHandshake {
     pub stream: usize,
     /// Total number of streams the receiver partitioned its banks over.
     pub streams: usize,
+    /// Mailboxes per bank on the receiver — the geometry the stream's credit
+    /// table ([`BankFlags`]) mirrors row for row.
+    pub per_bank: usize,
     /// The mailboxes this stream owns (`bank % streams == stream`).
     pub targets: Vec<StreamTarget>,
     /// Receiver-resolved GOT image per installed package element.
@@ -131,22 +182,38 @@ pub struct SlotCtx {
 
 /// One stream's complete sender context: its own [`TwoChainsSender`] (endpoint,
 /// sequence space, template cache, statistics), the mailbox targets it owns,
-/// and its private virtual clock. `Send`, so a fleet can park one lane per OS
-/// thread.
+/// its [`BankFlags`] credit table (the flag region the receiver's credit puts
+/// land in, registered in this sender's address space), the core bus its
+/// credit polls are charged through, and its private virtual clock. `Send`, so
+/// a fleet can park one lane per OS thread.
 #[derive(Debug)]
 pub struct SenderLane {
     stream: usize,
     streams: usize,
     sender: TwoChainsSender,
     targets: Vec<StreamTarget>,
-    /// `(bank, slot)` → index into `targets` (credit returns arrive as
-    /// coordinates).
+    /// `(bank, slot)` → index into `targets` (single-slot sends and credit
+    /// probes arrive as coordinates).
     index: HashMap<(usize, usize), usize>,
+    /// The lane's credit table: per-bank rows of per-slot tokens the receiver
+    /// writes with one-sided puts (see the module docs for the wire format).
+    flags: BankFlags,
+    /// The sender-host core this lane runs on; its private L1/L2 cache the
+    /// flag words between credit puts (each put's DMA invalidates the line
+    /// through the core's inbox, so the next poll re-fetches honestly).
+    bus: CoreBus,
+    core: usize,
     clock: SimTime,
 }
 
 impl SenderLane {
-    fn new(handshake: StreamHandshake, mut sender: TwoChainsSender) -> Self {
+    fn new(
+        handshake: StreamHandshake,
+        mut sender: TwoChainsSender,
+        flags: BankFlags,
+        bus: CoreBus,
+        core: usize,
+    ) -> Self {
         for (id, got) in &handshake.gots {
             sender.set_remote_got(*id, got);
         }
@@ -162,8 +229,55 @@ impl SenderLane {
             sender,
             targets: handshake.targets,
             index,
+            flags,
+            bus,
+            core,
             clock: SimTime::ZERO,
         }
+    }
+
+    /// The credit-table row of one of this lane's banks (`bank / streams` —
+    /// the inverse of the `bank % streams` ownership map).
+    fn credit_row(&self, bank: usize) -> usize {
+        bank / self.streams.max(1)
+    }
+
+    /// Consume one pending credit for the `idx`-th owned slot: an acquire
+    /// load of the slot's token byte, charged through this lane's core bus
+    /// when a fresh token is observed (after the credit put's DMA invalidated
+    /// the cached line, the observing poll is the one that re-fetches it).
+    fn try_acquire_slot(&mut self, idx: usize) -> AmResult<bool> {
+        let t = &self.targets[idx];
+        let row = self.credit_row(t.bank);
+        if self.flags.try_acquire(row, t.slot)? {
+            let addr = self.flags.slot_addr(row, t.slot)?;
+            self.clock += self.bus.access(self.core, addr, 1, AccessKind::Read);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Whether a credit is pending for owned mailbox (`bank`, `slot`), without
+    /// consuming it. Rejected when the mailbox is not one of this stream's
+    /// targets.
+    pub fn credit_pending(&self, bank: usize, slot: usize) -> AmResult<bool> {
+        let idx = *self.index.get(&(bank, slot)).ok_or_else(|| {
+            AmError::InvalidConfig(format!(
+                "mailbox ({bank}, {slot}) is not owned by stream {}",
+                self.stream
+            ))
+        })?;
+        let t = &self.targets[idx];
+        self.flags.credit_pending(self.credit_row(t.bank), t.slot)
+    }
+
+    /// Snapshot the credit table, discarding stale credits ([`BankFlags::sync`]).
+    /// A pipeline run starts with this: credits earned by earlier phased
+    /// schedules (which consume none) must not leak in as phantom refill
+    /// permissions.
+    pub fn sync_credits(&mut self) -> AmResult<()> {
+        self.flags.sync()
     }
 
     /// The stream this lane fills (`bank % streams == stream`).
@@ -344,29 +458,35 @@ impl SenderFleet {
     /// and [`completion_window`](crate::config::RuntimeConfig::completion_window)
     /// knobs. `package` is the sender-side copy of the package the fleet
     /// injects from (same source the receiver installed).
+    ///
+    /// `host` is mutable because connecting is a two-way exchange: the forward
+    /// half ships mailbox targets and GOT images to the lanes, the reverse
+    /// half registers each lane's [`BankFlags`] credit table sender-side and
+    /// installs the receiver's credit-return endpoints
+    /// ([`TwoChainsHost::install_credit_returns`]).
     pub fn connect(
         fabric: &SimFabric,
         src: HostId,
-        host: &TwoChainsHost,
+        host: &mut TwoChainsHost,
         package: Package,
     ) -> AmResult<Self> {
         let cfg = host.config();
-        Self::connect_streams(
-            fabric,
-            src,
-            host,
-            package,
-            cfg.sender_streams,
-            cfg.completion_window,
-        )
+        let (streams, window) = (cfg.sender_streams, cfg.completion_window);
+        Self::connect_streams(fabric, src, host, package, streams, window)
     }
 
     /// [`SenderFleet::connect`] with an explicit stream count and per-stream
     /// completion-window depth.
+    ///
+    /// The one-sided credit path is installed when `streams` equals the
+    /// host's shard count — the closed stream↔shard pairing is the only
+    /// geometry with a well-defined drain→lane credit route. Other stream
+    /// counts connect without it and keep the phased schedules (which consume
+    /// no credits); [`drive_pipeline`] requires the closed pairing anyway.
     pub fn connect_streams(
         fabric: &SimFabric,
         src: HostId,
-        host: &TwoChainsHost,
+        host: &mut TwoChainsHost,
         package: Package,
         streams: usize,
         window: usize,
@@ -376,17 +496,53 @@ impl SenderFleet {
                 "completion window needs at least one entry".into(),
             ));
         }
+        let sender_host = fabric.host(src)?;
+        let num_cores = sender_host.hierarchy().num_cores();
+        let mut credit_handshakes = Vec::with_capacity(streams);
         let lanes = host
             .sender_handshake(streams)?
             .into_iter()
             .map(|handshake| {
                 let endpoint = fabric.endpoint(src, host.host_id())?;
+                // The lane's credit table: one row per owned bank, registered
+                // in *this sender's* address space so the receiver can credit
+                // it with one-sided puts (the reverse handshake below hands
+                // the descriptor over).
+                let rows = super::credit::banks_owned(
+                    handshake.stream,
+                    handshake.streams,
+                    host.config().banks,
+                );
+                let region = sender_host.register(
+                    BankFlags::table_len(rows, handshake.per_bank),
+                    AccessFlags::rw(),
+                )?;
+                let flags = BankFlags::new(region, rows, handshake.per_bank)?;
+                credit_handshakes.push(CreditHandshake {
+                    stream: handshake.stream,
+                    streams: handshake.streams,
+                    per_bank: handshake.per_bank,
+                    descriptor: flags.descriptor(),
+                });
+                // Lane `s` polls its flag region on sender core `s % cores`,
+                // through that core's own private L1/L2 (with more lanes than
+                // cores the surplus lanes alias cores — a cost-model
+                // approximation only; credit *values* always come from the
+                // region's real atomics).
+                let core = handshake.stream % num_cores;
+                let bus = sender_host.core_bus(core);
                 Ok(SenderLane::new(
                     handshake,
                     TwoChainsSender::new(endpoint, package.clone()),
+                    flags,
+                    bus,
+                    core,
                 ))
             })
             .collect::<AmResult<Vec<_>>>()?;
+        if streams == host.num_shards() {
+            host.install_credit_returns(fabric, credit_handshakes)?;
+        }
         // Per-entry harvest cost: the same software bookkeeping constant the
         // UCX-like baseline pays, taken from its single definition so a
         // retuned baseline can never silently diverge from the fleet.
@@ -549,13 +705,18 @@ pub struct PipelineOutcome {
 }
 
 /// Run `rounds` full fill+drain cycles with fill and drain overlapping in wall
-/// clock: one sender thread per lane, one drain thread per receiver shard, and
-/// a per-stream credit channel from drain to lane carrying the `(bank, slot)`
-/// of every drained frame — a lane refills a slot the moment the receiver has
-/// executed it, while the receiver keeps draining whatever else is ready.
+/// clock: one sender thread per lane, one drain thread per receiver shard,
+/// coupled *only* by the one-sided credit path — as each frame retires, the
+/// drain's burst engine puts the slot's next credit token into the paired
+/// lane's flag region ([`BankFlags`]), and the lane spins/parks on acquire
+/// loads of its own region until a refillable slot's token changes. No
+/// channels, no shared queues: flow control is fabric traffic, charged in
+/// virtual time on both the drain core (posting) and the wire/DMA models.
 ///
-/// Requires `fleet.lane_count() == host.num_shards()` so stream `s` and shard
-/// `s` form a closed pipeline over the same banks. `make` generates each
+/// Requires `fleet.lane_count() == host.num_shards()` *and* the credit path
+/// installed ([`TwoChainsHost::install_credit_returns`] — automatic when the
+/// fleet connected with `sender_streams == num_shards`), so stream `s` and
+/// shard `s` form a closed pipeline over the same banks. `make` generates each
 /// message's (ARGS, USR) from its [`SlotCtx`]; each slot is filled exactly
 /// `rounds` times with rounds `0..rounds`, so a sequential schedule filling
 /// with the same generator produces the identical message multiset.
@@ -577,6 +738,26 @@ where
             fleet.lane_count()
         )));
     }
+    if !host.credit_path_installed() {
+        return Err(AmError::InvalidConfig(
+            "pipeline needs the one-sided credit path: connect the fleet with \
+             sender_streams == num_shards so the credit tables are installed"
+                .into(),
+        ));
+    }
+    // The installed credit returns must target *this* fleet's tables: a later
+    // connect replaces them, and driving an earlier fleet would put every
+    // token into the newer fleet's regions while these lanes spin forever.
+    for lane in &fleet.lanes {
+        if host.credit_descriptor(lane.stream) != Some(lane.flags.descriptor()) {
+            return Err(AmError::InvalidConfig(format!(
+                "the host's credit path targets another fleet's tables (stream {}): \
+                 a later connect replaced the credit returns — drive the most \
+                 recently connected fleet, or re-connect this one",
+                lane.stream
+            )));
+        }
+    }
     if rounds == 0 {
         return Ok(PipelineOutcome {
             results: Vec::new(),
@@ -585,18 +766,16 @@ where
         });
     }
     let lane_slots: Vec<usize> = fleet.lanes.iter().map(|l| l.targets.len()).collect();
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
-        .map(|_| mpsc::channel::<(usize, usize)>())
-        .unzip();
-    // Raised when a sender lane fails: drain threads, whose exit condition is
-    // a drained-frame count that will now never be reached, bail out instead
-    // of spinning forever.
+    // Raised when either side fails: a dead sender leaves the drains with an
+    // unreachable frame quota, a dead drain leaves the lanes spinning on
+    // credits that will never be put — whichever side is still alive bails
+    // out instead of spinning forever.
     let abort = AtomicBool::new(false);
     let abort = &abort;
     // Arms the abort flag against *unwinding* too: a panic in the payload
-    // generator (or anywhere in the send path) must release the drain
-    // threads, or `thread::scope` would block on them forever instead of
-    // propagating the panic. Defused with `mem::forget` on clean completion.
+    // generator (or anywhere in either loop) must release the other side, or
+    // `thread::scope` would block on it forever instead of propagating the
+    // panic. Defused with `mem::forget` on clean completion.
     struct AbortOnDrop<'a>(&'a AtomicBool);
     impl Drop for AbortOnDrop<'_> {
         fn drop(&mut self) {
@@ -608,42 +787,47 @@ where
         let drain_handles: Vec<_> = host
             .shard_drains()
             .into_iter()
-            .zip(txs)
-            .map(|(mut drain, tx)| {
+            .map(|mut drain| {
                 let want = rounds * lane_slots[drain.shard_id()];
                 scope.spawn(move || -> AmResult<(Vec<PipelineFrame>, usize)> {
-                    let mut results = Vec::with_capacity(want);
-                    let mut rejected = 0usize;
-                    let mut clock = SimTime::ZERO;
-                    while results.len() + rejected < want {
-                        let out = drain.receive_burst(usize::MAX, clock)?;
-                        if out.is_empty() {
-                            if abort.load(Ordering::Relaxed) {
-                                return Err(AmError::Exec(
-                                    "pipeline aborted: a sender lane failed".into(),
-                                ));
+                    let guard = AbortOnDrop(abort);
+                    let result = (|| -> AmResult<(Vec<PipelineFrame>, usize)> {
+                        let mut results = Vec::with_capacity(want);
+                        let mut rejected = 0usize;
+                        let mut clock = SimTime::ZERO;
+                        while results.len() + rejected < want {
+                            // Credits for everything this burst retires are
+                            // put back inside the burst engine itself, the
+                            // moment each slot is clear.
+                            let out = drain.receive_burst(usize::MAX, clock)?;
+                            if out.is_empty() {
+                                if abort.load(Ordering::Relaxed) {
+                                    return Err(AmError::Exec(
+                                        "pipeline aborted: a sender lane failed".into(),
+                                    ));
+                                }
+                                std::thread::yield_now();
+                                continue;
                             }
-                            std::thread::yield_now();
-                            continue;
+                            clock = out.drained_at;
+                            for f in &out.frames {
+                                results.push(PipelineFrame {
+                                    bank: f.bank,
+                                    slot: f.slot,
+                                    result: f.outcome.result,
+                                });
+                            }
+                            rejected += out.rejected.len();
                         }
-                        clock = out.drained_at;
-                        for f in &out.frames {
-                            results.push(PipelineFrame {
-                                bank: f.bank,
-                                slot: f.slot,
-                                result: f.outcome.result,
-                            });
-                            // Credit: the slot is free again. The lane may
-                            // already have sent its full quota and hung up;
-                            // a closed channel is not an error here.
-                            let _ = tx.send((f.bank, f.slot));
-                        }
-                        for (bank, slot, _) in &out.rejected {
-                            rejected += 1;
-                            let _ = tx.send((*bank, *slot));
-                        }
+                        Ok((results, rejected))
+                    })();
+                    if result.is_ok() {
+                        // Clean completion: every credit this shard owed is in
+                        // the lane's table, so the paired lane can finish on
+                        // its own — don't trip the abort.
+                        std::mem::forget(guard);
                     }
-                    Ok((results, rejected))
+                    result
                 })
             })
             .collect();
@@ -652,41 +836,71 @@ where
             .lanes
             .iter_mut()
             .zip(fleet.completions.queues_mut())
-            .zip(rxs)
-            .map(|((lane, cq), rx)| {
+            .map(|(lane, cq)| {
                 scope.spawn(move || -> AmResult<()> {
                     let guard = AbortOnDrop(abort);
                     let result = (|| -> AmResult<()> {
                         let slots = lane.targets.len();
                         let total = rounds * slots;
+                        // Discard credits left over from earlier phased
+                        // schedules (they consume none): every slot starts
+                        // empty, so round 0 needs no credit and anything
+                        // pending in the table is stale.
+                        lane.sync_credits()?;
                         let mut rounds_sent = vec![0u64; slots];
-                        // Every slot starts empty: round 0 needs no credit.
                         let mut free: VecDeque<usize> = (0..slots).collect();
                         let mut sent = 0usize;
+                        let mut cursor = 0usize;
                         while sent < total {
                             let idx = match free.pop_front() {
                                 Some(idx) => idx,
                                 None => {
-                                    let (bank, slot) = rx.recv().map_err(|_| {
-                                        AmError::Exec(
-                                            "pipeline drain ended before returning all credits"
-                                                .into(),
-                                        )
-                                    })?;
-                                    *lane.index.get(&(bank, slot)).ok_or_else(|| {
-                                        AmError::InvalidConfig(format!(
-                                            "credited slot ({bank}, {slot}) is not owned by \
-                                             stream {}",
-                                            lane.stream
-                                        ))
-                                    })?
+                                    // Spin, then park, on acquire loads of
+                                    // this lane's own flag region:
+                                    // round-robin over the slots that still
+                                    // owe rounds until one's token changes.
+                                    // The first SPIN_SCANS fruitless passes
+                                    // only yield (credits normally arrive
+                                    // within a burst); after that the lane
+                                    // parks briefly between polls so a
+                                    // stalled lane on an oversubscribed host
+                                    // stops stealing quanta from the very
+                                    // drain threads it is waiting on.
+                                    const SPIN_SCANS: u32 = 128;
+                                    const PARK: std::time::Duration =
+                                        std::time::Duration::from_micros(20);
+                                    let mut fruitless = 0u32;
+                                    'wait: loop {
+                                        for step in 0..slots {
+                                            let i = (cursor + step) % slots;
+                                            if (rounds_sent[i] as usize) < rounds
+                                                && lane.try_acquire_slot(i)?
+                                            {
+                                                cursor = (i + 1) % slots;
+                                                break 'wait i;
+                                            }
+                                        }
+                                        if abort.load(Ordering::Relaxed) {
+                                            return Err(AmError::Exec(
+                                                "pipeline aborted: a drain shard failed \
+                                                 before returning all credits"
+                                                    .into(),
+                                            ));
+                                        }
+                                        if fruitless == 0 {
+                                            // One stall *episode*, however many
+                                            // fruitless polls it takes.
+                                            lane.sender.stats_mut().credit_stall_events += 1;
+                                        }
+                                        fruitless = fruitless.saturating_add(1);
+                                        if fruitless < SPIN_SCANS {
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::thread::sleep(PARK);
+                                        }
+                                    }
                                 }
                             };
-                            if rounds_sent[idx] as usize == rounds {
-                                // The slot's last round came back after the
-                                // quota was met; nothing left to send there.
-                                continue;
-                            }
                             lane.send_slot(cq, elem, mode, idx, rounds_sent[idx], make)?;
                             rounds_sent[idx] += 1;
                             sent += 1;
@@ -704,15 +918,37 @@ where
             })
             .collect();
 
+        // Join *both* sides before reporting: after an abort, one side holds
+        // the root-cause error and the other holds only the secondary
+        // "pipeline aborted: ..." it raised when released, and either side
+        // may be the one that actually failed (a lane's send, or a drain's
+        // dispatch/credit put).
+        let mut errors: Vec<AmError> = Vec::new();
         for h in sender_handles {
-            h.join().expect("sender lane thread panicked")?;
+            if let Err(e) = h.join().expect("sender lane thread panicked") {
+                errors.push(e);
+            }
         }
         let mut results = Vec::new();
         let mut rejected = 0usize;
         for h in drain_handles {
-            let (r, rej) = h.join().expect("drain thread panicked")?;
-            results.extend(r);
-            rejected += rej;
+            match h.join().expect("drain thread panicked") {
+                Ok((r, rej)) => {
+                    results.extend(r);
+                    rejected += rej;
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        if !errors.is_empty() {
+            // Surface the root cause, not a released thread's abort notice
+            // (the only errors prefixed "pipeline aborted" are the ones this
+            // function itself raises on the released side).
+            let root = errors
+                .iter()
+                .position(|e| !matches!(e, AmError::Exec(m) if m.starts_with("pipeline aborted")))
+                .unwrap_or(0);
+            return Err(errors.swap_remove(root));
         }
         Ok(PipelineOutcome {
             drained: results.len(),

@@ -29,6 +29,7 @@ use twochains_memsim::{
     SharedHierarchy, SimTime,
 };
 
+use super::credit::{CreditHandshake, CreditReturn};
 use super::injection_cache::{CachedGot, CachedProgram, InjectionCache};
 use super::shard::{ReceiverShard, ShardDrain};
 use super::{BurstFrame, BurstOutcome, ReceiveOutcome};
@@ -525,11 +526,120 @@ impl TwoChainsHost {
                 Ok(super::StreamHandshake {
                     stream,
                     streams,
+                    per_bank: self.core.config.mailboxes_per_bank,
                     targets,
                     gots: gots.clone(),
                 })
             })
             .collect()
+    }
+
+    /// Install the reverse half of the fleet connection: the one-sided
+    /// credit-return path (§VI-A2). Each [`CreditHandshake`] carries the
+    /// descriptor of one stream's [`BankFlags`](crate::bank::BankFlags) credit
+    /// table, registered in the *sender's* address space; this host opens a
+    /// reverse-direction endpoint per shard and, from then on, every retired
+    /// frame (drained, dispatch-rejected or quarantined) is acknowledged with
+    /// a one-byte credit put into the paired stream's table — flow control
+    /// riding the fabric and charged in virtual time, not a host-side side
+    /// channel.
+    ///
+    /// Requires one handshake per shard with `streams == num_shards`: bank
+    /// ownership is `bank % n` on both sides, so only the closed pairing gives
+    /// every drain shard exactly one stream to credit. A
+    /// [`SenderFleet`](super::SenderFleet) connected with
+    /// `sender_streams == num_shards` calls this automatically.
+    pub fn install_credit_returns(
+        &mut self,
+        fabric: &SimFabric,
+        handshakes: Vec<CreditHandshake>,
+    ) -> AmResult<()> {
+        let shards = self.shards.len();
+        if handshakes.len() != shards {
+            return Err(AmError::InvalidConfig(format!(
+                "{} credit handshakes for {shards} shards: the one-sided credit \
+                 path needs the closed stream<->shard pairing (sender_streams == \
+                 num_shards)",
+                handshakes.len()
+            )));
+        }
+        let mut returns: Vec<Option<CreditReturn>> = (0..shards).map(|_| None).collect();
+        let mut claimed: Vec<(usize, u64, u64)> = Vec::with_capacity(shards);
+        for h in handshakes {
+            if h.streams != shards || h.stream >= shards {
+                return Err(AmError::InvalidConfig(format!(
+                    "credit handshake for stream {} of {} does not match the \
+                     {shards}-shard receiver",
+                    h.stream, h.streams
+                )));
+            }
+            // Vet the table at install time, so a drain-time credit put can
+            // only fail on a genuine invariant break (e.g. a region
+            // deregistered mid-flight), never on geometry agreed here.
+            if !h.descriptor.flags.remote_write {
+                return Err(AmError::InvalidConfig(format!(
+                    "stream {}'s credit table region is not remote-writable: \
+                     every credit put to it would fail at drain time",
+                    h.stream
+                )));
+            }
+            // Distinct streams must hand over disjoint regions: two streams
+            // sharing (an overlap of) one table would write each other's
+            // token bytes — a phantom credit for one lane and a permanently
+            // withheld one for the other, with no error anywhere.
+            let (start, end) = (
+                h.descriptor.base_addr,
+                h.descriptor.base_addr + h.descriptor.len as u64,
+            );
+            if claimed
+                .iter()
+                .any(|&(host, s, e)| host == h.descriptor.host && start < e && s < end)
+            {
+                return Err(AmError::InvalidConfig(format!(
+                    "stream {}'s credit table overlaps another stream's: \
+                     each stream needs its own region",
+                    h.stream
+                )));
+            }
+            claimed.push((h.descriptor.host, start, end));
+            let endpoint = fabric.endpoint(self.host_id(), HostId(h.descriptor.host))?;
+            let credit = CreditReturn::new(
+                endpoint,
+                &h,
+                self.core.config.banks,
+                self.core.config.mailboxes_per_bank,
+            )?;
+            if returns[h.stream].replace(credit).is_some() {
+                return Err(AmError::InvalidConfig(format!(
+                    "duplicate credit handshake for stream {}",
+                    h.stream
+                )));
+            }
+        }
+        for (shard, credit) in self.shards.iter_mut().zip(returns) {
+            shard.credit = credit;
+        }
+        Ok(())
+    }
+
+    /// Whether every shard has its one-sided credit-return path installed
+    /// (the precondition for [`drive_pipeline`](super::drive_pipeline)).
+    pub fn credit_path_installed(&self) -> bool {
+        self.shards.iter().all(|s| s.credit.is_some())
+    }
+
+    /// The sender-side table descriptor shard `shard`'s credit return targets
+    /// (`None` when not installed). `drive_pipeline` checks these against the
+    /// fleet it was handed: a later `connect` replaces the credit returns, so
+    /// driving an *earlier* fleet would put every token into another fleet's
+    /// tables and spin forever — the identity check turns that into an error.
+    pub(crate) fn credit_descriptor(
+        &self,
+        shard: usize,
+    ) -> Option<twochains_fabric::RegionDescriptor> {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.credit.as_ref().map(|c| c.descriptor()))
     }
 
     /// The receiver's mailbox banks.
@@ -652,7 +762,49 @@ impl TwoChainsHost {
 }
 
 impl HostCore {
-    /// Single-slot receive through `shard`, charging the wait model.
+    /// Return the flow-control credit for a just-retired slot as a one-sided
+    /// put into the paired stream's credit table, when the credit path is
+    /// installed (no-op otherwise). The drain core pays the posting cost:
+    /// `clock` advances to the put's `sender_free`, and the traffic lands in
+    /// the shard's `credits_returned` / `credit_put_bytes` /
+    /// `credit_put_time` counters. Must be called *after* the slot's mailbox
+    /// was cleared — the put's release publication is what orders the
+    /// sender's refill behind the clear.
+    ///
+    /// A failure here is an invariant break, not a routine condition:
+    /// [`TwoChainsHost::install_credit_returns`] vets the table's geometry,
+    /// writability and disjointness up front, so the only ways a drain-time
+    /// credit put can fail are things like a region deregistered mid-flight.
+    /// Callers propagate it (even at the cost of dropping a burst's
+    /// already-executed outcomes) — losing a credit silently would wedge the
+    /// paired lane with no trace, which is strictly worse.
+    fn return_credit(
+        shard: &mut ReceiverShard,
+        clock: &mut SimTime,
+        bank: usize,
+        slot: usize,
+    ) -> AmResult<()> {
+        if let Some(credit) = shard.credit.as_mut() {
+            let out = credit.put_credit(*clock, bank, slot)?;
+            shard.stats.credits_returned += 1;
+            shard.stats.credit_put_bytes += out.bytes as u64;
+            shard.stats.credit_put_time += out.sender_free - *clock;
+            *clock = out.sender_free;
+        }
+        Ok(())
+    }
+
+    /// Single-slot receive through `shard`, charging the wait model. The
+    /// slot's credit is returned once the frame retired (see
+    /// [`HostCore::return_credit`]); the credit posting cost is charged to the
+    /// shard's counters but not folded into the returned outcome's handler
+    /// time — it belongs to the drain core's next activity, exactly like the
+    /// burst path's clock advance.
+    ///
+    /// Like the burst engine (this is its single-frame case), a frame the
+    /// dispatch *rejects* is still retired: the slot is cleared, counted in
+    /// `frames_rejected`, and its credit returned — then the error surfaces.
+    /// An [`AmError::Empty`] poll (no frame present) retires nothing.
     pub(crate) fn receive_owned(
         &self,
         shard: &mut ReceiverShard,
@@ -662,7 +814,7 @@ impl HostCore {
         arrival: SimTime,
         ready_since: SimTime,
     ) -> AmResult<ReceiveOutcome> {
-        self.receive_slot(
+        let outcome = match self.receive_slot(
             shard,
             bank,
             slot,
@@ -670,7 +822,29 @@ impl HostCore {
             arrival,
             ready_since,
             WaitCharge::Signal,
-        )
+        ) {
+            Ok(outcome) => outcome,
+            Err(AmError::Empty) => return Err(AmError::Empty),
+            Err(err) => {
+                // The slot held something the dispatch rejected (malformed
+                // header, policy violation, unknown element, ...): free it so
+                // the bank cannot wedge. Without a trustworthy length,
+                // clearing the header magic alone makes the slot poll empty
+                // again (the same gate the quarantine path clears).
+                if let Ok(mailbox) = self.banks.mailbox(bank, slot) {
+                    let _ = mailbox.clear(frame_len.unwrap_or(FRAME_HEADER_SIZE));
+                    shard.stats.frames_rejected += 1;
+                    let mut clock = arrival;
+                    // The dispatch error is the caller's answer; a credit-put
+                    // failure on top of it would only mask the root cause.
+                    let _ = Self::return_credit(shard, &mut clock, bank, slot);
+                }
+                return Err(err);
+            }
+        };
+        let mut clock = outcome.handler_done;
+        Self::return_credit(shard, &mut clock, bank, slot)?;
+        Ok(outcome)
     }
 
     /// One-scan burst drain of the banks `shard` owns (see
@@ -699,6 +873,13 @@ impl HostCore {
         shard.stats.wait_time += scan.elapsed;
         shard.stats.cycles.add_wait(scan.cycles);
         let mut clock = now + scan.elapsed;
+        // A quarantined slot was cleared by the scan, so its credit goes back
+        // right away: the paired lane must be able to reuse the slot even
+        // though no frame was ever dispatched from it — otherwise a single
+        // poisoning put would wedge the lane forever.
+        for (bank, slot, _) in &rejected {
+            Self::return_credit(shard, &mut clock, *bank, *slot)?;
+        }
         let mut frames = Vec::with_capacity(ready.len());
         for (bank, slot, frame_len) in ready {
             match self.receive_slot(
@@ -728,6 +909,9 @@ impl HostCore {
                     rejected.push((bank, slot, err));
                 }
             }
+            // One credit per retired frame — drained or rejected — issued the
+            // moment the slot is clear again, on the drain core's clock.
+            Self::return_credit(shard, &mut clock, bank, slot)?;
         }
         Ok(BurstOutcome {
             frames,

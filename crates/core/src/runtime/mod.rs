@@ -115,6 +115,7 @@
 //! [`RuntimeStats::got_cache_hits`]: crate::stats::RuntimeStats::got_cache_hits
 //! [`RuntimeStats::template_hits`]: crate::stats::RuntimeStats::template_hits
 
+mod credit;
 mod fleet;
 mod host;
 mod injection_cache;
@@ -125,6 +126,7 @@ mod tests;
 
 pub(crate) use injection_cache::MAX_INJECTION_CACHE_ENTRIES;
 
+pub use credit::CreditHandshake;
 pub use fleet::{
     drive_pipeline, FleetLane, PipelineFrame, PipelineOutcome, SenderFleet, SenderLane, SlotCtx,
     StreamHandshake, StreamTarget,

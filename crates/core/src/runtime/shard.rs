@@ -30,6 +30,7 @@ use std::sync::Arc;
 use twochains_jamvm::ShardSpace;
 use twochains_memsim::{CoreBus, CoreCacheStats, SimTime};
 
+use super::credit::CreditReturn;
 use super::host::HostCore;
 use super::injection_cache::InjectionCache;
 use super::{BurstOutcome, ReceiveOutcome};
@@ -56,6 +57,14 @@ pub struct ReceiverShard {
     /// Persistent receive buffer: frames are read into it and parsed by borrow.
     pub(crate) scratch: Vec<u8>,
     pub(crate) stats: RuntimeStats,
+    /// The one-sided credit-return path for this shard's paired sender stream
+    /// (§VI-A2): installed by
+    /// [`TwoChainsHost::install_credit_returns`](super::TwoChainsHost::install_credit_returns)
+    /// when the fleet's stream count matches the shard count; `None` until
+    /// then (pre-fleet drains and raw-sender benchmarks pay no credit
+    /// traffic). Owned by the shard so drain threads return credits without a
+    /// lock — the endpoint serializes on the NIC models like any other put.
+    pub(crate) credit: Option<CreditReturn>,
 }
 
 impl ReceiverShard {
@@ -76,6 +85,7 @@ impl ReceiverShard {
             cache,
             scratch: Vec::new(),
             stats: RuntimeStats::new(),
+            credit: None,
         }
     }
 

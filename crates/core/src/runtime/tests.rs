@@ -1328,7 +1328,7 @@ fn fleet_testbed(shards: usize, window: usize) -> (TwoChainsHost, super::SenderF
     let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
     let fleet =
-        super::SenderFleet::connect(&fabric, a, &host, benchmark_package().unwrap()).unwrap();
+        super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     (host, fleet)
 }
 
@@ -1536,6 +1536,269 @@ fn backpressure_pauses_only_the_saturated_stream() {
 }
 
 #[test]
+fn connect_installs_the_credit_path_only_for_the_closed_pairing() {
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(2);
+    cfg.frame_capacity = 4096;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    assert!(!host.credit_path_installed());
+    // One stream over a two-shard host: no drain->lane credit route exists,
+    // so the fleet connects without the credit path (phased schedules only).
+    let single = super::SenderFleet::connect_streams(
+        &fabric,
+        a,
+        &mut host,
+        benchmark_package().unwrap(),
+        1,
+        64,
+    )
+    .unwrap();
+    assert_eq!(single.lane_count(), 1);
+    assert!(!host.credit_path_installed());
+    drop(single);
+    // The closed pairing wires it.
+    let _fleet = super::SenderFleet::connect_streams(
+        &fabric,
+        a,
+        &mut host,
+        benchmark_package().unwrap(),
+        2,
+        64,
+    )
+    .unwrap();
+    assert!(host.credit_path_installed());
+}
+
+#[test]
+fn install_credit_returns_validates_geometry() {
+    let mut cfg = RuntimeConfig::paper_default().with_shards(2);
+    cfg.frame_capacity = 4096;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let per_bank = host.config().mailboxes_per_bank;
+    let region = fabric
+        .host(a)
+        .unwrap()
+        .register(256, twochains_fabric::AccessFlags::rw())
+        .unwrap();
+    let hs = |stream: usize, streams: usize| super::CreditHandshake {
+        stream,
+        streams,
+        per_bank,
+        descriptor: region.descriptor(),
+    };
+    // Wrong handshake count: the closed pairing needs one per shard.
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2)])
+        .is_err());
+    // Stream geometry that does not match the shard count.
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 3), hs(1, 3)])
+        .is_err());
+    // Duplicate stream.
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2), hs(0, 2)])
+        .is_err());
+    // Mismatched mailbox geometry.
+    let mut bad = hs(1, 2);
+    bad.per_bank = per_bank + 1;
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2), bad])
+        .is_err());
+    // A region too small for the stream's bank rows.
+    let tiny = fabric
+        .host(a)
+        .unwrap()
+        .register(8, twochains_fabric::AccessFlags::rw())
+        .unwrap();
+    let mut small = hs(1, 2);
+    small.descriptor = tiny.descriptor();
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2), small])
+        .is_err());
+    // Two streams over one region would clobber each other's token bytes.
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2), hs(1, 2)])
+        .is_err());
+    // A table the receiver cannot put into would only fail at drain time;
+    // install must catch it up front.
+    let ro = fabric
+        .host(a)
+        .unwrap()
+        .register(256, twochains_fabric::AccessFlags::ro())
+        .unwrap();
+    let mut unwritable = hs(1, 2);
+    unwritable.descriptor = ro.descriptor();
+    assert!(host
+        .install_credit_returns(&fabric, vec![hs(0, 2), unwritable])
+        .is_err());
+    // A well-formed pair — one disjoint writable region per stream — installs.
+    let second = fabric
+        .host(a)
+        .unwrap()
+        .register(256, twochains_fabric::AccessFlags::rw())
+        .unwrap();
+    let mut other = hs(1, 2);
+    other.descriptor = second.descriptor();
+    host.install_credit_returns(&fabric, vec![hs(0, 2), other])
+        .unwrap();
+    assert!(host.credit_path_installed());
+}
+
+#[test]
+fn single_slot_receive_returns_the_credit_over_the_fabric() {
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let mut handles = fleet.handles();
+    let sent = handles[0]
+        .send_to(
+            0,
+            0,
+            elem,
+            InvocationMode::Injected,
+            &indirect_put_args(3, 4, 4),
+            &payload(4),
+        )
+        .unwrap();
+    drop(handles);
+    assert!(!fleet.lane(0).unwrap().credit_pending(0, 0).unwrap());
+    host.receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .unwrap();
+    // The retire produced one one-byte credit put, charged in virtual time
+    // and visible in the owning lane's sender-side table.
+    let stats = host.stats();
+    assert_eq!(stats.credits_returned, 1);
+    assert_eq!(stats.credit_put_bytes, 1);
+    assert!(stats.credit_put_time > SimTime::ZERO);
+    assert!(fleet.lane(0).unwrap().credit_pending(0, 0).unwrap());
+    assert!(!fleet.lane(1).unwrap().credit_pending(1, 0).unwrap());
+}
+
+#[test]
+fn rejected_single_slot_receive_still_retires_and_credits() {
+    // The single-frame case of the burst engine must retire a rejected frame
+    // the same way the burst does: clear the slot, count it, return its
+    // credit — otherwise a lane whose frame was rejected on the `receive`
+    // path would spin forever on a token that never changes.
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    let mut handles = fleet.handles();
+    let sent = handles[0]
+        .send_to(
+            0,
+            0,
+            ElementId(9999),
+            InvocationMode::Local,
+            &[],
+            &payload(4),
+        )
+        .unwrap();
+    drop(handles);
+    let err = host
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .unwrap_err();
+    assert!(matches!(err, AmError::UnknownElement(9999)));
+    let stats = host.stats();
+    assert_eq!(stats.frames_rejected, 1);
+    assert_eq!(stats.credits_returned, 1);
+    assert!(fleet.lane(0).unwrap().credit_pending(0, 0).unwrap());
+    // The slot polls empty again: the bank cannot wedge.
+    assert!(host
+        .banks()
+        .mailbox(0, 0)
+        .unwrap()
+        .poll_variable()
+        .unwrap()
+        .is_none());
+    // An empty poll, by contrast, retires nothing and credits nothing.
+    assert!(matches!(
+        host.receive(0, 1, None, SimTime::ZERO, SimTime::ZERO),
+        Err(AmError::Empty)
+    ));
+    assert_eq!(host.stats().credits_returned, 1);
+}
+
+#[test]
+fn drive_pipeline_rejects_a_fleet_whose_credit_tables_were_replaced() {
+    // A second connect replaces the host's credit returns; driving the first
+    // fleet would put every token into the second fleet's tables while the
+    // first one's lanes spin forever — the identity check must refuse.
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(2);
+    cfg.frame_capacity = 4096;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let mut stale =
+        super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    let mut fresh =
+        super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let err = super::drive_pipeline(
+        &mut host,
+        &mut stale,
+        elem,
+        InvocationMode::Injected,
+        1,
+        &fleet_payload,
+    )
+    .unwrap_err();
+    match err {
+        AmError::InvalidConfig(msg) => assert!(msg.contains("another fleet"), "{msg}"),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // The most recently connected fleet drives fine.
+    let out = super::drive_pipeline(
+        &mut host,
+        &mut fresh,
+        elem,
+        InvocationMode::Injected,
+        1,
+        &fleet_payload,
+    )
+    .unwrap();
+    assert_eq!(out.drained, host.config().total_mailboxes());
+}
+
+#[test]
+fn drive_pipeline_requires_the_credit_path() {
+    // Lanes match the shard count but the credit tables were never installed
+    // (fleet connected against a different geometry): the pipeline must
+    // refuse up front instead of spinning on tokens nobody will ever put.
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(1)
+        .with_sender_streams(1);
+    cfg.frame_capacity = 4096;
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg.clone()).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let mut fleet =
+        super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    assert!(host.credit_path_installed());
+    let mut fresh = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    fresh.install_package(benchmark_package().unwrap()).unwrap();
+    assert!(!fresh.credit_path_installed());
+    let elem = fresh.builtin_id(BuiltinJam::IndirectPut).unwrap();
+    let err = super::drive_pipeline(
+        &mut fresh,
+        &mut fleet,
+        elem,
+        InvocationMode::Injected,
+        1,
+        &fleet_payload,
+    )
+    .unwrap_err();
+    match err {
+        AmError::InvalidConfig(msg) => assert!(msg.contains("credit"), "{msg}"),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
 fn fleet_lanes_are_send() {
     fn assert_send<T: Send>() {}
     assert_send::<super::SenderLane>();
@@ -1554,7 +1817,7 @@ fn drive_pipeline_requires_one_lane_per_shard() {
     let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
     let mut fleet =
-        super::SenderFleet::connect(&fabric, a, &host, benchmark_package().unwrap()).unwrap();
+        super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
     let err = super::drive_pipeline(
         &mut host,

@@ -57,6 +57,21 @@ pub struct RuntimeStats {
     /// [`RuntimeStats::merge`], so the host-wide view shows how many one-put
     /// denial-of-service attempts the receiver absorbed.
     pub poisoned_quarantined: u64,
+    /// Mailbox credits returned by the receiver with one-sided puts into the
+    /// sender's credit table (§VI-A2) — one per retired frame (drained,
+    /// dispatch-rejected or quarantined) once the credit path is installed.
+    pub credits_returned: u64,
+    /// Payload bytes moved by credit-return puts (flow control measured as
+    /// fabric traffic, not a host-side side channel).
+    pub credit_put_bytes: u64,
+    /// Times a sender lane found no pending credit for any refillable slot and
+    /// had to spin/park on its flag region (one count per stall episode, not
+    /// per fruitless poll).
+    pub credit_stall_events: u64,
+    /// Virtual CPU time the drain cores spent posting credit-return puts
+    /// (the `sender_free` charge of each credit put; the wire/DMA side is
+    /// charged inside the fabric model like any other put).
+    pub credit_put_time: SimTime,
     /// Total virtual time the receiver spent waiting for signals.
     pub wait_time: SimTime,
     /// Total virtual time spent in handler execution.
@@ -110,6 +125,10 @@ impl RuntimeStats {
             completions_harvested,
             frames_rejected,
             poisoned_quarantined,
+            credits_returned,
+            credit_put_bytes,
+            credit_stall_events,
+            credit_put_time,
             wait_time,
             exec_time,
             cycles,
@@ -132,6 +151,10 @@ impl RuntimeStats {
         self.completions_harvested += completions_harvested;
         self.frames_rejected += frames_rejected;
         self.poisoned_quarantined += poisoned_quarantined;
+        self.credits_returned += credits_returned;
+        self.credit_put_bytes += credit_put_bytes;
+        self.credit_stall_events += credit_stall_events;
+        self.credit_put_time += *credit_put_time;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
         self.cycles.merge(cycles);
@@ -163,6 +186,9 @@ mod tests {
         a.injected_code_cache_evictions = 1;
         a.cycles.add_wait(5);
         a.poisoned_quarantined = 2;
+        a.credits_returned = 2;
+        a.credit_put_bytes = 2;
+        a.credit_put_time = SimTime::from_ns(40);
         let mut b = RuntimeStats::new();
         b.messages_received = 4;
         b.got_cache_evictions = 7;
@@ -170,6 +196,10 @@ mod tests {
         b.completions_harvested = 11;
         b.frames_rejected = 3;
         b.poisoned_quarantined = 5;
+        b.credits_returned = 9;
+        b.credit_put_bytes = 9;
+        b.credit_stall_events = 6;
+        b.credit_put_time = SimTime::from_ns(5);
         b.cycles.add_work(9);
         a.merge(&b);
         assert_eq!(a.messages_received, 7);
@@ -182,6 +212,12 @@ mod tests {
         // a per-shard count that merge() drops is invisible to operators.
         assert_eq!(a.frames_rejected, 3);
         assert_eq!(a.poisoned_quarantined, 7);
+        // Same for the flow-control traffic counters: the whole point of the
+        // one-sided credit path is that its cost is visible in the aggregate.
+        assert_eq!(a.credits_returned, 11);
+        assert_eq!(a.credit_put_bytes, 11);
+        assert_eq!(a.credit_stall_events, 6);
+        assert_eq!(a.credit_put_time, SimTime::from_ns(45));
         assert_eq!(a.cycles.total(), 14);
     }
 }

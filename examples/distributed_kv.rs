@@ -22,7 +22,8 @@
 //! lands in the same lane's stream *and* the same shard's table — a
 //! shard-partitioned KV store whose write batches run through
 //! [`drive_pipeline`]: lane threads keep filling while drain threads execute,
-//! with per-slot credits flowing back the moment a slot is free.
+//! with per-slot credits returned as one-sided puts into each lane's own
+//! registered flag region (§VI-A2) the moment a slot is free.
 
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
 use twochains::{drive_pipeline, InvocationMode, RuntimeConfig, SenderFleet, TwoChainsHost};
@@ -46,9 +47,13 @@ fn main() {
         .unwrap();
     // The fleet handshake wires everything at once: per-stream mailbox targets
     // plus the receiver-resolved GOT image of every package element.
-    let mut client =
-        SenderFleet::connect(&fabric, client_id, &server, benchmark_package().unwrap())
-            .expect("fleet");
+    let mut client = SenderFleet::connect(
+        &fabric,
+        client_id,
+        &mut server,
+        benchmark_package().unwrap(),
+    )
+    .expect("fleet");
     let jam = server.builtin_id(BuiltinJam::IndirectPut).unwrap();
     println!(
         "client fleet: {} lanes, one per server shard",

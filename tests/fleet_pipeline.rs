@@ -1,6 +1,7 @@
 //! Sender-fleet pipeline equivalence: the overlapped fill/drain pipeline
 //! (`drive_pipeline`: one sender thread per lane, one drain thread per shard,
-//! per-slot credits flowing between them) must be observationally equal to the
+//! per-slot credits returned as one-sided puts into the lanes' sender-side
+//! credit tables) must be observationally equal to the
 //! sequential fill-then-drain baseline — same per-message results, same
 //! injection-cache statistics, same merged order-independent runtime counters —
 //! over arbitrary payload interleaves.
@@ -42,7 +43,7 @@ fn build() -> (TwoChainsHost, SenderFleet) {
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut host = TwoChainsHost::new(&fabric, b, config()).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
-    let fleet = SenderFleet::connect(&fabric, a, &host, benchmark_package().unwrap()).unwrap();
+    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     (host, fleet)
 }
 
@@ -163,6 +164,12 @@ fn assert_observationally_equal(seed: u64) {
     assert_eq!(a.frames_rejected, 0);
     assert_eq!(b.frames_rejected, 0);
     assert_eq!(a.poisoned_quarantined, b.poisoned_quarantined);
+    // Flow control is itself order-independent fabric traffic now: both
+    // schedules retire the same frames, so both return the same one-sided
+    // credit puts — one per received message.
+    assert_eq!(a.credits_returned, b.credits_returned);
+    assert_eq!(a.credit_put_bytes, b.credit_put_bytes);
+    assert_eq!(a.credits_returned, a.messages_received);
 
     // Sender-side counters: same messages, same bytes, same per-lane template
     // caching; the roomy window means neither schedule ever stalled.
@@ -173,6 +180,10 @@ fn assert_observationally_equal(seed: u64) {
     assert_eq!(sa.template_misses, sb.template_misses);
     assert_eq!(sa.sends_backpressured, 0);
     assert_eq!(sb.sends_backpressured, 0);
+    // The sequential schedule never waits on the credit table; the pipelined
+    // lanes may stall (a wall-clock race), which is exactly why stall counts
+    // are not part of the equivalence oracle.
+    assert_eq!(sa.credit_stall_events, 0);
     for stream in 0..SHARDS {
         assert_eq!(
             seq_fleet.lane(stream).unwrap().stats().messages_sent,
