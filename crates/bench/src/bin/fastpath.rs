@@ -76,6 +76,23 @@ fn main() {
             row.pipeline_ratio(),
         );
     }
+    for row in &report.loss {
+        eprintln!(
+            concat!(
+                "loss: rate {:.2} completes {} msgs at {:.2} M msg/s goodput; ",
+                "{} dropped / {} retransmitted ({:.2}% overhead), ",
+                "{} replays suppressed, {} NACKs posted"
+            ),
+            row.loss_rate,
+            row.messages,
+            row.goodput_msgs_per_sec / 1e6,
+            row.frames_dropped,
+            row.frames_retransmitted,
+            row.retransmit_overhead() * 100.0,
+            row.replays_suppressed,
+            row.nacks_posted,
+        );
+    }
     if report.dispatch_speedup() < 2.0 {
         eprintln!("WARNING: warm path is less than 2x faster than cold — fast-path regression?");
     }

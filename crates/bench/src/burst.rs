@@ -44,7 +44,7 @@ use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
 use twochains::{
     drive_pipeline, InvocationMode, RuntimeConfig, SenderFleet, ShardMask, SlotCtx, TwoChainsHost,
 };
-use twochains_fabric::SimFabric;
+use twochains_fabric::{FaultPlan, SimFabric};
 use twochains_linker::ElementId;
 use twochains_memsim::{SimTime, TestbedConfig};
 
@@ -355,6 +355,118 @@ fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, Cred
     (rounds * total_slots, best, credit)
 }
 
+/// One row of the lossy-fabric sweep: the pipelined engine driven over a link
+/// with a seeded [`FaultPlan`], reporting goodput (completed messages per wall
+/// second, recovery latency included) and the reliability layer's own
+/// accounting — retransmits, suppressed replays and NACK posts next to the
+/// faults the fabric actually injected.
+#[derive(Debug, Clone, Copy)]
+pub struct LossRow {
+    /// Total fault probability of the plan (split evenly across
+    /// drop/duplicate/reorder); `0.0` means no plan installed at all.
+    pub loss_rate: f64,
+    /// Messages completed in the measured rounds.
+    pub messages: usize,
+    /// Completed messages per wall-clock second under faults. This is
+    /// *goodput*: only first-time completions count, while the elapsed time
+    /// includes every NACK round-trip and watchdog backoff the recovery paid.
+    pub goodput_msgs_per_sec: f64,
+    /// First-time frame sends (retransmits excluded by design).
+    pub frames_sent: u64,
+    /// Byte-identical frame retransmits the sender lanes issued.
+    pub frames_retransmitted: u64,
+    /// Puts the fabric dropped on the faulted link during the measured rounds.
+    pub frames_dropped: u64,
+    /// Stale deliveries the receiver retired without re-executing.
+    pub replays_suppressed: u64,
+    /// Gap NACKs the receiver posted into the sender-side tables.
+    pub nacks_posted: u64,
+}
+
+impl LossRow {
+    /// Retransmitted frames as a fraction of first-time sends — the wire
+    /// overhead the reliability layer paid for this loss rate.
+    pub fn retransmit_overhead(&self) -> f64 {
+        self.frames_retransmitted as f64 / (self.frames_sent as f64).max(1.0)
+    }
+}
+
+/// Drive the 4-shard pipelined engine over links of increasing loss and report
+/// goodput plus recovery accounting per rate. A rate of `0.0` installs no plan
+/// at all, so that row doubles as the proof the reliability layer is free on a
+/// pristine fabric (the perf gate holds its fault counters at exactly zero).
+///
+/// Both the warm-up and the measured rounds run through [`drive_pipeline`]:
+/// the phased fill/drain prime has no retransmit machinery, so a dropped
+/// prime frame would wedge its mailbox forever.
+pub fn loss_sweep(loss_rates: &[f64], messages: usize) -> Vec<LossRow> {
+    const SHARDS: usize = 4;
+    let slots = sweep_config(SHARDS).total_mailboxes();
+    let rounds = messages.div_ceil(slots).max(1);
+    loss_rates
+        .iter()
+        .map(|&rate| {
+            let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+            let mut host = TwoChainsHost::new(&fabric, b, sweep_config(SHARDS)).expect("host");
+            host.install_package(benchmark_package().expect("package"))
+                .expect("install");
+            // Before `connect`: endpoints capture the link's fault hook at
+            // creation time.
+            if rate > 0.0 {
+                fabric
+                    .install_fault_plan(a, b, FaultPlan::mixed(rate, (rate * 1e4) as u64 + 0x5EED))
+                    .expect("plan");
+            }
+            let mut fleet =
+                SenderFleet::connect(&fabric, a, &mut host, benchmark_package().expect("package"))
+                    .expect("fleet");
+            let elem = host.builtin_id(BuiltinJam::IndirectPut).expect("builtin");
+            let per_bank = host.config().mailboxes_per_bank;
+
+            let out = drive_pipeline(
+                &mut host,
+                &mut fleet,
+                elem,
+                InvocationMode::Injected,
+                1,
+                &|ctx| payload(ctx, per_bank),
+            )
+            .expect("lossy prime");
+            assert_eq!(out.drained, slots);
+            host.reset_stats();
+            fleet.reset_stats();
+            let primed_drops = fabric.fault_counters(a, b).map_or(0, |s| s.dropped);
+
+            let start = Instant::now();
+            let out = drive_pipeline(
+                &mut host,
+                &mut fleet,
+                elem,
+                InvocationMode::Injected,
+                rounds,
+                &|ctx| payload(ctx, per_bank),
+            )
+            .expect("lossy pipeline");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out.drained, rounds * slots);
+            assert_eq!(out.rejected, 0);
+
+            let sender = fleet.stats();
+            let receiver = host.stats();
+            LossRow {
+                loss_rate: rate,
+                messages: rounds * slots,
+                goodput_msgs_per_sec: (rounds * slots) as f64 / secs.max(1e-12),
+                frames_sent: sender.messages_sent,
+                frames_retransmitted: sender.frames_retransmitted,
+                frames_dropped: fabric.fault_counters(a, b).map_or(0, |s| s.dropped) - primed_drops,
+                replays_suppressed: receiver.replays_suppressed,
+                nacks_posted: receiver.nacks_posted,
+            }
+        })
+        .collect()
+}
+
 /// Sweep the shard counts, draining at least `messages` frames per count (rounded
 /// up to whole fill rounds). The first entry is the speedup baseline.
 pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
@@ -442,6 +554,32 @@ mod tests {
         assert!(row.model_credit_time_share > 0.0 && row.model_credit_time_share < 1.0);
         assert_eq!(row.pipe_credit_ops as usize, row.messages);
         assert_eq!(row.pipe_credit_bytes, row.pipe_credit_ops);
+    }
+
+    #[test]
+    fn loss_sweep_reports_recovery_accounting() {
+        let rows = loss_sweep(&[0.0, 0.1], 64);
+        assert_eq!(rows.len(), 2);
+        let (clean, lossy) = (rows[0], rows[1]);
+        // No plan => the reliability layer never fired, by construction.
+        assert_eq!(clean.frames_retransmitted, 0);
+        assert_eq!(clean.frames_dropped, 0);
+        assert_eq!(clean.replays_suppressed, 0);
+        assert_eq!(clean.nacks_posted, 0);
+        assert!((clean.retransmit_overhead() - 0.0).abs() < 1e-12);
+        // Both rows completed the identical workload.
+        assert_eq!(clean.messages, lossy.messages);
+        assert_eq!(clean.frames_sent, lossy.frames_sent);
+        assert!(clean.goodput_msgs_per_sec > 0.0);
+        assert!(lossy.goodput_msgs_per_sec > 0.0);
+        // Every drop consumed one delivery attempt; attempts beyond
+        // `frames_sent` are retransmits, so a completed run covers its drops.
+        assert!(
+            lossy.frames_retransmitted >= lossy.frames_dropped,
+            "retransmits ({}) must cover drops ({})",
+            lossy.frames_retransmitted,
+            lossy.frames_dropped
+        );
     }
 
     #[test]

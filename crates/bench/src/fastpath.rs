@@ -61,6 +61,11 @@ pub struct FastpathReport {
     /// phased fill-then-drain, and the overlapped sender-fleet pipeline).
     /// Empty when the sweep was not run.
     pub burst: Vec<crate::burst::BurstRow>,
+    /// Lossy-fabric rows from [`crate::burst::loss_sweep`]: goodput and
+    /// retransmit overhead of the pipelined engine per injected fault rate
+    /// (the `0.0` row proves the reliability layer costs nothing on a
+    /// pristine link). Empty when the sweep was not run.
+    pub loss: Vec<crate::burst::LossRow>,
     /// Hardware threads available to the wall-clock measurements. The perf
     /// gate only enforces the wall-rate scaling bar when this is at least the
     /// largest swept shard count (on a 1-core runner, N drain threads
@@ -117,6 +122,36 @@ impl FastpathReport {
         } else {
             format!("[\n{burst_rows}\n  ]")
         };
+        let loss_rows = self
+            .loss
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"loss_rate\": {:.4}, \"messages\": {}, ",
+                        "\"goodput_msgs_per_sec\": {:.0}, ",
+                        "\"frames_sent\": {}, \"frames_retransmitted\": {}, ",
+                        "\"frames_dropped\": {}, \"replays_suppressed\": {}, ",
+                        "\"nacks_posted\": {}, \"retransmit_overhead\": {:.4}}}"
+                    ),
+                    r.loss_rate,
+                    r.messages,
+                    r.goodput_msgs_per_sec,
+                    r.frames_sent,
+                    r.frames_retransmitted,
+                    r.frames_dropped,
+                    r.replays_suppressed,
+                    r.nacks_posted,
+                    r.retransmit_overhead(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let loss_json = if loss_rows.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{loss_rows}\n  ]")
+        };
         format!(
             concat!(
                 "{{\n",
@@ -137,7 +172,8 @@ impl FastpathReport {
                 "  \"warm_got_cache_hits\": {},\n",
                 "  \"warm_template_hits\": {},\n",
                 "  \"host_parallelism\": {},\n",
-                "  \"burst_shard_rows\": {}\n",
+                "  \"burst_shard_rows\": {},\n",
+                "  \"burst_loss_rows\": {}\n",
                 "}}\n",
             ),
             self.messages,
@@ -156,6 +192,7 @@ impl FastpathReport {
             self.warm_template_hits,
             self.host_parallelism,
             burst_json,
+            loss_json,
         )
     }
 }
@@ -264,15 +301,22 @@ pub fn compare(messages: usize) -> FastpathReport {
         warm_got_cache_hits: host.stats().got_cache_hits,
         warm_template_hits: sender.stats().template_hits,
         burst: Vec::new(),
+        loss: Vec::new(),
         host_parallelism: crate::burst::host_parallelism(),
     }
 }
 
+/// Fault rates the loss sweep reports by default: the pristine baseline plus
+/// the 1% and 5% mixed drop/duplicate/reorder schedules.
+pub const DEFAULT_LOSS_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
 /// [`compare`] plus the shard-scaling burst-drain sweep over `shard_counts`
-/// (at least `messages` drained per count).
+/// (at least `messages` drained per count) and the lossy-fabric goodput sweep
+/// over [`DEFAULT_LOSS_RATES`].
 pub fn compare_with_burst(messages: usize, shard_counts: &[usize]) -> FastpathReport {
     let mut report = compare(messages);
     report.burst = crate::burst::sweep(shard_counts, messages);
+    report.loss = crate::burst::loss_sweep(&DEFAULT_LOSS_RATES, messages);
     report
 }
 
@@ -308,8 +352,45 @@ mod tests {
         assert!(json.contains("\"dispatch_speedup\""));
         assert!(json.contains("\"warm_code_cache_misses\": 0"));
         assert!(json.contains("\"burst_shard_rows\": []"));
+        assert!(json.contains("\"burst_loss_rows\": []"));
         assert!(json.contains("\"host_parallelism\": "));
-        assert_eq!(json.matches(':').count(), 18);
+        assert_eq!(json.matches(':').count(), 19);
+    }
+
+    #[test]
+    fn json_includes_loss_rows_when_swept() {
+        let mut report = compare(2);
+        report.loss = vec![
+            crate::burst::LossRow {
+                loss_rate: 0.0,
+                messages: 128,
+                goodput_msgs_per_sec: 200_000.0,
+                frames_sent: 128,
+                frames_retransmitted: 0,
+                frames_dropped: 0,
+                replays_suppressed: 0,
+                nacks_posted: 0,
+            },
+            crate::burst::LossRow {
+                loss_rate: 0.05,
+                messages: 128,
+                goodput_msgs_per_sec: 150_000.0,
+                frames_sent: 128,
+                frames_retransmitted: 6,
+                frames_dropped: 3,
+                replays_suppressed: 2,
+                nacks_posted: 3,
+            },
+        ];
+        let json = report.to_json();
+        assert!(json.contains("\"burst_loss_rows\": [\n"));
+        assert!(json.contains("{\"loss_rate\": 0.0000, \"messages\": 128,"));
+        assert!(json.contains("\"goodput_msgs_per_sec\": 150000"));
+        assert!(json.contains("\"frames_retransmitted\": 6"));
+        assert!(json.contains("\"frames_dropped\": 3"));
+        // 6 retransmits over 128 sends.
+        assert!(json.contains("\"retransmit_overhead\": 0.0469"));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

@@ -160,6 +160,46 @@ pub fn json_f64(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One row of `burst_loss_rows` as the gate needs it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateLossRow {
+    /// Injected total fault probability (`0.0` = no plan installed).
+    pub loss_rate: f64,
+    /// Completed messages per wall second under this fault rate.
+    pub goodput_msgs_per_sec: f64,
+    /// Frame retransmits the sender lanes issued.
+    pub frames_retransmitted: f64,
+    /// Puts the fabric dropped on the faulted link.
+    pub frames_dropped: f64,
+    /// Stale deliveries retired without re-execution.
+    pub replays_suppressed: f64,
+    /// Gap NACKs the receiver posted.
+    pub nacks_posted: f64,
+}
+
+/// Extract the lossy-fabric rows from a fast-path report. Reports generated
+/// before the reliability layer existed have no `burst_loss_rows` key and
+/// yield an empty list — the loss checks are only evaluated when present.
+pub fn parse_loss_rows(json: &str) -> Vec<GateLossRow> {
+    let Some(start) = json.find("\"burst_loss_rows\":") else {
+        return Vec::new();
+    };
+    json[start..]
+        .split('{')
+        .skip(1)
+        .filter_map(|row| {
+            Some(GateLossRow {
+                loss_rate: json_f64(row, "loss_rate")?,
+                goodput_msgs_per_sec: json_f64(row, "goodput_msgs_per_sec")?,
+                frames_retransmitted: json_f64(row, "frames_retransmitted")?,
+                frames_dropped: json_f64(row, "frames_dropped")?,
+                replays_suppressed: json_f64(row, "replays_suppressed")?,
+                nacks_posted: json_f64(row, "nacks_posted")?,
+            })
+        })
+        .collect()
+}
+
 /// Extract the burst rows from a fast-path report.
 pub fn parse_burst_rows(json: &str) -> Vec<GateBurstRow> {
     let Some(start) = json.find("\"burst_shard_rows\":") else {
@@ -290,6 +330,49 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
         }
         None => {
             return Err("report has no 4-shard burst row (run fastpath with --shards 1,4)".into())
+        }
+    }
+
+    // Lossy-fabric bars, evaluated only when the report carries loss rows.
+    // The 0.0 row proves the reliability layer is free on a pristine link:
+    // with no FaultPlan installed, every one of its counters must be exactly
+    // zero. Faulted rows must show the recovery actually covering the loss
+    // (every drop consumes a delivery attempt; attempts beyond the first-time
+    // sends are retransmits) while still completing the workload.
+    for row in parse_loss_rows(report_json) {
+        if row.loss_rate == 0.0 {
+            let residue = row.frames_retransmitted
+                + row.frames_dropped
+                + row.replays_suppressed
+                + row.nacks_posted;
+            checks.push(GateCheck {
+                name: "lossless sweep reliability residue",
+                value: residue,
+                threshold: 0.0,
+                op: "<=",
+                pass: residue <= 0.0,
+                enforced: true,
+                note: "no FaultPlan => retransmit/NACK/replay counters all zero".into(),
+            });
+        } else {
+            checks.push(GateCheck {
+                name: "lossy sweep retransmit coverage",
+                value: row.frames_retransmitted,
+                threshold: row.frames_dropped,
+                op: ">=",
+                pass: row.frames_retransmitted >= row.frames_dropped,
+                enforced: true,
+                note: format!("loss_rate={}: retransmits must cover drops", row.loss_rate),
+            });
+            checks.push(GateCheck {
+                name: "lossy sweep goodput (msg/s)",
+                value: row.goodput_msgs_per_sec,
+                threshold: 1.0,
+                op: ">=",
+                pass: row.goodput_msgs_per_sec >= 1.0,
+                enforced: true,
+                note: format!("loss_rate={}: the run must still complete", row.loss_rate),
+            });
         }
     }
 
@@ -534,9 +617,108 @@ mod tests {
                     pipe_credit_bytes: 64,
                 },
             ],
+            loss: vec![
+                crate::burst::LossRow {
+                    loss_rate: 0.0,
+                    messages: 128,
+                    goodput_msgs_per_sec: 2e5,
+                    frames_sent: 128,
+                    frames_retransmitted: 0,
+                    frames_dropped: 0,
+                    replays_suppressed: 0,
+                    nacks_posted: 0,
+                },
+                crate::burst::LossRow {
+                    loss_rate: 0.05,
+                    messages: 128,
+                    goodput_msgs_per_sec: 1.5e5,
+                    frames_sent: 128,
+                    frames_retransmitted: 6,
+                    frames_dropped: 3,
+                    replays_suppressed: 2,
+                    nacks_posted: 3,
+                },
+            ],
             host_parallelism: 4,
         };
-        let out = evaluate(&report.to_json(), &GateThresholds::default()).unwrap();
+        let json = report.to_json();
+        let rows = parse_loss_rows(&json);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].loss_rate, 0.0);
+        assert_eq!(rows[1].frames_retransmitted, 6.0);
+        assert_eq!(rows[1].frames_dropped, 3.0);
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
         assert!(out.passed(), "{}", out.table());
+        // 6 base checks + 1 lossless residue + 2 per faulted row.
+        assert_eq!(out.checks.len(), 9);
+    }
+
+    #[test]
+    fn lossless_reliability_residue_fails_the_gate() {
+        // Retransmits on a link with no FaultPlan mean the reliability layer
+        // fired spuriously — the "pristine link pays nothing" contract broke.
+        let json = format!(
+            concat!(
+                "{}",
+                ",\n  \"burst_loss_rows\": [\n",
+                "    {{\"loss_rate\": 0.0000, \"messages\": 128, ",
+                "\"goodput_msgs_per_sec\": 200000, \"frames_sent\": 128, ",
+                "\"frames_retransmitted\": 2, \"frames_dropped\": 0, ",
+                "\"replays_suppressed\": 0, \"nacks_posted\": 0, ",
+                "\"retransmit_overhead\": 0.0156}}\n  ]\n}}\n"
+            ),
+            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+                .trim_end()
+                .trim_end_matches("}")
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let residue = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("residue"))
+            .unwrap();
+        assert!(!residue.pass && residue.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn uncovered_drops_fail_the_gate() {
+        // A faulted row whose drops exceed its retransmits cannot have
+        // completed honestly — recovery regressed.
+        let json = format!(
+            concat!(
+                "{}",
+                ",\n  \"burst_loss_rows\": [\n",
+                "    {{\"loss_rate\": 0.0500, \"messages\": 128, ",
+                "\"goodput_msgs_per_sec\": 150000, \"frames_sent\": 128, ",
+                "\"frames_retransmitted\": 1, \"frames_dropped\": 5, ",
+                "\"replays_suppressed\": 0, \"nacks_posted\": 2, ",
+                "\"retransmit_overhead\": 0.0078}}\n  ]\n}}\n"
+            ),
+            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+                .trim_end()
+                .trim_end_matches("}")
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let coverage = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("retransmit coverage"))
+            .unwrap();
+        assert!(!coverage.pass && coverage.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn reports_without_loss_rows_skip_the_loss_checks() {
+        // Pre-reliability reports (and sweeps run without the loss pass) are
+        // still gateable on their own metrics.
+        let out = evaluate(
+            &report(2.16, 1108.1, 4.0, 100_000.0, 260_000.0, 4),
+            &GateThresholds::default(),
+        )
+        .unwrap();
+        assert!(out.checks.iter().all(|c| !c.name.contains("loss")));
+        assert!(out.passed());
     }
 }

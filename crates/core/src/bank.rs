@@ -379,6 +379,129 @@ impl BankFlags {
     }
 }
 
+/// Sender-side NACK table: sequence-gap reports carried as real fabric traffic,
+/// the same one-sided pattern as [`BankFlags`] (§VI-A2) applied to reliability.
+///
+/// The table holds one 8-byte row per bank row the receiving shard owns:
+/// a `u32` missing sequence number (little endian) at bytes `[0, 4)`, a one-byte
+/// token at byte 4, and 3 bytes of padding. The receiver reports a gap with a
+/// single 5-byte put covering sn + token; the put publishes its *last* byte —
+/// the token — with release ordering, so a sender that observes a token change
+/// with an acquire load is guaranteed to read the matching sequence number.
+/// Tokens follow the [`BankFlags::token_for`] protocol (never 0, adjacent
+/// reports differ), and the region is single-writer per row, so a NACK can
+/// neither tear nor race.
+///
+/// A row holds one report at a time: a second NACK posted before the sender
+/// polled the first overwrites it. That is deliberate — NACKs are an
+/// acceleration, the sender's timeout watchdog is the backstop that guarantees
+/// progress — and it keeps the table a fixed 8 bytes per bank row.
+#[derive(Debug, Clone)]
+pub struct NackFlags {
+    region: Arc<MemoryRegion>,
+    rows: usize,
+    /// Token last consumed per row; a report is pending iff the region's
+    /// current token differs.
+    last_seen: Vec<u8>,
+}
+
+impl NackFlags {
+    /// Bytes one row occupies: u32 sn + token byte, padded to a word.
+    pub const ROW_STRIDE: usize = 8;
+
+    /// Bytes a whole table of `rows` rows occupies.
+    pub fn table_len(rows: usize) -> usize {
+        rows * Self::ROW_STRIDE
+    }
+
+    /// Byte offset of `row`'s record — shared by the sender-side reader and
+    /// the receiver-side NACK put.
+    pub fn row_offset(row: usize) -> usize {
+        row * Self::ROW_STRIDE
+    }
+
+    /// The 5-byte wire record of one NACK: missing sn, then the token whose
+    /// release publication makes the sn visible.
+    pub fn record_for(missing_sn: u32, token: u8) -> [u8; 5] {
+        let sn = missing_sn.to_le_bytes();
+        [sn[0], sn[1], sn[2], sn[3], token]
+    }
+
+    /// Create a NACK table of `rows` rows over `region` (registered in the
+    /// *sender's* address space).
+    pub fn new(region: Arc<MemoryRegion>, rows: usize) -> AmResult<Self> {
+        if rows == 0 {
+            return Err(AmError::InvalidConfig(
+                "NACK table needs at least one row".into(),
+            ));
+        }
+        if region.len() < Self::table_len(rows) {
+            return Err(AmError::InvalidConfig(format!(
+                "NACK table needs {} bytes but region has {}",
+                Self::table_len(rows),
+                region.len()
+            )));
+        }
+        let mut flags = NackFlags {
+            region,
+            rows,
+            last_seen: vec![0; rows],
+        };
+        flags.sync()?;
+        Ok(flags)
+    }
+
+    /// Descriptor the receiver aims its NACK puts at.
+    pub fn descriptor(&self) -> RegionDescriptor {
+        self.region.descriptor()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Simulated virtual address of `row`'s token byte (for cache-cost
+    /// charging of the sender's poll).
+    pub fn row_addr(&self, row: usize) -> AmResult<u64> {
+        if row >= self.rows {
+            return Err(AmError::InvalidConfig(format!(
+                "no NACK row {row} in a {}-row table",
+                self.rows
+            )));
+        }
+        Ok(self.region.addr_of(Self::row_offset(row) + 4))
+    }
+
+    /// Poll `row` for a new report: an acquire load of the token byte; if it
+    /// changed since the last consumed report, the row's missing sn is
+    /// returned (and the report is spent).
+    pub fn poll(&mut self, row: usize) -> AmResult<Option<u32>> {
+        if row >= self.rows {
+            return Err(AmError::InvalidConfig(format!(
+                "no NACK row {row} in a {}-row table",
+                self.rows
+            )));
+        }
+        let offset = Self::row_offset(row);
+        let token = self.region.load_acquire_u8(offset + 4)?;
+        if token == self.last_seen[row] {
+            return Ok(None);
+        }
+        self.last_seen[row] = token;
+        Ok(Some(self.region.load_u32(offset)?))
+    }
+
+    /// Snapshot every row's current token as "already consumed", discarding
+    /// stale reports (mirrors [`BankFlags::sync`]).
+    pub fn sync(&mut self) -> AmResult<()> {
+        for row in 0..self.rows {
+            self.last_seen[row] = self.region.load_acquire_u8(Self::row_offset(row) + 4)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +573,84 @@ mod tests {
             assert_ne!(t, prev, "adjacent drains must write distinct tokens");
             prev = t;
         }
+    }
+
+    /// Satellite contract for the reliability layer: a *duplicated* credit put
+    /// (the same token byte landing twice, as a fault-injected fabric can make
+    /// it) must not mint an extra credit or derail the token sequence.
+    #[test]
+    fn duplicated_credit_put_is_idempotent() {
+        let r = region(64);
+        let mut flags = BankFlags::new(Arc::clone(&r), 1, 2).unwrap();
+        let offset = flags.slot_offset(0, 0).unwrap();
+
+        // Drain k=0 returns its credit; the fabric replays the same 1-byte put.
+        r.store_release_u8(offset, BankFlags::token_for(0)).unwrap();
+        r.store_release_u8(offset, BankFlags::token_for(0)).unwrap();
+        assert!(
+            flags.try_acquire(0, 0).unwrap(),
+            "the first copy is a credit"
+        );
+        assert!(
+            !flags.try_acquire(0, 0).unwrap(),
+            "the replayed copy must not mint a second credit"
+        );
+
+        // A replay arriving *after* the credit was consumed is equally inert.
+        r.store_release_u8(offset, BankFlags::token_for(0)).unwrap();
+        assert!(!flags.try_acquire(0, 0).unwrap());
+
+        // The token sequence is not corrupted: the next drain's token (k=1)
+        // still differs from the replayed k=0 token and is seen exactly once.
+        assert_ne!(BankFlags::token_for(1), BankFlags::token_for(0));
+        r.store_release_u8(offset, BankFlags::token_for(1)).unwrap();
+        assert!(flags.try_acquire(0, 0).unwrap());
+        assert!(!flags.try_acquire(0, 0).unwrap());
+        // And the 255-cycle arithmetic is untouched by how often a token lands.
+        for k in 2..520u64 {
+            r.store_release_u8(offset, BankFlags::token_for(k)).unwrap();
+            r.store_release_u8(offset, BankFlags::token_for(k)).unwrap();
+            assert!(flags.try_acquire(0, 0).unwrap(), "drain {k}");
+            assert!(!flags.try_acquire(0, 0).unwrap(), "drain {k} replay");
+        }
+    }
+
+    #[test]
+    fn nack_table_reports_roundtrip() {
+        let r = region(64);
+        let mut nacks = NackFlags::new(Arc::clone(&r), 2).unwrap();
+        assert_eq!(nacks.rows(), 2);
+        assert_eq!(NackFlags::table_len(2), 16);
+        // Fresh table: nothing pending.
+        assert_eq!(nacks.poll(0).unwrap(), None);
+        assert_eq!(nacks.poll(1).unwrap(), None);
+
+        // Receiver posts "sn 7 missing" into row 1 (in the runtime this is a
+        // single 5-byte one-sided put whose last byte is the token).
+        let rec = NackFlags::record_for(7, BankFlags::token_for(0));
+        let off = NackFlags::row_offset(1);
+        r.write(off, &rec).unwrap();
+        r.store_release_u8(off + 4, rec[4]).unwrap();
+        assert_eq!(nacks.poll(0).unwrap(), None, "siblings unaffected");
+        assert_eq!(nacks.poll(1).unwrap(), Some(7));
+        assert_eq!(nacks.poll(1).unwrap(), None, "a report is consumed once");
+
+        // A duplicated NACK put (same token twice) is idempotent, like credits.
+        r.write(off, &rec).unwrap();
+        r.store_release_u8(off + 4, rec[4]).unwrap();
+        assert_eq!(nacks.poll(1).unwrap(), None);
+
+        // The next report (new token) is visible again.
+        let rec = NackFlags::record_for(19, BankFlags::token_for(1));
+        r.write(off, &rec).unwrap();
+        r.store_release_u8(off + 4, rec[4]).unwrap();
+        assert_eq!(nacks.poll(1).unwrap(), Some(19));
+
+        // Geometry checks mirror BankFlags.
+        assert!(nacks.poll(2).is_err());
+        assert!(NackFlags::new(region(8), 2).is_err());
+        assert!(NackFlags::new(region(64), 0).is_err());
+        assert_eq!(nacks.row_addr(1).unwrap(), r.addr_of(12));
     }
 
     #[test]

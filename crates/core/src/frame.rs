@@ -319,7 +319,19 @@ impl<'a> FrameView<'a> {
             return Err(AmError::BadFrame("missing signal magic".into()));
         }
         if bytes[frame_len - 4..frame_len - 1] != sn.to_le_bytes()[..3] {
-            return Err(AmError::BadFrame("sequence echo mismatch".into()));
+            // The echo is the primary forensic signal once reorder faults
+            // exist: carry both sides so a log line pinpoints which frame
+            // overwrote which.
+            let observed = u32::from_le_bytes([
+                bytes[frame_len - 4],
+                bytes[frame_len - 3],
+                bytes[frame_len - 2],
+                0,
+            ]);
+            return Err(AmError::BadFrame(format!(
+                "sequence echo mismatch: header sn {sn} expects echo {:#08x}, trailer carries {observed:#08x}",
+                sn & 0x00FF_FFFF
+            )));
         }
         let mut pos = FRAME_HEADER_SIZE;
         let mut take = |n: usize| {
@@ -466,10 +478,20 @@ mod tests {
 
         let mut bad = good.clone();
         bad[4] ^= 0xFF; // sn no longer matches trailer echo
-        assert!(
-            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
-            "sn echo"
-        );
+        match Frame::decode(&bad) {
+            Err(AmError::BadFrame(msg)) => {
+                // The corrupted header reads sn 5 ^ 0xFF = 0xFA; the trailer
+                // still echoes the original sn 5. Both values must be in the
+                // message — they are the debugging signal under reorder faults.
+                assert!(msg.contains("sequence echo mismatch"), "{msg}");
+                assert!(
+                    msg.contains("header sn 250"),
+                    "expected value missing: {msg}"
+                );
+                assert!(msg.contains("0x000005"), "observed echo missing: {msg}");
+            }
+            other => panic!("sn echo corruption not caught: {other:?}"),
+        }
 
         assert!(Frame::decode(&good[..10]).is_err(), "short buffer");
     }

@@ -57,16 +57,16 @@ pub mod runtime;
 pub mod security;
 pub mod stats;
 
-pub use bank::{BankFlags, MailboxBank, ShardMask};
+pub use bank::{BankFlags, MailboxBank, NackFlags, ShardMask};
 pub use builtin::{benchmark_package, benchmark_rieds, BuiltinJam};
 pub use config::{InvocationMode, RuntimeConfig, SpaceMode};
 pub use error::{AmError, AmResult};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
 pub use mailbox::ReactiveMailbox;
 pub use runtime::{
-    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, CreditHandshake, FleetLane,
-    PipelineFrame, PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet, SenderLane,
-    ShardDrain, SlotCtx, StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
+    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, ClampedFibonacci, CreditHandshake,
+    FleetLane, PipelineFrame, PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet,
+    SenderLane, ShardDrain, SlotCtx, StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
 };
 pub use security::SecurityPolicy;
 pub use stats::RuntimeStats;

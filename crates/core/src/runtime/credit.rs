@@ -24,7 +24,7 @@
 use twochains_fabric::{Endpoint, RegionDescriptor};
 use twochains_memsim::SimTime;
 
-use crate::bank::BankFlags;
+use crate::bank::{BankFlags, NackFlags};
 use crate::error::{AmError, AmResult};
 
 /// The sender's half of the credit-path setup for one stream, by value — the
@@ -43,6 +43,11 @@ pub struct CreditHandshake {
     /// Descriptor of the stream's [`BankFlags`] region in the *sender's*
     /// address space; the receiver aims its credit puts here.
     pub descriptor: RegionDescriptor,
+    /// Descriptor of the stream's [`NackFlags`] region (also in the sender's
+    /// address space), when the lane registered one. The receiver aims its
+    /// sequence-gap reports here; `None` disables the reliability layer for
+    /// this stream (pre-reliability handshakes still work).
+    pub nack: Option<RegionDescriptor>,
 }
 
 /// One shard's credit-return context: the reverse endpoint, the target table,
@@ -67,6 +72,11 @@ pub(crate) struct CreditReturn {
     /// Cumulative drains per owned slot, indexed `(bank / streams) * per_bank
     /// + slot`.
     drains: Vec<u64>,
+    /// The stream's NACK table and the per-row report counters driving its
+    /// token sequence, when the handshake carried one. Like `drains`, the
+    /// counters live outside [`RuntimeStats`](crate::RuntimeStats) so a stats
+    /// reset cannot repeat a token.
+    nack: Option<(RegionDescriptor, Vec<u64>)>,
 }
 
 /// Timing/traffic outcome of one credit put, for the caller's stats.
@@ -109,6 +119,15 @@ impl CreditReturn {
                 handshake.descriptor.len
             )));
         }
+        if let Some(nack) = &handshake.nack {
+            let nack_needed = NackFlags::table_len(rows);
+            if nack.len < nack_needed {
+                return Err(AmError::InvalidConfig(format!(
+                    "NACK table region holds {} bytes but {rows} rows need {nack_needed}",
+                    nack.len
+                )));
+            }
+        }
         Ok(CreditReturn {
             endpoint,
             descriptor: handshake.descriptor,
@@ -116,6 +135,10 @@ impl CreditReturn {
             streams: handshake.streams,
             per_bank,
             drains: vec![0; rows * per_bank],
+            nack: handshake.nack.map(|d| {
+                let rows = banks_owned(handshake.stream, handshake.streams, banks_total);
+                (d, vec![0; rows])
+            }),
         })
     }
 
@@ -124,6 +147,12 @@ impl CreditReturn {
     /// credit path actually points at the fleet being driven.
     pub(crate) fn descriptor(&self) -> RegionDescriptor {
         self.descriptor
+    }
+
+    /// Whether this stream's handshake carried a NACK table — i.e. the
+    /// receiver side of the reliability layer is armed for it.
+    pub(crate) fn nack_armed(&self) -> bool {
+        self.nack.is_some()
     }
 
     /// Return one credit for (`bank`, `slot`) at drain-virtual time `now`:
@@ -163,6 +192,74 @@ impl CreditReturn {
         let out = self
             .endpoint
             .put(now, &[token], &self.descriptor, offset)
+            .map_err(|e| AmError::Fabric(e.to_string()))?;
+        Ok(CreditPutOutcome {
+            sender_free: out.sender_free,
+            bytes: out.bytes,
+        })
+    }
+
+    /// Idempotently re-put the *current* token for (`bank`, `slot`) after a
+    /// suppressed replay: the duplicate frame's credit "is returned" by
+    /// re-publishing the token its real retirement already wrote, without
+    /// advancing the drain count. The sender's `try_acquire` compares tokens,
+    /// so re-writing an unchanged byte can never mint an extra credit — which
+    /// is exactly what keeps a duplicated frame from letting the lane clobber
+    /// an undrained slot. A replay that races ahead of the slot's very first
+    /// drain has no token to re-publish and is skipped (0 bytes).
+    pub(crate) fn put_credit_replay(
+        &mut self,
+        now: SimTime,
+        bank: usize,
+        slot: usize,
+    ) -> AmResult<CreditPutOutcome> {
+        if crate::bank::ShardMask::owner_of(bank, self.streams) != self.stream {
+            return Err(AmError::InvalidConfig(format!(
+                "bank {bank} is not owned by stream {} of {}",
+                self.stream, self.streams
+            )));
+        }
+        let row = bank / self.streams;
+        let idx = row * self.per_bank + slot;
+        if slot >= self.per_bank || idx >= self.drains.len() {
+            return Err(AmError::InvalidConfig(format!(
+                "no credit row for mailbox ({bank}, {slot})"
+            )));
+        }
+        if self.drains[idx] == 0 {
+            return Ok(CreditPutOutcome {
+                sender_free: now,
+                bytes: 0,
+            });
+        }
+        let token = BankFlags::token_for(self.drains[idx] - 1);
+        let offset = BankFlags::offset_of(row, slot, self.per_bank);
+        let out = self
+            .endpoint
+            .put(now, &[token], &self.descriptor, offset)
+            .map_err(|e| AmError::Fabric(e.to_string()))?;
+        Ok(CreditPutOutcome {
+            sender_free: out.sender_free,
+            bytes: out.bytes,
+        })
+    }
+
+    /// Post one sequence-gap report into the sender's NACK table: a single
+    /// 5-byte put of `missing_sn` plus the row's next token, release-published
+    /// token-last so the sender's acquire poll observes a coherent record.
+    /// Rows are spread by `missing_sn % rows` — the receiver cannot know which
+    /// bank a *lost* frame was destined for, and the sender locates the frame
+    /// by sn in its wire cache anyway. Errors if no NACK table was handshaken.
+    pub(crate) fn put_nack(&mut self, now: SimTime, missing_sn: u32) -> AmResult<CreditPutOutcome> {
+        let (descriptor, seqs) = self.nack.as_mut().ok_or_else(|| {
+            AmError::InvalidConfig("stream handshake carried no NACK table".into())
+        })?;
+        let row = missing_sn as usize % seqs.len();
+        let record = NackFlags::record_for(missing_sn, BankFlags::token_for(seqs[row]));
+        seqs[row] += 1;
+        let out = self
+            .endpoint
+            .put(now, &record, descriptor, NackFlags::row_offset(row))
             .map_err(|e| AmError::Fabric(e.to_string()))?;
         Ok(CreditPutOutcome {
             sender_free: out.sender_free,

@@ -122,6 +122,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use twochains_fabric::{AccessFlags, CompletionQueue, HostId, ShardedCompletions, SimFabric};
 use twochains_jamvm::GotImage;
@@ -129,12 +130,28 @@ use twochains_linker::{ElementId, Package};
 use twochains_memsim::{AccessKind, CoreBus, MemoryBus, SimTime};
 
 use super::credit::CreditHandshake;
+use super::retry::ClampedFibonacci;
 use super::{AmSendOutcome, TwoChainsHost, TwoChainsSender};
-use crate::bank::BankFlags;
+use crate::bank::{BankFlags, NackFlags};
 use crate::config::InvocationMode;
 use crate::error::{AmError, AmResult};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
+
+/// First watchdog delay after a stall with frames in flight begins; the
+/// schedule then follows [`ClampedFibonacci`]. Credit round-trips complete in
+/// microseconds of wall clock on a healthy link, so a stall this long with no
+/// credit and no NACK means the frame (or its NACK) is probably gone.
+const WATCHDOG_BASE: Duration = Duration::from_micros(400);
+/// Backoff clamp: a persistently lossy link keeps being probed at this rate
+/// instead of backing off into effective silence.
+const WATCHDOG_CLAMP: Duration = Duration::from_millis(10);
+/// Watchdog firings a single stall episode may consume before the lane fails
+/// loudly. At the clamp this bounds a wedged episode to a few hundred
+/// milliseconds of retries — a link that eats 32 consecutive retransmits of
+/// the same frames is broken, not lossy, and spinning forever would just
+/// deadlock the pipeline with no diagnosis.
+const RETRY_BUDGET: u32 = 32;
 
 /// One mailbox a sender stream owns: its coordinates on the receiver and the
 /// target descriptor to aim the one-sided put at.
@@ -198,6 +215,18 @@ pub struct SenderLane {
     /// The lane's credit table: per-bank rows of per-slot tokens the receiver
     /// writes with one-sided puts (see the module docs for the wire format).
     flags: BankFlags,
+    /// The lane's NACK table: one row per owned bank, written by the
+    /// receiver's sequence-gap reports ([`NackFlags`]). Registered alongside
+    /// the credit table and handed over in the same [`CreditHandshake`].
+    nacks: NackFlags,
+    /// Exact wire bytes of the most recent send per owned slot, kept so a
+    /// NACK or watchdog timeout can retransmit byte-identically. Filled only
+    /// while the reliability layer is armed (the lane's endpoint has a fault
+    /// plan); lossless runs never copy a byte here.
+    wire_cache: Vec<Vec<u8>>,
+    /// Whether the most recent frame sent to each owned slot is still
+    /// awaiting its credit (armed runs only).
+    in_flight: Vec<bool>,
     /// The sender-host core this lane runs on; its private L1/L2 cache the
     /// flag words between credit puts (each put's DMA invalidates the line
     /// through the core's inbox, so the next poll re-fetches honestly).
@@ -211,6 +240,7 @@ impl SenderLane {
         handshake: StreamHandshake,
         mut sender: TwoChainsSender,
         flags: BankFlags,
+        nacks: NackFlags,
         bus: CoreBus,
         core: usize,
     ) -> Self {
@@ -223,6 +253,7 @@ impl SenderLane {
             .enumerate()
             .map(|(i, t)| ((t.bank, t.slot), i))
             .collect();
+        let slots = handshake.targets.len();
         SenderLane {
             stream: handshake.stream,
             streams: handshake.streams,
@@ -230,6 +261,9 @@ impl SenderLane {
             targets: handshake.targets,
             index,
             flags,
+            nacks,
+            wire_cache: vec![Vec::new(); slots],
+            in_flight: vec![false; slots],
             bus,
             core,
             clock: SimTime::ZERO,
@@ -272,12 +306,82 @@ impl SenderLane {
         self.flags.credit_pending(self.credit_row(t.bank), t.slot)
     }
 
-    /// Snapshot the credit table, discarding stale credits ([`BankFlags::sync`]).
-    /// A pipeline run starts with this: credits earned by earlier phased
-    /// schedules (which consume none) must not leak in as phantom refill
-    /// permissions.
+    /// Snapshot the credit table, discarding stale credits ([`BankFlags::sync`]),
+    /// and likewise the NACK table (a gap report aimed at an earlier run's
+    /// frames must not trigger a retransmit now). A pipeline run starts with
+    /// this: credits earned by earlier phased schedules (which consume none)
+    /// must not leak in as phantom refill permissions.
     pub fn sync_credits(&mut self) -> AmResult<()> {
-        self.flags.sync()
+        self.flags.sync()?;
+        self.nacks.sync()
+    }
+
+    /// Whether this lane's endpoint carries an installed fault plan — the
+    /// switch that arms the sender half of the reliability layer. On a
+    /// pristine link the wire cache, the NACK polls and the watchdog are all
+    /// skipped, so the lossless fast path pays nothing for the machinery.
+    fn faults_enabled(&mut self) -> bool {
+        self.sender.endpoint_mut().faults_enabled()
+    }
+
+    /// Snapshot the wire bytes of the send that just completed into the
+    /// `idx`-th slot's retransmit cache and mark the frame in flight. The
+    /// per-slot buffer is reused, so steady state copies without allocating.
+    fn cache_wire(&mut self, idx: usize) {
+        let wire = self.sender.last_wire();
+        let cached = &mut self.wire_cache[idx];
+        cached.clear();
+        cached.extend_from_slice(wire);
+        self.in_flight[idx] = true;
+    }
+
+    /// Drain this lane's NACK table and retransmit every reported frame that
+    /// is still in flight, byte-identically from the wire cache. Returns how
+    /// many frames were re-put. A report whose sequence number matches no
+    /// in-flight slot is ignored: its frame's credit already arrived (the NACK
+    /// raced the recovery), so there is nothing left to repair.
+    fn poll_nacks(&mut self) -> AmResult<usize> {
+        let mut retransmitted = 0usize;
+        for row in 0..self.nacks.rows() {
+            while let Some(missing) = self.nacks.poll(row)? {
+                // The observing poll pays the read of the freshly DMA'd row,
+                // mirroring the credit-acquire charge.
+                let addr = self.nacks.row_addr(row)?;
+                self.clock += self.bus.access(self.core, addr, 8, AccessKind::Read);
+                let needle = missing.to_le_bytes();
+                let hit = (0..self.targets.len()).find(|&i| {
+                    self.in_flight[i] && self.wire_cache[i].get(4..8) == Some(&needle[..])
+                });
+                if let Some(idx) = hit {
+                    self.clock = self.sender.retransmit_frame(
+                        self.clock,
+                        &self.wire_cache[idx],
+                        &self.targets[idx].target,
+                    )?;
+                    retransmitted += 1;
+                }
+            }
+        }
+        Ok(retransmitted)
+    }
+
+    /// Watchdog action: retransmit every in-flight frame from the wire cache.
+    /// Retransmits are byte-identical, so the receiver's replay filter makes
+    /// a spuriously early firing harmless (the duplicate is suppressed and
+    /// its credit re-published idempotently).
+    fn retransmit_in_flight(&mut self) -> AmResult<usize> {
+        let mut retransmitted = 0usize;
+        for idx in 0..self.targets.len() {
+            if self.in_flight[idx] && !self.wire_cache[idx].is_empty() {
+                self.clock = self.sender.retransmit_frame(
+                    self.clock,
+                    &self.wire_cache[idx],
+                    &self.targets[idx].target,
+                )?;
+                retransmitted += 1;
+            }
+        }
+        Ok(retransmitted)
     }
 
     /// The stream this lane fills (`bank % streams == stream`).
@@ -518,11 +622,18 @@ impl SenderFleet {
                     AccessFlags::rw(),
                 )?;
                 let flags = BankFlags::new(region, rows, handshake.per_bank)?;
+                // The lane's NACK table rides the same reverse handshake: the
+                // receiver posts sequence-gap reports here with one-sided
+                // puts, arming the reliability layer for this stream.
+                let nack_region =
+                    sender_host.register(NackFlags::table_len(rows), AccessFlags::rw())?;
+                let nacks = NackFlags::new(nack_region, rows)?;
                 credit_handshakes.push(CreditHandshake {
                     stream: handshake.stream,
                     streams: handshake.streams,
                     per_bank: handshake.per_bank,
                     descriptor: flags.descriptor(),
+                    nack: Some(nacks.descriptor()),
                 });
                 // Lane `s` polls its flag region on sender core `s % cores`,
                 // through that core's own private L1/L2 (with more lanes than
@@ -535,6 +646,7 @@ impl SenderFleet {
                     handshake,
                     TwoChainsSender::new(endpoint, package.clone()),
                     flags,
+                    nacks,
                     bus,
                     core,
                 ))
@@ -842,11 +954,17 @@ where
                     let result = (|| -> AmResult<()> {
                         let slots = lane.targets.len();
                         let total = rounds * slots;
-                        // Discard credits left over from earlier phased
-                        // schedules (they consume none): every slot starts
-                        // empty, so round 0 needs no credit and anything
-                        // pending in the table is stale.
+                        // Discard credits (and NACK records) left over from
+                        // earlier phased schedules (they consume none): every
+                        // slot starts empty, so round 0 needs no credit and
+                        // anything pending in the tables is stale.
                         lane.sync_credits()?;
+                        // The sender half of the reliability layer is armed
+                        // only when this lane's endpoint carries a fault
+                        // plan: on a pristine link no wire bytes are cached,
+                        // no NACK row is polled and no watchdog ever fires.
+                        let armed = lane.faults_enabled();
+                        lane.in_flight.iter_mut().for_each(|f| *f = false);
                         let mut rounds_sent = vec![0u64; slots];
                         let mut free: VecDeque<usize> = (0..slots).collect();
                         let mut sent = 0usize;
@@ -870,12 +988,28 @@ where
                                     const PARK: std::time::Duration =
                                         std::time::Duration::from_micros(20);
                                     let mut fruitless = 0u32;
+                                    // Watchdog state for this stall episode
+                                    // (armed lanes only): if neither a credit
+                                    // nor a NACK shows up for a clamped-
+                                    // Fibonacci backoff interval, every
+                                    // in-flight frame is retransmitted from
+                                    // the wire cache, on a bounded budget.
+                                    let mut backoff =
+                                        ClampedFibonacci::new(WATCHDOG_BASE, WATCHDOG_CLAMP);
+                                    let mut deadline = Instant::now() + backoff.next_delay();
+                                    let mut budget = RETRY_BUDGET;
                                     'wait: loop {
                                         for step in 0..slots {
                                             let i = (cursor + step) % slots;
                                             if (rounds_sent[i] as usize) < rounds
                                                 && lane.try_acquire_slot(i)?
                                             {
+                                                // The credit retires the
+                                                // frame in flight on this
+                                                // slot: the wire cache entry
+                                                // is now dead weight, not a
+                                                // retransmit candidate.
+                                                lane.in_flight[i] = false;
                                                 cursor = (i + 1) % slots;
                                                 break 'wait i;
                                             }
@@ -886,6 +1020,29 @@ where
                                                  before returning all credits"
                                                     .into(),
                                             ));
+                                        }
+                                        if armed {
+                                            // A NACK names a lost frame
+                                            // precisely — retransmit it now
+                                            // and push the (coarser) timeout
+                                            // watchdog back.
+                                            if lane.poll_nacks()? > 0 {
+                                                deadline = Instant::now() + backoff.next_delay();
+                                            }
+                                            if Instant::now() >= deadline {
+                                                if budget == 0 {
+                                                    return Err(AmError::Exec(format!(
+                                                        "lane {} exhausted its {RETRY_BUDGET}\
+                                                         -retry reliability budget: frames \
+                                                         are being lost faster than the \
+                                                         retransmit path can recover them",
+                                                        lane.stream
+                                                    )));
+                                                }
+                                                budget -= 1;
+                                                lane.retransmit_in_flight()?;
+                                                deadline = Instant::now() + backoff.next_delay();
+                                            }
                                         }
                                         if fruitless == 0 {
                                             // One stall *episode*, however many
@@ -902,8 +1059,72 @@ where
                                 }
                             };
                             lane.send_slot(cq, elem, mode, idx, rounds_sent[idx], make)?;
+                            if armed {
+                                lane.cache_wire(idx);
+                            }
                             rounds_sent[idx] += 1;
                             sent += 1;
+                        }
+                        if armed {
+                            // Every frame is sent, but the last one per slot
+                            // may still be in flight — and on a lossy link
+                            // "in flight" can mean "gone". A lossless lane
+                            // exits after its last put (the drain side owes
+                            // it nothing it will act on), but an armed lane
+                            // must hold the retransmit machinery open until
+                            // every final credit lands, or a dropped final
+                            // frame would deadlock the drain with no sender
+                            // left to repair it.
+                            const PARK: std::time::Duration = std::time::Duration::from_micros(20);
+                            let mut fruitless = 0u32;
+                            let mut backoff = ClampedFibonacci::new(WATCHDOG_BASE, WATCHDOG_CLAMP);
+                            let mut deadline = Instant::now() + backoff.next_delay();
+                            let mut budget = RETRY_BUDGET;
+                            while lane.in_flight.iter().any(|&f| f) {
+                                let mut progressed = false;
+                                for i in 0..slots {
+                                    if lane.in_flight[i] && lane.try_acquire_slot(i)? {
+                                        lane.in_flight[i] = false;
+                                        progressed = true;
+                                    }
+                                }
+                                if progressed {
+                                    backoff.reset();
+                                    deadline = Instant::now() + backoff.next_delay();
+                                    budget = RETRY_BUDGET;
+                                    fruitless = 0;
+                                    continue;
+                                }
+                                if abort.load(Ordering::Relaxed) {
+                                    return Err(AmError::Exec(
+                                        "pipeline aborted: a drain shard failed \
+                                         before returning all credits"
+                                            .into(),
+                                    ));
+                                }
+                                if lane.poll_nacks()? > 0 {
+                                    deadline = Instant::now() + backoff.next_delay();
+                                }
+                                if Instant::now() >= deadline {
+                                    if budget == 0 {
+                                        return Err(AmError::Exec(format!(
+                                            "lane {} exhausted its {RETRY_BUDGET}-retry \
+                                             reliability budget waiting for its final \
+                                             credits",
+                                            lane.stream
+                                        )));
+                                    }
+                                    budget -= 1;
+                                    lane.retransmit_in_flight()?;
+                                    deadline = Instant::now() + backoff.next_delay();
+                                }
+                                fruitless = fruitless.saturating_add(1);
+                                if fruitless < 128 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::thread::sleep(PARK);
+                                }
+                            }
                         }
                         Ok(())
                     })();

@@ -57,6 +57,23 @@ const VERIFY_NS_PER_BYTE: f64 = 0.25;
 /// GOT image parse cost on a GOT-cache miss.
 const GOT_PARSE_NS_PER_BYTE: f64 = 0.05;
 
+/// What the dispatch engine did with one occupied slot (internal: the public
+/// burst/single-slot wrappers translate it).
+#[derive(Debug)]
+enum SlotOutcome {
+    /// The frame was dispatched (and executed, unless execution is skipped).
+    Executed {
+        /// The frame's header sequence number, for the shard's gap watcher.
+        sn: u32,
+        outcome: ReceiveOutcome,
+    },
+    /// The frame was a duplicate or stale replay of a sequence number this
+    /// slot already executed: silently retired (slot cleared, credit
+    /// re-published idempotently, nothing executed). Only produced when the
+    /// shard's reliability layer is armed.
+    Replayed { sn: u32 },
+}
+
 /// How the wait preceding a frame's processing is charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WaitCharge {
@@ -618,6 +635,12 @@ impl TwoChainsHost {
         }
         for (shard, credit) in self.shards.iter_mut().zip(returns) {
             shard.credit = credit;
+            // A new handshake means a new sender sequence space (a freshly
+            // connected fleet's lanes count from 1 again): stale replay
+            // watermarks or suspected gaps from the previous pairing would
+            // silently suppress — or spuriously NACK — the new lanes' frames.
+            shard.replay.clear();
+            shard.watch = super::shard::SeqWatch::default();
         }
         Ok(())
     }
@@ -794,6 +817,55 @@ impl HostCore {
         Ok(())
     }
 
+    /// Return the credit for a slot retired as a suppressed *replay*: the
+    /// slot's current token is re-published without advancing the drain count
+    /// ([`CreditReturn::put_credit_replay`]), so the duplicate can neither
+    /// leak the slot (the sender still sees it free) nor mint an extra credit
+    /// (the token byte is unchanged). Not counted in `credits_returned` — the
+    /// put carries no *new* credit — but its traffic and posting cost are
+    /// charged like any other put.
+    fn return_replay_credit(
+        shard: &mut ReceiverShard,
+        clock: &mut SimTime,
+        bank: usize,
+        slot: usize,
+    ) -> AmResult<()> {
+        if let Some(credit) = shard.credit.as_mut() {
+            let out = credit.put_credit_replay(*clock, bank, slot)?;
+            shard.stats.credit_put_bytes += out.bytes as u64;
+            shard.stats.credit_put_time += out.sender_free - *clock;
+            *clock = out.sender_free;
+        }
+        Ok(())
+    }
+
+    /// Feed one processed sequence number (executed or suppressed) to the
+    /// shard's gap watcher, when the reliability layer is armed.
+    fn note_sequence(shard: &mut ReceiverShard, sn: u32) {
+        if shard.credit.as_ref().is_some_and(|c| c.nack_armed()) {
+            shard.watch.note(sn);
+        }
+    }
+
+    /// Close one full bank scan for the gap watcher and post a NACK for every
+    /// suspected loss that outlived the scan-jumble horizon. On a lossless
+    /// fabric the watcher never ages anything out, so this posts nothing.
+    fn post_due_nacks(shard: &mut ReceiverShard, clock: &mut SimTime) -> AmResult<()> {
+        if !shard.credit.as_ref().is_some_and(|c| c.nack_armed()) {
+            return Ok(());
+        }
+        let due = shard.watch.end_scan();
+        for sn in due {
+            let credit = shard.credit.as_mut().expect("armed implies credit");
+            let out = credit.put_nack(*clock, sn)?;
+            shard.stats.nacks_posted += 1;
+            shard.stats.credit_put_bytes += out.bytes as u64;
+            shard.stats.credit_put_time += out.sender_free - *clock;
+            *clock = out.sender_free;
+        }
+        Ok(())
+    }
+
     /// Single-slot receive through `shard`, charging the wait model. The
     /// slot's credit is returned once the frame retired (see
     /// [`HostCore::return_credit`]); the credit posting cost is charged to the
@@ -823,7 +895,20 @@ impl HostCore {
             ready_since,
             WaitCharge::Signal,
         ) {
-            Ok(outcome) => outcome,
+            Ok(SlotOutcome::Executed { sn, outcome }) => {
+                Self::note_sequence(shard, sn);
+                outcome
+            }
+            Ok(SlotOutcome::Replayed { sn }) => {
+                // A suppressed replay retires silently: its slot was cleared,
+                // its credit is re-published idempotently, and the caller sees
+                // the same `Empty` an unoccupied slot produces — a duplicate
+                // must be observationally invisible.
+                Self::note_sequence(shard, sn);
+                let mut clock = arrival;
+                Self::return_replay_credit(shard, &mut clock, bank, slot)?;
+                return Err(AmError::Empty);
+            }
             Err(AmError::Empty) => return Err(AmError::Empty),
             Err(err) => {
                 // The slot held something the dispatch rejected (malformed
@@ -891,13 +976,25 @@ impl HostCore {
                 clock,
                 WaitCharge::Scanned,
             ) {
-                Ok(outcome) => {
+                Ok(SlotOutcome::Executed { sn, outcome }) => {
+                    Self::note_sequence(shard, sn);
                     clock = outcome.handler_done;
                     frames.push(BurstFrame {
                         bank,
                         slot,
                         outcome,
                     });
+                    // One credit per retired frame, issued the moment the slot
+                    // is clear again, on the drain core's clock.
+                    Self::return_credit(shard, &mut clock, bank, slot)?;
+                }
+                Ok(SlotOutcome::Replayed { sn }) => {
+                    // A suppressed replay is invisible to the burst outcome
+                    // (neither drained nor rejected): the duplicate's slot was
+                    // cleared and its credit re-published idempotently, so it
+                    // cannot leak a slot or double-execute.
+                    Self::note_sequence(shard, sn);
+                    Self::return_replay_credit(shard, &mut clock, bank, slot)?;
                 }
                 Err(err) => {
                     // A frame the dispatch rejects must still free its slot, or the
@@ -907,12 +1004,13 @@ impl HostCore {
                     }
                     shard.stats.frames_rejected += 1;
                     rejected.push((bank, slot, err));
+                    Self::return_credit(shard, &mut clock, bank, slot)?;
                 }
             }
-            // One credit per retired frame — drained or rejected — issued the
-            // moment the slot is clear again, on the drain core's clock.
-            Self::return_credit(shard, &mut clock, bank, slot)?;
         }
+        // The scan is complete: age the gap watcher and report anything that
+        // has now outlived the scan-jumble horizon.
+        Self::post_due_nacks(shard, &mut clock)?;
         Ok(BurstOutcome {
             frames,
             rejected,
@@ -932,10 +1030,11 @@ impl HostCore {
         arrival: SimTime,
         ready_since: SimTime,
         charge: WaitCharge,
-    ) -> AmResult<ReceiveOutcome> {
+    ) -> AmResult<SlotOutcome> {
         // Disjoint field borrows: the shared cache, the stats, the scratch
-        // buffer (which the FrameView borrows), the per-core bus and the
-        // shard-local space are separate fields of the shard.
+        // buffer (which the FrameView borrows), the per-core bus, the
+        // shard-local space and the replay filter are separate fields of the
+        // shard.
         let ReceiverShard {
             core,
             bus,
@@ -943,8 +1042,25 @@ impl HostCore {
             cache,
             scratch,
             stats,
+            credit,
+            replay,
+            num_shards,
             ..
         } = shard;
+        // The replay filter is armed only when this shard's stream handshake
+        // carried a NACK table: legacy flows (no reliability layer) keep their
+        // exact pre-reliability semantics, including re-executing a slot a
+        // test refills with the same sequence number.
+        let last_sn = if credit.as_ref().is_some_and(|c| c.nack_armed()) {
+            let row = bank / *num_shards;
+            let idx = row * self.config.mailboxes_per_bank + slot;
+            if replay.len() <= idx {
+                replay.resize(idx + 1, 0);
+            }
+            Some(&mut replay[idx])
+        } else {
+            None
+        };
         self.receive_frame(
             cache,
             stats,
@@ -952,6 +1068,7 @@ impl HostCore {
             *core,
             bus,
             shard_space,
+            last_sn,
             bank,
             slot,
             frame_len,
@@ -970,13 +1087,14 @@ impl HostCore {
         core: usize,
         bus: &mut CoreBus,
         shard_space: &mut ShardSpace,
+        last_sn: Option<&mut u32>,
         bank: usize,
         slot: usize,
         frame_len: Option<usize>,
         arrival: SimTime,
         ready_since: SimTime,
         charge: WaitCharge,
-    ) -> AmResult<ReceiveOutcome> {
+    ) -> AmResult<SlotOutcome> {
         let mailbox = self.banks.mailbox(bank, slot)?.clone();
 
         // 1. Wait for the signal byte (or inherit the burst scan's observation).
@@ -1007,6 +1125,22 @@ impl HostCore {
         };
         mailbox.read_frame_into(frame_len, scratch)?;
         let frame = FrameView::parse(scratch)?;
+
+        // Idempotent replay suppression (armed flows only): a frame whose
+        // sequence number is not strictly newer than the last one executed
+        // from this slot is a duplicate delivery or a stale retransmit — the
+        // original already executed and was credited, so the copy is retired
+        // silently (slot cleared, no dispatch, no stats that would diverge
+        // from the lossless run). `0` is the never-executed sentinel; the
+        // sender's sequence space starts at 1, so it cannot collide.
+        let sn = frame.header.sn;
+        if let Some(last) = &last_sn {
+            if **last != 0 && !super::shard::sn_newer(sn, **last) {
+                mailbox.clear(frame_len)?;
+                stats.replays_suppressed += 1;
+                return Ok(SlotOutcome::Replayed { sn });
+            }
+        }
 
         // 2. Read the header, charged through this shard's own core bus —
         // private L1/L2 lookups take no lock; only misses touch the striped
@@ -1210,14 +1344,20 @@ impl HostCore {
             .cycles
             .add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
 
-        Ok(ReceiveOutcome {
-            detected_at,
-            handler_done,
-            wait,
-            exec: exec_stats,
-            result,
-            handler_time,
-            dispatch_time: handler_time - exec_time,
+        if let Some(last) = last_sn {
+            *last = sn;
+        }
+        Ok(SlotOutcome::Executed {
+            sn,
+            outcome: ReceiveOutcome {
+                detected_at,
+                handler_done,
+                wait,
+                exec: exec_stats,
+                result,
+                handler_time,
+                dispatch_time: handler_time - exec_time,
+            },
         })
     }
 

@@ -119,6 +119,7 @@ mod credit;
 mod fleet;
 mod host;
 mod injection_cache;
+mod retry;
 mod sender;
 mod shard;
 #[cfg(test)]
@@ -132,6 +133,7 @@ pub use fleet::{
     StreamHandshake, StreamTarget,
 };
 pub use host::TwoChainsHost;
+pub use retry::ClampedFibonacci;
 pub use sender::TwoChainsSender;
 pub use shard::{ReceiverShard, ShardDrain};
 

@@ -1,0 +1,87 @@
+//! Clamped-Fibonacci retransmit scheduling.
+//!
+//! The sender lanes' timeout watchdog backs off on a Fibonacci schedule clamped
+//! to a maximum delay — the retry discipline of the hermes relayer exemplar
+//! cited in ROADMAP. Fibonacci grows gently at first (a transient stall costs
+//! one extra base delay, not a doubling) yet still reaches the clamp in a few
+//! steps, and the clamp keeps a persistently lossy link probed at a bounded
+//! rate instead of backing off into effective silence.
+
+use std::time::Duration;
+
+/// A Fibonacci backoff sequence `base, base, 2·base, 3·base, 5·base, …`,
+/// clamped at `clamp`. Wall-clock durations: the watchdog guards against a
+/// *real* wedge (a frame that will never arrive), which virtual time cannot
+/// observe.
+#[derive(Debug, Clone)]
+pub struct ClampedFibonacci {
+    base: Duration,
+    clamp: Duration,
+    prev: u32,
+    cur: u32,
+}
+
+impl ClampedFibonacci {
+    /// A schedule starting at `base` and never exceeding `clamp`.
+    pub fn new(base: Duration, clamp: Duration) -> Self {
+        ClampedFibonacci {
+            base,
+            clamp,
+            prev: 0,
+            cur: 1,
+        }
+    }
+
+    /// The next delay in the schedule, advancing it.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = (self.base * self.cur).min(self.clamp);
+        // Saturate the multiplier once the clamp is reached: the delay cannot
+        // grow further, and saturating also rules out overflow on a
+        // pathological number of retries.
+        let next = self.prev.saturating_add(self.cur);
+        self.prev = self.cur;
+        self.cur = next;
+        delay
+    }
+
+    /// Restart the schedule from `base` (called on progress: the link is
+    /// healthy again, so the next stall is a fresh incident).
+    pub fn reset(&mut self) {
+        self.prev = 0;
+        self.cur = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_the_fibonacci_sequence_until_the_clamp() {
+        let base = Duration::from_millis(10);
+        let mut f = ClampedFibonacci::new(base, Duration::from_millis(80));
+        let delays: Vec<u64> = (0..8).map(|_| f.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, vec![10, 10, 20, 30, 50, 80, 80, 80]);
+    }
+
+    #[test]
+    fn reset_restarts_from_base() {
+        let mut f = ClampedFibonacci::new(Duration::from_millis(5), Duration::from_secs(1));
+        for _ in 0..6 {
+            f.next_delay();
+        }
+        f.reset();
+        assert_eq!(f.next_delay(), Duration::from_millis(5));
+        assert_eq!(f.next_delay(), Duration::from_millis(5));
+        assert_eq!(f.next_delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn never_exceeds_the_clamp_even_after_many_steps() {
+        let clamp = Duration::from_millis(100);
+        let mut f = ClampedFibonacci::new(Duration::from_millis(7), clamp);
+        for _ in 0..10_000 {
+            assert!(f.next_delay() <= clamp);
+        }
+    }
+}

@@ -295,4 +295,34 @@ impl TwoChainsSender {
     pub(crate) fn stats_mut(&mut self) -> &mut RuntimeStats {
         &mut self.stats
     }
+
+    /// The exact wire bytes of the most recent send: every send path encodes
+    /// into (and then restores) the reusable scratch buffer, so after a send
+    /// returns, the buffer *is* the frame as it went onto the fabric. The
+    /// fleet's reliability layer snapshots this into its per-slot wire cache
+    /// so a NACK or watchdog timeout can retransmit byte-identical frames.
+    pub(crate) fn last_wire(&self) -> &[u8] {
+        &self.encode_buf
+    }
+
+    /// Re-put previously sent wire bytes (reliability-layer retransmit). The
+    /// frame is byte-identical to the original — same sequence number, same
+    /// trailer — so the receiver's replay filter can suppress it if the
+    /// original did land. Deliberately *not* counted in `messages_sent` /
+    /// `bytes_sent` (the message was already counted once; a lossy run's
+    /// steady counters must stay equal to the lossless run's) and charged no
+    /// pack cost (the bytes are already encoded): only `frames_retransmitted`
+    /// and the put's own fabric time record the recovery.
+    pub(crate) fn retransmit_frame(
+        &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        target: &MailboxTarget,
+    ) -> AmResult<SimTime> {
+        let put = self
+            .endpoint
+            .put(now, bytes, &target.region, target.offset)?;
+        self.stats.frames_retransmitted += 1;
+        Ok(put.sender_free)
+    }
 }

@@ -25,6 +25,7 @@
 //! crate's multi-threaded drain driver does exactly that with
 //! `std::thread::scope`.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use twochains_jamvm::ShardSpace;
@@ -65,6 +66,101 @@ pub struct ReceiverShard {
     /// traffic). Owned by the shard so drain threads return credits without a
     /// lock — the endpoint serializes on the NIC models like any other put.
     pub(crate) credit: Option<CreditReturn>,
+    /// Per-slot last-executed sequence number, indexed `bank_row * per_bank +
+    /// slot` and lazily sized on first use (idempotent replay suppression).
+    /// `0` means "nothing executed yet" — the sender's sequence space starts
+    /// at 1, so the sentinel can never collide with a real frame. Like the
+    /// credit drain counters, this state persists across stats resets: a
+    /// benchmark-phase reset must not re-open the window to a stale replay.
+    pub(crate) replay: Vec<u32>,
+    /// Sequence-gap watcher for this shard's paired sender stream (armed only
+    /// when the stream's handshake carried a NACK table). Persists across
+    /// stats resets for the same reason `replay` does.
+    pub(crate) watch: SeqWatch,
+}
+
+/// Receiver-side sequence-gap detection for one shard's paired sender stream.
+///
+/// Sequence numbers are observed in *scan* order, not send order: one full
+/// bank scan can legitimately process sn 7 before sn 5 when both landed
+/// between polls. A gap is therefore only *suspected* when first seen, and
+/// only *reported* (NACKed) after it survives two further full scans — by
+/// then, any frame that had landed before the gap was noticed would have been
+/// drained (a scan visits every owned bank), so the frame is genuinely
+/// missing, not merely jumbled. On a lossless fabric this watcher never posts
+/// a NACK.
+#[derive(Debug, Default)]
+pub(crate) struct SeqWatch {
+    /// Highest sequence number processed so far (executed or suppressed).
+    hi: u32,
+    /// Suspected-missing sns → the scan generation that first recorded them.
+    pending: HashMap<u32, u64>,
+    /// Sns already reported; kept so one loss produces one NACK (the sender's
+    /// watchdog, not repeated NACKs, backstops a lost NACK put).
+    nacked: HashSet<u32>,
+    /// Completed full scans (bumped by `end_scan`).
+    generation: u64,
+}
+
+impl SeqWatch {
+    /// A frame must outlive this many completed scans as a suspected gap
+    /// before it is reported. One scan absorbs scan-order jumbles (anything
+    /// delivered before the gap was noticed drains in the very next full
+    /// scan); the second is margin for a frame that landed mid-scan after its
+    /// bank was already polled.
+    const NACK_AGE: u64 = 2;
+    /// Largest believable gap. The in-flight window is bounded by the lane's
+    /// slot count, so a jump beyond this indicates a foreign sequence space
+    /// (or a hostile header) — recording millions of "missing" sns from one
+    /// frame would be a one-put memory DoS, so oversized jumps advance `hi`
+    /// without recording.
+    const MAX_GAP: u32 = 1 << 16;
+
+    /// Note one processed frame (executed *or* suppressed as a replay): clear
+    /// it from the suspect lists and record any new gap it reveals.
+    pub(crate) fn note(&mut self, sn: u32) {
+        self.pending.remove(&sn);
+        self.nacked.remove(&sn);
+        if sn_newer(sn, self.hi) {
+            // The sender's sequence space starts at 1, so the initial
+            // `hi == 0` state records a genuine gap too: seeing sn 3 first
+            // means sns 1 and 2 are outstanding (jumbled or lost).
+            let gap = sn.wrapping_sub(self.hi).wrapping_sub(1);
+            if gap > 0 && gap <= Self::MAX_GAP {
+                for d in 1..=gap {
+                    let missing = self.hi.wrapping_add(d);
+                    self.pending.entry(missing).or_insert(self.generation);
+                }
+            }
+            self.hi = sn;
+        }
+    }
+
+    /// Close one full bank scan: entries that have now outlived
+    /// [`Self::NACK_AGE`] completed scans are returned (sorted, for
+    /// deterministic NACK order) and moved to the reported set.
+    pub(crate) fn end_scan(&mut self) -> Vec<u32> {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut due: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, born)| generation - **born >= Self::NACK_AGE)
+            .map(|(sn, _)| *sn)
+            .collect();
+        due.sort_unstable();
+        for sn in &due {
+            self.pending.remove(sn);
+            self.nacked.insert(*sn);
+        }
+        due
+    }
+}
+
+/// Whether sequence number `a` is strictly newer than `b` in the wrapping
+/// 32-bit sequence space (same half-space rule TCP uses).
+pub(crate) fn sn_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < u32::MAX / 2
 }
 
 impl ReceiverShard {
@@ -86,6 +182,8 @@ impl ReceiverShard {
             scratch: Vec::new(),
             stats: RuntimeStats::new(),
             credit: None,
+            replay: Vec::new(),
+            watch: SeqWatch::default(),
         }
     }
 

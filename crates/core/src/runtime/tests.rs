@@ -1590,6 +1590,7 @@ fn install_credit_returns_validates_geometry() {
         streams,
         per_bank,
         descriptor: region.descriptor(),
+        nack: None,
     };
     // Wrong handshake count: the closed pairing needs one per shard.
     assert!(host

@@ -68,6 +68,18 @@ pub struct RuntimeStats {
     /// had to spin/park on its flag region (one count per stall episode, not
     /// per fruitless poll).
     pub credit_stall_events: u64,
+    /// Frames re-put from the sender's wire cache after a NACK or a watchdog
+    /// timeout (reliability layer; zero on a lossless fabric). Retransmits do
+    /// not count as new messages — `messages_sent`/`bytes_sent` stay equal to
+    /// the lossless run.
+    pub frames_retransmitted: u64,
+    /// Duplicate or stale frames the receiver silently retired instead of
+    /// executing (idempotent replay suppression; zero on a lossless fabric).
+    pub replays_suppressed: u64,
+    /// NACK records the receiver posted into the sender's NACK table after
+    /// detecting a sequence gap that outlived the scan-jumble horizon (zero on
+    /// a lossless fabric).
+    pub nacks_posted: u64,
     /// Virtual CPU time the drain cores spent posting credit-return puts
     /// (the `sender_free` charge of each credit put; the wire/DMA side is
     /// charged inside the fabric model like any other put).
@@ -128,6 +140,9 @@ impl RuntimeStats {
             credits_returned,
             credit_put_bytes,
             credit_stall_events,
+            frames_retransmitted,
+            replays_suppressed,
+            nacks_posted,
             credit_put_time,
             wait_time,
             exec_time,
@@ -154,6 +169,9 @@ impl RuntimeStats {
         self.credits_returned += credits_returned;
         self.credit_put_bytes += credit_put_bytes;
         self.credit_stall_events += credit_stall_events;
+        self.frames_retransmitted += frames_retransmitted;
+        self.replays_suppressed += replays_suppressed;
+        self.nacks_posted += nacks_posted;
         self.credit_put_time += *credit_put_time;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
@@ -199,6 +217,9 @@ mod tests {
         b.credits_returned = 9;
         b.credit_put_bytes = 9;
         b.credit_stall_events = 6;
+        b.frames_retransmitted = 8;
+        b.replays_suppressed = 3;
+        b.nacks_posted = 2;
         b.credit_put_time = SimTime::from_ns(5);
         b.cycles.add_work(9);
         a.merge(&b);
@@ -217,6 +238,12 @@ mod tests {
         assert_eq!(a.credits_returned, 11);
         assert_eq!(a.credit_put_bytes, 11);
         assert_eq!(a.credit_stall_events, 6);
+        // The reliability-layer counters aggregate like any other: a dropped
+        // fleet-wide retransmit count would hide exactly the incidents the
+        // chaos tests exist to surface.
+        assert_eq!(a.frames_retransmitted, 8);
+        assert_eq!(a.replays_suppressed, 3);
+        assert_eq!(a.nacks_posted, 2);
         assert_eq!(a.credit_put_time, SimTime::from_ns(45));
         assert_eq!(a.cycles.total(), 14);
     }

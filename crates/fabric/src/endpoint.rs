@@ -34,8 +34,9 @@ use twochains_memsim::SimTime;
 
 use crate::error::{FabricError, FabricResult};
 use crate::fabric::HostState;
+use crate::fault::{DeferredPut, EndpointFaults, FaultAction};
 use crate::link::LinkModel;
-use crate::region::RegionDescriptor;
+use crate::region::{MemoryRegion, RegionDescriptor};
 use crate::rkey::check_permission;
 
 /// Timing outcome of a one-sided operation.
@@ -63,6 +64,9 @@ pub struct Endpoint {
     /// Statistics: operations and bytes issued.
     ops: u64,
     bytes: u64,
+    /// Fault-injection state captured at creation time when a
+    /// [`FaultPlan`](crate::fault::FaultPlan) is installed on this link.
+    faults: Option<EndpointFaults>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -76,7 +80,12 @@ impl std::fmt::Debug for Endpoint {
 }
 
 impl Endpoint {
-    pub(crate) fn new(link: LinkModel, src: Arc<HostState>, dst: Arc<HostState>) -> Self {
+    pub(crate) fn new(
+        link: LinkModel,
+        src: Arc<HostState>,
+        dst: Arc<HostState>,
+        faults: Option<EndpointFaults>,
+    ) -> Self {
         Endpoint {
             link,
             src,
@@ -84,7 +93,16 @@ impl Endpoint {
             last_delivered: SimTime::ZERO,
             ops: 0,
             bytes: 0,
+            faults,
         }
+    }
+
+    /// Whether this endpoint was created under an installed
+    /// [`FaultPlan`](crate::fault::FaultPlan) — i.e. its puts may be dropped,
+    /// duplicated or reordered. Senders use this to arm their retransmit
+    /// machinery only when it can ever be needed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// The link model this endpoint uses.
@@ -191,14 +209,13 @@ impl Endpoint {
         // Receiver-side DMA installs the data (stash or DRAM) and serializes with
         // other inbound traffic.
         let dst_addr = desc.base_addr + offset as u64;
-        let (delivered, dma_cost) = self.dst.nic.deliver(arrival, dst_addr, data.len());
-
-        // Move the actual bytes.
-        region.write(offset, data)?;
-        if publish {
-            let last = offset + data.len() - 1;
-            region.store_release_u8(last, data[data.len() - 1])?;
-        }
+        let (delivered, dma_cost) = if self.faults.is_some() {
+            self.deliver_faulty(&region, offset, data, publish, arrival, dst_addr)?
+        } else {
+            let (delivered, dma_cost) = self.dst.nic.deliver(arrival, dst_addr, data.len());
+            Self::land(&region, offset, data, publish)?;
+            (delivered, dma_cost)
+        };
 
         self.ops += 1;
         self.bytes += data.len() as u64;
@@ -209,6 +226,107 @@ impl Endpoint {
             dma_cost,
             bytes: data.len(),
         })
+    }
+
+    /// Move the actual bytes into the destination region, publishing the final
+    /// byte with `Release` ordering when asked.
+    fn land(
+        region: &Arc<MemoryRegion>,
+        offset: usize,
+        data: &[u8],
+        publish: bool,
+    ) -> FabricResult<()> {
+        region.write(offset, data)?;
+        if publish {
+            let last = offset + data.len() - 1;
+            region.store_release_u8(last, data[data.len() - 1])?;
+        }
+        Ok(())
+    }
+
+    /// The delivery half of a put on a faulty link. The transmit side has
+    /// already been charged (a dropped put consumes its tx-pipeline time like
+    /// any other), so this decides what actually lands and when:
+    ///
+    /// 1. duplicate copies deferred by earlier puts land first (they can never
+    ///    clobber the current put's bytes),
+    /// 2. the current put rolls the die — delivered, dropped, duplicated (copy
+    ///    deferred) or held (deferred whole),
+    /// 3. originals held by earlier reorder faults land last, completing the
+    ///    adjacent-delivery swap.
+    fn deliver_faulty(
+        &mut self,
+        region: &Arc<MemoryRegion>,
+        offset: usize,
+        data: &[u8],
+        publish: bool,
+        arrival: SimTime,
+        dst_addr: u64,
+    ) -> FabricResult<(SimTime, SimTime)> {
+        let (dups, held) = {
+            let f = self.faults.as_mut().expect("checked by caller");
+            (std::mem::take(&mut f.dups), std::mem::take(&mut f.held))
+        };
+        for d in dups {
+            self.dst.nic.deliver(arrival, d.dst_addr, d.data.len());
+            Self::land(&d.region, d.offset, &d.data, d.publish)?;
+            self.faults
+                .as_ref()
+                .expect("checked by caller")
+                .note_redelivered();
+        }
+        let action = self.faults.as_mut().expect("checked by caller").roll();
+        let outcome = match action {
+            FaultAction::Drop => (arrival, SimTime::ZERO),
+            FaultAction::Hold => {
+                let deferred = DeferredPut {
+                    region: Arc::clone(region),
+                    offset,
+                    dst_addr,
+                    data: data.to_vec(),
+                    publish,
+                };
+                self.faults
+                    .as_mut()
+                    .expect("checked by caller")
+                    .held
+                    .push(deferred);
+                // The sender observes the timing it would have seen: it cannot
+                // tell a held (or lost) put from a delivered one.
+                (arrival, SimTime::ZERO)
+            }
+            FaultAction::Duplicate => {
+                let (delivered, dma_cost) = self.dst.nic.deliver(arrival, dst_addr, data.len());
+                Self::land(region, offset, data, publish)?;
+                let deferred = DeferredPut {
+                    region: Arc::clone(region),
+                    offset,
+                    dst_addr,
+                    data: data.to_vec(),
+                    publish,
+                };
+                self.faults
+                    .as_mut()
+                    .expect("checked by caller")
+                    .dups
+                    .push(deferred);
+                (delivered, dma_cost)
+            }
+            FaultAction::Deliver => {
+                let (delivered, dma_cost) = self.dst.nic.deliver(arrival, dst_addr, data.len());
+                Self::land(region, offset, data, publish)?;
+                (delivered, dma_cost)
+            }
+        };
+        for h in held {
+            self.dst.nic.deliver(arrival, h.dst_addr, h.data.len());
+            Self::land(&h.region, h.offset, &h.data, h.publish)?;
+            self.faults
+                .as_ref()
+                .expect("checked by caller")
+                .note_redelivered();
+        }
+        Ok(outcome)
     }
 
     /// A put whose completion is tracked in `cq`: the entry becomes harvestable at
@@ -323,6 +441,9 @@ impl Endpoint {
         self.bytes = 0;
         self.src.nic.reset();
         self.dst.nic.reset();
+        if let Some(f) = self.faults.as_mut() {
+            f.clear();
+        }
     }
 }
 
@@ -605,6 +726,193 @@ mod tests {
             after_fence >= out.delivered,
             "fence must wait for outstanding puts"
         );
+    }
+
+    /// Satellite contract: `put`s issued on one endpoint become visible in
+    /// issue order — later puts are never delivered earlier — which is the
+    /// foundation the receiver's sequence-gap detection stands on.
+    #[test]
+    fn puts_on_one_endpoint_deliver_in_issue_order() {
+        let (fabric, a, b) = setup();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut prev = SimTime::ZERO;
+        for i in 0..8u8 {
+            let out = ep.put(now, &[i; 64], &desc, 0).unwrap();
+            assert!(
+                out.delivered >= prev,
+                "put {i} delivered before its predecessor"
+            );
+            prev = out.delivered;
+            now = out.sender_free;
+        }
+        // Last writer wins at the destination: issue order is delivery order.
+        assert_eq!(dst_region.read(0, 1).unwrap(), vec![7]);
+        // On the ordered fabric the visibility guarantee costs no fence.
+        assert_eq!(ep.fence(now), now);
+    }
+
+    /// Satellite contract: `put_unordered` moves the bytes but grants no
+    /// inter-put ordering — the initiator must fence before the signal put, and
+    /// the fence is what waits for outstanding deliveries.
+    #[test]
+    fn put_unordered_requires_a_fence_before_the_signal() {
+        use crate::fabric::FabricConfig;
+        let mut cfg = FabricConfig::default();
+        cfg.link.ordered_delivery = false;
+        let fabric = SimFabric::new(cfg);
+        let a = fabric.add_host(TestbedConfig::tiny_for_tests());
+        let b = fabric.add_host(TestbedConfig::tiny_for_tests());
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let body = ep
+            .put_unordered(SimTime::ZERO, &[1u8; 256], &desc, 0)
+            .unwrap();
+        // The bytes themselves move (data path is real)...
+        assert_eq!(dst_region.read(0, 1).unwrap(), vec![1]);
+        // ...but the signal may not be posted until a fence has waited for the
+        // body: the fence horizon covers the body's delivery.
+        let fenced = ep.fence(body.sender_free);
+        assert!(fenced >= body.delivered);
+        let sig = ep.put(fenced, &[0xC3], &desc, 255).unwrap();
+        assert!(sig.delivered > body.delivered);
+    }
+
+    #[test]
+    fn dropped_puts_charge_tx_time_but_never_land() {
+        use crate::fault::FaultPlan;
+        let (fabric, a, b) = setup();
+        fabric
+            .install_fault_plan(a, b, FaultPlan::drop_only(1.0, 11))
+            .unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        assert!(ep.faults_enabled());
+        let out = ep.put(SimTime::ZERO, &[9u8; 128], &desc, 0).unwrap();
+        // The sender cannot tell: timing looks like any other put.
+        assert!(out.delivered > out.sender_free);
+        assert_eq!(ep.ops(), 1);
+        // But nothing landed.
+        assert_eq!(dst_region.read(0, 128).unwrap(), vec![0u8; 128]);
+        let snap = fabric.fault_counters(a, b).unwrap();
+        assert_eq!(snap.dropped, 1);
+        // The tx pipeline was still consumed: a follow-up put queues behind it.
+        let timing = ep.link().put_timing(128);
+        let next = ep.put(SimTime::ZERO, &[1u8; 128], &desc, 256).unwrap();
+        assert!(next.delivered >= out.sender_free + timing.gap);
+    }
+
+    #[test]
+    fn duplicated_put_replays_after_the_receiver_consumed_it() {
+        use crate::fault::FaultPlan;
+        let (fabric, a, b) = setup();
+        fabric
+            .install_fault_plan(
+                a,
+                b,
+                FaultPlan {
+                    drop: 0.0,
+                    duplicate: 1.0,
+                    reorder: 0.0,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let o1 = ep.put(SimTime::ZERO, b"AAAA", &desc, 0).unwrap();
+        assert_eq!(dst_region.read(0, 4).unwrap(), b"AAAA");
+        // The receiver consumes and clears the slot...
+        dst_region.fill(0, 4, 0).unwrap();
+        // ...and the next put on the endpoint flushes the late copy first: the
+        // stale frame is revived, exactly the replay the receiver must suppress.
+        ep.put(o1.sender_free, b"BBBB", &desc, 64).unwrap();
+        assert_eq!(dst_region.read(0, 4).unwrap(), b"AAAA");
+        assert_eq!(dst_region.read(64, 4).unwrap(), b"BBBB");
+        let snap = fabric.fault_counters(a, b).unwrap();
+        assert_eq!(snap.duplicated, 2);
+        assert_eq!(snap.redelivered, 1);
+    }
+
+    #[test]
+    fn reordered_puts_swap_adjacent_deliveries() {
+        use crate::fault::FaultPlan;
+        let (fabric, a, b) = setup();
+        fabric
+            .install_fault_plan(
+                a,
+                b,
+                FaultPlan {
+                    drop: 0.0,
+                    duplicate: 0.0,
+                    reorder: 1.0,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+        let dst_region = fabric
+            .host(b)
+            .unwrap()
+            .register(4096, AccessFlags::rw())
+            .unwrap();
+        let desc = dst_region.descriptor();
+        let mut ep = fabric.endpoint(a, b).unwrap();
+        let o1 = ep.put(SimTime::ZERO, b"AAAA", &desc, 0).unwrap();
+        // Held: nothing visible yet.
+        assert_eq!(dst_region.read(0, 4).unwrap(), vec![0u8; 4]);
+        let o2 = ep.put(o1.sender_free, b"BBBB", &desc, 0).unwrap();
+        // The second put is held in turn, but flushing the first happens after
+        // the second's (withheld) landing slot: the earlier put is now the one
+        // visible — a swapped pair, as a later lossless write would show BBBB.
+        assert_eq!(dst_region.read(0, 4).unwrap(), b"AAAA");
+        ep.put(o2.sender_free, b"CCCC", &desc, 64).unwrap();
+        assert_eq!(dst_region.read(0, 4).unwrap(), b"BBBB");
+        let snap = fabric.fault_counters(a, b).unwrap();
+        assert_eq!(snap.reordered, 3);
+        assert_eq!(snap.redelivered, 2);
+    }
+
+    #[test]
+    fn lossless_links_carry_no_fault_state() {
+        let (fabric, a, b) = setup();
+        let ep = fabric.endpoint(a, b).unwrap();
+        assert!(!ep.faults_enabled());
+        assert_eq!(fabric.fault_counters(a, b), None);
+    }
+
+    #[test]
+    fn fault_plan_applies_only_to_its_direction() {
+        use crate::fault::FaultPlan;
+        let (fabric, a, b) = setup();
+        fabric
+            .install_fault_plan(a, b, FaultPlan::drop_only(1.0, 1))
+            .unwrap();
+        // The reverse link — where credits and NACKs travel — stays pristine.
+        let reverse = fabric.endpoint(b, a).unwrap();
+        assert!(!reverse.faults_enabled());
+        let forward = fabric.endpoint(a, b).unwrap();
+        assert!(forward.faults_enabled());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! two hosts back-to-back, which is just the 2-host special case).
 
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -13,6 +14,7 @@ use twochains_memsim::{CoreBus, SharedHierarchy, TestbedConfig};
 
 use crate::endpoint::Endpoint;
 use crate::error::{FabricError, FabricResult};
+use crate::fault::{FaultHook, FaultPlan, FaultSnapshot};
 use crate::link::LinkModel;
 use crate::nic::NicModel;
 use crate::region::{MemoryRegion, RegionDescriptor};
@@ -123,6 +125,9 @@ impl HostState {
 struct FabricInner {
     hosts: RwLock<Vec<Arc<HostState>>>,
     config: FabricConfig,
+    /// Fault plans keyed by directed link `(initiator, target)`. Endpoints
+    /// capture the hook for their link at creation time (see [`crate::fault`]).
+    faults: Mutex<HashMap<(usize, usize), Arc<FaultHook>>>,
 }
 
 /// The simulated RDMA fabric.
@@ -146,6 +151,7 @@ impl SimFabric {
             inner: Arc::new(FabricInner {
                 hosts: RwLock::new(Vec::new()),
                 config,
+                faults: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -206,6 +212,10 @@ impl SimFabric {
     }
 
     /// Create an endpoint (queue pair) from `from` to `to`.
+    ///
+    /// If a [`FaultPlan`] was installed on the `(from, to)` link *before* this
+    /// call, the endpoint captures it and every put it issues is subject to the
+    /// plan's drop/duplicate/reorder schedule.
     pub fn endpoint(&self, from: HostId, to: HostId) -> FabricResult<Endpoint> {
         if from == to {
             return Err(FabricError::InvalidArgument(
@@ -214,7 +224,59 @@ impl SimFabric {
         }
         let src = self.host_state(from)?;
         let dst = self.host_state(to)?;
-        Ok(Endpoint::new(self.inner.config.link.clone(), src, dst))
+        let faults = self
+            .inner
+            .faults
+            .lock()
+            .get(&(from.index(), to.index()))
+            .map(|hook| hook.attach());
+        Ok(Endpoint::new(
+            self.inner.config.link.clone(),
+            src,
+            dst,
+            faults,
+        ))
+    }
+
+    /// Install a seeded fault plan on the directed link `from -> to`. Only
+    /// endpoints created *after* this call are affected; install the plan before
+    /// building the sender side. Installing a second plan on the same link
+    /// replaces the first (and resets its counters). The reverse direction is a
+    /// separate link — credit and NACK traffic riding `to -> from` stays
+    /// reliable unless a plan is installed there too.
+    pub fn install_fault_plan(
+        &self,
+        from: HostId,
+        to: HostId,
+        plan: FaultPlan,
+    ) -> FabricResult<()> {
+        if from == to {
+            return Err(FabricError::InvalidArgument(
+                "loopback endpoints are not modelled",
+            ));
+        }
+        if !plan.is_valid() {
+            return Err(FabricError::InvalidArgument(
+                "fault probabilities must lie in [0, 1] and sum to at most 1",
+            ));
+        }
+        self.host_state(from)?;
+        self.host_state(to)?;
+        self.inner
+            .faults
+            .lock()
+            .insert((from.index(), to.index()), Arc::new(FaultHook::new(plan)));
+        Ok(())
+    }
+
+    /// Aggregate fault counters for the directed link `from -> to`, or `None`
+    /// when no plan was ever installed there.
+    pub fn fault_counters(&self, from: HostId, to: HostId) -> Option<FaultSnapshot> {
+        self.inner
+            .faults
+            .lock()
+            .get(&(from.index(), to.index()))
+            .map(|hook| hook.snapshot())
     }
 }
 
