@@ -13,9 +13,10 @@
 //!   *maximum* per-shard drain time, not the sum. This is the simulated-testbed
 //!   number the acceptance bar (4-shard ≥ 2× 1-shard) holds against, and it is
 //!   reproducible run to run. Since the one-sided credit path (§VI-A2), the
-//!   drain windows include the per-frame credit-return puts, and each row
-//!   reports that flow-control traffic (`model_credit_ops`/`_bytes` and the
-//!   virtual-time share the drain cores spent posting credits).
+//!   drain windows include the credit-return puts — one token per retired
+//!   frame, coalesced into per-row span flushes by the adaptive policy — and
+//!   each row reports that flow-control traffic (`model_credit_ops`/`_bytes`
+//!   and the virtual-time share the drain cores spent posting credits).
 //! * **Wall (drain-only)**: the drain executed with one OS thread per shard via
 //!   [`TwoChainsHost::shard_drains`] + `std::thread::scope`, timing only the
 //!   drain phase on the host CPU (the PR-3 lock-split metric; the CI perf gate
@@ -28,7 +29,9 @@
 //!   returned as one-sided puts into each lane's sender-side flag region, so
 //!   fill and drain overlap in wall clock with no host-side channel anywhere.
 //!   The row reports the pipelined run's credit traffic too
-//!   (`pipe_credit_ops`/`_bytes` — the perf gate requires it nonzero). The
+//!   (`pipe_credit_ops`/`_bytes` — the perf gate requires it nonzero — plus
+//!   `pipe_credit_stall_events`, the sender-side stall episodes the gate
+//!   bars against its baseline so coalescing can never starve the lanes). The
 //!   perf gate holds 4-shard pipelined ≥ 1.3× fill-then-drain on a ≥ 4-core
 //!   runner; on fewer cores all the wall columns are informational, which is
 //!   why the report records `host_parallelism` next to them.
@@ -83,6 +86,11 @@ pub struct BurstRow {
     pub pipe_credit_ops: u64,
     /// Payload bytes those pipelined credit puts moved.
     pub pipe_credit_bytes: u64,
+    /// Sender-lane credit-stall episodes during one pipelined wall rep: how
+    /// often a lane found no refillable slot and had to spin on its flag
+    /// region. The perf gate bars this against the baseline so credit
+    /// coalescing cannot trade drain-core time for sender starvation.
+    pub pipe_credit_stall_events: u64,
 }
 
 /// Credit-return traffic observed by one measurement
@@ -245,7 +253,7 @@ fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime, CreditTraffic)
     assert_eq!(
         credit.ops as usize,
         rounds * total_slots,
-        "one credit put per drained frame"
+        "one credit token per drained frame"
     );
     (rounds * total_slots, total, credit)
 }
@@ -320,7 +328,7 @@ fn drain_threaded(host: &mut TwoChainsHost, horizons: &[SimTime], total_slots: u
 /// from drain to fill. The whole run is timed as one unit (rounds lose their
 /// phase boundaries under overlap) and repeated `reps` times; the best rep is
 /// reported, mirroring the best-round policy of the phased measurements.
-fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, CreditTraffic) {
+fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, CreditTraffic, u64) {
     let (mut host, mut fleet, elem) = build_testbed(shards);
     let total_slots = host.config().total_mailboxes();
     prime(&mut host, &mut fleet, elem);
@@ -328,9 +336,11 @@ fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, Cred
 
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        // Per-rep counters, so the reported credit traffic matches one run's
-        // message count instead of accumulating across reps.
+        // Per-rep counters (both sides), so the reported credit traffic and
+        // stall episodes match one run's message count instead of
+        // accumulating across reps.
         host.reset_stats();
+        fleet.reset_stats();
         let start = Instant::now();
         let out = drive_pipeline(
             &mut host,
@@ -350,9 +360,10 @@ fn run_pipelined(shards: usize, rounds: usize, reps: usize) -> (usize, f64, Cred
     assert_eq!(
         credit.ops as usize,
         rounds * total_slots,
-        "pipelined flow control returns one credit per frame over the fabric"
+        "pipelined flow control returns one credit token per frame over the fabric"
     );
-    (rounds * total_slots, best, credit)
+    let stalls = fleet.stats().credit_stall_events;
+    (rounds * total_slots, best, credit, stalls)
 }
 
 /// One row of the lossy-fabric sweep: the pipelined engine driven over a link
@@ -477,7 +488,7 @@ pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
         let (n_model, model_time, model_credit) = run_modelled(shards, rounds);
         let (n_wall, wall_secs) = run_threaded(shards, rounds);
         let (n_phased, phased_secs) = run_fill_then_drain(shards, rounds);
-        let (n_pipe, pipe_secs, pipe_credit) = run_pipelined(shards, rounds, 2);
+        let (n_pipe, pipe_secs, pipe_credit, pipe_stalls) = run_pipelined(shards, rounds, 2);
         let model_rate = n_model as f64 / model_time.as_secs().max(1e-12);
         let wall_rate = n_wall as f64 / wall_secs.max(1e-12);
         let phased_rate = n_phased as f64 / phased_secs.max(1e-12);
@@ -496,6 +507,7 @@ pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
             model_credit_time_share: model_credit.time_share,
             pipe_credit_ops: pipe_credit.ops,
             pipe_credit_bytes: pipe_credit.bytes,
+            pipe_credit_stall_events: pipe_stalls,
         });
     }
     rows
@@ -535,11 +547,12 @@ mod tests {
         // The wall rates themselves are machine-dependent, but the pipelined
         // engine must always deliver the full message count with nothing
         // rejected, on any host.
-        let (n, secs, credit) = run_pipelined(2, 3, 1);
+        let (n, secs, credit, _stalls) = run_pipelined(2, 3, 1);
         assert_eq!(n, 3 * sweep_config(2).total_mailboxes());
         assert!(secs > 0.0);
-        // Flow control rode the fabric: one credit put per drained frame,
-        // one byte each, with a nonzero virtual-time share on the drain cores.
+        // Flow control rode the fabric: one credit token per drained frame
+        // (one wire byte each, however the flushes spanned them), with a
+        // nonzero virtual-time share on the drain cores.
         assert_eq!(credit.ops as usize, n);
         assert_eq!(credit.bytes, credit.ops);
         assert!(credit.time_share > 0.0 && credit.time_share < 1.0);
@@ -552,6 +565,14 @@ mod tests {
         assert_eq!(row.model_credit_ops as usize, row.messages);
         assert_eq!(row.model_credit_bytes, row.model_credit_ops);
         assert!(row.model_credit_time_share > 0.0 && row.model_credit_time_share < 1.0);
+        // Coalescing is the whole point of the adaptive policy: the modelled
+        // (deterministic) credit share must sit well below the ~0.16 the
+        // per-frame wire behaviour cost.
+        assert!(
+            row.model_credit_time_share <= 0.08,
+            "coalesced credit share {:.4} above the 0.08 bar",
+            row.model_credit_time_share
+        );
         assert_eq!(row.pipe_credit_ops as usize, row.messages);
         assert_eq!(row.pipe_credit_bytes, row.pipe_credit_ops);
     }

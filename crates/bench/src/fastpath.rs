@@ -99,7 +99,8 @@ impl FastpathReport {
                         "\"pipelined_wall_msgs_per_sec\": {:.0}, ",
                         "\"model_credit_ops\": {}, \"model_credit_bytes\": {}, ",
                         "\"model_credit_time_share\": {:.4}, ",
-                        "\"pipe_credit_ops\": {}, \"pipe_credit_bytes\": {}}}"
+                        "\"pipe_credit_ops\": {}, \"pipe_credit_bytes\": {}, ",
+                        "\"pipe_credit_stall_events\": {}}}"
                     ),
                     r.shards,
                     r.messages,
@@ -113,6 +114,7 @@ impl FastpathReport {
                     r.model_credit_time_share,
                     r.pipe_credit_ops,
                     r.pipe_credit_bytes,
+                    r.pipe_credit_stall_events,
                 )
             })
             .collect::<Vec<_>>()
@@ -410,6 +412,7 @@ mod tests {
                 model_credit_time_share: 0.05,
                 pipe_credit_ops: 64,
                 pipe_credit_bytes: 64,
+                pipe_credit_stall_events: 2,
             },
             crate::burst::BurstRow {
                 shards: 4,
@@ -424,6 +427,7 @@ mod tests {
                 model_credit_time_share: 0.05,
                 pipe_credit_ops: 64,
                 pipe_credit_bytes: 64,
+                pipe_credit_stall_events: 0,
             },
         ];
         let json = report.to_json();
@@ -434,6 +438,7 @@ mod tests {
         assert!(json.contains("\"pipelined_wall_msgs_per_sec\": 150000"));
         assert!(json.contains("\"model_credit_time_share\": 0.0500"));
         assert!(json.contains("\"pipe_credit_ops\": 64"));
+        assert!(json.contains("\"pipe_credit_stall_events\": 2"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -32,6 +32,17 @@ pub struct GateThresholds {
     /// the ratios are physically capped at ~1x, so the checks are reported
     /// but not enforced).
     pub wall_gate_min_parallelism: usize,
+    /// The 4-shard modelled `model_credit_time_share` must stay at or below
+    /// this — the coalesced-credit bar (flow control cost ~0.16 of drain
+    /// virtual time per-frame; batching must keep it under this share).
+    /// Deterministic modelled metric, enforced on any runner.
+    pub max_credit_time_share_4shard: f64,
+    /// The 4-shard pipelined run's sender `credit_stall_events` must stay at
+    /// or below this: coalescing credits must not trade drain-core time for
+    /// sender starvation. Stall counts are schedule-dependent, so this is
+    /// enforced only on a sufficiently parallel runner (same guard as the
+    /// wall checks).
+    pub max_credit_stall_events: f64,
 }
 
 impl Default for GateThresholds {
@@ -43,6 +54,11 @@ impl Default for GateThresholds {
             min_wall_ratio_4shard: 2.0,
             min_pipeline_ratio_4shard: 1.3,
             wall_gate_min_parallelism: 4,
+            max_credit_time_share_4shard: 0.08,
+            // Measured 60 on the 4-shard 1024-message sweep; 2x headroom for
+            // runner-to-runner scheduling noise, still an order of magnitude
+            // below a starved-sender pathology (one stall per message = 1024).
+            max_credit_stall_events: 128.0,
         }
     }
 }
@@ -69,6 +85,12 @@ impl GateThresholds {
         }
         if let Some(v) = json_f64(json, "wall_gate_min_parallelism") {
             t.wall_gate_min_parallelism = v as usize;
+        }
+        if let Some(v) = json_f64(json, "max_credit_time_share_4shard") {
+            t.max_credit_time_share_4shard = v;
+        }
+        if let Some(v) = json_f64(json, "max_credit_stall_events") {
+            t.max_credit_stall_events = v;
         }
         t
     }
@@ -147,6 +169,12 @@ pub struct GateBurstRow {
     /// One-sided credit-return puts issued during the pipelined run (absent
     /// in reports generated before flow control rode the fabric).
     pub pipe_credit_ops: Option<f64>,
+    /// Virtual-time share the modelled drain cores spent posting credits
+    /// (absent in pre-flow-control reports).
+    pub model_credit_time_share: Option<f64>,
+    /// Sender credit-stall episodes during the pipelined run (absent in
+    /// reports generated before credit coalescing).
+    pub pipe_credit_stall_events: Option<f64>,
 }
 
 /// Extract a numeric field `"key": <number>` from a flat JSON object.
@@ -216,6 +244,8 @@ pub fn parse_burst_rows(json: &str) -> Vec<GateBurstRow> {
                 fill_drain_wall_msgs_per_sec: json_f64(row, "fill_drain_wall_msgs_per_sec"),
                 pipelined_wall_msgs_per_sec: json_f64(row, "pipelined_wall_msgs_per_sec"),
                 pipe_credit_ops: json_f64(row, "pipe_credit_ops"),
+                model_credit_time_share: json_f64(row, "model_credit_time_share"),
+                pipe_credit_stall_events: json_f64(row, "pipe_credit_stall_events"),
             })
         })
         .collect()
@@ -327,6 +357,45 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
                 enforced: true,
                 note: "credit returns must ride the fabric".into(),
             });
+            // The coalesced-credit bar: the modelled drain cores' virtual-time
+            // share spent posting credit puts must stay batched down. The
+            // metric is deterministic (virtual time, not wall clock), so it
+            // is enforced on any runner.
+            let credit_share = four.model_credit_time_share.ok_or(
+                "4-shard burst row is missing model_credit_time_share (regenerate the report with the current fastpath)",
+            )?;
+            checks.push(GateCheck {
+                name: "4-shard modelled credit share",
+                value: credit_share,
+                threshold: t.max_credit_time_share_4shard,
+                op: "<=",
+                pass: credit_share <= t.max_credit_time_share_4shard,
+                enforced: true,
+                note: "coalesced flow control stays off the drain hot path".into(),
+            });
+            // Coalescing must not starve the senders: the pipelined run's
+            // stall episodes stay at or below the baseline. Stall counts
+            // depend on how the OS schedules the lane/drain threads, so the
+            // bar shares the wall checks' parallelism guard.
+            let stalls = four.pipe_credit_stall_events.ok_or(
+                "4-shard burst row is missing pipe_credit_stall_events (regenerate the report with the current fastpath)",
+            )?;
+            checks.push(GateCheck {
+                name: "4-shard pipelined credit stalls",
+                value: stalls,
+                threshold: t.max_credit_stall_events,
+                op: "<=",
+                pass: stalls <= t.max_credit_stall_events,
+                enforced,
+                note: if enforced {
+                    "batched credits must not starve the sender lanes".into()
+                } else {
+                    format!(
+                        "informational: host_parallelism={parallelism} < {}",
+                        t.wall_gate_min_parallelism
+                    )
+                },
+            });
         }
         None => {
             return Err("report has no 4-shard burst row (run fastpath with --shards 1,4)".into())
@@ -401,10 +470,12 @@ mod tests {
                 "  \"burst_shard_rows\": [\n",
                 "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
                 "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
-                "\"pipe_credit_ops\": 256}},\n",
+                "\"model_credit_time_share\": 0.0500, ",
+                "\"pipe_credit_ops\": 256, \"pipe_credit_stall_events\": 3}},\n",
                 "    {{\"shards\": 4, \"model_speedup\": {}, \"wall_msgs_per_sec\": {}, ",
                 "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
-                "\"pipe_credit_ops\": 256}}\n  ]\n}}\n"
+                "\"model_credit_time_share\": 0.0500, ",
+                "\"pipe_credit_ops\": 256, \"pipe_credit_stall_events\": 3}}\n  ]\n}}\n"
             ),
             warm_ns,
             dispatch_speedup,
@@ -449,7 +520,7 @@ mod tests {
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 6);
+        assert_eq!(out.checks.len(), 8);
         assert!(out.checks.iter().all(|c| c.enforced));
     }
 
@@ -518,6 +589,76 @@ mod tests {
     }
 
     #[test]
+    fn credit_share_regression_fails_on_any_runner() {
+        // Coalescing falling apart shows up as the modelled credit share
+        // climbing back toward the ~0.16 per-frame cost; the metric is
+        // deterministic, so even a 1-core runner enforces it.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"model_credit_time_share\": 0.0500",
+            "\"model_credit_time_share\": 0.1600",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let share = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("credit share"))
+            .unwrap();
+        assert!(!share.pass && share.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn sender_stall_regression_fails_on_a_parallel_runner() {
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(
+            "\"pipe_credit_stall_events\": 3}\n  ]",
+            "\"pipe_credit_stall_events\": 5000}\n  ]",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let stalls = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("stalls"))
+            .unwrap();
+        assert!(!stalls.pass && stalls.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn sender_stalls_are_informational_on_a_small_runner() {
+        // Stall counts are schedule-dependent: a time-sliced runner parks
+        // lanes constantly, so the bar reports but does not enforce there.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"pipe_credit_stall_events\": 3}\n  ]",
+            "\"pipe_credit_stall_events\": 5000}\n  ]",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let stalls = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("stalls"))
+            .unwrap();
+        assert!(!stalls.pass && !stalls.enforced);
+        assert!(
+            out.passed(),
+            "unenforced stall check must not fail the gate"
+        );
+    }
+
+    #[test]
+    fn reports_without_credit_share_are_an_error_not_a_pass() {
+        // A report predating credit coalescing lacks the share column; the
+        // gate must demand a regenerated report, not skip the new bar.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+            .replace("\"model_credit_time_share\": 0.0500, ", "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("model_credit_time_share"), "{err}");
+        let json =
+            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(", \"pipe_credit_stall_events\": 3", "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("pipe_credit_stall_events"), "{err}");
+    }
+
+    #[test]
     fn pre_fleet_reports_are_an_error_not_a_pass() {
         // A report whose 4-shard row lacks the pipeline columns must fail
         // loudly (regenerate it), not silently skip the new bar.
@@ -554,12 +695,14 @@ mod tests {
     #[test]
     fn thresholds_parse_from_baseline_json() {
         let t = GateThresholds::from_json(
-            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8}",
+            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48}",
         );
         assert_eq!(t.min_dispatch_speedup, 2.5);
         assert_eq!(t.max_warm_dispatch_ns, 900.0);
         assert_eq!(t.min_pipeline_ratio_4shard, 1.5);
         assert_eq!(t.wall_gate_min_parallelism, 8);
+        assert_eq!(t.max_credit_time_share_4shard, 0.07);
+        assert_eq!(t.max_credit_stall_events, 48.0);
         assert_eq!(
             t.min_model_speedup_4shard,
             GateThresholds::default().min_model_speedup_4shard,
@@ -601,6 +744,7 @@ mod tests {
                     model_credit_time_share: 0.04,
                     pipe_credit_ops: 64,
                     pipe_credit_bytes: 64,
+                    pipe_credit_stall_events: 1,
                 },
                 crate::burst::BurstRow {
                     shards: 4,
@@ -615,6 +759,7 @@ mod tests {
                     model_credit_time_share: 0.04,
                     pipe_credit_ops: 64,
                     pipe_credit_bytes: 64,
+                    pipe_credit_stall_events: 4,
                 },
             ],
             loss: vec![
@@ -649,8 +794,8 @@ mod tests {
         assert_eq!(rows[1].frames_dropped, 3.0);
         let out = evaluate(&json, &GateThresholds::default()).unwrap();
         assert!(out.passed(), "{}", out.table());
-        // 6 base checks + 1 lossless residue + 2 per faulted row.
-        assert_eq!(out.checks.len(), 9);
+        // 8 base checks + 1 lossless residue + 2 per faulted row.
+        assert_eq!(out.checks.len(), 11);
     }
 
     #[test]

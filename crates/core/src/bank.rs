@@ -215,11 +215,15 @@ impl MailboxBank {
 /// traffic into the sender's own registered memory.
 ///
 /// The table holds one *row per owned bank*, each row a word-aligned run of
-/// `per_bank` one-byte credit **tokens** — one per slot. The receiver returns a
-/// slot's credit by writing the slot's next token with a one-sided put aimed at
-/// this region (it contends for the NIC and is charged in virtual time like any
-/// other put); the sending lane observes it with an acquire load of the same
-/// byte and never blocks on a host-side channel.
+/// `per_bank` one-byte credit **tokens** — one per slot. The receiver returns
+/// credits by writing next tokens with one-sided puts aimed at this region —
+/// coalesced into one put per dirty row span, ending on a freshly minted
+/// token (they contend for the NIC and are charged in virtual time like any
+/// other put); the sending lane observes each slot with an acquire load of
+/// its own byte and never blocks on a host-side channel. The contiguous,
+/// word-aligned row is what makes the span flush a single transfer: slots
+/// `first..=last` of a row are the byte range
+/// `offset_of(row, first) .. offset_of(row, last) + 1`.
 ///
 /// # Word layout
 ///
@@ -234,8 +238,10 @@ impl MailboxBank {
 /// `(k % 255) + 1`. Adjacent tokens always differ and `0` is never written, so
 /// *"token differs from the last one I consumed"* means exactly *"a credit
 /// arrived since I last consumed one"*. The sender never writes the region —
-/// the protocol is single-writer per byte, so a one-byte put can neither tear
-/// nor race. The put's release publication pairs with the sender's acquire
+/// the protocol is single-writer per byte, so a credit put can neither tear
+/// nor race, and a span put that rewrites an interior slot's *unchanged*
+/// token byte-identically cannot mint a credit (tokens are value-compared,
+/// not edge-detected). The put's release publication pairs with the sender's acquire
 /// load: a sender that observes the token also observes everything the
 /// receiver did before issuing the credit (in particular the slot's mailbox
 /// clear), which is the ordering the refill relies on.

@@ -51,6 +51,24 @@ pub enum SpaceMode {
     ShardLocal,
 }
 
+/// When the receiver's drain shards flush accumulated credit tokens back to
+/// the sender as one-sided puts (§VI-A2 batching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CreditFlushPolicy {
+    /// Flush after every retired frame: one 1-byte put per credit, the
+    /// pre-coalescing behaviour. Useful as a latency baseline and for
+    /// equivalence tests.
+    PerFrame,
+    /// Batch tokens per bank row and flush one multi-byte span put when a row
+    /// fills, when the withheld total reaches the headroom watermark
+    /// ([`RuntimeConfig::credit_flush_watermark`]), or when the shard goes
+    /// idle at the end of a burst scan. The default: it takes the per-put
+    /// fixed cost off the drain hot path without letting a lightly loaded
+    /// sender starve for credits.
+    #[default]
+    Adaptive,
+}
+
 /// Configuration of a Two-Chains host runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -79,6 +97,15 @@ pub struct RuntimeConfig {
     /// more. Back-pressure is per stream — one saturated stream never stalls
     /// its siblings.
     pub completion_window: usize,
+    /// When drain shards flush accumulated credit tokens back to the sender
+    /// (see [`CreditFlushPolicy`]).
+    pub credit_flush_policy: CreditFlushPolicy,
+    /// Headroom watermark for [`CreditFlushPolicy::Adaptive`]: when the
+    /// tokens a shard is withholding leave the sender at most this many
+    /// credits of headroom under the completion window, the shard flushes
+    /// immediately instead of waiting for a row to fill — so batching never
+    /// turns into a light-load latency stall. Must be at least 1.
+    pub credit_flush_watermark: usize,
     /// Which core the receiver thread runs on. With `n` shards, shard `s`
     /// drains on core `(receiver_core + s) % num_cores`, each with its own
     /// private L1/L2 over the host's shared cache levels.
@@ -117,6 +144,8 @@ impl RuntimeConfig {
             space_mode: SpaceMode::Exclusive,
             sender_streams: 1,
             completion_window: 256,
+            credit_flush_policy: CreditFlushPolicy::Adaptive,
+            credit_flush_watermark: 4,
             receiver_core: 0,
             wait_mode: WaitMode::Polling,
             wait_model: WaitModel::cluster2021(),
@@ -153,6 +182,20 @@ impl RuntimeConfig {
     /// with `bank % n == s`).
     pub fn with_sender_streams(mut self, n: usize) -> Self {
         self.sender_streams = n;
+        self
+    }
+
+    /// Same configuration but flushing one credit put per retired frame
+    /// ([`CreditFlushPolicy::PerFrame`]) — the pre-coalescing wire behaviour.
+    pub fn with_per_frame_credits(mut self) -> Self {
+        self.credit_flush_policy = CreditFlushPolicy::PerFrame;
+        self
+    }
+
+    /// Same configuration but with an explicit adaptive-flush headroom
+    /// watermark (see [`RuntimeConfig::credit_flush_watermark`]).
+    pub fn with_credit_flush_watermark(mut self, n: usize) -> Self {
+        self.credit_flush_watermark = n;
         self
     }
 
@@ -209,6 +252,11 @@ impl RuntimeConfig {
         }
         if self.completion_window == 0 {
             return Err("completion window needs at least one entry".into());
+        }
+        if self.credit_flush_watermark == 0 {
+            // A zero watermark would only flush on row-fill or idle: a sender
+            // down to its last credit could sit unrefilled for a whole scan.
+            return Err("credit flush watermark must be at least 1".into());
         }
         Ok(())
     }
@@ -267,6 +315,20 @@ mod tests {
         let mut c = RuntimeConfig::paper_default();
         c.completion_window = 0;
         assert!(c.validate().is_err(), "zero completion window");
+        let c = RuntimeConfig::paper_default().with_credit_flush_watermark(0);
+        assert!(c.validate().is_err(), "zero credit flush watermark");
+    }
+
+    #[test]
+    fn credit_flush_defaults_are_adaptive() {
+        let c = RuntimeConfig::paper_default();
+        assert_eq!(c.credit_flush_policy, CreditFlushPolicy::Adaptive);
+        assert_eq!(c.credit_flush_watermark, 4);
+        assert!(c.validate().is_ok());
+        let c = c.with_per_frame_credits().with_credit_flush_watermark(9);
+        assert_eq!(c.credit_flush_policy, CreditFlushPolicy::PerFrame);
+        assert_eq!(c.credit_flush_watermark, 9);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

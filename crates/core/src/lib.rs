@@ -59,7 +59,7 @@ pub mod stats;
 
 pub use bank::{BankFlags, MailboxBank, NackFlags, ShardMask};
 pub use builtin::{benchmark_package, benchmark_rieds, BuiltinJam};
-pub use config::{InvocationMode, RuntimeConfig, SpaceMode};
+pub use config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 pub use error::{AmError, AmResult};
 pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
 pub use mailbox::ReactiveMailbox;

@@ -10,16 +10,70 @@
 //! drain counts that generate the token sequence.
 //!
 //! Every retired frame (drained, dispatch-rejected or quarantined) produces
-//! exactly one credit put: a one-byte [`Endpoint::put`] into the slot's token
-//! byte. That put is charged like any other fabric traffic — the drain core
-//! pays the posting cost in virtual time, the put contends for the receiver's
-//! transmit NIC, and its DMA delivery installs the byte on the sender host,
+//! exactly one credit *token*, but tokens no longer travel one put at a time:
+//! the shard **accumulates** them in a per-row pending set and **flushes**
+//! one multi-byte [`Endpoint::put`] covering the dirty span of each row. The
+//! flush put is charged like any other fabric traffic — the drain core pays
+//! the posting cost in virtual time, the put contends for the receiver's
+//! transmit NIC, and its DMA delivery installs the bytes on the sender host,
 //! posting invalidations to the sender cores' inboxes exactly like inbound
-//! frames do on the receiver. A one-byte put is its own signal: `put`
-//! publishes its final (only) byte with release ordering, which is the
-//! conservative unordered-fabric protocol (`put_unordered` + fence + signal
-//! put) collapsed into a single byte, so the scheme is correct on ordered and
-//! unordered links alike.
+//! frames do on the receiver. Batching moves the per-put fixed cost off the
+//! drain hot path: N retirements cost one `put(span)` instead of N
+//! `put(1 byte)`s.
+//!
+//! # The flush state machine
+//!
+//! A slot is *pending* between [`CreditReturn::accumulate`] (its frame
+//! retired, its next token minted) and the flush that publishes the token.
+//! The host drives four flush triggers:
+//!
+//! 1. **Per-frame** ([`CreditFlushPolicy::PerFrame`](crate::config::CreditFlushPolicy)):
+//!    flush after every accumulate — a 1-byte span per retirement, the
+//!    pre-coalescing wire behaviour, kept as the latency baseline.
+//! 2. **Row-fill** (adaptive): `accumulate` reports when the slot's whole row
+//!    is pending; a full row is the widest span one put can cover, so waiting
+//!    longer buys nothing.
+//! 3. **Headroom watermark** (adaptive): the tokens a shard withholds are
+//!    credits the sender cannot spend; when the withheld total leaves the
+//!    sender within [`RuntimeConfig::credit_flush_watermark`](crate::config::RuntimeConfig)
+//!    credits of exhausting its window, the host flushes immediately so
+//!    batching never becomes a light-load latency stall.
+//! 4. **Idle / abort** (unconditional): the end of every burst scan — and
+//!    every error exit from one — flushes whatever is pending, so a token
+//!    can never be stranded by an empty bank or a failed dispatch.
+//!
+//! `accumulate` additionally forces a flush if the slot is *already* pending:
+//! two unflushed tokens on one slot would collapse into the newest byte and
+//! lose a credit, so the backlog is posted first. (A burst scan visits each
+//! slot once and ends in a flush, so the guard is unreachable in the normal
+//! schedules — it makes correctness unconditional rather than scheduling-
+//! dependent.)
+//!
+//! # Span encoding and ordering
+//!
+//! A flushed row span runs from its lowest to its highest dirty slot and
+//! always **ends on a dirty slot's token**, because `put` publishes its final
+//! byte with release ordering. Gap slots inside the span are *rewritten
+//! byte-identically* (the slot's current token, or the fresh 0 for a
+//! never-drained slot): every token byte is single-writer and the sender's
+//! [`BankFlags::try_acquire`] compares values, so an idempotent rewrite can
+//! never mint a credit — the same argument that makes replay re-publication
+//! ([`CreditReturn::put_credit_replay`]) safe. Interior bytes land before the
+//! final byte's release publication (fabric delivery is one ordered unit,
+//! the same contract the multi-byte frame put already relies on), and a poll
+//! observing an interior token races only with its own slot's refill, which
+//! the value-compare protocol tolerates by construction.
+//!
+//! # Why the flush counters live outside [`RuntimeStats`](crate::RuntimeStats)
+//!
+//! The per-slot drain counts, the pending set and the lifetime flush totals
+//! all live in [`CreditReturn`], not in the resettable stats: a stats reset
+//! between benchmark phases must not restart the token sequence (a repeated
+//! token is an invisible credit) and must not orphan pending tokens (a
+//! zeroed pending set is a lost credit). The resettable
+//! `credit_flushes`/`credit_flush_bytes`/`credit_flush_max_span` counters in
+//! `RuntimeStats` are the *observability* view, folded in per flush by the
+//! host; the engine's own state is deliberately immune to them.
 
 use twochains_fabric::{Endpoint, RegionDescriptor};
 use twochains_memsim::SimTime;
@@ -72,21 +126,71 @@ pub(crate) struct CreditReturn {
     /// Cumulative drains per owned slot, indexed `(bank / streams) * per_bank
     /// + slot`.
     drains: Vec<u64>,
-    /// The stream's NACK table and the per-row report counters driving its
-    /// token sequence, when the handshake carried one. Like `drains`, the
-    /// counters live outside [`RuntimeStats`](crate::RuntimeStats) so a stats
-    /// reset cannot repeat a token.
-    nack: Option<(RegionDescriptor, Vec<u64>)>,
+    /// Slots whose newest token is minted but not yet flushed (same indexing
+    /// as `drains`). Outside [`RuntimeStats`](crate::RuntimeStats) resets for
+    /// the same reason `drains` is: zeroing it mid-phase would lose credits.
+    pending: Vec<bool>,
+    /// How many slots are pending across all rows — the withheld-credit total
+    /// the host's watermark trigger compares against the completion window.
+    pending_total: usize,
+    /// Lifetime flush totals (flush puts, wire bytes, largest span), outside
+    /// the resettable stats — see the module docs. The per-flush deltas the
+    /// host folds into `RuntimeStats` come from [`FlushOutcome`].
+    lifetime_flushes: u64,
+    lifetime_flush_bytes: u64,
+    lifetime_flush_max_span: u64,
+    /// The stream's NACK table state, when the handshake carried one. Like
+    /// `drains`, the counters live outside
+    /// [`RuntimeStats`](crate::RuntimeStats) so a stats reset cannot repeat a
+    /// token.
+    nack: Option<NackReturn>,
 }
 
-/// Timing/traffic outcome of one credit put, for the caller's stats.
+/// NACK-table state for one stream (receiver side).
+#[derive(Debug)]
+struct NackReturn {
+    descriptor: RegionDescriptor,
+    /// Per-row report counters driving the row token sequence.
+    seqs: Vec<u64>,
+    /// Last record published per row, cached so a coalesced span put can
+    /// rewrite interior rows byte-identically (a value-compared token that
+    /// does not change cannot re-fire a report).
+    records: Vec<[u8; 5]>,
+}
+
+/// Timing/traffic outcome of one credit-path put (replay re-publication or a
+/// coalesced NACK span), for the caller's stats.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CreditPutOutcome {
     /// When the drain core is free again (posting overhead paid).
     pub sender_free: SimTime,
-    /// Payload bytes moved (always 1 today; kept explicit so coalesced credit
-    /// words could widen it without touching the accounting).
+    /// Payload bytes moved on the wire.
     pub bytes: usize,
+}
+
+/// Traffic one [`CreditReturn::flush`] posted: the per-flush delta the host
+/// folds into the resettable `RuntimeStats` counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlushOutcome {
+    /// When the drain core is free again (every span put's posting paid).
+    pub sender_free: SimTime,
+    /// Wire bytes across all span puts in this flush (gap-fill included).
+    pub bytes: u64,
+    /// Span puts posted (one per dirty row).
+    pub puts: u64,
+    /// Largest single span in bytes.
+    pub max_span: u64,
+}
+
+/// What [`CreditReturn::accumulate`] observed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AccumulateOutcome {
+    /// A flush forced by a same-slot collision (the slot already held an
+    /// unflushed token); `None` in the normal schedules.
+    pub forced: Option<FlushOutcome>,
+    /// The slot's whole row is now pending — the widest span one put can
+    /// cover, so the adaptive policy flushes here.
+    pub row_full: bool,
 }
 
 impl CreditReturn {
@@ -135,9 +239,15 @@ impl CreditReturn {
             streams: handshake.streams,
             per_bank,
             drains: vec![0; rows * per_bank],
-            nack: handshake.nack.map(|d| {
-                let rows = banks_owned(handshake.stream, handshake.streams, banks_total);
-                (d, vec![0; rows])
+            pending: vec![false; rows * per_bank],
+            pending_total: 0,
+            lifetime_flushes: 0,
+            lifetime_flush_bytes: 0,
+            lifetime_flush_max_span: 0,
+            nack: handshake.nack.map(|d| NackReturn {
+                descriptor: d,
+                seqs: vec![0; rows],
+                records: vec![[0u8; 5]; rows],
             }),
         })
     }
@@ -155,17 +265,37 @@ impl CreditReturn {
         self.nack.is_some()
     }
 
-    /// Return one credit for (`bank`, `slot`) at drain-virtual time `now`:
-    /// bump the slot's drain count and put the next token into the sender's
-    /// table. The caller must only invoke this *after* the slot's mailbox has
-    /// been cleared — the put's release publication is what lets the sender's
-    /// acquire load order its refill behind the clear.
-    pub(crate) fn put_credit(
+    /// Tokens minted but not yet flushed — the withheld-credit total the
+    /// host's watermark trigger compares against the completion window.
+    pub(crate) fn pending_total(&self) -> usize {
+        self.pending_total
+    }
+
+    /// Lifetime flush totals `(flush puts, wire bytes, largest span)` —
+    /// cumulative since construction, immune to stats resets (module docs).
+    pub(crate) fn lifetime_flush_totals(&self) -> (u64, u64, u64) {
+        (
+            self.lifetime_flushes,
+            self.lifetime_flush_bytes,
+            self.lifetime_flush_max_span,
+        )
+    }
+
+    /// Mint the next credit token for (`bank`, `slot`) at drain-virtual time
+    /// `now` and mark the slot pending; the token travels on the next
+    /// [`CreditReturn::flush`]. The caller must only invoke this *after* the
+    /// slot's mailbox has been cleared — the flush put's release publication
+    /// is what lets the sender's acquire load order its refill behind the
+    /// clear. If the slot already holds an unflushed token, the backlog is
+    /// flushed first (two pending tokens on one byte would collapse into the
+    /// newest and lose a credit) and the forced flush is reported back for
+    /// the caller's accounting.
+    pub(crate) fn accumulate(
         &mut self,
         now: SimTime,
         bank: usize,
         slot: usize,
-    ) -> AmResult<CreditPutOutcome> {
+    ) -> AmResult<AccumulateOutcome> {
         if crate::bank::ShardMask::owner_of(bank, self.streams) != self.stream {
             return Err(AmError::InvalidConfig(format!(
                 "bank {bank} is not owned by stream {} of {}: crediting it here \
@@ -186,17 +316,81 @@ impl CreditReturn {
                 "no credit row for mailbox ({bank}, {slot})"
             )));
         }
-        let token = BankFlags::token_for(self.drains[idx]);
+        let forced = if self.pending[idx] {
+            self.flush(now)?
+        } else {
+            None
+        };
         self.drains[idx] += 1;
-        let offset = BankFlags::offset_of(row, slot, self.per_bank);
-        let out = self
-            .endpoint
-            .put(now, &[token], &self.descriptor, offset)
-            .map_err(|e| AmError::Fabric(e.to_string()))?;
-        Ok(CreditPutOutcome {
-            sender_free: out.sender_free,
-            bytes: out.bytes,
-        })
+        self.pending[idx] = true;
+        self.pending_total += 1;
+        let base = row * self.per_bank;
+        let row_full = self.pending[base..base + self.per_bank].iter().all(|&p| p);
+        Ok(AccumulateOutcome { forced, row_full })
+    }
+
+    /// Publish every pending token: one multi-byte put per dirty row,
+    /// covering the span from its lowest to its highest dirty slot (gap
+    /// slots rewritten byte-identically — see the module docs). Returns
+    /// `None` when nothing was pending. The row puts serialize on the drain
+    /// core's posting path, so `sender_free` accumulates across rows exactly
+    /// like back-to-back puts did before coalescing.
+    pub(crate) fn flush(&mut self, now: SimTime) -> AmResult<Option<FlushOutcome>> {
+        if self.pending_total == 0 {
+            return Ok(None);
+        }
+        let rows = self.drains.len() / self.per_bank;
+        let mut clock = now;
+        let mut bytes = 0u64;
+        let mut puts = 0u64;
+        let mut max_span = 0u64;
+        let mut buf: Vec<u8> = Vec::with_capacity(self.per_bank);
+        for row in 0..rows {
+            let base = row * self.per_bank;
+            let Some(first) = (0..self.per_bank).find(|&s| self.pending[base + s]) else {
+                continue;
+            };
+            let last = (0..self.per_bank)
+                .rfind(|&s| self.pending[base + s])
+                .expect("a row with a first dirty slot has a last one");
+            buf.clear();
+            for slot in first..=last {
+                let idx = base + slot;
+                let token = if self.pending[idx] {
+                    self.pending[idx] = false;
+                    self.pending_total -= 1;
+                    BankFlags::token_for(self.drains[idx] - 1)
+                } else if self.drains[idx] > 0 {
+                    // Gap-fill: the slot's current token, byte-identical.
+                    BankFlags::token_for(self.drains[idx] - 1)
+                } else {
+                    // Never drained: 0 is the fresh value the table holds.
+                    0
+                };
+                buf.push(token);
+            }
+            // The span ends on `last`, a dirty slot, so the put's release
+            // byte is a freshly minted token.
+            let offset = BankFlags::offset_of(row, first, self.per_bank);
+            let out = self
+                .endpoint
+                .put(clock, &buf, &self.descriptor, offset)
+                .map_err(|e| AmError::Fabric(e.to_string()))?;
+            clock = out.sender_free;
+            bytes += out.bytes as u64;
+            puts += 1;
+            max_span = max_span.max(buf.len() as u64);
+        }
+        debug_assert_eq!(self.pending_total, 0, "flush must drain every row");
+        self.lifetime_flushes += puts;
+        self.lifetime_flush_bytes += bytes;
+        self.lifetime_flush_max_span = self.lifetime_flush_max_span.max(max_span);
+        Ok(Some(FlushOutcome {
+            sender_free: clock,
+            bytes,
+            puts,
+            max_span,
+        }))
     }
 
     /// Idempotently re-put the *current* token for (`bank`, `slot`) after a
@@ -206,7 +400,11 @@ impl CreditReturn {
     /// so re-writing an unchanged byte can never mint an extra credit — which
     /// is exactly what keeps a duplicated frame from letting the lane clobber
     /// an undrained slot. A replay that races ahead of the slot's very first
-    /// drain has no token to re-publish and is skipped (0 bytes).
+    /// drain has no token to re-publish and is skipped (0 bytes). If the
+    /// slot's newest token is still pending, this publishes it early — the
+    /// credit is genuinely owed, and the later flush rewrites the same byte
+    /// idempotently, so the retirement still yields exactly one observable
+    /// token.
     pub(crate) fn put_credit_replay(
         &mut self,
         now: SimTime,
@@ -244,22 +442,54 @@ impl CreditReturn {
         })
     }
 
-    /// Post one sequence-gap report into the sender's NACK table: a single
-    /// 5-byte put of `missing_sn` plus the row's next token, release-published
-    /// token-last so the sender's acquire poll observes a coherent record.
-    /// Rows are spread by `missing_sn % rows` — the receiver cannot know which
-    /// bank a *lost* frame was destined for, and the sender locates the frame
-    /// by sn in its wire cache anyway. Errors if no NACK table was handshaken.
-    pub(crate) fn put_nack(&mut self, now: SimTime, missing_sn: u32) -> AmResult<CreditPutOutcome> {
-        let (descriptor, seqs) = self.nack.as_mut().ok_or_else(|| {
+    /// Post every due sequence-gap report of one scan into the sender's NACK
+    /// table as **one** coalesced put: each missing sn's 5-byte record
+    /// (`missing_sn` LE + the row's next token) is staged into its row
+    /// (`missing_sn % rows` — the receiver cannot know which bank a *lost*
+    /// frame was destined for, and the sender locates the frame by sn in its
+    /// wire cache anyway), then a single span put covers the lowest through
+    /// the highest staged row, ending on the highest row's token byte so the
+    /// release publication covers the whole span. Interior rows not staged
+    /// this scan are rewritten byte-identically from the record cache —
+    /// value-compared tokens cannot re-fire a report. Two sns colliding on
+    /// one row in the same scan keep only the newest record, exactly the
+    /// overwrite behaviour the per-gap puts had (the sender's watchdog
+    /// backstops any report lost this way). No-op on an empty scan; errors if
+    /// no NACK table was handshaken.
+    pub(crate) fn put_nacks(
+        &mut self,
+        now: SimTime,
+        missing: &[u32],
+    ) -> AmResult<CreditPutOutcome> {
+        let nack = self.nack.as_mut().ok_or_else(|| {
             AmError::InvalidConfig("stream handshake carried no NACK table".into())
         })?;
-        let row = missing_sn as usize % seqs.len();
-        let record = NackFlags::record_for(missing_sn, BankFlags::token_for(seqs[row]));
-        seqs[row] += 1;
+        if missing.is_empty() {
+            return Ok(CreditPutOutcome {
+                sender_free: now,
+                bytes: 0,
+            });
+        }
+        let rows = nack.seqs.len();
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &sn in missing {
+            let row = sn as usize % rows;
+            nack.records[row] = NackFlags::record_for(sn, BankFlags::token_for(nack.seqs[row]));
+            nack.seqs[row] += 1;
+            lo = lo.min(row);
+            hi = hi.max(row);
+        }
+        // Span from lo's record start to hi's token byte (offset +4 within
+        // the row): the final byte is the newest token, release-published.
+        let base = NackFlags::row_offset(lo);
+        let mut buf = vec![0u8; NackFlags::row_offset(hi) + 5 - base];
+        for row in lo..=hi {
+            let off = NackFlags::row_offset(row) - base;
+            buf[off..off + 5].copy_from_slice(&nack.records[row]);
+        }
         let out = self
             .endpoint
-            .put(now, &record, descriptor, NackFlags::row_offset(row))
+            .put(now, &buf, &nack.descriptor, base)
             .map_err(|e| AmError::Fabric(e.to_string()))?;
         Ok(CreditPutOutcome {
             sender_free: out.sender_free,

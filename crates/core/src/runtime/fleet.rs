@@ -66,16 +66,23 @@
 //!   tokens always differ, so *token ≠ last-consumed* means exactly one new
 //!   credit. The sender never writes the region — single-writer bytes cannot
 //!   tear or race.
-//! * **Release/acquire pairing.** The credit is a one-byte
-//!   [`Endpoint::put`](twochains_fabric::Endpoint::put), issued strictly
-//!   *after* the receiver cleared the slot's mailbox; `put` publishes its
-//!   final (only) byte with release ordering and the lane observes it with an
-//!   acquire load ([`BankFlags::try_acquire`](crate::bank::BankFlags::try_acquire)),
-//!   so a lane that sees the token also sees the cleared slot before its
-//!   refill put. A one-byte put is its own signal: on an unordered fabric it
+//! * **Release/acquire pairing.** Credits travel as row-span
+//!   [`Endpoint::put`](twochains_fabric::Endpoint::put)s — the receiver
+//!   batches retired slots per row and flushes one put covering the dirty
+//!   span (1..=`per_bank` bytes), issued strictly *after* every covered
+//!   slot's mailbox was cleared. `put` publishes its *final* byte with
+//!   release ordering and a flushed span always ends on a freshly minted
+//!   token, so a lane whose acquire load
+//!   ([`BankFlags::try_acquire`](crate::bank::BankFlags::try_acquire))
+//!   observes any token in the span also sees its cleared slot before the
+//!   refill put. Gap slots inside a span are rewritten byte-identically;
+//!   tokens are value-compared, so an idempotent rewrite can never mint a
+//!   credit. The span put is still its own signal: on an unordered fabric it
 //!   *is* the conservative `put_unordered` + fence + signal-put protocol
-//!   collapsed to a single byte, so ordered and unordered links behave
-//!   identically here.
+//!   collapsed into one transfer, so ordered and unordered links behave
+//!   identically here. One flush can refill several of a lane's slots at
+//!   once — the wakeup harvests them all and counts the extras in
+//!   [`RuntimeStats::credit_refills_coalesced`].
 //! * **Ordering vs frame puts.** Credit puts ride the receiver→sender
 //!   direction while frame puts ride sender→receiver; the two directions
 //!   share no ordering and need none — the only edge that matters is
@@ -999,6 +1006,14 @@ where
                                     let mut deadline = Instant::now() + backoff.next_delay();
                                     let mut budget = RETRY_BUDGET;
                                     'wait: loop {
+                                        // One coalesced credit flush can
+                                        // refill several of this lane's slots
+                                        // at once: harvest *every* token the
+                                        // scan finds, send on the first and
+                                        // queue the rest, so one wakeup never
+                                        // costs more spin episodes than the
+                                        // flush that caused it.
+                                        let mut first: Option<usize> = None;
                                         for step in 0..slots {
                                             let i = (cursor + step) % slots;
                                             if (rounds_sent[i] as usize) < rounds
@@ -1010,9 +1025,19 @@ where
                                                 // is now dead weight, not a
                                                 // retransmit candidate.
                                                 lane.in_flight[i] = false;
-                                                cursor = (i + 1) % slots;
-                                                break 'wait i;
+                                                if first.is_none() {
+                                                    first = Some(i);
+                                                    cursor = (i + 1) % slots;
+                                                } else {
+                                                    free.push_back(i);
+                                                    lane.sender
+                                                        .stats_mut()
+                                                        .credit_refills_coalesced += 1;
+                                                }
                                             }
+                                        }
+                                        if let Some(i) = first {
+                                            break 'wait i;
                                         }
                                         if abort.load(Ordering::Relaxed) {
                                             return Err(AmError::Exec(

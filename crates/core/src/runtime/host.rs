@@ -29,13 +29,13 @@ use twochains_memsim::{
     SharedHierarchy, SimTime,
 };
 
-use super::credit::{CreditHandshake, CreditReturn};
+use super::credit::{CreditHandshake, CreditReturn, FlushOutcome};
 use super::injection_cache::{CachedGot, CachedProgram, InjectionCache};
 use super::shard::{ReceiverShard, ShardDrain};
 use super::{BurstFrame, BurstOutcome, ReceiveOutcome};
 use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
-use crate::config::{InvocationMode, RuntimeConfig, SpaceMode};
+use crate::config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 use crate::error::{AmError, AmResult};
 use crate::frame::{FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
@@ -556,10 +556,10 @@ impl TwoChainsHost {
     /// descriptor of one stream's [`BankFlags`](crate::bank::BankFlags) credit
     /// table, registered in the *sender's* address space; this host opens a
     /// reverse-direction endpoint per shard and, from then on, every retired
-    /// frame (drained, dispatch-rejected or quarantined) is acknowledged with
-    /// a one-byte credit put into the paired stream's table — flow control
-    /// riding the fabric and charged in virtual time, not a host-side side
-    /// channel.
+    /// frame (drained, dispatch-rejected or quarantined) mints a credit token
+    /// into the paired stream's table, coalesced into per-row span puts by
+    /// the configured [`CreditFlushPolicy`] — flow control riding the fabric
+    /// and charged in virtual time, not a host-side side channel.
     ///
     /// Requires one handshake per shard with `streams == num_shards`: bank
     /// ownership is `bank % n` on both sides, so only the closed pairing gives
@@ -663,6 +663,18 @@ impl TwoChainsHost {
         self.shards
             .get(shard)
             .and_then(|s| s.credit.as_ref().map(|c| c.descriptor()))
+    }
+
+    /// Shard `shard`'s lifetime credit-flush totals `(flush puts, wire bytes,
+    /// largest span)` — cumulative since the credit path was installed and
+    /// deliberately immune to [`TwoChainsHost::reset_stats`] (the flush
+    /// engine's state must survive benchmark-phase resets; see
+    /// [`CreditReturn::lifetime_flush_totals`]). `None` when the credit path
+    /// is not installed.
+    pub fn credit_flush_lifetime(&self, shard: usize) -> Option<(u64, u64, u64)> {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.credit.as_ref().map(CreditReturn::lifetime_flush_totals))
     }
 
     /// The receiver's mailbox banks.
@@ -785,14 +797,21 @@ impl TwoChainsHost {
 }
 
 impl HostCore {
-    /// Return the flow-control credit for a just-retired slot as a one-sided
-    /// put into the paired stream's credit table, when the credit path is
-    /// installed (no-op otherwise). The drain core pays the posting cost:
-    /// `clock` advances to the put's `sender_free`, and the traffic lands in
-    /// the shard's `credits_returned` / `credit_put_bytes` /
-    /// `credit_put_time` counters. Must be called *after* the slot's mailbox
-    /// was cleared — the put's release publication is what orders the
-    /// sender's refill behind the clear.
+    /// Return the flow-control credit for a just-retired slot: mint its next
+    /// token into the shard's pending row ([`CreditReturn::accumulate`]) and
+    /// flush per the configured [`CreditFlushPolicy`] — immediately under
+    /// `PerFrame`, on row-fill or the headroom watermark under `Adaptive`
+    /// (the idle/abort flush at the end of every scan is the caller's job).
+    /// No-op when the credit path is not installed. Must be called *after*
+    /// the slot's mailbox was cleared — the flush put's release publication
+    /// is what orders the sender's refill behind the clear.
+    ///
+    /// The token is counted (`credits_returned`, one wire byte in
+    /// `credit_put_bytes`) at mint time — token accounting, one per retired
+    /// frame regardless of how flushes batch them — while the posting cost
+    /// (`credit_put_time`) and the flush-shape counters (`credit_flushes`,
+    /// `credit_flush_bytes`, `credit_flush_max_span`) land when a flush
+    /// actually posts, advancing `clock` to the puts' `sender_free`.
     ///
     /// A failure here is an invariant break, not a routine condition:
     /// [`TwoChainsHost::install_credit_returns`] vets the table's geometry,
@@ -802,19 +821,66 @@ impl HostCore {
     /// already-executed outcomes) — losing a credit silently would wedge the
     /// paired lane with no trace, which is strictly worse.
     fn return_credit(
+        &self,
         shard: &mut ReceiverShard,
         clock: &mut SimTime,
         bank: usize,
         slot: usize,
     ) -> AmResult<()> {
-        if let Some(credit) = shard.credit.as_mut() {
-            let out = credit.put_credit(*clock, bank, slot)?;
-            shard.stats.credits_returned += 1;
-            shard.stats.credit_put_bytes += out.bytes as u64;
-            shard.stats.credit_put_time += out.sender_free - *clock;
-            *clock = out.sender_free;
+        let Some(credit) = shard.credit.as_mut() else {
+            return Ok(());
+        };
+        let out = credit.accumulate(*clock, bank, slot)?;
+        shard.stats.credits_returned += 1;
+        shard.stats.credit_put_bytes += 1;
+        if let Some(flush) = out.forced {
+            Self::fold_flush(&mut shard.stats, clock, flush);
+        }
+        let flush_now = match self.config.credit_flush_policy {
+            CreditFlushPolicy::PerFrame => true,
+            CreditFlushPolicy::Adaptive => {
+                // Row-fill: the widest span one put can cover. Watermark:
+                // the withheld tokens leave the sender within
+                // `credit_flush_watermark` credits of exhausting its
+                // completion window, so batching must yield to latency.
+                out.row_full
+                    || shard.credit.as_ref().map_or(0, CreditReturn::pending_total)
+                        >= self
+                            .config
+                            .completion_window
+                            .saturating_sub(self.config.credit_flush_watermark)
+            }
+        };
+        if flush_now {
+            Self::flush_credits(shard, clock)?;
         }
         Ok(())
+    }
+
+    /// Post every pending credit token of `shard` now (no-op when nothing is
+    /// pending or no credit path is installed), folding the flush traffic
+    /// into the shard's stats and advancing `clock` past the posting cost.
+    /// This is the idle/abort trigger of the flush state machine: the host
+    /// calls it at the end of every scan and on every error exit, so a token
+    /// can never be stranded by an empty bank or a failed dispatch.
+    fn flush_credits(shard: &mut ReceiverShard, clock: &mut SimTime) -> AmResult<()> {
+        if let Some(credit) = shard.credit.as_mut() {
+            if let Some(flush) = credit.flush(*clock)? {
+                Self::fold_flush(&mut shard.stats, clock, flush);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold one flush's traffic into the resettable stats: the posting cost
+    /// charged to the drain core's clock, plus the flush-shape counters
+    /// (`credit_flush_max_span` merges with `max`, like the host-wide merge).
+    fn fold_flush(stats: &mut RuntimeStats, clock: &mut SimTime, flush: FlushOutcome) {
+        stats.credit_flushes += flush.puts;
+        stats.credit_flush_bytes += flush.bytes;
+        stats.credit_flush_max_span = stats.credit_flush_max_span.max(flush.max_span);
+        stats.credit_put_time += flush.sender_free - *clock;
+        *clock = flush.sender_free;
     }
 
     /// Return the credit for a slot retired as a suppressed *replay*: the
@@ -847,31 +913,36 @@ impl HostCore {
         }
     }
 
-    /// Close one full bank scan for the gap watcher and post a NACK for every
-    /// suspected loss that outlived the scan-jumble horizon. On a lossless
-    /// fabric the watcher never ages anything out, so this posts nothing.
+    /// Close one full bank scan for the gap watcher and post every suspected
+    /// loss that outlived the scan-jumble horizon as **one** coalesced NACK
+    /// put ([`CreditReturn::put_nacks`]) — `nacks_posted` counts flushes, not
+    /// gaps, since the coalescing. On a lossless fabric the watcher never
+    /// ages anything out, so this posts nothing.
     fn post_due_nacks(shard: &mut ReceiverShard, clock: &mut SimTime) -> AmResult<()> {
         if !shard.credit.as_ref().is_some_and(|c| c.nack_armed()) {
             return Ok(());
         }
         let due = shard.watch.end_scan();
-        for sn in due {
-            let credit = shard.credit.as_mut().expect("armed implies credit");
-            let out = credit.put_nack(*clock, sn)?;
-            shard.stats.nacks_posted += 1;
-            shard.stats.credit_put_bytes += out.bytes as u64;
-            shard.stats.credit_put_time += out.sender_free - *clock;
-            *clock = out.sender_free;
+        if due.is_empty() {
+            return Ok(());
         }
+        let credit = shard.credit.as_mut().expect("armed implies credit");
+        let out = credit.put_nacks(*clock, &due)?;
+        shard.stats.nacks_posted += 1;
+        shard.stats.credit_put_bytes += out.bytes as u64;
+        shard.stats.credit_put_time += out.sender_free - *clock;
+        *clock = out.sender_free;
         Ok(())
     }
 
     /// Single-slot receive through `shard`, charging the wait model. The
     /// slot's credit is returned once the frame retired (see
-    /// [`HostCore::return_credit`]); the credit posting cost is charged to the
-    /// shard's counters but not folded into the returned outcome's handler
-    /// time — it belongs to the drain core's next activity, exactly like the
-    /// burst path's clock advance.
+    /// [`HostCore::return_credit`]) and the pending set is flushed before the
+    /// call returns — a single-slot receive is a scan of one, so its token is
+    /// never left withheld. The credit posting cost is charged to the shard's
+    /// counters but not folded into the returned outcome's handler time — it
+    /// belongs to the drain core's next activity, exactly like the burst
+    /// path's clock advance.
     ///
     /// Like the burst engine (this is its single-frame case), a frame the
     /// dispatch *rejects* is still retired: the slot is cleared, counted in
@@ -922,23 +993,52 @@ impl HostCore {
                     let mut clock = arrival;
                     // The dispatch error is the caller's answer; a credit-put
                     // failure on top of it would only mask the root cause.
-                    let _ = Self::return_credit(shard, &mut clock, bank, slot);
+                    // The abort-safe flush still runs — the rejected frame's
+                    // token must not stay withheld behind the error.
+                    let _ = self.return_credit(shard, &mut clock, bank, slot);
+                    let _ = Self::flush_credits(shard, &mut clock);
                 }
                 return Err(err);
             }
         };
         let mut clock = outcome.handler_done;
-        Self::return_credit(shard, &mut clock, bank, slot)?;
+        self.return_credit(shard, &mut clock, bank, slot)?;
+        Self::flush_credits(shard, &mut clock)?;
         Ok(outcome)
     }
 
     /// One-scan burst drain of the banks `shard` owns (see
     /// [`TwoChainsHost::receive_burst`]).
+    ///
+    /// Every exit — drained, empty scan, or a propagated dispatch/credit
+    /// error — runs the idle/abort credit flush, so a token accumulated for
+    /// any retired frame is published before control leaves the burst engine:
+    /// an aborted burst may drop its already-executed outcomes, but never a
+    /// credit. On an error the original error takes precedence over any
+    /// flush failure.
     pub(crate) fn receive_burst(
         &self,
         shard: &mut ReceiverShard,
         max_frames: usize,
         now: SimTime,
+    ) -> AmResult<BurstOutcome> {
+        let mut clock = now;
+        let result = self.receive_burst_inner(shard, max_frames, &mut clock);
+        let flushed = Self::flush_credits(shard, &mut clock);
+        let mut outcome = result?;
+        flushed?;
+        outcome.drained_at = clock;
+        Ok(outcome)
+    }
+
+    /// The burst scan proper: poll, quarantine, dispatch, retire. `clock`
+    /// tracks drain-virtual time even across an error return, so the caller's
+    /// abort-safe flush charges its posting at the right instant.
+    fn receive_burst_inner(
+        &self,
+        shard: &mut ReceiverShard,
+        max_frames: usize,
+        clock: &mut SimTime,
     ) -> AmResult<BurstOutcome> {
         // A single poll pass over the shard's banks: ready frames to drain, plus
         // poisoned slots (header magic set but an out-of-range declared length)
@@ -957,13 +1057,13 @@ impl HostCore {
             .wait(self.config.wait_mode, SimTime::ZERO);
         shard.stats.wait_time += scan.elapsed;
         shard.stats.cycles.add_wait(scan.cycles);
-        let mut clock = now + scan.elapsed;
+        *clock += scan.elapsed;
         // A quarantined slot was cleared by the scan, so its credit goes back
         // right away: the paired lane must be able to reuse the slot even
         // though no frame was ever dispatched from it — otherwise a single
         // poisoning put would wedge the lane forever.
         for (bank, slot, _) in &rejected {
-            Self::return_credit(shard, &mut clock, *bank, *slot)?;
+            self.return_credit(shard, clock, *bank, *slot)?;
         }
         let mut frames = Vec::with_capacity(ready.len());
         for (bank, slot, frame_len) in ready {
@@ -972,21 +1072,21 @@ impl HostCore {
                 bank,
                 slot,
                 Some(frame_len),
-                clock,
-                clock,
+                *clock,
+                *clock,
                 WaitCharge::Scanned,
             ) {
                 Ok(SlotOutcome::Executed { sn, outcome }) => {
                     Self::note_sequence(shard, sn);
-                    clock = outcome.handler_done;
+                    *clock = outcome.handler_done;
                     frames.push(BurstFrame {
                         bank,
                         slot,
                         outcome,
                     });
-                    // One credit per retired frame, issued the moment the slot
-                    // is clear again, on the drain core's clock.
-                    Self::return_credit(shard, &mut clock, bank, slot)?;
+                    // One credit token per retired frame, minted the moment
+                    // the slot is clear again, on the drain core's clock.
+                    self.return_credit(shard, clock, bank, slot)?;
                 }
                 Ok(SlotOutcome::Replayed { sn }) => {
                     // A suppressed replay is invisible to the burst outcome
@@ -994,7 +1094,7 @@ impl HostCore {
                     // cleared and its credit re-published idempotently, so it
                     // cannot leak a slot or double-execute.
                     Self::note_sequence(shard, sn);
-                    Self::return_replay_credit(shard, &mut clock, bank, slot)?;
+                    Self::return_replay_credit(shard, clock, bank, slot)?;
                 }
                 Err(err) => {
                     // A frame the dispatch rejects must still free its slot, or the
@@ -1004,17 +1104,17 @@ impl HostCore {
                     }
                     shard.stats.frames_rejected += 1;
                     rejected.push((bank, slot, err));
-                    Self::return_credit(shard, &mut clock, bank, slot)?;
+                    self.return_credit(shard, clock, bank, slot)?;
                 }
             }
         }
         // The scan is complete: age the gap watcher and report anything that
         // has now outlived the scan-jumble horizon.
-        Self::post_due_nacks(shard, &mut clock)?;
+        Self::post_due_nacks(shard, clock)?;
         Ok(BurstOutcome {
             frames,
             rejected,
-            drained_at: clock,
+            drained_at: *clock,
         })
     }
 

@@ -11,6 +11,7 @@ use crate::builtin::{benchmark_package, indirect_put_args, ssum_args, BuiltinJam
 use crate::config::{InvocationMode, RuntimeConfig};
 use crate::error::AmError;
 use crate::frame::Frame;
+use crate::stats::RuntimeStats;
 
 /// Build the standard two-host testbed with the benchmark package installed on
 /// both sides and the receiver's GOT images exported to the sender.
@@ -1319,9 +1320,16 @@ fn segmented_eviction_keeps_the_cache_bounded_and_counts_evictions() {
 /// Build a host plus a connected [`SenderFleet`](super::SenderFleet) with the
 /// given shard/stream count over the standard two-host testbed.
 fn fleet_testbed(shards: usize, window: usize) -> (TwoChainsHost, super::SenderFleet) {
-    let mut cfg = RuntimeConfig::paper_default()
+    let cfg = RuntimeConfig::paper_default()
         .with_shards(shards)
         .with_sender_streams(shards);
+    fleet_testbed_with(cfg, window)
+}
+
+fn fleet_testbed_with(
+    mut cfg: RuntimeConfig,
+    window: usize,
+) -> (TwoChainsHost, super::SenderFleet) {
     cfg.frame_capacity = 4096;
     cfg.completion_window = window;
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
@@ -1330,6 +1338,93 @@ fn fleet_testbed(shards: usize, window: usize) -> (TwoChainsHost, super::SenderF
     let fleet =
         super::SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     (host, fleet)
+}
+
+/// Fill every slot once and burst-drain every shard, returning the merged
+/// receiver stats — the shared scaffold of the credit-flush tests below.
+fn fill_and_drain_once(host: &mut TwoChainsHost, fleet: &mut super::SenderFleet) -> RuntimeStats {
+    let horizons = fleet
+        .fill_all(
+            host.builtin_id(BuiltinJam::IndirectPut).unwrap(),
+            InvocationMode::Injected,
+            0,
+            &fleet_payload,
+        )
+        .unwrap();
+    for (shard, &start) in horizons.iter().enumerate() {
+        let out = host.receive_burst(shard, usize::MAX, start).unwrap();
+        assert!(out.rejected.is_empty());
+    }
+    host.stats()
+}
+
+#[test]
+fn adaptive_credit_flushes_coalesce_tokens_into_row_spans() {
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    let stats = fill_and_drain_once(&mut host, &mut fleet);
+    let frames = host.config().total_mailboxes() as u64;
+    // Token accounting: one credit and one wire byte per retired frame,
+    // however the flushes batched them.
+    assert_eq!(stats.credits_returned, frames);
+    assert_eq!(stats.credit_put_bytes, frames);
+    // The flush-shape counters tell the batching story: far fewer puts than
+    // tokens, spans as wide as a whole bank row (each row fills during the
+    // burst, and row-fill is an adaptive flush trigger).
+    assert!(stats.credit_flushes > 0, "tokens must actually be posted");
+    assert!(
+        stats.credit_flushes < frames,
+        "adaptive policy must batch tokens ({} flushes for {frames} credits)",
+        stats.credit_flushes
+    );
+    assert!(
+        stats.credit_flush_bytes >= frames,
+        "spans cover every token"
+    );
+    let per_bank = host.config().mailboxes_per_bank as u64;
+    assert_eq!(
+        stats.credit_flush_max_span, per_bank,
+        "a filled row flushes as one full-row span"
+    );
+    assert!(stats.credit_put_time > SimTime::ZERO, "posting is charged");
+}
+
+#[test]
+fn per_frame_policy_reproduces_the_uncoalesced_wire_behaviour() {
+    let cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(2)
+        .with_per_frame_credits();
+    let (mut host, mut fleet) = fleet_testbed_with(cfg, 64);
+    let stats = fill_and_drain_once(&mut host, &mut fleet);
+    let frames = host.config().total_mailboxes() as u64;
+    // One flush of one 1-byte span per retired frame: the pre-coalescing
+    // baseline, byte for byte.
+    assert_eq!(stats.credits_returned, frames);
+    assert_eq!(stats.credit_flushes, frames);
+    assert_eq!(stats.credit_flush_bytes, frames);
+    assert_eq!(stats.credit_flush_max_span, 1);
+}
+
+#[test]
+fn lifetime_flush_totals_survive_stats_resets() {
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    fill_and_drain_once(&mut host, &mut fleet);
+    let before: Vec<_> = (0..2)
+        .map(|s| host.credit_flush_lifetime(s).unwrap())
+        .collect();
+    for &(puts, bytes, max_span) in &before {
+        assert!(puts > 0 && bytes > 0 && max_span > 0);
+    }
+    host.reset_stats();
+    let zeroed = host.stats();
+    assert_eq!(zeroed.credit_flushes, 0);
+    assert_eq!(zeroed.credit_flush_bytes, 0);
+    assert_eq!(zeroed.credit_flush_max_span, 0);
+    // The engine's own totals are deliberately immune to the reset: zeroing
+    // them mid-phase would desynchronise the token sequence bookkeeping.
+    for (s, &b) in before.iter().enumerate() {
+        assert_eq!(host.credit_flush_lifetime(s).unwrap(), b);
+    }
 }
 
 /// The deterministic Indirect Put payload the fleet tests fill with.

@@ -61,13 +61,33 @@ pub struct RuntimeStats {
     /// sender's credit table (§VI-A2) — one per retired frame (drained,
     /// dispatch-rejected or quarantined) once the credit path is installed.
     pub credits_returned: u64,
-    /// Payload bytes moved by credit-return puts (flow control measured as
-    /// fabric traffic, not a host-side side channel).
+    /// Credit tokens carried by credit-return traffic — one per retired frame
+    /// (drained, dispatch-rejected or quarantined) once the credit path is
+    /// installed. Since the coalesced flush engine this counts *tokens*, not
+    /// wire puts: the actual fabric traffic is `credit_flushes` puts moving
+    /// `credit_flush_bytes` bytes (a flush span may include gap-fill bytes
+    /// that idempotently rewrite unchanged tokens).
     pub credit_put_bytes: u64,
+    /// Coalesced credit-return puts actually posted on the reverse fabric:
+    /// one per dirty bank-row span flushed (row-fill, watermark, shard-idle
+    /// or abort-time flush). Under the per-frame policy this equals
+    /// `credits_returned`.
+    pub credit_flushes: u64,
+    /// Wire bytes the flush puts moved, gap-fill included — the truth about
+    /// flow-control fabric traffic (`credit_put_bytes` counts tokens).
+    pub credit_flush_bytes: u64,
+    /// Largest single flush span in bytes. Merged with `max`, not `+`: the
+    /// host-wide view answers "how big did one credit put ever get", and
+    /// summing per-shard maxima would answer nothing.
+    pub credit_flush_max_span: u64,
     /// Times a sender lane found no pending credit for any refillable slot and
     /// had to spin/park on its flag region (one count per stall episode, not
     /// per fruitless poll).
     pub credit_stall_events: u64,
+    /// Extra slots a sender lane refilled on the same wakeup beyond the first
+    /// — coalesced flushes deliver several tokens per put, and each wakeup
+    /// consumes all of them instead of re-parking between slots.
+    pub credit_refills_coalesced: u64,
     /// Frames re-put from the sender's wire cache after a NACK or a watchdog
     /// timeout (reliability layer; zero on a lossless fabric). Retransmits do
     /// not count as new messages — `messages_sent`/`bytes_sent` stay equal to
@@ -139,7 +159,11 @@ impl RuntimeStats {
             poisoned_quarantined,
             credits_returned,
             credit_put_bytes,
+            credit_flushes,
+            credit_flush_bytes,
+            credit_flush_max_span,
             credit_stall_events,
+            credit_refills_coalesced,
             frames_retransmitted,
             replays_suppressed,
             nacks_posted,
@@ -168,7 +192,13 @@ impl RuntimeStats {
         self.poisoned_quarantined += poisoned_quarantined;
         self.credits_returned += credits_returned;
         self.credit_put_bytes += credit_put_bytes;
+        self.credit_flushes += credit_flushes;
+        self.credit_flush_bytes += credit_flush_bytes;
+        // Max, not sum: see the field docs — the aggregate answers "largest
+        // single span any shard ever posted".
+        self.credit_flush_max_span = self.credit_flush_max_span.max(*credit_flush_max_span);
         self.credit_stall_events += credit_stall_events;
+        self.credit_refills_coalesced += credit_refills_coalesced;
         self.frames_retransmitted += frames_retransmitted;
         self.replays_suppressed += replays_suppressed;
         self.nacks_posted += nacks_posted;
@@ -196,55 +226,121 @@ mod tests {
         assert_eq!(s.cycles.total(), 0);
     }
 
+    /// A counter set with every field at a distinct nonzero value derived from
+    /// `base`. Built as an exhaustive struct literal (no `..Default`), so a
+    /// RuntimeStats field this test forgot to populate fails to compile.
+    fn filled(base: u64) -> RuntimeStats {
+        let mut cycles = CycleCounter::default();
+        cycles.add_wait(base + 28);
+        RuntimeStats {
+            messages_sent: base + 1,
+            bytes_sent: base + 2,
+            messages_received: base + 3,
+            executions: base + 4,
+            injected_executions: base + 5,
+            local_executions: base + 6,
+            injected_code_cache_hits: base + 7,
+            injected_code_cache_misses: base + 8,
+            got_cache_hits: base + 9,
+            got_cache_misses: base + 10,
+            injected_code_cache_evictions: base + 11,
+            got_cache_evictions: base + 12,
+            template_hits: base + 13,
+            template_misses: base + 14,
+            sends_backpressured: base + 15,
+            completions_harvested: base + 16,
+            frames_rejected: base + 17,
+            poisoned_quarantined: base + 18,
+            credits_returned: base + 19,
+            credit_put_bytes: base + 20,
+            credit_flushes: base + 21,
+            credit_flush_bytes: base + 22,
+            credit_flush_max_span: base + 23,
+            credit_stall_events: base + 24,
+            credit_refills_coalesced: base + 25,
+            frames_retransmitted: base + 26,
+            replays_suppressed: base + 27,
+            nacks_posted: base + 28,
+            credit_put_time: SimTime::from_ns(base + 29),
+            wait_time: SimTime::from_ns(base + 30),
+            exec_time: SimTime::from_ns(base + 31),
+            cycles,
+        }
+    }
+
     #[test]
     fn merge_sums_every_counter() {
-        let mut a = RuntimeStats::new();
-        a.messages_received = 3;
-        a.injected_code_cache_hits = 2;
-        a.injected_code_cache_evictions = 1;
-        a.cycles.add_wait(5);
-        a.poisoned_quarantined = 2;
-        a.credits_returned = 2;
-        a.credit_put_bytes = 2;
-        a.credit_put_time = SimTime::from_ns(40);
-        let mut b = RuntimeStats::new();
-        b.messages_received = 4;
-        b.got_cache_evictions = 7;
-        b.sends_backpressured = 4;
-        b.completions_harvested = 11;
-        b.frames_rejected = 3;
-        b.poisoned_quarantined = 5;
-        b.credits_returned = 9;
-        b.credit_put_bytes = 9;
-        b.credit_stall_events = 6;
-        b.frames_retransmitted = 8;
-        b.replays_suppressed = 3;
-        b.nacks_posted = 2;
-        b.credit_put_time = SimTime::from_ns(5);
-        b.cycles.add_work(9);
-        a.merge(&b);
-        assert_eq!(a.messages_received, 7);
-        assert_eq!(a.injected_code_cache_hits, 2);
-        assert_eq!(a.injected_code_cache_evictions, 1);
-        assert_eq!(a.got_cache_evictions, 7);
-        assert_eq!(a.sends_backpressured, 4);
-        assert_eq!(a.completions_harvested, 11);
-        // The quarantine and rejection counters survive the host-wide merge:
-        // a per-shard count that merge() drops is invisible to operators.
-        assert_eq!(a.frames_rejected, 3);
-        assert_eq!(a.poisoned_quarantined, 7);
-        // Same for the flow-control traffic counters: the whole point of the
-        // one-sided credit path is that its cost is visible in the aggregate.
-        assert_eq!(a.credits_returned, 11);
-        assert_eq!(a.credit_put_bytes, 11);
-        assert_eq!(a.credit_stall_events, 6);
-        // The reliability-layer counters aggregate like any other: a dropped
-        // fleet-wide retransmit count would hide exactly the incidents the
-        // chaos tests exist to surface.
-        assert_eq!(a.frames_retransmitted, 8);
-        assert_eq!(a.replays_suppressed, 3);
-        assert_eq!(a.nacks_posted, 2);
-        assert_eq!(a.credit_put_time, SimTime::from_ns(45));
-        assert_eq!(a.cycles.total(), 14);
+        let mut a = filled(0);
+        a.merge(&filled(100));
+        // Exhaustive destructure of the merged view (no `..`): a field added
+        // to RuntimeStats without an assertion here fails to compile, so a
+        // counter can never silently vanish from the host-wide aggregate.
+        let RuntimeStats {
+            messages_sent,
+            bytes_sent,
+            messages_received,
+            executions,
+            injected_executions,
+            local_executions,
+            injected_code_cache_hits,
+            injected_code_cache_misses,
+            got_cache_hits,
+            got_cache_misses,
+            injected_code_cache_evictions,
+            got_cache_evictions,
+            template_hits,
+            template_misses,
+            sends_backpressured,
+            completions_harvested,
+            frames_rejected,
+            poisoned_quarantined,
+            credits_returned,
+            credit_put_bytes,
+            credit_flushes,
+            credit_flush_bytes,
+            credit_flush_max_span,
+            credit_stall_events,
+            credit_refills_coalesced,
+            frames_retransmitted,
+            replays_suppressed,
+            nacks_posted,
+            credit_put_time,
+            wait_time,
+            exec_time,
+            cycles,
+        } = a;
+        assert_eq!(messages_sent, 102);
+        assert_eq!(bytes_sent, 104);
+        assert_eq!(messages_received, 106);
+        assert_eq!(executions, 108);
+        assert_eq!(injected_executions, 110);
+        assert_eq!(local_executions, 112);
+        assert_eq!(injected_code_cache_hits, 114);
+        assert_eq!(injected_code_cache_misses, 116);
+        assert_eq!(got_cache_hits, 118);
+        assert_eq!(got_cache_misses, 120);
+        assert_eq!(injected_code_cache_evictions, 122);
+        assert_eq!(got_cache_evictions, 124);
+        assert_eq!(template_hits, 126);
+        assert_eq!(template_misses, 128);
+        assert_eq!(sends_backpressured, 130);
+        assert_eq!(completions_harvested, 132);
+        assert_eq!(frames_rejected, 134);
+        assert_eq!(poisoned_quarantined, 136);
+        assert_eq!(credits_returned, 138);
+        assert_eq!(credit_put_bytes, 140);
+        assert_eq!(credit_flushes, 142);
+        assert_eq!(credit_flush_bytes, 144);
+        // Max-merged, not summed: the largest span either side ever posted.
+        assert_eq!(credit_flush_max_span, 123);
+        assert_eq!(credit_stall_events, 148);
+        assert_eq!(credit_refills_coalesced, 150);
+        assert_eq!(frames_retransmitted, 152);
+        assert_eq!(replays_suppressed, 154);
+        assert_eq!(nacks_posted, 156);
+        assert_eq!(credit_put_time, SimTime::from_ns(158));
+        assert_eq!(wait_time, SimTime::from_ns(160));
+        assert_eq!(exec_time, SimTime::from_ns(162));
+        assert_eq!(cycles.total(), 156);
     }
 }

@@ -1,0 +1,270 @@
+//! Token conservation under coalesced credit returns.
+//!
+//! The flush policy batches how credit tokens ride the reverse fabric — it
+//! must never change *how many* ride, or *whether* they arrive. Every retired
+//! frame — drained, dispatch-rejected, quarantined, or a suppressed replay —
+//! yields exactly one observable token in the owning lane's credit table,
+//! under both flush policies, and no token is ever withheld across a burst
+//! boundary (the mid-burst abort case: a burst cut short after a single frame
+//! still publishes that frame's token before control returns).
+//!
+//! The oracle is the sender's own view: [`SenderLane::credit_pending`] reads
+//! the per-slot token byte exactly as the refill spin loop would, so a token
+//! counted here is a token a real sender could spend. Minted-but-unflushed
+//! tokens are invisible to it — which is precisely the bug class this suite
+//! exists to catch.
+
+use two_chains_suite::fabric::{FaultPlan, SimFabric};
+use two_chains_suite::memsim::{SimTime, TestbedConfig};
+use twochains::builtin::{benchmark_package, ssum_args, BuiltinJam};
+use twochains::frame::FRAME_HEADER_SIZE;
+use twochains::{
+    drive_pipeline, CreditFlushPolicy, Frame, InvocationMode, RuntimeConfig, SenderFleet,
+    TwoChainsHost,
+};
+
+const SHARDS: usize = 2;
+
+fn config(policy: CreditFlushPolicy) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::paper_default()
+        .with_shards(SHARDS)
+        .with_sender_streams(SHARDS)
+        .with_shard_local_space();
+    cfg.frame_capacity = 4096;
+    cfg.completion_window = cfg.total_mailboxes();
+    cfg.credit_flush_policy = policy;
+    cfg
+}
+
+fn build(policy: CreditFlushPolicy) -> (SimFabric, TwoChainsHost, SenderFleet) {
+    build_with(config(policy), None)
+}
+
+fn build_with(
+    cfg: RuntimeConfig,
+    plan: Option<FaultPlan>,
+) -> (SimFabric, TwoChainsHost, SenderFleet) {
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    if let Some(plan) = plan {
+        fabric.install_fault_plan(a, b, plan).unwrap();
+    }
+    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    assert!(host.credit_path_installed());
+    (fabric, host, fleet)
+}
+
+/// Count the tokens the sender can actually observe: one `credit_pending`
+/// probe per owned mailbox, over every lane. This is the ground truth the
+/// conservation law is stated against — flush accounting that disagrees with
+/// this census is lying.
+fn token_census(host: &TwoChainsHost, fleet: &SenderFleet) -> usize {
+    let cfg = host.config();
+    let mut pending = 0usize;
+    for stream in 0..fleet.lane_count() {
+        let lane = fleet.lane(stream).unwrap();
+        for bank in (0..cfg.banks).filter(|b| b % fleet.lane_count() == stream) {
+            for slot in 0..cfg.mailboxes_per_bank {
+                if lane.credit_pending(bank, slot).unwrap() {
+                    pending += 1;
+                }
+            }
+        }
+    }
+    pending
+}
+
+/// Overwrite mailbox (`bank`, `slot`) with a poisoned header: magic set, but
+/// the declared frame length out of range — retired via quarantine.
+fn poison(fabric: &SimFabric, host: &TwoChainsHost, bank: usize, slot: usize) {
+    let mut raw = fabric
+        .endpoint(
+            two_chains_suite::fabric::HostId(0),
+            two_chains_suite::fabric::HostId(1),
+        )
+        .unwrap();
+    let target = host.mailbox_target(bank, slot).unwrap();
+    let mut bytes = Frame::local(1, 0, vec![0; 20], vec![0; 4]).encode();
+    bytes[8..12].copy_from_slice(&1_000_000u32.to_le_bytes());
+    raw.put(
+        SimTime::ZERO,
+        &bytes[..FRAME_HEADER_SIZE],
+        &target.region,
+        target.offset,
+    )
+    .unwrap();
+}
+
+/// Overwrite mailbox (`bank`, `slot`) with a well-formed frame naming an
+/// element the receiver never installed — retired via dispatch rejection.
+fn bogus_element(fabric: &SimFabric, host: &TwoChainsHost, bank: usize, slot: usize) {
+    let mut raw = fabric
+        .endpoint(
+            two_chains_suite::fabric::HostId(0),
+            two_chains_suite::fabric::HostId(1),
+        )
+        .unwrap();
+    let target = host.mailbox_target(bank, slot).unwrap();
+    // A sequence number far above anything the fleet sends, so the replay
+    // filter cannot mistake this frame for a duplicate.
+    let bytes = Frame::local(0x7FFF_0000, 0xDEAD, vec![0; 20], vec![0; 4]).encode();
+    raw.put(SimTime::ZERO, &bytes, &target.region, target.offset)
+        .unwrap();
+}
+
+/// Drained + quarantined + rejected retirements all mint exactly one
+/// sender-observable token each, whatever the flush policy batches them into.
+fn assert_mixed_retirements_conserve_tokens(policy: CreditFlushPolicy) {
+    let (fabric, mut host, mut fleet) = build(policy);
+    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let total = host.config().total_mailboxes();
+
+    fleet
+        .fill_all(elem, InvocationMode::Injected, 0, &|_| {
+            (ssum_args(4), vec![5u8; 16])
+        })
+        .unwrap();
+    // Sabotage two of the filled slots: one quarantined, one dispatch-rejected.
+    poison(&fabric, &host, 0, 0);
+    bogus_element(&fabric, &host, 0, 1);
+
+    let mut drained = 0usize;
+    let mut rejected = 0usize;
+    for shard in 0..SHARDS {
+        let out = host
+            .receive_burst(shard, usize::MAX, SimTime::ZERO)
+            .unwrap();
+        drained += out.frames.len();
+        rejected += out.rejected.len();
+    }
+    assert_eq!(drained, total - 2);
+    assert_eq!(rejected, 2, "one quarantine + one dispatch rejection");
+
+    let stats = host.stats();
+    assert_eq!(stats.poisoned_quarantined, 1);
+    assert_eq!(stats.frames_rejected, 1);
+    // The conservation law: one token per retired frame, no more, no less —
+    // and every one of them observable from the sender side right now.
+    assert_eq!(stats.credits_returned as usize, total);
+    assert_eq!(stats.credit_put_bytes as usize, total);
+    assert_eq!(token_census(&host, &fleet), total);
+    match policy {
+        // Full banks coalesce into row spans: strictly fewer wire ops than
+        // tokens is the whole point of the policy.
+        CreditFlushPolicy::Adaptive => {
+            assert!(stats.credit_flushes < stats.credits_returned);
+            assert!(stats.credit_flush_max_span > 1);
+        }
+        // The uncoalesced baseline: one single-byte put per token.
+        CreditFlushPolicy::PerFrame => {
+            assert_eq!(stats.credit_flushes, stats.credits_returned);
+            assert_eq!(stats.credit_flush_bytes, stats.credits_returned);
+            assert_eq!(stats.credit_flush_max_span, 1);
+        }
+    }
+    assert!(stats.credit_flush_bytes >= stats.credits_returned);
+}
+
+#[test]
+fn mixed_retirements_conserve_tokens_under_adaptive_flushes() {
+    assert_mixed_retirements_conserve_tokens(CreditFlushPolicy::Adaptive);
+}
+
+#[test]
+fn mixed_retirements_conserve_tokens_under_per_frame_flushes() {
+    assert_mixed_retirements_conserve_tokens(CreditFlushPolicy::PerFrame);
+}
+
+/// The mid-burst abort case: a burst capped at one frame ends its scan with
+/// accumulated-but-unflushed state — the abort-safe flush at the burst
+/// boundary must publish it anyway. After every single-frame burst, the
+/// sender-observable census equals the retired count exactly; nothing is
+/// withheld waiting for a row to fill.
+#[test]
+fn a_burst_cut_short_never_withholds_the_tokens_it_minted() {
+    let (_fabric, mut host, mut fleet) = build(CreditFlushPolicy::Adaptive);
+    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let total = host.config().total_mailboxes();
+
+    fleet
+        .fill_all(elem, InvocationMode::Injected, 0, &|_| {
+            (ssum_args(4), vec![9u8; 16])
+        })
+        .unwrap();
+
+    let mut retired = 0usize;
+    loop {
+        let before = retired;
+        for shard in 0..SHARDS {
+            let out = host.receive_burst(shard, 1, SimTime::ZERO).unwrap();
+            assert!(out.rejected.is_empty());
+            retired += out.frames.len();
+            // The invariant under test: immediately after the capped burst
+            // returns, every token it minted is already on the sender side.
+            assert_eq!(
+                token_census(&host, &fleet),
+                retired,
+                "a capped burst must flush before returning"
+            );
+        }
+        if retired == before {
+            break;
+        }
+    }
+    assert_eq!(retired, total);
+    let stats = host.stats();
+    assert_eq!(stats.credits_returned as usize, total);
+    // One-frame scans have nothing to coalesce with: the abort flush posts
+    // exactly one single-byte span per burst.
+    assert_eq!(stats.credit_flushes, stats.credits_returned);
+    assert_eq!(stats.credit_flush_max_span, 1);
+}
+
+/// Suppressed replays re-publish an existing token idempotently: under a
+/// duplicating/dropping link the pipeline still ends with exactly one token
+/// per mailbox and one credit per *received* message, for both policies.
+fn assert_replays_mint_nothing(policy: CreditFlushPolicy) {
+    let (_fabric, mut host, mut fleet) =
+        build_with(config(policy), Some(FaultPlan::mixed(0.2, 0xFA_B71C)));
+    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let rounds = 3;
+    let total = host.config().total_mailboxes();
+    let out = drive_pipeline(
+        &mut host,
+        &mut fleet,
+        elem,
+        InvocationMode::Injected,
+        rounds,
+        &|_| (ssum_args(4), vec![1u8; 16]),
+    )
+    .unwrap();
+    assert_eq!(out.drained, rounds * total);
+    assert_eq!(out.rejected, 0);
+
+    let stats = host.stats();
+    assert!(
+        stats.replays_suppressed > 0,
+        "the 20% mixed plan must actually exercise the replay path"
+    );
+    // Replays retire a slot but mint no fresh credit: token accounting stays
+    // one per received message. Conservation is proven by completion itself —
+    // rounds beyond the first can only be funded by tokens that actually
+    // arrived, and the pipeline's completion harvest consumed the final
+    // round's tokens one per mailbox, leaving none pending and none missing.
+    assert_eq!(stats.credits_returned, stats.messages_received);
+    assert_eq!(stats.credits_returned as usize, rounds * total);
+    assert_eq!(token_census(&host, &fleet), 0);
+    assert!(stats.credit_flushes >= 1);
+    assert!(stats.credit_flush_bytes >= stats.credits_returned);
+}
+
+#[test]
+fn replays_mint_nothing_under_adaptive_flushes() {
+    assert_replays_mint_nothing(CreditFlushPolicy::Adaptive);
+}
+
+#[test]
+fn replays_mint_nothing_under_per_frame_flushes() {
+    assert_replays_mint_nothing(CreditFlushPolicy::PerFrame);
+}

@@ -1,8 +1,9 @@
 //! One-sided credit returns (§VI-A2) as observable fabric traffic.
 //!
 //! Flow control must ride the fabric: every retired frame — drained,
-//! dispatch-rejected or *quarantined* — produces exactly one one-byte put into
-//! the paired sender lane's credit table. The poisoned-slot cases matter most:
+//! dispatch-rejected or *quarantined* — mints exactly one credit token into
+//! the paired sender lane's credit table, coalesced into per-row span puts by
+//! the flush policy. The poisoned-slot cases matter most:
 //! a slot wedged by a malicious put is reclaimed by the credit-returning
 //! (pipelined) drain, and its credit still comes back, so the owning lane can
 //! refill it instead of waiting forever on a token that never changes.
@@ -87,11 +88,16 @@ fn quarantined_slot_still_returns_its_credit_under_the_parallel_drain() {
     });
     let stats = host.stats();
     assert_eq!(stats.poisoned_quarantined, 1);
-    // The quarantine produced a credit put over the fabric: one op, one byte,
-    // charged in virtual time on the drain core.
+    // The quarantine produced a credit token over the fabric: one op, one
+    // wire byte, charged in virtual time on the drain core.
     assert_eq!(stats.credits_returned, 1);
     assert_eq!(stats.credit_put_bytes, 1);
     assert!(stats.credit_put_time > SimTime::ZERO);
+    // A lone retirement coalesces with nothing: the scan-end flush posted it
+    // as one single-byte span.
+    assert_eq!(stats.credit_flushes, 1);
+    assert_eq!(stats.credit_flush_bytes, 1);
+    assert_eq!(stats.credit_flush_max_span, 1);
     // ... and it landed in the owning lane's sender-side table, so the lane
     // can reuse the slot instead of wedging.
     assert!(fleet.lane(0).unwrap().credit_pending(0, 0).unwrap());
@@ -146,4 +152,13 @@ fn pipeline_returns_one_credit_per_frame_over_the_fabric() {
         stats.credit_put_time > SimTime::ZERO,
         "flow control must be charged in virtual time"
     );
+    // Every token was published by exactly one flush: no more flushes than
+    // tokens (the degenerate bound — one single-byte span each), and the
+    // spans covered at least one wire byte per token. Span widths cannot
+    // exceed a bank row.
+    assert!(stats.credit_flushes >= 1);
+    assert!(stats.credit_flushes <= stats.credits_returned);
+    assert!(stats.credit_flush_bytes >= stats.credits_returned);
+    let per_bank = host.config().mailboxes_per_bank as u64;
+    assert!(stats.credit_flush_max_span >= 1 && stats.credit_flush_max_span <= per_bank);
 }

@@ -170,6 +170,18 @@ fn assert_observationally_equal(seed: u64) {
     assert_eq!(a.credits_returned, b.credits_returned);
     assert_eq!(a.credit_put_bytes, b.credit_put_bytes);
     assert_eq!(a.credits_returned, a.messages_received);
+    // How those tokens were batched onto the wire IS schedule-dependent — the
+    // pipelined drain scans its banks far more often, so it flushes smaller
+    // spans more frequently — but the conservation law is not: every token is
+    // published by exactly one flushed span on either schedule, so flush
+    // traffic bounds hold for both.
+    let per_bank = seq_host.config().mailboxes_per_bank as u64;
+    for s in [&a, &b] {
+        assert!(s.credit_flushes >= 1);
+        assert!(s.credit_flushes <= s.credits_returned);
+        assert!(s.credit_flush_bytes >= s.credits_returned);
+        assert!(s.credit_flush_max_span >= 1 && s.credit_flush_max_span <= per_bank);
+    }
 
     // Sender-side counters: same messages, same bytes, same per-lane template
     // caching; the roomy window means neither schedule ever stalled.
@@ -184,6 +196,11 @@ fn assert_observationally_equal(seed: u64) {
     // lanes may stall (a wall-clock race), which is exactly why stall counts
     // are not part of the equivalence oracle.
     assert_eq!(sa.credit_stall_events, 0);
+    // Row-span puts can land several fresh tokens in one wakeup scan; each
+    // extra harvest saves a spin but never funds an extra send, so coalesced
+    // refills are bounded by the sends that consumed them.
+    assert!(sa.credit_refills_coalesced <= sa.messages_sent);
+    assert!(sb.credit_refills_coalesced <= sb.messages_sent);
     for stream in 0..SHARDS {
         assert_eq!(
             seq_fleet.lane(stream).unwrap().stats().messages_sent,
