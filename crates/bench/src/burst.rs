@@ -175,8 +175,9 @@ fn build_testbed(shards: usize) -> (TwoChainsHost, SenderFleet, ElementId) {
         .expect("install");
     // The fleet handshake replaces the hand-rolled endpoint + set_remote_got
     // wiring: per-stream mailbox targets and GOT images come from the host.
-    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().expect("package"))
-        .expect("fleet");
+    let fleet =
+        SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().expect("package"))
+            .expect("fleet");
     let elem = host.builtin_id(BuiltinJam::IndirectPut).expect("builtin");
     (host, fleet, elem)
 }
@@ -428,9 +429,13 @@ pub fn loss_sweep(loss_rates: &[f64], messages: usize) -> Vec<LossRow> {
                     .install_fault_plan(a, b, FaultPlan::mixed(rate, (rate * 1e4) as u64 + 0x5EED))
                     .expect("plan");
             }
-            let mut fleet =
-                SenderFleet::connect(&fabric, a, &mut host, benchmark_package().expect("package"))
-                    .expect("fleet");
+            let mut fleet = SenderFleet::connect_fleet(
+                &fabric,
+                a,
+                &mut host,
+                benchmark_package().expect("package"),
+            )
+            .expect("fleet");
             let elem = host.builtin_id(BuiltinJam::IndirectPut).expect("builtin");
             let per_bank = host.config().mailboxes_per_bank;
 

@@ -43,6 +43,11 @@ pub struct GateThresholds {
     /// enforced only on a sufficiently parallel runner (same guard as the
     /// wall checks).
     pub max_credit_stall_events: f64,
+    /// A stage of the lookup → filter → aggregate chain must dispatch at
+    /// least this many times cheaper on a chained frame than as its own
+    /// message (`chain_amortization` in the report). Deterministic modelled
+    /// metric, enforced on any runner.
+    pub min_chain_amortization: f64,
 }
 
 impl Default for GateThresholds {
@@ -59,6 +64,7 @@ impl Default for GateThresholds {
             // runner-to-runner scheduling noise, still an order of magnitude
             // below a starved-sender pathology (one stall per message = 1024).
             max_credit_stall_events: 128.0,
+            min_chain_amortization: 2.0,
         }
     }
 }
@@ -91,6 +97,9 @@ impl GateThresholds {
         }
         if let Some(v) = json_f64(json, "max_credit_stall_events") {
             t.max_credit_stall_events = v;
+        }
+        if let Some(v) = json_f64(json, "min_chain_amortization") {
+            t.min_chain_amortization = v;
         }
         t
     }
@@ -262,6 +271,14 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
     let one = rows.iter().find(|r| r.shards == 1);
     let four = rows.iter().find(|r| r.shards == 4);
 
+    // The chained-dispatch bar: a stage riding a chained frame must cost at
+    // most half the dispatch of a stage shipped as its own message. The metric
+    // is deterministic virtual time, so any runner enforces it; reports
+    // predating receiver-side chains must be regenerated, not waved through.
+    let chain_amortization = json_f64(report_json, "chain_amortization").ok_or(
+        "report is missing chain_amortization (regenerate the report with the current fastpath)",
+    )?;
+
     let mut checks = vec![
         GateCheck {
             name: "warm/cold dispatch speedup",
@@ -280,6 +297,15 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
             pass: warm_dispatch_ns <= t.max_warm_dispatch_ns,
             enforced: true,
             note: String::new(),
+        },
+        GateCheck {
+            name: "chained per-stage amortization",
+            value: chain_amortization,
+            threshold: t.min_chain_amortization,
+            op: ">=",
+            pass: chain_amortization >= t.min_chain_amortization,
+            enforced: true,
+            note: "one frame parse per chain, not per stage".into(),
         },
     ];
 
@@ -466,6 +492,7 @@ mod tests {
         format!(
             concat!(
                 "{{\n  \"warm_dispatch_ns\": {},\n  \"dispatch_speedup\": {},\n",
+                "  \"chain_amortization\": 2.90,\n",
                 "  \"host_parallelism\": {},\n",
                 "  \"burst_shard_rows\": [\n",
                 "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
@@ -520,8 +547,37 @@ mod tests {
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 8);
+        assert_eq!(out.checks.len(), 9);
         assert!(out.checks.iter().all(|c| c.enforced));
+    }
+
+    #[test]
+    fn chain_amortization_regression_fails_on_any_runner() {
+        // Chained dispatch collapsing to per-message cost (amortization ~1x)
+        // means the chain executor regressed to re-parsing per stage.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"chain_amortization\": 2.90",
+            "\"chain_amortization\": 1.10",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let chain = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("amortization"))
+            .unwrap();
+        assert!(!chain.pass && chain.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn reports_without_chain_amortization_are_an_error_not_a_pass() {
+        // A report predating receiver-side chains lacks the amortization
+        // column; the gate must demand a regenerated report, not skip the bar.
+        let json =
+            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace("  \"chain_amortization\": 2.90,\n", "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("chain_amortization"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
     }
 
     #[test]
@@ -664,6 +720,7 @@ mod tests {
         // loudly (regenerate it), not silently skip the new bar.
         let json = concat!(
             "{\"warm_dispatch_ns\": 1100.0, \"dispatch_speedup\": 2.2, ",
+            "\"chain_amortization\": 2.9, ",
             "\"host_parallelism\": 4, \"burst_shard_rows\": [",
             "{\"shards\": 1, \"model_speedup\": 1.0, \"wall_msgs_per_sec\": 100000}, ",
             "{\"shards\": 4, \"model_speedup\": 4.0, \"wall_msgs_per_sec\": 300000}]}"
@@ -687,15 +744,14 @@ mod tests {
 
     #[test]
     fn missing_rows_are_an_error_not_a_pass() {
-        let json =
-            "{\"warm_dispatch_ns\": 1100.0, \"dispatch_speedup\": 2.2, \"burst_shard_rows\": []}";
+        let json = "{\"warm_dispatch_ns\": 1100.0, \"dispatch_speedup\": 2.2, \"chain_amortization\": 2.9, \"burst_shard_rows\": []}";
         assert!(evaluate(json, &GateThresholds::default()).is_err());
     }
 
     #[test]
     fn thresholds_parse_from_baseline_json() {
         let t = GateThresholds::from_json(
-            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48}",
+            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48, \"min_chain_amortization\": 2.4}",
         );
         assert_eq!(t.min_dispatch_speedup, 2.5);
         assert_eq!(t.max_warm_dispatch_ns, 900.0);
@@ -703,6 +759,7 @@ mod tests {
         assert_eq!(t.wall_gate_min_parallelism, 8);
         assert_eq!(t.max_credit_time_share_4shard, 0.07);
         assert_eq!(t.max_credit_stall_events, 48.0);
+        assert_eq!(t.min_chain_amortization, 2.4);
         assert_eq!(
             t.min_model_speedup_4shard,
             GateThresholds::default().min_model_speedup_4shard,
@@ -730,6 +787,10 @@ mod tests {
             warm_code_cache_misses: 0,
             warm_got_cache_hits: 10,
             warm_template_hits: 10,
+            chain_stages: 3,
+            chain_sequential_dispatch_ns: 160.0,
+            chain_per_stage_dispatch_ns: 55.0,
+            chain_amortization: 2.9,
             burst: vec![
                 crate::burst::BurstRow {
                     shards: 1,
@@ -794,8 +855,8 @@ mod tests {
         assert_eq!(rows[1].frames_dropped, 3.0);
         let out = evaluate(&json, &GateThresholds::default()).unwrap();
         assert!(out.passed(), "{}", out.table());
-        // 8 base checks + 1 lossless residue + 2 per faulted row.
-        assert_eq!(out.checks.len(), 11);
+        // 9 base checks + 1 lossless residue + 2 per faulted row.
+        assert_eq!(out.checks.len(), 12);
     }
 
     #[test]

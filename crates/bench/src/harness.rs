@@ -82,6 +82,10 @@ fn args_for(jam: BuiltinJam, n_ints: usize, iteration: u64) -> Vec<u8> {
         // A small rotating key set: the client controls the distribution (Fig. 4) and
         // the benchmark reuses a handful of destination slots.
         BuiltinJam::IndirectPut => indirect_put_args(iteration % 64, n_ints as u32, 4),
+        // The graph chain stages all take one 8-byte little-endian operand.
+        BuiltinJam::GraphLookup | BuiltinJam::GraphFilter | BuiltinJam::GraphAggregate => {
+            twochains::builtin::graph_args(iteration)
+        }
     }
 }
 

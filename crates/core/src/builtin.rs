@@ -32,6 +32,12 @@ pub const ARGS_SIZE: usize = 20;
 pub const INDIRECT_PUT_SHIPPED_BYTES: usize = 1408;
 /// Bytes of code + GOT the Server-Side Sum jam ships.
 pub const SERVER_SIDE_SUM_SHIPPED_BYTES: usize = 256;
+/// Bytes of code + GOT each graph-analytics stage jam ships. The stages are
+/// deliberately tiny (one load, one extern call): the point of chaining them
+/// is amortising the *dispatch*, not the code.
+pub const GRAPH_STAGE_SHIPPED_BYTES: usize = 128;
+/// Size of the ARGS block the graph stages use (one little-endian u64 operand).
+pub const GRAPH_ARGS_SIZE: usize = 8;
 /// Number of hash buckets in the benchmark table ried.
 pub const TABLE_BUCKETS: usize = 4096;
 /// Size of the table payload heap.
@@ -39,13 +45,21 @@ pub const TABLE_DATA_BYTES: usize = 1 << 20;
 /// Size of the result array exported by `ried_array` (slots of 8 bytes).
 pub const ARRAY_SLOTS: usize = 8192;
 
-/// The two benchmark jams.
+/// The benchmark jams: the paper's two (§VI-B) plus the three graph-analytics
+/// stages the receiver-side chain benchmark strings together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BuiltinJam {
     /// Sum the payload, append the result server-side.
     ServerSideSum,
     /// Hash-probe a key and copy the payload to the indirected location.
     IndirectPut,
+    /// Graph chain stage 1: node key → derived node value (pure).
+    GraphLookup,
+    /// Graph chain stage 2: keep even node values, zero the rest (pure).
+    GraphFilter,
+    /// Graph chain stage 3: fold the value into the server-side accumulator
+    /// (`graph.accum`), returning the contribution.
+    GraphAggregate,
 }
 
 impl BuiltinJam {
@@ -54,6 +68,9 @@ impl BuiltinJam {
         match self {
             BuiltinJam::ServerSideSum => "jam_server_side_sum",
             BuiltinJam::IndirectPut => "jam_indirect_put",
+            BuiltinJam::GraphLookup => "jam_graph_lookup",
+            BuiltinJam::GraphFilter => "jam_graph_filter",
+            BuiltinJam::GraphAggregate => "jam_graph_aggregate",
         }
     }
 
@@ -62,6 +79,9 @@ impl BuiltinJam {
         match self {
             BuiltinJam::ServerSideSum => SERVER_SIDE_SUM_SHIPPED_BYTES,
             BuiltinJam::IndirectPut => INDIRECT_PUT_SHIPPED_BYTES,
+            BuiltinJam::GraphLookup | BuiltinJam::GraphFilter | BuiltinJam::GraphAggregate => {
+                GRAPH_STAGE_SHIPPED_BYTES
+            }
         }
     }
 
@@ -70,6 +90,9 @@ impl BuiltinJam {
         match self {
             BuiltinJam::ServerSideSum => "Server-Side Sum",
             BuiltinJam::IndirectPut => "Indirect Put",
+            BuiltinJam::GraphLookup => "Graph Lookup",
+            BuiltinJam::GraphFilter => "Graph Filter",
+            BuiltinJam::GraphAggregate => "Graph Aggregate",
         }
     }
 }
@@ -89,6 +112,15 @@ pub fn indirect_put_args(key: u64, count: u32, elem_size: u32) -> Vec<u8> {
     args[8..12].copy_from_slice(&count.to_le_bytes());
     args[12..16].copy_from_slice(&elem_size.to_le_bytes());
     args
+}
+
+/// Build the ARGS block for a graph chain stage: one little-endian u64 operand
+/// (the node key for [`BuiltinJam::GraphLookup`]; for the later stages, the
+/// value the previous stage produced — which is exactly what the chain
+/// executor writes into the per-chain context cell, so a chained stage and a
+/// standalone send of the same stage see bit-identical operands).
+pub fn graph_args(operand: u64) -> Vec<u8> {
+    operand.to_le_bytes().to_vec()
 }
 
 /// Server-Side Sum program. Entry convention: `r0` = ARGS base, `r1` = USR base,
@@ -131,6 +163,59 @@ fn indirect_put_program() -> Vec<twochains_jamvm::Instr> {
         .mov(Reg(0), Reg(9))
         .ret();
     a.finish().expect("indirect put assembles")
+}
+
+/// The shared program of every graph chain stage: load the 8-byte operand the
+/// entry register `r0` points at (the ARGS block of a standalone send, or the
+/// per-chain context cell of a chained dispatch), hand it to the stage's one
+/// extern (GOT slot 0), return the extern's result. The load-from-`[r0]`
+/// convention is what makes an N-stage chain result-equal to N sequential
+/// messages carrying each other's results as ARGS.
+fn graph_stage_program() -> Vec<twochains_jamvm::Instr> {
+    let mut a = Assembler::new();
+    a.load(Width::B8, Reg(0), Reg(0), 0).call_extern(0, 1).ret();
+    a.finish().expect("graph stage assembles")
+}
+
+/// The `ried_graph` interface library: a 16-byte accumulator heap
+/// (`graph.accum`: contribution count, running sum) plus the three stage
+/// functions of the lookup→filter→aggregate chain. `graph.add` returns the
+/// stage's *contribution*, not the running total, so per-message results are
+/// independent of drain order; the heap itself is the aggregate oracle.
+pub fn ried_graph() -> Ried {
+    RiedBuilder::new("ried_graph")
+        .export_heap("graph.accum", 16)
+        .export_fn(
+            "graph.node",
+            Arc::new(|_ctx, args| {
+                let key = *args.first().ok_or("graph.node needs one argument")?;
+                Ok(hash64(key))
+            }),
+        )
+        .export_fn(
+            "graph.filter",
+            Arc::new(|_ctx, args| {
+                let v = *args.first().ok_or("graph.filter needs one argument")?;
+                Ok(if v % 2 == 0 { v } else { 0 })
+            }),
+        )
+        .export_fn(
+            "graph.add",
+            Arc::new(|ctx, args| {
+                let v = *args.first().ok_or("graph.add needs one argument")?;
+                let base = ctx
+                    .space
+                    .segment_meta("graph.accum")
+                    .ok_or("graph.accum not mapped")?
+                    .base;
+                let count = ctx.read_u64(base)?;
+                let sum = ctx.read_u64(base + 8)?;
+                ctx.write_u64(base, count + 1)?;
+                ctx.write_u64(base + 8, sum.wrapping_add(v))?;
+                Ok(v)
+            }),
+        )
+        .build()
 }
 
 /// The `ried_array` interface library: a result array plus the `array.append`
@@ -221,7 +306,7 @@ pub fn ried_table() -> Ried {
 
 /// The rieds of the benchmark package, in load order.
 pub fn benchmark_rieds() -> Vec<Ried> {
-    vec![ried_array(), ried_table()]
+    vec![ried_array(), ried_table(), ried_graph()]
 }
 
 /// Build the benchmark package (rieds + both jams, with the paper's shipped-code
@@ -241,11 +326,21 @@ pub fn benchmark_package() -> AmResult<Package> {
     .with_got(vec![SymbolRef::func("table.probe")])
     .with_args_size(ARGS_SIZE)
     .padded_to(INDIRECT_PUT_SHIPPED_BYTES - 8);
+    let graph_stage = |jam: BuiltinJam, func: &str| {
+        JamDefinition::new(jam.element_name(), graph_stage_program())
+            .with_got(vec![SymbolRef::func(func)])
+            .with_args_size(GRAPH_ARGS_SIZE)
+            .padded_to(GRAPH_STAGE_SHIPPED_BYTES - 8)
+    };
     PackageBuilder::new("twochains_benchmarks")
         .ried(ried_array())
         .ried(ried_table())
+        .ried(ried_graph())
         .jam(ssum)
         .jam(iput)
+        .jam(graph_stage(BuiltinJam::GraphLookup, "graph.node"))
+        .jam(graph_stage(BuiltinJam::GraphFilter, "graph.filter"))
+        .jam(graph_stage(BuiltinJam::GraphAggregate, "graph.add"))
         .build()
         .map_err(AmError::from)
 }
@@ -286,7 +381,20 @@ mod tests {
             ssum.code_size() + ssum.got_size(),
             SERVER_SIDE_SUM_SHIPPED_BYTES
         );
-        assert_eq!(pkg.rieds().count(), 2);
+        for jam in [
+            BuiltinJam::GraphLookup,
+            BuiltinJam::GraphFilter,
+            BuiltinJam::GraphAggregate,
+        ] {
+            let stage = pkg.jam(pkg.id_of(jam.element_name()).unwrap()).unwrap();
+            assert_eq!(
+                stage.code_size() + stage.got_size(),
+                GRAPH_STAGE_SHIPPED_BYTES,
+                "{}",
+                jam.label()
+            );
+        }
+        assert_eq!(pkg.rieds().count(), 3);
     }
 
     fn run_jam(
@@ -430,6 +538,46 @@ mod tests {
         let a_again = probe(&mut ctx, &[k1, 4, 4]).unwrap();
         assert_eq!(a, a_again);
         let _ = ns;
+    }
+
+    #[test]
+    fn graph_stages_compose_like_a_chain() {
+        let (ns, mut space) = namespace_and_space();
+        let key = 0xACE5u64;
+        // Each stage run standalone, feeding the previous stage's result in as
+        // ARGS — the sequential schedule the chain executor must be
+        // result-equal to.
+        let v1 = run_jam(
+            BuiltinJam::GraphLookup,
+            graph_args(key),
+            Vec::new(),
+            &ns,
+            &mut space,
+        );
+        assert_eq!(v1, hash64(key));
+        let v2 = run_jam(
+            BuiltinJam::GraphFilter,
+            graph_args(v1),
+            Vec::new(),
+            &ns,
+            &mut space,
+        );
+        assert_eq!(v2, if v1.is_multiple_of(2) { v1 } else { 0 });
+        let v3 = run_jam(
+            BuiltinJam::GraphAggregate,
+            graph_args(v2),
+            Vec::new(),
+            &ns,
+            &mut space,
+        );
+        // The aggregate returns its *contribution* (order-independent)...
+        assert_eq!(v3, v2);
+        // ...and the accumulator heap holds the running (count, sum) oracle.
+        let base = ns.data_addr("graph.accum").unwrap();
+        let count = u64::from_le_bytes(space.read(base, 8).unwrap().try_into().unwrap());
+        let sum = u64::from_le_bytes(space.read(base + 8, 8).unwrap().try_into().unwrap());
+        assert_eq!(count, 1);
+        assert_eq!(sum, v2);
     }
 
     #[test]

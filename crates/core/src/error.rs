@@ -31,6 +31,16 @@ pub enum AmError {
     /// (the name-keyed counterpart of [`AmError::UnknownElement`], carrying the
     /// name that failed so the caller can see *what* was missing).
     UnknownElementName(String),
+    /// A continuation stage of a chained frame failed to dispatch or execute.
+    /// The frame is retired as a whole (one rejection, one credit) — `stage`
+    /// reports which continuation stage (0-based, counting after the primary
+    /// element) broke the chain.
+    ChainStageFailed {
+        /// 0-based index of the failing continuation stage.
+        stage: usize,
+        /// What went wrong at that stage.
+        reason: String,
+    },
     /// The security policy rejected the message.
     PolicyViolation(String),
     /// Flow control: the target bank has no free mailboxes.
@@ -59,6 +69,9 @@ impl fmt::Display for AmError {
             AmError::UnknownElement(id) => write!(f, "unknown package element id {id}"),
             AmError::UnknownElementName(name) => {
                 write!(f, "no element named {name:?} in the installed package")
+            }
+            AmError::ChainStageFailed { stage, reason } => {
+                write!(f, "chain stage {stage} failed: {reason}")
             }
             AmError::PolicyViolation(m) => write!(f, "security policy violation: {m}"),
             AmError::BankFull { bank } => write!(f, "flow control: bank {bank} is full"),
@@ -111,5 +124,12 @@ mod tests {
             .to_string()
             .contains("indirect_put"));
         assert!(AmError::BankFull { bank: 2 }.to_string().contains("bank 2"));
+        // A broken chain must name the stage that broke it.
+        let e = AmError::ChainStageFailed {
+            stage: 1,
+            reason: "unknown package element id 7".into(),
+        };
+        assert!(e.to_string().contains("chain stage 1"));
+        assert!(e.to_string().contains("element id 7"));
     }
 }

@@ -17,6 +17,18 @@
 //! With the paper's Indirect Put jam (1392 B of code + 16 B GOT image) and its 20-byte
 //! ARGS block, the one-integer frame is 64 bytes in Local mode and 1472 bytes in
 //! Injected mode — the exact sizes §VII-A quotes.
+//!
+//! ## Chain descriptors
+//!
+//! A frame may additionally carry a **chain descriptor**: an ordered list of up to
+//! [`CHAIN_MAX_STAGES`] continuation stages the receiver runs after the header's
+//! primary element, each an `(elem_id, arg-mapping)` pair resolved through the Local
+//! Function library. The descriptor rides in two previously reserved header bytes
+//! (byte 30: chain version, byte 31: continuation-stage count) plus one 8-byte record
+//! per stage between the header and the GOT image. Version 0 is the legacy layout —
+//! both bytes were always written as zero, so every pre-chain frame decodes as a
+//! chain-free version-0 frame and every version-0 frame claiming stages is rejected
+//! as corrupt.
 
 use crate::error::{AmError, AmResult};
 
@@ -30,6 +42,121 @@ pub const FRAME_TRAILER_SIZE: usize = 4;
 pub const HDR_MAG: u8 = 0xC3;
 /// Signal magic byte at the end of the frame (the paper's `SIG MAG`).
 pub const SIG_MAG: u8 = 0xA5;
+/// Current chain-descriptor wire version (header byte 30). Version 0 is the
+/// legacy chain-free layout.
+pub const CHAIN_VERSION: u8 = 1;
+/// Maximum number of continuation stages one frame can carry after its primary
+/// element.
+pub const CHAIN_MAX_STAGES: usize = 8;
+/// Wire size of one chain-stage record: elem_id (u32 LE), arg-map byte, 3
+/// reserved zero bytes.
+pub const CHAIN_STAGE_WIRE_SIZE: usize = 8;
+
+/// How a continuation stage receives its operand (its entry registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChainArgMap {
+    /// The stage's first entry register points at the 8-byte per-chain context
+    /// holding the previous stage's result — jam *k*'s result registers feed
+    /// jam *k+1*'s entry registers. The default, and the paper-shaped pipeline
+    /// behaviour.
+    #[default]
+    Result = 0,
+    /// The stage re-reads the frame's original ARGS block (its second entry
+    /// register still points at the chain context, so the stage can consult
+    /// the running result too).
+    KeepArgs = 1,
+}
+
+impl ChainArgMap {
+    fn from_wire(b: u8) -> Option<ChainArgMap> {
+        match b {
+            0 => Some(ChainArgMap::Result),
+            1 => Some(ChainArgMap::KeepArgs),
+            _ => None,
+        }
+    }
+}
+
+/// One continuation stage of a chain: which element runs and how its operand
+/// is mapped from the stage before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChainStage {
+    /// Package element ID, resolved through the receiver's Local Function
+    /// library.
+    pub elem_id: u32,
+    /// Entry-register mapping for this stage.
+    pub map: ChainArgMap,
+}
+
+/// Ordered continuation stages a frame carries after its primary element.
+///
+/// A `Some(descriptor)` with zero stages is a *version-1* frame that happens to
+/// chain nothing — it round-trips distinctly from a legacy (version-0) frame,
+/// which carries `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainDescriptor {
+    len: u8,
+    stages: [ChainStage; CHAIN_MAX_STAGES],
+}
+
+impl ChainDescriptor {
+    /// An empty (zero-stage) version-1 descriptor.
+    pub fn new() -> ChainDescriptor {
+        ChainDescriptor {
+            len: 0,
+            stages: [ChainStage {
+                elem_id: 0,
+                map: ChainArgMap::Result,
+            }; CHAIN_MAX_STAGES],
+        }
+    }
+
+    /// Append a continuation stage. Errors once the frame-format ceiling of
+    /// [`CHAIN_MAX_STAGES`] stages is reached.
+    pub fn push(&mut self, stage: ChainStage) -> AmResult<()> {
+        if usize::from(self.len) >= CHAIN_MAX_STAGES {
+            return Err(AmError::BadFrame(format!(
+                "chain descriptor full: the wire format carries at most {CHAIN_MAX_STAGES} continuation stages"
+            )));
+        }
+        self.stages[usize::from(self.len)] = stage;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// The continuation stages, in execution order.
+    pub fn stages(&self) -> &[ChainStage] {
+        &self.stages[..usize::from(self.len)]
+    }
+
+    /// Number of continuation stages.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when the descriptor chains nothing after the primary element.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes this descriptor occupies on the wire (between header and GOT).
+    pub fn wire_len(&self) -> usize {
+        self.len() * CHAIN_STAGE_WIRE_SIZE
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for stage in self.stages() {
+            out.extend_from_slice(&stage.elem_id.to_le_bytes());
+            out.push(stage.map as u8);
+            out.extend_from_slice(&[0u8; 3]);
+        }
+    }
+}
+
+/// Wire length of an optional chain descriptor.
+fn chain_wire_len(chain: Option<&ChainDescriptor>) -> usize {
+    chain.map_or(0, ChainDescriptor::wire_len)
+}
 
 /// Decoded frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +184,9 @@ pub struct FrameHeader {
 pub struct Frame {
     /// Header fields.
     pub header: FrameHeader,
+    /// Continuation stages after the primary element (`None` for a legacy
+    /// version-0 frame).
+    pub chain: Option<ChainDescriptor>,
     /// Patched GOT image bytes (empty for Local frames).
     pub got: Vec<u8>,
     /// Encoded function bytecode (empty for Local frames).
@@ -111,11 +241,21 @@ impl Frame {
                 args_len: args.len() as u16,
                 usr_len: usr.len() as u32,
             },
+            chain: None,
             got,
             code,
             args,
             usr,
         }
+    }
+
+    /// Attach a chain descriptor, upgrading the frame to the version-1 layout
+    /// and growing `frame_len` by the descriptor's wire size.
+    pub fn with_chain(mut self, chain: ChainDescriptor) -> Frame {
+        let old = chain_wire_len(self.chain.as_ref());
+        self.header.frame_len = self.header.frame_len - old as u32 + chain.wire_len() as u32;
+        self.chain = Some(chain);
+        self
     }
 
     /// Total size of the frame on the wire.
@@ -125,7 +265,7 @@ impl Frame {
 
     /// Byte offset of the GOT image within the frame.
     pub fn got_offset(&self) -> usize {
-        FRAME_HEADER_SIZE
+        FRAME_HEADER_SIZE + chain_wire_len(self.chain.as_ref())
     }
 
     /// Byte offset of the code section within the frame.
@@ -163,6 +303,7 @@ impl Frame {
             self.header.sn,
             self.header.elem_id,
             self.header.injected,
+            self.chain.as_ref(),
             &self.got,
             &self.code,
             &self.args,
@@ -224,15 +365,20 @@ pub(crate) fn encode_wire_into(
     sn: u32,
     elem_id: u32,
     injected: bool,
+    chain: Option<&ChainDescriptor>,
     got: &[u8],
     code: &[u8],
     args: &[u8],
     usr: &[u8],
     out: &mut Vec<u8>,
 ) {
-    let frame_len =
-        (FRAME_HEADER_SIZE + got.len() + code.len() + args.len() + usr.len() + FRAME_TRAILER_SIZE)
-            as u32;
+    let frame_len = (FRAME_HEADER_SIZE
+        + chain_wire_len(chain)
+        + got.len()
+        + code.len()
+        + args.len()
+        + usr.len()
+        + FRAME_TRAILER_SIZE) as u32;
     out.clear();
     out.reserve(frame_len as usize);
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
@@ -244,9 +390,19 @@ pub(crate) fn encode_wire_into(
     out.extend_from_slice(&(code.len() as u32).to_le_bytes());
     out.extend_from_slice(&(args.len() as u16).to_le_bytes());
     out.extend_from_slice(&(usr.len() as u32).to_le_bytes());
-    out.extend_from_slice(&[0u8; 5]);
+    match chain {
+        Some(c) => {
+            out.push(CHAIN_VERSION);
+            out.push(c.len() as u8);
+        }
+        None => out.extend_from_slice(&[0u8; 2]),
+    }
+    out.extend_from_slice(&[0u8; 3]);
     out.push(HDR_MAG);
     debug_assert_eq!(out.len(), FRAME_HEADER_SIZE);
+    if let Some(c) = chain {
+        c.encode_into(out);
+    }
     out.extend_from_slice(got);
     out.extend_from_slice(code);
     out.extend_from_slice(args);
@@ -268,6 +424,9 @@ pub(crate) fn encode_wire_into(
 pub struct FrameView<'a> {
     /// Decoded header fields.
     pub header: FrameHeader,
+    /// Continuation stages after the primary element (`None` for a legacy
+    /// version-0 frame).
+    pub chain: Option<ChainDescriptor>,
     /// Patched GOT image bytes (empty for Local frames).
     pub got: &'a [u8],
     /// Encoded function bytecode (empty for Local frames).
@@ -302,8 +461,34 @@ impl<'a> FrameView<'a> {
         let code_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
         let args_len = u16::from_le_bytes(bytes[24..26].try_into().unwrap()) as usize;
         let usr_len = u32::from_le_bytes(bytes[26..30].try_into().unwrap()) as usize;
+        let chain_version = bytes[30];
+        let chain_stage_count = bytes[31] as usize;
+        let chain_len = match chain_version {
+            // Legacy layout: both bytes were always written zero, so a
+            // version-0 frame claiming stages is corrupt, not old.
+            0 if chain_stage_count != 0 => {
+                return Err(AmError::BadFrame(format!(
+                    "version-0 frame claims {chain_stage_count} chain stages"
+                )));
+            }
+            0 => 0,
+            CHAIN_VERSION => {
+                if chain_stage_count > CHAIN_MAX_STAGES {
+                    return Err(AmError::BadFrame(format!(
+                        "chain descriptor claims {chain_stage_count} stages, wire maximum is {CHAIN_MAX_STAGES}"
+                    )));
+                }
+                chain_stage_count * CHAIN_STAGE_WIRE_SIZE
+            }
+            v => {
+                return Err(AmError::BadFrame(format!(
+                    "unknown chain version {v} (this receiver speaks up to {CHAIN_VERSION})"
+                )));
+            }
+        };
         let expected = FRAME_HEADER_SIZE
-            .checked_add(got_len)
+            .checked_add(chain_len)
+            .and_then(|n| n.checked_add(got_len))
             .and_then(|n| n.checked_add(code_len))
             .and_then(|n| n.checked_add(args_len))
             .and_then(|n| n.checked_add(usr_len))
@@ -333,7 +518,28 @@ impl<'a> FrameView<'a> {
                 sn & 0x00FF_FFFF
             )));
         }
-        let mut pos = FRAME_HEADER_SIZE;
+        let chain = if chain_version == 0 {
+            None
+        } else {
+            let mut c = ChainDescriptor::new();
+            for i in 0..chain_stage_count {
+                let off = FRAME_HEADER_SIZE + i * CHAIN_STAGE_WIRE_SIZE;
+                let stage_elem = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                let map = ChainArgMap::from_wire(bytes[off + 4]).ok_or_else(|| {
+                    AmError::BadFrame(format!(
+                        "chain stage {i} carries unknown arg-map byte {:#04x}",
+                        bytes[off + 4]
+                    ))
+                })?;
+                c.push(ChainStage {
+                    elem_id: stage_elem,
+                    map,
+                })
+                .expect("stage count already bounded by CHAIN_MAX_STAGES");
+            }
+            Some(c)
+        };
+        let mut pos = FRAME_HEADER_SIZE + chain_len;
         let mut take = |n: usize| {
             let s = &bytes[pos..pos + n];
             pos += n;
@@ -350,6 +556,7 @@ impl<'a> FrameView<'a> {
                 args_len: args_len as u16,
                 usr_len: usr_len as u32,
             },
+            chain,
             got: take(got_len),
             code: take(code_len),
             args: take(args_len),
@@ -361,6 +568,7 @@ impl<'a> FrameView<'a> {
     pub fn to_frame(&self) -> Frame {
         Frame {
             header: self.header,
+            chain: self.chain,
             got: self.got.to_vec(),
             code: self.code.to_vec(),
             args: self.args.to_vec(),
@@ -370,7 +578,7 @@ impl<'a> FrameView<'a> {
 
     /// Byte offset of the GOT image within the frame.
     pub fn got_offset(&self) -> usize {
-        FRAME_HEADER_SIZE
+        FRAME_HEADER_SIZE + chain_wire_len(self.chain.as_ref())
     }
 
     /// Byte offset of the code section within the frame.
@@ -545,5 +753,132 @@ mod tests {
         let injected = Frame::injected(1, 4, vec![0; 16], vec![0; 1392], args, usr);
         assert_eq!(injected.wire_size() - local.wire_size(), 1408);
         assert_eq!(local.header.elem_id, injected.header.elem_id);
+    }
+
+    fn chain_of(ids: &[u32]) -> ChainDescriptor {
+        let mut c = ChainDescriptor::new();
+        for &id in ids {
+            c.push(ChainStage {
+                elem_id: id,
+                map: ChainArgMap::Result,
+            })
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn chained_frame_roundtrips_and_shifts_sections() {
+        let chain = chain_of(&[11, 12, 13]);
+        let f = Frame::injected(9, 10, vec![1; 16], vec![2; 64], vec![3; 20], vec![4; 8])
+            .with_chain(chain);
+        assert_eq!(
+            f.got_offset(),
+            FRAME_HEADER_SIZE + 3 * CHAIN_STAGE_WIRE_SIZE
+        );
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.wire_size());
+        assert_eq!(bytes[30], CHAIN_VERSION);
+        assert_eq!(bytes[31], 3);
+        let view = FrameView::parse(&bytes).unwrap();
+        assert_eq!(view.chain, Some(chain));
+        assert_eq!(view.got, &f.got[..]);
+        assert_eq!(view.args, &f.args[..]);
+        assert_eq!(view.usr, &f.usr[..]);
+        assert_eq!(view.got_offset(), f.got_offset());
+        assert_eq!(view.to_frame(), f);
+    }
+
+    #[test]
+    fn zero_stage_chain_is_distinct_from_legacy() {
+        let base = Frame::local(5, 6, vec![0; 20], vec![0; 4]);
+        let v1 = base.clone().with_chain(ChainDescriptor::new());
+        // Same wire size — a zero-stage descriptor occupies no section bytes —
+        // but the version byte distinguishes the layouts and round-trips.
+        assert_eq!(v1.wire_size(), base.wire_size());
+        let legacy_bytes = base.encode();
+        let v1_bytes = v1.encode();
+        assert_eq!(legacy_bytes[30], 0);
+        assert_eq!(v1_bytes[30], CHAIN_VERSION);
+        assert_eq!(FrameView::parse(&legacy_bytes).unwrap().chain, None);
+        assert_eq!(
+            FrameView::parse(&v1_bytes).unwrap().chain,
+            Some(ChainDescriptor::new())
+        );
+    }
+
+    #[test]
+    fn max_stage_chain_roundtrips_and_overflow_is_rejected() {
+        let ids: Vec<u32> = (100..100 + CHAIN_MAX_STAGES as u32).collect();
+        let mut chain = chain_of(&ids);
+        assert_eq!(chain.len(), CHAIN_MAX_STAGES);
+        assert!(
+            chain
+                .push(ChainStage {
+                    elem_id: 999,
+                    map: ChainArgMap::KeepArgs,
+                })
+                .is_err(),
+            "ninth stage must be refused"
+        );
+        let f = Frame::local(1, 2, vec![0; 20], vec![0; 4]).with_chain(chain);
+        let wire = f.encode();
+        let view = FrameView::parse(&wire).unwrap();
+        let got: Vec<u32> = view
+            .chain
+            .unwrap()
+            .stages()
+            .iter()
+            .map(|s| s.elem_id)
+            .collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn corrupted_chain_fields_are_rejected() {
+        let f = Frame::local(1, 2, vec![0; 20], vec![0; 4]).with_chain(chain_of(&[7]));
+        let good = f.encode();
+
+        // Version-0 frame claiming stages.
+        let mut bad = good.clone();
+        bad[30] = 0;
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "v0 with stages"
+        );
+
+        // Unknown future version.
+        let mut bad = good.clone();
+        bad[30] = 9;
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "unknown version"
+        );
+
+        // Stage count past the wire ceiling.
+        let mut bad = good.clone();
+        bad[31] = CHAIN_MAX_STAGES as u8 + 1;
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "too many stages"
+        );
+
+        // Invalid arg-map byte inside the stage record.
+        let mut bad = good.clone();
+        bad[FRAME_HEADER_SIZE + 4] = 0x7F;
+        match Frame::decode(&bad) {
+            Err(AmError::BadFrame(msg)) => {
+                assert!(msg.contains("arg-map"), "{msg}")
+            }
+            other => panic!("bad arg-map byte not caught: {other:?}"),
+        }
+
+        // Stage count that disagrees with frame_len.
+        let mut bad = good.clone();
+        bad[31] = 2;
+        assert!(
+            matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
+            "length mismatch"
+        );
     }
 }

@@ -61,15 +61,20 @@ pub use bank::{BankFlags, MailboxBank, NackFlags, ShardMask};
 pub use builtin::{benchmark_package, benchmark_rieds, BuiltinJam};
 pub use config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 pub use error::{AmError, AmResult};
-pub use frame::{Frame, FrameHeader, FRAME_HEADER_SIZE, SIG_MAG};
+pub use frame::{
+    ChainArgMap, ChainDescriptor, ChainStage, Frame, FrameHeader, CHAIN_MAX_STAGES,
+    FRAME_HEADER_SIZE, SIG_MAG,
+};
 pub use mailbox::ReactiveMailbox;
 pub use runtime::{
-    drive_pipeline, AmSendOutcome, BurstFrame, BurstOutcome, ClampedFibonacci, CreditHandshake,
-    FleetLane, PipelineFrame, PipelineOutcome, ReceiveOutcome, ReceiverShard, SenderFleet,
-    SenderLane, ShardDrain, SlotCtx, StreamHandshake, StreamTarget, TwoChainsHost, TwoChainsSender,
+    drive_pipeline, spec, AmSendOutcome, BurstFrame, BurstOutcome, ClampedFibonacci,
+    CreditHandshake, FleetLane, MessageSpec, PipelineFrame, PipelineOutcome, ReceiveOutcome,
+    ReceiverShard, SenderFleet, SenderLane, SessionHandshake, ShardDrain, SlotCtx, StreamHandshake,
+    StreamTarget, TwoChainsHost, TwoChainsSender,
 };
 pub use security::SecurityPolicy;
 pub use stats::RuntimeStats;
+pub use twochains_linker::ElementId;
 
 pub use twochains_fabric as fabric;
 pub use twochains_jamvm as jamvm;

@@ -25,12 +25,13 @@
 //! * its **own [`RuntimeStats`]**, folded into a fleet-wide view by
 //!   [`SenderFleet::stats`] via [`RuntimeStats::merge`].
 //!
-//! # The handshake
+//! # The session handshake
 //!
-//! Connection setup is explicit and by-value, so it could cross a real
-//! out-of-band bootstrap channel unchanged:
-//! [`TwoChainsHost::sender_handshake`](super::TwoChainsHost::sender_handshake)
-//! exports one [`StreamHandshake`] per stream, carrying
+//! Connection setup is one explicit, by-value exchange that cannot be
+//! partially wired:
+//! [`TwoChainsHost::session_handshake`](super::TwoChainsHost::session_handshake)
+//! exports a [`SessionHandshake`] — one [`StreamHandshake`] per receiver
+//! shard, each carrying
 //!
 //! 1. the [`StreamTarget`]s (bank, slot, [`MailboxTarget`]) of every mailbox
 //!    the stream owns (plus the bank geometry the credit table mirrors), and
@@ -38,14 +39,18 @@
 //!    package (the paper's "GOT redirect ... set by the sender after an
 //!    exchange with the receiver").
 //!
-//! [`SenderFleet::connect`] consumes the handshakes: one endpoint + sender per
-//! stream, GOT images registered, template caches cold until first use — and
-//! answers with the *reverse* half: each lane registers a
-//! [`BankFlags`](crate::bank::BankFlags) credit table in its own (sender-side)
-//! address space and ships the descriptor back as a
-//! [`CreditHandshake`](super::CreditHandshake), which
-//! [`TwoChainsHost::install_credit_returns`](super::TwoChainsHost::install_credit_returns)
-//! turns into one reverse-direction endpoint per receiver shard.
+//! [`SenderFleet::connect_fleet`] consumes the session: one endpoint + sender
+//! per stream, GOT images registered, template caches cold until first use —
+//! and answers with the *reverse* half in the same call: each lane registers a
+//! [`BankFlags`](crate::bank::BankFlags) credit table and a
+//! [`NackFlags`](crate::bank::NackFlags) table in its own (sender-side)
+//! address space and ships the descriptors back as
+//! [`CreditHandshake`](super::CreditHandshake)s, which the host turns into one
+//! reverse-direction endpoint per receiver shard. The closed `stream == shard`
+//! pairing is a construction invariant of the session: a host whose
+//! configuration cannot support it refuses to export the handshake with one
+//! error listing everything that is missing, so there is no connected-but-
+//! creditless state to discover later.
 //!
 //! # The credit wire format (§VI-A2: flow control as fabric traffic)
 //!
@@ -96,8 +101,7 @@
 //!
 //! # The flow-control contract
 //!
-//! Every lane sends through [`TwoChainsSender::send_message_tracked`], which
-//! posts the put's delivery into that stream's
+//! Every lane's send posts the put's delivery into that stream's
 //! [`CompletionQueue`] — one queue per stream, bundled as a
 //! [`ShardedCompletions`] whose `bank % streams` routing mirrors the bank
 //! ownership map. The queue depth ([`RuntimeConfig::completion_window`]) is
@@ -138,6 +142,7 @@ use twochains_memsim::{AccessKind, CoreBus, MemoryBus, SimTime};
 
 use super::credit::CreditHandshake;
 use super::retry::ClampedFibonacci;
+use super::spec::MessageSpec;
 use super::{AmSendOutcome, TwoChainsHost, TwoChainsSender};
 use crate::bank::{BankFlags, NackFlags};
 use crate::config::InvocationMode;
@@ -187,6 +192,23 @@ pub struct StreamHandshake {
     pub targets: Vec<StreamTarget>,
     /// Receiver-resolved GOT image per installed package element.
     pub gots: Vec<(ElementId, GotImage)>,
+}
+
+/// The receiver's complete half of a fleet session, exported by
+/// [`TwoChainsHost::session_handshake`] and consumed whole by
+/// [`SenderFleet::connect_fleet`]: every stream's targets and GOT images plus
+/// the shard count the credit and NACK tables must pair with. Bundling the
+/// pieces makes partial wiring unrepresentable — a session either connects
+/// with its one-sided credit returns and NACK arming installed, or it does not
+/// connect at all.
+#[derive(Debug, Clone)]
+pub struct SessionHandshake {
+    /// One forward handshake per stream (`streams.len() == shards` — the
+    /// closed pairing is a construction invariant).
+    pub streams: Vec<StreamHandshake>,
+    /// The receiver's shard count, which the sender's credit/NACK geometry
+    /// mirrors row for row.
+    pub shards: usize,
 }
 
 /// Coordinates of one fill: which stream is packing, which mailbox it aims at,
@@ -412,10 +434,23 @@ impl SenderLane {
         self.sender.stats()
     }
 
-    /// Send one message to the `idx`-th owned slot, with per-stream
-    /// flow-control: a full completion window first harvests this lane's own
-    /// queue (never a sibling's) at the earliest completion horizon, charging
-    /// the harvest cost to this lane's clock and counting the stall.
+    /// Per-stream flow control shared by every lane send: a full completion
+    /// window first harvests this lane's own queue (never a sibling's) at the
+    /// earliest completion horizon, charging the harvest cost to this lane's
+    /// clock and counting the stall.
+    fn harvest_if_full(&mut self, cq: &mut CompletionQueue) {
+        if cq.outstanding() >= cq.capacity() {
+            let ready_at = cq.earliest_ready(self.clock);
+            let (done, cost) = cq.poll(ready_at);
+            let stats = self.sender.stats_mut();
+            stats.sends_backpressured += 1;
+            stats.completions_harvested += done.len() as u64;
+            self.clock = ready_at + cost;
+        }
+    }
+
+    /// Send one message to the `idx`-th owned slot, under the lane's
+    /// flow-control window.
     fn send_slot<F>(
         &mut self,
         cq: &mut CompletionQueue,
@@ -428,14 +463,7 @@ impl SenderLane {
     where
         F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
     {
-        if cq.outstanding() >= cq.capacity() {
-            let ready_at = cq.earliest_ready(self.clock);
-            let (done, cost) = cq.poll(ready_at);
-            let stats = self.sender.stats_mut();
-            stats.sends_backpressured += 1;
-            stats.completions_harvested += done.len() as u64;
-            self.clock = ready_at + cost;
-        }
+        self.harvest_if_full(cq);
         let t = &self.targets[idx];
         debug_assert_eq!(
             t.bank % self.streams,
@@ -451,16 +479,61 @@ impl SenderLane {
             round,
         };
         let (args, usr) = make(ctx);
-        let sent = self
-            .sender
-            .send_message_tracked(self.clock, elem, mode, &args, &usr, &t.target, cq)?;
+        let sent = self.sender.send_raw(
+            self.clock,
+            elem,
+            mode,
+            None,
+            &args,
+            &usr,
+            &t.target,
+            Some(cq),
+        )?;
         self.clock = sent.sender_free();
         Ok(sent)
     }
 
-    /// Send one message to a specific owned mailbox with an explicit payload,
-    /// under the same per-stream flow control as a fill. Rejected when
-    /// (`bank`, `slot`) is not one of this stream's targets.
+    /// Send one [`MessageSpec`] — single-element or chained — to a specific
+    /// owned mailbox, under the same per-stream flow control as a fill.
+    /// Rejected when (`bank`, `slot`) is not one of this stream's targets.
+    /// Every fleet send is completion-tracked by the lane's own window, so the
+    /// spec's [`tracked`](MessageSpec::tracked) marker is satisfied either way.
+    pub fn send_spec(
+        &mut self,
+        cq: &mut CompletionQueue,
+        bank: usize,
+        slot: usize,
+        spec: &MessageSpec,
+    ) -> AmResult<AmSendOutcome> {
+        let idx = *self.index.get(&(bank, slot)).ok_or_else(|| {
+            AmError::InvalidConfig(format!(
+                "mailbox ({bank}, {slot}) is not owned by stream {}",
+                self.stream
+            ))
+        })?;
+        self.harvest_if_full(cq);
+        let chain = spec.chain_descriptor()?;
+        let t = &self.targets[idx];
+        let sent = self.sender.send_raw(
+            self.clock,
+            spec.elem(),
+            spec.invocation(),
+            chain.as_ref(),
+            spec.args_bytes(),
+            spec.usr_bytes(),
+            &t.target,
+            Some(cq),
+        )?;
+        self.clock = sent.sender_free();
+        Ok(sent)
+    }
+
+    /// Deprecated loose-argument spelling of [`SenderLane::send_spec`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct the message with spec(elem).mode(..).args(..).usr(..) and \
+                send it with send_spec (see the migration notes in CHANGES.md)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn send_to(
         &mut self,
@@ -472,13 +545,11 @@ impl SenderLane {
         args: &[u8],
         usr: &[u8],
     ) -> AmResult<AmSendOutcome> {
-        let idx = *self.index.get(&(bank, slot)).ok_or_else(|| {
-            AmError::InvalidConfig(format!(
-                "mailbox ({bank}, {slot}) is not owned by stream {}",
-                self.stream
-            ))
-        })?;
-        self.send_slot(cq, elem, mode, idx, 0, &|_| (args.to_vec(), usr.to_vec()))
+        let spec = super::spec::spec(elem)
+            .mode(mode)
+            .args(args.to_vec())
+            .usr(usr.to_vec());
+        self.send_spec(cq, bank, slot, &spec)
     }
 
     /// Fill every owned slot once (round `round`), returning this stream's
@@ -519,8 +590,23 @@ impl FleetLane<'_> {
         self.lane.stream
     }
 
-    /// Send one message to a specific owned mailbox; see
-    /// [`SenderLane::send_to`].
+    /// Send one [`MessageSpec`] to a specific owned mailbox; see
+    /// [`SenderLane::send_spec`].
+    pub fn send_spec(
+        &mut self,
+        bank: usize,
+        slot: usize,
+        spec: &MessageSpec,
+    ) -> AmResult<AmSendOutcome> {
+        self.lane.send_spec(self.completions, bank, slot, spec)
+    }
+
+    /// Deprecated loose-argument spelling of [`FleetLane::send_spec`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct the message with spec(elem).mode(..).args(..).usr(..) and \
+                send it with send_spec (see the migration notes in CHANGES.md)"
+    )]
     pub fn send_to(
         &mut self,
         bank: usize,
@@ -530,8 +616,11 @@ impl FleetLane<'_> {
         args: &[u8],
         usr: &[u8],
     ) -> AmResult<AmSendOutcome> {
-        self.lane
-            .send_to(self.completions, bank, slot, elem, mode, args, usr)
+        let spec = super::spec::spec(elem)
+            .mode(mode)
+            .args(args.to_vec())
+            .usr(usr.to_vec());
+        self.send_spec(bank, slot, &spec)
     }
 
     /// Fill every owned slot once; see [`SenderLane::fill`].
@@ -564,17 +653,53 @@ pub struct SenderFleet {
 }
 
 impl SenderFleet {
-    /// Connect a fleet to `host` from fabric host `src`, using the host
-    /// configuration's [`sender_streams`](crate::config::RuntimeConfig::sender_streams)
-    /// and [`completion_window`](crate::config::RuntimeConfig::completion_window)
-    /// knobs. `package` is the sender-side copy of the package the fleet
-    /// injects from (same source the receiver installed).
+    /// Connect a fleet to `host` from fabric host `src` in **one session
+    /// exchange**: the host exports its [`SessionHandshake`] (stream targets
+    /// and GOT images, refused outright with one error listing everything
+    /// missing if the session cannot be fully wired), the fleet builds one
+    /// lane per stream and registers each lane's [`BankFlags`] credit table
+    /// and [`NackFlags`](crate::bank::NackFlags) table sender-side, and the
+    /// host installs the reverse-direction credit-return endpoints — all
+    /// before this returns. There is no partially wired state: a connected
+    /// fleet always has the one-sided credit path and NACK arming installed,
+    /// ready for [`drive_pipeline`].
     ///
-    /// `host` is mutable because connecting is a two-way exchange: the forward
-    /// half ships mailbox targets and GOT images to the lanes, the reverse
-    /// half registers each lane's [`BankFlags`] credit table sender-side and
-    /// installs the receiver's credit-return endpoints
-    /// ([`TwoChainsHost::install_credit_returns`]).
+    /// `package` is the sender-side copy of the package the fleet injects
+    /// from (same source the receiver installed). The stream count and
+    /// per-stream window come from the host configuration's
+    /// [`sender_streams`](crate::config::RuntimeConfig::sender_streams) and
+    /// [`completion_window`](crate::config::RuntimeConfig::completion_window)
+    /// knobs; `sender_streams` must equal the shard count (the session's
+    /// construction invariant).
+    pub fn connect_fleet(
+        fabric: &SimFabric,
+        src: HostId,
+        host: &mut TwoChainsHost,
+        package: Package,
+    ) -> AmResult<Self> {
+        let session = host.session_handshake()?;
+        let window = host.config().completion_window;
+        let (lanes, credit_handshakes) =
+            Self::connect_inner(fabric, src, host, package, session.streams, window)?;
+        host.install_credit_returns_inner(fabric, credit_handshakes)?;
+        // Per-entry harvest cost: the same software bookkeeping constant the
+        // UCX-like baseline pays, taken from its single definition so a
+        // retuned baseline can never silently diverge from the fleet.
+        let harvest_cost = CompletionQueue::ucx_default().harvest_cost();
+        Ok(SenderFleet {
+            completions: ShardedCompletions::new(lanes.len(), window, harvest_cost),
+            lanes,
+        })
+    }
+
+    /// Deprecated split-wiring spelling of [`SenderFleet::connect_fleet`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "connect with SenderFleet::connect_fleet — one exchange that cannot \
+                leave the session partially wired (see the migration notes in \
+                CHANGES.md)"
+    )]
+    #[allow(deprecated)]
     pub fn connect(
         fabric: &SimFabric,
         src: HostId,
@@ -586,14 +711,17 @@ impl SenderFleet {
         Self::connect_streams(fabric, src, host, package, streams, window)
     }
 
-    /// [`SenderFleet::connect`] with an explicit stream count and per-stream
-    /// completion-window depth.
-    ///
-    /// The one-sided credit path is installed when `streams` equals the
-    /// host's shard count — the closed stream↔shard pairing is the only
-    /// geometry with a well-defined drain→lane credit route. Other stream
-    /// counts connect without it and keep the phased schedules (which consume
-    /// no credits); [`drive_pipeline`] requires the closed pairing anyway.
+    /// Deprecated explicit-geometry connect. The one-sided credit path is
+    /// installed only when `streams` equals the host's shard count; other
+    /// stream counts connect **partially wired** (phased schedules only) —
+    /// the failure mode [`SenderFleet::connect_fleet`] exists to make
+    /// unrepresentable.
+    #[deprecated(
+        since = "0.2.0",
+        note = "connect with SenderFleet::connect_fleet — one exchange that cannot \
+                leave the session partially wired (see the migration notes in \
+                CHANGES.md)"
+    )]
     pub fn connect_streams(
         fabric: &SimFabric,
         src: HostId,
@@ -602,6 +730,31 @@ impl SenderFleet {
         streams: usize,
         window: usize,
     ) -> AmResult<Self> {
+        let handshakes = host.stream_handshakes(streams)?;
+        let (lanes, credit_handshakes) =
+            Self::connect_inner(fabric, src, host, package, handshakes, window)?;
+        if streams == host.num_shards() {
+            host.install_credit_returns_inner(fabric, credit_handshakes)?;
+        }
+        let harvest_cost = CompletionQueue::ucx_default().harvest_cost();
+        Ok(SenderFleet {
+            completions: ShardedCompletions::new(lanes.len(), window, harvest_cost),
+            lanes,
+        })
+    }
+
+    /// The lane-construction half of a connect: one endpoint + sender per
+    /// forward handshake, each lane's credit and NACK tables registered in the
+    /// sender's address space, their descriptors collected for the reverse
+    /// half of the exchange.
+    fn connect_inner(
+        fabric: &SimFabric,
+        src: HostId,
+        host: &TwoChainsHost,
+        package: Package,
+        handshakes: Vec<StreamHandshake>,
+        window: usize,
+    ) -> AmResult<(Vec<SenderLane>, Vec<CreditHandshake>)> {
         if window == 0 {
             return Err(AmError::InvalidConfig(
                 "completion window needs at least one entry".into(),
@@ -609,9 +762,8 @@ impl SenderFleet {
         }
         let sender_host = fabric.host(src)?;
         let num_cores = sender_host.hierarchy().num_cores();
-        let mut credit_handshakes = Vec::with_capacity(streams);
-        let lanes = host
-            .sender_handshake(streams)?
+        let mut credit_handshakes = Vec::with_capacity(handshakes.len());
+        let lanes = handshakes
             .into_iter()
             .map(|handshake| {
                 let endpoint = fabric.endpoint(src, host.host_id())?;
@@ -659,17 +811,7 @@ impl SenderFleet {
                 ))
             })
             .collect::<AmResult<Vec<_>>>()?;
-        if streams == host.num_shards() {
-            host.install_credit_returns(fabric, credit_handshakes)?;
-        }
-        // Per-entry harvest cost: the same software bookkeeping constant the
-        // UCX-like baseline pays, taken from its single definition so a
-        // retuned baseline can never silently diverge from the fleet.
-        let harvest_cost = CompletionQueue::ucx_default().harvest_cost();
-        Ok(SenderFleet {
-            lanes,
-            completions: ShardedCompletions::new(streams, window, harvest_cost),
-        })
+        Ok((lanes, credit_handshakes))
     }
 
     /// Number of sender lanes (streams).
@@ -833,9 +975,9 @@ pub struct PipelineOutcome {
 /// virtual time on both the drain core (posting) and the wire/DMA models.
 ///
 /// Requires `fleet.lane_count() == host.num_shards()` *and* the credit path
-/// installed ([`TwoChainsHost::install_credit_returns`] — automatic when the
-/// fleet connected with `sender_streams == num_shards`), so stream `s` and
-/// shard `s` form a closed pipeline over the same banks. `make` generates each
+/// installed — both guaranteed by construction for a fleet connected with
+/// [`SenderFleet::connect_fleet`] — so stream `s` and shard `s` form a closed
+/// pipeline over the same banks. `make` generates each
 /// message's (ARGS, USR) from its [`SlotCtx`]; each slot is filled exactly
 /// `rounds` times with rounds `0..rounds`, so a sequential schedule filling
 /// with the same generator produces the identical message multiset.
@@ -860,7 +1002,7 @@ where
     if !host.credit_path_installed() {
         return Err(AmError::InvalidConfig(
             "pipeline needs the one-sided credit path: connect the fleet with \
-             sender_streams == num_shards so the credit tables are installed"
+             SenderFleet::connect_fleet so the credit tables are installed"
                 .into(),
         ));
     }

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use twochains_fabric::{AccessFlags, HostHandle, HostId, MemoryRegion, SimFabric};
 use twochains_jamvm::{
-    decode_program, hash64_bytes, verify, AddressSpace, GotImage, Instr, Segment, SegmentKind,
-    ShardSpace, Vm, VmConfig,
+    decode_program, hash64_bytes, verify, AddressSpace, ExecStats, GotImage, Instr, Segment,
+    SegmentKind, ShardSpace, Vm, VmConfig,
 };
 use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
 use twochains_memsim::cycles::WaitOutcome;
@@ -37,7 +37,7 @@ use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
 use crate::config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 use crate::error::{AmError, AmResult};
-use crate::frame::{FrameView, FRAME_HEADER_SIZE};
+use crate::frame::{ChainArgMap, FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
@@ -56,6 +56,15 @@ const DECODE_NS_PER_BYTE: f64 = 0.6;
 const VERIFY_NS_PER_BYTE: f64 = 0.25;
 /// GOT image parse cost on a GOT-cache miss.
 const GOT_PARSE_NS_PER_BYTE: f64 = 0.05;
+
+/// Base simulated address of the per-chain context cells: one 8-byte cell per
+/// drain core holding the running result a chain threads from stage to stage.
+/// The cell lives in shard scratch address space (each shard owns its core, so
+/// cores never share a cell) and is remapped fresh for every stage — its
+/// lifetime is exactly one frame's chain.
+const CHAIN_CTX_BASE: u64 = 0x9E00_0000;
+/// Address stride between consecutive cores' chain-context cells.
+const CHAIN_CTX_STRIDE: u64 = 0x100;
 
 /// What the dispatch engine did with one occupied slot (internal: the public
 /// burst/single-slot wrappers translate it).
@@ -495,16 +504,61 @@ impl TwoChainsHost {
         Ok(self.core.banks.mailbox(bank, slot)?.target())
     }
 
-    /// The receiver's half of the multi-sender connection setup: one
+    /// The receiver's complete half of a fleet session, bundled so the wiring
+    /// cannot be partial: one [`StreamHandshake`](super::StreamHandshake) per
+    /// receiver shard (stream targets + GOT images) plus the shard count the
+    /// credit and NACK tables must pair with. Consumed whole by
+    /// [`SenderFleet::connect_fleet`](super::SenderFleet::connect_fleet),
+    /// which answers with the reverse half (credit/NACK table registration)
+    /// in the same exchange.
+    ///
+    /// The closed `stream == shard` pairing is a *construction invariant*
+    /// here: a handshake only exists for `sender_streams == num_shards`.
+    /// Anything that would leave the session half-wired — no installed
+    /// package, a stream/shard mismatch — is collected and reported in one
+    /// loud error listing everything that is missing, instead of surfacing
+    /// piecemeal at first use.
+    pub fn session_handshake(&self) -> AmResult<super::SessionHandshake> {
+        let shards = self.num_shards();
+        let mut missing: Vec<String> = Vec::new();
+        if self.core.package.is_none() {
+            missing.push(
+                "no package installed (install_package on the receiver before connecting)"
+                    .to_string(),
+            );
+        }
+        if self.core.config.sender_streams != shards {
+            missing.push(format!(
+                "sender_streams ({}) != num_shards ({shards}): the session's one-sided \
+                 credit and NACK paths need the closed stream<->shard pairing \
+                 (configure with with_sender_streams({shards}) or connect with the \
+                 deprecated partial-wiring paths)",
+                self.core.config.sender_streams
+            ));
+        }
+        if !missing.is_empty() {
+            return Err(AmError::InvalidConfig(format!(
+                "connect_fleet cannot wire the session: {}",
+                missing.join("; ")
+            )));
+        }
+        Ok(super::SessionHandshake {
+            streams: self.stream_handshakes(shards)?,
+            shards,
+        })
+    }
+
+    /// The forward half of the exchange on its own: one
     /// [`StreamHandshake`](super::StreamHandshake) per sender stream, each
     /// carrying the mailbox targets of the banks that stream owns
     /// (`bank % streams == stream`, the same deterministic map the receiver
     /// shards drain by) plus the GOT image of every element in the installed
-    /// package, resolved against *this* process's namespace. This is the
-    /// out-of-band exchange a [`SenderFleet`](super::SenderFleet) consumes;
-    /// everything in it travels by value, so it can cross a real bootstrap
-    /// channel unchanged.
-    pub fn sender_handshake(&self, streams: usize) -> AmResult<Vec<super::StreamHandshake>> {
+    /// package, resolved against *this* process's namespace. Everything in it
+    /// travels by value, so it could cross a real bootstrap channel unchanged.
+    pub(crate) fn stream_handshakes(
+        &self,
+        streams: usize,
+    ) -> AmResult<Vec<super::StreamHandshake>> {
         if streams == 0 {
             return Err(AmError::InvalidConfig(
                 "need at least one sender stream".into(),
@@ -551,6 +605,17 @@ impl TwoChainsHost {
             .collect()
     }
 
+    /// Deprecated spelling of the forward half-exchange.
+    #[deprecated(
+        since = "0.2.0",
+        note = "export the whole session with session_handshake() and connect with \
+                SenderFleet::connect_fleet — the split handshake can leave the \
+                session partially wired (see the migration notes in CHANGES.md)"
+    )]
+    pub fn sender_handshake(&self, streams: usize) -> AmResult<Vec<super::StreamHandshake>> {
+        self.stream_handshakes(streams)
+    }
+
     /// Install the reverse half of the fleet connection: the one-sided
     /// credit-return path (§VI-A2). Each [`CreditHandshake`] carries the
     /// descriptor of one stream's [`BankFlags`](crate::bank::BankFlags) credit
@@ -563,10 +628,10 @@ impl TwoChainsHost {
     ///
     /// Requires one handshake per shard with `streams == num_shards`: bank
     /// ownership is `bank % n` on both sides, so only the closed pairing gives
-    /// every drain shard exactly one stream to credit. A
-    /// [`SenderFleet`](super::SenderFleet) connected with
-    /// `sender_streams == num_shards` calls this automatically.
-    pub fn install_credit_returns(
+    /// every drain shard exactly one stream to credit.
+    /// [`SenderFleet::connect_fleet`](super::SenderFleet::connect_fleet) calls
+    /// this as the reverse half of its exchange.
+    pub(crate) fn install_credit_returns_inner(
         &mut self,
         fabric: &SimFabric,
         handshakes: Vec<CreditHandshake>,
@@ -645,6 +710,21 @@ impl TwoChainsHost {
         Ok(())
     }
 
+    /// Deprecated spelling of the reverse half-exchange.
+    #[deprecated(
+        since = "0.2.0",
+        note = "connect with SenderFleet::connect_fleet, which installs the credit \
+                returns as part of the one session exchange (see the migration \
+                notes in CHANGES.md)"
+    )]
+    pub fn install_credit_returns(
+        &mut self,
+        fabric: &SimFabric,
+        handshakes: Vec<CreditHandshake>,
+    ) -> AmResult<()> {
+        self.install_credit_returns_inner(fabric, handshakes)
+    }
+
     /// Whether every shard has its one-sided credit-return path installed
     /// (the precondition for [`drive_pipeline`](super::drive_pipeline)).
     pub fn credit_path_installed(&self) -> bool {
@@ -669,7 +749,7 @@ impl TwoChainsHost {
     /// largest span)` — cumulative since the credit path was installed and
     /// deliberately immune to [`TwoChainsHost::reset_stats`] (the flush
     /// engine's state must survive benchmark-phase resets; see
-    /// [`CreditReturn::lifetime_flush_totals`]). `None` when the credit path
+    /// `CreditReturn::lifetime_flush_totals`). `None` when the credit path
     /// is not installed.
     pub fn credit_flush_lifetime(&self, shard: usize) -> Option<(u64, u64, u64)> {
         self.shards
@@ -1430,6 +1510,78 @@ impl HostCore {
                 InvocationMode::Injected => stats.injected_executions += 1,
                 InvocationMode::Local => stats.local_executions += 1,
             }
+
+            // 5b. Continuation stages. Jam k's result registers feed jam k+1's
+            // entry registers through the per-chain context cell: the running
+            // result is stored there (one charged 8-byte write), the next stage
+            // is resolved through the Local Function library and dispatched for
+            // the per-stage table-lookup cost — no new frame, no new wait, no
+            // re-parse. The frame stays in its mailbox until the whole chain
+            // retires, so a failing stage propagates ChainStageFailed into the
+            // ordinary rejection path: the frame is retired as a whole, one
+            // `frames_rejected`, one credit.
+            if let Some(chain) = frame.chain.filter(|c| !c.is_empty()) {
+                let ctx_base = CHAIN_CTX_BASE + core as u64 * CHAIN_CTX_STRIDE;
+                for (idx, stage) in chain.stages().iter().enumerate() {
+                    let fail = |reason: String| AmError::ChainStageFailed { stage: idx, reason };
+                    let entry = self
+                        .local_lib
+                        .get(&stage.elem_id)
+                        .ok_or_else(|| fail(AmError::UnknownElement(stage.elem_id).to_string()))?;
+                    // Per-stage dispatch: a function-pointer table lookup by
+                    // element id, exactly the Local Function dispatch cost.
+                    handler_time += SimTime::from_ns_f64(self.config.local_dispatch_ns);
+                    // Publish the running result into the chain context cell.
+                    handler_time += bus.access(core, ctx_base, 8, AccessKind::Write);
+                    // Entry-register contract (see `runtime` module docs): the
+                    // default Result map hands the stage the context cell where
+                    // a standalone send would hand it the ARGS block, so a
+                    // stage observes bit-identical operands either way.
+                    let entry_regs = match stage.map {
+                        ChainArgMap::Result => [ctx_base, usr_base, frame.usr.len() as u64],
+                        ChainArgMap::KeepArgs => [args_base, ctx_base, 8],
+                    };
+                    let ctx_seg = Segment::new(
+                        "chain.ctx",
+                        ctx_base,
+                        result.to_le_bytes().to_vec(),
+                        true,
+                        SegmentKind::Args,
+                    );
+                    let stage_args = Segment::new(
+                        "chain.args",
+                        args_base,
+                        frame.args.to_vec(),
+                        args_writable,
+                        SegmentKind::Args,
+                    );
+                    let stage_usr = Segment::new(
+                        "chain.usr",
+                        usr_base,
+                        frame.usr.to_vec(),
+                        usr_writable,
+                        SegmentKind::Payload,
+                    );
+                    let exec = self
+                        .execute_chain_stage(
+                            shard_space,
+                            bus,
+                            core,
+                            stage.elem_id,
+                            entry,
+                            [ctx_seg, stage_args, stage_usr],
+                            entry_regs,
+                        )
+                        .map_err(|e| fail(e.to_string()))?;
+                    exec_time += exec.total_time();
+                    handler_time += exec.total_time();
+                    result = exec.result;
+                    stats.executions += 1;
+                    stats.local_executions += 1;
+                    stats.chain_stages_executed += 1;
+                }
+                stats.chain_frames += 1;
+            }
         }
 
         // 6. Reset the mailbox for reuse.
@@ -1475,6 +1627,90 @@ impl HostCore {
                 .any(|&(start, end)| addr >= start && addr < end),
             _ => false,
         })
+    }
+
+    /// Execute one continuation stage of a chain: map the stage's view of the
+    /// frame (`chain.ctx`, `chain.args`, `chain.usr` — fresh copies, so stages
+    /// cannot corrupt the primary's retired sections) into the same space the
+    /// primary's routing rules pick, run the Local Function entry, and unmap.
+    /// The space split mirrors the primary dispatch exactly: exclusive mode
+    /// (or a stage declaring cross-shard writes, or a GOT addressing writable
+    /// canonical state) takes the process-wide lock for its whole
+    /// map → execute → unmap window; everything else runs lock-free against
+    /// the shard's own space.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_chain_stage(
+        &self,
+        shard_space: &mut ShardSpace,
+        bus: &mut CoreBus,
+        core: usize,
+        elem_id: u32,
+        entry: &LocalEntry,
+        segs: [Segment; 3],
+        entry_regs: [u64; 3],
+    ) -> AmResult<ExecStats> {
+        const NAMES: [&str; 3] = ["chain.ctx", "chain.args", "chain.usr"];
+        let vm_cfg = VmConfig {
+            core,
+            code_base: entry.code_base,
+            fuel: 50_000_000,
+            freq_ghz: self.config.wait_model.core_freq_ghz,
+            ipc: 2.0,
+            extern_call_overhead: SimTime::from_ns(6),
+            entry_regs,
+        };
+        let use_exclusive = match self.config.space_mode {
+            SpaceMode::Exclusive => true,
+            SpaceMode::ShardLocal => {
+                self.package
+                    .as_ref()
+                    .and_then(|p| p.jam(ElementId(elem_id)).ok())
+                    .is_some_and(|j| j.cross_shard_writes)
+                    || self.got_addresses_writable_data(&entry.got)
+            }
+        };
+        // Map with rollback: a partial mapping must never outlive the stage.
+        fn map_all(space: &mut AddressSpace, segs: [Segment; 3]) -> AmResult<()> {
+            for (i, seg) in segs.into_iter().enumerate() {
+                if let Err(e) = space.map(seg) {
+                    for name in &NAMES[..i] {
+                        space.unmap(name);
+                    }
+                    return Err(AmError::Exec(e.to_string()));
+                }
+            }
+            Ok(())
+        }
+        if use_exclusive {
+            let mut space = self.space.lock();
+            map_all(&mut space, segs)?;
+            let exec_result = Vm::execute(
+                &entry.program,
+                &entry.got,
+                self.namespace.externs(),
+                &mut *space,
+                bus,
+                &vm_cfg,
+            );
+            for name in NAMES {
+                space.unmap(name);
+            }
+            Ok(exec_result?)
+        } else {
+            map_all(&mut shard_space.local, segs)?;
+            let exec_result = Vm::execute(
+                &entry.program,
+                &entry.got,
+                self.namespace.externs(),
+                shard_space,
+                bus,
+                &vm_cfg,
+            );
+            for name in NAMES {
+                shard_space.local.unmap(name);
+            }
+            Ok(exec_result?)
+        }
     }
 
     /// Resolve the GOT image of an injected frame, through the shared GOT caches.

@@ -99,9 +99,51 @@
 //!   are captured once as `Arc<[u8]>`; later sends memcpy them straight into the
 //!   wire buffer. [`RuntimeStats::template_hits`]/`_misses` count the split.
 //! * *Scratch encode buffer* — [`TwoChainsSender::send`] and
-//!   [`TwoChainsSender::send_message`] encode into one reusable `Vec<u8>`
+//!   [`TwoChainsSender::send_spec`] encode into one reusable `Vec<u8>`
 //!   ([`Frame::encode_into`](crate::frame::Frame::encode_into)), so a steady-state
 //!   send performs a single memcpy into the mailbox put and no heap allocation.
+//!
+//! # Receiver-side chains (the chain dispatch contract)
+//!
+//! A [`MessageSpec`] built with [`MessageSpec::then`] names an ordered pipeline
+//! of installed package elements; the wire carries it as a versioned chain
+//! descriptor between the header and the GOT section (see
+//! [`ChainDescriptor`](crate::frame::ChainDescriptor)), so unchained frames are
+//! byte-identical to the legacy format and old receivers reject — not
+//! misparse — chained ones. Dispatch executes the primary element exactly as
+//! an unchained send would, then runs each continuation stage in descriptor
+//! order under this contract:
+//!
+//! * **Result threading.** Stage *k*'s result registers feed stage *k+1*'s
+//!   entry registers through a *per-chain context cell* in the executing
+//!   core's scratch address range: the running 64-bit result is published
+//!   there (one charged 8-byte write), and the next stage's entry registers
+//!   point at it. Under the default
+//!   [`ChainArgMap::Result`](crate::frame::ChainArgMap) mapping the stage
+//!   sees `r0 = context cell` exactly where a standalone send would hand it
+//!   the ARGS block — a stage observes bit-identical operands whether it
+//!   rides a chain or its own frame. `KeepArgs` instead preserves `r0 = ARGS`
+//!   and passes the context cell in `r1`.
+//! * **Context lifetime.** The context cell and the stage's private copies of
+//!   ARGS/USR are mapped immediately before the stage runs and unmapped
+//!   immediately after (with rollback on a partial map), so no chain state
+//!   survives the frame: chains communicate *forward* through the cell and
+//!   *persistently* only through ried data, never with a later frame. Each
+//!   core uses a disjoint context address, so shard-parallel drains never
+//!   alias cells.
+//! * **One frame, one credit, one verdict.** Continuation stages dispatch
+//!   through the Local Function library for the per-stage table-lookup cost —
+//!   no new frame, no new mailbox wait, no re-parse; that is the amortization
+//!   the fastpath bench's chain row measures. The frame stays in its mailbox
+//!   until the whole chain retires: a failing stage (unknown element, VM
+//!   fault) aborts the remaining stages and retires the frame through the
+//!   ordinary rejection path as
+//!   [`AmError::ChainStageFailed`] naming the stage index — exactly one `frames_rejected`, exactly one
+//!   returned credit, like every other retirement.
+//! * **Counters.** Each stage increments `executions` (and
+//!   `local_executions`) as if sent alone; `chain_frames` and
+//!   `chain_stages_executed` record the chaining itself, so
+//!   `messages_received` is the only counter a chained schedule shrinks.
 //!
 //! **Invalidation.** All receiver caches are dropped on [`TwoChainsHost::install_package`]
 //! and [`TwoChainsHost::load_ried`] (package reinstall / live update may rebind
@@ -122,6 +164,7 @@ mod injection_cache;
 mod retry;
 mod sender;
 mod shard;
+mod spec;
 #[cfg(test)]
 mod tests;
 
@@ -129,13 +172,14 @@ pub(crate) use injection_cache::MAX_INJECTION_CACHE_ENTRIES;
 
 pub use credit::CreditHandshake;
 pub use fleet::{
-    drive_pipeline, FleetLane, PipelineFrame, PipelineOutcome, SenderFleet, SenderLane, SlotCtx,
-    StreamHandshake, StreamTarget,
+    drive_pipeline, FleetLane, PipelineFrame, PipelineOutcome, SenderFleet, SenderLane,
+    SessionHandshake, SlotCtx, StreamHandshake, StreamTarget,
 };
 pub use host::TwoChainsHost;
 pub use retry::ClampedFibonacci;
 pub use sender::TwoChainsSender;
 pub use shard::{ReceiverShard, ShardDrain};
+pub use spec::{spec, MessageSpec};
 
 use twochains_fabric::PutOutcome;
 use twochains_jamvm::ExecStats;

@@ -15,11 +15,12 @@ use twochains_jamvm::GotImage;
 use twochains_linker::{ElementId, Package};
 use twochains_memsim::SimTime;
 
+use super::spec::MessageSpec;
 use super::AmSendOutcome;
 use crate::builtin::BuiltinJam;
 use crate::config::InvocationMode;
 use crate::error::{AmError, AmResult};
-use crate::frame::{encode_wire_into, Frame};
+use crate::frame::{encode_wire_into, ChainDescriptor, Frame};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
@@ -119,7 +120,7 @@ impl TwoChainsSender {
     /// with [`TwoChainsSender::set_remote_got`].
     ///
     /// This materialises an owned [`Frame`] (useful for inspection and tests); the
-    /// allocation-free path is [`TwoChainsSender::send_message`].
+    /// allocation-free path is [`TwoChainsSender::send_spec`].
     pub fn pack(
         &mut self,
         elem: ElementId,
@@ -166,10 +167,74 @@ impl TwoChainsSender {
         result
     }
 
-    /// The allocation-free send path: encode the frame for `elem` directly from the
-    /// template cache (GOT + code memcpy'd from their `Arc`s) and the borrowed
-    /// `args`/`usr` slices into the reusable scratch buffer, then put. Produces wire
-    /// bytes identical to [`TwoChainsSender::pack`] + [`TwoChainsSender::send`].
+    /// The allocation-free send path for a [`MessageSpec`]: encode the spec's
+    /// frame (single-element or chained) directly from the template cache and
+    /// the spec's borrowed sections into the reusable scratch buffer, then
+    /// put. A spec marked [`tracked`](MessageSpec::tracked) is refused —
+    /// completion tracking needs a queue, so it must go through
+    /// [`TwoChainsSender::send_spec_tracked`].
+    ///
+    /// The spec is borrowed, not consumed: build it once, send it every
+    /// iteration — steady-state sends perform zero heap allocations.
+    pub fn send_spec(
+        &mut self,
+        now: SimTime,
+        spec: &MessageSpec,
+        target: &MailboxTarget,
+    ) -> AmResult<AmSendOutcome> {
+        if spec.is_tracked() {
+            return Err(AmError::InvalidConfig(
+                "spec requests completion tracking: use send_spec_tracked with a \
+                 completion queue"
+                    .into(),
+            ));
+        }
+        let chain = spec.chain_descriptor()?;
+        self.send_raw(
+            now,
+            spec.elem(),
+            spec.invocation(),
+            chain.as_ref(),
+            spec.args_bytes(),
+            spec.usr_bytes(),
+            target,
+            None,
+        )
+    }
+
+    /// [`TwoChainsSender::send_spec`] with software completion tracking: the
+    /// put's delivery is posted into `cq` ([`Endpoint::put_tracked`]), so the
+    /// caller gets transmit-window flow control — a full queue refuses the send
+    /// with `CompletionBackpressure` *before* any bytes move, and the caller
+    /// must harvest completions (its own queue only) to free the window. This
+    /// is the per-stream back-pressure the [`SenderFleet`](super::SenderFleet)
+    /// lanes run on.
+    pub fn send_spec_tracked(
+        &mut self,
+        now: SimTime,
+        spec: &MessageSpec,
+        target: &MailboxTarget,
+        cq: &mut CompletionQueue,
+    ) -> AmResult<AmSendOutcome> {
+        let chain = spec.chain_descriptor()?;
+        self.send_raw(
+            now,
+            spec.elem(),
+            spec.invocation(),
+            chain.as_ref(),
+            spec.args_bytes(),
+            spec.usr_bytes(),
+            target,
+            Some(cq),
+        )
+    }
+
+    /// Deprecated single-element send. Thin wrapper over the [`MessageSpec`]
+    /// path (identical wire bytes, costs and counters).
+    #[deprecated(
+        note = "construct the message with spec(elem).mode(..).args(..).usr(..) and \
+                send it with send_spec (see the migration notes in CHANGES.md)"
+    )]
     pub fn send_message(
         &mut self,
         now: SimTime,
@@ -179,24 +244,15 @@ impl TwoChainsSender {
         usr: &[u8],
         target: &MailboxTarget,
     ) -> AmResult<AmSendOutcome> {
-        crate::frame::validate_section_lens(&[], &[], args, usr)?;
-        self.sn = self.sn.wrapping_add(1);
-        let sn = self.sn;
-        let mut buf = std::mem::take(&mut self.encode_buf);
-        let result = self
-            .encode_message(sn, elem, mode, args, usr, &mut buf)
-            .and_then(|()| self.put_frame(now, &buf, target, None));
-        self.encode_buf = buf;
-        result
+        self.send_raw(now, elem, mode, None, args, usr, target, None)
     }
 
-    /// [`TwoChainsSender::send_message`] with software completion tracking: the
-    /// put's delivery is posted into `cq` ([`Endpoint::put_tracked`]), so the
-    /// caller gets transmit-window flow control — a full queue refuses the send
-    /// with `CompletionBackpressure` *before* any bytes move, and the caller
-    /// must harvest completions (its own queue only) to free the window. This
-    /// is the per-stream back-pressure the [`SenderFleet`](super::SenderFleet)
-    /// lanes run on.
+    /// Deprecated tracked single-element send. Thin wrapper over the
+    /// [`MessageSpec`] path (identical wire bytes, costs and counters).
+    #[deprecated(
+        note = "construct the message with spec(elem).mode(..).args(..).usr(..).tracked() \
+                and send it with send_spec_tracked (see the migration notes in CHANGES.md)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn send_message_tracked(
         &mut self,
@@ -208,37 +264,57 @@ impl TwoChainsSender {
         target: &MailboxTarget,
         cq: &mut CompletionQueue,
     ) -> AmResult<AmSendOutcome> {
+        self.send_raw(now, elem, mode, None, args, usr, target, Some(cq))
+    }
+
+    /// The single allocation-free send core every path funnels through:
+    /// validate, stamp the next sequence number, encode into the parked
+    /// scratch buffer, put (completion-tracked through `cq` when given).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_raw(
+        &mut self,
+        now: SimTime,
+        elem: ElementId,
+        mode: InvocationMode,
+        chain: Option<&ChainDescriptor>,
+        args: &[u8],
+        usr: &[u8],
+        target: &MailboxTarget,
+        cq: Option<&mut CompletionQueue>,
+    ) -> AmResult<AmSendOutcome> {
         crate::frame::validate_section_lens(&[], &[], args, usr)?;
         self.sn = self.sn.wrapping_add(1);
         let sn = self.sn;
         let mut buf = std::mem::take(&mut self.encode_buf);
         let result = self
-            .encode_message(sn, elem, mode, args, usr, &mut buf)
-            .and_then(|()| self.put_frame(now, &buf, target, Some(cq)));
+            .encode_message(sn, elem, mode, chain, args, usr, &mut buf)
+            .and_then(|()| self.put_frame(now, &buf, target, cq));
         self.encode_buf = buf;
         result
     }
 
     /// Encode one message into `buf` (the fallible half of
-    /// [`TwoChainsSender::send_message`], factored out so `?` can unwind it
+    /// [`TwoChainsSender::send_raw`], factored out so `?` can unwind it
     /// while the scratch buffer is parked outside `self`).
+    #[allow(clippy::too_many_arguments)]
     fn encode_message(
         &mut self,
         sn: u32,
         elem: ElementId,
         mode: InvocationMode,
+        chain: Option<&ChainDescriptor>,
         args: &[u8],
         usr: &[u8],
         buf: &mut Vec<u8>,
     ) -> AmResult<()> {
         match mode {
             InvocationMode::Local => {
-                encode_wire_into(sn, elem.0, false, &[], &[], args, usr, buf);
+                encode_wire_into(sn, elem.0, false, chain, &[], &[], args, usr, buf);
             }
             InvocationMode::Injected => {
                 let tpl = self.template(elem)?;
                 crate::frame::validate_section_lens(&tpl.got, &tpl.code, args, usr)?;
-                encode_wire_into(sn, elem.0, true, &tpl.got, &tpl.code, args, usr, buf);
+                encode_wire_into(sn, elem.0, true, chain, &tpl.got, &tpl.code, args, usr, buf);
             }
         }
         Ok(())

@@ -1,5 +1,12 @@
 //! Runtime tests: the end-to-end receive/send paths, the fast-path cache
 //! behaviour, and the sharded burst-draining layer.
+//!
+//! The deprecated send/handshake spellings (`send_message`, `sender_handshake`,
+//! `install_credit_returns`, `connect`, ...) are exercised here on purpose —
+//! they must stay behaviourally pinned for as long as the thin wrappers exist.
+//! Everything outside this module constructs messages and sessions through
+//! `spec()`/`send_spec`/`connect_fleet`.
+#![allow(deprecated)]
 
 use twochains_fabric::SimFabric;
 use twochains_jamvm::{encode_program, GotImage, Instr};
@@ -1455,7 +1462,7 @@ fn sender_handshake_partitions_banks_and_exports_gots() {
         }
         // The handshake ships the receiver-resolved GOT image of every
         // installed element — identical to the one-at-a-time export_got path.
-        assert_eq!(hs.gots.len(), 2, "both builtin jams exported");
+        assert_eq!(hs.gots.len(), 5, "every builtin jam exported");
         for (id, got) in &hs.gots {
             assert_eq!(host.export_got(*id).unwrap(), *got);
         }
@@ -2031,4 +2038,205 @@ fn drive_pipeline_propagates_a_payload_panic_instead_of_hanging() {
             fleet_payload(ctx)
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Receiver-side function chains: the MessageSpec construction path, the chain
+// executor's result threading, and the per-stage rejection semantics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chained_spec_threads_results_and_matches_sequential_sends() {
+    use crate::builtin::graph_args;
+    use twochains_jamvm::isa::hash64;
+
+    let key = 0xC0FFEEu64;
+    let v1 = hash64(key);
+    let v2 = if v1.is_multiple_of(2) { v1 } else { 0 };
+
+    // One frame carrying the whole lookup -> filter -> aggregate chain.
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let lookup = rx.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let filter = rx.builtin_id(BuiltinJam::GraphFilter).unwrap();
+    let agg = rx.builtin_id(BuiltinJam::GraphAggregate).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let s = super::spec(lookup)
+        .local()
+        .args(graph_args(key))
+        .then(filter)
+        .then(agg);
+    let sent = tx.send_spec(SimTime::ZERO, &s, &target).unwrap();
+    let out = rx
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(out.result, v2, "chain result is the last stage's result");
+    let st = rx.stats();
+    assert_eq!(st.messages_received, 1);
+    assert_eq!(st.executions, 3, "primary + two continuation stages");
+    assert_eq!(st.chain_frames, 1);
+    assert_eq!(st.chain_stages_executed, 2);
+
+    // Three sequential messages, each carrying the previous result as ARGS —
+    // must be result-equal and leave the identical accumulator state.
+    let (mut rx2, mut tx2) = testbed(RuntimeConfig::paper_default());
+    let target2 = rx2.mailbox_target(0, 0).unwrap();
+    let mut carried = key;
+    for elem in [lookup, filter, agg] {
+        let s = super::spec(elem).local().args(graph_args(carried));
+        let sent = tx2.send_spec(SimTime::ZERO, &s, &target2).unwrap();
+        let out = rx2
+            .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+            .unwrap();
+        carried = out.result;
+    }
+    assert_eq!(carried, out.result, "sequential schedule is result-equal");
+    let accum_chain = rx.read_data("graph.accum", 0, 16).unwrap();
+    let accum_seq = rx2.read_data("graph.accum", 0, 16).unwrap();
+    assert_eq!(accum_chain, accum_seq, "aggregate oracle states match");
+    let st2 = rx2.stats();
+    assert_eq!(st2.messages_received, 3, "three dispatches vs one");
+    assert_eq!(st2.executions, 3);
+    assert_eq!(st2.chain_frames, 0);
+}
+
+#[test]
+fn zero_stage_chain_dispatches_like_an_unchained_send() {
+    use crate::builtin::graph_args;
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let lookup = rx.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let s = super::spec(lookup).local().args(graph_args(3));
+    assert!(!s.is_chained());
+    let sent = tx.send_spec(SimTime::ZERO, &s, &target).unwrap();
+    let out = rx
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(out.result, twochains_jamvm::isa::hash64(3));
+    assert_eq!(rx.stats().chain_frames, 0);
+    assert_eq!(rx.stats().chain_stages_executed, 0);
+}
+
+#[test]
+fn failing_chain_stage_rejects_the_whole_frame_and_names_the_stage() {
+    use crate::builtin::graph_args;
+    let (mut rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let lookup = rx.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let filter = rx.builtin_id(BuiltinJam::GraphFilter).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    // Stage 0 resolves, stage 1 names an element the receiver does not have.
+    let s = super::spec(lookup)
+        .local()
+        .args(graph_args(9))
+        .then(filter)
+        .then(ElementId(0xDEAD));
+    let sent = tx.send_spec(SimTime::ZERO, &s, &target).unwrap();
+    let err = rx
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .unwrap_err();
+    match err {
+        AmError::ChainStageFailed { stage, reason } => {
+            assert_eq!(stage, 1, "the second continuation stage broke the chain");
+            assert!(
+                reason.contains("57005"),
+                "reason names the element: {reason}"
+            );
+        }
+        other => panic!("expected ChainStageFailed, got {other:?}"),
+    }
+    // The frame retired as a whole: one rejection, the mailbox reusable.
+    assert_eq!(rx.stats().frames_rejected, 1);
+    assert_eq!(
+        rx.stats().chain_frames,
+        0,
+        "a broken chain retires no frame"
+    );
+    let s_ok = super::spec(lookup).local().args(graph_args(9));
+    let sent = tx.send_spec(SimTime::ZERO, &s_ok, &target).unwrap();
+    assert!(rx
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
+        .is_ok());
+}
+
+#[test]
+fn send_spec_refuses_tracked_specs_and_overlong_chains() {
+    let (rx, mut tx) = testbed(RuntimeConfig::paper_default());
+    let lookup = rx.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let target = rx.mailbox_target(0, 0).unwrap();
+    let tracked = super::spec(lookup).local().tracked();
+    assert!(matches!(
+        tx.send_spec(SimTime::ZERO, &tracked, &target),
+        Err(AmError::InvalidConfig(_))
+    ));
+    let mut overlong = super::spec(lookup).local();
+    for _ in 0..crate::frame::CHAIN_MAX_STAGES + 1 {
+        overlong = overlong.then(lookup);
+    }
+    assert!(matches!(
+        tx.send_spec(SimTime::ZERO, &overlong, &target),
+        Err(AmError::BadFrame(_))
+    ));
+}
+
+#[test]
+fn connect_fleet_lists_everything_missing_in_one_error() {
+    // A host with streams != shards cannot export a session handshake; the
+    // error names the mismatch (and the missing package) in one message.
+    let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
+    let cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(1);
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    let err =
+        super::SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap())
+            .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("connect_fleet cannot wire the session"),
+        "{msg}"
+    );
+    assert!(msg.contains("no package installed"), "{msg}");
+    assert!(
+        msg.contains("sender_streams (1) != num_shards (2)"),
+        "{msg}"
+    );
+
+    // Fixing everything it listed makes the same call connect — fully wired.
+    let cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(2);
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
+    host.install_package(benchmark_package().unwrap()).unwrap();
+    let fleet =
+        super::SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap())
+            .unwrap();
+    assert_eq!(fleet.lane_count(), 2);
+    assert!(
+        host.credit_path_installed(),
+        "connect_fleet always installs the credit path"
+    );
+}
+
+#[test]
+fn fleet_send_spec_delivers_chained_frames() {
+    use crate::builtin::graph_args;
+    use twochains_jamvm::isa::hash64;
+    let (mut host, mut fleet) = fleet_testbed(2, 64);
+    let lookup = host.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let filter = host.builtin_id(BuiltinJam::GraphFilter).unwrap();
+    let key = 11u64;
+    let s = super::spec(lookup)
+        .local()
+        .args(graph_args(key))
+        .then(filter);
+    {
+        let mut lanes = fleet.handles();
+        // Bank 0 belongs to stream 0.
+        lanes[0].send_spec(0, 0, &s).unwrap();
+    }
+    let out = host
+        .receive(0, 0, None, SimTime::ZERO, SimTime::ZERO)
+        .unwrap();
+    let v1 = hash64(key);
+    assert_eq!(out.result, if v1.is_multiple_of(2) { v1 } else { 0 });
+    assert_eq!(host.stats().chain_frames, 1);
 }

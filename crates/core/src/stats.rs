@@ -100,6 +100,13 @@ pub struct RuntimeStats {
     /// detecting a sequence gap that outlived the scan-jumble horizon (zero on
     /// a lossless fabric).
     pub nacks_posted: u64,
+    /// Chained frames dispatched: frames whose descriptor carried at least one
+    /// continuation stage and whose chain ran to completion.
+    pub chain_frames: u64,
+    /// Continuation stages executed by the chain engine (the primary element
+    /// counts in `executions` only; each completed continuation stage counts
+    /// once here *and* once in `executions`/`local_executions`).
+    pub chain_stages_executed: u64,
     /// Virtual CPU time the drain cores spent posting credit-return puts
     /// (the `sender_free` charge of each credit put; the wire/DMA side is
     /// charged inside the fabric model like any other put).
@@ -167,6 +174,8 @@ impl RuntimeStats {
             frames_retransmitted,
             replays_suppressed,
             nacks_posted,
+            chain_frames,
+            chain_stages_executed,
             credit_put_time,
             wait_time,
             exec_time,
@@ -202,6 +211,8 @@ impl RuntimeStats {
         self.frames_retransmitted += frames_retransmitted;
         self.replays_suppressed += replays_suppressed;
         self.nacks_posted += nacks_posted;
+        self.chain_frames += chain_frames;
+        self.chain_stages_executed += chain_stages_executed;
         self.credit_put_time += *credit_put_time;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
@@ -231,7 +242,7 @@ mod tests {
     /// RuntimeStats field this test forgot to populate fails to compile.
     fn filled(base: u64) -> RuntimeStats {
         let mut cycles = CycleCounter::default();
-        cycles.add_wait(base + 28);
+        cycles.add_wait(base + 33);
         RuntimeStats {
             messages_sent: base + 1,
             bytes_sent: base + 2,
@@ -261,9 +272,11 @@ mod tests {
             frames_retransmitted: base + 26,
             replays_suppressed: base + 27,
             nacks_posted: base + 28,
-            credit_put_time: SimTime::from_ns(base + 29),
-            wait_time: SimTime::from_ns(base + 30),
-            exec_time: SimTime::from_ns(base + 31),
+            chain_frames: base + 29,
+            chain_stages_executed: base + 30,
+            credit_put_time: SimTime::from_ns(base + 31),
+            wait_time: SimTime::from_ns(base + 32),
+            exec_time: SimTime::from_ns(base + 33),
             cycles,
         }
     }
@@ -304,6 +317,8 @@ mod tests {
             frames_retransmitted,
             replays_suppressed,
             nacks_posted,
+            chain_frames,
+            chain_stages_executed,
             credit_put_time,
             wait_time,
             exec_time,
@@ -338,9 +353,11 @@ mod tests {
         assert_eq!(frames_retransmitted, 152);
         assert_eq!(replays_suppressed, 154);
         assert_eq!(nacks_posted, 156);
-        assert_eq!(credit_put_time, SimTime::from_ns(158));
-        assert_eq!(wait_time, SimTime::from_ns(160));
-        assert_eq!(exec_time, SimTime::from_ns(162));
-        assert_eq!(cycles.total(), 156);
+        assert_eq!(chain_frames, 158);
+        assert_eq!(chain_stages_executed, 160);
+        assert_eq!(credit_put_time, SimTime::from_ns(162));
+        assert_eq!(wait_time, SimTime::from_ns(164));
+        assert_eq!(exec_time, SimTime::from_ns(166));
+        assert_eq!(cycles.total(), 166);
     }
 }

@@ -17,7 +17,7 @@
 //! instance of the KV table ried, so draining takes no address-space lock and no
 //! cache-hierarchy lock. The client side is a [`SenderFleet`]: one sender lane
 //! per shard stream (its own endpoint, template cache and completion window),
-//! connected through the host's `sender_handshake`. Because the key→bank route
+//! wired in one `connect_fleet` session exchange. Because the key→bank route
 //! (`key % 4`) is the same map both sides partition by, every key consistently
 //! lands in the same lane's stream *and* the same shard's table — a
 //! shard-partitioned KV store whose write batches run through
@@ -26,7 +26,7 @@
 //! registered flag region (§VI-A2) the moment a slot is free.
 
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
-use twochains::{drive_pipeline, InvocationMode, RuntimeConfig, SenderFleet, TwoChainsHost};
+use twochains::{drive_pipeline, spec, InvocationMode, RuntimeConfig, SenderFleet, TwoChainsHost};
 use twochains_fabric::SimFabric;
 use twochains_memsim::TestbedConfig;
 
@@ -45,9 +45,11 @@ fn main() {
     server
         .install_package(benchmark_package().unwrap())
         .unwrap();
-    // The fleet handshake wires everything at once: per-stream mailbox targets
-    // plus the receiver-resolved GOT image of every package element.
-    let mut client = SenderFleet::connect(
+    // The session handshake wires everything at once — per-stream mailbox
+    // targets, the receiver-resolved GOT image of every package element, the
+    // credit tables and NACK arming — or fails loudly listing every missing
+    // piece; a partially wired fleet cannot exist.
+    let mut client = SenderFleet::connect_fleet(
         &fabric,
         client_id,
         &mut server,
@@ -102,15 +104,12 @@ fn main() {
     let (bank, slot) = (key % banks, key / banks);
     let rewrite = vec![0xEEu8; 64];
     let mut handles = client.handles();
+    let msg = spec(jam)
+        .mode(InvocationMode::Injected)
+        .args(indirect_put_args(key as u64, 16, 4))
+        .usr(rewrite);
     let sent = handles[bank % num_shards]
-        .send_to(
-            bank,
-            slot,
-            jam,
-            InvocationMode::Injected,
-            &indirect_put_args(key as u64, 16, 4),
-            &rewrite,
-        )
+        .send_spec(bank, slot, &msg)
         .expect("rewrite");
     drop(handles);
     let burst = server

@@ -12,7 +12,7 @@
 //! receiver executes the function the moment the signal byte lands.
 
 use twochains::builtin::{benchmark_package, ssum_args, BuiltinJam};
-use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+use twochains::{spec, InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
 use twochains_fabric::SimFabric;
 use twochains_memsim::{SimTime, TestbedConfig};
 
@@ -41,29 +41,26 @@ fn main() {
     client.set_remote_got(jam, &server.export_got(jam).expect("exported GOT"));
     let mailbox = server.mailbox_target(0, 0).expect("mailbox");
 
-    // 4. Pack and inject: 16 integers of payload plus 256 bytes of function code.
+    // 4. Describe and inject: the message spec is the single construction path
+    //    for every send — 16 integers of payload plus 256 bytes of function code.
     let payload: Vec<u8> = (1u32..=16).flat_map(|v| v.to_le_bytes()).collect();
-    let frame = client
-        .pack(jam, InvocationMode::Injected, ssum_args(16), payload)
-        .expect("pack frame");
+    let msg = spec(jam)
+        .mode(InvocationMode::Injected)
+        .args(ssum_args(16))
+        .usr(payload);
+    let sent = client
+        .send_spec(SimTime::ZERO, &msg, &mailbox)
+        .expect("send");
     println!(
         "frame on the wire : {} bytes (code+GOT = {} bytes)",
-        frame.wire_size(),
+        sent.wire_bytes,
         BuiltinJam::ServerSideSum.shipped_code_bytes()
     );
-
-    let sent = client.send(SimTime::ZERO, &frame, &mailbox).expect("send");
     println!("delivered at      : {}", sent.delivered());
 
     // 5. The server's receiver thread wakes on the signal byte and runs the function.
     let out = server
-        .receive(
-            0,
-            0,
-            Some(frame.wire_size()),
-            sent.delivered(),
-            SimTime::ZERO,
-        )
+        .receive(0, 0, Some(sent.wire_bytes), sent.delivered(), SimTime::ZERO)
         .expect("receive");
     println!(
         "sum computed      : {} (expected {})",

@@ -89,7 +89,7 @@ fn run(seed: u64, plan: Option<FaultPlan>) -> Run {
         fabric.install_fault_plan(a, b, plan).unwrap();
     }
     let mut fleet =
-        SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+        SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
     let total = host.config().total_mailboxes();
 

@@ -50,7 +50,8 @@ fn build_with(
     if let Some(plan) = plan {
         fabric.install_fault_plan(a, b, plan).unwrap();
     }
-    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    let fleet =
+        SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     assert!(host.credit_path_installed());
     (fabric, host, fleet)
 }
@@ -267,4 +268,97 @@ fn replays_mint_nothing_under_adaptive_flushes() {
 #[test]
 fn replays_mint_nothing_under_per_frame_flushes() {
     assert_replays_mint_nothing(CreditFlushPolicy::PerFrame);
+}
+
+/// Overwrite mailbox (`bank`, `slot`) with a chained frame whose *primary*
+/// dispatches fine (an installed graph element) but whose continuation stage
+/// names an element the receiver never installed — retired mid-chain via
+/// `ChainStageFailed`.
+fn chained_bogus_stage(fabric: &SimFabric, host: &TwoChainsHost, bank: usize, slot: usize) {
+    use twochains::builtin::{graph_args, BuiltinJam};
+    use twochains::{ChainArgMap, ChainDescriptor, ChainStage};
+
+    let mut raw = fabric
+        .endpoint(
+            two_chains_suite::fabric::HostId(0),
+            two_chains_suite::fabric::HostId(1),
+        )
+        .unwrap();
+    let target = host.mailbox_target(bank, slot).unwrap();
+    let lookup = host.builtin_id(BuiltinJam::GraphLookup).unwrap();
+    let mut chain = ChainDescriptor::new();
+    chain
+        .push(ChainStage {
+            elem_id: 0xDEAD,
+            map: ChainArgMap::Result,
+        })
+        .unwrap();
+    // A sequence number far above anything the fleet sends, so the replay
+    // filter cannot mistake this frame for a duplicate.
+    let bytes = Frame::local(0x7FFF_0000, lookup.0, graph_args(7), vec![0; 4])
+        .with_chain(chain)
+        .encode();
+    raw.put(SimTime::ZERO, &bytes, &target.region, target.offset)
+        .unwrap();
+}
+
+/// A frame rejected *mid-chain* — primary executed, continuation stage failed
+/// — retires exactly like any other rejection: one `frames_rejected`, one
+/// sender-observable token, the stage named in the error, and no residue from
+/// the stages that did run. Token conservation must hold under both flush
+/// policies.
+fn assert_mid_chain_rejection_returns_one_credit(policy: CreditFlushPolicy) {
+    let (fabric, mut host, mut fleet) = build(policy);
+    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let total = host.config().total_mailboxes();
+
+    fleet
+        .fill_all(elem, InvocationMode::Injected, 0, &|_| {
+            (ssum_args(4), vec![3u8; 16])
+        })
+        .unwrap();
+    // Sabotage one filled slot with the mid-chain failure.
+    chained_bogus_stage(&fabric, &host, 0, 0);
+
+    let mut drained = 0usize;
+    let mut rejected = Vec::new();
+    for shard in 0..SHARDS {
+        let out = host
+            .receive_burst(shard, usize::MAX, SimTime::ZERO)
+            .unwrap();
+        drained += out.frames.len();
+        rejected.extend(out.rejected);
+    }
+    assert_eq!(drained, total - 1);
+    assert_eq!(rejected.len(), 1, "exactly the sabotaged frame");
+    match &rejected[0].2 {
+        twochains::AmError::ChainStageFailed { stage, reason } => {
+            assert_eq!(*stage, 0, "the first continuation stage is the culprit");
+            assert!(
+                reason.contains("unknown package element"),
+                "reason: {reason}"
+            );
+        }
+        other => panic!("expected ChainStageFailed, got {other:?}"),
+    }
+
+    let stats = host.stats();
+    assert_eq!(
+        stats.frames_rejected, 1,
+        "one rejection for the whole chain"
+    );
+    // The primary ran before the chain broke; the frame still mints exactly
+    // one token, like every other retirement.
+    assert_eq!(stats.credits_returned as usize, total);
+    assert_eq!(token_census(&host, &fleet), total);
+}
+
+#[test]
+fn mid_chain_rejections_return_one_credit_under_adaptive_flushes() {
+    assert_mid_chain_rejection_returns_one_credit(CreditFlushPolicy::Adaptive);
+}
+
+#[test]
+fn mid_chain_rejections_return_one_credit_under_per_frame_flushes() {
+    assert_mid_chain_rejection_returns_one_credit(CreditFlushPolicy::PerFrame);
 }

@@ -33,7 +33,8 @@ fn build() -> (SimFabric, TwoChainsHost, SenderFleet) {
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut host = TwoChainsHost::new(&fabric, b, config()).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
-    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    let fleet =
+        SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     assert!(
         host.credit_path_installed(),
         "streams == shards must wire the one-sided credit path"

@@ -43,7 +43,8 @@ fn build() -> (TwoChainsHost, SenderFleet) {
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
     let mut host = TwoChainsHost::new(&fabric, b, config()).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
-    let fleet = SenderFleet::connect(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
+    let fleet =
+        SenderFleet::connect_fleet(&fabric, a, &mut host, benchmark_package().unwrap()).unwrap();
     (host, fleet)
 }
 

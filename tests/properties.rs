@@ -66,6 +66,47 @@ proptest! {
         prop_assert_eq!(decoded, frame);
     }
 
+    /// Chain descriptors survive the wire for every stage count the header can
+    /// express — including the zero-stage descriptor, which must stay distinct
+    /// from the unchained frame — with stage IDs and arg maps intact.
+    #[test]
+    fn chain_descriptors_roundtrip(
+        sn in any::<u32>(),
+        elem in any::<u32>(),
+        args in prop::collection::vec(any::<u8>(), 0..32),
+        usr in prop::collection::vec(any::<u8>(), 0..256),
+        stages in prop::collection::vec(
+            (any::<u32>(), any::<bool>()),
+            0..twochains::CHAIN_MAX_STAGES + 1,
+        ),
+        chained in any::<bool>(),
+    ) {
+        use twochains::{ChainArgMap, ChainDescriptor, ChainStage};
+
+        let mut frame = Frame::local(sn, elem, args, usr);
+        if chained {
+            let mut desc = ChainDescriptor::new();
+            for &(stage_elem, keep) in &stages {
+                let map = if keep { ChainArgMap::KeepArgs } else { ChainArgMap::Result };
+                desc.push(ChainStage { elem_id: stage_elem, map }).expect("within CHAIN_MAX_STAGES");
+            }
+            frame = frame.with_chain(desc);
+        }
+        let wire = frame.encode();
+        let decoded = Frame::decode(&wire).expect("chained frame decodes");
+        prop_assert_eq!(&decoded, &frame);
+        // None vs Some-with-zero-stages must not collapse into each other.
+        prop_assert_eq!(decoded.chain.is_some(), chained);
+        if let Some(desc) = decoded.chain {
+            prop_assert_eq!(desc.len(), stages.len());
+            for (got, &(stage_elem, keep)) in desc.stages().iter().zip(&stages) {
+                prop_assert_eq!(got.elem_id, stage_elem);
+                let map = if keep { ChainArgMap::KeepArgs } else { ChainArgMap::Result };
+                prop_assert_eq!(got.map, map);
+            }
+        }
+    }
+
     /// Verified straight-line programs always terminate and never fault the host.
     #[test]
     fn verified_programs_execute_safely(program in prop::collection::vec(arb_instr(), 1..100)) {
@@ -177,7 +218,7 @@ proptest! {
     ) {
         use two_chains_suite::fabric::SimFabric;
         use twochains::builtin::{benchmark_package, ssum_args, BuiltinJam};
-        use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+        use twochains::{spec, InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
 
         let banks = 4usize;
         let build = |shards: usize| -> (TwoChainsHost, Vec<TwoChainsSender>) {
@@ -233,16 +274,11 @@ proptest! {
                 let usr: Vec<u8> = (0..n_ints as u32).flat_map(|_| val.to_le_bytes()).collect();
                 let (bank, slot) = (i % banks, i / banks);
                 let target = rx.mailbox_target(bank, slot).unwrap();
-                let sent = txs[s]
-                    .send_message(
-                        SimTime::ZERO,
-                        id,
-                        InvocationMode::Injected,
-                        &ssum_args(n_ints as u32),
-                        &usr,
-                        &target,
-                    )
-                    .unwrap();
+                let msg = spec(id)
+                    .mode(InvocationMode::Injected)
+                    .args(ssum_args(n_ints as u32))
+                    .usr(usr);
+                let sent = txs[s].send_spec(SimTime::ZERO, &msg, &target).unwrap();
                 sends.push((bank, slot, sent.wire_bytes, sent.delivered()));
             }
             sends

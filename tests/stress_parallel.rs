@@ -13,7 +13,7 @@
 use two_chains_suite::fabric::SimFabric;
 use two_chains_suite::memsim::{SimTime, TestbedConfig};
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
-use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+use twochains::{spec, InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
 
 const SHARDS: usize = 4;
 const SENDERS: usize = 3;
@@ -81,16 +81,11 @@ fn fill(host: &TwoChainsHost, senders: &mut [TwoChainsSender], round: usize) -> 
         let key = ((bank * per_bank + slot) as u64).wrapping_mul(31) % 48;
         let usr: Vec<u8> = (0..16u8).map(|b| b.wrapping_mul(key as u8 + 1)).collect();
         let target = host.mailbox_target(bank, slot).unwrap();
-        let sent = senders[sender]
-            .send_message(
-                clock,
-                id,
-                InvocationMode::Injected,
-                &indirect_put_args(key, 4, 4),
-                &usr,
-                &target,
-            )
-            .unwrap();
+        let msg = spec(id)
+            .mode(InvocationMode::Injected)
+            .args(indirect_put_args(key, 4, 4))
+            .usr(usr);
+        let sent = senders[sender].send_spec(clock, &msg, &target).unwrap();
         clock = sent.sender_free();
         horizon = horizon.max(sent.delivered());
     }
