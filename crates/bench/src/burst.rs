@@ -45,9 +45,10 @@ use std::time::Instant;
 
 use twochains::builtin::{benchmark_package, indirect_put_args, BuiltinJam};
 use twochains::{
-    drive_pipeline, InvocationMode, RuntimeConfig, SenderFleet, ShardMask, SlotCtx, TwoChainsHost,
+    drive_pipeline, AggregationPolicy, InvocationMode, RuntimeConfig, SenderFleet, ShardMask,
+    SlotCtx, TwoChainsHost,
 };
-use twochains_fabric::{FaultPlan, SimFabric};
+use twochains_fabric::{FaultPlan, LinkModel, SimFabric};
 use twochains_linker::ElementId;
 use twochains_memsim::{SimTime, TestbedConfig};
 
@@ -91,6 +92,21 @@ pub struct BurstRow {
     /// region. The perf gate bars this against the baseline so credit
     /// coalescing cannot trade drain-core time for sender starvation.
     pub pipe_credit_stall_events: u64,
+    /// Average inner frames carried per forward data put in the modelled run
+    /// under the default adaptive aggregation (1.0 when nothing batched).
+    pub batch_frames_per_put: f64,
+    /// Forward data puts per injected frame in the modelled run — the put
+    /// amortization the aggregation tentpole buys (the perf gate bars this
+    /// at 4 shards; 1.0 is the per-frame wire behaviour).
+    pub model_puts_per_frame: f64,
+    /// Modelled share of a round (fill span + drain window) the sender CPU
+    /// spent on NIC posting (descriptor post + doorbell per put) with the
+    /// pre-aggregation per-frame wire behaviour — the "before" view.
+    pub model_posting_share_per_frame: f64,
+    /// The same posting share under the default adaptive aggregation — the
+    /// "after" view; batching N frames behind one put divides the
+    /// size-independent posting term by N.
+    pub model_posting_share_batched: f64,
 }
 
 /// Credit-return traffic observed by one measurement
@@ -139,7 +155,11 @@ fn sweep_config(shards: usize) -> RuntimeConfig {
         .with_sender_streams(shards);
     cfg.banks = shards.max(4);
     cfg.mailboxes_per_bank = 16;
-    cfg.frame_capacity = 4096;
+    // A carrier mailbox must hold a full default container of the sweep's
+    // ~1508-byte injected wire frames (40-byte envelope + 8 x (8 + 1508) =
+    // 12104 bytes); 4 KiB would cap containers at two frames via the
+    // capacity flush and mute the put amortization the sweep measures.
+    cfg.frame_capacity = 16384;
     cfg.completion_window = cfg.total_mailboxes();
     cfg
 }
@@ -169,8 +189,12 @@ fn payload(ctx: SlotCtx, per_bank: usize) -> (Vec<u8>, Vec<u8>) {
 }
 
 fn build_testbed(shards: usize) -> (TwoChainsHost, SenderFleet, ElementId) {
+    build_testbed_with(sweep_config(shards))
+}
+
+fn build_testbed_with(cfg: RuntimeConfig) -> (TwoChainsHost, SenderFleet, ElementId) {
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
-    let mut host = TwoChainsHost::new(&fabric, b, sweep_config(shards)).expect("host");
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).expect("host");
     host.install_package(benchmark_package().expect("package"))
         .expect("install");
     // The fleet handshake replaces the hand-rolled endpoint + set_remote_got
@@ -184,10 +208,11 @@ fn build_testbed(shards: usize) -> (TwoChainsHost, SenderFleet, ElementId) {
 
 /// One warm-up fill+drain so the injection caches, sender templates and
 /// simulated cache hierarchy are all in their steady state, then zero the
-/// counters.
-fn prime(host: &mut TwoChainsHost, fleet: &mut SenderFleet, elem: ElementId) {
+/// counters. Returns the warm-up delivery horizons — the per-lane virtual
+/// clock edges measured rounds advance from.
+fn prime(host: &mut TwoChainsHost, fleet: &mut SenderFleet, elem: ElementId) -> Vec<SimTime> {
     let per_bank = host.config().mailboxes_per_bank;
-    fleet
+    let horizons = fleet
         .fill_all(elem, InvocationMode::Injected, u64::MAX, &|ctx| {
             payload(ctx, per_bank)
         })
@@ -199,6 +224,7 @@ fn prime(host: &mut TwoChainsHost, fleet: &mut SenderFleet, elem: ElementId) {
     fleet.harvest_completions();
     host.reset_stats();
     fleet.reset_stats();
+    horizons
 }
 
 /// Fill every mailbox once (round `round`), lane after lane on the driver
@@ -215,28 +241,70 @@ fn fill_round(
             payload(ctx, per_bank)
         })
         .expect("fill");
-    // Every slot must now be visible to the burst scan — the same iter_ready
+    // Every frame must now be visible to the burst scan — the same iter_ready
     // the drain uses, so the bench never re-derives (bank, slot) indexing.
-    debug_assert_eq!(
-        host.banks().iter_ready(ShardMask::all()).count(),
-        host.config().total_mailboxes()
-    );
+    // Under the default adaptive aggregation only the *carrier* slot of each
+    // container reads ready (the inner frames unbatch during the drain), so
+    // the slot-exact census only holds for the per-frame wire behaviour;
+    // full coverage is proven by the `drained == total_slots` assert every
+    // measurement makes after its drain.
+    if host.config().aggregation_policy == AggregationPolicy::PerFrame {
+        debug_assert_eq!(
+            host.banks().iter_ready(ShardMask::all()).count(),
+            host.config().total_mailboxes()
+        );
+    } else {
+        debug_assert!(host.banks().iter_ready(ShardMask::all()).count() > 0);
+    }
     horizons
 }
 
-/// Run `rounds` fill+drain cycles over `shards` shards, modelled (sequential,
-/// deterministic). Returns (messages, total modelled drain time, credit
-/// traffic) — the drain windows now include the one-sided credit puts the
-/// burst engine issues per retired frame, so flow control is charged in the
-/// modelled view too.
-fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime, CreditTraffic) {
-    let (mut host, mut fleet, elem) = build_testbed(shards);
-    let total_slots = host.config().total_mailboxes();
-    prime(&mut host, &mut fleet, elem);
+/// One policy's deterministic modelled measurement (see [`run_modelled`]).
+#[derive(Debug, Clone, Copy)]
+struct ModelRun {
+    /// Messages drained across all measured rounds.
+    messages: usize,
+    /// Sum of per-round max-shard drain windows — the throughput denominator.
+    drain_time: SimTime,
+    /// Credit-return traffic charged inside those drain windows.
+    credit: CreditTraffic,
+    /// Forward data puts that carried the frames: standalone frames plus one
+    /// per multi-frame container.
+    puts: u64,
+    /// Share of the modelled round time (per-lane fill spans + drain
+    /// windows) the sender CPU spent on NIC posting — descriptor post +
+    /// doorbell per forward put, size-independent, so this is exactly the
+    /// term aggregation divides by the container occupancy.
+    posting_share: f64,
+}
 
-    let mut total = SimTime::ZERO;
+/// Run `rounds` fill+drain cycles over `shards` shards, modelled (sequential,
+/// deterministic), under the given aggregation policy. The drain windows
+/// include the one-sided credit puts the burst engine issues per retired
+/// frame, so flow control is charged in the modelled view too; the posting
+/// share additionally prices the sender-side put stream so the sweep can
+/// report the before/after of frame aggregation.
+fn run_modelled(shards: usize, rounds: usize, policy: AggregationPolicy) -> ModelRun {
+    let mut cfg = sweep_config(shards);
+    if policy == AggregationPolicy::PerFrame {
+        cfg = cfg.with_per_frame_aggregation();
+    }
+    let (mut host, mut fleet, elem) = build_testbed_with(cfg);
+    let total_slots = host.config().total_mailboxes();
+    let mut edges = prime(&mut host, &mut fleet, elem);
+
+    let mut drain_time = SimTime::ZERO;
+    let mut fill_time = SimTime::ZERO;
     for round in 0..rounds {
         let horizons = fill_round(&host, &mut fleet, elem, round as u64);
+        // Lanes fill concurrently in virtual time, each on its own clock: the
+        // round's fill span is the slowest lane's advance past the horizon it
+        // ended the previous round on.
+        let mut fill_span = SimTime::ZERO;
+        for (lane, &horizon) in horizons.iter().enumerate() {
+            fill_span = fill_span.max(horizon - edges[lane]);
+        }
+        fill_time += fill_span;
         // Shards drain concurrently in virtual time, each starting at its own
         // stream's delivery horizon: the round costs the slowest shard's window.
         let mut round_cost = SimTime::ZERO;
@@ -248,7 +316,8 @@ fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime, CreditTraffic)
         }
         assert_eq!(drained, total_slots, "every slot drained each round");
         fleet.harvest_completions();
-        total += round_cost;
+        drain_time += round_cost;
+        edges = horizons;
     }
     let credit = credit_traffic(&host);
     assert_eq!(
@@ -256,7 +325,26 @@ fn run_modelled(shards: usize, rounds: usize) -> (usize, SimTime, CreditTraffic)
         rounds * total_slots,
         "one credit token per drained frame"
     );
-    (rounds * total_slots, total, credit)
+    let sender = fleet.stats();
+    assert_eq!(sender.messages_sent as usize, rounds * total_slots);
+    if policy == AggregationPolicy::PerFrame {
+        assert_eq!(sender.batch_puts, 0, "per-frame baseline must not batch");
+    }
+    // Forward data puts: every frame that went out standalone, plus one put
+    // per multi-frame container.
+    let puts = (sender.messages_sent - sender.batched_frames) + sender.batch_puts;
+    // NIC posting is size-independent sender CPU per put (descriptor post +
+    // doorbell) on the sweep's link model — the same LinkModel behind
+    // `SimFabric::back_to_back`.
+    let posting_ns = LinkModel::connectx6_back_to_back().put_timing(1).sender_cpu;
+    let round_ns = (fill_time + drain_time).as_ns();
+    ModelRun {
+        messages: rounds * total_slots,
+        drain_time,
+        credit,
+        puts,
+        posting_share: posting_ns.as_ns() * puts as f64 / round_ns.max(1e-12),
+    }
 }
 
 /// The drain-only wall measurement: fill on the driver thread (untimed), then
@@ -490,29 +578,38 @@ pub fn sweep(shard_counts: &[usize], messages: usize) -> Vec<BurstRow> {
     for &shards in shard_counts {
         let slots = sweep_config(shards).total_mailboxes();
         let rounds = messages.div_ceil(slots).max(1);
-        let (n_model, model_time, model_credit) = run_modelled(shards, rounds);
+        // Two modelled passes per shard count: the default adaptive
+        // aggregation carries the row's rates, the per-frame pass supplies
+        // the "before" posting share the batch columns are compared against.
+        let model = run_modelled(shards, rounds, AggregationPolicy::Adaptive);
+        let before = run_modelled(shards, rounds, AggregationPolicy::PerFrame);
+        assert_eq!(model.messages, before.messages);
         let (n_wall, wall_secs) = run_threaded(shards, rounds);
         let (n_phased, phased_secs) = run_fill_then_drain(shards, rounds);
         let (n_pipe, pipe_secs, pipe_credit, pipe_stalls) = run_pipelined(shards, rounds, 2);
-        let model_rate = n_model as f64 / model_time.as_secs().max(1e-12);
+        let model_rate = model.messages as f64 / model.drain_time.as_secs().max(1e-12);
         let wall_rate = n_wall as f64 / wall_secs.max(1e-12);
         let phased_rate = n_phased as f64 / phased_secs.max(1e-12);
         let pipe_rate = n_pipe as f64 / pipe_secs.max(1e-12);
         let baseline = rows.first().map(|r| r.model_msgs_per_sec);
         rows.push(BurstRow {
             shards,
-            messages: n_model,
+            messages: model.messages,
             model_msgs_per_sec: model_rate,
             model_speedup: model_rate / baseline.unwrap_or(model_rate),
             wall_msgs_per_sec: wall_rate,
             fill_drain_wall_msgs_per_sec: phased_rate,
             pipelined_wall_msgs_per_sec: pipe_rate,
-            model_credit_ops: model_credit.ops,
-            model_credit_bytes: model_credit.bytes,
-            model_credit_time_share: model_credit.time_share,
+            model_credit_ops: model.credit.ops,
+            model_credit_bytes: model.credit.bytes,
+            model_credit_time_share: model.credit.time_share,
             pipe_credit_ops: pipe_credit.ops,
             pipe_credit_bytes: pipe_credit.bytes,
             pipe_credit_stall_events: pipe_stalls,
+            batch_frames_per_put: model.messages as f64 / model.puts.max(1) as f64,
+            model_puts_per_frame: model.puts as f64 / model.messages.max(1) as f64,
+            model_posting_share_per_frame: before.posting_share,
+            model_posting_share_batched: model.posting_share,
         });
     }
     rows
@@ -580,6 +677,35 @@ mod tests {
         );
         assert_eq!(row.pipe_credit_ops as usize, row.messages);
         assert_eq!(row.pipe_credit_bytes, row.pipe_credit_ops);
+    }
+
+    #[test]
+    fn aggregation_amortizes_the_nic_posting_path() {
+        let rows = sweep(&[4], 128);
+        let row = rows[0];
+        // The tentpole's acceptance bar: the default adaptive policy packs
+        // enough frames behind each forward put that the modelled 4-shard
+        // run posts at most a quarter put per frame (the perf gate enforces
+        // the same number from the persisted report).
+        assert!(
+            row.batch_frames_per_put > 1.0,
+            "adaptive sweep never batched (frames/put {:.2})",
+            row.batch_frames_per_put
+        );
+        assert!(
+            row.model_puts_per_frame <= 0.25,
+            "modelled puts per frame {:.3} above the 0.25 bar",
+            row.model_puts_per_frame
+        );
+        // And the posting share moves the right way: batching can only
+        // shrink the size-independent post+doorbell term.
+        assert!(row.model_posting_share_per_frame > 0.0 && row.model_posting_share_per_frame < 1.0);
+        assert!(
+            row.model_posting_share_batched < row.model_posting_share_per_frame,
+            "batched posting share {:.4} not below per-frame {:.4}",
+            row.model_posting_share_batched,
+            row.model_posting_share_per_frame
+        );
     }
 
     #[test]

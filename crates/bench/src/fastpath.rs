@@ -115,7 +115,11 @@ impl FastpathReport {
                         "\"model_credit_ops\": {}, \"model_credit_bytes\": {}, ",
                         "\"model_credit_time_share\": {:.4}, ",
                         "\"pipe_credit_ops\": {}, \"pipe_credit_bytes\": {}, ",
-                        "\"pipe_credit_stall_events\": {}}}"
+                        "\"pipe_credit_stall_events\": {}, ",
+                        "\"batch_frames_per_put\": {:.2}, ",
+                        "\"model_puts_per_frame\": {:.4}, ",
+                        "\"model_posting_share_per_frame\": {:.4}, ",
+                        "\"model_posting_share_batched\": {:.4}}}"
                     ),
                     r.shards,
                     r.messages,
@@ -130,6 +134,10 @@ impl FastpathReport {
                     r.pipe_credit_ops,
                     r.pipe_credit_bytes,
                     r.pipe_credit_stall_events,
+                    r.batch_frames_per_put,
+                    r.model_puts_per_frame,
+                    r.model_posting_share_per_frame,
+                    r.model_posting_share_batched,
                 )
             })
             .collect::<Vec<_>>()
@@ -535,6 +543,10 @@ mod tests {
                 pipe_credit_ops: 64,
                 pipe_credit_bytes: 64,
                 pipe_credit_stall_events: 2,
+                batch_frames_per_put: 7.53,
+                model_puts_per_frame: 0.1328,
+                model_posting_share_per_frame: 0.21,
+                model_posting_share_batched: 0.03,
             },
             crate::burst::BurstRow {
                 shards: 4,
@@ -550,6 +562,10 @@ mod tests {
                 pipe_credit_ops: 64,
                 pipe_credit_bytes: 64,
                 pipe_credit_stall_events: 0,
+                batch_frames_per_put: 8.0,
+                model_puts_per_frame: 0.125,
+                model_posting_share_per_frame: 0.21,
+                model_posting_share_batched: 0.03,
             },
         ];
         let json = report.to_json();
@@ -561,6 +577,10 @@ mod tests {
         assert!(json.contains("\"model_credit_time_share\": 0.0500"));
         assert!(json.contains("\"pipe_credit_ops\": 64"));
         assert!(json.contains("\"pipe_credit_stall_events\": 2"));
+        assert!(json.contains("\"batch_frames_per_put\": 8.00"));
+        assert!(json.contains("\"model_puts_per_frame\": 0.1250"));
+        assert!(json.contains("\"model_posting_share_per_frame\": 0.2100"));
+        assert!(json.contains("\"model_posting_share_batched\": 0.0300"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -48,6 +48,12 @@ pub struct GateThresholds {
     /// message (`chain_amortization` in the report). Deterministic modelled
     /// metric, enforced on any runner.
     pub min_chain_amortization: f64,
+    /// The 4-shard modelled run's forward data puts per injected frame
+    /// (`model_puts_per_frame`) must stay at or below this — the
+    /// frame-aggregation bar: the adaptive policy must keep at least four
+    /// frames behind each NIC posting on average (per-frame wire behaviour
+    /// is 1.0). Deterministic modelled metric, enforced on any runner.
+    pub max_model_puts_per_frame_4shard: f64,
 }
 
 impl Default for GateThresholds {
@@ -65,6 +71,10 @@ impl Default for GateThresholds {
             // below a starved-sender pathology (one stall per message = 1024).
             max_credit_stall_events: 128.0,
             min_chain_amortization: 2.0,
+            // The sweep's default containers pack 8 x ~1508-byte injected
+            // frames (0.125 puts/frame); 0.25 leaves room for geometry
+            // changes while still demanding 4x put amortization.
+            max_model_puts_per_frame_4shard: 0.25,
         }
     }
 }
@@ -100,6 +110,9 @@ impl GateThresholds {
         }
         if let Some(v) = json_f64(json, "min_chain_amortization") {
             t.min_chain_amortization = v;
+        }
+        if let Some(v) = json_f64(json, "max_model_puts_per_frame_4shard") {
+            t.max_model_puts_per_frame_4shard = v;
         }
         t
     }
@@ -184,6 +197,9 @@ pub struct GateBurstRow {
     /// Sender credit-stall episodes during the pipelined run (absent in
     /// reports generated before credit coalescing).
     pub pipe_credit_stall_events: Option<f64>,
+    /// Forward data puts per injected frame in the modelled run (absent in
+    /// reports generated before frame aggregation).
+    pub model_puts_per_frame: Option<f64>,
 }
 
 /// Extract a numeric field `"key": <number>` from a flat JSON object.
@@ -255,6 +271,7 @@ pub fn parse_burst_rows(json: &str) -> Vec<GateBurstRow> {
                 pipe_credit_ops: json_f64(row, "pipe_credit_ops"),
                 model_credit_time_share: json_f64(row, "model_credit_time_share"),
                 pipe_credit_stall_events: json_f64(row, "pipe_credit_stall_events"),
+                model_puts_per_frame: json_f64(row, "model_puts_per_frame"),
             })
         })
         .collect()
@@ -422,10 +439,33 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
                     )
                 },
             });
+            // The frame-aggregation bar: the modelled run's forward puts per
+            // injected frame must stay batched down. Deterministic modelled
+            // metric, enforced on any runner; reports predating aggregation
+            // must be regenerated, not waved through.
+            let puts_per_frame = four.model_puts_per_frame.ok_or(
+                "4-shard burst row is missing model_puts_per_frame (regenerate the report with the current fastpath)",
+            )?;
+            checks.push(GateCheck {
+                name: "4-shard modelled puts per frame",
+                value: puts_per_frame,
+                threshold: t.max_model_puts_per_frame_4shard,
+                op: "<=",
+                pass: puts_per_frame <= t.max_model_puts_per_frame_4shard,
+                enforced: true,
+                note: "aggregation amortizes the NIC posting path".into(),
+            });
         }
         None => {
-            return Err("report has no 4-shard burst row (run fastpath with --shards 1,4)".into())
+            return Err("report has no 4-shard burst row (run fastpath with --shards 1,2,4)".into())
         }
+    }
+
+    // The 2-shard row anchors the scaling curve between the baseline and the
+    // 4-shard bar; a sweep that silently dropped it must be regenerated, not
+    // gated on a sparser curve.
+    if !rows.iter().any(|r| r.shards == 2) {
+        return Err("report has no 2-shard burst row (run fastpath with --shards 1,2,4)".into());
     }
 
     // Lossy-fabric bars, evaluated only when the report carries loss rows.
@@ -478,6 +518,15 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
 mod tests {
     use super::*;
 
+    /// The fixture's 2-shard row: constant, so tests can delete it verbatim
+    /// to exercise the missing-row error. The gate only checks its presence.
+    const TWO_SHARD_ROW: &str = concat!(
+        "    {\"shards\": 2, \"model_speedup\": 1.80, \"wall_msgs_per_sec\": 150000, ",
+        "\"fill_drain_wall_msgs_per_sec\": 120000, \"pipelined_wall_msgs_per_sec\": 160000, ",
+        "\"model_credit_time_share\": 0.0500, \"model_puts_per_frame\": 0.13, ",
+        "\"pipe_credit_ops\": 256, \"pipe_credit_stall_events\": 3},\n"
+    );
+
     #[allow(clippy::too_many_arguments)]
     fn report_full(
         dispatch_speedup: f64,
@@ -497,11 +546,12 @@ mod tests {
                 "  \"burst_shard_rows\": [\n",
                 "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
                 "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
-                "\"model_credit_time_share\": 0.0500, ",
+                "\"model_credit_time_share\": 0.0500, \"model_puts_per_frame\": 0.13, ",
                 "\"pipe_credit_ops\": 256, \"pipe_credit_stall_events\": 3}},\n",
+                "{}",
                 "    {{\"shards\": 4, \"model_speedup\": {}, \"wall_msgs_per_sec\": {}, ",
                 "\"fill_drain_wall_msgs_per_sec\": {}, \"pipelined_wall_msgs_per_sec\": {}, ",
-                "\"model_credit_time_share\": 0.0500, ",
+                "\"model_credit_time_share\": 0.0500, \"model_puts_per_frame\": 0.13, ",
                 "\"pipe_credit_ops\": 256, \"pipe_credit_stall_events\": 3}}\n  ]\n}}\n"
             ),
             warm_ns,
@@ -510,6 +560,7 @@ mod tests {
             wall1,
             wall1 * 0.8,
             wall1 * 0.9,
+            TWO_SHARD_ROW,
             model4,
             wall4,
             phased4,
@@ -547,8 +598,48 @@ mod tests {
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 9);
+        assert_eq!(out.checks.len(), 10);
         assert!(out.checks.iter().all(|c| c.enforced));
+    }
+
+    #[test]
+    fn puts_per_frame_regression_fails_on_any_runner() {
+        // Aggregation falling apart shows up as the modelled put count
+        // climbing back toward one per frame; the metric is deterministic,
+        // so even a 1-core runner enforces it.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"model_puts_per_frame\": 0.13",
+            "\"model_puts_per_frame\": 0.80",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let puts = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("puts per frame"))
+            .unwrap();
+        assert!(!puts.pass && puts.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn reports_without_puts_per_frame_are_an_error_not_a_pass() {
+        // A report predating frame aggregation lacks the column; the gate
+        // must demand a regenerated report, not skip the new bar.
+        let json =
+            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace("\"model_puts_per_frame\": 0.13, ", "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("model_puts_per_frame"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn missing_two_shard_row_is_an_error_not_a_pass() {
+        // The sweep documents --shards 1,2,4; a report whose 2-shard row
+        // silently vanished must be regenerated, not gated without it.
+        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(TWO_SHARD_ROW, "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("2-shard"), "{err}");
+        assert!(err.contains("1,2,4"), "{err}");
     }
 
     #[test]
@@ -751,7 +842,7 @@ mod tests {
     #[test]
     fn thresholds_parse_from_baseline_json() {
         let t = GateThresholds::from_json(
-            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48, \"min_chain_amortization\": 2.4}",
+            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48, \"min_chain_amortization\": 2.4, \"max_model_puts_per_frame_4shard\": 0.2}",
         );
         assert_eq!(t.min_dispatch_speedup, 2.5);
         assert_eq!(t.max_warm_dispatch_ns, 900.0);
@@ -760,6 +851,7 @@ mod tests {
         assert_eq!(t.max_credit_time_share_4shard, 0.07);
         assert_eq!(t.max_credit_stall_events, 48.0);
         assert_eq!(t.min_chain_amortization, 2.4);
+        assert_eq!(t.max_model_puts_per_frame_4shard, 0.2);
         assert_eq!(
             t.min_model_speedup_4shard,
             GateThresholds::default().min_model_speedup_4shard,
@@ -806,6 +898,29 @@ mod tests {
                     pipe_credit_ops: 64,
                     pipe_credit_bytes: 64,
                     pipe_credit_stall_events: 1,
+                    batch_frames_per_put: 7.5,
+                    model_puts_per_frame: 0.133,
+                    model_posting_share_per_frame: 0.2,
+                    model_posting_share_batched: 0.03,
+                },
+                crate::burst::BurstRow {
+                    shards: 2,
+                    messages: 64,
+                    model_msgs_per_sec: 1.6e6,
+                    model_speedup: 2.0,
+                    wall_msgs_per_sec: 2.4e5,
+                    fill_drain_wall_msgs_per_sec: 1.8e5,
+                    pipelined_wall_msgs_per_sec: 2.6e5,
+                    model_credit_ops: 64,
+                    model_credit_bytes: 64,
+                    model_credit_time_share: 0.04,
+                    pipe_credit_ops: 64,
+                    pipe_credit_bytes: 64,
+                    pipe_credit_stall_events: 2,
+                    batch_frames_per_put: 7.8,
+                    model_puts_per_frame: 0.128,
+                    model_posting_share_per_frame: 0.2,
+                    model_posting_share_batched: 0.03,
                 },
                 crate::burst::BurstRow {
                     shards: 4,
@@ -821,6 +936,10 @@ mod tests {
                     pipe_credit_ops: 64,
                     pipe_credit_bytes: 64,
                     pipe_credit_stall_events: 4,
+                    batch_frames_per_put: 8.0,
+                    model_puts_per_frame: 0.125,
+                    model_posting_share_per_frame: 0.2,
+                    model_posting_share_batched: 0.03,
                 },
             ],
             loss: vec![
@@ -855,8 +974,8 @@ mod tests {
         assert_eq!(rows[1].frames_dropped, 3.0);
         let out = evaluate(&json, &GateThresholds::default()).unwrap();
         assert!(out.passed(), "{}", out.table());
-        // 9 base checks + 1 lossless residue + 2 per faulted row.
-        assert_eq!(out.checks.len(), 12);
+        // 10 base checks + 1 lossless residue + 2 per faulted row.
+        assert_eq!(out.checks.len(), 13);
     }
 
     #[test]

@@ -29,6 +29,28 @@
 //! both bytes were always written as zero, so every pre-chain frame decodes as a
 //! chain-free version-0 frame and every version-0 frame claiming stages is rejected
 //! as corrupt.
+//!
+//! ## Multi-frame batch containers
+//!
+//! A sender aggregating its data path posts a **batch container** instead of N
+//! individual frames: one put whose payload is
+//!
+//! ```text
+//! | OUTER HDR (36 B) | prefix + frame | prefix + frame | ... | TRAILER (4 B) |
+//! ```
+//!
+//! The outer header reuses the single-frame header shape so the receiver's mailbox
+//! readiness protocol ([`HDR_MAG`] at byte 35, total length at bytes 8–11, [`SIG_MAG`]
+//! as the final release-published byte) applies to a batch without modification. The
+//! three previously reserved header bytes disambiguate: byte 32 carries the batch
+//! format version ([`BATCH_VERSION`]; single frames always write 0 there), byte 33
+//! the inner-frame count, byte 34 stays reserved-zero. Each inner frame is a
+//! complete, independently valid wire frame — own header, own sequence number, own
+//! trailer — preceded by an 8-byte prefix (u32 LE frame length, u16 LE destination
+//! mailbox slot, 2 reserved zero bytes). The outer sequence number (bytes 4–7)
+//! echoes the *first* inner frame's, so one release header publishes the whole
+//! batch while per-inner-frame sequence numbers are preserved for the receiver's
+//! gap detection, replay suppression and per-frame credit retirement.
 
 use crate::error::{AmError, AmResult};
 
@@ -51,6 +73,19 @@ pub const CHAIN_MAX_STAGES: usize = 8;
 /// Wire size of one chain-stage record: elem_id (u32 LE), arg-map byte, 3
 /// reserved zero bytes.
 pub const CHAIN_STAGE_WIRE_SIZE: usize = 8;
+/// Current multi-frame batch-container version (header byte 32). Single frames
+/// always write 0 there, so a nonzero byte 32 unambiguously marks a container.
+pub const BATCH_VERSION: u8 = 1;
+/// Wire size of the per-inner-frame prefix inside a batch container: frame
+/// length (u32 LE), destination mailbox slot (u16 LE), 2 reserved zero bytes.
+pub const BATCH_PREFIX_SIZE: usize = 8;
+/// Maximum number of inner frames one batch container can carry (the count
+/// rides in the one-byte header field 33).
+pub const BATCH_MAX_FRAMES: usize = 255;
+/// Fixed wire overhead of a batch container beyond its inner frames' own bytes:
+/// the outer header plus the trailer (each inner frame additionally pays one
+/// [`BATCH_PREFIX_SIZE`] prefix).
+pub const BATCH_OVERHEAD: usize = FRAME_HEADER_SIZE + FRAME_TRAILER_SIZE;
 
 /// How a continuation stage receives its operand (its entry registers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -453,6 +488,12 @@ impl<'a> FrameView<'a> {
         if bytes[FRAME_HEADER_SIZE - 1] != HDR_MAG {
             return Err(AmError::BadFrame("missing header magic byte".into()));
         }
+        if bytes[32] != 0 {
+            return Err(AmError::BadFrame(format!(
+                "multi-frame batch container (version {}) passed to the single-frame parser",
+                bytes[32]
+            )));
+        }
         let sn = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
         let frame_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
         let elem_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -594,6 +635,287 @@ impl<'a> FrameView<'a> {
     /// Byte offset of the USR payload within the frame.
     pub fn usr_offset(&self) -> usize {
         self.args_offset() + self.args.len()
+    }
+}
+
+/// Whether `bytes` begin with a batch-container header: the outer shape of a
+/// frame header (magic + `HDR_MAG`) with a nonzero batch-version byte 32.
+/// Single frames always write byte 32 as zero, so detection is unambiguous.
+pub fn is_batch(bytes: &[u8]) -> bool {
+    bytes.len() >= FRAME_HEADER_SIZE
+        && u32::from_le_bytes(bytes[0..4].try_into().unwrap()) == FRAME_MAGIC
+        && bytes[FRAME_HEADER_SIZE - 1] == HDR_MAG
+        && bytes[32] != 0
+}
+
+/// Incremental builder for a multi-frame batch container.
+///
+/// A sender lane pushes complete encoded wire frames (each with its destination
+/// mailbox slot) and finishes the container into one buffer whose final byte is
+/// the release-published [`SIG_MAG`] — one put covers the whole batch.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    /// Prefixed inner-frame bytes (everything between outer header and trailer).
+    body: Vec<u8>,
+    count: usize,
+    first_sn: Option<u32>,
+}
+
+impl FrameBatch {
+    /// An empty builder.
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// Number of inner frames pushed so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no frame has been pushed since the last [`FrameBatch::clear`].
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The batch sequence number: the first inner frame's.
+    pub fn first_sn(&self) -> Option<u32> {
+        self.first_sn
+    }
+
+    /// Total container size on the wire if finished now.
+    pub fn wire_size(&self) -> usize {
+        BATCH_OVERHEAD + self.body.len()
+    }
+
+    /// Container size if a frame of `frame_len` bytes were pushed next.
+    pub fn wire_size_with(&self, frame_len: usize) -> usize {
+        self.wire_size() + BATCH_PREFIX_SIZE + frame_len
+    }
+
+    /// Append one complete encoded wire frame destined for mailbox `slot`.
+    /// The frame must carry its own valid header and trailer — the builder
+    /// checks the cheap invariants (length, magic, signal byte) so a corrupt
+    /// buffer is a sender-side error, not a wire frame the receiver rejects.
+    pub fn push(&mut self, slot: u16, frame: &[u8]) -> AmResult<()> {
+        if self.count >= BATCH_MAX_FRAMES {
+            return Err(AmError::BadFrame(format!(
+                "batch container full: the one-byte count field carries at most {BATCH_MAX_FRAMES} frames"
+            )));
+        }
+        if frame.len() < FRAME_HEADER_SIZE + FRAME_TRAILER_SIZE {
+            return Err(AmError::BadFrame(format!(
+                "inner frame of {} bytes is shorter than header + trailer",
+                frame.len()
+            )));
+        }
+        let magic = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+        if magic != FRAME_MAGIC || frame[frame.len() - 1] != SIG_MAG {
+            return Err(AmError::BadFrame(
+                "inner frame is not a complete encoded wire frame".into(),
+            ));
+        }
+        let sn = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        self.first_sn.get_or_insert(sn);
+        self.body
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.body.extend_from_slice(&slot.to_le_bytes());
+        self.body.extend_from_slice(&[0u8; 2]);
+        self.body.extend_from_slice(frame);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Encode the finished container into `out` (cleared first), reusing its
+    /// capacity. Errors on an empty batch — a container must publish at least
+    /// one frame.
+    pub fn finish_into(&self, out: &mut Vec<u8>) -> AmResult<()> {
+        let sn = self
+            .first_sn
+            .ok_or_else(|| AmError::BadFrame("batch container holds no frames".into()))?;
+        let total = self.wire_size() as u32;
+        out.clear();
+        out.reserve(total as usize);
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&sn.to_le_bytes());
+        out.extend_from_slice(&total.to_le_bytes());
+        // elem_id / injected / section lengths / chain bytes: all zero — the
+        // outer header routes nothing itself, it only publishes the batch.
+        out.extend_from_slice(&[0u8; 20]);
+        out.push(BATCH_VERSION);
+        out.push(self.count as u8);
+        out.push(0);
+        out.push(HDR_MAG);
+        debug_assert_eq!(out.len(), FRAME_HEADER_SIZE);
+        out.extend_from_slice(&self.body);
+        out.extend_from_slice(&sn.to_le_bytes()[..3]);
+        out.push(SIG_MAG);
+        debug_assert_eq!(out.len(), total as usize);
+        Ok(())
+    }
+
+    /// Reset the builder for the next batch, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.body.clear();
+        self.count = 0;
+        self.first_sn = None;
+    }
+}
+
+/// A validated batch container whose inner frames borrow the receive buffer —
+/// the container-level counterpart of [`FrameView`]. Each inner frame still
+/// goes through [`FrameView::parse`] individually when dispatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchView<'a> {
+    /// The batch sequence number (echoes the first inner frame's).
+    pub sn: u32,
+    /// Total container length on the wire.
+    pub wire_len: usize,
+    frames: Vec<(u16, &'a [u8])>,
+}
+
+impl<'a> BatchView<'a> {
+    /// Parse and validate a batch container without copying any inner frame.
+    /// A container truncated mid-frame is rejected with the offending inner
+    /// frame's sequence number in the error — the forensic signal that names
+    /// which message the cut landed on.
+    pub fn parse(bytes: &'a [u8]) -> AmResult<BatchView<'a>> {
+        if bytes.len() < BATCH_OVERHEAD {
+            return Err(AmError::BadFrame(format!(
+                "batch container too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != FRAME_MAGIC {
+            return Err(AmError::BadFrame(format!("bad batch magic {magic:#010x}")));
+        }
+        if bytes[FRAME_HEADER_SIZE - 1] != HDR_MAG {
+            return Err(AmError::BadFrame(
+                "batch container missing header magic byte".into(),
+            ));
+        }
+        match bytes[32] {
+            0 => {
+                return Err(AmError::BadFrame(
+                    "single frame passed to the batch-container parser".into(),
+                ));
+            }
+            BATCH_VERSION => {}
+            v => {
+                return Err(AmError::BadFrame(format!(
+                    "unknown batch version {v} (this receiver speaks up to {BATCH_VERSION})"
+                )));
+            }
+        }
+        let count = bytes[33] as usize;
+        if count == 0 {
+            return Err(AmError::BadFrame(
+                "batch container claims zero inner frames".into(),
+            ));
+        }
+        if bytes[34] != 0 {
+            return Err(AmError::BadFrame(format!(
+                "batch header reserved byte carries {:#04x}",
+                bytes[34]
+            )));
+        }
+        let sn = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let wire_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if wire_len < BATCH_OVERHEAD {
+            return Err(AmError::BadFrame(format!(
+                "batch header claims {wire_len} bytes, below the container minimum"
+            )));
+        }
+        // Walk the inner frames against what actually arrived, not just the
+        // declared length: a truncated container must name the frame the cut
+        // landed on, and the declared length is validated by the walk itself.
+        let body_end = wire_len - FRAME_TRAILER_SIZE;
+        let avail = bytes.len();
+        let mut frames = Vec::with_capacity(count);
+        let mut pos = FRAME_HEADER_SIZE;
+        for i in 0..count {
+            let start = pos + BATCH_PREFIX_SIZE;
+            if start > body_end || start > avail {
+                return Err(AmError::BadFrame(format!(
+                    "batch container truncated before inner frame {i}'s length prefix \
+                     ({} of {wire_len} bytes present)",
+                    avail.min(body_end)
+                )));
+            }
+            let flen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let slot = u16::from_le_bytes(bytes[pos + 4..pos + 6].try_into().unwrap());
+            if bytes[pos + 6] != 0 || bytes[pos + 7] != 0 {
+                return Err(AmError::BadFrame(format!(
+                    "inner frame {i}'s prefix reserved bytes are nonzero"
+                )));
+            }
+            if flen < FRAME_HEADER_SIZE + FRAME_TRAILER_SIZE {
+                return Err(AmError::BadFrame(format!(
+                    "inner frame {i} claims {flen} bytes, shorter than header + trailer"
+                )));
+            }
+            let end = start
+                .checked_add(flen)
+                .ok_or_else(|| AmError::BadFrame(format!("inner frame {i}'s length overflows")))?;
+            if end > body_end || end > avail {
+                // The cut landed inside this frame. Echo its sequence number
+                // when its header made it across — that is the number the
+                // sender's retransmit machinery keys on.
+                let echo = (start + 8 <= avail)
+                    .then(|| u32::from_le_bytes(bytes[start + 4..start + 8].try_into().unwrap()));
+                return Err(AmError::BadFrame(match echo {
+                    Some(inner_sn) => format!(
+                        "batch container truncated inside inner frame {i} (sn {inner_sn}): \
+                         frame needs {flen} bytes, {} remain",
+                        avail.min(body_end).saturating_sub(start)
+                    ),
+                    None => format!("batch container truncated inside inner frame {i}'s header"),
+                }));
+            }
+            let inner = &bytes[start..end];
+            let imagic = u32::from_le_bytes(inner[0..4].try_into().unwrap());
+            if imagic != FRAME_MAGIC {
+                return Err(AmError::BadFrame(format!(
+                    "inner frame {i} has bad magic {imagic:#010x}"
+                )));
+            }
+            frames.push((slot, inner));
+            pos = end;
+        }
+        if pos != body_end {
+            return Err(AmError::BadFrame(format!(
+                "batch length mismatch: header says {wire_len}, inner frames end at {pos}",
+            )));
+        }
+        if wire_len > avail {
+            return Err(AmError::BadFrame(format!(
+                "batch container truncated before its trailer ({avail} of {wire_len} bytes)"
+            )));
+        }
+        if bytes[wire_len - 1] != SIG_MAG {
+            return Err(AmError::BadFrame("batch missing signal magic".into()));
+        }
+        if bytes[wire_len - 4..wire_len - 1] != sn.to_le_bytes()[..3] {
+            return Err(AmError::BadFrame(format!(
+                "batch sequence echo mismatch for sn {sn}"
+            )));
+        }
+        let first_sn = u32::from_le_bytes(frames[0].1[4..8].try_into().unwrap());
+        if first_sn != sn {
+            return Err(AmError::BadFrame(format!(
+                "batch header sn {sn} disagrees with first inner frame sn {first_sn}"
+            )));
+        }
+        Ok(BatchView {
+            sn,
+            wire_len,
+            frames,
+        })
+    }
+
+    /// The inner frames in wire order: `(destination slot, frame bytes)`.
+    pub fn frames(&self) -> &[(u16, &'a [u8])] {
+        &self.frames
     }
 }
 
@@ -880,5 +1202,123 @@ mod tests {
             matches!(Frame::decode(&bad), Err(AmError::BadFrame(_))),
             "length mismatch"
         );
+    }
+
+    fn sample_batch(sns: &[u32]) -> (Vec<u8>, Vec<Vec<u8>>) {
+        let mut batch = FrameBatch::new();
+        let mut inners = Vec::new();
+        for (i, &sn) in sns.iter().enumerate() {
+            let f = Frame::local(sn, 7, vec![i as u8; 20], vec![0xAB; 4 + i]);
+            let wire = f.encode();
+            batch.push(i as u16, &wire).unwrap();
+            inners.push(wire);
+        }
+        let mut out = Vec::new();
+        batch.finish_into(&mut out).unwrap();
+        (out, inners)
+    }
+
+    #[test]
+    fn batch_container_roundtrips_inner_frames_and_slots() {
+        let sns = [40u32, 41, 42, 43];
+        let (wire, inners) = sample_batch(&sns);
+        assert!(is_batch(&wire));
+        assert_eq!(wire[32], BATCH_VERSION);
+        assert_eq!(wire[33], 4);
+        assert_eq!(wire[FRAME_HEADER_SIZE - 1], HDR_MAG);
+        assert_eq!(wire[wire.len() - 1], SIG_MAG);
+        // The outer header satisfies the mailbox readiness protocol: length at
+        // bytes 8-11 covers the whole container.
+        let total = u32::from_le_bytes(wire[8..12].try_into().unwrap()) as usize;
+        assert_eq!(total, wire.len());
+        let view = BatchView::parse(&wire).unwrap();
+        assert_eq!(view.sn, 40);
+        assert_eq!(view.frames().len(), 4);
+        for (i, (slot, bytes)) in view.frames().iter().enumerate() {
+            assert_eq!(usize::from(*slot), i);
+            assert_eq!(*bytes, &inners[i][..]);
+            let inner = FrameView::parse(bytes).unwrap();
+            assert_eq!(inner.header.sn, sns[i]);
+        }
+    }
+
+    #[test]
+    fn single_frames_are_never_mistaken_for_batches() {
+        let single = Frame::local(9, 1, vec![0; 20], vec![0; 4]).encode();
+        assert!(!is_batch(&single));
+        assert!(matches!(
+            BatchView::parse(&single),
+            Err(AmError::BadFrame(_))
+        ));
+        // And a container fed to the single-frame parser is loudly refused.
+        let (batch, _) = sample_batch(&[1, 2]);
+        match FrameView::parse(&batch) {
+            Err(AmError::BadFrame(msg)) => {
+                assert!(msg.contains("batch container"), "{msg}")
+            }
+            other => panic!("container accepted as a frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_batch_echoes_the_offending_inner_sequence_number() {
+        let (wire, inners) = sample_batch(&[70, 71, 72]);
+        // Cut inside the third inner frame, past its header.
+        let third_start =
+            FRAME_HEADER_SIZE + 2 * BATCH_PREFIX_SIZE + inners[0].len() + inners[1].len();
+        let cut = third_start + BATCH_PREFIX_SIZE + 12;
+        match BatchView::parse(&wire[..cut]) {
+            Err(AmError::BadFrame(msg)) => {
+                assert!(msg.contains("truncated"), "{msg}");
+                assert!(msg.contains("sn 72"), "offending sn missing: {msg}");
+            }
+            other => panic!("truncated batch accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_batch_containers_are_rejected() {
+        let (good, _) = sample_batch(&[5, 6]);
+
+        let mut bad = good.clone();
+        bad[32] = BATCH_VERSION + 1;
+        assert!(matches!(BatchView::parse(&bad), Err(AmError::BadFrame(_))));
+
+        let mut bad = good.clone();
+        bad[33] = 0; // zero frames
+        assert!(matches!(BatchView::parse(&bad), Err(AmError::BadFrame(_))));
+
+        let mut bad = good.clone();
+        bad[33] = 3; // count disagrees with the body
+        assert!(matches!(BatchView::parse(&bad), Err(AmError::BadFrame(_))));
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] = 0; // signal magic
+        assert!(matches!(BatchView::parse(&bad), Err(AmError::BadFrame(_))));
+
+        let mut bad = good.clone();
+        bad[4] ^= 0xFF; // outer sn no longer matches trailer echo / first inner
+        assert!(matches!(BatchView::parse(&bad), Err(AmError::BadFrame(_))));
+    }
+
+    #[test]
+    fn batch_builder_enforces_its_invariants() {
+        let mut b = FrameBatch::new();
+        let mut out = Vec::new();
+        assert!(b.finish_into(&mut out).is_err(), "empty batch");
+        assert!(b.push(0, &[0u8; 10]).is_err(), "short inner frame");
+        let f = Frame::local(1, 2, vec![0; 20], vec![0; 4]).encode();
+        b.push(3, &f).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.first_sn(), Some(1));
+        assert_eq!(b.wire_size(), BATCH_OVERHEAD + BATCH_PREFIX_SIZE + f.len());
+        assert_eq!(
+            b.wire_size_with(f.len()),
+            b.wire_size() + BATCH_PREFIX_SIZE + f.len()
+        );
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.finish_into(&mut out).is_err(), "cleared batch is empty");
     }
 }

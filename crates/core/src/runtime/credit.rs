@@ -139,6 +139,15 @@ pub(crate) struct CreditReturn {
     lifetime_flushes: u64,
     lifetime_flush_bytes: u64,
     lifetime_flush_max_span: u64,
+    /// EWMA of the virtual-time interval between token mints, in nanoseconds
+    /// (0.0 until the second mint). In the closed fill/drain loop the retire
+    /// interval *is* the observable proxy for the sender's credit-acquire
+    /// latency: the sender reacquires a slot one refill after it retires, so
+    /// the rate tokens are minted here is the rate credits turn around there.
+    /// Drives the runtime-adaptive headroom watermark.
+    ewma_retire_gap_ns: f64,
+    /// Virtual time of the most recent mint, the EWMA's sample anchor.
+    last_mint: Option<SimTime>,
     /// The stream's NACK table state, when the handshake carried one. Like
     /// `drains`, the counters live outside
     /// [`RuntimeStats`](crate::RuntimeStats) so a stats reset cannot repeat a
@@ -244,6 +253,8 @@ impl CreditReturn {
             lifetime_flushes: 0,
             lifetime_flush_bytes: 0,
             lifetime_flush_max_span: 0,
+            ewma_retire_gap_ns: 0.0,
+            last_mint: None,
             nack: handshake.nack.map(|d| NackReturn {
                 descriptor: d,
                 seqs: vec![0; rows],
@@ -321,12 +332,33 @@ impl CreditReturn {
         } else {
             None
         };
+        if let Some(prev) = self.last_mint {
+            let gap = now.as_ns() - prev.as_ns();
+            if gap > 0.0 {
+                self.ewma_retire_gap_ns = if self.ewma_retire_gap_ns == 0.0 {
+                    gap
+                } else {
+                    0.875 * self.ewma_retire_gap_ns + 0.125 * gap
+                };
+            }
+        }
+        self.last_mint = Some(now);
         self.drains[idx] += 1;
         self.pending[idx] = true;
         self.pending_total += 1;
         let base = row * self.per_bank;
         let row_full = self.pending[base..base + self.per_bank].iter().all(|&p| p);
         Ok(AccumulateOutcome { forced, row_full })
+    }
+
+    /// Runtime-adaptive flush watermark: how much completion-window headroom
+    /// to keep before forcing a credit flush. Derived from the EWMA of the
+    /// retire interval — the receiver-side proxy for the sender's observed
+    /// acquire latency (the faster tokens mint, the hotter the sender is
+    /// spinning on credits, the earlier we should publish). Falls back to
+    /// `fallback` (the static config knob) until the EWMA has a sample.
+    pub(crate) fn adaptive_watermark(&self, window: usize, fallback: usize) -> usize {
+        adaptive_watermark_for(self.ewma_retire_gap_ns, window, fallback)
     }
 
     /// Publish every pending token: one multi-byte put per dirty row,
@@ -498,6 +530,29 @@ impl CreditReturn {
     }
 }
 
+/// How far into the future (virtual nanoseconds) a pending-but-unpublished
+/// credit is allowed to age before the headroom math forces a flush. At the
+/// observed retire rate, `HORIZON / gap` tokens mint inside this horizon;
+/// the watermark keeps the window from shrinking by more than that before
+/// the sender sees fresh credits.
+const ADAPTIVE_WATERMARK_HORIZON_NS: f64 = 32_768.0;
+
+/// Pure watermark math, split out so the policy is testable without a
+/// [`CreditReturn`]. With no EWMA sample yet (`ewma_gap_ns == 0`), returns
+/// the static `fallback` knob. Otherwise: tokens expected to mint within the
+/// horizon bound how many we may hold back (`allowed`, clamped to
+/// `1..=window-1`), and the watermark is the rest of the window — fast
+/// retiring (small gap) allows a large backlog and a low watermark; slow
+/// retiring pushes the watermark up so the starved sender is refilled early.
+pub(crate) fn adaptive_watermark_for(ewma_gap_ns: f64, window: usize, fallback: usize) -> usize {
+    if ewma_gap_ns <= 0.0 || window == 0 {
+        return fallback;
+    }
+    let allowed = (ADAPTIVE_WATERMARK_HORIZON_NS / ewma_gap_ns) as usize;
+    let allowed = allowed.clamp(1, window.saturating_sub(1).max(1));
+    (window - allowed.min(window)).max(1)
+}
+
 /// Number of banks stream `stream` of `streams` owns out of `banks_total`
 /// (`bank % streams == stream`).
 pub(crate) fn banks_owned(stream: usize, streams: usize, banks_total: usize) -> usize {
@@ -518,5 +573,22 @@ mod tests {
         }
         assert_eq!(banks_owned(0, 4, 4), 1);
         assert_eq!(banks_owned(3, 4, 3), 0, "stream past the banks owns none");
+    }
+
+    #[test]
+    fn adaptive_watermark_tracks_the_retire_rate() {
+        // No sample yet: the static knob stands.
+        assert_eq!(adaptive_watermark_for(0.0, 64, 5), 5);
+        // Fast retiring (small gap): many tokens mint inside the horizon,
+        // so the backlog may grow and the watermark drops to the floor.
+        assert_eq!(adaptive_watermark_for(100.0, 64, 5), 1);
+        // Slow retiring (gap beyond the horizon): at most one token may be
+        // held back, so the watermark covers nearly the whole window.
+        assert_eq!(adaptive_watermark_for(100_000.0, 64, 5), 63);
+        // Mid-rate: horizon/gap = 4 tokens allowed, watermark = 64 - 4.
+        assert_eq!(adaptive_watermark_for(8_192.0, 64, 5), 60);
+        // Degenerate windows never underflow and never return zero.
+        assert_eq!(adaptive_watermark_for(100.0, 1, 5), 1);
+        assert_eq!(adaptive_watermark_for(100.0, 0, 5), 5);
     }
 }

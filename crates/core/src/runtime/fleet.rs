@@ -145,8 +145,9 @@ use super::retry::ClampedFibonacci;
 use super::spec::MessageSpec;
 use super::{AmSendOutcome, TwoChainsHost, TwoChainsSender};
 use crate::bank::{BankFlags, NackFlags};
-use crate::config::InvocationMode;
+use crate::config::{AggregationPolicy, InvocationMode, RuntimeConfig};
 use crate::error::{AmError, AmResult};
+use crate::frame::FrameBatch;
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
@@ -226,6 +227,22 @@ pub struct SlotCtx {
     pub round: u64,
 }
 
+/// One posted batch container an armed lane keeps for retransmission: the
+/// exact container wire bytes, the inner sequence numbers it carries (NACK
+/// lookup key), and the covered target indices (the entry is dead — and
+/// garbage-collected at the next flush — once every member's credit came
+/// back). The container is the retransmit unit: re-putting it re-delivers
+/// every inner frame, and the receiver's per-slot replay filters retire the
+/// already-executed ones silently.
+#[derive(Debug, Default)]
+struct CachedBatch {
+    bytes: Vec<u8>,
+    sns: Vec<u32>,
+    members: Vec<usize>,
+    /// Target index of the carrier mailbox the container was put into.
+    carrier: usize,
+}
+
 /// One stream's complete sender context: its own [`TwoChainsSender`] (endpoint,
 /// sequence space, template cache, statistics), the mailbox targets it owns,
 /// its [`BankFlags`] credit table (the flag region the receiver's credit puts
@@ -262,6 +279,33 @@ pub struct SenderLane {
     bus: CoreBus,
     core: usize,
     clock: SimTime,
+    /// Aggregation knobs copied from the host's [`RuntimeConfig`] at connect
+    /// time (the lane has no config access afterwards).
+    agg_policy: AggregationPolicy,
+    batch_max_frames: usize,
+    batch_latency_ns: f64,
+    /// The open (not yet posted) batch container, its inner sequence numbers
+    /// and covered target indices. Frames destined for one bank accumulate
+    /// here until a flush trigger posts the whole container with one put.
+    batch: FrameBatch,
+    batch_sns: Vec<u32>,
+    batch_members: Vec<usize>,
+    /// Target index of the open container's carrier mailbox (its first
+    /// frame's slot); `None` while no container is open.
+    batch_carrier: Option<usize>,
+    /// Bank the open container's frames are destined for — a frame for a
+    /// different bank closes the container first (inner slots are declared
+    /// relative to the carrier's bank).
+    batch_bank: Option<usize>,
+    /// Lane-virtual time the open container's first frame was encoded; the
+    /// latency watermark bounds how long the container may stay open.
+    batch_opened: SimTime,
+    /// Scratch buffers (one encoded inner frame / one finished container),
+    /// parked here so steady-state batching never allocates.
+    frame_buf: Vec<u8>,
+    batch_buf: Vec<u8>,
+    /// Posted containers awaiting their members' credits (armed runs only).
+    batch_cache: Vec<CachedBatch>,
 }
 
 impl SenderLane {
@@ -272,6 +316,7 @@ impl SenderLane {
         nacks: NackFlags,
         bus: CoreBus,
         core: usize,
+        config: &RuntimeConfig,
     ) -> Self {
         for (id, got) in &handshake.gots {
             sender.set_remote_got(*id, got);
@@ -296,7 +341,26 @@ impl SenderLane {
             bus,
             core,
             clock: SimTime::ZERO,
+            agg_policy: config.aggregation_policy,
+            batch_max_frames: config.batch_max_frames,
+            batch_latency_ns: config.batch_latency_watermark_ns,
+            batch: FrameBatch::new(),
+            batch_sns: Vec::new(),
+            batch_members: Vec::new(),
+            batch_carrier: None,
+            batch_bank: None,
+            batch_opened: SimTime::ZERO,
+            frame_buf: Vec::new(),
+            batch_buf: Vec::new(),
+            batch_cache: Vec::new(),
         }
+    }
+
+    /// Whether this lane aggregates frames into batch containers. `PerFrame`
+    /// lanes run the pre-aggregation send paths untouched — byte-identical
+    /// wire behaviour, pinned by test.
+    fn aggregating(&self) -> bool {
+        matches!(self.agg_policy, AggregationPolicy::Adaptive)
     }
 
     /// The credit-table row of one of this lane's banks (`bank / streams` —
@@ -364,11 +428,156 @@ impl SenderLane {
         self.in_flight[idx] = true;
     }
 
+    /// Append the next message for owned slot `idx` to the open batch
+    /// container, posting the container first whenever a flush trigger fires:
+    /// bank boundary (inner slots are declared within the carrier's bank),
+    /// batch-fill (`batch_max_frames`), the latency watermark (an open
+    /// container older than `batch_latency_ns` of lane-virtual time), or
+    /// carrier capacity (the container plus this frame would overrun the
+    /// carrier mailbox). A frame too large to batch even alone is posted
+    /// standalone from the already-encoded bytes — byte-identical to a
+    /// per-frame send. Returns the outcome of whichever put this append
+    /// performed, `None` when the frame only accumulated.
+    fn append_to_batch(
+        &mut self,
+        cq: &mut CompletionQueue,
+        idx: usize,
+        spec: &MessageSpec,
+    ) -> AmResult<Option<AmSendOutcome>> {
+        let bank = self.targets[idx].bank;
+        let mut flushed = None;
+        if self.batch_carrier.is_some()
+            && (self.batch_bank != Some(bank)
+                || self.batch.len() >= self.batch_max_frames
+                || (self.clock - self.batch_opened).as_ns() >= self.batch_latency_ns)
+        {
+            flushed = self.flush_batch(cq)?;
+        }
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        buf.clear();
+        let encoded = self.sender.encode_next(spec, &mut buf);
+        let sn = match encoded {
+            Ok(sn) => sn,
+            Err(e) => {
+                self.frame_buf = buf;
+                return Err(e);
+            }
+        };
+        if let Some(carrier) = self.batch_carrier {
+            if self.batch.wire_size_with(buf.len()) > self.targets[carrier].target.capacity {
+                flushed = self.flush_batch(cq)?;
+            }
+        }
+        if self.batch_carrier.is_none() {
+            if FrameBatch::new().wire_size_with(buf.len()) > self.targets[idx].target.capacity {
+                // Too large for any container over this carrier: send it
+                // standalone (the wire bytes are exactly a per-frame send's).
+                self.harvest_if_full(cq);
+                let sent =
+                    self.sender
+                        .put_frame(self.clock, &buf, &self.targets[idx].target, Some(cq));
+                let sent = match sent {
+                    Ok(sent) => sent,
+                    Err(e) => {
+                        self.frame_buf = buf;
+                        return Err(e);
+                    }
+                };
+                self.clock = sent.sender_free();
+                if self.faults_enabled() {
+                    let cached = &mut self.wire_cache[idx];
+                    cached.clear();
+                    cached.extend_from_slice(&buf);
+                    self.in_flight[idx] = true;
+                }
+                self.frame_buf = buf;
+                // Keep the later horizon: both puts rode this append.
+                return Ok(match flushed {
+                    Some(f) if f.delivered() > sent.delivered() => Some(f),
+                    _ => Some(sent),
+                });
+            }
+            self.batch_carrier = Some(idx);
+            self.batch_bank = Some(bank);
+            self.batch_opened = self.clock;
+        }
+        let pushed = self.batch.push(self.targets[idx].slot as u16, &buf);
+        self.frame_buf = buf;
+        pushed?;
+        self.batch_sns.push(sn);
+        self.batch_members.push(idx);
+        Ok(flushed)
+    }
+
+    /// Post the open batch container with one put into its carrier mailbox
+    /// (no-op when no container is open). Armed lanes snapshot the container
+    /// bytes, its inner sequence numbers and its covered slots into the
+    /// retransmit cache — the container is the retransmit unit — after
+    /// garbage-collecting entries whose members have all been credited.
+    fn flush_batch(&mut self, cq: &mut CompletionQueue) -> AmResult<Option<AmSendOutcome>> {
+        let Some(carrier) = self.batch_carrier.take() else {
+            return Ok(None);
+        };
+        self.batch_bank = None;
+        let frames = self.batch.len();
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        let finished = self.batch.finish_into(&mut buf);
+        self.batch.clear();
+        if let Err(e) = finished {
+            self.batch_sns.clear();
+            self.batch_members.clear();
+            self.batch_buf = buf;
+            return Err(e);
+        }
+        self.harvest_if_full(cq);
+        let sent = self.sender.put_batch(
+            self.clock,
+            &buf,
+            frames,
+            &self.targets[carrier].target,
+            Some(cq),
+        );
+        let sent = match sent {
+            Ok(sent) => sent,
+            Err(e) => {
+                self.batch_sns.clear();
+                self.batch_members.clear();
+                self.batch_buf = buf;
+                return Err(e);
+            }
+        };
+        self.clock = sent.sender_free();
+        let sns = std::mem::take(&mut self.batch_sns);
+        let members = std::mem::take(&mut self.batch_members);
+        if self.faults_enabled() {
+            let in_flight = &self.in_flight;
+            self.batch_cache
+                .retain(|e| e.members.iter().any(|&m| in_flight[m]));
+            for &m in &members {
+                self.in_flight[m] = true;
+                // The frame now in flight on this slot lives in the container
+                // cache; a stale standalone snapshot must not ride a watchdog.
+                self.wire_cache[m].clear();
+            }
+            self.batch_cache.push(CachedBatch {
+                bytes: buf.clone(),
+                sns,
+                members,
+                carrier,
+            });
+        }
+        self.batch_buf = buf;
+        Ok(Some(sent))
+    }
+
     /// Drain this lane's NACK table and retransmit every reported frame that
     /// is still in flight, byte-identically from the wire cache. Returns how
-    /// many frames were re-put. A report whose sequence number matches no
+    /// many puts were re-posted. A report whose sequence number matches no
     /// in-flight slot is ignored: its frame's credit already arrived (the NACK
-    /// raced the recovery), so there is nothing left to repair.
+    /// raced the recovery), so there is nothing left to repair. A sequence
+    /// number that travelled inside a batch container retransmits the whole
+    /// cached container — the receiver's replay filters retire the inner
+    /// frames that did land.
     fn poll_nacks(&mut self) -> AmResult<usize> {
         let mut retransmitted = 0usize;
         for row in 0..self.nacks.rows() {
@@ -388,16 +597,31 @@ impl SenderLane {
                         &self.targets[idx].target,
                     )?;
                     retransmitted += 1;
+                    continue;
+                }
+                let batch_hit = self.batch_cache.iter().position(|e| {
+                    e.sns.contains(&missing) && e.members.iter().any(|&m| self.in_flight[m])
+                });
+                if let Some(k) = batch_hit {
+                    let entry = &self.batch_cache[k];
+                    self.clock = self.sender.retransmit_frame(
+                        self.clock,
+                        &entry.bytes,
+                        &self.targets[entry.carrier].target,
+                    )?;
+                    retransmitted += 1;
                 }
             }
         }
         Ok(retransmitted)
     }
 
-    /// Watchdog action: retransmit every in-flight frame from the wire cache.
-    /// Retransmits are byte-identical, so the receiver's replay filter makes
-    /// a spuriously early firing harmless (the duplicate is suppressed and
-    /// its credit re-published idempotently).
+    /// Watchdog action: retransmit every in-flight frame from the wire cache
+    /// — standalone frames from their slot's cache, batched frames as their
+    /// whole cached container (each container once, however many of its
+    /// members are outstanding). Retransmits are byte-identical, so the
+    /// receiver's replay filter makes a spuriously early firing harmless (the
+    /// duplicate is suppressed and its credit re-published idempotently).
     fn retransmit_in_flight(&mut self) -> AmResult<usize> {
         let mut retransmitted = 0usize;
         for idx in 0..self.targets.len() {
@@ -406,6 +630,21 @@ impl SenderLane {
                     self.clock,
                     &self.wire_cache[idx],
                     &self.targets[idx].target,
+                )?;
+                retransmitted += 1;
+            }
+        }
+        for k in 0..self.batch_cache.len() {
+            let alive = self.batch_cache[k]
+                .members
+                .iter()
+                .any(|&m| self.in_flight[m]);
+            if alive && !self.batch_cache[k].bytes.is_empty() {
+                let entry = &self.batch_cache[k];
+                self.clock = self.sender.retransmit_frame(
+                    self.clock,
+                    &entry.bytes,
+                    &self.targets[entry.carrier].target,
                 )?;
                 retransmitted += 1;
             }
@@ -554,6 +793,12 @@ impl SenderLane {
 
     /// Fill every owned slot once (round `round`), returning this stream's
     /// delivery horizon — when its last frame became visible at the receiver.
+    ///
+    /// Under the `Adaptive` aggregation policy the fill accumulates the
+    /// bank-major target walk into batch containers — contiguous same-bank
+    /// slots share one put, closed on bank boundary, batch-fill, capacity or
+    /// the latency watermark, and unconditionally at the end of the round
+    /// (the burst boundary). `PerFrame` runs the per-slot sends untouched.
     pub fn fill<F>(
         &mut self,
         cq: &mut CompletionQueue,
@@ -566,8 +811,28 @@ impl SenderLane {
         F: Fn(SlotCtx) -> (Vec<u8>, Vec<u8>),
     {
         let mut horizon = SimTime::ZERO;
+        if !self.aggregating() {
+            for idx in 0..self.targets.len() {
+                let sent = self.send_slot(cq, elem, mode, idx, round, make)?;
+                horizon = horizon.max(sent.delivered());
+            }
+            return Ok(horizon);
+        }
         for idx in 0..self.targets.len() {
-            let sent = self.send_slot(cq, elem, mode, idx, round, make)?;
+            let t = &self.targets[idx];
+            let ctx = SlotCtx {
+                stream: self.stream,
+                bank: t.bank,
+                slot: t.slot,
+                round,
+            };
+            let (args, usr) = make(ctx);
+            let spec = super::spec::spec(elem).mode(mode).args(args).usr(usr);
+            if let Some(sent) = self.append_to_batch(cq, idx, &spec)? {
+                horizon = horizon.max(sent.delivered());
+            }
+        }
+        if let Some(sent) = self.flush_batch(cq)? {
             horizon = horizon.max(sent.delivered());
         }
         Ok(horizon)
@@ -808,6 +1073,7 @@ impl SenderFleet {
                     nacks,
                     bus,
                     core,
+                    host.config(),
                 ))
             })
             .collect::<AmResult<Vec<_>>>()?;
@@ -1225,12 +1491,52 @@ where
                                     }
                                 }
                             };
-                            lane.send_slot(cq, elem, mode, idx, rounds_sent[idx], make)?;
-                            if armed {
-                                lane.cache_wire(idx);
+                            if lane.aggregating() {
+                                // Opportunistic grouping: every already-free
+                                // slot of the same bank rides this container
+                                // (their credits are in hand), up to the
+                                // batch-fill bound — one coalesced credit
+                                // span refilling a row turns into one put.
+                                let bank = lane.targets[idx].bank;
+                                let mut group = vec![idx];
+                                let mut rest = VecDeque::with_capacity(free.len());
+                                while let Some(j) = free.pop_front() {
+                                    if group.len() < lane.batch_max_frames
+                                        && lane.targets[j].bank == bank
+                                    {
+                                        group.push(j);
+                                    } else {
+                                        rest.push_back(j);
+                                    }
+                                }
+                                free = rest;
+                                for j in group {
+                                    let t = &lane.targets[j];
+                                    let ctx = SlotCtx {
+                                        stream: lane.stream,
+                                        bank: t.bank,
+                                        slot: t.slot,
+                                        round: rounds_sent[j],
+                                    };
+                                    let (args, usr) = make(ctx);
+                                    let spec =
+                                        super::spec::spec(elem).mode(mode).args(args).usr(usr);
+                                    lane.append_to_batch(cq, j, &spec)?;
+                                    rounds_sent[j] += 1;
+                                    sent += 1;
+                                }
+                                // Burst boundary: the lane goes back to
+                                // waiting on credits next — frames must not
+                                // sit unpublished across a wait.
+                                lane.flush_batch(cq)?;
+                            } else {
+                                lane.send_slot(cq, elem, mode, idx, rounds_sent[idx], make)?;
+                                if armed {
+                                    lane.cache_wire(idx);
+                                }
+                                rounds_sent[idx] += 1;
+                                sent += 1;
                             }
-                            rounds_sent[idx] += 1;
-                            sent += 1;
                         }
                         if armed {
                             // Every frame is sent, but the last one per slot

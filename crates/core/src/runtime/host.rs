@@ -37,7 +37,7 @@ use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
 use crate::config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 use crate::error::{AmError, AmResult};
-use crate::frame::{ChainArgMap, FrameView, FRAME_HEADER_SIZE};
+use crate::frame::{is_batch, BatchView, ChainArgMap, FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
@@ -81,6 +81,45 @@ enum SlotOutcome {
     /// re-published idempotently, nothing executed). Only produced when the
     /// shard's reliability layer is armed.
     Replayed { sn: u32 },
+    /// The slot held a multi-frame batch container: every inner frame was
+    /// processed in order (executed, replay-suppressed, or rejected — each
+    /// against its *declared* destination slot) and the carrier mailbox was
+    /// cleared once. The caller folds each inner entry through the same
+    /// sequence-watch and credit bookkeeping a standalone frame gets. (The
+    /// container's own sequence number — its first inner frame's — needs no
+    /// slot here: every inner outcome carries its declared sn.)
+    Batch { frames: Vec<InnerOutcome> },
+}
+
+/// What the dispatch engine did with one inner frame of a batch container.
+/// Mirrors the single-slot outcomes, tagged with the frame's declared
+/// destination slot — the slot whose flow-control credit it retires.
+#[derive(Debug)]
+enum InnerOutcome {
+    Executed {
+        slot: usize,
+        sn: u32,
+        outcome: ReceiveOutcome,
+    },
+    Replayed {
+        slot: usize,
+        sn: u32,
+    },
+    Rejected {
+        slot: usize,
+        err: AmError,
+    },
+}
+
+/// The dispatch core's answer for one parsed frame (single or batched):
+/// everything `receive_frame`/the batch loop needs to account the frame and
+/// build its [`ReceiveOutcome`].
+#[derive(Debug)]
+struct DispatchedFrame {
+    handler_time: SimTime,
+    exec_time: SimTime,
+    result: u64,
+    exec_stats: Option<ExecStats>,
 }
 
 /// How the wait preceding a frame's processing is charged.
@@ -920,15 +959,23 @@ impl HostCore {
             CreditFlushPolicy::PerFrame => true,
             CreditFlushPolicy::Adaptive => {
                 // Row-fill: the widest span one put can cover. Watermark:
-                // the withheld tokens leave the sender within
-                // `credit_flush_watermark` credits of exhausting its
-                // completion window, so batching must yield to latency.
+                // the withheld tokens leave the sender within `watermark`
+                // credits of exhausting its completion window, so batching
+                // must yield to latency. The watermark itself follows the
+                // observed retire rate (EWMA in `CreditReturn`) unless the
+                // config pinned the static knob as an override.
+                let credit = shard.credit.as_ref().expect("accumulate ran above");
+                let watermark = if self.config.adaptive_credit_watermark {
+                    credit.adaptive_watermark(
+                        self.config.completion_window,
+                        self.config.credit_flush_watermark,
+                    )
+                } else {
+                    self.config.credit_flush_watermark
+                };
                 out.row_full
-                    || shard.credit.as_ref().map_or(0, CreditReturn::pending_total)
-                        >= self
-                            .config
-                            .completion_window
-                            .saturating_sub(self.config.credit_flush_watermark)
+                    || credit.pending_total()
+                        >= self.config.completion_window.saturating_sub(watermark)
             }
         };
         if flush_now {
@@ -1060,6 +1107,43 @@ impl HostCore {
                 Self::return_replay_credit(shard, &mut clock, bank, slot)?;
                 return Err(AmError::Empty);
             }
+            Ok(SlotOutcome::Batch { frames }) => {
+                // A container retires every inner frame in one call. The
+                // single-outcome contract hands back the *last executed*
+                // frame's outcome — its `handler_done` is when the whole
+                // batch finished on the drain core. If nothing executed the
+                // caller sees the first inner rejection, or `Empty` when the
+                // container was a pure replay.
+                let mut clock = arrival;
+                let mut last_outcome = None;
+                let mut first_err = None;
+                for entry in frames {
+                    match entry {
+                        InnerOutcome::Executed { slot, sn, outcome } => {
+                            Self::note_sequence(shard, sn);
+                            clock = outcome.handler_done;
+                            self.return_credit(shard, &mut clock, bank, slot)?;
+                            last_outcome = Some(outcome);
+                        }
+                        InnerOutcome::Replayed { slot, sn } => {
+                            Self::note_sequence(shard, sn);
+                            Self::return_replay_credit(shard, &mut clock, bank, slot)?;
+                        }
+                        InnerOutcome::Rejected { slot, err } => {
+                            shard.stats.frames_rejected += 1;
+                            if first_err.is_none() {
+                                first_err = Some(err);
+                            }
+                            self.return_credit(shard, &mut clock, bank, slot)?;
+                        }
+                    }
+                }
+                Self::flush_credits(shard, &mut clock)?;
+                return match last_outcome {
+                    Some(outcome) => Ok(outcome),
+                    None => Err(first_err.unwrap_or(AmError::Empty)),
+                };
+            }
             Err(AmError::Empty) => return Err(AmError::Empty),
             Err(err) => {
                 // The slot held something the dispatch rejected (malformed
@@ -1176,6 +1260,36 @@ impl HostCore {
                     Self::note_sequence(shard, sn);
                     Self::return_replay_credit(shard, clock, bank, slot)?;
                 }
+                Ok(SlotOutcome::Batch { frames: inner }) => {
+                    // One container, N frames: each inner entry runs the exact
+                    // per-frame bookkeeping a standalone slot gets — its own
+                    // gap-watch note, its own credit token, its own rejection
+                    // record — against its declared destination slot. The
+                    // carrier mailbox was already cleared by the unbatcher.
+                    for entry in inner {
+                        match entry {
+                            InnerOutcome::Executed { slot, sn, outcome } => {
+                                Self::note_sequence(shard, sn);
+                                *clock = outcome.handler_done;
+                                frames.push(BurstFrame {
+                                    bank,
+                                    slot,
+                                    outcome,
+                                });
+                                self.return_credit(shard, clock, bank, slot)?;
+                            }
+                            InnerOutcome::Replayed { slot, sn } => {
+                                Self::note_sequence(shard, sn);
+                                Self::return_replay_credit(shard, clock, bank, slot)?;
+                            }
+                            InnerOutcome::Rejected { slot, err } => {
+                                shard.stats.frames_rejected += 1;
+                                rejected.push((bank, slot, err));
+                                self.return_credit(shard, clock, bank, slot)?;
+                            }
+                        }
+                    }
+                }
                 Err(err) => {
                     // A frame the dispatch rejects must still free its slot, or the
                     // bank would never earn its flow-control credit back.
@@ -1230,14 +1344,11 @@ impl HostCore {
         // The replay filter is armed only when this shard's stream handshake
         // carried a NACK table: legacy flows (no reliability layer) keep their
         // exact pre-reliability semantics, including re-executing a slot a
-        // test refills with the same sequence number.
-        let last_sn = if credit.as_ref().is_some_and(|c| c.nack_armed()) {
-            let row = bank / *num_shards;
-            let idx = row * self.config.mailboxes_per_bank + slot;
-            if replay.len() <= idx {
-                replay.resize(idx + 1, 0);
-            }
-            Some(&mut replay[idx])
+        // test refills with the same sequence number. The whole filter is
+        // handed down (not one slot's entry): a batch container retires inner
+        // frames against several declared slots of the bank.
+        let replay = if credit.as_ref().is_some_and(|c| c.nack_armed()) {
+            Some((&mut *replay, *num_shards))
         } else {
             None
         };
@@ -1248,7 +1359,7 @@ impl HostCore {
             *core,
             bus,
             shard_space,
-            last_sn,
+            replay,
             bank,
             slot,
             frame_len,
@@ -1267,7 +1378,7 @@ impl HostCore {
         core: usize,
         bus: &mut CoreBus,
         shard_space: &mut ShardSpace,
-        last_sn: Option<&mut u32>,
+        replay: Option<(&mut Vec<u32>, usize)>,
         bank: usize,
         slot: usize,
         frame_len: Option<usize>,
@@ -1304,6 +1415,22 @@ impl HostCore {
             None => mailbox.poll_variable()?.ok_or(AmError::Empty)?,
         };
         mailbox.read_frame_into(frame_len, scratch)?;
+        if is_batch(scratch) {
+            return self.receive_batch(
+                cache,
+                stats,
+                scratch,
+                core,
+                bus,
+                shard_space,
+                replay,
+                bank,
+                &mailbox,
+                frame_len,
+                detected_at,
+                wait,
+            );
+        }
         let frame = FrameView::parse(scratch)?;
 
         // Idempotent replay suppression (armed flows only): a frame whose
@@ -1314,6 +1441,15 @@ impl HostCore {
         // from the lossless run). `0` is the never-executed sentinel; the
         // sender's sequence space starts at 1, so it cannot collide.
         let sn = frame.header.sn;
+        let last_sn = replay.map(|(filter, num_shards)| {
+            Self::replay_entry(
+                filter,
+                num_shards,
+                self.config.mailboxes_per_bank,
+                bank,
+                slot,
+            )
+        });
         if let Some(last) = &last_sn {
             if **last != 0 && !super::shard::sn_newer(sn, **last) {
                 mailbox.clear(frame_len)?;
@@ -1322,16 +1458,202 @@ impl HostCore {
             }
         }
 
+        let dispatched = self.dispatch_frame(
+            cache,
+            stats,
+            core,
+            bus,
+            shard_space,
+            &frame,
+            mailbox.base_addr(),
+        )?;
+
+        // 6. Reset the mailbox for reuse.
+        mailbox.clear(frame_len)?;
+
+        let handler_done = detected_at + dispatched.handler_time;
+        stats.messages_received += 1;
+        stats.wait_time += wait.elapsed;
+        stats.exec_time += dispatched.handler_time;
+        stats.cycles.add_wait(wait.cycles);
+        stats.cycles.add_work_time(
+            dispatched.handler_time,
+            self.config.wait_model.core_freq_ghz,
+        );
+
+        if let Some(last) = last_sn {
+            *last = sn;
+        }
+        Ok(SlotOutcome::Executed {
+            sn,
+            outcome: ReceiveOutcome {
+                detected_at,
+                handler_done,
+                wait,
+                exec: dispatched.exec_stats,
+                result: dispatched.result,
+                handler_time: dispatched.handler_time,
+                dispatch_time: dispatched.handler_time - dispatched.exec_time,
+            },
+        })
+    }
+
+    /// The replay-filter entry guarding mailbox (`bank`, `slot`), growing the
+    /// filter on first touch. Rows are indexed like [`CreditReturn`]'s: the
+    /// shard sees every `num_shards`-th bank, so `bank / num_shards` is its
+    /// local row.
+    fn replay_entry(
+        filter: &mut Vec<u32>,
+        num_shards: usize,
+        per_bank: usize,
+        bank: usize,
+        slot: usize,
+    ) -> &mut u32 {
+        let idx = (bank / num_shards) * per_bank + slot;
+        if filter.len() <= idx {
+            filter.resize(idx + 1, 0);
+        }
+        &mut filter[idx]
+    }
+
+    /// Unbatch one multi-frame container sitting in the carrier mailbox of
+    /// `bank`: one readiness check and one parse prologue amortized over all
+    /// inner frames, then each inner frame dispatched back-to-back through
+    /// the same engine a standalone frame uses — replay-filtered, executed,
+    /// and accounted against its *declared* destination slot (the slot whose
+    /// flow-control credit the sender consumed for it). Only the carrier
+    /// mailbox is cleared: the declared slots were never written, their
+    /// tokens simply come back through the per-inner credit returns the
+    /// caller folds in. A retransmitted container re-executes nothing — every
+    /// inner frame hits its slot's replay filter and retires as `Replayed`.
+    #[allow(clippy::too_many_arguments)]
+    fn receive_batch(
+        &self,
+        cache: &InjectionCache,
+        stats: &mut RuntimeStats,
+        container: &[u8],
+        core: usize,
+        bus: &mut CoreBus,
+        shard_space: &mut ShardSpace,
+        mut replay: Option<(&mut Vec<u32>, usize)>,
+        bank: usize,
+        mailbox: &crate::mailbox::ReactiveMailbox,
+        frame_len: usize,
+        detected_at: SimTime,
+        wait: WaitOutcome,
+    ) -> AmResult<SlotOutcome> {
+        let view = BatchView::parse(container)?;
+        let base = mailbox.base_addr();
+        // One container-header read is the whole prologue: inner headers are
+        // still read per frame below (that work is real), but readiness was
+        // checked once and the outer parse validated the whole envelope.
+        let prologue = bus.access(core, base, FRAME_HEADER_SIZE, AccessKind::Read);
+        stats.exec_time += prologue;
+        stats.wait_time += wait.elapsed;
+        stats.cycles.add_wait(wait.cycles);
+        stats
+            .cycles
+            .add_work_time(prologue, self.config.wait_model.core_freq_ghz);
+        let mut clock = detected_at + prologue;
+        let mut frames = Vec::with_capacity(view.frames().len());
+        for (ix, &(dest, bytes)) in view.frames().iter().enumerate() {
+            let dest = dest as usize;
+            // The inner frame's bytes live inside the carrier slot's memory,
+            // so its charged addresses are carrier-relative.
+            let offset = bytes.as_ptr() as usize - container.as_ptr() as usize;
+            let inner_base = base + offset as u64;
+            let frame = match FrameView::parse(bytes) {
+                Ok(frame) => frame,
+                Err(err) => {
+                    frames.push(InnerOutcome::Rejected {
+                        slot: dest,
+                        err: AmError::BadFrame(format!("batch inner frame {ix}: {err}")),
+                    });
+                    continue;
+                }
+            };
+            let sn = frame.header.sn;
+            let last_sn = replay.as_mut().map(|(filter, num_shards)| {
+                Self::replay_entry(
+                    filter,
+                    *num_shards,
+                    self.config.mailboxes_per_bank,
+                    bank,
+                    dest,
+                )
+            });
+            if let Some(last) = &last_sn {
+                if **last != 0 && !super::shard::sn_newer(sn, **last) {
+                    stats.replays_suppressed += 1;
+                    frames.push(InnerOutcome::Replayed { slot: dest, sn });
+                    continue;
+                }
+            }
+            match self.dispatch_frame(cache, stats, core, bus, shard_space, &frame, inner_base) {
+                Ok(dispatched) => {
+                    let handler_done = clock + dispatched.handler_time;
+                    stats.messages_received += 1;
+                    stats.batch_frames_received += 1;
+                    stats.exec_time += dispatched.handler_time;
+                    stats.cycles.add_work_time(
+                        dispatched.handler_time,
+                        self.config.wait_model.core_freq_ghz,
+                    );
+                    if let Some(last) = last_sn {
+                        *last = sn;
+                    }
+                    frames.push(InnerOutcome::Executed {
+                        slot: dest,
+                        sn,
+                        outcome: ReceiveOutcome {
+                            detected_at: clock,
+                            handler_done,
+                            wait: WaitOutcome {
+                                elapsed: SimTime::ZERO,
+                                cycles: 0,
+                            },
+                            exec: dispatched.exec_stats,
+                            result: dispatched.result,
+                            handler_time: dispatched.handler_time,
+                            dispatch_time: dispatched.handler_time - dispatched.exec_time,
+                        },
+                    });
+                    clock = handler_done;
+                }
+                Err(err) => {
+                    frames.push(InnerOutcome::Rejected { slot: dest, err });
+                }
+            }
+        }
+        // One clear retires the whole container: the release header the
+        // sender published covers every inner frame.
+        mailbox.clear(frame_len)?;
+        stats.batches_received += 1;
+        Ok(SlotOutcome::Batch { frames })
+    }
+
+    /// The dispatch core shared by the single-frame and batch paths: header
+    /// read, mode split, policy check, cache resolution, execution and
+    /// continuation stages for one parsed frame whose wire bytes live at
+    /// `base_addr`. Charges everything to `stats` except the per-frame
+    /// retirement bookkeeping (`messages_received`, wait, mailbox clear),
+    /// which stays with the caller — the batch path amortizes those.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_frame(
+        &self,
+        cache: &InjectionCache,
+        stats: &mut RuntimeStats,
+        core: usize,
+        bus: &mut CoreBus,
+        shard_space: &mut ShardSpace,
+        frame: &FrameView<'_>,
+        base_addr: u64,
+    ) -> AmResult<DispatchedFrame> {
         // 2. Read the header, charged through this shard's own core bus —
         // private L1/L2 lookups take no lock; only misses touch the striped
         // shared levels.
         let mut handler_time = SimTime::ZERO;
-        handler_time += bus.access(
-            core,
-            mailbox.base_addr(),
-            FRAME_HEADER_SIZE,
-            AccessKind::Read,
-        );
+        handler_time += bus.access(core, base_addr, FRAME_HEADER_SIZE, AccessKind::Read);
 
         let mode = if frame.header.injected {
             InvocationMode::Injected
@@ -1368,8 +1690,8 @@ impl HostCore {
                         stats,
                         bus,
                         core,
-                        &frame,
-                        mailbox.base_addr(),
+                        frame,
+                        base_addr,
                         &mut handler_time,
                     )?;
                     let program = self.injected_program(
@@ -1377,12 +1699,12 @@ impl HostCore {
                         stats,
                         bus,
                         core,
-                        &frame,
+                        frame,
                         got.len(),
-                        mailbox.base_addr(),
+                        base_addr,
                         &mut handler_time,
                     )?;
-                    let code_base = mailbox.base_addr() + frame.code_offset() as u64;
+                    let code_base = base_addr + frame.code_offset() as u64;
                     (program, got, code_base)
                 }
                 InvocationMode::Local => {
@@ -1405,8 +1727,8 @@ impl HostCore {
             // store. Which space they map into is the mode split: the exclusive
             // space under its mutex, or the shard's own local space with no lock
             // at all.
-            let args_base = mailbox.base_addr() + frame.args_offset() as u64;
-            let usr_base = mailbox.base_addr() + frame.usr_offset() as u64;
+            let args_base = base_addr + frame.args_offset() as u64;
+            let usr_base = base_addr + frame.usr_offset() as u64;
             let args_writable = !self.config.security.read_only_args;
             let usr_writable = !self.config.security.read_only_payload;
             let args_seg = Segment::new(
@@ -1584,32 +1906,11 @@ impl HostCore {
             }
         }
 
-        // 6. Reset the mailbox for reuse.
-        mailbox.clear(frame_len)?;
-
-        let handler_done = detected_at + handler_time;
-        stats.messages_received += 1;
-        stats.wait_time += wait.elapsed;
-        stats.exec_time += handler_time;
-        stats.cycles.add_wait(wait.cycles);
-        stats
-            .cycles
-            .add_work_time(handler_time, self.config.wait_model.core_freq_ghz);
-
-        if let Some(last) = last_sn {
-            *last = sn;
-        }
-        Ok(SlotOutcome::Executed {
-            sn,
-            outcome: ReceiveOutcome {
-                detected_at,
-                handler_done,
-                wait,
-                exec: exec_stats,
-                result,
-                handler_time,
-                dispatch_time: handler_time - exec_time,
-            },
+        Ok(DispatchedFrame {
+            handler_time,
+            exec_time,
+            result,
+            exec_stats,
         })
     }
 

@@ -145,6 +145,55 @@
 //!   `chain_stages_executed` record the chaining itself, so
 //!   `messages_received` is the only counter a chained schedule shrinks.
 //!
+//! # Frame aggregation (the batch wire format and flush-policy contract)
+//!
+//! The fleet's data path amortises the per-put NIC posting cost (descriptor
+//! build + doorbell — size-independent, so it dominates small-frame rates) by
+//! packing consecutive same-bank frames into one *batch container* put.
+//! [`RuntimeConfig::aggregation_policy`](crate::config::RuntimeConfig)
+//! selects the behaviour:
+//!
+//! * [`AggregationPolicy::PerFrame`](crate::config::AggregationPolicy) — the
+//!   compatibility contract: one tracked put per frame, byte-identical on the
+//!   wire to a pre-aggregation [`TwoChainsSender`] (pinned by
+//!   `tests/frame_aggregation.rs`).
+//! * [`AggregationPolicy::Adaptive`](crate::config::AggregationPolicy) (the
+//!   default) — each lane accumulates spec-built frames per `(stream, bank)`
+//!   and posts one contiguous put per batch.
+//!
+//! **Wire format.** A container is a 36-byte outer header (frame magic; `sn` =
+//! the first inner frame's sequence number; `frame_len` = total container
+//! bytes; byte 32 = batch version, nonzero — the discriminant `is_batch`
+//! sniffs, since a plain frame keeps those bytes zero; byte 33 = inner-frame
+//! count, 1..=255), then per inner frame an 8-byte prefix (`u32` LE wire
+//! length, `u16` LE destination slot, 2 reserved zero bytes) followed by the
+//! complete, unmodified inner wire frame, and finally the standard 4-byte
+//! trailer (sn echo + signal magic) so the receiver's readiness scan is
+//! unchanged. See [`FrameBatch`](crate::frame::FrameBatch) and
+//! [`BatchView`](crate::frame::BatchView); a container truncated mid-frame is
+//! rejected with an error naming the victim inner frame's sn.
+//!
+//! **Flush policy.** An adaptive lane flushes its open batch when any of
+//! these trips: the batch reaches
+//! [`BATCH_MAX_FRAMES`](crate::frame::BATCH_MAX_FRAMES); appending the next
+//! frame would exceed the destination mailbox capacity
+//! (`frame_capacity`); the next frame targets a *different bank* (a container
+//! lands in one contiguous mailbox span, never straddling banks); the oldest
+//! buffered frame would exceed the latency watermark; and unconditionally at
+//! a burst boundary — `fill_all`/`drive_pipeline` never return with frames
+//! still buffered, so aggregation is invisible to the phased schedules.
+//!
+//! **Reliability contract.** Each inner frame retires individually — its own
+//! credit token, its own `SeqWatch` entry — so token conservation holds
+//! frame-by-frame, while NACK/retransmit treats the container as the unit of
+//! loss: a dropped container is NACKed via its outer sn and retransmitted
+//! whole, and replay suppression keeps a duplicated container from
+//! double-executing any inner frame (pinned by `tests/chaos_fabric.rs`).
+//! `bytes_sent` counts inner-frame bytes only, making the payload ledger
+//! policy-invariant; the container envelope shows up solely in the shape
+//! counters (`batch_puts`, `batched_frames`, `batches_received`,
+//! `batch_frames_received`).
+//!
 //! **Invalidation.** All receiver caches are dropped on [`TwoChainsHost::install_package`]
 //! and [`TwoChainsHost::load_ried`] (package reinstall / live update may rebind
 //! symbols or change code), and can be dropped explicitly with

@@ -20,7 +20,7 @@ use super::AmSendOutcome;
 use crate::builtin::BuiltinJam;
 use crate::config::InvocationMode;
 use crate::error::{AmError, AmResult};
-use crate::frame::{encode_wire_into, ChainDescriptor, Frame};
+use crate::frame::{encode_wire_into, ChainDescriptor, Frame, BATCH_OVERHEAD, BATCH_PREFIX_SIZE};
 use crate::mailbox::MailboxTarget;
 use crate::stats::RuntimeStats;
 
@@ -321,8 +321,10 @@ impl TwoChainsSender {
     }
 
     /// Common tail of every send path: capacity check, pack-cost model, one put
-    /// (completion-tracked through `cq` when given).
-    fn put_frame(
+    /// (completion-tracked through `cq` when given). `pub(crate)` for the
+    /// fleet's aggregation path, which posts an already-encoded frame
+    /// standalone when it is too large to share a container.
+    pub(crate) fn put_frame(
         &mut self,
         now: SimTime,
         bytes: &[u8],
@@ -349,6 +351,83 @@ impl TwoChainsSender {
         };
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
+        Ok(AmSendOutcome {
+            pack_cost,
+            put,
+            wire_bytes: bytes.len(),
+        })
+    }
+
+    /// Encode the next message for `spec` into `buf` without sending it:
+    /// validate, stamp the next sequence number, encode. This is the first
+    /// half of the aggregation path — the fleet accumulates several encoded
+    /// frames into one batch container and posts it with a single
+    /// [`TwoChainsSender::put_batch`]. Returns the stamped sequence number
+    /// (the container inherits its first frame's).
+    pub(crate) fn encode_next(&mut self, spec: &MessageSpec, buf: &mut Vec<u8>) -> AmResult<u32> {
+        crate::frame::validate_section_lens(&[], &[], spec.args_bytes(), spec.usr_bytes())?;
+        let chain = spec.chain_descriptor()?;
+        self.sn = self.sn.wrapping_add(1);
+        let sn = self.sn;
+        self.encode_message(
+            sn,
+            spec.elem(),
+            spec.invocation(),
+            chain.as_ref(),
+            spec.args_bytes(),
+            spec.usr_bytes(),
+            buf,
+        )?;
+        Ok(sn)
+    }
+
+    /// Post one multi-frame batch container (built by the fleet from frames
+    /// encoded via [`TwoChainsSender::encode_next`]) with a single put into
+    /// the carrier mailbox. The software packing cost stays per message
+    /// (`frames` × fixed + container bytes × per-byte — marshalling every
+    /// frame is real work the batch cannot skip); what the batch amortizes is
+    /// the *posting*: one NIC doorbell, one tx-pipeline serialization, one
+    /// completion-queue entry for the whole container. Counters: every inner
+    /// frame lands in `messages_sent` exactly as a standalone send would, and
+    /// the container shape is recorded in `batch_puts`/`batched_frames`.
+    pub(crate) fn put_batch(
+        &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        frames: usize,
+        target: &MailboxTarget,
+        cq: Option<&mut CompletionQueue>,
+    ) -> AmResult<AmSendOutcome> {
+        if bytes.len() > target.capacity {
+            return Err(AmError::FrameTooLarge {
+                needed: bytes.len(),
+                capacity: target.capacity,
+            });
+        }
+        let pack_cost = SimTime::from_ns_f64(
+            self.pack_fixed.as_ns() * frames as f64 + bytes.len() as f64 * self.pack_ns_per_byte,
+        );
+        let issue_at = now + pack_cost;
+        let put = match cq {
+            Some(cq) => {
+                self.endpoint
+                    .put_tracked(issue_at, bytes, &target.region, target.offset, cq)?
+                    .1
+            }
+            None => self
+                .endpoint
+                .put(issue_at, bytes, &target.region, target.offset)?,
+        };
+        // `bytes_sent` counts the *frame* bytes (what a per-frame schedule
+        // would have counted), so the counter stays schedule-invariant — how
+        // frames grouped into containers depends on credit arrival timing.
+        // The container envelope (fixed header/trailer + one prefix per
+        // frame) is recoverable from `batch_puts`/`batched_frames`.
+        let envelope = BATCH_OVERHEAD + frames * BATCH_PREFIX_SIZE;
+        self.stats.messages_sent += frames as u64;
+        self.stats.bytes_sent += bytes.len().saturating_sub(envelope) as u64;
+        self.stats.batch_puts += 1;
+        self.stats.batched_frames += frames as u64;
         Ok(AmSendOutcome {
             pack_cost,
             put,

@@ -1604,7 +1604,13 @@ fn backpressure_pauses_only_the_saturated_stream() {
     // Window of 1: every send after a stream's first must harvest its own
     // completion queue. Drive lane 0 through three rounds while lane 1 sends
     // one round — lane 0 stalls repeatedly, lane 1 must never observe it.
-    let (host, mut fleet) = fleet_testbed(2, 1);
+    // Per-frame aggregation: the stall-per-send pattern is a property of
+    // one tracked put per frame, which batching deliberately amortizes away.
+    let cfg = RuntimeConfig::paper_default()
+        .with_shards(2)
+        .with_sender_streams(2)
+        .with_per_frame_aggregation();
+    let (host, mut fleet) = fleet_testbed_with(cfg, 1);
     let elem = host.builtin_id(BuiltinJam::IndirectPut).unwrap();
     let mut handles = fleet.handles();
     let (head, tail) = handles.split_at_mut(1);

@@ -107,6 +107,20 @@ pub struct RuntimeStats {
     /// counts in `executions` only; each completed continuation stage counts
     /// once here *and* once in `executions`/`local_executions`).
     pub chain_stages_executed: u64,
+    /// Multi-frame batch containers posted on the forward data path — each is
+    /// one NIC put covering `batched_frames / batch_puts` frames on average.
+    /// Zero under [`AggregationPolicy::PerFrame`](crate::config::AggregationPolicy).
+    pub batch_puts: u64,
+    /// Frames that travelled inside batch containers (each also counts once in
+    /// `messages_sent`, which stays the per-message truth under both policies).
+    pub batched_frames: u64,
+    /// Batch containers the receiver unbatched inside its burst scan — one
+    /// mailbox readiness check and one parse prologue amortized over the
+    /// container's inner frames.
+    pub batches_received: u64,
+    /// Inner frames retired out of received batch containers (each also counts
+    /// once in `messages_received` and mints its own credit token).
+    pub batch_frames_received: u64,
     /// Virtual CPU time the drain cores spent posting credit-return puts
     /// (the `sender_free` charge of each credit put; the wire/DMA side is
     /// charged inside the fabric model like any other put).
@@ -176,6 +190,10 @@ impl RuntimeStats {
             nacks_posted,
             chain_frames,
             chain_stages_executed,
+            batch_puts,
+            batched_frames,
+            batches_received,
+            batch_frames_received,
             credit_put_time,
             wait_time,
             exec_time,
@@ -213,6 +231,10 @@ impl RuntimeStats {
         self.nacks_posted += nacks_posted;
         self.chain_frames += chain_frames;
         self.chain_stages_executed += chain_stages_executed;
+        self.batch_puts += batch_puts;
+        self.batched_frames += batched_frames;
+        self.batches_received += batches_received;
+        self.batch_frames_received += batch_frames_received;
         self.credit_put_time += *credit_put_time;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
@@ -274,6 +296,10 @@ mod tests {
             nacks_posted: base + 28,
             chain_frames: base + 29,
             chain_stages_executed: base + 30,
+            batch_puts: base + 34,
+            batched_frames: base + 35,
+            batches_received: base + 36,
+            batch_frames_received: base + 37,
             credit_put_time: SimTime::from_ns(base + 31),
             wait_time: SimTime::from_ns(base + 32),
             exec_time: SimTime::from_ns(base + 33),
@@ -319,6 +345,10 @@ mod tests {
             nacks_posted,
             chain_frames,
             chain_stages_executed,
+            batch_puts,
+            batched_frames,
+            batches_received,
+            batch_frames_received,
             credit_put_time,
             wait_time,
             exec_time,
@@ -355,6 +385,10 @@ mod tests {
         assert_eq!(nacks_posted, 156);
         assert_eq!(chain_frames, 158);
         assert_eq!(chain_stages_executed, 160);
+        assert_eq!(batch_puts, 168);
+        assert_eq!(batched_frames, 170);
+        assert_eq!(batches_received, 172);
+        assert_eq!(batch_frames_received, 174);
         assert_eq!(credit_put_time, SimTime::from_ns(162));
         assert_eq!(wait_time, SimTime::from_ns(164));
         assert_eq!(exec_time, SimTime::from_ns(166));

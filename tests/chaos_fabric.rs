@@ -80,8 +80,17 @@ struct Run {
 }
 
 fn run(seed: u64, plan: Option<FaultPlan>) -> Run {
+    run_with(seed, plan, false)
+}
+
+fn run_with(seed: u64, plan: Option<FaultPlan>, per_frame: bool) -> Run {
+    let cfg = if per_frame {
+        config().with_per_frame_aggregation()
+    } else {
+        config()
+    };
     let (fabric, a, b) = SimFabric::back_to_back(TestbedConfig::cluster2021());
-    let mut host = TwoChainsHost::new(&fabric, b, config()).unwrap();
+    let mut host = TwoChainsHost::new(&fabric, b, cfg).unwrap();
     host.install_package(benchmark_package().unwrap()).unwrap();
     // The plan must be installed before `connect` creates the lane endpoints:
     // each endpoint captures the link's fault hook at creation time.
@@ -196,6 +205,67 @@ fn assert_survives(seed: u64, plan: FaultPlan) {
 #[test]
 fn pipeline_survives_a_dropping_link() {
     assert_survives(0xC4A0_5C4A, FaultPlan::drop_only(0.05, 0xD20B));
+}
+
+/// Whole-container fault schedules: under the default adaptive aggregation a
+/// multi-frame container is one put, so the faulted link drops, duplicates
+/// and reorders *entire batches* — and the run must still be observationally
+/// equal to the per-frame lossless schedule: same result multiset, same
+/// execution count (no inner frame ever double-executes, however many times
+/// its container was delivered), retransmits covering every dropped put.
+#[test]
+fn batched_pipeline_under_faults_matches_the_per_frame_lossless_run() {
+    let seed = 0xBA7C_4ED5;
+    let base = run_with(seed, None, true);
+    let chaos = run_with(seed, Some(FaultPlan::mixed(0.12, 0x0C0F_FEE5)), false);
+
+    // The baseline really ran the old wire behaviour, the chaos run really
+    // aggregated — whole containers were at stake on every fault.
+    assert_eq!(base.fleet.stats().batch_puts, 0);
+    let cs = chaos.fleet.stats();
+    assert!(
+        cs.batch_puts > 0,
+        "adaptive pipeline never built a container"
+    );
+    assert!(
+        cs.batched_frames > cs.batch_puts,
+        "containers must be multi-frame"
+    );
+
+    // Observational equality across both the policy and the fault schedule.
+    let mut br = base.results;
+    let mut cr = chaos.results;
+    br.sort_unstable();
+    cr.sort_unstable();
+    assert_eq!(br, cr, "result multisets diverge");
+    let (a, b) = (base.host.stats(), chaos.host.stats());
+    assert_eq!(a.messages_received, b.messages_received);
+    assert_eq!(
+        a.executions, b.executions,
+        "a replayed container double-executed"
+    );
+    assert_eq!(a.injected_executions, b.injected_executions);
+    assert_eq!(a.frames_rejected, 0);
+    assert_eq!(b.frames_rejected, 0);
+    // One real credit per received message on both sides: a replayed or
+    // retransmitted container re-publishes tokens, it never mints extras.
+    assert_eq!(a.credits_returned, a.messages_received);
+    assert_eq!(b.credits_returned, b.messages_received);
+    // The payload ledger matches across policies too: `bytes_sent` counts
+    // inner-frame bytes only, the container envelope is accounting-invisible.
+    let bs = base.fleet.stats();
+    assert_eq!(bs.messages_sent, cs.messages_sent);
+    assert_eq!(bs.bytes_sent, cs.bytes_sent);
+
+    // Recovery accounting: a dropped container consumed one delivery attempt
+    // covering all its inner frames; the retransmit counter tracks frames, so
+    // covering every dropped put takes at least one frame each.
+    assert!(
+        cs.frames_retransmitted >= chaos.dropped,
+        "retransmits ({}) must cover dropped puts ({})",
+        cs.frames_retransmitted,
+        chaos.dropped
+    );
 }
 
 #[test]

@@ -117,7 +117,10 @@ fn bogus_element(fabric: &SimFabric, host: &TwoChainsHost, bank: usize, slot: us
 /// Drained + quarantined + rejected retirements all mint exactly one
 /// sender-observable token each, whatever the flush policy batches them into.
 fn assert_mixed_retirements_conserve_tokens(policy: CreditFlushPolicy) {
-    let (fabric, mut host, mut fleet) = build(policy);
+    // Per-frame aggregation: the sabotage below overwrites individual wire
+    // slots, which only line up with individual frames when nothing batches.
+    let (fabric, mut host, mut fleet) =
+        build_with(config(policy).with_per_frame_aggregation(), None);
     let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
     let total = host.config().total_mailboxes();
 
@@ -184,7 +187,12 @@ fn mixed_retirements_conserve_tokens_under_per_frame_flushes() {
 /// withheld waiting for a row to fill.
 #[test]
 fn a_burst_cut_short_never_withholds_the_tokens_it_minted() {
-    let (_fabric, mut host, mut fleet) = build(CreditFlushPolicy::Adaptive);
+    // Per-frame aggregation pins the strict shape below: one frame per scan,
+    // one single-byte span per abort flush. The aggregated variant follows.
+    let (_fabric, mut host, mut fleet) = build_with(
+        config(CreditFlushPolicy::Adaptive).with_per_frame_aggregation(),
+        None,
+    );
     let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
     let total = host.config().total_mailboxes();
 
@@ -222,42 +230,106 @@ fn a_burst_cut_short_never_withholds_the_tokens_it_minted() {
     assert_eq!(stats.credit_flush_max_span, 1);
 }
 
+/// The same mid-burst abort law under the default aggregated data path: a
+/// capped burst now retires one *container's* worth of inner frames, and
+/// every token those frames minted must still be sender-observable before
+/// control returns — with the tokens riding coalesced spans, since a
+/// container's members share a bank row by construction.
+#[test]
+fn a_capped_burst_flushes_every_container_token_it_minted() {
+    let (_fabric, mut host, mut fleet) = build(CreditFlushPolicy::Adaptive);
+    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+    let total = host.config().total_mailboxes();
+
+    fleet
+        .fill_all(elem, InvocationMode::Injected, 0, &|_| {
+            (ssum_args(4), vec![9u8; 16])
+        })
+        .unwrap();
+
+    let mut retired = 0usize;
+    loop {
+        let before = retired;
+        for shard in 0..SHARDS {
+            let out = host.receive_burst(shard, 1, SimTime::ZERO).unwrap();
+            assert!(out.rejected.is_empty());
+            retired += out.frames.len();
+            assert_eq!(
+                token_census(&host, &fleet),
+                retired,
+                "a capped burst must flush before returning"
+            );
+        }
+        if retired == before {
+            break;
+        }
+    }
+    assert_eq!(retired, total);
+    let stats = host.stats();
+    assert_eq!(stats.credits_returned as usize, total);
+    assert!(
+        stats.batch_frames_received > 0,
+        "the default policy must actually aggregate"
+    );
+    // Container retirements land as multi-token row spans, not per-byte puts.
+    assert!(stats.credit_flushes < stats.credits_returned);
+    assert!(stats.credit_flush_max_span > 1);
+}
+
 /// Suppressed replays re-publish an existing token idempotently: under a
 /// duplicating/dropping link the pipeline still ends with exactly one token
 /// per mailbox and one credit per *received* message, for both policies.
 fn assert_replays_mint_nothing(policy: CreditFlushPolicy) {
-    let (_fabric, mut host, mut fleet) =
-        build_with(config(policy), Some(FaultPlan::mixed(0.2, 0xFA_B71C)));
-    let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
-    let rounds = 3;
-    let total = host.config().total_mailboxes();
-    let out = drive_pipeline(
-        &mut host,
-        &mut fleet,
-        elem,
-        InvocationMode::Injected,
-        rounds,
-        &|_| (ssum_args(4), vec![1u8; 16]),
-    )
-    .unwrap();
-    assert_eq!(out.drained, rounds * total);
-    assert_eq!(out.rejected, 0);
+    // Whether a duplicate put is *observed* as a replay depends on whether
+    // the receiver scans between the two arrivals — a wall-clock race the
+    // seeded plan cannot pin. Conservation must hold on every run; the
+    // replay path itself only has to fire on some seed, so walk a few.
+    let mut replays_seen = false;
+    for attempt in 0u64..5 {
+        // Per-frame aggregation: the 20% plan's replay odds are calibrated
+        // against per-frame put volume; container batching divides the number
+        // of wire ops the plan samples by the batch size. The aggregated
+        // replay path is exercised deterministically in `tests/chaos_fabric.rs`.
+        let (_fabric, mut host, mut fleet) = build_with(
+            config(policy).with_per_frame_aggregation(),
+            Some(FaultPlan::mixed(0.2, 0xFA_B71C + attempt)),
+        );
+        let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
+        let rounds = 3;
+        let total = host.config().total_mailboxes();
+        let out = drive_pipeline(
+            &mut host,
+            &mut fleet,
+            elem,
+            InvocationMode::Injected,
+            rounds,
+            &|_| (ssum_args(4), vec![1u8; 16]),
+        )
+        .unwrap();
+        assert_eq!(out.drained, rounds * total);
+        assert_eq!(out.rejected, 0);
 
-    let stats = host.stats();
+        let stats = host.stats();
+        // Replays retire a slot but mint no fresh credit: token accounting
+        // stays one per received message. Conservation is proven by
+        // completion itself — rounds beyond the first can only be funded by
+        // tokens that actually arrived, and the pipeline's completion harvest
+        // consumed the final round's tokens one per mailbox, leaving none
+        // pending and none missing.
+        assert_eq!(stats.credits_returned, stats.messages_received);
+        assert_eq!(stats.credits_returned as usize, rounds * total);
+        assert_eq!(token_census(&host, &fleet), 0);
+        assert!(stats.credit_flushes >= 1);
+        assert!(stats.credit_flush_bytes >= stats.credits_returned);
+        if stats.replays_suppressed > 0 {
+            replays_seen = true;
+            break;
+        }
+    }
     assert!(
-        stats.replays_suppressed > 0,
-        "the 20% mixed plan must actually exercise the replay path"
+        replays_seen,
+        "no seed of the 20% mixed plan exercised the replay path"
     );
-    // Replays retire a slot but mint no fresh credit: token accounting stays
-    // one per received message. Conservation is proven by completion itself —
-    // rounds beyond the first can only be funded by tokens that actually
-    // arrived, and the pipeline's completion harvest consumed the final
-    // round's tokens one per mailbox, leaving none pending and none missing.
-    assert_eq!(stats.credits_returned, stats.messages_received);
-    assert_eq!(stats.credits_returned as usize, rounds * total);
-    assert_eq!(token_census(&host, &fleet), 0);
-    assert!(stats.credit_flushes >= 1);
-    assert!(stats.credit_flush_bytes >= stats.credits_returned);
 }
 
 #[test]
@@ -308,7 +380,9 @@ fn chained_bogus_stage(fabric: &SimFabric, host: &TwoChainsHost, bank: usize, sl
 /// the stages that did run. Token conservation must hold under both flush
 /// policies.
 fn assert_mid_chain_rejection_returns_one_credit(policy: CreditFlushPolicy) {
-    let (fabric, mut host, mut fleet) = build(policy);
+    // Per-frame aggregation: the sabotage targets one wire slot directly.
+    let (fabric, mut host, mut fleet) =
+        build_with(config(policy).with_per_frame_aggregation(), None);
     let elem = host.builtin_id(BuiltinJam::ServerSideSum).unwrap();
     let total = host.config().total_mailboxes();
 

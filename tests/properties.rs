@@ -66,6 +66,108 @@ proptest! {
         prop_assert_eq!(decoded, frame);
     }
 
+    /// Batch containers survive the wire for arbitrary inner-frame counts,
+    /// shapes and destination slots: the parsed view yields the identical
+    /// `(slot, frame bytes)` sequence, advertises the first inner frame's
+    /// sequence number, and is recognised by the container sniffer while a
+    /// plain frame is not.
+    #[test]
+    fn batch_containers_roundtrip(
+        base_sn in any::<u32>(),
+        specs in prop::collection::vec(
+            (any::<u16>(), prop::collection::vec(any::<u8>(), 0..128), any::<bool>()),
+            1..12,
+        ),
+    ) {
+        use twochains::frame::{is_batch, BatchView, FrameBatch, BATCH_OVERHEAD, BATCH_PREFIX_SIZE};
+
+        let frames: Vec<(u16, Vec<u8>)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (slot, usr, injected))| {
+                let sn = base_sn.wrapping_add(i as u32);
+                let frame = if *injected {
+                    Frame::injected(sn, 7, vec![1; 8], vec![2; 16], vec![3; 20], usr.clone())
+                } else {
+                    Frame::local(sn, 7, vec![3; 20], usr.clone())
+                };
+                (*slot, frame.encode())
+            })
+            .collect();
+
+        let mut batch = FrameBatch::new();
+        for (slot, wire) in &frames {
+            batch.push(*slot, wire).expect("push");
+        }
+        prop_assert_eq!(batch.len(), frames.len());
+        let expected_size = BATCH_OVERHEAD
+            + frames.iter().map(|(_, w)| BATCH_PREFIX_SIZE + w.len()).sum::<usize>();
+        prop_assert_eq!(batch.wire_size(), expected_size);
+
+        let mut wire = Vec::new();
+        batch.finish_into(&mut wire).expect("finish");
+        prop_assert_eq!(wire.len(), expected_size);
+        prop_assert!(is_batch(&wire), "container not recognised by the sniffer");
+        prop_assert!(!is_batch(&frames[0].1), "plain frame misread as a container");
+
+        let view = BatchView::parse(&wire).expect("container parses");
+        prop_assert_eq!(view.sn, base_sn);
+        prop_assert_eq!(view.wire_len, wire.len());
+        prop_assert_eq!(view.frames().len(), frames.len());
+        for ((slot, inner), (want_slot, want_wire)) in view.frames().iter().zip(&frames) {
+            prop_assert_eq!(slot, want_slot);
+            prop_assert_eq!(*inner, &want_wire[..]);
+        }
+    }
+
+    /// A container cut off mid-frame is rejected, and when the cut lands past
+    /// the victim's header the error names that inner frame's sequence number
+    /// — the forensic signal the sender's retransmit machinery keys on.
+    #[test]
+    fn truncated_batch_containers_name_the_victim_frame(
+        base_sn in 0u32..1_000_000,
+        sizes in prop::collection::vec(0usize..96, 2..8),
+        victim_pick in any::<u32>(),
+        cut_pick in any::<u32>(),
+    ) {
+        use twochains::frame::{
+            BatchView, FrameBatch, BATCH_PREFIX_SIZE, FRAME_HEADER_SIZE,
+        };
+
+        let frames: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &usr)| {
+                Frame::local(base_sn + i as u32, 9, vec![4; 12], vec![5; usr]).encode()
+            })
+            .collect();
+        let mut batch = FrameBatch::new();
+        for (i, wire) in frames.iter().enumerate() {
+            batch.push(i as u16, wire).expect("push");
+        }
+        let mut wire = Vec::new();
+        batch.finish_into(&mut wire).expect("finish");
+
+        // Cut inside the victim frame, past its 8-byte (magic + sn) prologue
+        // so the parser can still echo who the cut landed on.
+        let victim = victim_pick as usize % frames.len();
+        let start = FRAME_HEADER_SIZE
+            + frames[..victim]
+                .iter()
+                .map(|w| BATCH_PREFIX_SIZE + w.len())
+                .sum::<usize>()
+            + BATCH_PREFIX_SIZE;
+        let span = frames[victim].len() - 8;
+        let cut = start + 8 + cut_pick as usize % span;
+        let err = BatchView::parse(&wire[..cut]).expect_err("truncated container must not parse");
+        let msg = err.to_string();
+        let victim_sn = base_sn + victim as u32;
+        prop_assert!(
+            msg.contains(&format!("sn {victim_sn}")),
+            "error must echo the victim's sn {victim_sn}: {msg}"
+        );
+    }
+
     /// Chain descriptors survive the wire for every stage count the header can
     /// express — including the zero-stage descriptor, which must stay distinct
     /// from the unchained frame — with stage IDs and arg maps intact.
