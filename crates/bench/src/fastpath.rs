@@ -56,6 +56,16 @@ pub struct FastpathReport {
     pub warm_got_cache_hits: u64,
     /// Sender template hits during the warm run.
     pub warm_template_hits: u64,
+    /// Resolved-image cache hits during the warm run: dispatches that keyed
+    /// the delivery digest straight to a pre-lowered image and never touched
+    /// the shipped code section.
+    pub warm_resolved_cache_hits: u64,
+    /// Resolved-image cache misses during the warm run (lowering events).
+    /// Zero in steady state: the priming message lowers once.
+    pub warm_resolved_cache_misses: u64,
+    /// Fused superinstructions retired by the resolved executor during the
+    /// warm run. Zero under `ExecutionPolicy::Interpret`.
+    pub superinstructions_executed: u64,
     /// Executions per chained frame in the chain regime (primary + continuation
     /// stages of the lookup → filter → aggregate graph chain).
     pub chain_stages: usize,
@@ -157,7 +167,8 @@ impl FastpathReport {
                         "\"goodput_msgs_per_sec\": {:.0}, ",
                         "\"frames_sent\": {}, \"frames_retransmitted\": {}, ",
                         "\"frames_dropped\": {}, \"replays_suppressed\": {}, ",
-                        "\"nacks_posted\": {}, \"retransmit_overhead\": {:.4}}}"
+                        "\"nacks_posted\": {}, \"frames_rejected\": {}, ",
+                        "\"retransmit_overhead\": {:.4}}}"
                     ),
                     r.loss_rate,
                     r.messages,
@@ -167,6 +178,7 @@ impl FastpathReport {
                     r.frames_dropped,
                     r.replays_suppressed,
                     r.nacks_posted,
+                    r.frames_rejected,
                     r.retransmit_overhead(),
                 )
             })
@@ -196,6 +208,9 @@ impl FastpathReport {
                 "  \"warm_code_cache_misses\": {},\n",
                 "  \"warm_got_cache_hits\": {},\n",
                 "  \"warm_template_hits\": {},\n",
+                "  \"warm_resolved_cache_hits\": {},\n",
+                "  \"warm_resolved_cache_misses\": {},\n",
+                "  \"superinstructions_executed\": {},\n",
                 "  \"chain_stages\": {},\n",
                 "  \"chain_sequential_dispatch_ns\": {:.1},\n",
                 "  \"chain_per_stage_dispatch_ns\": {:.1},\n",
@@ -219,6 +234,9 @@ impl FastpathReport {
             self.warm_code_cache_misses,
             self.warm_got_cache_hits,
             self.warm_template_hits,
+            self.warm_resolved_cache_hits,
+            self.warm_resolved_cache_misses,
+            self.superinstructions_executed,
             self.chain_stages,
             self.chain_sequential_dispatch_ns,
             self.chain_per_stage_dispatch_ns,
@@ -408,6 +426,9 @@ pub fn compare(messages: usize) -> FastpathReport {
         warm_code_cache_misses: host.stats().injected_code_cache_misses,
         warm_got_cache_hits: host.stats().got_cache_hits,
         warm_template_hits: sender.stats().template_hits,
+        warm_resolved_cache_hits: host.stats().resolved_cache_hits,
+        warm_resolved_cache_misses: host.stats().resolved_cache_misses,
+        superinstructions_executed: host.stats().superinstructions_executed,
         chain_stages: CHAIN_REGIME_STAGES,
         chain_sequential_dispatch_ns: chain_seq_ns,
         chain_per_stage_dispatch_ns: chain_stage_ns,
@@ -453,23 +474,43 @@ mod tests {
         assert_eq!(report.warm_code_cache_hits, 50);
         assert_eq!(report.warm_got_cache_hits, 50);
         assert_eq!(report.warm_template_hits, 50);
+        // Under the default resolved policy, every warm dispatch must run the
+        // pre-lowered image — never fall back to per-message interpretation.
+        assert_eq!(report.warm_resolved_cache_misses, 0);
+        assert_eq!(report.warm_resolved_cache_hits, 50);
+        assert!(
+            report.superinstructions_executed > 0,
+            "Indirect Put's mov pairs must fuse on the resolved path"
+        );
     }
 
     #[test]
     fn chained_dispatch_amortizes_across_stages() {
         let report = compare(50);
         // The acceptance bar for receiver-side chains: a stage's share of
-        // dispatch on a chained frame is at least 2x cheaper than giving that
+        // dispatch on a chained frame is markedly cheaper than giving that
         // stage its own message, because the frame parse + mailbox wait are
         // paid once for the whole lookup -> filter -> aggregate pipeline.
+        // Resolved execution compressed this ratio: the per-message baseline
+        // lost its code-section reads (the numerator shrank ~2.3x) while a
+        // continuation was already at the Local-dispatch floor, so the old
+        // >=2.0 bar is recalibrated to >=1.8 alongside an absolute bound on
+        // the per-stage cost itself.
         assert_eq!(report.chain_stages, CHAIN_REGIME_STAGES);
         assert!(
-            report.chain_amortization >= 2.0,
-            "chained per-stage dispatch {}ns must be >=2x cheaper than one \
+            report.chain_amortization >= 1.8,
+            "chained per-stage dispatch {}ns must be >=1.8x cheaper than one \
              message per stage ({}ns/msg): amortization {:.2}",
             report.chain_per_stage_dispatch_ns,
             report.chain_sequential_dispatch_ns,
             report.chain_amortization
+        );
+        // The resolved path must improve the chained stages too: the pre-PR
+        // per-stage share was ~70 ns.
+        assert!(
+            report.chain_per_stage_dispatch_ns <= 55.0,
+            "chained per-stage dispatch {}ns regressed past 55 ns",
+            report.chain_per_stage_dispatch_ns
         );
     }
 
@@ -486,7 +527,8 @@ mod tests {
         assert!(json.contains("\"host_parallelism\": "));
         assert!(json.contains("\"chain_stages\": 3"));
         assert!(json.contains("\"chain_amortization\": "));
-        assert_eq!(json.matches(':').count(), 23);
+        assert!(json.contains("\"warm_resolved_cache_misses\": 0"));
+        assert_eq!(json.matches(':').count(), 26);
     }
 
     #[test]
@@ -502,6 +544,7 @@ mod tests {
                 frames_dropped: 0,
                 replays_suppressed: 0,
                 nacks_posted: 0,
+                frames_rejected: 0,
             },
             crate::burst::LossRow {
                 loss_rate: 0.05,
@@ -512,6 +555,7 @@ mod tests {
                 frames_dropped: 3,
                 replays_suppressed: 2,
                 nacks_posted: 3,
+                frames_rejected: 0,
             },
         ];
         let json = report.to_json();

@@ -48,6 +48,19 @@ pub struct GateThresholds {
     /// message (`chain_amortization` in the report). Deterministic modelled
     /// metric, enforced on any runner.
     pub min_chain_amortization: f64,
+    /// A chained stage's absolute dispatch share
+    /// (`chain_per_stage_dispatch_ns`) must stay at or below this many ns —
+    /// the companion bar to the amortization ratio, so the chained path must
+    /// improve in absolute terms even as resolved execution shrinks the
+    /// per-message baseline the ratio divides by. Deterministic modelled
+    /// metric, enforced on any runner.
+    pub max_chain_stage_dispatch_ns: f64,
+    /// The warm regime's `warm_resolved_cache_hits` must be at least this:
+    /// under the default `ExecutionPolicy::Resolved`, every warm dispatch
+    /// must run the pre-lowered image. A report showing fewer hits than this
+    /// means the resolved path silently fell back to per-message
+    /// interpretation. Deterministic counter, enforced on any runner.
+    pub min_resolved_cache_hits: f64,
     /// The 4-shard modelled run's forward data puts per injected frame
     /// (`model_puts_per_frame`) must stay at or below this — the
     /// frame-aggregation bar: the adaptive policy must keep at least four
@@ -60,8 +73,16 @@ impl Default for GateThresholds {
     fn default() -> Self {
         GateThresholds {
             min_dispatch_speedup: 2.0,
-            max_warm_dispatch_ns: 1218.9, // 1108 ns + 10%
-            min_model_speedup_4shard: 3.5,
+            // 76.1 ns measured with resolved execution + 10% (1108 ns before
+            // the pre-resolved image path; the issue's target was <= 750 ns).
+            max_warm_dispatch_ns: 83.7,
+            // Recalibrated from 3.5 when resolved execution landed: the
+            // absolute 4-shard modelled drain rate rose 3.19 -> 17.8 M msg/s,
+            // but the ratio against 1 shard compressed (3.92 -> 3.43) because
+            // the resolved path shrank exactly the per-message execution work
+            // that scaled linearly, leaving the fixed per-round fabric costs
+            // a larger share. Same Amdahl adaptation as the chain bars.
+            min_model_speedup_4shard: 3.2,
             min_wall_ratio_4shard: 2.0,
             min_pipeline_ratio_4shard: 1.3,
             wall_gate_min_parallelism: 4,
@@ -70,7 +91,20 @@ impl Default for GateThresholds {
             // runner-to-runner scheduling noise, still an order of magnitude
             // below a starved-sender pathology (one stall per message = 1024).
             max_credit_stall_events: 128.0,
-            min_chain_amortization: 2.0,
+            // Recalibrated from 2.0 when resolved execution landed: the
+            // per-message baseline lost its code-section reads (~2.3x
+            // cheaper), while a chained continuation was already at the
+            // Local-dispatch floor, so the achievable ratio compressed to
+            // ~2.0; the absolute per-stage bar below keeps the chained path
+            // itself honest.
+            min_chain_amortization: 1.8,
+            // 38.1 ns measured; generous headroom still far below the ~70 ns
+            // pre-resolved per-stage share.
+            max_chain_stage_dispatch_ns: 55.0,
+            // The shipped report measures 1000 warm messages; 400 still
+            // covers a halved sweep while catching a resolved path that
+            // stopped hitting at all.
+            min_resolved_cache_hits: 400.0,
             // The sweep's default containers pack 8 x ~1508-byte injected
             // frames (0.125 puts/frame); 0.25 leaves room for geometry
             // changes while still demanding 4x put amortization.
@@ -110,6 +144,12 @@ impl GateThresholds {
         }
         if let Some(v) = json_f64(json, "min_chain_amortization") {
             t.min_chain_amortization = v;
+        }
+        if let Some(v) = json_f64(json, "max_chain_stage_dispatch_ns") {
+            t.max_chain_stage_dispatch_ns = v;
+        }
+        if let Some(v) = json_f64(json, "min_resolved_cache_hits") {
+            t.min_resolved_cache_hits = v;
         }
         if let Some(v) = json_f64(json, "max_model_puts_per_frame_4shard") {
             t.max_model_puts_per_frame_4shard = v;
@@ -295,6 +335,15 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
     let chain_amortization = json_f64(report_json, "chain_amortization").ok_or(
         "report is missing chain_amortization (regenerate the report with the current fastpath)",
     )?;
+    let chain_stage_ns = json_f64(report_json, "chain_per_stage_dispatch_ns").ok_or(
+        "report is missing chain_per_stage_dispatch_ns (regenerate the report with the current fastpath)",
+    )?;
+    // The resolved-execution bar: a report predating the resolved image path
+    // lacks the column and must be regenerated, never waved through — a
+    // missing counter is indistinguishable from a path that stopped hitting.
+    let resolved_hits = json_f64(report_json, "warm_resolved_cache_hits").ok_or(
+        "report is missing warm_resolved_cache_hits (regenerate the report with the current fastpath)",
+    )?;
 
     let mut checks = vec![
         GateCheck {
@@ -323,6 +372,24 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
             pass: chain_amortization >= t.min_chain_amortization,
             enforced: true,
             note: "one frame parse per chain, not per stage".into(),
+        },
+        GateCheck {
+            name: "chained per-stage dispatch (ns)",
+            value: chain_stage_ns,
+            threshold: t.max_chain_stage_dispatch_ns,
+            op: "<=",
+            pass: chain_stage_ns <= t.max_chain_stage_dispatch_ns,
+            enforced: true,
+            note: "absolute companion to the amortization ratio".into(),
+        },
+        GateCheck {
+            name: "warm resolved-image cache hits",
+            value: resolved_hits,
+            threshold: t.min_resolved_cache_hits,
+            op: ">=",
+            pass: resolved_hits >= t.min_resolved_cache_hits,
+            enforced: true,
+            note: "resolved execution must never fall back to interpretation".into(),
         },
     ];
 
@@ -490,6 +557,35 @@ pub fn evaluate(report_json: &str, t: &GateThresholds) -> Result<GateOutcome, St
                 note: "no FaultPlan => retransmit/NACK/replay counters all zero".into(),
             });
         } else {
+            // Statistical honesty first: a faulted row whose fault counters
+            // are all zero ran below the fault plan's resolution (too few
+            // puts for the rate), and the coverage check below would pass
+            // vacuously at 0 >= 0. The sweep must be regenerated with enough
+            // volume that the injected faults actually bite.
+            checks.push(GateCheck {
+                name: "lossy sweep observed drops",
+                value: row.frames_dropped,
+                threshold: 1.0,
+                op: ">=",
+                pass: row.frames_dropped >= 1.0,
+                enforced: true,
+                note: format!(
+                    "loss_rate={}: a faulted row must actually drop frames",
+                    row.loss_rate
+                ),
+            });
+            checks.push(GateCheck {
+                name: "lossy sweep gap NACKs",
+                value: row.nacks_posted,
+                threshold: 1.0,
+                op: ">=",
+                pass: row.nacks_posted >= 1.0,
+                enforced: true,
+                note: format!(
+                    "loss_rate={}: dropped frames must surface as NACKs",
+                    row.loss_rate
+                ),
+            });
             checks.push(GateCheck {
                 name: "lossy sweep retransmit coverage",
                 value: row.frames_retransmitted,
@@ -541,7 +637,9 @@ mod tests {
         format!(
             concat!(
                 "{{\n  \"warm_dispatch_ns\": {},\n  \"dispatch_speedup\": {},\n",
+                "  \"warm_resolved_cache_hits\": 800,\n",
                 "  \"chain_amortization\": 2.90,\n",
+                "  \"chain_per_stage_dispatch_ns\": 38.0,\n",
                 "  \"host_parallelism\": {},\n",
                 "  \"burst_shard_rows\": [\n",
                 "    {{\"shards\": 1, \"model_speedup\": 1.00, \"wall_msgs_per_sec\": {}, ",
@@ -593,12 +691,12 @@ mod tests {
     #[test]
     fn healthy_report_passes() {
         let out = evaluate(
-            &report(2.16, 1108.1, 4.0, 100_000.0, 260_000.0, 4),
+            &report(2.16, 76.1, 4.0, 100_000.0, 260_000.0, 4),
             &GateThresholds::default(),
         )
         .unwrap();
         assert!(out.passed(), "{}", out.table());
-        assert_eq!(out.checks.len(), 10);
+        assert_eq!(out.checks.len(), 12);
         assert!(out.checks.iter().all(|c| c.enforced));
     }
 
@@ -607,7 +705,7 @@ mod tests {
         // Aggregation falling apart shows up as the modelled put count
         // climbing back toward one per frame; the metric is deterministic,
         // so even a 1-core runner enforces it.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
             "\"model_puts_per_frame\": 0.13",
             "\"model_puts_per_frame\": 0.80",
         );
@@ -626,7 +724,7 @@ mod tests {
         // A report predating frame aggregation lacks the column; the gate
         // must demand a regenerated report, not skip the new bar.
         let json =
-            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace("\"model_puts_per_frame\": 0.13, ", "");
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4).replace("\"model_puts_per_frame\": 0.13, ", "");
         let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
         assert!(err.contains("model_puts_per_frame"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
@@ -636,7 +734,7 @@ mod tests {
     fn missing_two_shard_row_is_an_error_not_a_pass() {
         // The sweep documents --shards 1,2,4; a report whose 2-shard row
         // silently vanished must be regenerated, not gated without it.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(TWO_SHARD_ROW, "");
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 4).replace(TWO_SHARD_ROW, "");
         let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
         assert!(err.contains("2-shard"), "{err}");
         assert!(err.contains("1,2,4"), "{err}");
@@ -646,7 +744,7 @@ mod tests {
     fn chain_amortization_regression_fails_on_any_runner() {
         // Chained dispatch collapsing to per-message cost (amortization ~1x)
         // means the chain executor regressed to re-parsing per stage.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
             "\"chain_amortization\": 2.90",
             "\"chain_amortization\": 1.10",
         );
@@ -665,10 +763,92 @@ mod tests {
         // A report predating receiver-side chains lacks the amortization
         // column; the gate must demand a regenerated report, not skip the bar.
         let json =
-            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace("  \"chain_amortization\": 2.90,\n", "");
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4).replace("  \"chain_amortization\": 2.90,\n", "");
         let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
         assert!(err.contains("chain_amortization"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn resolved_cache_hit_regression_fails_on_any_runner() {
+        // The warm loop falling back to interpretation shows up as the
+        // resolved-image hit counter collapsing; the counter is deterministic,
+        // so even a 1-core runner enforces it.
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"warm_resolved_cache_hits\": 800",
+            "\"warm_resolved_cache_hits\": 0",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let hits = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("resolved-image"))
+            .unwrap();
+        assert!(!hits.pass && hits.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn reports_without_resolved_hits_are_an_error_not_a_pass() {
+        // A report predating resolved execution lacks the counter; the gate
+        // must demand a regenerated report, not skip the new bar.
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 4)
+            .replace("  \"warm_resolved_cache_hits\": 800,\n", "");
+        let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("warm_resolved_cache_hits"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn chain_stage_dispatch_regression_fails_on_any_runner() {
+        // The absolute per-stage bar catches a uniform slowdown that the
+        // amortization ratio (a quotient of two regressed numbers) hides.
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
+            "\"chain_per_stage_dispatch_ns\": 38.0",
+            "\"chain_per_stage_dispatch_ns\": 120.0",
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let stage = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("per-stage dispatch"))
+            .unwrap();
+        assert!(!stage.pass && stage.enforced);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn vacuously_clean_faulted_loss_rows_fail_the_gate() {
+        // A 5% row with zero drops and zero NACKs ran below the fault plan's
+        // resolution; its retransmit coverage would pass vacuously at 0 >= 0.
+        let json = format!(
+            concat!(
+                "{}",
+                ",\n  \"burst_loss_rows\": [\n",
+                "    {{\"loss_rate\": 0.0500, \"messages\": 128, ",
+                "\"goodput_msgs_per_sec\": 200000, \"frames_sent\": 128, ",
+                "\"frames_retransmitted\": 0, \"frames_dropped\": 0, ",
+                "\"replays_suppressed\": 0, \"nacks_posted\": 0, ",
+                "\"retransmit_overhead\": 0.0}}\n  ]\n}}\n"
+            ),
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4)
+                .trim_end()
+                .trim_end_matches("}")
+        );
+        let out = evaluate(&json, &GateThresholds::default()).unwrap();
+        let drops = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("observed drops"))
+            .unwrap();
+        assert!(!drops.pass && drops.enforced);
+        let nacks = out
+            .checks
+            .iter()
+            .find(|c| c.name.contains("gap NACKs"))
+            .unwrap();
+        assert!(!nacks.pass && nacks.enforced);
+        assert!(!out.passed());
     }
 
     #[test]
@@ -676,7 +856,7 @@ mod tests {
         // Flow control regressing to a host-side channel shows up as zero
         // credit puts; that must fail even where the wall checks are
         // informational (parallelism 1).
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1)
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1)
             .replace("\"pipe_credit_ops\": 256", "\"pipe_credit_ops\": 0");
         let out = evaluate(&json, &GateThresholds::default()).unwrap();
         let credit = out
@@ -692,34 +872,33 @@ mod tests {
     fn each_regression_is_caught() {
         let t = GateThresholds::default();
         // Dispatch speedup collapse.
-        assert!(!evaluate(&report(1.4, 1108.0, 4.0, 1e5, 3e5, 4), &t)
+        assert!(!evaluate(&report(1.4, 76.0, 4.0, 1e5, 3e5, 4), &t)
             .unwrap()
             .passed());
         // Warm dispatch regression beyond the 10% band.
-        assert!(!evaluate(&report(2.2, 1300.0, 4.0, 1e5, 3e5, 4), &t)
+        assert!(!evaluate(&report(2.2, 95.0, 4.0, 1e5, 3e5, 4), &t)
             .unwrap()
             .passed());
         // Modelled scaling regression.
-        assert!(!evaluate(&report(2.2, 1108.0, 3.0, 1e5, 3e5, 4), &t)
+        assert!(!evaluate(&report(2.2, 76.0, 3.0, 1e5, 3e5, 4), &t)
             .unwrap()
             .passed());
         // Wall scaling regression on a 4-core runner.
-        assert!(!evaluate(&report(2.2, 1108.0, 4.0, 1e5, 1.2e5, 4), &t)
+        assert!(!evaluate(&report(2.2, 76.0, 4.0, 1e5, 1.2e5, 4), &t)
             .unwrap()
             .passed());
         // Pipeline regression: overlapped fill/drain slower than 1.3x phased.
-        assert!(!evaluate(
-            &report_full(2.2, 1108.0, 4.0, 1e5, 3e5, 2.5e5, 2.6e5, 4),
-            &t
-        )
-        .unwrap()
-        .passed());
+        assert!(
+            !evaluate(&report_full(2.2, 76.0, 4.0, 1e5, 3e5, 2.5e5, 2.6e5, 4), &t)
+                .unwrap()
+                .passed()
+        );
     }
 
     #[test]
     fn pipeline_ratio_is_informational_on_a_small_runner() {
         let out = evaluate(
-            &report_full(2.2, 1108.0, 4.0, 1e5, 9e4, 8e4, 8.1e4, 1),
+            &report_full(2.2, 76.0, 4.0, 1e5, 9e4, 8e4, 8.1e4, 1),
             &GateThresholds::default(),
         )
         .unwrap();
@@ -740,7 +919,7 @@ mod tests {
         // Coalescing falling apart shows up as the modelled credit share
         // climbing back toward the ~0.16 per-frame cost; the metric is
         // deterministic, so even a 1-core runner enforces it.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
             "\"model_credit_time_share\": 0.0500",
             "\"model_credit_time_share\": 0.1600",
         );
@@ -756,7 +935,7 @@ mod tests {
 
     #[test]
     fn sender_stall_regression_fails_on_a_parallel_runner() {
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 4).replace(
             "\"pipe_credit_stall_events\": 3}\n  ]",
             "\"pipe_credit_stall_events\": 5000}\n  ]",
         );
@@ -774,7 +953,7 @@ mod tests {
     fn sender_stalls_are_informational_on_a_small_runner() {
         // Stall counts are schedule-dependent: a time-sliced runner parks
         // lanes constantly, so the bar reports but does not enforce there.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 1).replace(
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 1).replace(
             "\"pipe_credit_stall_events\": 3}\n  ]",
             "\"pipe_credit_stall_events\": 5000}\n  ]",
         );
@@ -795,12 +974,12 @@ mod tests {
     fn reports_without_credit_share_are_an_error_not_a_pass() {
         // A report predating credit coalescing lacks the share column; the
         // gate must demand a regenerated report, not skip the new bar.
-        let json = report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+        let json = report(2.2, 76.0, 4.0, 1e5, 3e5, 4)
             .replace("\"model_credit_time_share\": 0.0500, ", "");
         let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
         assert!(err.contains("model_credit_time_share"), "{err}");
         let json =
-            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4).replace(", \"pipe_credit_stall_events\": 3", "");
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4).replace(", \"pipe_credit_stall_events\": 3", "");
         let err = evaluate(&json, &GateThresholds::default()).unwrap_err();
         assert!(err.contains("pipe_credit_stall_events"), "{err}");
     }
@@ -810,8 +989,9 @@ mod tests {
         // A report whose 4-shard row lacks the pipeline columns must fail
         // loudly (regenerate it), not silently skip the new bar.
         let json = concat!(
-            "{\"warm_dispatch_ns\": 1100.0, \"dispatch_speedup\": 2.2, ",
-            "\"chain_amortization\": 2.9, ",
+            "{\"warm_dispatch_ns\": 76.0, \"dispatch_speedup\": 2.2, ",
+            "\"warm_resolved_cache_hits\": 800, ",
+            "\"chain_amortization\": 2.9, \"chain_per_stage_dispatch_ns\": 38.0, ",
             "\"host_parallelism\": 4, \"burst_shard_rows\": [",
             "{\"shards\": 1, \"model_speedup\": 1.0, \"wall_msgs_per_sec\": 100000}, ",
             "{\"shards\": 4, \"model_speedup\": 4.0, \"wall_msgs_per_sec\": 300000}]}"
@@ -823,7 +1003,7 @@ mod tests {
     #[test]
     fn wall_ratio_is_informational_on_a_small_runner() {
         let out = evaluate(
-            &report(2.2, 1108.0, 4.0, 100_000.0, 90_000.0, 1),
+            &report(2.2, 76.0, 4.0, 100_000.0, 90_000.0, 1),
             &GateThresholds::default(),
         )
         .unwrap();
@@ -842,7 +1022,7 @@ mod tests {
     #[test]
     fn thresholds_parse_from_baseline_json() {
         let t = GateThresholds::from_json(
-            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48, \"min_chain_amortization\": 2.4, \"max_model_puts_per_frame_4shard\": 0.2}",
+            "{\"min_dispatch_speedup\": 2.5, \"max_warm_dispatch_ns\": 900, \"min_pipeline_ratio_4shard\": 1.5, \"wall_gate_min_parallelism\": 8, \"max_credit_time_share_4shard\": 0.07, \"max_credit_stall_events\": 48, \"min_chain_amortization\": 2.4, \"max_chain_stage_dispatch_ns\": 50, \"min_resolved_cache_hits\": 500, \"max_model_puts_per_frame_4shard\": 0.2}",
         );
         assert_eq!(t.min_dispatch_speedup, 2.5);
         assert_eq!(t.max_warm_dispatch_ns, 900.0);
@@ -851,6 +1031,8 @@ mod tests {
         assert_eq!(t.max_credit_time_share_4shard, 0.07);
         assert_eq!(t.max_credit_stall_events, 48.0);
         assert_eq!(t.min_chain_amortization, 2.4);
+        assert_eq!(t.max_chain_stage_dispatch_ns, 50.0);
+        assert_eq!(t.min_resolved_cache_hits, 500.0);
         assert_eq!(t.max_model_puts_per_frame_4shard, 0.2);
         assert_eq!(
             t.min_model_speedup_4shard,
@@ -871,17 +1053,20 @@ mod tests {
                 wall_ns: 20000.0,
             },
             warm: crate::fastpath::RegimeResult {
-                dispatch_ns: 1100.0,
-                handler_ns: 1200.0,
+                dispatch_ns: 76.0,
+                handler_ns: 176.0,
                 wall_ns: 8000.0,
             },
             warm_code_cache_hits: 10,
             warm_code_cache_misses: 0,
             warm_got_cache_hits: 10,
             warm_template_hits: 10,
+            warm_resolved_cache_hits: 500,
+            warm_resolved_cache_misses: 0,
+            superinstructions_executed: 20,
             chain_stages: 3,
-            chain_sequential_dispatch_ns: 160.0,
-            chain_per_stage_dispatch_ns: 55.0,
+            chain_sequential_dispatch_ns: 120.0,
+            chain_per_stage_dispatch_ns: 40.0,
             chain_amortization: 2.9,
             burst: vec![
                 crate::burst::BurstRow {
@@ -952,6 +1137,7 @@ mod tests {
                     frames_dropped: 0,
                     replays_suppressed: 0,
                     nacks_posted: 0,
+                    frames_rejected: 0,
                 },
                 crate::burst::LossRow {
                     loss_rate: 0.05,
@@ -962,6 +1148,7 @@ mod tests {
                     frames_dropped: 3,
                     replays_suppressed: 2,
                     nacks_posted: 3,
+                    frames_rejected: 0,
                 },
             ],
             host_parallelism: 4,
@@ -974,8 +1161,8 @@ mod tests {
         assert_eq!(rows[1].frames_dropped, 3.0);
         let out = evaluate(&json, &GateThresholds::default()).unwrap();
         assert!(out.passed(), "{}", out.table());
-        // 10 base checks + 1 lossless residue + 2 per faulted row.
-        assert_eq!(out.checks.len(), 13);
+        // 12 base checks + 1 lossless residue + 4 per faulted row.
+        assert_eq!(out.checks.len(), 17);
     }
 
     #[test]
@@ -992,7 +1179,7 @@ mod tests {
                 "\"replays_suppressed\": 0, \"nacks_posted\": 0, ",
                 "\"retransmit_overhead\": 0.0156}}\n  ]\n}}\n"
             ),
-            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4)
                 .trim_end()
                 .trim_end_matches("}")
         );
@@ -1020,7 +1207,7 @@ mod tests {
                 "\"replays_suppressed\": 0, \"nacks_posted\": 2, ",
                 "\"retransmit_overhead\": 0.0078}}\n  ]\n}}\n"
             ),
-            report(2.2, 1108.0, 4.0, 1e5, 3e5, 4)
+            report(2.2, 76.0, 4.0, 1e5, 3e5, 4)
                 .trim_end()
                 .trim_end_matches("}")
         );
@@ -1039,7 +1226,7 @@ mod tests {
         // Pre-reliability reports (and sweeps run without the loss pass) are
         // still gateable on their own metrics.
         let out = evaluate(
-            &report(2.16, 1108.1, 4.0, 100_000.0, 260_000.0, 4),
+            &report(2.16, 76.1, 4.0, 100_000.0, 260_000.0, 4),
             &GateThresholds::default(),
         )
         .unwrap();

@@ -6,7 +6,7 @@
 //! jam execution, server-side table/array updates — happens for real.
 
 use twochains::builtin::{benchmark_package, indirect_put_args, ssum_args, BuiltinJam};
-use twochains::{InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
+use twochains::{ExecutionPolicy, InvocationMode, RuntimeConfig, TwoChainsHost, TwoChainsSender};
 use twochains_fabric::SimFabric;
 use twochains_memsim::{CycleCounter, MemoryStressor, SimTime, TestbedConfig, WaitMode};
 
@@ -23,6 +23,9 @@ pub struct TestbedOptions {
     pub stressor_seed: Option<u64>,
     /// Number of warm-up iterations before measurements start.
     pub warmup: usize,
+    /// Execution policy for injected programs (Resolved by default; Interpret
+    /// pins the per-message decode/interpret cost model for parity studies).
+    pub execution_policy: ExecutionPolicy,
 }
 
 impl Default for TestbedOptions {
@@ -33,6 +36,7 @@ impl Default for TestbedOptions {
             skip_execution: false,
             stressor_seed: None,
             warmup: 20,
+            execution_policy: ExecutionPolicy::Resolved,
         }
     }
 }
@@ -62,10 +66,18 @@ impl TestbedOptions {
         self
     }
 
+    /// Interpret injected programs per message instead of executing the
+    /// cached resolved image.
+    pub fn interpreted(mut self) -> Self {
+        self.execution_policy = ExecutionPolicy::Interpret;
+        self
+    }
+
     fn runtime_config(&self) -> RuntimeConfig {
         let mut cfg = RuntimeConfig::paper_default();
         cfg.wait_mode = self.wait_mode;
         cfg.skip_execution = self.skip_execution;
+        cfg.execution_policy = self.execution_policy;
         cfg
     }
 }

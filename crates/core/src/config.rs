@@ -88,6 +88,23 @@ pub enum AggregationPolicy {
     Adaptive,
 }
 
+/// How the receiver executes injected (and locally installed) programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionPolicy {
+    /// Always run the interpreter over the decoded `Arc<[Instr]>`. Pins the
+    /// pre-resolution behaviour exactly — the parity baseline the
+    /// differential tests compare [`ExecutionPolicy::Resolved`] against.
+    Interpret,
+    /// Execute through the resolved IR: at cache-insert time the decoded
+    /// program is lowered (operands flattened, GOT calls resolved direct,
+    /// adjacent pairs fused into superinstructions, instruction fetch charged
+    /// per straight-line block), and warm dispatches run the lowered image
+    /// without re-reading the code section — the NIC's delivery digest keys
+    /// the resolved cache instead. The default.
+    #[default]
+    Resolved,
+}
+
 /// Configuration of a Two-Chains host runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -169,6 +186,8 @@ pub struct RuntimeConfig {
     /// Fixed receiver-side dispatch overhead for a Local Function (frame parse +
     /// function-pointer table lookup by element ID).
     pub local_dispatch_ns: f64,
+    /// How programs are executed (see [`ExecutionPolicy`]).
+    pub execution_policy: ExecutionPolicy,
 }
 
 impl RuntimeConfig {
@@ -197,6 +216,7 @@ impl RuntimeConfig {
             skip_execution: false,
             injected_dispatch_ns: 28.0,
             local_dispatch_ns: 18.0,
+            execution_policy: ExecutionPolicy::Resolved,
         }
     }
 
@@ -266,6 +286,14 @@ impl RuntimeConfig {
     /// declare cross-shard writes take no address-space lock.
     pub fn with_shard_local_space(mut self) -> Self {
         self.space_mode = SpaceMode::ShardLocal;
+        self
+    }
+
+    /// Same configuration but pinning the interpreter
+    /// ([`ExecutionPolicy::Interpret`]) — the pre-resolution execution path,
+    /// kept for parity testing against the resolved default.
+    pub fn with_interpreted_execution(mut self) -> Self {
+        self.execution_policy = ExecutionPolicy::Interpret;
         self
     }
 
@@ -367,6 +395,17 @@ mod tests {
             RuntimeConfig::paper_default()
                 .without_execution()
                 .skip_execution
+        );
+        assert_eq!(
+            RuntimeConfig::paper_default().execution_policy,
+            ExecutionPolicy::Resolved,
+            "resolved execution is the default"
+        );
+        assert_eq!(
+            RuntimeConfig::paper_default()
+                .with_interpreted_execution()
+                .execution_policy,
+            ExecutionPolicy::Interpret
         );
     }
 

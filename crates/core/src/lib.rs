@@ -59,7 +59,9 @@ pub mod stats;
 
 pub use bank::{BankFlags, MailboxBank, NackFlags, ShardMask};
 pub use builtin::{benchmark_package, benchmark_rieds, BuiltinJam};
-pub use config::{AggregationPolicy, CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
+pub use config::{
+    AggregationPolicy, CreditFlushPolicy, ExecutionPolicy, InvocationMode, RuntimeConfig, SpaceMode,
+};
 pub use error::{AmError, AmResult};
 pub use frame::{
     ChainArgMap, ChainDescriptor, ChainStage, Frame, FrameHeader, CHAIN_MAX_STAGES,

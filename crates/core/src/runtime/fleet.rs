@@ -1227,7 +1227,10 @@ pub struct PipelineOutcome {
     /// Frames successfully drained (equals `results.len()`).
     pub drained: usize,
     /// Frames the dispatch rejected (their slots were credited back, so the
-    /// pipeline completes regardless).
+    /// pipeline completes regardless). A rejected frame the NACK path later
+    /// redelivers also appears in `results`, so on a faulted link
+    /// `drained..=drained + rejected` brackets the offered frame count from
+    /// both sides rather than summing to it exactly.
     pub rejected: usize,
 }
 
@@ -1322,7 +1325,23 @@ where
                         let mut results = Vec::with_capacity(want);
                         let mut rejected = 0usize;
                         let mut clock = SimTime::ZERO;
-                        while results.len() + rejected < want {
+                        // The quota counts *executed* frames only. A frame
+                        // torn by an in-flight fault is rejected (its credit
+                        // returns immediately), then usually comes back: its
+                        // sequence gap ages out of the scan-jumble watcher,
+                        // the coalesced NACK reaches the paired lane, and the
+                        // retransmit drains like any other frame. Counting
+                        // the rejection against the quota would end the drain
+                        // one retirement early when that recovery lands,
+                        // stranding the final round's credits and starving
+                        // the lane. When the tear hits the run's tail the
+                        // lane may already have exited (no credit is owed),
+                        // so once every outstanding frame is accounted for
+                        // by a rejection, a bounded run of empty scans
+                        // retires the gap as lost instead of spinning.
+                        const GIVE_UP_SCANS: usize = 512;
+                        let mut idle_scans = 0usize;
+                        while results.len() < want {
                             // Credits for everything this burst retires are
                             // put back inside the burst engine itself, the
                             // moment each slot is clear.
@@ -1333,9 +1352,16 @@ where
                                         "pipeline aborted: a sender lane failed".into(),
                                     ));
                                 }
+                                if results.len() + rejected >= want {
+                                    idle_scans += 1;
+                                    if idle_scans >= GIVE_UP_SCANS {
+                                        break;
+                                    }
+                                }
                                 std::thread::yield_now();
                                 continue;
                             }
+                            idle_scans = 0;
                             clock = out.drained_at;
                             for f in &out.frames {
                                 results.push(PipelineFrame {

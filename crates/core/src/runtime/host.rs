@@ -19,8 +19,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use twochains_fabric::{AccessFlags, HostHandle, HostId, MemoryRegion, SimFabric};
 use twochains_jamvm::{
-    decode_program, hash64_bytes, verify, AddressSpace, ExecStats, GotImage, Instr, Segment,
-    SegmentKind, ShardSpace, Vm, VmConfig,
+    decode_program, hash64, hash64_bytes, resolve, verify, AddressSpace, ExecError, ExecStats,
+    ExternTable, GotImage, Instr, JamSpace, ResolvedProgram, Segment, SegmentKind, ShardSpace, Vm,
+    VmConfig,
 };
 use twochains_linker::{ElementId, LinkerNamespace, Package, Ried};
 use twochains_memsim::cycles::WaitOutcome;
@@ -30,12 +31,12 @@ use twochains_memsim::{
 };
 
 use super::credit::{CreditHandshake, CreditReturn, FlushOutcome};
-use super::injection_cache::{CachedGot, CachedProgram, InjectionCache};
+use super::injection_cache::{CachedGot, CachedProgram, CachedResolved, InjectionCache};
 use super::shard::{ReceiverShard, ShardDrain};
 use super::{BurstFrame, BurstOutcome, ReceiveOutcome};
 use crate::bank::MailboxBank;
 use crate::builtin::BuiltinJam;
-use crate::config::{CreditFlushPolicy, InvocationMode, RuntimeConfig, SpaceMode};
+use crate::config::{CreditFlushPolicy, ExecutionPolicy, InvocationMode, RuntimeConfig, SpaceMode};
 use crate::error::{AmError, AmResult};
 use crate::frame::{is_batch, BatchView, ChainArgMap, FrameView, FRAME_HEADER_SIZE};
 use crate::mailbox::MailboxTarget;
@@ -56,6 +57,29 @@ const DECODE_NS_PER_BYTE: f64 = 0.6;
 const VERIFY_NS_PER_BYTE: f64 = 0.25;
 /// GOT image parse cost on a GOT-cache miss.
 const GOT_PARSE_NS_PER_BYTE: f64 = 0.05;
+/// Lowering cost on a resolved-cache miss (walking the decoded program once to
+/// flatten operands, resolve GOT call sites, fuse pairs and lay out blocks —
+/// cheaper than the byte-at-a-time decode it follows).
+const RESOLVE_NS_PER_BYTE: f64 = 0.15;
+
+/// Base simulated address of the receiver's resolved-image slab area (the
+/// software code cache the threaded executor fetches from). Distinct from the
+/// Local Function code area, the chain-context cells and the shard data
+/// windows, so resolved-image fetch traffic never aliases hot runtime lines.
+const RESOLVED_CODE_BASE: u64 = 0xD000_0000;
+/// Bytes reserved per resolved-image slab (a lowered image larger than this
+/// simply charges across slab boundaries — harmless, the slabs exist only to
+/// give each image a stable, reusable line range).
+const RESOLVED_SLAB_STRIDE: u64 = 32 * 1024;
+/// Number of slabs; keys hash onto one deterministically, so a warm image is
+/// re-executed from the same (cache-hot) lines every time.
+const RESOLVED_SLAB_COUNT: u64 = 1024;
+
+/// Simulated install address for the resolved image of cache key `key`.
+fn resolved_slab_base(key: (u32, u64, usize)) -> u64 {
+    let mix = hash64(key.1 ^ (key.0 as u64).rotate_left(32) ^ (key.2 as u64).rotate_left(48));
+    RESOLVED_CODE_BASE + (mix % RESOLVED_SLAB_COUNT) * RESOLVED_SLAB_STRIDE
+}
 
 /// Base simulated address of the per-chain context cells: one 8-byte cell per
 /// drain core holding the running result a chain threads from stage to stage.
@@ -141,7 +165,34 @@ enum WaitCharge {
 struct LocalEntry {
     program: Arc<[Instr]>,
     got: Arc<GotImage>,
+    /// The program pre-lowered against its resolved GOT at install time, so
+    /// Local Function dispatch (and every chain continuation stage) runs the
+    /// threaded executor without a per-message lowering step.
+    resolved: Arc<ResolvedProgram>,
     code_base: u64,
+}
+
+/// Which executable form a dispatch resolved to: the decoded program for the
+/// interpreter, or a lowered image for the threaded executor.
+enum ExecImage {
+    Interpreted(Arc<[Instr]>),
+    Resolved(Arc<ResolvedProgram>),
+}
+
+/// Run an execution image against the chosen space/bus — the single seam where
+/// the [`ExecutionPolicy`] split reaches the VM.
+fn run_image(
+    image: &ExecImage,
+    got: &GotImage,
+    externs: &ExternTable,
+    space: &mut dyn JamSpace,
+    bus: &mut dyn MemoryBus,
+    cfg: &VmConfig,
+) -> Result<ExecStats, ExecError> {
+    match image {
+        ExecImage::Interpreted(program) => Vm::execute(program, got, externs, space, bus, cfg),
+        ExecImage::Resolved(resolved) => Vm::execute_resolved(resolved, externs, space, bus, cfg),
+    }
 }
 
 /// Everything the receive path shares between shards. Split out of
@@ -483,13 +534,19 @@ impl TwoChainsHost {
         for (id, jam) in package.jams() {
             let program: Arc<[Instr]> = jam.program()?.into();
             let got = Arc::new(self.core.namespace.resolve_got(&jam.got)?);
-            let code_len = jam.code_size();
+            // Pre-lower at install time: resident functions never pay a
+            // per-message lowering, and chain continuation stages run the
+            // threaded executor from their first invocation.
+            let resolved = Arc::new(resolve(&program, &got));
+            let code_len = jam.code_size().max(resolved.image_bytes());
             let code_base = self.core.local_code_cursor;
             self.core.local_code_cursor += (code_len.div_ceil(4096) * 4096) as u64 + 4096;
             // The Local Function library is resident: it has been executed before (or
             // at least loaded and touched), so keep it warm in every drain core's
             // private L1/L2 (any shard may run the local jam); `CoreBus::warm`
-            // stashes the range into the shared LLC as well.
+            // stashes the range into the shared LLC as well. The warmed span
+            // covers whichever image (encoded or resolved) is larger, so both
+            // execution policies fetch from warm lines.
             for shard in &mut self.shards {
                 shard.bus.warm(code_base, code_len);
             }
@@ -498,6 +555,7 @@ impl TwoChainsHost {
                 LocalEntry {
                     program,
                     got,
+                    resolved,
                     code_base,
                 },
             );
@@ -1680,10 +1738,18 @@ impl HostCore {
                 ));
             }
 
-            // 4. Resolve the GOT and the program, through the shared injection
-            // caches for Injected mode and by Arc-shared Local Function entries
-            // otherwise.
-            let (program, got, code_base) = match mode {
+            // 4. Resolve the GOT and the executable image, through the shared
+            // injection caches for Injected mode and by Arc-shared Local
+            // Function entries otherwise. Under the resolved policy the warm
+            // injected path is keyed by the *NIC delivery digest*: the DMA
+            // engine hashes the code section as the bytes stream through at
+            // delivery (receive-side hash offload — the same cut-through
+            // install engine that keeps up with line rate), so a warm dispatch
+            // never reads the code section on the receiver core at all. The
+            // digest is receiver-computed (by the receiver's own NIC), so
+            // trusting it is security-equivalent to hashing on the core; the
+            // GOT section is still read and hashed per message as before.
+            let (image, got, code_base) = match mode {
                 InvocationMode::Injected => {
                     let got = self.injected_got(
                         cache,
@@ -1694,29 +1760,100 @@ impl HostCore {
                         base_addr,
                         &mut handler_time,
                     )?;
-                    let program = self.injected_program(
-                        cache,
-                        stats,
-                        bus,
-                        core,
-                        frame,
-                        got.len(),
-                        base_addr,
-                        &mut handler_time,
-                    )?;
-                    let code_base = base_addr + frame.code_offset() as u64;
-                    (program, got, code_base)
+                    match self.config.execution_policy {
+                        ExecutionPolicy::Resolved => {
+                            let rkey = (
+                                frame.header.elem_id,
+                                hash64_bytes(frame.code),
+                                frame.code.len(),
+                            );
+                            if let Some(entry) = cache.lookup_resolved(rkey, &got) {
+                                // The GOT is pointer-identical to the one the
+                                // image was lowered against, but the verifier
+                                // floor is re-checked for parity with the
+                                // interpreted warm path.
+                                if got.len() < entry.min_got_slots {
+                                    return Err(AmError::BadFrame(format!(
+                                        "cached program references GOT slot {} but the \
+                                         message GOT has only {} slots",
+                                        entry.min_got_slots - 1,
+                                        got.len()
+                                    )));
+                                }
+                                stats.resolved_cache_hits += 1;
+                                // The resolved image subsumes the decoded
+                                // program: a resolved hit is a code-cache hit.
+                                stats.injected_code_cache_hits += 1;
+                                (ExecImage::Resolved(entry.image), got, entry.code_base)
+                            } else {
+                                stats.resolved_cache_misses += 1;
+                                let (program, min_got_slots) = self.injected_program(
+                                    cache,
+                                    stats,
+                                    bus,
+                                    core,
+                                    frame,
+                                    got.len(),
+                                    base_addr,
+                                    &mut handler_time,
+                                )?;
+                                let image = Arc::new(resolve(&program, &got));
+                                let slab = resolved_slab_base(rkey);
+                                // Lowering walks the decoded program once, then
+                                // the image is written into its slab (which
+                                // installs its lines hot for the execution that
+                                // follows and every warm re-run).
+                                handler_time += SimTime::from_ns_f64(
+                                    frame.code.len() as f64 * RESOLVE_NS_PER_BYTE,
+                                );
+                                handler_time += bus.access(
+                                    core,
+                                    slab,
+                                    image.image_bytes().max(1),
+                                    AccessKind::Write,
+                                );
+                                cache.store_resolved(
+                                    rkey,
+                                    CachedResolved {
+                                        got: Arc::clone(&got),
+                                        image: Arc::clone(&image),
+                                        code_base: slab,
+                                        min_got_slots,
+                                    },
+                                );
+                                (ExecImage::Resolved(image), got, slab)
+                            }
+                        }
+                        ExecutionPolicy::Interpret => {
+                            let (program, _) = self.injected_program(
+                                cache,
+                                stats,
+                                bus,
+                                core,
+                                frame,
+                                got.len(),
+                                base_addr,
+                                &mut handler_time,
+                            )?;
+                            let code_base = base_addr + frame.code_offset() as u64;
+                            (ExecImage::Interpreted(program), got, code_base)
+                        }
+                    }
                 }
                 InvocationMode::Local => {
                     let entry = self
                         .local_lib
                         .get(&frame.header.elem_id)
                         .ok_or(AmError::UnknownElement(frame.header.elem_id))?;
-                    (
-                        Arc::clone(&entry.program),
-                        Arc::clone(&entry.got),
-                        entry.code_base,
-                    )
+                    let image = match self.config.execution_policy {
+                        ExecutionPolicy::Resolved => {
+                            ExecImage::Resolved(Arc::clone(&entry.resolved))
+                        }
+                        ExecutionPolicy::Interpret => {
+                            ExecImage::Interpreted(Arc::clone(&entry.program))
+                        }
+                    };
+                    (image, Arc::clone(&entry.got), entry.code_base)
                 }
             };
 
@@ -1786,8 +1923,8 @@ impl HostCore {
                     space.unmap("msg.args");
                     return Err(AmError::Exec(e.to_string()));
                 }
-                let exec_result = Vm::execute(
-                    &program,
+                let exec_result = run_image(
+                    &image,
                     &got,
                     self.namespace.externs(),
                     &mut *space,
@@ -1811,8 +1948,8 @@ impl HostCore {
                     shard_space.local.unmap("msg.args");
                     return Err(AmError::Exec(e.to_string()));
                 }
-                let exec_result = Vm::execute(
-                    &program,
+                let exec_result = run_image(
+                    &image,
                     &got,
                     self.namespace.externs(),
                     shard_space,
@@ -1826,6 +1963,7 @@ impl HostCore {
             exec_time = exec.total_time();
             handler_time += exec_time;
             result = exec.result;
+            stats.superinstructions_executed += exec.superinstructions;
             exec_stats = Some(exec);
             stats.executions += 1;
             match mode {
@@ -1898,6 +2036,7 @@ impl HostCore {
                     exec_time += exec.total_time();
                     handler_time += exec.total_time();
                     result = exec.result;
+                    stats.superinstructions_executed += exec.superinstructions;
                     stats.executions += 1;
                     stats.local_executions += 1;
                     stats.chain_stages_executed += 1;
@@ -1960,6 +2099,12 @@ impl HostCore {
             extern_call_overhead: SimTime::from_ns(6),
             entry_regs,
         };
+        // Continuation stages are Local Function entries, pre-lowered at
+        // install time — the policy split costs no per-stage work either way.
+        let image = match self.config.execution_policy {
+            ExecutionPolicy::Resolved => ExecImage::Resolved(Arc::clone(&entry.resolved)),
+            ExecutionPolicy::Interpret => ExecImage::Interpreted(Arc::clone(&entry.program)),
+        };
         let use_exclusive = match self.config.space_mode {
             SpaceMode::Exclusive => true,
             SpaceMode::ShardLocal => {
@@ -1985,8 +2130,8 @@ impl HostCore {
         if use_exclusive {
             let mut space = self.space.lock();
             map_all(&mut space, segs)?;
-            let exec_result = Vm::execute(
-                &entry.program,
+            let exec_result = run_image(
+                &image,
                 &entry.got,
                 self.namespace.externs(),
                 &mut *space,
@@ -1999,8 +2144,8 @@ impl HostCore {
             Ok(exec_result?)
         } else {
             map_all(&mut shard_space.local, segs)?;
-            let exec_result = Vm::execute(
-                &entry.program,
+            let exec_result = run_image(
+                &image,
                 &entry.got,
                 self.namespace.externs(),
                 shard_space,
@@ -2084,7 +2229,8 @@ impl HostCore {
     }
 
     /// Resolve the decoded program of an injected frame, through the shared code
-    /// cache.
+    /// cache. Returns the program and its verifier floor (smallest GOT slot
+    /// count it verifies against).
     #[allow(clippy::too_many_arguments)]
     fn injected_program(
         &self,
@@ -2096,7 +2242,7 @@ impl HostCore {
         got_slots: usize,
         mailbox_base: u64,
         handler_time: &mut SimTime,
-    ) -> AmResult<Arc<[Instr]>> {
+    ) -> AmResult<(Arc<[Instr]>, usize)> {
         let code_base = mailbox_base + frame.code_offset() as u64;
         // Content hash over the arrived code: the cache-key computation. The hash
         // streams every code byte through the receiver core, so it is charged as a
@@ -2118,7 +2264,7 @@ impl HostCore {
                 )));
             }
             stats.injected_code_cache_hits += 1;
-            return Ok(program);
+            return Ok((program, min_got_slots));
         }
         // Miss, or a 64-bit hash collision with different bytes: re-decode and
         // (re)place the entry.
@@ -2154,6 +2300,6 @@ impl HostCore {
                 min_got_slots,
             },
         );
-        Ok(program)
+        Ok((program, min_got_slots))
     }
 }

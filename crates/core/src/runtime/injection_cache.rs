@@ -38,7 +38,7 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use twochains_jamvm::{GotImage, Instr};
+use twochains_jamvm::{GotImage, Instr, ResolvedProgram};
 
 /// Upper bound on entries per injection cache (see the module header for the
 /// eviction policy applied at this bound).
@@ -219,6 +219,28 @@ pub(crate) struct CachedGot {
     pub(crate) image: Arc<GotImage>,
 }
 
+/// A cached resolved image — the second-level entry the threaded executor runs.
+///
+/// The image was lowered from `program` against `got`, so it is only valid
+/// while the current message resolves to *that same* GOT `Arc`
+/// ([`InjectionCache::lookup_resolved`] enforces pointer identity; the
+/// first-level GOT caches hand out stable `Arc`s for unchanged content, so a
+/// changed GOT image — new bytes, new namespace resolution — yields a
+/// different pointer and a resolved miss). Any package reinstall or namespace
+/// change purges the cache wholesale via [`InjectionCache::invalidate_all`].
+#[derive(Debug, Clone)]
+pub(crate) struct CachedResolved {
+    /// The exact GOT image baked into the lowering, compared by pointer.
+    pub(crate) got: Arc<GotImage>,
+    /// The lowered image itself.
+    pub(crate) image: Arc<ResolvedProgram>,
+    /// Simulated install address of the image (fetches are charged here).
+    pub(crate) code_base: u64,
+    /// Verifier floor carried over from the first-level entry: smallest GOT
+    /// slot count the program verifies against.
+    pub(crate) min_got_slots: usize,
+}
+
 #[derive(Debug)]
 struct CacheInner {
     /// Decoded injected programs, keyed by `(elem_id, hash64_bytes(code))`.
@@ -227,6 +249,12 @@ struct CacheInner {
     sender_got: SegmentedCache<(u32, u64), CachedGot>,
     /// Locally re-resolved GOT images (hardened policy), keyed by `elem_id`.
     resolved_got: SegmentedCache<u32, Arc<GotImage>>,
+    /// Resolved (lowered) images, keyed by `(elem_id, code_digest, code_len)`.
+    /// The length rides in the key to harden the 64-bit content digest a
+    /// little; unlike the first-level code cache there is no byte comparison
+    /// on hit, because under the NIC-delivery-digest model the receiver never
+    /// re-reads the code section on the warm path.
+    resolved: SegmentedCache<(u32, u64, usize), CachedResolved>,
 }
 
 /// The shared, internally locked bundle of all three receiver-side injection
@@ -252,6 +280,7 @@ impl InjectionCache {
                 code: SegmentedCache::with_capacity(cap),
                 sender_got: SegmentedCache::with_capacity(cap),
                 resolved_got: SegmentedCache::with_capacity(cap),
+                resolved: SegmentedCache::with_capacity(cap),
             }),
         }
     }
@@ -305,6 +334,29 @@ impl InjectionCache {
         self.inner.lock().resolved_got.store(elem, got)
     }
 
+    /// Probe the resolved-image cache. A hit additionally requires the cached
+    /// entry's GOT `Arc` to be pointer-identical to `got` — the image baked
+    /// that exact GOT's resolutions into its call sites, so any other image
+    /// (even content-equal) forces a re-lower.
+    pub(crate) fn lookup_resolved(
+        &self,
+        key: (u32, u64, usize),
+        got: &Arc<GotImage>,
+    ) -> Option<CachedResolved> {
+        let mut inner = self.inner.lock();
+        let cached = inner.resolved.lookup(&key)?;
+        if Arc::ptr_eq(&cached.got, got) {
+            Some(cached.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Insert a resolved image; returns the number of entries evicted.
+    pub(crate) fn store_resolved(&self, key: (u32, u64, usize), value: CachedResolved) -> u64 {
+        self.inner.lock().resolved.store(key, value)
+    }
+
     /// Drop every cached program and GOT image (package reinstall / live update /
     /// explicit cold-path benchmarking). Not counted as evictions.
     pub(crate) fn invalidate_all(&self) {
@@ -312,6 +364,7 @@ impl InjectionCache {
         inner.code.purge();
         inner.sender_got.purge();
         inner.resolved_got.purge();
+        inner.resolved.purge();
     }
 
     /// Number of decoded programs currently cached.
@@ -411,6 +464,34 @@ mod tests {
         // Reusable after a purge.
         c.store(2, 2);
         assert_eq!(c.lookup(&2), Some(&2));
+    }
+
+    #[test]
+    fn resolved_hits_require_pointer_identical_got() {
+        use twochains_jamvm::resolve;
+
+        let cache = InjectionCache::with_capacity(8);
+        let program: Arc<[Instr]> = vec![Instr::Ret].into();
+        let got = Arc::new(GotImage::with_slots(1));
+        let entry = CachedResolved {
+            got: Arc::clone(&got),
+            image: Arc::new(resolve(&program, &got)),
+            code_base: 0xC000_0000,
+            min_got_slots: 0,
+        };
+        let key = (7, 42, 4);
+        cache.store_resolved(key, entry);
+        assert!(cache.lookup_resolved(key, &got).is_some());
+        // A content-equal but distinct GOT image must miss: its resolutions
+        // were not the ones baked into the lowering.
+        let other = Arc::new(GotImage::with_slots(1));
+        assert!(cache.lookup_resolved(key, &other).is_none());
+        assert!(cache.lookup_resolved((7, 42, 5), &got).is_none());
+        cache.invalidate_all();
+        assert!(
+            cache.lookup_resolved(key, &got).is_none(),
+            "invalidation purges resolved images too"
+        );
     }
 
     #[test]

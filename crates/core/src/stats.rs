@@ -121,6 +121,19 @@ pub struct RuntimeStats {
     /// Inner frames retired out of received batch containers (each also counts
     /// once in `messages_received` and mints its own credit token).
     pub batch_frames_received: u64,
+    /// Injected dispatches that found a valid resolved image (lowered IR) in
+    /// the second-level injection cache and executed it directly — the warm
+    /// path under [`ExecutionPolicy::Resolved`](crate::config::ExecutionPolicy).
+    /// Every resolved hit also counts in `injected_code_cache_hits` (the
+    /// resolved image subsumes the decoded program).
+    pub resolved_cache_hits: u64,
+    /// Injected dispatches under the resolved policy that had no valid resolved
+    /// image (first message, GOT image changed, or cache invalidated) and paid
+    /// the lowering before executing.
+    pub resolved_cache_misses: u64,
+    /// Fused superinstructions retired by the resolved executor (each retires
+    /// two original instructions in one dispatch slot).
+    pub superinstructions_executed: u64,
     /// Virtual CPU time the drain cores spent posting credit-return puts
     /// (the `sender_free` charge of each credit put; the wire/DMA side is
     /// charged inside the fabric model like any other put).
@@ -194,6 +207,9 @@ impl RuntimeStats {
             batched_frames,
             batches_received,
             batch_frames_received,
+            resolved_cache_hits,
+            resolved_cache_misses,
+            superinstructions_executed,
             credit_put_time,
             wait_time,
             exec_time,
@@ -235,6 +251,9 @@ impl RuntimeStats {
         self.batched_frames += batched_frames;
         self.batches_received += batches_received;
         self.batch_frames_received += batch_frames_received;
+        self.resolved_cache_hits += resolved_cache_hits;
+        self.resolved_cache_misses += resolved_cache_misses;
+        self.superinstructions_executed += superinstructions_executed;
         self.credit_put_time += *credit_put_time;
         self.wait_time += *wait_time;
         self.exec_time += *exec_time;
@@ -300,6 +319,9 @@ mod tests {
             batched_frames: base + 35,
             batches_received: base + 36,
             batch_frames_received: base + 37,
+            resolved_cache_hits: base + 38,
+            resolved_cache_misses: base + 39,
+            superinstructions_executed: base + 40,
             credit_put_time: SimTime::from_ns(base + 31),
             wait_time: SimTime::from_ns(base + 32),
             exec_time: SimTime::from_ns(base + 33),
@@ -349,6 +371,9 @@ mod tests {
             batched_frames,
             batches_received,
             batch_frames_received,
+            resolved_cache_hits,
+            resolved_cache_misses,
+            superinstructions_executed,
             credit_put_time,
             wait_time,
             exec_time,
@@ -389,6 +414,9 @@ mod tests {
         assert_eq!(batched_frames, 170);
         assert_eq!(batches_received, 172);
         assert_eq!(batch_frames_received, 174);
+        assert_eq!(resolved_cache_hits, 176);
+        assert_eq!(resolved_cache_misses, 178);
+        assert_eq!(superinstructions_executed, 180);
         assert_eq!(credit_put_time, SimTime::from_ns(162));
         assert_eq!(wait_time, SimTime::from_ns(164));
         assert_eq!(exec_time, SimTime::from_ns(166));

@@ -26,6 +26,16 @@
 //!   [`twochains_memsim::MemoryBus`], so the execution cost depends on whether the
 //!   message was stashed into the LLC or landed in DRAM.
 //!
+//! Two execution engines share those properties: the interpreter
+//! ([`vm::Vm::execute`]) re-decodes the program every run — the right model for a
+//! cold first execution — and the resolved executor
+//! ([`vm::Vm::execute_resolved`]) runs a [`resolved`] image lowered once by
+//! [`resolve`]: flat pre-decoded operands, GOT indirections turned into direct
+//! extern references (with lazy errors preserved), fused superinstructions and
+//! block-batched instruction fetch. The two are pinned observationally equal by
+//! differential tests; see the [`resolved`] module docs for the lowering, timing
+//! and invalidation contracts.
+//!
 //! The crate is deliberately free of any dependency on the fabric or the runtime: it
 //! knows nothing about messages, only about executing verified bytecode against an
 //! [`memory::AddressSpace`] and an [`externs::ExternTable`].
@@ -38,6 +48,7 @@ pub mod encode;
 pub mod externs;
 pub mod isa;
 pub mod memory;
+pub mod resolved;
 pub mod verify;
 pub mod vm;
 
@@ -46,5 +57,6 @@ pub use encode::{decode_program, encode_program, encoded_size};
 pub use externs::{ExternRef, ExternTable, GotImage};
 pub use isa::{hash64, hash64_bytes, Instr, Reg};
 pub use memory::{AddressSpace, JamSpace, Segment, SegmentKind, SegmentMeta, ShardSpace};
+pub use resolved::{resolve, ResolvedOp, ResolvedProgram, RESOLVED_OP_BYTES};
 pub use verify::{verify, VerifyError};
 pub use vm::{ExecError, ExecStats, Vm, VmConfig};

@@ -109,6 +109,9 @@ pub struct ExecStats {
     pub instructions: u64,
     /// Number of extern calls made.
     pub extern_calls: u64,
+    /// Fused superinstructions executed (always 0 on the interpreter path; the
+    /// resolved executor counts each fused pair it retires).
+    pub superinstructions: u64,
     /// Time spent in instruction issue/ALU work.
     pub compute_time: SimTime,
     /// Time spent in data memory accesses (loads, stores, copies, extern memory work).
@@ -149,6 +152,7 @@ impl Vm {
             result: 0,
             instructions: 0,
             extern_calls: 0,
+            superinstructions: 0,
             compute_time: SimTime::ZERO,
             memory_time: SimTime::ZERO,
             fetch_time: SimTime::ZERO,
@@ -276,7 +280,7 @@ impl Vm {
     }
 }
 
-fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
